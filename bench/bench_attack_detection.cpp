@@ -1,0 +1,106 @@
+// Validates the Section-III threat model end to end: every attack class the
+// paper defends against, run as a live campaign under each protection level.
+//
+// Grid: {spoof, replay, relocation, DoS-corruption} x {plaintext,
+// cipher-only, full}, plus the hijacked-IP scenarios (containment) and the
+// traffic-flood DoS (arbitration vs. firewall throttling).
+#include <cstdio>
+
+#include "attack/campaign.hpp"
+#include "util/table.hpp"
+
+using namespace secbus;
+using attack::ExternalAttackKind;
+using attack::HijackAttackKind;
+using soc::ProtectionLevel;
+
+namespace {
+
+const char* outcome_word(const attack::ScenarioResult& r) {
+  if (r.detected) return "DETECTED";
+  if (!r.victim_data_intact) return "undetected-corrupt";
+  return "undetected-clean";
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== bench_attack_detection: threat-model campaigns ===\n");
+
+  {
+    util::TextTable table(
+        "External-memory attacks (attacker pokes DDR directly)");
+    table.set_header({"attack", "protection", "outcome", "victim read",
+                      "detect latency (cyc)", "alerts"});
+    for (const auto kind :
+         {ExternalAttackKind::kSpoof, ExternalAttackKind::kReplay,
+          ExternalAttackKind::kRelocation, ExternalAttackKind::kDosCorruption}) {
+      for (const auto level : {ProtectionLevel::kPlaintext,
+                               ProtectionLevel::kCipherOnly,
+                               ProtectionLevel::kFull}) {
+        const auto r = attack::run_external_scenario(kind, level, 42);
+        table.add_row(
+            {to_string(kind), to_string(level), outcome_word(r),
+             r.victim_read_aborted
+                 ? "aborted"
+                 : (r.victim_data_intact ? "correct data" : "corrupted data"),
+             r.detected ? std::to_string(r.detection_latency) : "-",
+             std::to_string(r.total_alerts)});
+      }
+      table.add_separator();
+    }
+    table.print();
+    std::puts(
+        "Expected shape (Section III.B): full protection detects all four\n"
+        "classes on the next read; cipher-only hides content but admits\n"
+        "silent corruption (the paper's DoS case); plaintext admits\n"
+        "everything silently.\n");
+  }
+
+  {
+    util::TextTable table("Hijacked internal IP (malicious master)");
+    table.set_header(
+        {"attack", "detected", "contained (0 bus grants)", "alerts",
+         "workload survived"});
+    for (const auto kind :
+         {HijackAttackKind::kForbiddenWrite, HijackAttackKind::kOutOfSegmentRead,
+          HijackAttackKind::kBadFormat}) {
+      const auto r = attack::run_hijack_scenario(kind, 42);
+      table.add_row({to_string(kind), r.detected ? "yes" : "NO",
+                     r.contained ? "yes" : "NO",
+                     std::to_string(r.total_alerts),
+                     r.workload_completed ? "yes" : "NO"});
+    }
+    table.print();
+    std::puts(
+        "Expected shape (Section III.C): the infected IP's traffic is\n"
+        "discarded in its own interface; the bus never carries it.\n");
+  }
+
+  {
+    util::TextTable table("Traffic-flood DoS (dummy-data injection)");
+    table.set_header({"flood type", "flood bursts ok", "flood bursts blocked",
+                      "victim latency (base)", "victim latency (flooded)",
+                      "bus occupancy (base)", "bus occupancy (flooded)"});
+    auto add_flood_row = [&table](const char* label, const attack::FloodResult& r) {
+      table.add_row({label, std::to_string(r.flood_completed),
+                     std::to_string(r.flood_blocked),
+                     util::TextTable::fmt(r.victim_latency_baseline, 1),
+                     util::TextTable::fmt(r.victim_latency_flooded, 1),
+                     util::TextTable::fmt(100.0 * r.bus_occupancy_baseline, 1),
+                     util::TextTable::fmt(100.0 * r.bus_occupancy_flooded, 1)});
+    };
+    add_flood_row("in-policy", attack::run_flood_scenario(true, 42));
+    add_flood_row("out-of-policy", attack::run_flood_scenario(false, 42));
+    add_flood_row("in-policy + LF throttle",
+                  attack::run_throttled_flood_scenario(1000, 2, 42));
+    table.print();
+    std::puts(
+        "Expected shape: an out-of-policy flood dies at its own firewall\n"
+        "(bus barely affected); an in-policy flood can only be throttled by\n"
+        "round-robin arbitration, degrading but not starving the victim —\n"
+        "unless the flooder's LF enables the DoS rate limiter, which caps\n"
+        "even rule-legal dummy traffic at the infected interface.");
+  }
+  return 0;
+}

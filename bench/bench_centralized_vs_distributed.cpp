@@ -1,0 +1,82 @@
+// Measures the paper's core architectural claim against related work:
+// distributed per-interface firewalls (this paper) vs. a centralized
+// security manager (SECA-like, reference [1]).
+//
+//   "Most of the controls are done locally within the firewalls: it implies
+//    a low latency overhead for the communication." (Section V)
+//
+// Both variants run the identical workload with identical policies and
+// *plaintext* external memory, isolating the check-placement effect from
+// the crypto cost. Distributed checks cost a flat 12 cycles at each
+// interface; centralized checks pay wire latency plus serialization at the
+// single manager, which grows with the number of concurrently active IPs.
+#include <cstdio>
+
+#include "soc/presets.hpp"
+#include "soc/soc.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace secbus;
+
+namespace {
+
+struct Outcome {
+  sim::Cycle cycles = 0;
+  double latency = 0.0;
+  double manager_queue = 0.0;
+};
+
+Outcome run_mode(std::size_t processors, soc::SecurityMode mode) {
+  soc::SocConfig cfg = soc::section5_config();
+  cfg.processors = processors;
+  cfg.transactions_per_cpu = 150;
+  cfg.protection = soc::ProtectionLevel::kPlaintext;  // isolate check cost
+  cfg.security = mode;
+  soc::Soc system(cfg);
+  const auto results = system.run(30'000'000);
+  Outcome out;
+  out.cycles = results.cycles;
+  out.latency = results.avg_access_latency;
+  if (system.manager() != nullptr) {
+    out.manager_queue = system.manager()->queue_wait().mean();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::puts(
+      "=== bench_centralized_vs_distributed: check placement ablation ===\n");
+
+  util::TextTable table(
+      "Same workload/policies, plaintext ext. memory, varying CPU count");
+  table.set_header({"CPUs", "none: latency", "distributed: latency",
+                    "centralized: latency", "central queue wait",
+                    "dist. overhead", "centr. overhead"});
+
+  for (const std::size_t cpus : {1u, 2u, 3u, 4u, 6u}) {
+    const Outcome none = run_mode(cpus, soc::SecurityMode::kNone);
+    const Outcome dist = run_mode(cpus, soc::SecurityMode::kDistributed);
+    const Outcome cent = run_mode(cpus, soc::SecurityMode::kCentralized);
+    table.add_row(
+        {std::to_string(cpus), util::TextTable::fmt(none.latency, 1),
+         util::TextTable::fmt(dist.latency, 1),
+         util::TextTable::fmt(cent.latency, 1),
+         util::TextTable::fmt(cent.manager_queue, 1),
+         util::TextTable::fmt_percent(
+             util::percent_overhead(dist.latency, none.latency)),
+         util::TextTable::fmt_percent(
+             util::percent_overhead(cent.latency, none.latency))});
+  }
+  table.print();
+
+  std::puts(
+      "\nExpected shape (paper vs. SECA-style related work): the distributed\n"
+      "design pays a flat per-access check (12 cycles) regardless of how\n"
+      "many IPs are active; the centralized manager serializes concurrent\n"
+      "checks, so its queue wait and latency overhead grow with the number\n"
+      "of processors. The crossover is immediate at >1 active IP.");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// google-benchmark micro benches for the crypto substrate backing the
+// Confidentiality and Integrity Cores. These measure the *functional model*
+// on the host CPU (not simulated cycles); they exist to keep the crypto fast
+// enough that simulating large protected memories stays interactive, and to
+// document the relative costs (AES vs SHA vs tree update).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "crypto/aes128.hpp"
+#include "crypto/aes_modes.hpp"
+#include "crypto/hash_tree.hpp"
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+
+using namespace secbus;
+
+namespace {
+
+crypto::Aes128Key bench_key() {
+  crypto::Aes128Key key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i);
+  }
+  return key;
+}
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  const crypto::Aes128 aes(bench_key());
+  crypto::AesBlock block{};
+  for (auto _ : state) {
+    block = aes.encrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_AesDecryptBlock(benchmark::State& state) {
+  const crypto::Aes128 aes(bench_key());
+  crypto::AesBlock block{};
+  for (auto _ : state) {
+    block = aes.decrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesDecryptBlock);
+
+void BM_CtrXcrypt(benchmark::State& state) {
+  const crypto::Aes128 aes(bench_key());
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(state.range(0)), 0xA5);
+  const crypto::AesBlock ctr{};
+  for (auto _ : state) {
+    crypto::ctr_xcrypt(aes, ctr, buf, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CtrXcrypt)->Arg(32)->Arg(256)->Arg(4096);
+
+void BM_MemoryXcryptLine(benchmark::State& state) {
+  // The LCF's per-line path: fresh tweak per 16-byte block.
+  const crypto::Aes128 aes(bench_key());
+  std::vector<std::uint8_t> line(32, 0x5A);
+  std::uint32_t version = 0;
+  for (auto _ : state) {
+    ++version;
+    for (std::size_t off = 0; off < line.size(); off += 16) {
+      crypto::memory_xcrypt(aes, 7, 0x8000'0000 + off, version,
+                            std::span<const std::uint8_t>(line).subspan(off, 16),
+                            std::span<std::uint8_t>(line).subspan(off, 16));
+    }
+    benchmark::DoNotOptimize(line.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_MemoryXcryptLine);
+
+void BM_Sha256(benchmark::State& state) {
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(state.range(0)), 0x3C);
+  for (auto _ : state) {
+    auto digest = crypto::Sha256::digest({buf.data(), buf.size()});
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(32)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HashTreeUpdate(benchmark::State& state) {
+  const auto leaves = static_cast<std::size_t>(state.range(0));
+  crypto::HashTree tree(crypto::HashTree::Config{leaves, 32, 0});
+  std::vector<std::uint8_t> line(32, 0x77);
+  util::Xoshiro256 rng(1);
+  std::uint32_t version = 0;
+  for (auto _ : state) {
+    const std::size_t leaf = static_cast<std::size_t>(rng.below(leaves));
+    ++version;
+    benchmark::DoNotOptimize(tree.update(leaf, line, version));
+  }
+  state.SetLabel("depth=" + std::to_string(tree.depth()));
+}
+BENCHMARK(BM_HashTreeUpdate)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_HashTreeVerify(benchmark::State& state) {
+  const auto leaves = static_cast<std::size_t>(state.range(0));
+  crypto::HashTree tree(crypto::HashTree::Config{leaves, 32, 0});
+  std::vector<std::uint8_t> line(32, 0x77);
+  for (std::size_t leaf = 0; leaf < leaves; ++leaf) {
+    tree.update(leaf, line, 1);
+  }
+  util::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    const std::size_t leaf = static_cast<std::size_t>(rng.below(leaves));
+    benchmark::DoNotOptimize(tree.verify(leaf, line, 1));
+  }
+  state.SetLabel("depth=" + std::to_string(tree.depth()));
+}
+BENCHMARK(BM_HashTreeVerify)->Arg(64)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

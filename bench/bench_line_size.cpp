@@ -1,0 +1,59 @@
+// Ablation: external-memory protection granularity (LCF line size).
+//
+// The paper fixes its protection granularity implicitly (one AES/hash unit
+// per transfer); the line size is the central knob any implementer of this
+// architecture must pick, trading:
+//   * small lines  — cheap RMW for narrow writes, but more tree levels per
+//     protected byte and worse streaming efficiency;
+//   * large lines  — better bulk throughput, but every narrow write pays a
+//     full-line read-modify-write through CC and IC.
+// This bench sweeps line_bytes over the same Section-V workload and reports
+// execution time, RMW rate and crypto work per byte moved.
+#include <cstdio>
+
+#include "soc/presets.hpp"
+#include "soc/soc.hpp"
+#include "util/table.hpp"
+
+using namespace secbus;
+
+int main() {
+  std::puts("=== bench_line_size: LCF protection granularity ablation ===\n");
+
+  util::TextTable table(
+      "Section-V workload (30% external traffic), full protection");
+  table.set_header({"line bytes", "exec cycles", "protected r/w", "RMW ops",
+                    "CC cycles", "IC cycles", "tree depth"});
+
+  for (const std::uint64_t line : {16u, 32u, 64u, 128u}) {
+    soc::SocConfig cfg = soc::section5_config();
+    cfg.transactions_per_cpu = 120;
+    cfg.line_bytes = line;
+    soc::Soc system(cfg);
+    const auto results = system.run(30'000'000);
+    const auto* lcf = system.lcf();
+    table.add_row(
+        {std::to_string(line), std::to_string(results.cycles),
+         std::to_string(lcf->stats().protected_reads) + "/" +
+             std::to_string(lcf->stats().protected_writes),
+         std::to_string(lcf->stats().read_modify_writes),
+         std::to_string(lcf->cc().stats().cycles_charged),
+         std::to_string(lcf->ic().stats().cycles_charged),
+         std::to_string(lcf->ic().tree().depth())});
+    if (!results.completed) {
+      std::fprintf(stderr, "warning: line=%llu hit the cycle cap\n",
+                   static_cast<unsigned long long>(line));
+    }
+  }
+  table.print();
+
+  std::puts(
+      "\nExpected shape: larger lines shrink the hash tree (depth falls by\n"
+      "one per doubling) and slightly reduce RMW counts and total crypto\n"
+      "cycles, but every individual access must drag a whole line through\n"
+      "the 1.31-bit/cycle Integrity Core while the bus is held, so end-to-\n"
+      "end execution time grows roughly linearly with line size under the\n"
+      "case study's narrow-access traffic. Small protection lines win for\n"
+      "word-grained workloads; large lines only pay off for bulk streaming.");
+  return 0;
+}

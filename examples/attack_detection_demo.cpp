@@ -1,0 +1,70 @@
+// External-memory attack walkthrough: the paper's Section-III threat model,
+// narrated. An attacker with physical access to the DDR (the only surface
+// the threat model grants) spoofs, replays and relocates ciphertext; the
+// Local Ciphering Firewall's confidentiality + integrity + time-stamp
+// machinery turns each into a detected, discarded read.
+//
+//   $ ./attack_detection_demo
+#include <cstdio>
+
+#include "attack/campaign.hpp"
+
+using namespace secbus;
+using attack::ExternalAttackKind;
+using soc::ProtectionLevel;
+
+namespace {
+
+void narrate(ExternalAttackKind kind, ProtectionLevel level) {
+  const auto r = attack::run_external_scenario(kind, level, 1234);
+  std::printf("  %-14s | ", to_string(kind));
+  if (r.detected) {
+    std::printf(
+        "DETECTED: alert %llu cycles after the tamper; victim read aborted, "
+        "corrupted data discarded\n",
+        static_cast<unsigned long long>(r.detection_latency));
+  } else if (!r.victim_data_intact) {
+    std::printf(
+        "NOT detected: victim silently consumed %s\n",
+        level == ProtectionLevel::kCipherOnly
+            ? "garbage plaintext (attack degraded to DoS)"
+            : "attacker-controlled/stale data (attack succeeded)");
+  } else {
+    std::printf("no effect\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Threat model (Section III): the FPGA is trusted; the attacker");
+  std::puts("reaches only the external bus and the external memory.\n");
+
+  std::puts("--- External memory fully protected (CM=cipher, IM=hash tree) ---");
+  for (const auto kind :
+       {ExternalAttackKind::kSpoof, ExternalAttackKind::kReplay,
+        ExternalAttackKind::kRelocation, ExternalAttackKind::kDosCorruption}) {
+    narrate(kind, ProtectionLevel::kFull);
+  }
+
+  std::puts("\n--- External memory only ciphered (the paper's cheap mode) ---");
+  std::puts("    'he can still target a DoS attack by randomly changing data'");
+  for (const auto kind :
+       {ExternalAttackKind::kSpoof, ExternalAttackKind::kReplay,
+        ExternalAttackKind::kDosCorruption}) {
+    narrate(kind, ProtectionLevel::kCipherOnly);
+  }
+
+  std::puts("\n--- External memory unprotected (the paper's warning case) ---");
+  std::puts("    'an attacker can take benefit of this non protected area'");
+  for (const auto kind :
+       {ExternalAttackKind::kSpoof, ExternalAttackKind::kReplay}) {
+    narrate(kind, ProtectionLevel::kPlaintext);
+  }
+
+  std::puts(
+      "\nTakeaway: only the full LCF (AES-CTR with address+version tweaks,\n"
+      "hash tree over ciphertext, on-chip time-stamp tags) detects all four\n"
+      "attack classes; weaker modes trade detection for area/latency.");
+  return 0;
+}

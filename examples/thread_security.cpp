@@ -1,0 +1,93 @@
+// Thread-specific security — the paper's closing perspective, running:
+//
+//   "it can be interesting to study the adaptation to thread-specific
+//    security where each thread has its own security level." (Section VI)
+//
+// One processor multiplexes three software threads over the same Local
+// Firewall. The interface's Security Policy gives each thread its own rule
+// overlay:
+//   thread 0 (supervisor) — read/write everywhere the CPU may go;
+//   thread 1 (worker)     — its private external window only, no BRAM boot;
+//   thread 2 (untrusted plugin) — read-only, lower scratchpad only.
+// The same physical accesses succeed or die at the firewall purely based on
+// which thread issued them.
+//
+//   $ ./thread_security
+#include <cstdio>
+
+#include "soc/presets.hpp"
+#include "soc/report.hpp"
+#include "soc/soc.hpp"
+
+using namespace secbus;
+
+int main() {
+  soc::SocConfig cfg = soc::tiny_test_config();
+  cfg.transactions_per_cpu = 100;
+  soc::Soc system(cfg);
+  const auto& plan = system.plan();
+
+  // Per-thread policy for a scripted "multithreaded CPU".
+  core::PolicyBuilder pb(0x900);
+  // Base rules = supervisor (thread 0): everything the CPU may touch.
+  pb.allow(plan.bram_scratch.base, plan.bram_scratch.size,
+           core::RwAccess::kReadWrite, core::FormatMask::kAll, "scratch")
+      .allow(plan.bram_boot.base, plan.bram_boot.size,
+             core::RwAccess::kReadOnly, core::FormatMask::k32, "boot")
+      .allow(plan.cpu_windows[0].base, plan.cpu_windows[0].size,
+             core::RwAccess::kReadWrite, core::FormatMask::kAll, "priv-ext");
+  // Thread 1: worker — only the private external window.
+  pb.for_thread(1).allow(plan.cpu_windows[0].base, plan.cpu_windows[0].size,
+                         core::RwAccess::kReadWrite, core::FormatMask::kAll,
+                         "t1-priv-ext");
+  // Thread 2: untrusted plugin — read-only lower scratchpad.
+  pb.for_thread(2).allow(plan.bram_scratch.base, 4096,
+                         core::RwAccess::kReadOnly, core::FormatMask::k32,
+                         "t2-ro-scratch");
+
+  auto& cpu = system.add_scripted_master("mt_cpu", pb.build());
+
+  struct Probe {
+    const char* what;
+    bus::ThreadId thread;
+    bool is_write;
+    sim::Addr addr;
+  };
+  const Probe probes[] = {
+      {"supervisor writes scratch", 0, true, plan.bram_scratch.base},
+      {"supervisor reads boot", 0, false, plan.bram_boot.base},
+      {"worker writes its ext window", 1, true, plan.cpu_windows[0].base},
+      {"worker writes scratch (denied)", 1, true, plan.bram_scratch.base},
+      {"worker reads boot (denied)", 1, false, plan.bram_boot.base},
+      {"plugin reads scratch", 2, false, plan.bram_scratch.base},
+      {"plugin WRITES scratch (denied)", 2, true, plan.bram_scratch.base},
+      {"plugin reads ext window (denied)", 2, false, plan.cpu_windows[0].base},
+  };
+  for (const Probe& probe : probes) {
+    bus::BusTransaction t =
+        probe.is_write
+            ? bus::make_write(0, probe.addr, {1, 2, 3, 4})
+            : bus::make_read(0, probe.addr);
+    t.thread = probe.thread;
+    cpu.enqueue(20, std::move(t));
+  }
+
+  (void)system.run(5'000'000);
+
+  std::puts("Same interface, same firewall, three security levels:\n");
+  const auto& responses = cpu.stats().responses;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    std::printf("  T%u %-34s -> %s\n", probes[i].thread, probes[i].what,
+                responses[i].status == bus::TransStatus::kOk
+                    ? "OK"
+                    : "DISCARDED at LF");
+  }
+
+  std::printf("\n%s", soc::render_alert_report(system).c_str());
+  std::puts("\nEvery denial came from the thread overlay, not the base "
+            "policy: thread 0\nperformed the identical accesses without a "
+            "single alert.");
+
+  // Sanity for scripted expectations: 4 allowed, 4 denied.
+  return (cpu.stats().ok == 4 && cpu.stats().violations == 4) ? 0 : 1;
+}

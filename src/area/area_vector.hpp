@@ -1,0 +1,32 @@
+// FPGA resource vector: the four columns of the paper's Table I.
+#pragma once
+
+#include <cstdint>
+
+namespace secbus::area {
+
+struct AreaVector {
+  std::uint64_t slice_regs = 0;
+  std::uint64_t slice_luts = 0;
+  std::uint64_t lut_ff_pairs = 0;  // "fully used LUT-FF pairs" in XST reports
+  std::uint64_t brams = 0;
+
+  constexpr AreaVector& operator+=(const AreaVector& other) noexcept {
+    slice_regs += other.slice_regs;
+    slice_luts += other.slice_luts;
+    lut_ff_pairs += other.lut_ff_pairs;
+    brams += other.brams;
+    return *this;
+  }
+  [[nodiscard]] constexpr AreaVector operator+(const AreaVector& other) const noexcept {
+    AreaVector out = *this;
+    out += other;
+    return out;
+  }
+  [[nodiscard]] constexpr AreaVector operator*(std::uint64_t n) const noexcept {
+    return {slice_regs * n, slice_luts * n, lut_ff_pairs * n, brams * n};
+  }
+  [[nodiscard]] constexpr bool operator==(const AreaVector&) const noexcept = default;
+};
+
+}  // namespace secbus::area

@@ -1,0 +1,63 @@
+#include "area/cost_model.hpp"
+
+namespace secbus::area {
+
+namespace {
+
+AreaVector rule_scaling(std::size_t rules) {
+  AreaVector extra{};
+  if (rules > kCalibratedRules) {
+    extra += kPerExtraRule * (rules - kCalibratedRules);
+  }
+  if (rules > kConfigRulesIncluded) {
+    const std::size_t over = rules - kConfigRulesIncluded;
+    extra.brams += (over + kRulesPerConfigBram - 1) / kRulesPerConfigBram;
+  }
+  return extra;
+}
+
+}  // namespace
+
+AreaVector local_firewall_bare(std::size_t rules) {
+  return kLocalFirewall + rule_scaling(rules);
+}
+
+AreaVector security_builder(std::size_t rules) {
+  return kSecurityBuilder + rule_scaling(rules);
+}
+
+AreaVector local_firewall(std::size_t rules) {
+  return local_firewall_bare(rules) + kLfGlue;
+}
+
+AreaVector ciphering_firewall(std::size_t rules) {
+  return security_builder(rules) + kConfidentialityCore + kIntegrityCore +
+         kLcfGlue;
+}
+
+AreaVector base_system(const SocDescription& soc) {
+  AreaVector total = kBusFabric;
+  total += kMicroBlaze * soc.processors;
+  total += kDedicatedIp * soc.dedicated_ips;
+  if (soc.internal_bram) total += kBramController;
+  if (soc.external_ddr) total += kDdrController;
+  return total;
+}
+
+AreaVector security_additions(const SocDescription& soc) {
+  AreaVector total{};
+  for (std::size_t i = 0; i < soc.processors + soc.dedicated_ips; ++i) {
+    total += local_firewall(soc.rules_per_lf);
+  }
+  if (soc.internal_bram) total += local_firewall(soc.rules_bram_lf);
+  if (soc.external_ddr) total += ciphering_firewall(soc.rules_lcf);
+  return total;
+}
+
+AreaVector total_system(const SocDescription& soc) {
+  AreaVector total = base_system(soc);
+  if (soc.with_firewalls) total += security_additions(soc);
+  return total;
+}
+
+}  // namespace secbus::area

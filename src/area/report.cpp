@@ -1,0 +1,90 @@
+#include "area/report.hpp"
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace secbus::area {
+
+namespace {
+
+std::vector<std::string> area_row(const std::string& name, const AreaVector& v) {
+  using util::TextTable;
+  return {name, TextTable::fmt_thousands(v.slice_regs),
+          TextTable::fmt_thousands(v.slice_luts),
+          TextTable::fmt_thousands(v.lut_ff_pairs),
+          TextTable::fmt_thousands(v.brams)};
+}
+
+std::vector<std::string> percent_row(const std::string& name, const AreaVector& num,
+                                     const AreaVector& den) {
+  using util::TextTable;
+  auto pct = [](std::uint64_t n, std::uint64_t d) {
+    return TextTable::fmt_percent(util::percent_overhead(
+        static_cast<double>(n), static_cast<double>(d)));
+  };
+  return {name, pct(num.slice_regs, den.slice_regs),
+          pct(num.slice_luts, den.slice_luts),
+          pct(num.lut_ff_pairs, den.lut_ff_pairs), pct(num.brams, den.brams)};
+}
+
+}  // namespace
+
+std::string render_table1(const SocDescription& soc_in) {
+  SocDescription soc = soc_in;
+
+  soc.with_firewalls = false;
+  const AreaVector without = total_system(soc);
+  soc.with_firewalls = true;
+  const AreaVector with = total_system(soc);
+
+  util::TextTable table(
+      "Table I - Synthesis results of the multiprocessor system "
+      "(model vs. paper)");
+  table.set_header({"Component", "Slice Regs", "Slice LUTs", "LUT-FF pairs",
+                    "BRAMs"});
+
+  table.add_row(area_row("Generic w/o firewalls (model)", without));
+  table.add_row(area_row("Generic w/o firewalls (paper)",
+                         PaperTable1::kGenericWithout));
+  table.add_separator();
+  table.add_row(area_row("Generic w/ firewalls (model)", with));
+  table.add_row(area_row("Generic w/ firewalls (paper)",
+                         PaperTable1::kGenericWith));
+  table.add_row(percent_row("Overhead (model)", with, without));
+  table.add_row({"Overhead (paper, printed)",
+                 util::TextTable::fmt_percent(PaperTable1::kPrintedOverheadRegs),
+                 util::TextTable::fmt_percent(PaperTable1::kPrintedOverheadLuts),
+                 util::TextTable::fmt_percent(PaperTable1::kPrintedOverheadPairs),
+                 util::TextTable::fmt_percent(PaperTable1::kPrintedOverheadBrams)});
+  table.add_separator();
+  table.add_row(area_row("LCF: Security Builder", security_builder(soc.rules_lcf)));
+  table.add_row(area_row("LCF: Confidentiality Core", kConfidentialityCore));
+  table.add_row(area_row("LCF: Integrity Core", kIntegrityCore));
+  table.add_row(area_row("Local Firewall (bare)",
+                         local_firewall_bare(soc.rules_per_lf)));
+  return table.render();
+}
+
+std::string table1_csv(const SocDescription& soc_in) {
+  SocDescription soc = soc_in;
+  soc.with_firewalls = false;
+  const AreaVector without = total_system(soc);
+  soc.with_firewalls = true;
+  const AreaVector with = total_system(soc);
+
+  auto line = [](const std::string& name, const AreaVector& v) {
+    return name + "," + std::to_string(v.slice_regs) + "," +
+           std::to_string(v.slice_luts) + "," + std::to_string(v.lut_ff_pairs) +
+           "," + std::to_string(v.brams) + "\n";
+  };
+  std::string out = "component,slice_regs,slice_luts,lut_ff_pairs,brams\n";
+  out += line("generic_without_firewalls", without);
+  out += line("generic_with_firewalls", with);
+  out += line("lcf_security_builder", security_builder(soc.rules_lcf));
+  out += line("lcf_confidentiality_core", kConfidentialityCore);
+  out += line("lcf_integrity_core", kIntegrityCore);
+  out += line("local_firewall_bare", local_firewall_bare(soc.rules_per_lf));
+  return out;
+}
+
+}  // namespace secbus::area

@@ -1,0 +1,31 @@
+// Table-I report generator: renders the paper's synthesis-results table from
+// the cost model, side by side with the paper's printed values.
+#pragma once
+
+#include <string>
+
+#include "area/cost_model.hpp"
+
+namespace secbus::area {
+
+// The paper's printed Table I values, for side-by-side comparison.
+struct PaperTable1 {
+  static constexpr AreaVector kGenericWithout{12895, 11474, 15473, 53};
+  static constexpr AreaVector kGenericWith{15833, 19554, 21530, 63};
+  // Overhead percentages as printed in the paper (see EXPERIMENTS.md for the
+  // note on their inconsistency with the printed totals).
+  static constexpr double kPrintedOverheadRegs = 13.43;
+  static constexpr double kPrintedOverheadLuts = 34.40;
+  static constexpr double kPrintedOverheadPairs = 26.50;
+  static constexpr double kPrintedOverheadBrams = 18.87;
+};
+
+// Renders the full Table I reproduction (generic system without/with
+// firewalls, overhead row, and the SB/CC/IC/LF component rows) for the given
+// SoC description. Returns the formatted table text.
+[[nodiscard]] std::string render_table1(const SocDescription& soc);
+
+// Emits the same data as CSV rows (component,regs,luts,pairs,brams).
+[[nodiscard]] std::string table1_csv(const SocDescription& soc);
+
+}  // namespace secbus::area

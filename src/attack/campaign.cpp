@@ -1,0 +1,277 @@
+#include "attack/campaign.hpp"
+
+#include "attack/external_attacker.hpp"
+#include "attack/flood_master.hpp"
+#include "soc/presets.hpp"
+#include "soc/soc.hpp"
+#include "util/assert.hpp"
+
+namespace secbus::attack {
+
+const char* to_string(ExternalAttackKind kind) noexcept {
+  switch (kind) {
+    case ExternalAttackKind::kSpoof: return "spoof";
+    case ExternalAttackKind::kReplay: return "replay";
+    case ExternalAttackKind::kRelocation: return "relocation";
+    case ExternalAttackKind::kDosCorruption: return "dos_corruption";
+  }
+  return "?";
+}
+
+const char* to_string(HijackAttackKind kind) noexcept {
+  switch (kind) {
+    case HijackAttackKind::kForbiddenWrite: return "hijack_forbidden_write";
+    case HijackAttackKind::kOutOfSegmentRead: return "hijack_out_of_segment";
+    case HijackAttackKind::kBadFormat: return "hijack_bad_format";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::uint8_t> make_pattern(std::size_t len, std::uint8_t salt) {
+  std::vector<std::uint8_t> out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<std::uint8_t>(i * 7 + salt);
+  }
+  return out;
+}
+
+// First alert raised at or after `attack_cycle`.
+sim::Cycle detection_cycle_after(const core::SecurityEventLog& log,
+                                 sim::Cycle attack_cycle) {
+  for (const auto& alert : log.alerts()) {
+    if (alert.cycle >= attack_cycle) return alert.cycle;
+  }
+  return sim::kNeverCycle;
+}
+
+}  // namespace
+
+ScenarioResult run_external_scenario(ExternalAttackKind kind,
+                                     soc::ProtectionLevel level,
+                                     std::uint64_t seed) {
+  soc::SocConfig cfg = soc::tiny_test_config();
+  cfg.protection = level;
+  cfg.seed = seed;
+  cfg.transactions_per_cpu = 40;  // benign background noise
+
+  soc::Soc soc(cfg);
+  const auto& plan = soc.plan();
+  const std::uint64_t line_bytes = cfg.line_bytes;
+  const sim::Addr victim_line = plan.shared_code.base;
+  const sim::Addr donor_line = plan.shared_code.base + line_bytes;
+  SECBUS_ASSERT(plan.shared_code.size >= 2 * line_bytes,
+                "shared-code window too small for the scenario");
+
+  core::PolicyBuilder pb(0x500);
+  pb.allow(plan.shared_code.base, plan.shared_code.size,
+           core::RwAccess::kReadWrite, core::FormatMask::kAll, "victim-window");
+  auto& victim = soc.add_scripted_master("victim", pb.build());
+
+  const auto pattern_a = make_pattern(line_bytes, 1);
+  const auto pattern_b = make_pattern(line_bytes, 101);
+
+  // Victim timeline (delays are generous so each phase completes long before
+  // the attacker acts, independent of the protection level's latency):
+  //   write A to victim_line (and B to donor_line for relocation),
+  //   [replay only] overwrite victim_line with B (version bump),
+  //   attacker tampers around cycle 20k-25k,
+  //   read victim_line back at ~40k.
+  victim.enqueue_write(0, victim_line, pattern_a);
+  if (kind == ExternalAttackKind::kRelocation) {
+    victim.enqueue_write(100, donor_line, pattern_b);
+  }
+  std::vector<std::uint8_t> expected = pattern_a;
+  if (kind == ExternalAttackKind::kReplay) {
+    victim.enqueue_write(10'000, victim_line, pattern_b);
+    expected = pattern_b;
+  }
+  victim.enqueue_read(40'000, victim_line, bus::DataFormat::kWord,
+                      static_cast<std::uint16_t>(line_bytes / 4));
+
+  ExternalAttacker attacker(soc, seed);
+  switch (kind) {
+    case ExternalAttackKind::kSpoof:
+      attacker.schedule_spoof(20'000, victim_line, line_bytes);
+      break;
+    case ExternalAttackKind::kReplay:
+      attacker.schedule_replay(8'000, 25'000, victim_line, line_bytes);
+      break;
+    case ExternalAttackKind::kRelocation:
+      attacker.schedule_relocation(20'000, donor_line, victim_line, line_bytes);
+      break;
+    case ExternalAttackKind::kDosCorruption:
+      attacker.schedule_corruption(20'000, victim_line, line_bytes, 8);
+      break;
+  }
+
+  const auto run = soc.run(300'000);
+
+  ScenarioResult r;
+  r.scenario = std::string(to_string(kind)) + "/" + to_string(level);
+  r.attack_ran = !attacker.actions().empty();
+  r.attack_cycle = attacker.first_action_cycle();
+  r.detection_cycle = detection_cycle_after(soc.log(), r.attack_cycle);
+  r.detected = r.detection_cycle != sim::kNeverCycle;
+  if (r.detected) r.detection_latency = r.detection_cycle - r.attack_cycle;
+  r.total_alerts = soc.log().count();
+  r.workload_completed = run.completed;
+
+  const auto& responses = victim.stats().responses;
+  SECBUS_ASSERT(!responses.empty(), "victim script produced no responses");
+  const bus::BusTransaction& final_read = responses.back();
+  r.victim_read_aborted = final_read.status != bus::TransStatus::kOk;
+  r.victim_data_intact =
+      final_read.status == bus::TransStatus::kOk && final_read.data == expected;
+  r.contained = false;  // not applicable to external attacks
+  return r;
+}
+
+ScenarioResult run_hijack_scenario(HijackAttackKind kind, std::uint64_t seed) {
+  soc::SocConfig cfg = soc::tiny_test_config();
+  cfg.seed = seed;
+  cfg.transactions_per_cpu = 40;
+
+  soc::Soc soc(cfg);
+  const auto& plan = soc.plan();
+
+  // The hijacked IP keeps its *legitimate* policy (the attack is malicious
+  // code on a trusted IP, not a policy change).
+  auto& mal = soc.add_scripted_master("hijacked", soc.cpu_policy(0));
+
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    switch (kind) {
+      case HijackAttackKind::kForbiddenWrite:
+        // bram_boot is read-only for processors.
+        mal.enqueue_write(50, plan.bram_boot.base,
+                          make_pattern(4, static_cast<std::uint8_t>(attempt)));
+        break;
+      case HijackAttackKind::kOutOfSegmentRead:
+        // No policy segment covers this address at all.
+        mal.enqueue_read(50, 0xD000'0000ULL);
+        break;
+      case HijackAttackKind::kBadFormat:
+        // Reads of bram_boot are allowed, but only at 32-bit width.
+        mal.enqueue_read(50, plan.bram_boot.base, bus::DataFormat::kByte);
+        break;
+    }
+  }
+
+  const auto run = soc.run(200'000);
+
+  ScenarioResult r;
+  r.scenario = to_string(kind);
+  r.attack_ran = mal.stats().issued > 0;
+  r.attack_cycle = 0;
+  r.detection_cycle = detection_cycle_after(soc.log(), 0);
+  r.detected = r.detection_cycle != sim::kNeverCycle;
+  if (r.detected) r.detection_latency = r.detection_cycle;
+  r.total_alerts = soc.log().count();
+  r.workload_completed = run.completed;
+  r.victim_data_intact = true;
+  r.victim_read_aborted = false;
+
+  // Containment: the hijacked master's transactions never won a bus grant —
+  // they died inside its Local Firewall (Section III.C).
+  r.contained = true;
+  for (const auto& ms : soc.bus().master_stats()) {
+    if (ms.name == "hijacked" && ms.grants > 0) r.contained = false;
+  }
+  SECBUS_ASSERT(mal.stats().violations == mal.stats().issued || !r.detected,
+                "hijacked master should see violation responses");
+  return r;
+}
+
+FloodResult run_flood_scenario(bool in_policy, std::uint64_t seed) {
+  soc::SocConfig cfg = soc::tiny_test_config();
+  cfg.seed = seed;
+  cfg.transactions_per_cpu = 150;
+
+  FloodResult result;
+
+  {  // Baseline: same workload, no flooder.
+    soc::Soc baseline_soc(cfg);
+    const auto run = baseline_soc.run(2'000'000);
+    result.bus_occupancy_baseline = run.bus_occupancy;
+    result.victim_latency_baseline =
+        baseline_soc.processors().front()->stats().latency.mean();
+  }
+
+  soc::Soc soc(cfg);
+  const auto& plan = soc.plan();
+
+  FloodMaster::Config fc;
+  // In-policy: hammer the shared scratchpad (legal). Out-of-policy: hammer
+  // the read-only boot region (every burst dies in the flooder's LF).
+  fc.target = in_policy ? plan.bram_scratch.base + 8192 : plan.bram_boot.base;
+  fc.region = 4096;
+  fc.burst_beats = 8;
+  fc.total_writes = 400;
+  FloodMaster flood("flooder", 250, fc);
+
+  core::PolicyBuilder pb(0x600);
+  pb.allow(plan.bram_scratch.base, plan.bram_scratch.size,
+           core::RwAccess::kReadWrite, core::FormatMask::k32, "flood-window");
+  auto& ep = soc.attach_custom_master(flood, "flooder", pb.build(),
+                                      [&flood] { return flood.done(); });
+  flood.connect(ep);
+
+  const auto run = soc.run(2'000'000);
+  result.bus_occupancy_flooded = run.bus_occupancy;
+  result.victim_latency_flooded =
+      soc.processors().front()->stats().latency.mean();
+  result.flood_completed = flood.completed();
+  result.flood_blocked = flood.rejected();
+  result.workload_completed = run.completed;
+  return result;
+}
+
+FloodResult run_throttled_flood_scenario(sim::Cycle window,
+                                         std::uint32_t max_per_window,
+                                         std::uint64_t seed) {
+  soc::SocConfig cfg = soc::tiny_test_config();
+  cfg.seed = seed;
+  cfg.transactions_per_cpu = 150;
+
+  FloodResult result;
+  {  // Baseline: no flooder at all.
+    soc::Soc baseline_soc(cfg);
+    const auto run = baseline_soc.run(2'000'000);
+    result.bus_occupancy_baseline = run.bus_occupancy;
+    result.victim_latency_baseline =
+        baseline_soc.processors().front()->stats().latency.mean();
+  }
+
+  soc::Soc soc(cfg);
+  const auto& plan = soc.plan();
+
+  FloodMaster::Config fc;
+  fc.target = plan.bram_scratch.base + 8192;  // fully in-policy
+  fc.region = 4096;
+  fc.burst_beats = 8;
+  fc.total_writes = 400;
+  FloodMaster flood("flooder", 250, fc);
+
+  core::PolicyBuilder pb(0x600);
+  pb.allow(plan.bram_scratch.base, plan.bram_scratch.size,
+           core::RwAccess::kReadWrite, core::FormatMask::k32, "flood-window");
+  core::LocalFirewall::Config lf_cfg;
+  lf_cfg.rate_limit_window = window;
+  lf_cfg.rate_limit_max = max_per_window;
+  auto& ep = soc.attach_custom_master(flood, "flooder", pb.build(),
+                                      [&flood] { return flood.done(); },
+                                      &lf_cfg);
+  flood.connect(ep);
+
+  const auto run = soc.run(4'000'000);
+  result.bus_occupancy_flooded = run.bus_occupancy;
+  result.victim_latency_flooded =
+      soc.processors().front()->stats().latency.mean();
+  result.flood_completed = flood.completed();
+  result.flood_blocked = flood.rejected();
+  result.workload_completed = run.completed;
+  return result;
+}
+
+}  // namespace secbus::attack

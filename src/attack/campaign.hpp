@@ -1,0 +1,91 @@
+// Standardized attack scenarios with detection/containment metrics.
+//
+// Each scenario builds a small SoC, stages one attack from the paper's
+// threat model against a deterministic victim access pattern, runs to
+// quiescence and reports:
+//   * whether the attack was detected (alert at/after the attack action),
+//   * the detection latency in cycles (attack action -> first alert),
+//   * whether a hijacked IP was contained (its traffic never won the bus),
+//   * whether the victim observed corrupted data (undetected-attack damage),
+//   * whether the benign workload still completed (system survival).
+// Running the same scenario across ProtectionLevels reproduces the paper's
+// Section III.B analysis: full protection detects everything, cipher-only
+// hides content but admits DoS-by-corruption, plaintext admits everything.
+#pragma once
+
+#include <string>
+
+#include "sim/types.hpp"
+#include "soc/soc_config.hpp"
+
+namespace secbus::attack {
+
+enum class ExternalAttackKind : std::uint8_t {
+  kSpoof,
+  kReplay,
+  kRelocation,
+  kDosCorruption,
+};
+
+[[nodiscard]] const char* to_string(ExternalAttackKind kind) noexcept;
+
+enum class HijackAttackKind : std::uint8_t {
+  kForbiddenWrite,   // write into a read-only segment (RWA violation)
+  kOutOfSegmentRead, // access outside every policy segment
+  kBadFormat,        // beat width not allowed by the segment (ADF violation)
+};
+
+[[nodiscard]] const char* to_string(HijackAttackKind kind) noexcept;
+
+struct ScenarioResult {
+  std::string scenario;
+  bool attack_ran = false;
+  bool detected = false;
+  sim::Cycle attack_cycle = 0;
+  sim::Cycle detection_cycle = 0;    // kNeverCycle when undetected
+  sim::Cycle detection_latency = 0;  // meaningless when undetected
+  // Victim's final read: true when it saw exactly what it wrote.
+  bool victim_data_intact = false;
+  // Victim's final read completed with an error status (integrity abort).
+  bool victim_read_aborted = false;
+  // Hijack only: the malicious master never won a bus grant.
+  bool contained = false;
+  std::uint64_t total_alerts = 0;
+  bool workload_completed = false;
+};
+
+// External-memory attack against a protected line, under the given
+// protection level.
+[[nodiscard]] ScenarioResult run_external_scenario(ExternalAttackKind kind,
+                                                   soc::ProtectionLevel level,
+                                                   std::uint64_t seed);
+
+// Hijacked internal IP issuing an out-of-policy access; distributed
+// firewalls must contain it at its own interface.
+[[nodiscard]] ScenarioResult run_hijack_scenario(HijackAttackKind kind,
+                                                 std::uint64_t seed);
+
+struct FloodResult {
+  // Same workload with and without the flooder.
+  double victim_latency_baseline = 0.0;
+  double victim_latency_flooded = 0.0;
+  double bus_occupancy_baseline = 0.0;
+  double bus_occupancy_flooded = 0.0;
+  std::uint64_t flood_completed = 0;
+  std::uint64_t flood_blocked = 0;
+  bool workload_completed = false;
+};
+
+// Traffic-flood DoS. `in_policy` floods a region the flooder may write
+// (arbitration throttling only); otherwise it floods a forbidden region and
+// the firewall must absorb every burst.
+[[nodiscard]] FloodResult run_flood_scenario(bool in_policy, std::uint64_t seed);
+
+// In-policy flood against a rate-limited Local Firewall: the DoS throttle
+// caps the flooder to `max_per_window` forwards per `window` cycles, so
+// even rule-legal dummy traffic cannot overwhelm the bus.
+[[nodiscard]] FloodResult run_throttled_flood_scenario(sim::Cycle window,
+                                                       std::uint32_t max_per_window,
+                                                       std::uint64_t seed);
+
+}  // namespace secbus::attack

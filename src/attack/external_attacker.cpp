@@ -1,0 +1,82 @@
+#include "attack/external_attacker.hpp"
+
+#include "sim/trace.hpp"
+#include "util/assert.hpp"
+
+namespace secbus::attack {
+
+ExternalAttacker::ExternalAttacker(soc::Soc& target, std::uint64_t seed)
+    : soc_(&target), rng_(seed ^ 0xA77AC7ULL) {}
+
+void ExternalAttacker::note(sim::Cycle when, const char* kind, sim::Addr addr,
+                            std::uint64_t bytes) {
+  actions_.push_back(ActionRecord{when, kind, addr, bytes});
+  if (soc_->trace().enabled()) {
+    soc_->trace().record(
+        {when, sim::TraceKind::kAttackAction, kind, 0, addr, bytes});
+  }
+}
+
+void ExternalAttacker::schedule_spoof(sim::Cycle when, sim::Addr addr,
+                                      std::uint64_t len) {
+  // Capture the payload now so campaigns are reproducible regardless of what
+  // other consumers draw from this attacker's RNG later.
+  std::vector<std::uint8_t> payload(len);
+  rng_.fill(std::span<std::uint8_t>(payload.data(), payload.size()));
+  note(when, "spoof", addr, len);
+  soc_->kernel().schedule(when, [this, addr, payload = std::move(payload)] {
+    soc_->ddr().store().poke(
+        addr, std::span<const std::uint8_t>(payload.data(), payload.size()));
+  });
+}
+
+void ExternalAttacker::schedule_replay(sim::Cycle record_at, sim::Cycle replay_at,
+                                       sim::Addr addr, std::uint64_t len) {
+  SECBUS_ASSERT(record_at < replay_at, "replay must come after the recording");
+  recordings_.emplace_back();
+  const std::size_t slot = recordings_.size() - 1;
+  note(replay_at, "replay", addr, len);
+  soc_->kernel().schedule(record_at, [this, slot, addr, len] {
+    recordings_[slot].assign(len, 0);
+    soc_->ddr().store().peek(
+        addr, std::span<std::uint8_t>(recordings_[slot].data(), len));
+  });
+  soc_->kernel().schedule(replay_at, [this, slot, addr] {
+    const auto& stale = recordings_[slot];
+    soc_->ddr().store().poke(
+        addr, std::span<const std::uint8_t>(stale.data(), stale.size()));
+  });
+}
+
+void ExternalAttacker::schedule_relocation(sim::Cycle when, sim::Addr src,
+                                           sim::Addr dst, std::uint64_t len) {
+  note(when, "relocation", dst, len);
+  soc_->kernel().schedule(when, [this, src, dst, len] {
+    std::vector<std::uint8_t> buf(len);
+    soc_->ddr().store().peek(src, std::span<std::uint8_t>(buf.data(), len));
+    soc_->ddr().store().poke(dst,
+                             std::span<const std::uint8_t>(buf.data(), len));
+  });
+}
+
+void ExternalAttacker::schedule_corruption(sim::Cycle when, sim::Addr base,
+                                           std::uint64_t region_len,
+                                           unsigned flips) {
+  // Pre-draw the flip positions (same reproducibility note as spoof).
+  std::vector<std::pair<sim::Addr, std::uint8_t>> targets;
+  targets.reserve(flips);
+  for (unsigned i = 0; i < flips; ++i) {
+    const sim::Addr addr = base + rng_.below(region_len);
+    const auto mask = static_cast<std::uint8_t>(1u << rng_.below(8));
+    targets.emplace_back(addr, mask);
+  }
+  note(when, "dos_corruption", base, flips);
+  soc_->kernel().schedule(when, [this, targets = std::move(targets)] {
+    for (const auto& [addr, mask] : targets) {
+      const std::uint8_t byte = soc_->ddr().store().read_byte(addr);
+      soc_->ddr().store().write_byte(addr, byte ^ mask);
+    }
+  });
+}
+
+}  // namespace secbus::attack

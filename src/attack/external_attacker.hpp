@@ -1,0 +1,73 @@
+// External attacker: models physical access to the external memory / bus.
+//
+// Section III.B: "We consider the FPGA as secure so the only way for an
+// attacker to tamper with the system is through the external bus and the
+// external memory." Accordingly, the attacker's only capability is to peek
+// and poke the DDR backing store — outside the simulated bus, outside all
+// firewalls, with no timing footprint (a probe on the memory pins).
+//
+// Each classic attack from the threat model maps to one action:
+//   * spoofing    — write attacker-chosen bytes over a ciphertext block;
+//   * replay      — record a block's ciphertext now, write it back later
+//                   (after the victim has updated it);
+//   * relocation  — copy valid ciphertext from one address to another;
+//   * DoS         — scatter random bit flips over a region to force
+//                   integrity aborts (the paper's "randomly changing some
+//                   data" DoS on cipher-only memory).
+// Actions are scheduled on the SoC's kernel so they interleave with real
+// traffic deterministically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "soc/soc.hpp"
+#include "util/rng.hpp"
+
+namespace secbus::attack {
+
+class ExternalAttacker {
+ public:
+  struct ActionRecord {
+    sim::Cycle cycle = 0;
+    const char* kind = "";
+    sim::Addr addr = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  ExternalAttacker(soc::Soc& target, std::uint64_t seed);
+
+  // Overwrites [addr, addr+len) with attacker bytes at cycle `when`.
+  void schedule_spoof(sim::Cycle when, sim::Addr addr, std::uint64_t len);
+
+  // Records [addr, addr+len) at `record_at`, writes the stale copy back at
+  // `replay_at` (requires record_at < replay_at).
+  void schedule_replay(sim::Cycle record_at, sim::Cycle replay_at, sim::Addr addr,
+                       std::uint64_t len);
+
+  // Copies [src, src+len) over [dst, dst+len) at cycle `when`.
+  void schedule_relocation(sim::Cycle when, sim::Addr src, sim::Addr dst,
+                           std::uint64_t len);
+
+  // Flips `flips` random bits across [base, base+region_len) at `when`.
+  void schedule_corruption(sim::Cycle when, sim::Addr base,
+                           std::uint64_t region_len, unsigned flips);
+
+  [[nodiscard]] const std::vector<ActionRecord>& actions() const noexcept {
+    return actions_;
+  }
+  [[nodiscard]] sim::Cycle first_action_cycle() const noexcept {
+    return actions_.empty() ? sim::kNeverCycle : actions_.front().cycle;
+  }
+
+ private:
+  void note(sim::Cycle when, const char* kind, sim::Addr addr, std::uint64_t bytes);
+
+  soc::Soc* soc_;
+  util::Xoshiro256 rng_;
+  std::vector<ActionRecord> actions_;
+  std::vector<std::vector<std::uint8_t>> recordings_;
+};
+
+}  // namespace secbus::attack

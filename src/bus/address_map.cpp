@@ -1,0 +1,44 @@
+#include "bus/address_map.hpp"
+
+#include "util/assert.hpp"
+
+namespace secbus::bus {
+
+void AddressMap::add(Region region) {
+  SECBUS_ASSERT(region.size > 0, "region must be non-empty");
+  SECBUS_ASSERT(region.slave != sim::kInvalidSlave, "region needs a slave id");
+  for (const Region& existing : regions_) {
+    SECBUS_ASSERT(!existing.overlaps(region), "address map regions overlap");
+  }
+  regions_.push_back(std::move(region));
+}
+
+std::optional<sim::SlaveId> AddressMap::decode(sim::Addr addr) const noexcept {
+  const Region* r = region_at(addr);
+  if (r == nullptr) return std::nullopt;
+  return r->slave;
+}
+
+const Region* AddressMap::region_at(sim::Addr addr) const noexcept {
+  for (const Region& r : regions_) {
+    if (r.contains(addr)) return &r;
+  }
+  return nullptr;
+}
+
+const Region* AddressMap::region_for_range(sim::Addr addr,
+                                           std::uint64_t len) const noexcept {
+  for (const Region& r : regions_) {
+    if (r.contains_range(addr, len)) return &r;
+  }
+  return nullptr;
+}
+
+const Region* AddressMap::find(const std::string& name) const noexcept {
+  for (const Region& r : regions_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace secbus::bus

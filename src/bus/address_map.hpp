@@ -1,0 +1,63 @@
+// System address map: contiguous regions, each owned by one bus slave.
+//
+// The paper's security policies are defined over the IP address map
+// (Section VI: "policies are defined using the address spaces"), so regions
+// carry names that the policy layer and the reports reuse.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace secbus::bus {
+
+struct Region {
+  sim::Addr base = 0;
+  std::uint64_t size = 0;
+  sim::SlaveId slave = sim::kInvalidSlave;
+  std::string name;
+
+  [[nodiscard]] sim::Addr end() const noexcept { return base + size; }
+  [[nodiscard]] bool contains(sim::Addr addr) const noexcept {
+    return addr >= base && addr < end();
+  }
+  // True when [addr, addr+len) lies fully inside this region.
+  [[nodiscard]] bool contains_range(sim::Addr addr, std::uint64_t len) const noexcept {
+    return addr >= base && len <= size && addr - base <= size - len;
+  }
+  [[nodiscard]] bool overlaps(const Region& other) const noexcept {
+    return base < other.end() && other.base < end();
+  }
+};
+
+class AddressMap {
+ public:
+  // Adds a region; aborts on overlap with an existing region (a mis-wired
+  // SoC is a construction bug, not a runtime condition).
+  void add(Region region);
+
+  // Slave owning `addr`, or nullopt when the address is unmapped.
+  [[nodiscard]] std::optional<sim::SlaveId> decode(sim::Addr addr) const noexcept;
+
+  // Region covering `addr`, or nullptr.
+  [[nodiscard]] const Region* region_at(sim::Addr addr) const noexcept;
+
+  // Region covering the whole range [addr, addr+len), or nullptr if the
+  // range is unmapped or straddles two regions (bursts may not cross region
+  // boundaries on this bus).
+  [[nodiscard]] const Region* region_for_range(sim::Addr addr,
+                                               std::uint64_t len) const noexcept;
+
+  [[nodiscard]] const Region* find(const std::string& name) const noexcept;
+
+  [[nodiscard]] const std::vector<Region>& regions() const noexcept {
+    return regions_;
+  }
+
+ private:
+  std::vector<Region> regions_;
+};
+
+}  // namespace secbus::bus

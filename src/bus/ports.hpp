@@ -1,0 +1,73 @@
+// Master/slave connection points for the system bus.
+//
+// A MasterEndpoint is a pair of FIFO channels (requests toward the bus,
+// responses back). IPs never talk to the bus object directly: they push into
+// an endpoint, and in a secured SoC a Local Firewall sits between the IP's
+// endpoint and the bus-facing endpoint (Figure 1's LF position). Slave-side,
+// devices implement SlaveDevice; the slave's firewall wraps the device as a
+// decorator.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string_view>
+
+#include "bus/transaction.hpp"
+#include "sim/types.hpp"
+
+namespace secbus::bus {
+
+// One-way FIFO of transactions. Single producer, single consumer, both
+// clocked components; contents pushed in cycle N are visible to the consumer
+// from its tick in cycle N (ordering inside a cycle follows kernel tick
+// order, which the SoC wiring keeps producer-before-consumer).
+class TransactionChannel {
+ public:
+  void push(BusTransaction t) { q_.push_back(std::move(t)); }
+
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+
+  [[nodiscard]] BusTransaction& front() { return q_.front(); }
+  [[nodiscard]] const BusTransaction& front() const { return q_.front(); }
+
+  std::optional<BusTransaction> pop() {
+    if (q_.empty()) return std::nullopt;
+    BusTransaction t = std::move(q_.front());
+    q_.pop_front();
+    return t;
+  }
+
+  void clear() { q_.clear(); }
+
+ private:
+  std::deque<BusTransaction> q_;
+};
+
+// Connection point for one bus master.
+struct MasterEndpoint {
+  TransactionChannel request;   // master -> bus
+  TransactionChannel response;  // bus -> master
+
+  void clear() {
+    request.clear();
+    response.clear();
+  }
+};
+
+// Result of a slave servicing a transaction's data phase.
+struct AccessResult {
+  sim::Cycle latency = 1;  // cycles from data-phase end to response ready
+  TransStatus status = TransStatus::kOk;
+};
+
+// A bus slave: performs the data movement for a transaction and reports how
+// long the access takes. Implementations must fill `t.data` on reads.
+class SlaveDevice {
+ public:
+  virtual ~SlaveDevice() = default;
+  virtual AccessResult access(BusTransaction& t, sim::Cycle now) = 0;
+  [[nodiscard]] virtual std::string_view slave_name() const = 0;
+};
+
+}  // namespace secbus::bus

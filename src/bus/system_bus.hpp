@@ -1,0 +1,114 @@
+// Shared system bus (PLB-style, single outstanding transaction).
+//
+// Timing model per transaction:
+//   grant -> 1 address cycle -> slave access latency -> burst_len data beats
+// The bus is held for the whole transaction (no split transactions), which is
+// what makes external-memory traffic with cryptographic latencies expensive —
+// the effect the paper's Section V discusses when it recommends promoting
+// internal communication.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/address_map.hpp"
+#include "bus/arbiter.hpp"
+#include "bus/ports.hpp"
+#include "bus/transaction.hpp"
+#include "sim/component.hpp"
+#include "sim/trace.hpp"
+#include "util/stats.hpp"
+
+namespace secbus::bus {
+
+// Builds a transaction id unique per (master, per-master sequence number).
+[[nodiscard]] constexpr sim::TransactionId make_trans_id(sim::MasterId master,
+                                                         std::uint64_t seq) noexcept {
+  return (static_cast<sim::TransactionId>(master) << 48) | (seq & 0xFFFFFFFFFFFFULL);
+}
+
+class SystemBus final : public sim::Component {
+ public:
+  struct MasterStats {
+    std::string name;
+    std::uint64_t grants = 0;
+    std::uint64_t errors = 0;
+    util::RunningStat wait_cycles;     // issue -> grant
+    util::RunningStat service_cycles;  // grant -> completion
+    util::RunningStat total_cycles;    // issue -> completion
+  };
+
+  struct BusStats {
+    std::uint64_t busy_cycles = 0;
+    std::uint64_t idle_cycles = 0;
+    std::uint64_t transactions = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t bytes_transferred = 0;
+
+    [[nodiscard]] double occupancy() const noexcept {
+      const double total = static_cast<double>(busy_cycles + idle_cycles);
+      return total > 0.0 ? static_cast<double>(busy_cycles) / total : 0.0;
+    }
+  };
+
+  explicit SystemBus(std::string name,
+                     std::unique_ptr<Arbiter> arbiter = nullptr);
+
+  // --- wiring (construction time only) --------------------------------
+  // Registers a master; returns its endpoint. The returned reference stays
+  // valid for the bus's lifetime.
+  MasterEndpoint& attach_master(sim::MasterId id, std::string master_name);
+
+  // Registers a slave device; returns the slave id to use in map_region.
+  sim::SlaveId add_slave(SlaveDevice& dev);
+
+  // Maps [base, base+size) to a registered slave.
+  void map_region(sim::Addr base, std::uint64_t size, sim::SlaveId slave,
+                  std::string region_name);
+
+  [[nodiscard]] const AddressMap& address_map() const noexcept { return map_; }
+
+  // Event trace shared with firewalls (optional; capacity 0 = off).
+  void set_trace(sim::EventTrace* trace) noexcept { trace_ = trace; }
+
+  // --- simulation ------------------------------------------------------
+  void tick(sim::Cycle now) override;
+  void reset() override;
+
+  // --- results ----------------------------------------------------------
+  [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<MasterStats>& master_stats() const noexcept {
+    return master_stats_;
+  }
+  [[nodiscard]] std::size_t master_count() const noexcept {
+    return endpoints_.size();
+  }
+  [[nodiscard]] bool idle() const noexcept {
+    return state_ == State::kIdle && no_requests_waiting();
+  }
+
+ private:
+  enum class State { kIdle, kAddress, kDataAndSlave };
+
+  [[nodiscard]] bool no_requests_waiting() const noexcept;
+  void start_transaction(sim::Cycle now, std::size_t master_index);
+  void finish_transaction(sim::Cycle now);
+
+  std::unique_ptr<Arbiter> arbiter_;
+  AddressMap map_;
+  std::vector<std::unique_ptr<MasterEndpoint>> endpoints_;
+  std::vector<sim::MasterId> master_ids_;
+  std::vector<SlaveDevice*> slaves_;
+  std::vector<MasterStats> master_stats_;
+  sim::EventTrace* trace_ = nullptr;
+
+  State state_ = State::kIdle;
+  BusTransaction current_;
+  std::size_t current_master_ = 0;
+  sim::Cycle phase_remaining_ = 0;
+  AccessResult pending_result_;
+  BusStats stats_;
+};
+
+}  // namespace secbus::bus

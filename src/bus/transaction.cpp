@@ -1,0 +1,76 @@
+#include "bus/transaction.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace secbus::bus {
+
+const char* to_string(BusOp op) noexcept {
+  switch (op) {
+    case BusOp::kRead: return "read";
+    case BusOp::kWrite: return "write";
+  }
+  return "?";
+}
+
+const char* to_string(DataFormat fmt) noexcept {
+  switch (fmt) {
+    case DataFormat::kByte: return "8-bit";
+    case DataFormat::kHalfWord: return "16-bit";
+    case DataFormat::kWord: return "32-bit";
+  }
+  return "?";
+}
+
+const char* to_string(TransStatus status) noexcept {
+  switch (status) {
+    case TransStatus::kPending: return "pending";
+    case TransStatus::kOk: return "ok";
+    case TransStatus::kDecodeError: return "decode_error";
+    case TransStatus::kSlaveError: return "slave_error";
+    case TransStatus::kSecurityViolation: return "security_violation";
+    case TransStatus::kIntegrityError: return "integrity_error";
+  }
+  return "?";
+}
+
+std::string BusTransaction::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "trans#%llu m%u %s addr=0x%08llx fmt=%s burst=%u status=%s",
+                static_cast<unsigned long long>(id), master, to_string(op),
+                static_cast<unsigned long long>(addr), to_string(format),
+                burst_len, to_string(status));
+  return buf;
+}
+
+BusTransaction make_read(sim::MasterId master, sim::Addr addr, DataFormat fmt,
+                         std::uint16_t burst_len) {
+  SECBUS_ASSERT(burst_len >= 1, "burst must have at least one beat");
+  BusTransaction t;
+  t.master = master;
+  t.op = BusOp::kRead;
+  t.addr = addr;
+  t.format = fmt;
+  t.burst_len = burst_len;
+  t.data.assign(t.payload_bytes(), 0);
+  return t;
+}
+
+BusTransaction make_write(sim::MasterId master, sim::Addr addr,
+                          std::vector<std::uint8_t> payload, DataFormat fmt) {
+  SECBUS_ASSERT(!payload.empty(), "write payload must be non-empty");
+  SECBUS_ASSERT(payload.size() % beat_bytes(fmt) == 0,
+                "payload must be whole beats");
+  BusTransaction t;
+  t.master = master;
+  t.op = BusOp::kWrite;
+  t.addr = addr;
+  t.format = fmt;
+  t.burst_len = static_cast<std::uint16_t>(payload.size() / beat_bytes(fmt));
+  t.data = std::move(payload);
+  return t;
+}
+
+}  // namespace secbus::bus

@@ -1,0 +1,96 @@
+// Bus transaction model.
+//
+// The case-study interconnect is a PLB-style shared bus (the paper targets a
+// bus-based MPSoC with "a limited number of IPs", Section II). A transaction
+// is a single- or burst-beat read/write with an explicit beat width — the
+// beat width is what the firewall's Allowed Data Format (ADF) rule checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace secbus::bus {
+
+enum class BusOp : std::uint8_t { kRead, kWrite };
+
+[[nodiscard]] const char* to_string(BusOp op) noexcept;
+
+// Width of one data beat on the bus. Matches the paper's ADF choices
+// ("8 up to 32 bits").
+enum class DataFormat : std::uint8_t {
+  kByte = 1,      // 8-bit
+  kHalfWord = 2,  // 16-bit
+  kWord = 4,      // 32-bit
+};
+
+[[nodiscard]] const char* to_string(DataFormat fmt) noexcept;
+[[nodiscard]] constexpr std::size_t beat_bytes(DataFormat fmt) noexcept {
+  return static_cast<std::size_t>(fmt);
+}
+
+enum class TransStatus : std::uint8_t {
+  kPending,            // still in flight
+  kOk,                 // completed successfully
+  kDecodeError,        // no slave mapped at the address
+  kSlaveError,         // slave rejected (out of range, etc.)
+  kSecurityViolation,  // discarded by a firewall (LF or LCF rule check)
+  kIntegrityError,     // LCF integrity core detected tampering
+};
+
+[[nodiscard]] const char* to_string(TransStatus status) noexcept;
+
+// Identifies the software thread a transaction executes on behalf of.
+// Thread 0 is the default context; the thread-specific security extension
+// (the paper's Section-VI perspective) lets policies attach per-thread rule
+// overlays keyed by this id.
+using ThreadId = std::uint8_t;
+
+struct BusTransaction {
+  sim::TransactionId id = 0;
+  sim::MasterId master = sim::kInvalidMaster;
+  ThreadId thread = 0;
+  BusOp op = BusOp::kRead;
+  sim::Addr addr = 0;
+  DataFormat format = DataFormat::kWord;
+  std::uint16_t burst_len = 1;  // number of beats
+  // Write payload on the way in; read data on the way back. Size is
+  // burst_len * beat_bytes(format) for valid transactions.
+  std::vector<std::uint8_t> data;
+  TransStatus status = TransStatus::kPending;
+
+  // Lifecycle timestamps for latency accounting.
+  sim::Cycle issued_at = 0;     // master handed it to its interface
+  sim::Cycle granted_at = 0;    // bus arbitration granted
+  sim::Cycle completed_at = 0;  // response delivered to master
+
+  [[nodiscard]] std::size_t payload_bytes() const noexcept {
+    return static_cast<std::size_t>(burst_len) * beat_bytes(format);
+  }
+  [[nodiscard]] std::uint64_t payload_bits() const noexcept {
+    return static_cast<std::uint64_t>(payload_bytes()) * 8;
+  }
+  // Address one past the last byte touched.
+  [[nodiscard]] sim::Addr end_addr() const noexcept {
+    return addr + payload_bytes();
+  }
+  [[nodiscard]] bool is_write() const noexcept { return op == BusOp::kWrite; }
+  [[nodiscard]] bool failed() const noexcept {
+    return status != TransStatus::kOk && status != TransStatus::kPending;
+  }
+
+  // One-line human-readable rendering for traces and examples.
+  [[nodiscard]] std::string describe() const;
+};
+
+// Convenience constructors used throughout tests and IP models.
+[[nodiscard]] BusTransaction make_read(sim::MasterId master, sim::Addr addr,
+                                       DataFormat fmt = DataFormat::kWord,
+                                       std::uint16_t burst_len = 1);
+[[nodiscard]] BusTransaction make_write(sim::MasterId master, sim::Addr addr,
+                                        std::vector<std::uint8_t> payload,
+                                        DataFormat fmt = DataFormat::kWord);
+
+}  // namespace secbus::bus

@@ -1,0 +1,46 @@
+#include "core/alert.hpp"
+
+#include <cstdio>
+
+namespace secbus::core {
+
+std::string Alert::describe() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "cycle=%llu firewall=%s(%u) violation=%s master=m%u %s "
+                "addr=0x%08llx trans=%llu",
+                static_cast<unsigned long long>(cycle), firewall_name.c_str(),
+                firewall, to_string(violation), master, bus::to_string(op),
+                static_cast<unsigned long long>(addr),
+                static_cast<unsigned long long>(trans));
+  return buf;
+}
+
+void SecurityEventLog::raise(Alert alert) {
+  alerts_.push_back(alert);
+  for (const Listener& listener : listeners_) listener(alerts_.back());
+}
+
+std::size_t SecurityEventLog::count_for(FirewallId firewall) const noexcept {
+  std::size_t n = 0;
+  for (const Alert& a : alerts_) {
+    if (a.firewall == firewall) ++n;
+  }
+  return n;
+}
+
+std::size_t SecurityEventLog::count_of(Violation v) const noexcept {
+  std::size_t n = 0;
+  for (const Alert& a : alerts_) {
+    if (a.violation == v) ++n;
+  }
+  return n;
+}
+
+sim::Cycle SecurityEventLog::first_alert_cycle() const noexcept {
+  return alerts_.empty() ? sim::kNeverCycle : alerts_.front().cycle;
+}
+
+void SecurityEventLog::clear() { alerts_.clear(); }
+
+}  // namespace secbus::core

@@ -1,0 +1,59 @@
+// Alert signals and the security event log.
+//
+// Figure 1 wires `alert_signals` out of every firewall. In hardware these
+// pulse toward whatever supervision exists; in the simulator every firewall
+// reports into a SecurityEventLog owned by the SoC, and listeners (e.g. the
+// policy reconfiguration responder) subscribe to react — the distributed
+// counterpart of SECA's central Security Enforcement Module.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bus/transaction.hpp"
+#include "core/security_policy.hpp"
+#include "sim/types.hpp"
+
+namespace secbus::core {
+
+struct Alert {
+  sim::Cycle cycle = 0;
+  FirewallId firewall = 0;
+  std::string firewall_name;
+  Violation violation = Violation::kNone;
+  sim::MasterId master = sim::kInvalidMaster;
+  bus::BusOp op = bus::BusOp::kRead;
+  sim::Addr addr = 0;
+  sim::TransactionId trans = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class SecurityEventLog {
+ public:
+  using Listener = std::function<void(const Alert&)>;
+
+  void raise(Alert alert);
+
+  // Registers a listener invoked synchronously on every future alert.
+  void subscribe(Listener listener) { listeners_.push_back(std::move(listener)); }
+
+  [[nodiscard]] const std::vector<Alert>& alerts() const noexcept { return alerts_; }
+  [[nodiscard]] std::size_t count() const noexcept { return alerts_.size(); }
+  [[nodiscard]] std::size_t count_for(FirewallId firewall) const noexcept;
+  [[nodiscard]] std::size_t count_of(Violation v) const noexcept;
+
+  // Cycle of the first recorded alert, or sim::kNeverCycle when none; the
+  // attack benches use this for detection latency.
+  [[nodiscard]] sim::Cycle first_alert_cycle() const noexcept;
+
+  void clear();
+
+ private:
+  std::vector<Alert> alerts_;
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace secbus::core

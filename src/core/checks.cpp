@@ -1,0 +1,29 @@
+#include "core/checks.hpp"
+
+namespace secbus::core {
+
+std::optional<std::size_t> AddressSegmentChecker::check(
+    std::span<const SegmentRule> rules, sim::Addr addr, std::uint64_t len) noexcept {
+  ++stats_.evaluations;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].covers(addr, len)) return i;
+  }
+  ++stats_.violations;
+  return std::nullopt;
+}
+
+bool RwaChecker::check(const SegmentRule& rule, bus::BusOp op) noexcept {
+  ++stats_.evaluations;
+  const bool ok = allows(rule.rwa, op);
+  if (!ok) ++stats_.violations;
+  return ok;
+}
+
+bool AdfChecker::check(const SegmentRule& rule, bus::DataFormat fmt) noexcept {
+  ++stats_.evaluations;
+  const bool ok = allows(rule.adf, fmt);
+  if (!ok) ++stats_.violations;
+  return ok;
+}
+
+}  // namespace secbus::core

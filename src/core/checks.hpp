@@ -1,0 +1,61 @@
+// Checking modules embedded in the Security Builder (Section IV.B.1: "SP
+// parameters (security rules) are sent to specific checking modules that are
+// embedded in the SB resource").
+//
+// Three hardware checkers mirror the three rule families:
+//   * AddressSegmentChecker — does the access fall inside an allowed segment?
+//   * RwaChecker            — is the operation direction permitted there?
+//   * AdfChecker            — is the beat width permitted there?
+// Each keeps its own evaluation/violation counters so the Figure-1 bench can
+// report per-module activity, like probes on the check_results wires.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/security_policy.hpp"
+
+namespace secbus::core {
+
+struct CheckerStats {
+  std::uint64_t evaluations = 0;
+  std::uint64_t violations = 0;
+};
+
+class AddressSegmentChecker {
+ public:
+  // Returns the index of the segment covering [addr, addr+len) within the
+  // given rule set (the SB selects base rules or a thread overlay), or
+  // nullopt.
+  [[nodiscard]] std::optional<std::size_t> check(std::span<const SegmentRule> rules,
+                                                 sim::Addr addr,
+                                                 std::uint64_t len) noexcept;
+  [[nodiscard]] const CheckerStats& stats() const noexcept { return stats_; }
+  void reset() noexcept { stats_ = {}; }
+
+ private:
+  CheckerStats stats_;
+};
+
+class RwaChecker {
+ public:
+  [[nodiscard]] bool check(const SegmentRule& rule, bus::BusOp op) noexcept;
+  [[nodiscard]] const CheckerStats& stats() const noexcept { return stats_; }
+  void reset() noexcept { stats_ = {}; }
+
+ private:
+  CheckerStats stats_;
+};
+
+class AdfChecker {
+ public:
+  [[nodiscard]] bool check(const SegmentRule& rule, bus::DataFormat fmt) noexcept;
+  [[nodiscard]] const CheckerStats& stats() const noexcept { return stats_; }
+  void reset() noexcept { stats_ = {}; }
+
+ private:
+  CheckerStats stats_;
+};
+
+}  // namespace secbus::core

@@ -1,0 +1,141 @@
+// Local Ciphering Firewall (LCF) — Section IV.B.2 and Figure 1.
+//
+// "Local Ciphering Firewall monitors the exchanges between internal IPs and
+// the external memory. The main feature of LCF is the protection of the
+// external memory in terms of confidentiality and integrity."
+//
+// The LCF is a slave-side firewall in front of the external DDR that adds:
+//   * the Confidentiality Core (AES-128, tweaked CTR),
+//   * the Integrity Core (hash tree + per-line time-stamp tags),
+//   * read-modify-write assembly of partial-line writes.
+//
+// Protection level comes from the LCF's Security Policy (CM / IM / CK
+// parameters, Section IV.A). Three configurations matter for the threat
+// model (Section III.B):
+//   CM=bypass, IM=bypass   unprotected region — attacker tampering succeeds
+//                          (the paper's "non sensitive part");
+//   CM=cipher, IM=bypass   cipher-only — contents are secret but random
+//                          tampering is NOT detected (the paper's DoS case);
+//   CM=cipher, IM=hash     full protection — spoofing, relocation and
+//                          replay are all detected on the next read.
+//
+// Timing: every protected access pays the SB rule check plus raw DDR line
+// transfers plus CC/IC costs; the bus is held throughout, which is what
+// makes external traffic expensive relative to BRAM traffic (Section V).
+#pragma once
+
+#include <string>
+
+#include "bus/ports.hpp"
+#include "core/alert.hpp"
+#include "core/confidentiality_core.hpp"
+#include "core/integrity_core.hpp"
+#include "core/local_firewall.hpp"
+#include "core/security_builder.hpp"
+#include "mem/ddr.hpp"
+
+namespace secbus::core {
+
+class LocalCipheringFirewall final : public bus::SlaveDevice {
+ public:
+  struct Config {
+    SecurityBuilder::Config sb;
+    sim::Addr protected_base = 0;
+    std::uint64_t protected_size = 0;  // line_bytes * power-of-two
+    std::uint64_t line_bytes = 32;
+    sim::Cycle cc_latency = 11;    // Table II
+    double cc_bits_per_cycle = 4.5;
+    sim::Cycle ic_latency = 20;    // Table II
+    double ic_bits_per_cycle = 1.31;
+  };
+
+  struct Stats {
+    std::uint64_t passthrough = 0;     // accesses outside the protected range
+    std::uint64_t protected_reads = 0;
+    std::uint64_t protected_writes = 0;
+    std::uint64_t lines_encrypted = 0;
+    std::uint64_t lines_decrypted = 0;
+    std::uint64_t read_modify_writes = 0;
+    std::uint64_t integrity_failures = 0;
+    std::uint64_t key_rotations = 0;
+  };
+
+  LocalCipheringFirewall(std::string name, FirewallId id,
+                         ConfigurationMemory& config_mem, SecurityEventLog& log,
+                         mem::DdrMemory& inner, Config cfg);
+
+  bus::AccessResult access(bus::BusTransaction& t, sim::Cycle now) override;
+  [[nodiscard]] std::string_view slave_name() const override { return name_; }
+
+  void set_trace(sim::EventTrace* trace) noexcept { trace_ = trace; }
+
+  // Writes encrypted zero lines over the whole protected region (and
+  // rebuilds the tree), so subsequent plaintext reads return zeros. Init-
+  // time operation; charges no simulated cycles.
+  void format_protected_region();
+
+  // Key rotation (reconfiguration of security services, Section VI):
+  // decrypts the protected region under the old key, re-encrypts under
+  // `new_key`, resets versions and rebuilds the tree. Returns the cycle cost
+  // a hardware LCF would spend doing it, so callers can charge downtime.
+  sim::Cycle rotate_key(const crypto::Aes128Key& new_key);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FirewallStats& firewall_stats() const noexcept {
+    return fw_stats_;
+  }
+  [[nodiscard]] const ConfidentialityCore& cc() const noexcept { return cc_; }
+  [[nodiscard]] const IntegrityCore& ic() const noexcept { return ic_; }
+  [[nodiscard]] const SecurityBuilder& builder() const noexcept { return sb_; }
+  [[nodiscard]] FirewallId id() const noexcept { return id_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  // Effective modes (from the installed policy, refreshed on reconfig).
+  [[nodiscard]] ConfidentialityMode cm() const noexcept { return cm_; }
+  [[nodiscard]] IntegrityMode im() const noexcept { return im_; }
+
+  // Test hook: the integrity core (e.g. to force versions near wrap).
+  IntegrityCore& ic_mut() noexcept { return ic_; }
+
+ private:
+  [[nodiscard]] bool in_protected_range(sim::Addr addr, std::uint64_t len) const noexcept;
+  void refresh_policy_cache();
+  void raise_alert(sim::Cycle now, Violation v, const bus::BusTransaction& t);
+
+  // Raw line transfer to/from the inner DDR; returns the DDR latency.
+  sim::Cycle raw_line_read(sim::Addr line_addr, std::span<std::uint8_t> out,
+                           sim::Cycle now, sim::MasterId master);
+  sim::Cycle raw_line_write(sim::Addr line_addr, std::span<const std::uint8_t> in,
+                            sim::Cycle now, sim::MasterId master);
+
+  struct LineOp {
+    sim::Cycle cycles = 0;
+    bool ok = true;
+  };
+  LineOp read_protected_line(sim::Addr line_addr, std::span<std::uint8_t> plain,
+                             sim::Cycle now, sim::MasterId master);
+  LineOp write_protected_line(sim::Addr line_addr,
+                              std::span<const std::uint8_t> plain, sim::Cycle now,
+                              sim::MasterId master);
+
+  std::string name_;
+  FirewallId id_;
+  Config cfg_;
+  ConfigurationMemory* config_mem_;
+  SecurityBuilder sb_;
+  FirewallInterface fi_;
+  SecurityEventLog* log_;
+  mem::DdrMemory* inner_;
+  sim::EventTrace* trace_ = nullptr;
+
+  ConfidentialityCore cc_;
+  IntegrityCore ic_;
+  ConfidentialityMode cm_ = ConfidentialityMode::kBypass;
+  IntegrityMode im_ = IntegrityMode::kBypass;
+  std::uint64_t policy_generation_ = 0;
+
+  Stats stats_;
+  FirewallStats fw_stats_;
+};
+
+}  // namespace secbus::core

@@ -1,0 +1,29 @@
+#include "core/config_memory.hpp"
+
+#include "util/assert.hpp"
+
+namespace secbus::core {
+
+void ConfigurationMemory::install(FirewallId firewall, SecurityPolicy policy) {
+  policies_[firewall] = std::move(policy);
+  ++generation_;
+}
+
+bool ConfigurationMemory::has_policy(FirewallId firewall) const noexcept {
+  return policies_.find(firewall) != policies_.end();
+}
+
+const SecurityPolicy& ConfigurationMemory::policy(FirewallId firewall) const {
+  const auto it = policies_.find(firewall);
+  SECBUS_ASSERT(it != policies_.end(),
+                "no security policy installed for this firewall");
+  return it->second;
+}
+
+std::size_t ConfigurationMemory::total_rules() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [id, policy] : policies_) n += policy.rule_count();
+  return n;
+}
+
+}  // namespace secbus::core

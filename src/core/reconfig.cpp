@@ -1,0 +1,53 @@
+#include "core/reconfig.hpp"
+
+#include <algorithm>
+
+namespace secbus::core {
+
+PolicyReconfigurator::PolicyReconfigurator(ConfigurationMemory& config_mem,
+                                           SecurityEventLog& log)
+    : PolicyReconfigurator(config_mem, log, Config{}) {}
+
+PolicyReconfigurator::PolicyReconfigurator(ConfigurationMemory& config_mem,
+                                           SecurityEventLog& log, Config cfg)
+    : config_mem_(&config_mem), cfg_(cfg) {
+  log.subscribe([this](const Alert& alert) { on_alert(alert); });
+}
+
+bool PolicyReconfigurator::is_locked_down(FirewallId firewall) const noexcept {
+  return saved_policies_.find(firewall) != saved_policies_.end();
+}
+
+void PolicyReconfigurator::on_alert(const Alert& alert) {
+  if (!cfg_.enabled) return;
+  if (std::find(exempt_.begin(), exempt_.end(), alert.firewall) != exempt_.end()) {
+    return;
+  }
+  if (is_locked_down(alert.firewall)) return;
+
+  auto& history = recent_alerts_[alert.firewall];
+  history.push_back(alert.cycle);
+  const sim::Cycle window_start =
+      alert.cycle >= cfg_.window_cycles ? alert.cycle - cfg_.window_cycles : 0;
+  while (!history.empty() && history.front() < window_start) history.pop_front();
+
+  if (history.size() < cfg_.threshold) return;
+
+  // Threshold reached: save the current policy and install a lockdown.
+  saved_policies_[alert.firewall] = config_mem_->policy(alert.firewall);
+  SecurityPolicy lockdown =
+      make_lockdown_policy(config_mem_->policy(alert.firewall).spi | 0x80000000u);
+  config_mem_->install(alert.firewall, std::move(lockdown));
+  lockdowns_.push_back(LockdownEvent{alert.cycle, alert.firewall, history.size()});
+  history.clear();
+}
+
+void PolicyReconfigurator::release(FirewallId firewall) {
+  const auto it = saved_policies_.find(firewall);
+  if (it == saved_policies_.end()) return;
+  config_mem_->install(firewall, it->second);
+  saved_policies_.erase(it);
+  recent_alerts_.erase(firewall);
+}
+
+}  // namespace secbus::core

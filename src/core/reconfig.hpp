@@ -1,0 +1,65 @@
+// Runtime reconfiguration of security services — the paper's Section VI
+// perspective ("We also plan to integrate reconfiguration of security
+// services (i.e. modification of security policies) to counter some attacks
+// against the system"), implemented here as an alert-driven responder.
+//
+// The responder subscribes to the SecurityEventLog. When one firewall raises
+// `threshold` alerts within `window_cycles`, the responder swaps that
+// firewall's policy in the Configuration Memory for a lockdown policy,
+// isolating the (presumably hijacked) IP from the interconnect — precisely
+// the containment goal of Section III.C. Policies update atomically between
+// checks; in-flight checks complete under the old policy.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/alert.hpp"
+#include "core/config_memory.hpp"
+
+namespace secbus::core {
+
+class PolicyReconfigurator {
+ public:
+  struct Config {
+    std::size_t threshold = 3;        // alerts before lockdown
+    sim::Cycle window_cycles = 1000;  // sliding window
+    bool enabled = true;
+  };
+
+  struct LockdownEvent {
+    sim::Cycle cycle = 0;
+    FirewallId firewall = 0;
+    std::size_t alerts_in_window = 0;
+  };
+
+  PolicyReconfigurator(ConfigurationMemory& config_mem, SecurityEventLog& log);
+  PolicyReconfigurator(ConfigurationMemory& config_mem, SecurityEventLog& log,
+                       Config cfg);
+
+  // Called by the log on each alert (wired in the constructor).
+  void on_alert(const Alert& alert);
+
+  // Excludes a firewall from lockdown (e.g. the LCF itself, whose integrity
+  // alerts indicate external tampering, not a hijacked internal IP).
+  void exempt(FirewallId firewall) { exempt_.push_back(firewall); }
+
+  [[nodiscard]] bool is_locked_down(FirewallId firewall) const noexcept;
+  [[nodiscard]] const std::vector<LockdownEvent>& lockdowns() const noexcept {
+    return lockdowns_;
+  }
+
+  // Restores a previously saved policy (operator intervention).
+  void release(FirewallId firewall);
+
+ private:
+  ConfigurationMemory* config_mem_;
+  Config cfg_;
+  std::unordered_map<FirewallId, std::deque<sim::Cycle>> recent_alerts_;
+  std::unordered_map<FirewallId, SecurityPolicy> saved_policies_;
+  std::vector<LockdownEvent> lockdowns_;
+  std::vector<FirewallId> exempt_;
+};
+
+}  // namespace secbus::core

@@ -1,0 +1,79 @@
+#include "core/security_builder.hpp"
+
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace secbus::core {
+
+SecurityBuilder::SecurityBuilder(ConfigurationMemory& config_mem,
+                                 FirewallId firewall)
+    : SecurityBuilder(config_mem, firewall, Config{}) {}
+
+SecurityBuilder::SecurityBuilder(ConfigurationMemory& config_mem,
+                                 FirewallId firewall, Config cfg)
+    : config_mem_(&config_mem), firewall_(firewall), cfg_(cfg) {
+  SECBUS_ASSERT(cfg.base_check_cycles >= config_mem.read_latency(),
+                "base check budget must cover the SP fetch");
+  SECBUS_ASSERT(cfg.rules_per_extra_cycle > 0, "rules_per_extra_cycle must be > 0");
+}
+
+sim::Cycle SecurityBuilder::check_latency() const {
+  const SecurityPolicy& policy = current_policy();
+  sim::Cycle latency = cfg_.base_check_cycles;
+  if (policy.rule_count() > cfg_.calibrated_rules) {
+    const std::uint64_t extra = policy.rule_count() - cfg_.calibrated_rules;
+    latency += util::ceil_div(extra, cfg_.rules_per_extra_cycle);
+  }
+  return latency;
+}
+
+SecurityBuilder::Result SecurityBuilder::run_check(bus::BusOp op, sim::Addr addr,
+                                                   std::uint64_t len,
+                                                   bus::DataFormat fmt,
+                                                   bus::ThreadId thread) {
+  ++checks_run_;
+  Result result;
+  result.latency = check_latency();
+
+  const SecurityPolicy& policy = current_policy();
+  if (policy.lockdown) {
+    result.decision.allowed = false;
+    result.decision.violation = Violation::kPolicyLockdown;
+    return result;
+  }
+
+  // Drive the three checking modules the way the RTL would: rule-set select
+  // (thread-specific security), segment match, then direction and format
+  // against the matched rule.
+  const std::span<const SegmentRule> active = policy.rules_for(thread);
+  const auto segment = segment_checker_.check(active, addr, len);
+  if (!segment.has_value()) {
+    result.decision.allowed = false;
+    result.decision.violation = Violation::kNoMatchingSegment;
+    return result;
+  }
+  result.decision.rule_index = segment;
+  const SegmentRule& rule = active[*segment];
+  if (!rwa_checker_.check(rule, op)) {
+    result.decision.allowed = false;
+    result.decision.violation = Violation::kRwViolation;
+    return result;
+  }
+  if (!adf_checker_.check(rule, fmt)) {
+    result.decision.allowed = false;
+    result.decision.violation = Violation::kFormatViolation;
+    return result;
+  }
+  result.decision.allowed = true;
+  result.decision.violation = Violation::kNone;
+  return result;
+}
+
+void SecurityBuilder::reset_stats() {
+  segment_checker_.reset();
+  rwa_checker_.reset();
+  adf_checker_.reset();
+  checks_run_ = 0;
+}
+
+}  // namespace secbus::core

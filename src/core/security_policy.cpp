@@ -1,0 +1,162 @@
+#include "core/security_policy.hpp"
+
+#include "util/assert.hpp"
+
+namespace secbus::core {
+
+const char* to_string(RwAccess rwa) noexcept {
+  switch (rwa) {
+    case RwAccess::kNone: return "none";
+    case RwAccess::kReadOnly: return "read-only";
+    case RwAccess::kWriteOnly: return "write-only";
+    case RwAccess::kReadWrite: return "read/write";
+  }
+  return "?";
+}
+
+std::string to_string(FormatMask mask) {
+  if (mask == FormatMask::kNone) return "none";
+  std::string out;
+  if (allows(mask, bus::DataFormat::kByte)) out += "8";
+  if (allows(mask, bus::DataFormat::kHalfWord)) out += out.empty() ? "16" : "/16";
+  if (allows(mask, bus::DataFormat::kWord)) out += out.empty() ? "32" : "/32";
+  return out + "-bit";
+}
+
+const char* to_string(ConfidentialityMode cm) noexcept {
+  return cm == ConfidentialityMode::kCipher ? "cipher" : "bypass";
+}
+
+const char* to_string(IntegrityMode im) noexcept {
+  return im == IntegrityMode::kHashTree ? "hash-tree" : "bypass";
+}
+
+const char* to_string(Violation v) noexcept {
+  switch (v) {
+    case Violation::kNone: return "none";
+    case Violation::kNoMatchingSegment: return "no_matching_segment";
+    case Violation::kRwViolation: return "rw_violation";
+    case Violation::kFormatViolation: return "format_violation";
+    case Violation::kIntegrityFailure: return "integrity_failure";
+    case Violation::kPolicyLockdown: return "policy_lockdown";
+    case Violation::kRateLimited: return "rate_limited";
+  }
+  return "?";
+}
+
+std::span<const SegmentRule> SecurityPolicy::rules_for(
+    bus::ThreadId thread) const noexcept {
+  for (const ThreadOverlay& overlay : thread_overlays) {
+    if (overlay.thread == thread) {
+      return {overlay.rules.data(), overlay.rules.size()};
+    }
+  }
+  return {rules.data(), rules.size()};
+}
+
+SecurityPolicy::Decision SecurityPolicy::evaluate(bus::BusOp op, sim::Addr addr,
+                                                  std::uint64_t len,
+                                                  bus::DataFormat fmt,
+                                                  bus::ThreadId thread) const noexcept {
+  Decision d;
+  if (lockdown) {
+    d.allowed = false;
+    d.violation = Violation::kPolicyLockdown;
+    return d;
+  }
+  const std::span<const SegmentRule> active = rules_for(thread);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const SegmentRule& rule = active[i];
+    if (!rule.covers(addr, len)) continue;
+    d.rule_index = i;
+    if (!allows(rule.rwa, op)) {
+      d.allowed = false;
+      d.violation = Violation::kRwViolation;
+      return d;
+    }
+    if (!allows(rule.adf, fmt)) {
+      d.allowed = false;
+      d.violation = Violation::kFormatViolation;
+      return d;
+    }
+    d.allowed = true;
+    d.violation = Violation::kNone;
+    return d;
+  }
+  d.allowed = false;
+  d.violation = Violation::kNoMatchingSegment;
+  return d;
+}
+
+PolicyBuilder& PolicyBuilder::allow(sim::Addr base, std::uint64_t size, RwAccess rwa,
+                                    FormatMask adf, std::string label) {
+  SegmentRule rule{base, size, rwa, adf, std::move(label)};
+  if (active_overlay_.has_value()) {
+    policy_.thread_overlays[*active_overlay_].rules.push_back(std::move(rule));
+  } else {
+    policy_.rules.push_back(std::move(rule));
+  }
+  return *this;
+}
+
+PolicyBuilder& PolicyBuilder::for_thread(bus::ThreadId thread) {
+  for (std::size_t i = 0; i < policy_.thread_overlays.size(); ++i) {
+    SECBUS_ASSERT(policy_.thread_overlays[i].thread != thread,
+                  "duplicate thread overlay");
+    (void)i;
+  }
+  policy_.thread_overlays.push_back(ThreadOverlay{thread, {}});
+  active_overlay_ = policy_.thread_overlays.size() - 1;
+  return *this;
+}
+
+PolicyBuilder& PolicyBuilder::for_base_rules() {
+  active_overlay_.reset();
+  return *this;
+}
+
+PolicyBuilder& PolicyBuilder::confidentiality(ConfidentialityMode cm) {
+  policy_.cm = cm;
+  return *this;
+}
+
+PolicyBuilder& PolicyBuilder::integrity(IntegrityMode im) {
+  policy_.im = im;
+  return *this;
+}
+
+PolicyBuilder& PolicyBuilder::key(const crypto::Aes128Key& k) {
+  policy_.key = k;
+  return *this;
+}
+
+namespace {
+void validate_rule_set(const std::vector<SegmentRule>& rules) {
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const SegmentRule& a = rules[i];
+    SECBUS_ASSERT(a.size > 0, "policy segment must be non-empty");
+    for (std::size_t j = i + 1; j < rules.size(); ++j) {
+      const SegmentRule& b = rules[j];
+      const bool overlap = a.base < b.base + b.size && b.base < a.base + a.size;
+      SECBUS_ASSERT(!overlap, "policy segments must be disjoint");
+    }
+  }
+}
+}  // namespace
+
+SecurityPolicy PolicyBuilder::build() {
+  validate_rule_set(policy_.rules);
+  for (const ThreadOverlay& overlay : policy_.thread_overlays) {
+    validate_rule_set(overlay.rules);
+  }
+  return policy_;
+}
+
+SecurityPolicy make_lockdown_policy(std::uint32_t spi) {
+  SecurityPolicy p;
+  p.spi = spi;
+  p.lockdown = true;
+  return p;
+}
+
+}  // namespace secbus::core

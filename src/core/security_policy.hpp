@@ -1,0 +1,186 @@
+// Security Policy (SP) — Section IV.A of the paper.
+//
+// Each IP interface owns one SP made of:
+//   * SPI  — the policy identifier,
+//   * RWA  — read/write access rules per address segment,
+//   * ADF  — allowed data formats (8/16/32-bit beats) per segment,
+//   * CM   — confidentiality mode (block cipher on/off; LCF only),
+//   * IM   — integrity mode (hash tree on/off; LCF only),
+//   * CK   — the 128-bit AES key (LCF only).
+// Policies are expressed over the address map ("policies are defined using
+// the address spaces", Section VI): a policy is an ordered list of segment
+// rules; a transaction must fall entirely inside a matching segment and
+// satisfy its RWA + ADF constraints, otherwise the firewall discards it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bus/transaction.hpp"
+#include "crypto/aes128.hpp"
+#include "sim/types.hpp"
+
+namespace secbus::core {
+
+// Identifies one firewall instance (equivalently: one protected IP
+// interface) within the SoC.
+using FirewallId = std::uint32_t;
+
+// RWA — Read/Write Access rule. The paper lists read-only, write-only and
+// read/write; kNone expresses a lockdown segment (used by the
+// reconfiguration responder when isolating a compromised IP).
+enum class RwAccess : std::uint8_t {
+  kNone = 0,
+  kReadOnly = 1,
+  kWriteOnly = 2,
+  kReadWrite = 3,
+};
+
+[[nodiscard]] const char* to_string(RwAccess rwa) noexcept;
+[[nodiscard]] constexpr bool allows(RwAccess rwa, bus::BusOp op) noexcept {
+  const auto bits = static_cast<std::uint8_t>(rwa);
+  return op == bus::BusOp::kRead ? (bits & 0x1) != 0 : (bits & 0x2) != 0;
+}
+
+// ADF — Allowed Data Format bitmask ("8 up to 32 bits").
+enum class FormatMask : std::uint8_t {
+  kNone = 0,
+  k8 = 1,
+  k16 = 2,
+  k32 = 4,
+  k8_16 = 3,
+  k16_32 = 6,
+  kAll = 7,
+};
+
+[[nodiscard]] constexpr FormatMask operator|(FormatMask a, FormatMask b) noexcept {
+  return static_cast<FormatMask>(static_cast<std::uint8_t>(a) |
+                                 static_cast<std::uint8_t>(b));
+}
+[[nodiscard]] constexpr bool allows(FormatMask mask, bus::DataFormat fmt) noexcept {
+  const std::uint8_t bit = fmt == bus::DataFormat::kByte       ? 1
+                           : fmt == bus::DataFormat::kHalfWord ? 2
+                                                               : 4;
+  return (static_cast<std::uint8_t>(mask) & bit) != 0;
+}
+[[nodiscard]] std::string to_string(FormatMask mask);
+
+// CM / IM — external-memory protection modes (LCF only; Local Firewalls
+// leave both at kBypass because internal traffic is not encrypted —
+// Section IV.A: "all internal communications are not encrypted as the Local
+// Firewalls protect them against unauthorized access").
+enum class ConfidentialityMode : std::uint8_t { kBypass = 0, kCipher = 1 };
+enum class IntegrityMode : std::uint8_t { kBypass = 0, kHashTree = 1 };
+
+[[nodiscard]] const char* to_string(ConfidentialityMode cm) noexcept;
+[[nodiscard]] const char* to_string(IntegrityMode im) noexcept;
+
+// Violation taxonomy raised by the checking modules.
+enum class Violation : std::uint8_t {
+  kNone = 0,
+  kNoMatchingSegment,  // address outside every allowed segment
+  kRwViolation,        // segment matched but the operation is not allowed
+  kFormatViolation,    // segment matched but the beat width is not allowed
+  kIntegrityFailure,   // LCF hash tree mismatch (spoof/replay/relocation)
+  kPolicyLockdown,     // firewall in lockdown (reconfiguration response)
+  kRateLimited,        // firewall DoS throttle exceeded (flood suppression)
+};
+
+[[nodiscard]] const char* to_string(Violation v) noexcept;
+
+// One address-segment rule of a policy.
+struct SegmentRule {
+  sim::Addr base = 0;
+  std::uint64_t size = 0;
+  RwAccess rwa = RwAccess::kReadWrite;
+  FormatMask adf = FormatMask::kAll;
+  std::string label;
+
+  [[nodiscard]] bool covers(sim::Addr addr, std::uint64_t len) const noexcept {
+    return addr >= base && len <= size && addr - base <= size - len;
+  }
+};
+
+// Per-thread rule overlay — the paper's Section-VI perspective ("adaptation
+// to thread-specific security where each thread has its own security
+// level"). When an overlay exists for a transaction's thread id, the
+// overlay's rules replace the base rule list for that check; threads
+// without an overlay fall back to the base rules.
+struct ThreadOverlay {
+  bus::ThreadId thread = 0;
+  std::vector<SegmentRule> rules;
+};
+
+// The complete security policy of one IP interface.
+struct SecurityPolicy {
+  std::uint32_t spi = 0;  // SP Identifier
+  std::vector<SegmentRule> rules;
+  std::vector<ThreadOverlay> thread_overlays;
+  ConfidentialityMode cm = ConfidentialityMode::kBypass;
+  IntegrityMode im = IntegrityMode::kBypass;
+  crypto::Aes128Key key{};  // CK; all-zero when cm == kBypass
+  bool lockdown = false;    // reconfiguration response: discard everything
+
+  struct Decision {
+    bool allowed = false;
+    Violation violation = Violation::kNone;
+    // Matching rule index (only meaningful when a segment matched), within
+    // the rule set that served the check (base or overlay).
+    std::optional<std::size_t> rule_index;
+  };
+
+  // The rule set governing `thread`: its overlay if one exists, otherwise
+  // the base rules.
+  [[nodiscard]] std::span<const SegmentRule> rules_for(bus::ThreadId thread) const noexcept;
+
+  // Evaluates a (op, addr, len, format) access by `thread` against the
+  // governing rule set. First matching segment wins; segments within one
+  // rule set are disjoint (the builder validates that).
+  [[nodiscard]] Decision evaluate(bus::BusOp op, sim::Addr addr, std::uint64_t len,
+                                  bus::DataFormat fmt,
+                                  bus::ThreadId thread = 0) const noexcept;
+
+  [[nodiscard]] std::size_t rule_count() const noexcept {
+    std::size_t n = rules.size();
+    for (const ThreadOverlay& overlay : thread_overlays) n += overlay.rules.size();
+    return n;
+  }
+};
+
+// Fluent builder so SoC presets and tests read declaratively.
+class PolicyBuilder {
+ public:
+  explicit PolicyBuilder(std::uint32_t spi) { policy_.spi = spi; }
+
+  PolicyBuilder& allow(sim::Addr base, std::uint64_t size, RwAccess rwa,
+                       FormatMask adf = FormatMask::kAll, std::string label = {});
+  PolicyBuilder& confidentiality(ConfidentialityMode cm);
+  PolicyBuilder& integrity(IntegrityMode im);
+  PolicyBuilder& key(const crypto::Aes128Key& k);
+
+  // Switches the builder into a per-thread overlay: subsequent allow()
+  // calls add rules for `thread` instead of the base rule set. May be
+  // called once per distinct thread id; for_base_rules() switches back.
+  PolicyBuilder& for_thread(bus::ThreadId thread);
+  PolicyBuilder& for_base_rules();
+
+  // Validates (non-overlapping segments per rule set, nonzero sizes, unique
+  // overlay thread ids) and returns the policy; aborts on construction
+  // errors.
+  [[nodiscard]] SecurityPolicy build();
+
+ private:
+  SecurityPolicy policy_;
+  // nullopt = adding to the base rules; otherwise index into overlays.
+  std::optional<std::size_t> active_overlay_;
+};
+
+// A lockdown policy: every access is discarded with kPolicyLockdown. Used by
+// the reconfiguration responder to isolate a compromised IP (Section III.C:
+// "limit its impact to the IP that launches the attack").
+[[nodiscard]] SecurityPolicy make_lockdown_policy(std::uint32_t spi);
+
+}  // namespace secbus::core

@@ -1,0 +1,154 @@
+#include "crypto/aes128.hpp"
+
+#include <cstring>
+
+namespace secbus::crypto {
+
+namespace {
+
+using detail::kInvSbox;
+using detail::kSbox;
+
+inline std::uint8_t xtime(std::uint8_t x) noexcept {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1B));
+}
+
+void sub_bytes(std::uint8_t s[16]) noexcept {
+  for (int i = 0; i < 16; ++i) s[i] = kSbox[s[i]];
+}
+
+void inv_sub_bytes(std::uint8_t s[16]) noexcept {
+  for (int i = 0; i < 16; ++i) s[i] = kInvSbox[s[i]];
+}
+
+// State is column-major as in FIPS-197: s[r + 4*c].
+void shift_rows(std::uint8_t s[16]) noexcept {
+  std::uint8_t t;
+  // row 1: rotate left by 1
+  t = s[1]; s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
+  // row 2: rotate left by 2
+  t = s[2]; s[2] = s[10]; s[10] = t;
+  t = s[6]; s[6] = s[14]; s[14] = t;
+  // row 3: rotate left by 3 (= right by 1)
+  t = s[15]; s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
+}
+
+void inv_shift_rows(std::uint8_t s[16]) noexcept {
+  std::uint8_t t;
+  // row 1: rotate right by 1
+  t = s[13]; s[13] = s[9]; s[9] = s[5]; s[5] = s[1]; s[1] = t;
+  // row 2: rotate right by 2
+  t = s[2]; s[2] = s[10]; s[10] = t;
+  t = s[6]; s[6] = s[14]; s[14] = t;
+  // row 3: rotate right by 3 (= left by 1)
+  t = s[3]; s[3] = s[7]; s[7] = s[11]; s[11] = s[15]; s[15] = t;
+}
+
+void mix_columns(std::uint8_t s[16]) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    const std::uint8_t all = a0 ^ a1 ^ a2 ^ a3;
+    col[0] = static_cast<std::uint8_t>(a0 ^ all ^ xtime(static_cast<std::uint8_t>(a0 ^ a1)));
+    col[1] = static_cast<std::uint8_t>(a1 ^ all ^ xtime(static_cast<std::uint8_t>(a1 ^ a2)));
+    col[2] = static_cast<std::uint8_t>(a2 ^ all ^ xtime(static_cast<std::uint8_t>(a2 ^ a3)));
+    col[3] = static_cast<std::uint8_t>(a3 ^ all ^ xtime(static_cast<std::uint8_t>(a3 ^ a0)));
+  }
+}
+
+void inv_mix_columns(std::uint8_t s[16]) noexcept {
+  // Standard decomposition: the {0e,0b,0d,09} matrix equals the forward
+  // {02,03,01,01} matrix after adding xtime^2 correction terms, turning each
+  // column into a handful of xtime() chains instead of generic GF multiplies
+  // (decryption is on the simulator's hot path for every protected read).
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t u = xtime(xtime(static_cast<std::uint8_t>(col[0] ^ col[2])));
+    const std::uint8_t v = xtime(xtime(static_cast<std::uint8_t>(col[1] ^ col[3])));
+    col[0] ^= u;
+    col[1] ^= v;
+    col[2] ^= u;
+    col[3] ^= v;
+  }
+  mix_columns(s);
+}
+
+void add_round_key(std::uint8_t s[16], const std::uint8_t* rk) noexcept {
+  for (int i = 0; i < 16; ++i) s[i] ^= rk[i];
+}
+
+}  // namespace
+
+void Aes128::rekey(const Aes128Key& key) noexcept {
+  // FIPS-197 key expansion for Nk=4, Nr=10: 44 32-bit words.
+  std::memcpy(round_keys_.data(), key.data(), kAes128KeyBytes);
+  std::uint8_t rcon = 0x01;
+  for (int word = 4; word < 44; ++word) {
+    std::uint8_t temp[4];
+    std::memcpy(temp, round_keys_.data() + 4 * (word - 1), 4);
+    if (word % 4 == 0) {
+      // RotWord + SubWord + Rcon.
+      const std::uint8_t first = temp[0];
+      temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^ rcon);
+      temp[1] = kSbox[temp[2]];
+      temp[2] = kSbox[temp[3]];
+      temp[3] = kSbox[first];
+      rcon = xtime(rcon);
+    }
+    for (int i = 0; i < 4; ++i) {
+      round_keys_[static_cast<std::size_t>(4 * word + i)] =
+          round_keys_[static_cast<std::size_t>(4 * (word - 4) + i)] ^ temp[i];
+    }
+  }
+  block_ops_ = 0;
+}
+
+void Aes128::encrypt_block(const std::uint8_t in[kAesBlockBytes],
+                           std::uint8_t out[kAesBlockBytes]) const noexcept {
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+  add_round_key(s, round_keys_.data());
+  for (int round = 1; round < kAes128Rounds; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, round_keys_.data() + 16 * round);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, round_keys_.data() + 16 * kAes128Rounds);
+  std::memcpy(out, s, 16);
+  ++block_ops_;
+}
+
+void Aes128::decrypt_block(const std::uint8_t in[kAesBlockBytes],
+                           std::uint8_t out[kAesBlockBytes]) const noexcept {
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+  add_round_key(s, round_keys_.data() + 16 * kAes128Rounds);
+  for (int round = kAes128Rounds - 1; round >= 1; --round) {
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+    add_round_key(s, round_keys_.data() + 16 * round);
+    inv_mix_columns(s);
+  }
+  inv_shift_rows(s);
+  inv_sub_bytes(s);
+  add_round_key(s, round_keys_.data());
+  std::memcpy(out, s, 16);
+  ++block_ops_;
+}
+
+AesBlock Aes128::encrypt(const AesBlock& in) const noexcept {
+  AesBlock out;
+  encrypt_block(in.data(), out.data());
+  return out;
+}
+
+AesBlock Aes128::decrypt(const AesBlock& in) const noexcept {
+  AesBlock out;
+  decrypt_block(in.data(), out.data());
+  return out;
+}
+
+}  // namespace secbus::crypto

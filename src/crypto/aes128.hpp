@@ -1,0 +1,124 @@
+// AES-128 block cipher (FIPS-197), from scratch.
+//
+// This is the functional model behind the paper's Confidentiality Core: the
+// LCF really encrypts external-memory traffic with it, so the attack benches
+// observe genuine ciphertext (spoofing/relocation produce real garbage after
+// decryption, not simulated flags). The S-box is generated at compile time
+// from its algebraic definition (GF(2^8) inverse + affine map), which both
+// documents the construction and removes the risk of a mistyped table.
+//
+// This implementation favors clarity over side-channel hardening; the paper's
+// threat model explicitly excludes side-channel attacks (Section III.B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace secbus::crypto {
+
+inline constexpr std::size_t kAesBlockBytes = 16;
+inline constexpr std::size_t kAes128KeyBytes = 16;
+inline constexpr int kAes128Rounds = 10;
+
+using AesBlock = std::array<std::uint8_t, kAesBlockBytes>;
+using Aes128Key = std::array<std::uint8_t, kAes128KeyBytes>;
+
+// GF(2^8) helpers exposed for tests (reduction polynomial x^8+x^4+x^3+x+1).
+[[nodiscard]] constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) noexcept {
+  std::uint8_t result = 0;
+  for (int bit = 0; bit < 8; ++bit) {
+    if (b & 1) result ^= a;
+    const bool carry = (a & 0x80) != 0;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (carry) a ^= 0x1B;
+    b >>= 1;
+  }
+  return result;
+}
+
+// Multiplicative inverse in GF(2^8) by exponentiation (a^254); inv(0) = 0.
+[[nodiscard]] constexpr std::uint8_t gf_inv(std::uint8_t a) noexcept {
+  std::uint8_t result = a;
+  // a^254 = ((a^2) * a)^2 ... use square-and-multiply over the fixed exponent.
+  std::uint8_t acc = 1;
+  std::uint8_t base = a;
+  unsigned exp = 254;
+  while (exp != 0) {
+    if (exp & 1) acc = gf_mul(acc, base);
+    base = gf_mul(base, base);
+    exp >>= 1;
+  }
+  result = acc;
+  return a == 0 ? 0 : result;
+}
+
+namespace detail {
+
+[[nodiscard]] constexpr std::uint8_t sbox_affine(std::uint8_t x) noexcept {
+  const std::uint8_t inv = gf_inv(x);
+  std::uint8_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int bit = ((inv >> i) & 1) ^ ((inv >> ((i + 4) % 8)) & 1) ^
+                    ((inv >> ((i + 5) % 8)) & 1) ^ ((inv >> ((i + 6) % 8)) & 1) ^
+                    ((inv >> ((i + 7) % 8)) & 1) ^ ((0x63 >> i) & 1);
+    out = static_cast<std::uint8_t>(out | (bit << i));
+  }
+  return out;
+}
+
+[[nodiscard]] constexpr std::array<std::uint8_t, 256> make_sbox() noexcept {
+  std::array<std::uint8_t, 256> table{};
+  for (unsigned i = 0; i < 256; ++i) {
+    table[i] = sbox_affine(static_cast<std::uint8_t>(i));
+  }
+  return table;
+}
+
+[[nodiscard]] constexpr std::array<std::uint8_t, 256> make_inv_sbox(
+    const std::array<std::uint8_t, 256>& sbox) noexcept {
+  std::array<std::uint8_t, 256> table{};
+  for (unsigned i = 0; i < 256; ++i) table[sbox[i]] = static_cast<std::uint8_t>(i);
+  return table;
+}
+
+inline constexpr std::array<std::uint8_t, 256> kSbox = make_sbox();
+inline constexpr std::array<std::uint8_t, 256> kInvSbox = make_inv_sbox(kSbox);
+
+}  // namespace detail
+
+// AES-128 context: expands the key once; encrypt/decrypt are const and
+// reusable across blocks.
+class Aes128 {
+ public:
+  explicit Aes128(const Aes128Key& key) noexcept { rekey(key); }
+
+  // Re-expands with a new key (used by policy reconfiguration).
+  void rekey(const Aes128Key& key) noexcept;
+
+  // Single-block ECB primitive operations.
+  void encrypt_block(const std::uint8_t in[kAesBlockBytes],
+                     std::uint8_t out[kAesBlockBytes]) const noexcept;
+  void decrypt_block(const std::uint8_t in[kAesBlockBytes],
+                     std::uint8_t out[kAesBlockBytes]) const noexcept;
+
+  [[nodiscard]] AesBlock encrypt(const AesBlock& in) const noexcept;
+  [[nodiscard]] AesBlock decrypt(const AesBlock& in) const noexcept;
+
+  // The expanded key schedule (11 round keys x 16 bytes), exposed for the
+  // FIPS-197 key-expansion test vectors.
+  [[nodiscard]] std::span<const std::uint8_t> round_keys() const noexcept {
+    return {round_keys_.data(), round_keys_.size()};
+  }
+
+  // Number of block operations performed since construction/rekey; the
+  // Confidentiality Core uses this to charge simulated cycles.
+  [[nodiscard]] std::uint64_t block_ops() const noexcept { return block_ops_; }
+  void reset_block_ops() noexcept { block_ops_ = 0; }
+
+ private:
+  std::array<std::uint8_t, kAesBlockBytes*(kAes128Rounds + 1)> round_keys_{};
+  mutable std::uint64_t block_ops_ = 0;
+};
+
+}  // namespace secbus::crypto

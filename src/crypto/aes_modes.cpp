@@ -1,0 +1,106 @@
+#include "crypto/aes_modes.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace secbus::crypto {
+
+namespace {
+void increment_counter(AesBlock& ctr) noexcept {
+  // Big-endian increment of the low 32 bits (SP 800-38A convention).
+  for (int i = 15; i >= 12; --i) {
+    if (++ctr[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+}  // namespace
+
+void ecb_encrypt(const Aes128& aes, std::span<const std::uint8_t> in,
+                 std::span<std::uint8_t> out) noexcept {
+  SECBUS_ASSERT(in.size() == out.size() && in.size() % kAesBlockBytes == 0,
+                "ECB requires whole blocks");
+  for (std::size_t off = 0; off < in.size(); off += kAesBlockBytes) {
+    aes.encrypt_block(in.data() + off, out.data() + off);
+  }
+}
+
+void ecb_decrypt(const Aes128& aes, std::span<const std::uint8_t> in,
+                 std::span<std::uint8_t> out) noexcept {
+  SECBUS_ASSERT(in.size() == out.size() && in.size() % kAesBlockBytes == 0,
+                "ECB requires whole blocks");
+  for (std::size_t off = 0; off < in.size(); off += kAesBlockBytes) {
+    aes.decrypt_block(in.data() + off, out.data() + off);
+  }
+}
+
+void cbc_encrypt(const Aes128& aes, const AesBlock& iv,
+                 std::span<const std::uint8_t> in,
+                 std::span<std::uint8_t> out) noexcept {
+  SECBUS_ASSERT(in.size() == out.size() && in.size() % kAesBlockBytes == 0,
+                "CBC requires whole blocks");
+  AesBlock chain = iv;
+  for (std::size_t off = 0; off < in.size(); off += kAesBlockBytes) {
+    AesBlock x;
+    for (std::size_t i = 0; i < kAesBlockBytes; ++i) x[i] = in[off + i] ^ chain[i];
+    aes.encrypt_block(x.data(), out.data() + off);
+    std::memcpy(chain.data(), out.data() + off, kAesBlockBytes);
+  }
+}
+
+void cbc_decrypt(const Aes128& aes, const AesBlock& iv,
+                 std::span<const std::uint8_t> in,
+                 std::span<std::uint8_t> out) noexcept {
+  SECBUS_ASSERT(in.size() == out.size() && in.size() % kAesBlockBytes == 0,
+                "CBC requires whole blocks");
+  AesBlock chain = iv;
+  for (std::size_t off = 0; off < in.size(); off += kAesBlockBytes) {
+    AesBlock ct;
+    std::memcpy(ct.data(), in.data() + off, kAesBlockBytes);  // in/out may alias
+    AesBlock pt;
+    aes.decrypt_block(ct.data(), pt.data());
+    for (std::size_t i = 0; i < kAesBlockBytes; ++i) out[off + i] = pt[i] ^ chain[i];
+    chain = ct;
+  }
+}
+
+void ctr_xcrypt(const Aes128& aes, const AesBlock& initial_counter,
+                std::span<const std::uint8_t> in,
+                std::span<std::uint8_t> out) noexcept {
+  SECBUS_ASSERT(in.size() == out.size(), "CTR requires equal-size spans");
+  AesBlock ctr = initial_counter;
+  AesBlock keystream;
+  std::size_t off = 0;
+  while (off < in.size()) {
+    aes.encrypt_block(ctr.data(), keystream.data());
+    const std::size_t n = std::min(kAesBlockBytes, in.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = in[off + i] ^ keystream[i];
+    increment_counter(ctr);
+    off += n;
+  }
+}
+
+AesBlock make_memory_tweak(std::uint32_t nonce, std::uint64_t block_addr,
+                           std::uint32_t version) noexcept {
+  AesBlock ctr{};
+  util::store_be32(ctr.data(), nonce);
+  util::store_be64(ctr.data() + 4, block_addr);
+  util::store_be32(ctr.data() + 12, version);
+  return ctr;
+}
+
+void memory_xcrypt(const Aes128& aes, std::uint32_t nonce, std::uint64_t block_addr,
+                   std::uint32_t version, std::span<const std::uint8_t> in,
+                   std::span<std::uint8_t> out) noexcept {
+  // The version occupies the same low-32 bits that CTR increments, so a
+  // block longer than 16 bytes must not collide with (version+1) of the same
+  // address. We avoid that by reserving the version in the *nonce mix*: the
+  // tweak places version in bytes 12..15 and CTR increments those bytes, so
+  // multi-block payloads use version strides. Callers pass version numbers
+  // scaled by the per-payload block count (the Confidentiality Core does
+  // this); a single external-memory line is at most a few AES blocks.
+  const AesBlock ctr = make_memory_tweak(nonce, block_addr, version);
+  ctr_xcrypt(aes, ctr, in, out);
+}
+
+}  // namespace secbus::crypto

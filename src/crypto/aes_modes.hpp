@@ -1,0 +1,54 @@
+// Block cipher modes over Aes128: ECB (test vectors only), CBC, and CTR.
+//
+// The Local Ciphering Firewall uses CTR with an address+version tweak: the
+// keystream for external-memory block b at write-version v is
+// AES_k(nonce || b || v). Binding the counter to the block address defeats
+// relocation (moved ciphertext decrypts under the wrong keystream) and
+// binding it to the version defeats replay at the confidentiality layer,
+// mirroring the time-stamp + address-check design of Section IV.A.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/aes128.hpp"
+
+namespace secbus::crypto {
+
+// ECB: independent block encryption; exposed mainly for NIST test vectors
+// and as the building block of the tweaked CTR below. Spans must be a
+// multiple of 16 bytes; in/out may alias.
+void ecb_encrypt(const Aes128& aes, std::span<const std::uint8_t> in,
+                 std::span<std::uint8_t> out) noexcept;
+void ecb_decrypt(const Aes128& aes, std::span<const std::uint8_t> in,
+                 std::span<std::uint8_t> out) noexcept;
+
+// CBC with explicit IV. Spans must be a multiple of 16 bytes.
+void cbc_encrypt(const Aes128& aes, const AesBlock& iv,
+                 std::span<const std::uint8_t> in,
+                 std::span<std::uint8_t> out) noexcept;
+void cbc_decrypt(const Aes128& aes, const AesBlock& iv,
+                 std::span<const std::uint8_t> in,
+                 std::span<std::uint8_t> out) noexcept;
+
+// Standard CTR with a 16-byte initial counter block, big-endian increment of
+// the low 32 bits (NIST SP 800-38A style). Works on arbitrary lengths;
+// encryption and decryption are the same operation.
+void ctr_xcrypt(const Aes128& aes, const AesBlock& initial_counter,
+                std::span<const std::uint8_t> in,
+                std::span<std::uint8_t> out) noexcept;
+
+// Builds the tweaked counter block used by the LCF:
+//   bytes 0..3   nonce (per-policy salt)
+//   bytes 4..11  block address (big-endian)
+//   bytes 12..15 write version (big-endian)
+[[nodiscard]] AesBlock make_memory_tweak(std::uint32_t nonce, std::uint64_t block_addr,
+                                         std::uint32_t version) noexcept;
+
+// One-shot tweaked-CTR transform of a memory block (any length); used by the
+// Confidentiality Core for both directions.
+void memory_xcrypt(const Aes128& aes, std::uint32_t nonce, std::uint64_t block_addr,
+                   std::uint32_t version, std::span<const std::uint8_t> in,
+                   std::span<std::uint8_t> out) noexcept;
+
+}  // namespace secbus::crypto

@@ -1,0 +1,156 @@
+#include "crypto/hash_tree.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace secbus::crypto {
+
+HashTree::HashTree(const Config& cfg) : cfg_(cfg) {
+  SECBUS_ASSERT(util::is_pow2(cfg.leaf_count) && cfg.leaf_count >= 2,
+                "leaf_count must be a power of two >= 2");
+  SECBUS_ASSERT(cfg.block_bytes > 0, "block_bytes must be nonzero");
+  depth_ = util::log2_pow2(cfg.leaf_count);
+  nodes_.assign(2 * cfg.leaf_count, Sha256Digest{});
+  rebuild_zero();
+}
+
+Sha256Digest HashTree::leaf_hash(std::size_t leaf,
+                                 std::span<const std::uint8_t> data,
+                                 std::uint32_t version) const noexcept {
+  std::uint8_t binder[12];
+  util::store_be64(binder, leaf_addr(leaf));
+  util::store_be32(binder + 8, version);
+  Sha256 ctx;
+  ctx.update(data);
+  ctx.update(std::span<const std::uint8_t>(binder, sizeof(binder)));
+  return ctx.finalize();
+}
+
+Sha256Digest HashTree::parent_hash(const Sha256Digest& left,
+                                   const Sha256Digest& right) noexcept {
+  Sha256 ctx;
+  ctx.update(std::span<const std::uint8_t>(left.data(), left.size()));
+  ctx.update(std::span<const std::uint8_t>(right.data(), right.size()));
+  return ctx.finalize();
+}
+
+std::size_t HashTree::heap_index(std::size_t level, std::size_t idx) const {
+  SECBUS_ASSERT(level <= depth_, "level out of range");
+  const std::size_t level_width = cfg_.leaf_count >> level;
+  SECBUS_ASSERT(idx < level_width, "node index out of range for level");
+  return level_width + idx;
+}
+
+std::uint64_t HashTree::leaf_addr(std::size_t leaf) const noexcept {
+  return cfg_.base_addr + static_cast<std::uint64_t>(leaf) * cfg_.block_bytes;
+}
+
+std::size_t HashTree::leaf_for_addr(std::uint64_t addr) const {
+  SECBUS_ASSERT(addr >= cfg_.base_addr, "address below protected range");
+  const std::uint64_t offset = addr - cfg_.base_addr;
+  const std::uint64_t leaf = offset / cfg_.block_bytes;
+  SECBUS_ASSERT(leaf < cfg_.leaf_count, "address above protected range");
+  return static_cast<std::size_t>(leaf);
+}
+
+void HashTree::rebuild(std::span<const std::uint8_t> image,
+                       std::span<const std::uint32_t> versions) {
+  SECBUS_ASSERT(image.size() == cfg_.leaf_count * cfg_.block_bytes,
+                "image size mismatch");
+  SECBUS_ASSERT(versions.size() == cfg_.leaf_count, "versions size mismatch");
+  for (std::size_t leaf = 0; leaf < cfg_.leaf_count; ++leaf) {
+    nodes_[cfg_.leaf_count + leaf] =
+        leaf_hash(leaf, image.subspan(leaf * cfg_.block_bytes, cfg_.block_bytes),
+                  versions[leaf]);
+  }
+  for (std::size_t n = cfg_.leaf_count - 1; n >= 1; --n) {
+    nodes_[n] = parent_hash(nodes_[2 * n], nodes_[2 * n + 1]);
+  }
+}
+
+void HashTree::rebuild_zero() {
+  const std::vector<std::uint8_t> zero_block(cfg_.block_bytes, 0);
+  for (std::size_t leaf = 0; leaf < cfg_.leaf_count; ++leaf) {
+    nodes_[cfg_.leaf_count + leaf] =
+        leaf_hash(leaf, std::span<const std::uint8_t>(zero_block), 0);
+  }
+  for (std::size_t n = cfg_.leaf_count - 1; n >= 1; --n) {
+    nodes_[n] = parent_hash(nodes_[2 * n], nodes_[2 * n + 1]);
+  }
+}
+
+HashTree::OpCost HashTree::update(std::size_t leaf,
+                                  std::span<const std::uint8_t> data,
+                                  std::uint32_t version) {
+  SECBUS_ASSERT(leaf < cfg_.leaf_count, "leaf out of range");
+  SECBUS_ASSERT(data.size() == cfg_.block_bytes, "data size mismatch");
+  OpCost cost;
+  std::size_t n = cfg_.leaf_count + leaf;
+  nodes_[n] = leaf_hash(leaf, data, version);
+  cost.hashes += 1;
+  cost.nodes_touched += 1;
+  while (n > 1) {
+    n /= 2;
+    nodes_[n] = parent_hash(nodes_[2 * n], nodes_[2 * n + 1]);
+    cost.hashes += 1;
+    cost.nodes_touched += 3;  // read both children, write parent
+  }
+  return cost;
+}
+
+HashTree::VerifyResult HashTree::verify(std::size_t leaf,
+                                        std::span<const std::uint8_t> data,
+                                        std::uint32_t version) const {
+  SECBUS_ASSERT(leaf < cfg_.leaf_count, "leaf out of range");
+  SECBUS_ASSERT(data.size() == cfg_.block_bytes, "data size mismatch");
+  VerifyResult result;
+  result.cost.hashes = 1;
+  result.cost.nodes_touched = 1;
+
+  // Level 0: the data itself against the stored leaf.
+  const Sha256Digest computed_leaf = leaf_hash(leaf, data, version);
+  std::size_t n = cfg_.leaf_count + leaf;
+  if (!util::ct_equal({computed_leaf.data(), computed_leaf.size()},
+                      {nodes_[n].data(), nodes_[n].size()})) {
+    result.ok = false;
+    result.first_bad_level = 0;
+    return result;
+  }
+
+  // Walk to the root: recompute each parent from the stored children. With
+  // intermediate nodes off-chip, this is what guarantees the chain up to the
+  // trusted on-chip root.
+  std::size_t level = 0;
+  Sha256Digest running = computed_leaf;
+  while (n > 1) {
+    const std::size_t sibling = n ^ 1;
+    const Sha256Digest& left = (n < sibling) ? running : nodes_[sibling];
+    const Sha256Digest& right = (n < sibling) ? nodes_[sibling] : running;
+    running = parent_hash(left, right);
+    result.cost.hashes += 1;
+    result.cost.nodes_touched += 2;
+    n /= 2;
+    ++level;
+    if (!util::ct_equal({running.data(), running.size()},
+                        {nodes_[n].data(), nodes_[n].size()})) {
+      result.ok = false;
+      result.first_bad_level = level;
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+void HashTree::poke_node(std::size_t level, std::size_t idx,
+                         const Sha256Digest& digest) {
+  nodes_[heap_index(level, idx)] = digest;
+}
+
+const Sha256Digest& HashTree::peek_node(std::size_t level, std::size_t idx) const {
+  return nodes_[heap_index(level, idx)];
+}
+
+}  // namespace secbus::crypto

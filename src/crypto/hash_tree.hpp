@@ -1,0 +1,105 @@
+// Merkle hash tree over external-memory blocks (the Integrity Core's data
+// structure, Section IV.B.2 of the paper).
+//
+// Each leaf authenticates one external-memory block of `block_bytes` bytes.
+// The leaf hash binds three things:
+//   H(data || block_address || write_version)
+// * data           -> spoofing (forged ciphertext) changes the hash;
+// * block_address  -> relocation (valid ciphertext moved elsewhere) changes
+//                     the hash even though the data is authentic;
+// * write_version  -> replay (stale ciphertext re-written to its own
+//                     address) changes the hash because the stored version
+//                     advanced. This is the paper's "time stamp tag".
+// Internal nodes are H(left || right); the root is held in trusted on-chip
+// storage. Intermediate nodes conceptually live off-chip, so verify() walks
+// the whole path to the root; tests can poke_node() to model off-chip node
+// tampering and confirm the walk catches it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace secbus::crypto {
+
+class HashTree {
+ public:
+  struct Config {
+    std::size_t leaf_count = 0;   // must be a power of two >= 2
+    std::size_t block_bytes = 0;  // bytes authenticated per leaf
+    std::uint64_t base_addr = 0;  // address of leaf 0's block
+  };
+
+  // Cost of one tree operation in hash invocations and node accesses; the
+  // Integrity Core timing model converts these to cycles.
+  struct OpCost {
+    std::size_t hashes = 0;
+    std::size_t nodes_touched = 0;
+  };
+
+  struct VerifyResult {
+    bool ok = false;
+    // Level where the first mismatch was found: 0 = leaf, depth() = root.
+    // Meaningless when ok.
+    std::size_t first_bad_level = 0;
+    OpCost cost;
+  };
+
+  explicit HashTree(const Config& cfg);
+
+  // Rebuilds the whole tree from a memory image; image must cover
+  // leaf_count * block_bytes bytes and versions must have leaf_count entries.
+  void rebuild(std::span<const std::uint8_t> image,
+               std::span<const std::uint32_t> versions);
+
+  // Rebuilds assuming all-zero content at version 0.
+  void rebuild_zero();
+
+  // Recomputes leaf `leaf` for new data at `version` and refreshes the path
+  // up to the root. Called by the Integrity Core on every protected write.
+  OpCost update(std::size_t leaf, std::span<const std::uint8_t> data,
+                std::uint32_t version);
+
+  // Verifies block data against the tree: recomputes the leaf hash and walks
+  // to the root recomputing parents from stored siblings. Called on every
+  // protected read.
+  [[nodiscard]] VerifyResult verify(std::size_t leaf,
+                                    std::span<const std::uint8_t> data,
+                                    std::uint32_t version) const;
+
+  [[nodiscard]] const Sha256Digest& root() const noexcept { return nodes_[1]; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return cfg_.leaf_count; }
+  [[nodiscard]] std::size_t block_bytes() const noexcept { return cfg_.block_bytes; }
+  [[nodiscard]] std::uint64_t base_addr() const noexcept { return cfg_.base_addr; }
+
+  // Address of the block covered by `leaf`.
+  [[nodiscard]] std::uint64_t leaf_addr(std::size_t leaf) const noexcept;
+
+  // Leaf index covering `addr`; addr must lie inside the protected range.
+  [[nodiscard]] std::size_t leaf_for_addr(std::uint64_t addr) const;
+
+  // --- test hooks -----------------------------------------------------
+  // Overwrites a stored node, modeling off-chip tree-node corruption.
+  // level 0 = leaves, depth() = root; idx indexes nodes within the level.
+  void poke_node(std::size_t level, std::size_t idx, const Sha256Digest& digest);
+  [[nodiscard]] const Sha256Digest& peek_node(std::size_t level, std::size_t idx) const;
+
+ private:
+  [[nodiscard]] Sha256Digest leaf_hash(std::size_t leaf,
+                                       std::span<const std::uint8_t> data,
+                                       std::uint32_t version) const noexcept;
+  [[nodiscard]] static Sha256Digest parent_hash(const Sha256Digest& left,
+                                                const Sha256Digest& right) noexcept;
+  // Flat heap index of (level, idx): leaves live at [leaf_count, 2*leaf_count).
+  [[nodiscard]] std::size_t heap_index(std::size_t level, std::size_t idx) const;
+
+  Config cfg_;
+  std::size_t depth_ = 0;
+  // 1-based heap: nodes_[1] root, children of n at 2n, 2n+1. nodes_[0] unused.
+  std::vector<Sha256Digest> nodes_;
+};
+
+}  // namespace secbus::crypto

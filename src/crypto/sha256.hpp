@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4), from scratch. Streaming interface plus one-shot
+// helpers. This is the hash behind the paper's Integrity Core hash trees.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace secbus::crypto {
+
+inline constexpr std::size_t kSha256DigestBytes = 32;
+inline constexpr std::size_t kSha256BlockBytes = 64;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestBytes>;
+
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view text) noexcept;
+
+  // Finalizes and returns the digest; the context must be reset() before
+  // reuse afterwards.
+  [[nodiscard]] Sha256Digest finalize() noexcept;
+
+  // One-shot digest of a byte span.
+  [[nodiscard]] static Sha256Digest digest(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] static Sha256Digest digest(std::string_view text) noexcept;
+
+  // Global count of compression-function invocations (shared across all
+  // contexts); the Integrity Core timing model samples it to charge cycles
+  // proportional to real hashing work.
+  [[nodiscard]] static std::uint64_t compression_count() noexcept;
+  static void reset_compression_count() noexcept;
+
+ private:
+  void process_block(const std::uint8_t block[kSha256BlockBytes]) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kSha256BlockBytes> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace secbus::crypto

@@ -1,0 +1,77 @@
+#include "ip/trace_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace secbus::ip {
+
+std::string trace_to_string(const std::vector<TraceRecord>& records) {
+  std::string out;
+  char line[96];
+  for (const TraceRecord& r : records) {
+    std::snprintf(line, sizeof(line), "%llu %c %llx %u %u\n",
+                  static_cast<unsigned long long>(r.delay),
+                  r.op == bus::BusOp::kRead ? 'r' : 'w',
+                  static_cast<unsigned long long>(r.addr),
+                  static_cast<unsigned>(bus::beat_bytes(r.format)) * 8,
+                  static_cast<unsigned>(r.burst));
+    out += line;
+  }
+  return out;
+}
+
+std::vector<TraceRecord> trace_from_string(const std::string& text, bool* ok) {
+  if (ok != nullptr) *ok = true;
+  std::vector<TraceRecord> records;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    unsigned long long delay = 0, addr = 0;
+    unsigned bits = 0, burst = 0;
+    char opc = 0;
+    if (std::sscanf(line.c_str(), "%llu %c %llx %u %u", &delay, &opc, &addr,
+                    &bits, &burst) != 5 ||
+        (opc != 'r' && opc != 'w') ||
+        (bits != 8 && bits != 16 && bits != 32) || burst == 0 ||
+        burst > 0xFFFF) {
+      if (ok != nullptr) *ok = false;
+      return {};
+    }
+    TraceRecord r;
+    r.delay = delay;
+    r.op = opc == 'r' ? bus::BusOp::kRead : bus::BusOp::kWrite;
+    r.addr = addr;
+    r.format = bits == 8    ? bus::DataFormat::kByte
+               : bits == 16 ? bus::DataFormat::kHalfWord
+                            : bus::DataFormat::kWord;
+    r.burst = static_cast<std::uint16_t>(burst);
+    records.push_back(r);
+  }
+  return records;
+}
+
+bool write_trace(const std::string& path, const std::vector<TraceRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = trace_to_string(records);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::vector<TraceRecord> read_trace(const std::string& path, bool* ok) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    if (ok != nullptr) *ok = false;
+    return {};
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return trace_from_string(text, ok);
+}
+
+}  // namespace secbus::ip

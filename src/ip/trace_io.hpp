@@ -1,0 +1,42 @@
+// Memory-access trace capture and replay.
+//
+// Workloads can be captured from a live Processor run and replayed
+// deterministically (e.g. to compare the same access stream with and without
+// firewalls, which is how the comm-ratio bench isolates protection overhead
+// from workload randomness). The on-disk format is a plain text file, one
+// record per line:
+//   <delay_cycles> <r|w> <hex addr> <format bits: 8|16|32> <burst beats>
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bus/transaction.hpp"
+#include "sim/types.hpp"
+
+namespace secbus::ip {
+
+struct TraceRecord {
+  sim::Cycle delay = 0;  // compute gap before the access
+  bus::BusOp op = bus::BusOp::kRead;
+  sim::Addr addr = 0;
+  bus::DataFormat format = bus::DataFormat::kWord;
+  std::uint16_t burst = 1;
+
+  [[nodiscard]] bool operator==(const TraceRecord&) const = default;
+};
+
+// Serializes records to the text format above. Returns false on I/O error.
+bool write_trace(const std::string& path, const std::vector<TraceRecord>& records);
+
+// Parses a trace file; on malformed input returns an empty vector and sets
+// *ok=false.
+[[nodiscard]] std::vector<TraceRecord> read_trace(const std::string& path,
+                                                  bool* ok = nullptr);
+
+// In-memory round trip used by tests and by tools that pipe traces.
+[[nodiscard]] std::string trace_to_string(const std::vector<TraceRecord>& records);
+[[nodiscard]] std::vector<TraceRecord> trace_from_string(const std::string& text,
+                                                         bool* ok = nullptr);
+
+}  // namespace secbus::ip

@@ -1,0 +1,66 @@
+#include "mem/backing_store.hpp"
+
+#include <cstring>
+
+namespace secbus::mem {
+
+const BackingStore::Page* BackingStore::find_page(
+    std::uint64_t page_index) const noexcept {
+  const auto it = pages_.find(page_index);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+BackingStore::Page& BackingStore::get_or_create_page(std::uint64_t page_index) {
+  auto it = pages_.find(page_index);
+  if (it == pages_.end()) {
+    auto page = std::make_unique<Page>();
+    page->fill(fill_);
+    it = pages_.emplace(page_index, std::move(page)).first;
+  }
+  return *it->second;
+}
+
+void BackingStore::read(sim::Addr addr, std::span<std::uint8_t> out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t page_index = (addr + done) / kPageBytes;
+    const std::size_t offset = static_cast<std::size_t>((addr + done) % kPageBytes);
+    const std::size_t chunk = std::min(out.size() - done, kPageBytes - offset);
+    if (const Page* page = find_page(page_index); page != nullptr) {
+      std::memcpy(out.data() + done, page->data() + offset, chunk);
+    } else {
+      std::memset(out.data() + done, fill_, chunk);
+    }
+    done += chunk;
+  }
+}
+
+void BackingStore::write(sim::Addr addr, std::span<const std::uint8_t> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t page_index = (addr + done) / kPageBytes;
+    const std::size_t offset = static_cast<std::size_t>((addr + done) % kPageBytes);
+    const std::size_t chunk = std::min(data.size() - done, kPageBytes - offset);
+    Page& page = get_or_create_page(page_index);
+    std::memcpy(page.data() + offset, data.data() + done, chunk);
+    done += chunk;
+  }
+  bytes_written_ += data.size();
+}
+
+std::uint8_t BackingStore::read_byte(sim::Addr addr) const {
+  std::uint8_t b;
+  read(addr, std::span<std::uint8_t>(&b, 1));
+  return b;
+}
+
+void BackingStore::write_byte(sim::Addr addr, std::uint8_t value) {
+  write(addr, std::span<const std::uint8_t>(&value, 1));
+}
+
+void BackingStore::clear() {
+  pages_.clear();
+  bytes_written_ = 0;
+}
+
+}  // namespace secbus::mem

@@ -1,0 +1,58 @@
+// Sparse byte-addressable backing store for memory models.
+//
+// Pages are allocated on first touch so multi-gigabyte address spaces cost
+// only what the workload touches. The store also exposes peek/poke, which the
+// attack framework uses to model *physical* tampering with the external
+// memory (Section III.B: the attacker reaches the system only through the
+// external bus and external memory) — peek/poke bypass the bus, the
+// firewalls, and all timing, exactly like a probe on the DDR pins.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "sim/types.hpp"
+
+namespace secbus::mem {
+
+class BackingStore {
+ public:
+  static constexpr std::size_t kPageBytes = 4096;
+
+  // Reads `out.size()` bytes starting at addr; untouched pages read as the
+  // fill byte (0x00 by default).
+  void read(sim::Addr addr, std::span<std::uint8_t> out) const;
+
+  // Writes bytes starting at addr, allocating pages as needed.
+  void write(sim::Addr addr, std::span<const std::uint8_t> data);
+
+  [[nodiscard]] std::uint8_t read_byte(sim::Addr addr) const;
+  void write_byte(sim::Addr addr, std::uint8_t value);
+
+  // Attack-framework aliases: identical to read/write but kept separate so
+  // call sites make tampering explicit and countable.
+  void peek(sim::Addr addr, std::span<std::uint8_t> out) const { read(addr, out); }
+  void poke(sim::Addr addr, std::span<const std::uint8_t> data) { write(addr, data); }
+
+  [[nodiscard]] std::size_t allocated_pages() const noexcept { return pages_.size(); }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+
+  void set_fill_byte(std::uint8_t fill) noexcept { fill_ = fill; }
+
+  void clear();
+
+ private:
+  using Page = std::array<std::uint8_t, kPageBytes>;
+
+  [[nodiscard]] const Page* find_page(std::uint64_t page_index) const noexcept;
+  Page& get_or_create_page(std::uint64_t page_index);
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  std::uint64_t bytes_written_ = 0;
+  std::uint8_t fill_ = 0x00;
+};
+
+}  // namespace secbus::mem

@@ -1,0 +1,46 @@
+// On-chip BRAM memory model (the case study's "internal shared memory").
+//
+// Xilinx block RAM reads synchronously in one cycle; we model a fixed
+// single-cycle access independent of burst position (the bus model already
+// charges one cycle per data beat). BRAM lives inside the trusted FPGA
+// boundary, so it has no peek/poke tampering surface — the only way in is
+// through the bus, which is exactly what the Local Firewalls guard.
+#pragma once
+
+#include <string>
+
+#include "bus/ports.hpp"
+#include "mem/backing_store.hpp"
+
+namespace secbus::mem {
+
+class Bram final : public bus::SlaveDevice {
+ public:
+  struct Config {
+    sim::Addr base = 0;
+    std::uint64_t size = 0;
+    sim::Cycle access_latency = 1;
+  };
+
+  Bram(std::string name, const Config& cfg);
+
+  bus::AccessResult access(bus::BusTransaction& t, sim::Cycle now) override;
+  [[nodiscard]] std::string_view slave_name() const override { return name_; }
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+
+  // Direct initialization for test fixtures / program loading (not a
+  // tampering surface; models the bitstream preloading BRAM contents).
+  BackingStore& store() noexcept { return store_; }
+
+ private:
+  std::string name_;
+  Config cfg_;
+  BackingStore store_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace secbus::mem

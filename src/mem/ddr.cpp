@@ -1,0 +1,69 @@
+#include "mem/ddr.hpp"
+
+#include "util/assert.hpp"
+
+namespace secbus::mem {
+
+DdrMemory::DdrMemory(std::string name, const Config& cfg)
+    : name_(std::move(name)), cfg_(cfg), bank_state_(cfg.banks) {
+  SECBUS_ASSERT(cfg.size > 0, "DDR must have nonzero size");
+  SECBUS_ASSERT(cfg.banks > 0, "DDR needs at least one bank");
+  SECBUS_ASSERT(cfg.row_bytes > 0, "DDR row size must be nonzero");
+}
+
+unsigned DdrMemory::bank_of(sim::Addr addr) const noexcept {
+  // Row-interleaved banking: consecutive rows map to consecutive banks.
+  return static_cast<unsigned>(((addr - cfg_.base) / cfg_.row_bytes) % cfg_.banks);
+}
+
+std::uint64_t DdrMemory::row_of(sim::Addr addr) const noexcept {
+  return ((addr - cfg_.base) / cfg_.row_bytes) / cfg_.banks;
+}
+
+bus::AccessResult DdrMemory::access(bus::BusTransaction& t, sim::Cycle now) {
+  if (t.addr < cfg_.base || t.end_addr() > cfg_.base + cfg_.size) {
+    return {1, bus::TransStatus::kSlaveError};
+  }
+
+  const unsigned bank = bank_of(t.addr);
+  const std::uint64_t row = row_of(t.addr);
+  BankState& state = bank_state_[bank];
+
+  sim::Cycle latency;
+  if (state.row_open && state.open_row == row) {
+    latency = cfg_.t_cas;
+    ++stats_.row_hits;
+  } else {
+    latency = (state.row_open ? cfg_.t_rp : 0) + cfg_.t_rcd + cfg_.t_cas;
+    ++stats_.row_misses;
+    state.row_open = true;
+    state.open_row = row;
+  }
+
+  if (cfg_.refresh_interval > 0) {
+    const sim::Cycle epoch = now / cfg_.refresh_interval;
+    if (epoch != last_refresh_epoch_) {
+      last_refresh_epoch_ = epoch;
+      latency += cfg_.refresh_penalty;
+      ++stats_.refresh_stalls;
+    }
+  }
+
+  if (t.is_write()) {
+    store_.write(t.addr, std::span<const std::uint8_t>(t.data.data(), t.data.size()));
+    ++stats_.writes;
+  } else {
+    t.data.resize(t.payload_bytes());
+    store_.read(t.addr, std::span<std::uint8_t>(t.data.data(), t.data.size()));
+    ++stats_.reads;
+  }
+  return {latency, bus::TransStatus::kOk};
+}
+
+void DdrMemory::reset_timing_state() {
+  for (auto& b : bank_state_) b = BankState{};
+  stats_ = {};
+  last_refresh_epoch_ = 0;
+}
+
+}  // namespace secbus::mem

@@ -1,0 +1,5 @@
+#include "sim/component.hpp"
+
+// Component is header-only today; this translation unit anchors the vtable so
+// that the class's key function has a home and incremental builds stay fast.
+namespace secbus::sim {}

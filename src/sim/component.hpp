@@ -1,0 +1,43 @@
+// Component base class for the cycle-driven simulation kernel.
+#pragma once
+
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace secbus::sim {
+
+class SimKernel;
+
+// A clocked hardware block. The kernel calls tick() once per cycle in
+// registration order; determinism comes from that fixed order plus the rule
+// that components exchange data only through explicit queues whose contents
+// are consumed on the *next* cycle (one-cycle wire delay, like a registered
+// output in RTL). Combinational shortcuts are allowed inside a single
+// component but never across components.
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  // Advance one clock cycle. `now` is the cycle being executed.
+  virtual void tick(Cycle now) = 0;
+
+  // Return to power-on state. Kernel reset() calls this on every component.
+  virtual void reset() {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // Set by the kernel at registration; null until then.
+  [[nodiscard]] SimKernel* kernel() const noexcept { return kernel_; }
+
+ private:
+  friend class SimKernel;
+  std::string name_;
+  SimKernel* kernel_ = nullptr;
+};
+
+}  // namespace secbus::sim

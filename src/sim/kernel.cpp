@@ -1,0 +1,56 @@
+#include "sim/kernel.hpp"
+
+#include "util/assert.hpp"
+
+namespace secbus::sim {
+
+void SimKernel::add(Component& c) {
+  SECBUS_ASSERT(c.kernel_ == nullptr || c.kernel_ == this,
+                "component already registered with another kernel");
+  c.kernel_ = this;
+  components_.push_back(&c);
+}
+
+void SimKernel::step() {
+  // Phase 1: due callbacks (scheduled events) run before any component ticks
+  // this cycle, in (cycle, FIFO) order. A callback may schedule more work for
+  // the same cycle; it runs within this phase.
+  while (!pending_.empty() && pending_.top().when <= now_) {
+    // priority_queue::top is const; move out via const_cast-free copy of fn.
+    Scheduled ev = pending_.top();
+    pending_.pop();
+    ev.fn();
+  }
+  // Phase 2: tick all components in registration order.
+  for (Component* c : components_) {
+    c->tick(now_);
+    ++ticks_executed_;
+  }
+  ++now_;
+}
+
+void SimKernel::run(Cycle n) {
+  for (Cycle i = 0; i < n; ++i) step();
+}
+
+bool SimKernel::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+  for (Cycle i = 0; i < max_cycles; ++i) {
+    if (done()) return true;
+    step();
+  }
+  return done();
+}
+
+void SimKernel::schedule(Cycle delay, std::function<void()> fn) {
+  pending_.push(Scheduled{now_ + delay, seq_++, std::move(fn)});
+}
+
+void SimKernel::reset() {
+  now_ = 0;
+  ticks_executed_ = 0;
+  seq_ = 0;
+  pending_ = {};
+  for (Component* c : components_) c->reset();
+}
+
+}  // namespace secbus::sim

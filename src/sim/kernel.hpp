@@ -1,0 +1,79 @@
+// Cycle-driven simulation kernel.
+//
+// The kernel owns nothing: components are built and owned by the SoC layer
+// (or by tests) and registered here. Each cycle the kernel
+//   1. fires due delayed callbacks (schedule()), in deterministic order, then
+//   2. ticks every registered component in registration order.
+// Both orders are fixed, so a run is a pure function of (wiring, seeds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace secbus::sim {
+
+class SimKernel {
+ public:
+  SimKernel() = default;
+
+  SimKernel(const SimKernel&) = delete;
+  SimKernel& operator=(const SimKernel&) = delete;
+
+  // Registers a component; the kernel keeps a non-owning pointer. Components
+  // must outlive the kernel's run calls. Registration order defines tick
+  // order and must therefore be deterministic in the caller.
+  void add(Component& c);
+
+  // Runs exactly n cycles.
+  void run(Cycle n);
+
+  // Runs until `done()` returns true (checked after each cycle) or until
+  // `max_cycles` elapse, whichever is first. Returns true when the predicate
+  // fired, false on timeout.
+  bool run_until(const std::function<bool()>& done, Cycle max_cycles);
+
+  // Executes a single cycle.
+  void step();
+
+  // Schedules `fn` to run at cycle `now + delay`, before components tick.
+  // delay 0 means "at the start of the next step()" when called outside a
+  // step, or "this cycle, before ticks" when called from another callback.
+  void schedule(Cycle delay, std::function<void()> fn);
+
+  // Resets time to 0, clears pending callbacks and resets all components.
+  void reset();
+
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t ticks_executed() const noexcept {
+    return ticks_executed_;
+  }
+  [[nodiscard]] std::size_t component_count() const noexcept {
+    return components_.size();
+  }
+
+ private:
+  struct Scheduled {
+    Cycle when;
+    std::uint64_t seq;  // tie-break so equal-cycle callbacks run FIFO
+    std::function<void()> fn;
+  };
+  struct ScheduledLater {
+    bool operator()(const Scheduled& a, const Scheduled& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Component*> components_;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, ScheduledLater> pending_;
+  Cycle now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t ticks_executed_ = 0;
+};
+
+}  // namespace secbus::sim

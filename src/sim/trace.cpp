@@ -1,0 +1,85 @@
+#include "sim/trace.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace secbus::sim {
+
+const char* to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kTransIssued: return "trans_issued";
+    case TraceKind::kSecpolReq: return "secpol_req";
+    case TraceKind::kCheckResult: return "check_result";
+    case TraceKind::kTransOnBus: return "trans_on_bus";
+    case TraceKind::kTransComplete: return "trans_complete";
+    case TraceKind::kTransDiscarded: return "trans_discarded";
+    case TraceKind::kAlert: return "alert";
+    case TraceKind::kCipherOp: return "cipher_op";
+    case TraceKind::kIntegrityOp: return "integrity_op";
+    case TraceKind::kPolicyUpdate: return "policy_update";
+    case TraceKind::kAttackAction: return "attack_action";
+  }
+  return "?";
+}
+
+void EventTrace::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  ring_.clear();
+  ring_.reserve(capacity);
+  head_ = 0;
+}
+
+void EventTrace::record(const TraceEvent& ev) {
+  ++total_;
+  ++per_kind_[static_cast<std::size_t>(ev.kind) % per_kind_.size()];
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[head_] = ev;
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<TraceEvent> EventTrace::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t EventTrace::count_of(TraceKind kind) const noexcept {
+  return per_kind_[static_cast<std::size_t>(kind) % per_kind_.size()];
+}
+
+void EventTrace::clear() {
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+  per_kind_ = {};
+}
+
+std::string EventTrace::format(std::size_t max_lines) const {
+  const auto events = snapshot();
+  const std::size_t start =
+      events.size() > max_lines ? events.size() - max_lines : 0;
+  std::string out;
+  char line[192];
+  for (std::size_t i = start; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    std::snprintf(line, sizeof(line),
+                  "%10llu  %-16s %-22s trans=%llu addr=0x%08llx detail=%llu\n",
+                  static_cast<unsigned long long>(ev.cycle), to_string(ev.kind),
+                  ev.source, static_cast<unsigned long long>(ev.trans),
+                  static_cast<unsigned long long>(ev.addr),
+                  static_cast<unsigned long long>(ev.detail));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace secbus::sim

@@ -1,0 +1,38 @@
+#include "soc/presets.hpp"
+
+namespace secbus::soc {
+
+SocConfig section5_config() {
+  SocConfig cfg;  // defaults already encode the case study
+  cfg.processors = 3;
+  cfg.dedicated_ip = true;
+  cfg.security = SecurityMode::kDistributed;
+  cfg.protection = ProtectionLevel::kFull;
+  return cfg;
+}
+
+SocConfig unprotected_config() {
+  SocConfig cfg = section5_config();
+  cfg.security = SecurityMode::kNone;
+  return cfg;
+}
+
+SocConfig centralized_config() {
+  SocConfig cfg = section5_config();
+  cfg.security = SecurityMode::kCentralized;
+  return cfg;
+}
+
+SocConfig tiny_test_config() {
+  SocConfig cfg;
+  cfg.processors = 1;
+  cfg.dedicated_ip = false;
+  cfg.bram_size = 64 * 1024;
+  cfg.ddr_size = 256 * 1024;
+  cfg.ddr_protected_size = 64 * 1024;
+  cfg.transactions_per_cpu = 50;
+  cfg.seed = 7;
+  return cfg;
+}
+
+}  // namespace secbus::soc

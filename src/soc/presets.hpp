@@ -1,0 +1,23 @@
+// Canonical SoC configurations used across tests, benches and examples.
+#pragma once
+
+#include "soc/soc_config.hpp"
+
+namespace secbus::soc {
+
+// The paper's Section-V case study: 3 MicroBlaze processors, one internal
+// BRAM, one external DDR, one dedicated IP, distributed firewalls, full
+// external-memory protection, Table-II timing parameters.
+[[nodiscard]] SocConfig section5_config();
+
+// The same system without any security (Table I "generic w/o firewalls").
+[[nodiscard]] SocConfig unprotected_config();
+
+// The same system with the SECA-like centralized baseline.
+[[nodiscard]] SocConfig centralized_config();
+
+// A small fast-running system for unit/integration tests: one processor,
+// smaller memories, short workloads. Deterministic and quick.
+[[nodiscard]] SocConfig tiny_test_config();
+
+}  // namespace secbus::soc

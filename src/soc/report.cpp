@@ -1,0 +1,118 @@
+#include "soc/report.hpp"
+
+#include <cstdio>
+
+#include "util/table.hpp"
+
+namespace secbus::soc {
+
+namespace {
+
+std::vector<std::string> firewall_row(const std::string& name,
+                                      const core::FirewallStats& s) {
+  return {name,
+          std::to_string(s.secpol_reqs),
+          std::to_string(s.passed),
+          std::to_string(s.blocked),
+          std::to_string(s.check_cycles),
+          std::to_string(s.violation_count(core::Violation::kNoMatchingSegment)),
+          std::to_string(s.violation_count(core::Violation::kRwViolation)),
+          std::to_string(s.violation_count(core::Violation::kFormatViolation))};
+}
+
+}  // namespace
+
+std::string render_firewall_report(Soc& soc) {
+  util::TextTable table("Per-firewall activity (Figure 1 wires)");
+  table.set_header({"Firewall", "secpol_req", "pass", "discard", "check cyc",
+                    "seg viol", "rwa viol", "adf viol"});
+  for (const auto& fw : soc.master_firewalls()) {
+    table.add_row(firewall_row(fw->name(), fw->stats()));
+  }
+  if (soc.bram_firewall() != nullptr) {
+    table.add_row(firewall_row("lf_bram", soc.bram_firewall()->stats()));
+  }
+  if (soc.lcf() != nullptr) {
+    table.add_row(firewall_row("lcf_ddr", soc.lcf()->firewall_stats()));
+  }
+  return table.render();
+}
+
+std::string render_lcf_report(Soc& soc) {
+  const auto* lcf = soc.lcf();
+  if (lcf == nullptr) return {};
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "LCF internals (%s / %s): reads=%llu writes=%llu passthrough=%llu\n"
+      "  lines enc/dec=%llu/%llu rmw=%llu integrity_failures=%llu\n"
+      "  CC: %llu ops, %llu bytes, %llu cycles | IC: %llu upd, %llu ver, "
+      "%llu hashes, %llu cycles\n",
+      to_string(lcf->cm()), to_string(lcf->im()),
+      static_cast<unsigned long long>(lcf->stats().protected_reads),
+      static_cast<unsigned long long>(lcf->stats().protected_writes),
+      static_cast<unsigned long long>(lcf->stats().passthrough),
+      static_cast<unsigned long long>(lcf->stats().lines_encrypted),
+      static_cast<unsigned long long>(lcf->stats().lines_decrypted),
+      static_cast<unsigned long long>(lcf->stats().read_modify_writes),
+      static_cast<unsigned long long>(lcf->stats().integrity_failures),
+      static_cast<unsigned long long>(lcf->cc().stats().operations),
+      static_cast<unsigned long long>(lcf->cc().stats().bytes),
+      static_cast<unsigned long long>(lcf->cc().stats().cycles_charged),
+      static_cast<unsigned long long>(lcf->ic().stats().updates),
+      static_cast<unsigned long long>(lcf->ic().stats().verifies),
+      static_cast<unsigned long long>(lcf->ic().stats().hash_invocations),
+      static_cast<unsigned long long>(lcf->ic().stats().cycles_charged));
+  return buf;
+}
+
+std::string render_performance_report(Soc& soc) {
+  util::TextTable table("Bus masters");
+  table.set_header({"Master", "grants", "errors", "mean wait", "mean service"});
+  for (const auto& ms : soc.bus().master_stats()) {
+    table.add_row({ms.name, std::to_string(ms.grants),
+                   std::to_string(ms.errors),
+                   util::TextTable::fmt(ms.wait_cycles.mean(), 1),
+                   util::TextTable::fmt(ms.service_cycles.mean(), 1)});
+  }
+  std::string out = table.render();
+
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "Bus: %llu transactions, occupancy %.1f%%, %llu bytes | "
+                "DDR: %llu reads %llu writes, row-hit %.0f%%\n",
+                static_cast<unsigned long long>(soc.bus().stats().transactions),
+                100.0 * soc.bus().stats().occupancy(),
+                static_cast<unsigned long long>(
+                    soc.bus().stats().bytes_transferred),
+                static_cast<unsigned long long>(soc.ddr().stats().reads),
+                static_cast<unsigned long long>(soc.ddr().stats().writes),
+                100.0 * soc.ddr().stats().hit_rate());
+  out += buf;
+  return out;
+}
+
+std::string render_alert_report(Soc& soc, std::size_t max_alerts) {
+  const auto& alerts = soc.log().alerts();
+  std::string out =
+      "Alerts: " + std::to_string(alerts.size()) + "\n";
+  const std::size_t n = std::min(alerts.size(), max_alerts);
+  for (std::size_t i = 0; i < n; ++i) {
+    out += "  " + alerts[i].describe() + "\n";
+  }
+  if (alerts.size() > n) {
+    out += "  ... (" + std::to_string(alerts.size() - n) + " more)\n";
+  }
+  return out;
+}
+
+std::string render_full_report(Soc& soc) {
+  std::string out = render_firewall_report(soc);
+  const std::string lcf = render_lcf_report(soc);
+  if (!lcf.empty()) out += lcf;
+  out += render_performance_report(soc);
+  out += render_alert_report(soc);
+  return out;
+}
+
+}  // namespace secbus::soc

@@ -1,0 +1,32 @@
+// Human-readable security/performance reports for a Soc run.
+//
+// Centralizes the tables that the examples and the Figure-1 bench print:
+// per-firewall signal activity (the live counterpart of Figure 1's
+// secpol_req / check_results / alert_signals wires), LCF internals, bus and
+// memory statistics, and the alert log.
+#pragma once
+
+#include <string>
+
+#include "soc/soc.hpp"
+
+namespace secbus::soc {
+
+// Per-firewall activity table (Figure 1 wires).
+[[nodiscard]] std::string render_firewall_report(Soc& soc);
+
+// LCF internals: protected traffic, CC/IC work, integrity failures.
+// Empty string when the SoC has no LCF (unsecured/centralized modes).
+[[nodiscard]] std::string render_lcf_report(Soc& soc);
+
+// Bus + memory performance counters.
+[[nodiscard]] std::string render_performance_report(Soc& soc);
+
+// The alert log, one line per alert (up to `max_alerts`).
+[[nodiscard]] std::string render_alert_report(Soc& soc,
+                                              std::size_t max_alerts = 32);
+
+// Everything above concatenated — the one-call post-run summary.
+[[nodiscard]] std::string render_full_report(Soc& soc);
+
+}  // namespace secbus::soc

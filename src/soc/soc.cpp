@@ -1,0 +1,402 @@
+#include "soc/soc.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace secbus::soc {
+
+const char* to_string(SecurityMode mode) noexcept {
+  switch (mode) {
+    case SecurityMode::kNone: return "none";
+    case SecurityMode::kDistributed: return "distributed";
+    case SecurityMode::kCentralized: return "centralized";
+  }
+  return "?";
+}
+
+const char* to_string(ProtectionLevel level) noexcept {
+  switch (level) {
+    case ProtectionLevel::kPlaintext: return "plaintext";
+    case ProtectionLevel::kCipherOnly: return "cipher-only";
+    case ProtectionLevel::kFull: return "cipher+integrity";
+  }
+  return "?";
+}
+
+AddressPlan AddressPlan::from_config(const SocConfig& cfg) {
+  SECBUS_ASSERT(cfg.bram_size > 16 * 1024, "BRAM too small for the plan");
+  SECBUS_ASSERT(cfg.ddr_protected_base == cfg.ddr_base,
+                "plan expects the protected window at the DDR base");
+  SECBUS_ASSERT(cfg.ddr_protected_size < cfg.ddr_size,
+                "plan expects an unprotected scratch region after the window");
+
+  AddressPlan plan;
+  const std::uint64_t boot_size = 16 * 1024;
+  plan.bram_scratch = {cfg.bram_base, cfg.bram_size - boot_size};
+  plan.bram_boot = {cfg.bram_base + cfg.bram_size - boot_size, boot_size};
+
+  const std::uint64_t window = util::align_down(
+      cfg.ddr_protected_size / (cfg.processors + 1), 4096);
+  SECBUS_ASSERT(window >= 4096, "protected region too small for CPU windows");
+  for (std::size_t i = 0; i < cfg.processors; ++i) {
+    plan.cpu_windows.push_back(
+        {cfg.ddr_protected_base + i * window, window});
+  }
+  plan.shared_code = {cfg.ddr_protected_base + cfg.processors * window,
+                      cfg.ddr_protected_size - cfg.processors * window};
+  plan.ddr_scratch = {cfg.ddr_base + cfg.ddr_protected_size,
+                      cfg.ddr_size - cfg.ddr_protected_size};
+  return plan;
+}
+
+namespace {
+
+crypto::Aes128Key derive_soc_key(std::uint64_t seed) {
+  // The CK policy parameter; deterministic per SoC seed.
+  std::uint64_t sm = seed ^ 0xC0DEC0DEC0DEC0DEULL;
+  crypto::Aes128Key key{};
+  for (std::size_t i = 0; i < key.size(); i += 8) {
+    util::store_le64(key.data() + i, util::splitmix64_next(sm));
+  }
+  return key;
+}
+
+}  // namespace
+
+Soc::Soc(const SocConfig& cfg)
+    : cfg_(cfg), plan_(AddressPlan::from_config(cfg)), trace_(cfg.trace_capacity) {
+  bus_ = std::make_unique<bus::SystemBus>("system_bus");
+  if (trace_.enabled()) bus_->set_trace(&trace_);
+
+  build_policies();
+  build_memory();
+  build_masters();
+  register_components();
+
+  if (cfg_.enable_reconfig) {
+    reconfig_ = std::make_unique<core::PolicyReconfigurator>(config_mem_, log_);
+    // Integrity alerts from the LCF indicate *external* tampering; locking
+    // down the external memory interface would be self-inflicted DoS.
+    reconfig_->exempt(kFwLcf);
+  }
+}
+
+void Soc::append_extra_rules(core::PolicyBuilder& builder) const {
+  // Dummy far-away segments that never match real traffic; they only grow
+  // the rule list (policy-aggressiveness ablation).
+  for (std::size_t i = 0; i < cfg_.extra_rules; ++i) {
+    builder.allow(0xF000'0000ULL + i * 0x100, 0x80, core::RwAccess::kReadOnly,
+                  core::FormatMask::k32, "ablation-dummy");
+  }
+}
+
+core::SecurityPolicy Soc::cpu_policy(std::size_t i) const {
+  SECBUS_ASSERT(i < cfg_.processors, "cpu_policy index out of range");
+  core::PolicyBuilder b(static_cast<std::uint32_t>(kFwCpuBase + i));
+  b.allow(plan_.bram_scratch.base, plan_.bram_scratch.size,
+          core::RwAccess::kReadWrite, core::FormatMask::kAll, "bram-scratch");
+  b.allow(plan_.bram_boot.base, plan_.bram_boot.size, core::RwAccess::kReadOnly,
+          core::FormatMask::k32, "bram-boot");
+  b.allow(plan_.cpu_windows[i].base, plan_.cpu_windows[i].size,
+          core::RwAccess::kReadWrite, core::FormatMask::kAll, "private-ext");
+  b.allow(plan_.shared_code.base, plan_.shared_code.size,
+          core::RwAccess::kReadOnly, core::FormatMask::k32, "shared-code");
+  b.allow(plan_.ddr_scratch.base, plan_.ddr_scratch.size,
+          core::RwAccess::kReadWrite, core::FormatMask::kAll, "ext-scratch");
+  append_extra_rules(b);
+  return b.build();
+}
+
+core::SecurityPolicy Soc::dma_policy() const {
+  core::PolicyBuilder b(kFwDma);
+  b.allow(plan_.bram_scratch.base, plan_.bram_scratch.size,
+          core::RwAccess::kReadWrite, core::FormatMask::k32, "bram-scratch");
+  b.allow(plan_.shared_code.base, plan_.shared_code.size,
+          core::RwAccess::kReadWrite, core::FormatMask::k32, "shared-code");
+  b.allow(plan_.ddr_scratch.base, plan_.ddr_scratch.size,
+          core::RwAccess::kReadWrite, core::FormatMask::k32, "ext-scratch");
+  append_extra_rules(b);
+  return b.build();
+}
+
+core::SecurityPolicy Soc::bram_policy() const {
+  core::PolicyBuilder b(kFwBram);
+  b.allow(plan_.bram_scratch.base, plan_.bram_scratch.size,
+          core::RwAccess::kReadWrite, core::FormatMask::kAll, "bram-scratch");
+  b.allow(plan_.bram_boot.base, plan_.bram_boot.size, core::RwAccess::kReadOnly,
+          core::FormatMask::k32, "bram-boot");
+  append_extra_rules(b);
+  return b.build();
+}
+
+core::SecurityPolicy Soc::lcf_policy() const {
+  core::PolicyBuilder b(kFwLcf);
+  b.allow(cfg_.ddr_protected_base, cfg_.ddr_protected_size,
+          core::RwAccess::kReadWrite, core::FormatMask::kAll, "ext-protected");
+  b.allow(plan_.ddr_scratch.base, plan_.ddr_scratch.size,
+          core::RwAccess::kReadWrite, core::FormatMask::kAll, "ext-scratch");
+  append_extra_rules(b);
+  switch (cfg_.protection) {
+    case ProtectionLevel::kPlaintext:
+      b.confidentiality(core::ConfidentialityMode::kBypass);
+      b.integrity(core::IntegrityMode::kBypass);
+      break;
+    case ProtectionLevel::kCipherOnly:
+      b.confidentiality(core::ConfidentialityMode::kCipher);
+      b.integrity(core::IntegrityMode::kBypass);
+      break;
+    case ProtectionLevel::kFull:
+      b.confidentiality(core::ConfidentialityMode::kCipher);
+      b.integrity(core::IntegrityMode::kHashTree);
+      break;
+  }
+  b.key(derive_soc_key(cfg_.seed));
+  return b.build();
+}
+
+void Soc::build_policies() {
+  for (std::size_t i = 0; i < cfg_.processors; ++i) {
+    config_mem_.install(static_cast<core::FirewallId>(kFwCpuBase + i),
+                        cpu_policy(i));
+  }
+  if (cfg_.dedicated_ip) config_mem_.install(kFwDma, dma_policy());
+  config_mem_.install(kFwBram, bram_policy());
+  config_mem_.install(kFwLcf, lcf_policy());
+}
+
+void Soc::build_memory() {
+  bram_ = std::make_unique<mem::Bram>(
+      "bram", mem::Bram::Config{cfg_.bram_base, cfg_.bram_size, 1});
+  mem::DdrMemory::Config ddr_cfg;
+  ddr_cfg.base = cfg_.ddr_base;
+  ddr_cfg.size = cfg_.ddr_size;
+  ddr_ = std::make_unique<mem::DdrMemory>("ddr", ddr_cfg);
+
+  const auto sb_cfg = [this] {
+    core::SecurityBuilder::Config c;
+    c.base_check_cycles = cfg_.sb_check_cycles;
+    return c;
+  }();
+
+  bus::SlaveDevice* bram_dev = bram_.get();
+  bus::SlaveDevice* ddr_dev = ddr_.get();
+
+  switch (cfg_.security) {
+    case SecurityMode::kNone:
+      break;
+    case SecurityMode::kDistributed: {
+      bram_fw_ = std::make_unique<core::SlaveFirewall>(
+          "lf_bram", kFwBram, config_mem_, log_, *bram_, sb_cfg);
+      if (trace_.enabled()) bram_fw_->set_trace(&trace_);
+      bram_dev = bram_fw_.get();
+
+      core::LocalCipheringFirewall::Config lcf_cfg;
+      lcf_cfg.sb = sb_cfg;
+      lcf_cfg.protected_base = cfg_.ddr_protected_base;
+      lcf_cfg.protected_size = cfg_.ddr_protected_size;
+      lcf_cfg.line_bytes = cfg_.line_bytes;
+      lcf_cfg.cc_latency = cfg_.cc_latency;
+      lcf_cfg.cc_bits_per_cycle = cfg_.cc_bits_per_cycle;
+      lcf_cfg.ic_latency = cfg_.ic_latency;
+      lcf_cfg.ic_bits_per_cycle = cfg_.ic_bits_per_cycle;
+      lcf_ = std::make_unique<core::LocalCipheringFirewall>(
+          "lcf_ddr", kFwLcf, config_mem_, log_, *ddr_, lcf_cfg);
+      if (trace_.enabled()) lcf_->set_trace(&trace_);
+      lcf_->format_protected_region();
+      ddr_dev = lcf_.get();
+      break;
+    }
+    case SecurityMode::kCentralized: {
+      manager_ = std::make_unique<baseline::CentralizedManager>(
+          config_mem_,
+          baseline::CentralizedManager::Config{cfg_.sb_check_cycles, 2});
+      bram_gate_ = std::make_unique<baseline::CentralizedSlaveGate>(
+          "gate_bram", kFwBram, *manager_, log_, *bram_);
+      ddr_gate_ = std::make_unique<baseline::CentralizedSlaveGate>(
+          "gate_ddr", kFwLcf, *manager_, log_, *ddr_);
+      bram_dev = bram_gate_.get();
+      ddr_dev = ddr_gate_.get();
+      break;
+    }
+  }
+
+  const auto bram_slave = bus_->add_slave(*bram_dev);
+  bus_->map_region(cfg_.bram_base, cfg_.bram_size, bram_slave, "bram");
+  const auto ddr_slave = bus_->add_slave(*ddr_dev);
+  bus_->map_region(cfg_.ddr_base, cfg_.ddr_size, ddr_slave, "ddr");
+}
+
+void Soc::build_masters() {
+  const auto sb_cfg = [this] {
+    core::SecurityBuilder::Config c;
+    c.base_check_cycles = cfg_.sb_check_cycles;
+    return c;
+  }();
+
+  auto wire_master = [&](sim::Component& /*owner*/, const std::string& name,
+                         sim::MasterId master_id, core::FirewallId fw_id)
+      -> bus::MasterEndpoint& {
+    bus::MasterEndpoint& bus_ep = bus_->attach_master(master_id, name);
+    switch (cfg_.security) {
+      case SecurityMode::kNone:
+        return bus_ep;
+      case SecurityMode::kDistributed: {
+        core::LocalFirewall::Config lf_cfg;
+        lf_cfg.sb = sb_cfg;
+        auto fw = std::make_unique<core::LocalFirewall>(
+            "lf_" + name, fw_id, config_mem_, log_, lf_cfg);
+        if (trace_.enabled()) fw->set_trace(&trace_);
+        fw->connect_bus(bus_ep);
+        master_fws_.push_back(std::move(fw));
+        return master_fws_.back()->ip_side();
+      }
+      case SecurityMode::kCentralized: {
+        auto gate = std::make_unique<baseline::CentralizedMasterGate>(
+            "gate_" + name, fw_id, *manager_, log_);
+        gate->connect_bus(bus_ep);
+        master_gates_.push_back(std::move(gate));
+        return master_gates_.back()->ip_side();
+      }
+    }
+    SECBUS_UNREACHABLE("bad security mode");
+  };
+
+  for (std::size_t i = 0; i < cfg_.processors; ++i) {
+    ip::Processor::Workload w;
+    w.targets.push_back({plan_.bram_scratch.base, plan_.bram_scratch.size,
+                         1.0 - cfg_.external_fraction, false});
+    w.targets.push_back({plan_.cpu_windows[i].base, plan_.cpu_windows[i].size,
+                         cfg_.external_fraction * 0.7, true});
+    w.targets.push_back({plan_.ddr_scratch.base, plan_.ddr_scratch.size,
+                         cfg_.external_fraction * 0.3, true});
+    w.write_fraction = cfg_.write_fraction;
+    w.max_burst_beats = cfg_.max_burst_beats;
+    w.compute_min = cfg_.compute_min;
+    w.compute_max = cfg_.compute_max;
+    w.total_transactions = cfg_.transactions_per_cpu;
+
+    const std::string name = "cpu" + std::to_string(i);
+    auto cpu = std::make_unique<ip::Processor>(
+        name, static_cast<sim::MasterId>(kMasterCpuBase + i),
+        cfg_.seed * 0x9E3779B9ULL + i + 1, w);
+    cpu->connect(wire_master(*cpu, name,
+                             static_cast<sim::MasterId>(kMasterCpuBase + i),
+                             static_cast<core::FirewallId>(kFwCpuBase + i)));
+    processors_.push_back(std::move(cpu));
+  }
+
+  if (cfg_.dedicated_ip) {
+    dma_ = std::make_unique<ip::DmaEngine>("dma", kMasterDma);
+    dma_->connect(wire_master(*dma_, "dma", kMasterDma, kFwDma));
+  }
+}
+
+void Soc::register_components() {
+  for (auto& cpu : processors_) kernel_.add(*cpu);
+  if (dma_ != nullptr) kernel_.add(*dma_);
+  for (auto& fw : master_fws_) kernel_.add(*fw);
+  for (auto& gate : master_gates_) kernel_.add(*gate);
+  kernel_.add(*bus_);
+}
+
+bus::MasterEndpoint& Soc::attach_custom_master(
+    sim::Component& component, const std::string& name,
+    core::SecurityPolicy policy, std::function<bool()> done,
+    const core::LocalFirewall::Config* lf_cfg) {
+  const sim::MasterId index = next_custom_index_++;
+  const auto master_id = static_cast<sim::MasterId>(kMasterScriptedBase + index);
+  const auto fw_id = static_cast<core::FirewallId>(kMasterScriptedBase + index);
+  SECBUS_ASSERT(!config_mem_.has_policy(fw_id),
+                "custom-master firewall id collides with an installed policy");
+  config_mem_.install(fw_id, std::move(policy));
+
+  bus::MasterEndpoint& bus_ep = bus_->attach_master(master_id, name);
+  bus::MasterEndpoint* ip_ep = &bus_ep;
+  switch (cfg_.security) {
+    case SecurityMode::kNone:
+      break;
+    case SecurityMode::kDistributed: {
+      core::LocalFirewall::Config effective;
+      if (lf_cfg != nullptr) effective = *lf_cfg;
+      effective.sb.base_check_cycles = cfg_.sb_check_cycles;
+      auto fw = std::make_unique<core::LocalFirewall>(
+          "lf_" + name, fw_id, config_mem_, log_, effective);
+      if (trace_.enabled()) fw->set_trace(&trace_);
+      fw->connect_bus(bus_ep);
+      kernel_.add(*fw);
+      master_fws_.push_back(std::move(fw));
+      ip_ep = &master_fws_.back()->ip_side();
+      break;
+    }
+    case SecurityMode::kCentralized: {
+      auto gate = std::make_unique<baseline::CentralizedMasterGate>(
+          "gate_" + name, fw_id, *manager_, log_);
+      gate->connect_bus(bus_ep);
+      kernel_.add(*gate);
+      master_gates_.push_back(std::move(gate));
+      ip_ep = &master_gates_.back()->ip_side();
+      break;
+    }
+  }
+  kernel_.add(component);
+  if (done) custom_done_.push_back(std::move(done));
+  return *ip_ep;
+}
+
+ip::ScriptedMaster& Soc::add_scripted_master(const std::string& name,
+                                             core::SecurityPolicy policy) {
+  auto master = std::make_unique<ip::ScriptedMaster>(
+      name, static_cast<sim::MasterId>(kMasterScriptedBase + next_custom_index_));
+  bus::MasterEndpoint& ep =
+      attach_custom_master(*master, name, std::move(policy));
+  master->connect(ep);
+  scripted_.push_back(std::move(master));
+  return *scripted_.back();
+}
+
+void Soc::start_dma(const ip::DmaEngine::Job& job) {
+  SECBUS_ASSERT(dma_ != nullptr, "SoC built without the dedicated IP");
+  dma_->start(job);
+}
+
+bool Soc::quiescent() const {
+  for (const auto& cpu : processors_) {
+    if (!cpu->done()) return false;
+  }
+  for (const auto& s : scripted_) {
+    if (!s->done()) return false;
+  }
+  for (const auto& done : custom_done_) {
+    if (!done()) return false;
+  }
+  if (dma_ != nullptr && dma_->busy()) return false;
+  for (const auto& fw : master_fws_) {
+    if (!fw->idle()) return false;
+  }
+  return bus_->idle();
+}
+
+SocResults Soc::run(sim::Cycle max_cycles) {
+  const bool done =
+      kernel_.run_until([this] { return quiescent(); }, max_cycles);
+
+  SocResults r;
+  r.cycles = kernel_.now();
+  r.completed = done;
+  util::RunningStat latency;
+  for (const auto& cpu : processors_) {
+    const auto& s = cpu->stats();
+    r.transactions_ok += s.completed;
+    r.transactions_failed += s.failed;
+    r.bytes_moved += s.bytes_moved;
+    if (s.latency.count() > 0) latency.add(s.latency.mean());
+  }
+  r.avg_access_latency = latency.mean();
+  r.alerts = log_.count();
+  r.bus_occupancy = bus_->stats().occupancy();
+  return r;
+}
+
+}  // namespace secbus::soc

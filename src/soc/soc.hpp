@@ -1,0 +1,174 @@
+// SoC assembly: builds and wires the full case-study system (Figure 1 /
+// Section V) in any SecurityMode, owns every component, and runs it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/centralized.hpp"
+#include "bus/system_bus.hpp"
+#include "core/alert.hpp"
+#include "core/ciphering_firewall.hpp"
+#include "core/config_memory.hpp"
+#include "core/local_firewall.hpp"
+#include "core/reconfig.hpp"
+#include "ip/dma_engine.hpp"
+#include "ip/processor.hpp"
+#include "ip/scripted_master.hpp"
+#include "mem/bram.hpp"
+#include "mem/ddr.hpp"
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+#include "soc/soc_config.hpp"
+
+namespace secbus::soc {
+
+// Named address windows derived from a SocConfig; both the workload
+// generators and the security policies are expressed over these.
+struct AddressPlan {
+  struct Window {
+    sim::Addr base = 0;
+    std::uint64_t size = 0;
+  };
+
+  Window bram_scratch;  // shared on-chip scratchpad, RW for everyone
+  Window bram_boot;     // boot/parameter area, read-only for processors
+  std::vector<Window> cpu_windows;  // private external windows (protected)
+  Window shared_code;   // shared external code, RO for CPUs, RW for the DMA
+  Window ddr_scratch;   // unprotected external scratch (the paper's
+                        // "non sensitive part of the system")
+
+  static AddressPlan from_config(const SocConfig& cfg);
+};
+
+// Well-known firewall / master identifiers used by the presets and tests.
+inline constexpr core::FirewallId kFwCpuBase = 0;      // CPU i -> id i
+inline constexpr core::FirewallId kFwDma = 100;
+inline constexpr core::FirewallId kFwBram = 200;
+inline constexpr core::FirewallId kFwLcf = 300;
+inline constexpr sim::MasterId kMasterCpuBase = 0;
+inline constexpr sim::MasterId kMasterDma = 100;
+// Scripted/custom masters start well above the fixed firewall ids so their
+// per-master policies can never collide with the built-in ones.
+inline constexpr sim::MasterId kMasterScriptedBase = 400;
+
+// Quick summary of a run; detailed stats stay queryable on the Soc itself.
+struct SocResults {
+  sim::Cycle cycles = 0;
+  bool completed = false;  // all processors finished before the cycle cap
+  std::uint64_t transactions_ok = 0;
+  std::uint64_t transactions_failed = 0;
+  std::uint64_t alerts = 0;
+  double avg_access_latency = 0.0;  // mean issue->response cycles across CPUs
+  double bus_occupancy = 0.0;
+  std::uint64_t bytes_moved = 0;
+};
+
+class Soc {
+ public:
+  explicit Soc(const SocConfig& cfg);
+
+  Soc(const Soc&) = delete;
+  Soc& operator=(const Soc&) = delete;
+
+  // Runs until every processor finished and the fabric drained, or until
+  // `max_cycles`. Returns the summary.
+  SocResults run(sim::Cycle max_cycles);
+
+  // Adds a scripted master behind its own firewall/gate with the given
+  // policy. Must be called before run(). Returns the master for scripting.
+  ip::ScriptedMaster& add_scripted_master(const std::string& name,
+                                          core::SecurityPolicy policy);
+
+  // Attaches an externally-owned master component (e.g. a FloodMaster)
+  // behind its own firewall/gate with the given policy and registers it with
+  // the kernel. Returns the endpoint the component should connect() to. The
+  // component must outlive this SoC's runs.
+  // `done` (optional) joins the quiescence predicate so run() keeps going
+  // while the custom master is still active. `lf_cfg` (optional) overrides
+  // the Local Firewall configuration for this master in distributed mode
+  // (e.g. to enable the DoS throttle on a suspect interface).
+  bus::MasterEndpoint& attach_custom_master(
+      sim::Component& component, const std::string& name,
+      core::SecurityPolicy policy, std::function<bool()> done = {},
+      const core::LocalFirewall::Config* lf_cfg = nullptr);
+
+  // Starts the dedicated IP's DMA job (no-op SoCs without the dedicated IP
+  // abort). Typically scheduled before run().
+  void start_dma(const ip::DmaEngine::Job& job);
+
+  // --- component access (tests, benches, attack framework) -------------
+  [[nodiscard]] const SocConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const AddressPlan& plan() const noexcept { return plan_; }
+  sim::SimKernel& kernel() noexcept { return kernel_; }
+  bus::SystemBus& bus() noexcept { return *bus_; }
+  mem::DdrMemory& ddr() noexcept { return *ddr_; }
+  mem::Bram& bram() noexcept { return *bram_; }
+  core::SecurityEventLog& log() noexcept { return log_; }
+  core::ConfigurationMemory& config_mem() noexcept { return config_mem_; }
+  sim::EventTrace& trace() noexcept { return trace_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<ip::Processor>>& processors()
+      const noexcept {
+    return processors_;
+  }
+  ip::DmaEngine* dma() noexcept { return dma_.get(); }
+  // Non-null only in distributed mode.
+  core::LocalCipheringFirewall* lcf() noexcept { return lcf_.get(); }
+  core::SlaveFirewall* bram_firewall() noexcept { return bram_fw_.get(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<core::LocalFirewall>>&
+  master_firewalls() const noexcept {
+    return master_fws_;
+  }
+  // Non-null only in centralized mode.
+  baseline::CentralizedManager* manager() noexcept { return manager_.get(); }
+  core::PolicyReconfigurator* reconfigurator() noexcept {
+    return reconfig_.get();
+  }
+
+  // Builds the default policy for CPU `i` under this SoC's plan (exposed so
+  // tests and attack scenarios can derive variants).
+  [[nodiscard]] core::SecurityPolicy cpu_policy(std::size_t i) const;
+  [[nodiscard]] core::SecurityPolicy dma_policy() const;
+  [[nodiscard]] core::SecurityPolicy bram_policy() const;
+  [[nodiscard]] core::SecurityPolicy lcf_policy() const;
+
+ private:
+  void build_memory();
+  void build_policies();
+  void build_masters();
+  void register_components();
+  void append_extra_rules(core::PolicyBuilder& builder) const;
+  [[nodiscard]] bool quiescent() const;
+
+  SocConfig cfg_;
+  AddressPlan plan_;
+  sim::SimKernel kernel_;
+  sim::EventTrace trace_;
+  core::SecurityEventLog log_;
+  core::ConfigurationMemory config_mem_;
+
+  std::unique_ptr<bus::SystemBus> bus_;
+  std::unique_ptr<mem::Bram> bram_;
+  std::unique_ptr<mem::DdrMemory> ddr_;
+
+  // Slave-side protection (one of these wraps each memory, by mode).
+  std::unique_ptr<core::SlaveFirewall> bram_fw_;
+  std::unique_ptr<core::LocalCipheringFirewall> lcf_;
+  std::unique_ptr<baseline::CentralizedManager> manager_;
+  std::unique_ptr<baseline::CentralizedSlaveGate> bram_gate_;
+  std::unique_ptr<baseline::CentralizedSlaveGate> ddr_gate_;
+
+  std::vector<std::unique_ptr<ip::Processor>> processors_;
+  std::unique_ptr<ip::DmaEngine> dma_;
+  std::vector<std::unique_ptr<ip::ScriptedMaster>> scripted_;
+
+  std::vector<std::unique_ptr<core::LocalFirewall>> master_fws_;
+  std::vector<std::unique_ptr<baseline::CentralizedMasterGate>> master_gates_;
+  std::vector<std::function<bool()>> custom_done_;
+  sim::MasterId next_custom_index_ = 0;
+
+  std::unique_ptr<core::PolicyReconfigurator> reconfig_;
+};
+
+}  // namespace secbus::soc

@@ -1,0 +1,75 @@
+// SoC configuration: everything needed to build the case-study system
+// (Section V: 3 MicroBlaze processors, one internal BRAM memory, one
+// external DDR memory, one dedicated IP) in any of its security variants.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace secbus::soc {
+
+// Where security checks live.
+enum class SecurityMode : std::uint8_t {
+  kNone,         // raw system, no protection (Table I "w/o firewalls")
+  kDistributed,  // the paper's contribution: LF per IP + LCF on ext. memory
+  kCentralized,  // SECA-like baseline: one shared enforcement module
+};
+
+[[nodiscard]] const char* to_string(SecurityMode mode) noexcept;
+
+// External-memory protection level (the LCF's CM/IM policy parameters).
+enum class ProtectionLevel : std::uint8_t {
+  kPlaintext,   // CM=bypass, IM=bypass (the paper's unprotected memory)
+  kCipherOnly,  // CM=cipher, IM=bypass (the paper's "only ciphered" case)
+  kFull,        // CM=cipher, IM=hash tree (+ time stamps)
+};
+
+[[nodiscard]] const char* to_string(ProtectionLevel level) noexcept;
+
+struct SocConfig {
+  // --- structure ------------------------------------------------------
+  std::size_t processors = 3;
+  bool dedicated_ip = true;  // the DMA engine
+  SecurityMode security = SecurityMode::kDistributed;
+  ProtectionLevel protection = ProtectionLevel::kFull;
+  bool enable_reconfig = false;  // alert-driven policy lockdown responder
+  std::size_t trace_capacity = 0;
+
+  // --- memory map -------------------------------------------------------
+  sim::Addr bram_base = 0x0000'0000;
+  std::uint64_t bram_size = 128 * 1024;
+  sim::Addr ddr_base = 0x8000'0000;
+  std::uint64_t ddr_size = 1024 * 1024;
+  // Protected window inside the DDR (must be line_bytes * power-of-two).
+  sim::Addr ddr_protected_base = 0x8000'0000;
+  std::uint64_t ddr_protected_size = 256 * 1024;
+  std::uint64_t line_bytes = 32;
+
+  // --- timing -------------------------------------------------------------
+  sim::ClockDomain clock{100e6};  // ML605 bus clock
+  sim::Cycle sb_check_cycles = 12;   // Table II
+  sim::Cycle cc_latency = 11;        // Table II
+  double cc_bits_per_cycle = 4.5;    // 450 Mb/s @ 100 MHz
+  sim::Cycle ic_latency = 20;        // Table II
+  double ic_bits_per_cycle = 1.31;   // 131 Mb/s @ 100 MHz
+
+  // --- workload ------------------------------------------------------------
+  std::uint64_t seed = 42;
+  std::uint64_t transactions_per_cpu = 300;
+  double write_fraction = 0.4;
+  // Fraction of each processor's accesses that target the external memory
+  // (Section V: the internal/external mix drives protection overhead).
+  double external_fraction = 0.3;
+  // Compute gap between accesses (computation:communication ratio).
+  sim::Cycle compute_min = 4;
+  sim::Cycle compute_max = 12;
+  std::uint16_t max_burst_beats = 4;
+
+  // --- policy shape ---------------------------------------------------------
+  // Extra dummy segment rules added to every firewall's policy on top of the
+  // functional ones (drives the policy-aggressiveness ablation).
+  std::size_t extra_rules = 0;
+};
+
+}  // namespace secbus::soc

@@ -1,0 +1,33 @@
+// Invariant checking for the secbus simulator.
+//
+// The simulation kernel runs millions of cycles; we want invariant checks that
+// are always on (they guard security-relevant state machines), cheap, and that
+// abort with a useful message instead of throwing across component boundaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace secbus::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "secbus assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace secbus::util
+
+// Always-on invariant check. Use for conditions that indicate a simulator bug
+// (protocol violations, out-of-range internal state), not for user input.
+#define SECBUS_ASSERT(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::secbus::util::assert_fail(#cond, __FILE__, __LINE__, (msg));       \
+    }                                                                      \
+  } while (false)
+
+// Marks unreachable control flow; aborts if reached.
+#define SECBUS_UNREACHABLE(msg) \
+  ::secbus::util::assert_fail("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,111 @@
+// Small bit-manipulation helpers shared by the crypto and bus subsystems.
+//
+// Everything here is constexpr and branch-free where possible: these helpers
+// sit on the AES/SHA hot paths of the functional model.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace secbus::util {
+
+// Rotate left / right for 32- and 64-bit words (wraps std::rotl/rotr so call
+// sites read uniformly and we can keep C++17-compatible fallbacks if needed).
+[[nodiscard]] constexpr std::uint32_t rotl32(std::uint32_t x, int r) noexcept {
+  return std::rotl(x, r);
+}
+[[nodiscard]] constexpr std::uint32_t rotr32(std::uint32_t x, int r) noexcept {
+  return std::rotr(x, r);
+}
+[[nodiscard]] constexpr std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
+  return std::rotl(x, r);
+}
+[[nodiscard]] constexpr std::uint64_t rotr64(std::uint64_t x, int r) noexcept {
+  return std::rotr(x, r);
+}
+
+// Big-endian load/store (SHA-256 and AES operate on big-endian word streams).
+[[nodiscard]] inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+[[nodiscard]] inline std::uint64_t load_be64(const std::uint8_t* p) noexcept {
+  return (std::uint64_t{load_be32(p)} << 32) | load_be32(p + 4);
+}
+
+inline void store_be64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+// Little-endian load/store (bus payloads are little-endian byte streams).
+[[nodiscard]] inline std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+[[nodiscard]] inline std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  return std::uint64_t{load_le32(p)} | (std::uint64_t{load_le32(p + 4)} << 32);
+}
+
+inline void store_le64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_le32(p, static_cast<std::uint32_t>(v));
+  store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+// Returns true when x is a power of two (0 is not).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+// Rounds x up to the next multiple of `align` (align must be a power of two).
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t x,
+                                               std::uint64_t align) noexcept {
+  return (x + align - 1) & ~(align - 1);
+}
+
+// Rounds x down to a multiple of `align` (align must be a power of two).
+[[nodiscard]] constexpr std::uint64_t align_down(std::uint64_t x,
+                                                 std::uint64_t align) noexcept {
+  return x & ~(align - 1);
+}
+
+// ceil(a / b) for unsigned integers; b must be nonzero.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+// Integer log2 of a power of two.
+[[nodiscard]] constexpr unsigned log2_pow2(std::uint64_t x) noexcept {
+  return static_cast<unsigned>(std::countr_zero(x));
+}
+
+// Constant-time byte-span comparison: used when comparing MACs/digests so the
+// functional model mirrors what a hardware comparator does (no early exit).
+[[nodiscard]] inline bool ct_equal(std::span<const std::uint8_t> a,
+                                   std::span<const std::uint8_t> b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace secbus::util

@@ -1,0 +1,49 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace secbus::util {
+
+CsvWriter::CsvWriter(std::string path) : path_(std::move(path)) {}
+
+CsvWriter::~CsvWriter() { flush(); }
+
+void CsvWriter::header(const std::vector<std::string>& cols) { emit_line(cols); }
+
+void CsvWriter::row(const std::vector<std::string>& cells) { emit_line(cells); }
+
+void CsvWriter::emit_line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) buffer_.push_back(',');
+    buffer_ += escape(cells[i]);
+  }
+  buffer_.push_back('\n');
+}
+
+void CsvWriter::flush() {
+  if (path_.empty() || buffer_.empty()) return;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    ok_ = false;
+    return;
+  }
+  std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  std::fclose(f);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace secbus::util

@@ -1,0 +1,42 @@
+// CSV emission for bench sweeps: every bench can mirror its human-readable
+// table as machine-readable CSV (one file per experiment) so downstream plots
+// can regenerate the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace secbus::util {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing; truncates. An empty path buffers in memory only
+  // (useful in tests).
+  explicit CsvWriter(std::string path = {});
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void header(const std::vector<std::string>& cols);
+  void row(const std::vector<std::string>& cells);
+
+  // Flushes buffered content to the file (no-op for in-memory writers).
+  void flush();
+
+  [[nodiscard]] const std::string& buffer() const noexcept { return buffer_; }
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+  // RFC-4180 quoting of a single cell.
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  void emit_line(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::string buffer_;
+  bool ok_ = true;
+};
+
+}  // namespace secbus::util

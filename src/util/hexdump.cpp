@@ -1,0 +1,82 @@
+#include "util/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace secbus::util {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int nibble(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(std::string_view hex, bool* ok) {
+  std::vector<std::uint8_t> out;
+  if (ok != nullptr) *ok = true;
+  if (hex.size() % 2 != 0) {
+    if (ok != nullptr) *ok = false;
+    return {};
+  }
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      if (ok != nullptr) *ok = false;
+      return {};
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string hexdump(std::span<const std::uint8_t> bytes, std::uint64_t base_addr) {
+  std::string out;
+  char line[128];
+  for (std::size_t off = 0; off < bytes.size(); off += 16) {
+    const std::size_t n = std::min<std::size_t>(16, bytes.size() - off);
+    int pos = std::snprintf(line, sizeof(line), "%08llx  ",
+                            static_cast<unsigned long long>(base_addr + off));
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (i < n) {
+        pos += std::snprintf(line + pos, sizeof(line) - static_cast<std::size_t>(pos),
+                             "%02x ", bytes[off + i]);
+      } else {
+        pos += std::snprintf(line + pos, sizeof(line) - static_cast<std::size_t>(pos),
+                             "   ");
+      }
+      if (i == 7) {
+        line[pos++] = ' ';
+        line[pos] = '\0';
+      }
+    }
+    pos += std::snprintf(line + pos, sizeof(line) - static_cast<std::size_t>(pos), " |");
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned char c = bytes[off + i];
+      line[pos++] = std::isprint(c) != 0 ? static_cast<char>(c) : '.';
+    }
+    line[pos++] = '|';
+    line[pos] = '\0';
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace secbus::util

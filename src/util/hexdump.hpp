@@ -1,0 +1,24 @@
+// Hex encoding/decoding helpers for crypto test vectors and debug dumps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace secbus::util {
+
+// Lower-case hex encoding of a byte span ("deadbeef").
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+// Parses a hex string (even length, case-insensitive, no separators) into
+// bytes. Returns an empty vector on malformed input with `ok` set to false.
+[[nodiscard]] std::vector<std::uint8_t> from_hex(std::string_view hex, bool* ok = nullptr);
+
+// Classic offset + hex + ASCII dump, 16 bytes per line, for debugging memory
+// images in examples.
+[[nodiscard]] std::string hexdump(std::span<const std::uint8_t> bytes,
+                                  std::uint64_t base_addr = 0);
+
+}  // namespace secbus::util

@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+namespace secbus::util {
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() noexcept {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::logf(LogLevel level, const char* tag, const char* fmt, ...) noexcept {
+  if (!enabled(level)) return;
+  if (static_cast<int>(level) >= static_cast<int>(LogLevel::kWarn)) ++warn_count_;
+  std::FILE* out = stream_ != nullptr ? stream_ : stderr;
+  std::fprintf(out, "[%-5s] %-18s ", to_string(level), tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(out, fmt, args);
+  va_end(args);
+  std::fputc('\n', out);
+}
+
+}  // namespace secbus::util

@@ -1,0 +1,76 @@
+// Minimal leveled logger.
+//
+// The simulator is library-first: logging defaults to warnings-and-above on
+// stderr so that tests and benches stay quiet, and examples can turn on Info/
+// Debug to narrate what the firewalls are doing. No global locking is needed:
+// the simulation kernel is single-threaded by design (determinism), and
+// benches that parallelize do so across process-local kernels.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace secbus::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+class Logger {
+ public:
+  // Process-wide logger used by all components.
+  static Logger& instance() noexcept;
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  // Redirect output (defaults to stderr). The stream is not owned.
+  void set_stream(std::FILE* stream) noexcept { stream_ = stream; }
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  // printf-style logging; `tag` identifies the emitting component.
+  void logf(LogLevel level, const char* tag, const char* fmt, ...) noexcept
+      __attribute__((format(printf, 4, 5)));
+
+  // Number of messages emitted at kWarn or above (tests assert on this).
+  [[nodiscard]] unsigned long warn_count() const noexcept { return warn_count_; }
+  void reset_counters() noexcept { warn_count_ = 0; }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::FILE* stream_ = nullptr;  // nullptr means stderr
+  unsigned long warn_count_ = 0;
+};
+
+}  // namespace secbus::util
+
+#define SECBUS_LOG(level, tag, ...)                                       \
+  do {                                                                    \
+    auto& secbus_logger = ::secbus::util::Logger::instance();             \
+    if (secbus_logger.enabled(level)) {                                   \
+      secbus_logger.logf((level), (tag), __VA_ARGS__);                    \
+    }                                                                     \
+  } while (false)
+
+#define SECBUS_TRACE(tag, ...) \
+  SECBUS_LOG(::secbus::util::LogLevel::kTrace, tag, __VA_ARGS__)
+#define SECBUS_DEBUG(tag, ...) \
+  SECBUS_LOG(::secbus::util::LogLevel::kDebug, tag, __VA_ARGS__)
+#define SECBUS_INFO(tag, ...) \
+  SECBUS_LOG(::secbus::util::LogLevel::kInfo, tag, __VA_ARGS__)
+#define SECBUS_WARN(tag, ...) \
+  SECBUS_LOG(::secbus::util::LogLevel::kWarn, tag, __VA_ARGS__)
+#define SECBUS_ERROR(tag, ...) \
+  SECBUS_LOG(::secbus::util::LogLevel::kError, tag, __VA_ARGS__)

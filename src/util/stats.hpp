@@ -1,0 +1,92 @@
+// Statistics primitives used across the simulator: counters, running moments,
+// and fixed-bucket histograms. All integer-cycle oriented and allocation-free
+// on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace secbus::util {
+
+// Monotonic event counter with a name (for reports).
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void inc(std::uint64_t by = 1) noexcept { value_ += by; }
+  void reset() noexcept { value_ = 0; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::uint64_t value_ = 0;
+};
+
+// Streaming mean/variance/min/max via Welford's algorithm.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-width-bucket histogram over [lo, hi); samples outside the range land
+// in saturating under/overflow buckets. Supports percentile queries, which
+// the latency benches use for p50/p95/p99 reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bucket_hi(std::size_t i) const noexcept;
+
+  // Linear-interpolated percentile estimate, q in [0, 100]. Returns 0 when
+  // empty. Under/overflow samples clamp to the range edges.
+  [[nodiscard]] double percentile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+// Ratio helper: returns 100*(num/den - 1), i.e. percentage overhead of `num`
+// relative to baseline `den`; 0 when den == 0.
+[[nodiscard]] double percent_overhead(double num, double den) noexcept;
+
+// Returns num/den, 0 when den == 0 (used when summarizing empty runs).
+[[nodiscard]] double safe_ratio(double num, double den) noexcept;
+
+}  // namespace secbus::util

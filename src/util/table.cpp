@@ -1,0 +1,104 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace secbus::util {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  SECBUS_ASSERT(rows_.empty(), "set_header() must precede add_row()");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.empty() ? row.size() : header_.size());
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_separator() {
+  if (!rows_.empty()) rows_.back().separator_after = true;
+}
+
+std::string TextTable::render() const {
+  const std::size_t ncols =
+      header_.empty() ? (rows_.empty() ? 0 : rows_.front().cells.size())
+                      : header_.size();
+  std::vector<std::size_t> widths(ncols, 0);
+  for (std::size_t c = 0; c < ncols; ++c) {
+    if (c < header_.size()) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      if (c < row.cells.size()) widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_rule = [&] {
+    out << '+';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      out << std::string(widths[c] + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  auto emit_cells = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      // First column left-aligned (names), the rest right-aligned (numbers).
+      if (c == 0) {
+        out << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ');
+      } else {
+        out << ' ' << std::string(widths[c] - cell.size(), ' ') << cell << ' ';
+      }
+      out << '|';
+    }
+    out << '\n';
+  };
+
+  if (!caption_.empty()) out << caption_ << '\n';
+  emit_rule();
+  if (!header_.empty()) {
+    emit_cells(header_);
+    emit_rule();
+  }
+  for (const auto& row : rows_) {
+    emit_cells(row.cells);
+    if (row.separator_after) emit_rule();
+  }
+  emit_rule();
+  return out.str();
+}
+
+void TextTable::print() const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+std::string TextTable::fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string TextTable::fmt_thousands(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(digits[i]);
+    const std::size_t remaining = n - 1 - i;
+    if (remaining > 0 && remaining % 3 == 0) out.push_back(',');
+  }
+  return out;
+}
+
+std::string TextTable::fmt_percent(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", prec, v);
+  return buf;
+}
+
+}  // namespace secbus::util

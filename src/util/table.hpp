@@ -1,0 +1,54 @@
+// Plain-text table rendering for the bench harnesses.
+//
+// Every bench prints the paper's table rows next to measured values; this
+// helper keeps the formatting consistent (column alignment, separators, and a
+// caption line matching the paper's table number).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace secbus::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string caption = {}) : caption_(std::move(caption)) {}
+
+  // Sets the header row; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  // Appends a data row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  // Inserts a horizontal separator after the most recently added row.
+  void add_separator();
+
+  // Renders the full table to a string (caption, header, rows).
+  [[nodiscard]] std::string render() const;
+
+  // Convenience: renders and writes to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  // Formats a double with `prec` digits after the decimal point.
+  [[nodiscard]] static std::string fmt(double v, int prec = 2);
+  // Formats an integer with thousands separators (12,895 style, as the
+  // paper's Table I prints area numbers).
+  [[nodiscard]] static std::string fmt_thousands(std::uint64_t v);
+  // Formats a signed percentage with a leading + or - (e.g. "+13.43%").
+  [[nodiscard]] static std::string fmt_percent(double v, int prec = 2);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_after = false;
+  };
+
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace secbus::util

@@ -1,0 +1,141 @@
+#include "area/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "area/report.hpp"
+
+namespace secbus::area {
+namespace {
+
+SocDescription section5() {
+  SocDescription soc;
+  soc.processors = 3;
+  soc.dedicated_ips = 1;
+  soc.internal_bram = true;
+  soc.external_ddr = true;
+  return soc;
+}
+
+TEST(AreaVector, Arithmetic) {
+  const AreaVector a{1, 2, 3, 4};
+  const AreaVector b{10, 20, 30, 40};
+  EXPECT_EQ(a + b, (AreaVector{11, 22, 33, 44}));
+  EXPECT_EQ(a * 3, (AreaVector{3, 6, 9, 12}));
+  AreaVector c = a;
+  c += b;
+  EXPECT_EQ(c, a + b);
+}
+
+TEST(CostModel, PaperComponentRowsVerbatim) {
+  // Table I component rows.
+  EXPECT_EQ(kSecurityBuilder, (AreaVector{0, 393, 393, 0}));
+  EXPECT_EQ(kConfidentialityCore, (AreaVector{436, 986, 344, 10}));
+  EXPECT_EQ(kIntegrityCore, (AreaVector{1224, 1404, 1704, 0}));
+  EXPECT_EQ(kLocalFirewall, (AreaVector{8, 403, 403, 0}));
+}
+
+TEST(CostModel, BaseSystemMatchesPaperWithoutFirewallsRow) {
+  const AreaVector base = base_system(section5());
+  EXPECT_EQ(base, (AreaVector{12895, 11474, 15473, 53}));
+}
+
+TEST(CostModel, FullSystemMatchesPaperWithFirewallsRow) {
+  SocDescription soc = section5();
+  soc.with_firewalls = true;
+  const AreaVector total = total_system(soc);
+  EXPECT_EQ(total, (AreaVector{15833, 19554, 21530, 63}));
+}
+
+TEST(CostModel, WithoutFirewallsFlagDropsAdditions) {
+  SocDescription soc = section5();
+  soc.with_firewalls = false;
+  EXPECT_EQ(total_system(soc), base_system(soc));
+}
+
+TEST(CostModel, LfCountMatchesFigureOneWiring) {
+  // One LF per internal resource: 3 CPUs + 1 dedicated IP + 1 BRAM.
+  EXPECT_EQ(section5().lf_count(), 5u);
+  SocDescription no_bram = section5();
+  no_bram.internal_bram = false;
+  EXPECT_EQ(no_bram.lf_count(), 4u);
+}
+
+TEST(CostModel, BramDominatedByCc) {
+  // The CC's 10 BRAMs are the only BRAM addition: 53 -> 63 (paper: +18.87%).
+  const AreaVector additions = security_additions(section5());
+  EXPECT_EQ(additions.brams, 10u);
+}
+
+TEST(CostModel, CcPlusIcDominateLcf) {
+  // Paper: "most of the area is devoted to the confidentiality and
+  // Integrity Cores (about 90% of Local Ciphering Firewall area)".
+  const AreaVector lcf = ciphering_firewall(kCalibratedRules);
+  const AreaVector cores = kConfidentialityCore + kIntegrityCore;
+  const double frac = static_cast<double>(cores.slice_regs + cores.slice_luts) /
+                      static_cast<double>(lcf.slice_regs + lcf.slice_luts);
+  EXPECT_GT(frac, 0.70);
+}
+
+TEST(CostModel, RuleScalingGrowsMonotonically) {
+  AreaVector prev = local_firewall(1);
+  for (std::size_t rules = 2; rules <= 64; rules *= 2) {
+    const AreaVector cur = local_firewall(rules);
+    EXPECT_GE(cur.slice_luts, prev.slice_luts);
+    EXPECT_GE(cur.brams, prev.brams);
+    prev = cur;
+  }
+}
+
+TEST(CostModel, RuleScalingRates) {
+  // +28 LUTs per rule beyond 4.
+  const AreaVector at4 = local_firewall_bare(4);
+  const AreaVector at6 = local_firewall_bare(6);
+  EXPECT_EQ(at6.slice_luts - at4.slice_luts, 2 * 28u);
+  // Config-memory BRAM appears beyond 8 rules.
+  EXPECT_EQ(local_firewall_bare(8).brams, 0u);
+  EXPECT_EQ(local_firewall_bare(9).brams, 1u);
+  EXPECT_EQ(local_firewall_bare(8 + 64).brams, 1u);
+  EXPECT_EQ(local_firewall_bare(8 + 65).brams, 2u);
+}
+
+TEST(CostModel, AdditionsScaleWithProcessorCount) {
+  SocDescription two = section5();
+  two.processors = 2;
+  SocDescription four = section5();
+  four.processors = 4;
+  const AreaVector delta =
+      security_additions(four) + AreaVector{} ;
+  EXPECT_GT(security_additions(four).slice_luts,
+            security_additions(two).slice_luts);
+  // Exactly two more LF instances.
+  const AreaVector diff{
+      security_additions(four).slice_regs - security_additions(two).slice_regs,
+      security_additions(four).slice_luts - security_additions(two).slice_luts,
+      security_additions(four).lut_ff_pairs -
+          security_additions(two).lut_ff_pairs,
+      security_additions(four).brams - security_additions(two).brams};
+  EXPECT_EQ(diff, local_firewall(kCalibratedRules) * 2);
+  (void)delta;
+}
+
+TEST(Table1Report, ContainsPaperAndModelRows) {
+  SocDescription soc = section5();
+  const std::string table = render_table1(soc);
+  EXPECT_NE(table.find("12,895"), std::string::npos);
+  EXPECT_NE(table.find("15,833"), std::string::npos);
+  EXPECT_NE(table.find("Confidentiality Core"), std::string::npos);
+  EXPECT_NE(table.find("+13.43%"), std::string::npos);  // paper's printed row
+  EXPECT_NE(table.find("Overhead (model)"), std::string::npos);
+}
+
+TEST(Table1Report, CsvParsesAsExpected) {
+  const std::string csv = table1_csv(section5());
+  EXPECT_NE(csv.find("component,slice_regs"), std::string::npos);
+  EXPECT_NE(csv.find("generic_without_firewalls,12895,11474,15473,53"),
+            std::string::npos);
+  EXPECT_NE(csv.find("generic_with_firewalls,15833,19554,21530,63"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace secbus::area

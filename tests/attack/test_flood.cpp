@@ -1,0 +1,89 @@
+// Traffic-flood DoS scenarios (Section III.A: "injecting dummy data to
+// create overwhelming traffic").
+#include <gtest/gtest.h>
+
+#include "attack/campaign.hpp"
+#include "attack/flood_master.hpp"
+
+namespace secbus::attack {
+namespace {
+
+TEST(Flood, InPolicyFloodDegradesVictimLatency) {
+  const FloodResult r = run_flood_scenario(/*in_policy=*/true, 42);
+  EXPECT_TRUE(r.workload_completed);
+  // The flooder's traffic is legal: it competes for the bus and hurts the
+  // victim's latency.
+  EXPECT_GT(r.flood_completed, 0u);
+  EXPECT_EQ(r.flood_blocked, 0u);
+  EXPECT_GT(r.bus_occupancy_flooded, r.bus_occupancy_baseline);
+  EXPECT_GT(r.victim_latency_flooded, r.victim_latency_baseline);
+}
+
+TEST(Flood, OutOfPolicyFloodAbsorbedByFirewall) {
+  const FloodResult r = run_flood_scenario(/*in_policy=*/false, 42);
+  EXPECT_TRUE(r.workload_completed);
+  // Every burst died in the flooder's own Local Firewall...
+  EXPECT_EQ(r.flood_completed, 0u);
+  EXPECT_GT(r.flood_blocked, 0u);
+  // ... so the shared bus barely noticed (occupancy within noise of the
+  // baseline, and strictly below the in-policy flood).
+  const FloodResult legal = run_flood_scenario(/*in_policy=*/true, 42);
+  EXPECT_LT(r.bus_occupancy_flooded, legal.bus_occupancy_flooded);
+}
+
+TEST(Flood, ThrottledFloodIsSuppressedAtItsFirewall) {
+  // DoS throttle: even in-policy dummy traffic is capped per window, so
+  // most of the flood dies at the flooder's own LF.
+  const FloodResult r = run_throttled_flood_scenario(1000, 2, 42);
+  EXPECT_TRUE(r.workload_completed);
+  EXPECT_GT(r.flood_blocked, r.flood_completed);
+  // The victim barely notices compared with the unthrottled legal flood.
+  const FloodResult open = run_flood_scenario(/*in_policy=*/true, 42);
+  EXPECT_LE(r.victim_latency_flooded, open.victim_latency_flooded);
+}
+
+TEST(Flood, RoundRobinBoundsTheDamage) {
+  // Even the legal flood cannot starve the victim: round-robin guarantees
+  // the victim completes its workload.
+  const FloodResult r = run_flood_scenario(/*in_policy=*/true, 7);
+  EXPECT_TRUE(r.workload_completed);
+}
+
+TEST(FloodMaster, StopsAtConfiguredTotal) {
+  FloodMaster flood("f", 1, FloodMaster::Config{0x0, 4096, 4, 10});
+  EXPECT_FALSE(flood.done());
+  bus::MasterEndpoint ep;
+  flood.connect(ep);
+  // Tick it manually: one issue per response round-trip.
+  for (sim::Cycle c = 0; c < 100 && !flood.done(); ++c) {
+    flood.tick(c);
+    // Fake an immediate OK response.
+    if (!ep.request.empty()) {
+      auto t = *ep.request.pop();
+      t.status = bus::TransStatus::kOk;
+      ep.response.push(std::move(t));
+    }
+  }
+  EXPECT_TRUE(flood.done());
+  EXPECT_EQ(flood.completed(), 10u);
+}
+
+TEST(FloodMaster, CountsRejections) {
+  FloodMaster flood("f", 1, FloodMaster::Config{0x0, 4096, 4, 5});
+  bus::MasterEndpoint ep;
+  flood.connect(ep);
+  for (sim::Cycle c = 0; c < 100 && !flood.done(); ++c) {
+    flood.tick(c);
+    if (!ep.request.empty()) {
+      auto t = *ep.request.pop();
+      t.status = bus::TransStatus::kSecurityViolation;
+      ep.response.push(std::move(t));
+    }
+  }
+  EXPECT_TRUE(flood.done());
+  EXPECT_EQ(flood.completed(), 0u);
+  EXPECT_EQ(flood.rejected(), 5u);
+}
+
+}  // namespace
+}  // namespace secbus::attack

@@ -1,0 +1,112 @@
+// Hijacked-IP scenarios: a compromised internal master must be stopped in
+// its own Local Firewall, never reaching the bus (Section III.C containment).
+#include <gtest/gtest.h>
+
+#include "attack/campaign.hpp"
+#include "soc/presets.hpp"
+#include "soc/soc.hpp"
+
+namespace secbus::attack {
+namespace {
+
+class HijackSweep : public ::testing::TestWithParam<HijackAttackKind> {};
+
+TEST_P(HijackSweep, DetectedAndContained) {
+  const auto result = run_hijack_scenario(GetParam(), 42);
+  EXPECT_TRUE(result.attack_ran);
+  EXPECT_TRUE(result.detected) << result.scenario;
+  EXPECT_TRUE(result.contained) << "attack traffic reached the bus";
+  EXPECT_GE(result.total_alerts, 3u);  // three attempts, three alerts
+  EXPECT_TRUE(result.workload_completed) << "benign workload must survive";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, HijackSweep,
+                         ::testing::Values(HijackAttackKind::kForbiddenWrite,
+                                           HijackAttackKind::kOutOfSegmentRead,
+                                           HijackAttackKind::kBadFormat),
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+TEST(Hijack, ContainmentMeansZeroBusGrants) {
+  // Stronger form of the sweep's assertion, checked directly on the SoC.
+  soc::SocConfig cfg = soc::tiny_test_config();
+  soc::Soc soc(cfg);
+  auto& mal = soc.add_scripted_master("hijacked", soc.cpu_policy(0));
+  const auto& plan = soc.plan();
+  for (int i = 0; i < 5; ++i) {
+    mal.enqueue_write(10, plan.bram_boot.base, {1, 2, 3, 4});
+  }
+  (void)soc.run(1'000'000);
+
+  for (const auto& ms : soc.bus().master_stats()) {
+    if (ms.name == "hijacked") {
+      EXPECT_EQ(ms.grants, 0u);
+    }
+  }
+  EXPECT_EQ(mal.stats().violations, 5u);
+  EXPECT_EQ(soc.log().count_for(
+                static_cast<core::FirewallId>(soc::kMasterScriptedBase)),
+            5u);
+}
+
+TEST(Hijack, LegalTrafficFromSameMasterStillFlows) {
+  // The firewall discards only violating transactions; the same master's
+  // in-policy accesses keep working (no blanket kill without reconfig).
+  soc::SocConfig cfg = soc::tiny_test_config();
+  soc::Soc soc(cfg);
+  auto& mal = soc.add_scripted_master("mixed", soc.cpu_policy(0));
+  const auto& plan = soc.plan();
+  mal.enqueue_write(0, plan.bram_scratch.base, {1, 2, 3, 4});   // legal
+  mal.enqueue_write(5, plan.bram_boot.base, {9, 9, 9, 9});      // violation
+  mal.enqueue_read(5, plan.bram_scratch.base);                  // legal
+  (void)soc.run(1'000'000);
+  EXPECT_EQ(mal.stats().ok, 2u);
+  EXPECT_EQ(mal.stats().violations, 1u);
+  EXPECT_EQ(mal.stats().responses.back().data,
+            (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(Hijack, ReconfigLockdownIsolatesRepeatOffender) {
+  // With the alert-driven responder enabled, a hijacked IP hammering its
+  // firewall gets its policy swapped for lockdown; even previously legal
+  // accesses are then discarded (the paper's reconfiguration perspective).
+  soc::SocConfig cfg = soc::tiny_test_config();
+  cfg.enable_reconfig = true;
+  soc::Soc soc(cfg);
+  auto& mal = soc.add_scripted_master("offender", soc.cpu_policy(0));
+  const auto& plan = soc.plan();
+  for (int i = 0; i < 4; ++i) {
+    mal.enqueue_write(5, plan.bram_boot.base, {1, 2, 3, 4});  // violations
+  }
+  mal.enqueue_write(5, plan.bram_scratch.base, {5, 6, 7, 8});  // was legal
+  (void)soc.run(1'000'000);
+
+  ASSERT_NE(soc.reconfigurator(), nullptr);
+  const auto fw_id = static_cast<core::FirewallId>(soc::kMasterScriptedBase);
+  EXPECT_TRUE(soc.reconfigurator()->is_locked_down(fw_id));
+  ASSERT_FALSE(soc.reconfigurator()->lockdowns().empty());
+  // The final (legal-looking) write was discarded under lockdown.
+  EXPECT_EQ(mal.stats().ok, 0u);
+  EXPECT_EQ(mal.stats().violations, 5u);
+  EXPECT_GT(soc.log().count_of(core::Violation::kPolicyLockdown), 0u);
+}
+
+TEST(Hijack, BenignProcessorsUnaffectedByLockdown) {
+  soc::SocConfig cfg = soc::tiny_test_config();
+  cfg.enable_reconfig = true;
+  soc::Soc soc(cfg);
+  auto& mal = soc.add_scripted_master("offender", soc.cpu_policy(0));
+  for (int i = 0; i < 6; ++i) {
+    mal.enqueue_read(5, 0xD000'0000ULL + 0x100ULL * static_cast<sim::Addr>(i));
+  }
+  const auto r = soc.run(2'000'000);
+  EXPECT_TRUE(r.completed);
+  // CPU0 finished its whole workload without a single failure.
+  EXPECT_EQ(soc.processors().front()->stats().failed, 0u);
+  EXPECT_EQ(soc.processors().front()->stats().completed,
+            cfg.transactions_per_cpu);
+}
+
+}  // namespace
+}  // namespace secbus::attack

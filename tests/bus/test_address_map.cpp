@@ -1,0 +1,84 @@
+#include "bus/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace secbus::bus {
+namespace {
+
+AddressMap make_map() {
+  AddressMap map;
+  map.add(Region{0x0000, 0x1000, 0, "bram"});
+  map.add(Region{0x8000, 0x4000, 1, "ddr"});
+  return map;
+}
+
+TEST(Region, ContainsAndOverlap) {
+  const Region r{0x100, 0x100, 0, "r"};
+  EXPECT_TRUE(r.contains(0x100));
+  EXPECT_TRUE(r.contains(0x1FF));
+  EXPECT_FALSE(r.contains(0x200));
+  EXPECT_FALSE(r.contains(0xFF));
+  EXPECT_TRUE(r.contains_range(0x180, 0x80));
+  EXPECT_FALSE(r.contains_range(0x180, 0x81));
+  EXPECT_TRUE(r.overlaps(Region{0x1FF, 0x10, 0, ""}));
+  EXPECT_FALSE(r.overlaps(Region{0x200, 0x10, 0, ""}));
+}
+
+TEST(Region, ContainsRangeNoOverflow) {
+  const Region r{0xFFFFFFFFFFFFFF00ULL, 0x100, 0, "top"};
+  EXPECT_TRUE(r.contains_range(0xFFFFFFFFFFFFFF00ULL, 0x100));
+  EXPECT_FALSE(r.contains_range(0xFFFFFFFFFFFFFF80ULL, 0x100));
+}
+
+TEST(AddressMap, DecodeHitsAndMisses) {
+  const AddressMap map = make_map();
+  EXPECT_EQ(map.decode(0x0000), std::optional<sim::SlaveId>(0));
+  EXPECT_EQ(map.decode(0x0FFF), std::optional<sim::SlaveId>(0));
+  EXPECT_EQ(map.decode(0x8000), std::optional<sim::SlaveId>(1));
+  EXPECT_EQ(map.decode(0xBFFF), std::optional<sim::SlaveId>(1));
+  EXPECT_EQ(map.decode(0x1000), std::nullopt);  // gap
+  EXPECT_EQ(map.decode(0xC000), std::nullopt);  // past the end
+}
+
+TEST(AddressMap, RegionAtReturnsMetadata) {
+  const AddressMap map = make_map();
+  const Region* r = map.region_at(0x8123);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->name, "ddr");
+  EXPECT_EQ(map.region_at(0x7000), nullptr);
+}
+
+TEST(AddressMap, RangeDecodeRejectsStraddle) {
+  const AddressMap map = make_map();
+  EXPECT_NE(map.region_for_range(0x8000, 0x4000), nullptr);
+  EXPECT_EQ(map.region_for_range(0x0FF0, 0x20), nullptr);   // runs off bram
+  EXPECT_EQ(map.region_for_range(0x7FF0, 0x20), nullptr);   // starts in a gap
+  EXPECT_NE(map.region_for_range(0x0FF0, 0x10), nullptr);   // exactly fits
+}
+
+TEST(AddressMap, FindByName) {
+  const AddressMap map = make_map();
+  ASSERT_NE(map.find("bram"), nullptr);
+  EXPECT_EQ(map.find("bram")->base, 0x0000u);
+  EXPECT_EQ(map.find("nope"), nullptr);
+}
+
+TEST(AddressMap, RegionsAccessor) {
+  const AddressMap map = make_map();
+  EXPECT_EQ(map.regions().size(), 2u);
+}
+
+using AddressMapDeath = AddressMap;
+
+TEST(AddressMapDeathTest, OverlapAborts) {
+  AddressMap map = make_map();
+  EXPECT_DEATH(map.add(Region{0x0800, 0x1000, 2, "overlapping"}), "overlap");
+}
+
+TEST(AddressMapDeathTest, EmptyRegionAborts) {
+  AddressMap map;
+  EXPECT_DEATH(map.add(Region{0x0, 0x0, 0, "empty"}), "non-empty");
+}
+
+}  // namespace
+}  // namespace secbus::bus

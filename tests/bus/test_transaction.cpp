@@ -1,0 +1,86 @@
+#include "bus/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bus/system_bus.hpp"
+
+namespace secbus::bus {
+namespace {
+
+TEST(Transaction, MakeReadShape) {
+  const BusTransaction t = make_read(2, 0x1000, DataFormat::kWord, 4);
+  EXPECT_EQ(t.master, 2);
+  EXPECT_EQ(t.op, BusOp::kRead);
+  EXPECT_EQ(t.addr, 0x1000u);
+  EXPECT_EQ(t.burst_len, 4);
+  EXPECT_EQ(t.payload_bytes(), 16u);
+  EXPECT_EQ(t.payload_bits(), 128u);
+  EXPECT_EQ(t.end_addr(), 0x1010u);
+  EXPECT_EQ(t.data.size(), 16u);
+  EXPECT_FALSE(t.is_write());
+  EXPECT_EQ(t.status, TransStatus::kPending);
+  EXPECT_FALSE(t.failed());
+}
+
+TEST(Transaction, MakeWriteDerivesBurstFromPayload) {
+  const BusTransaction t =
+      make_write(1, 0x2000, std::vector<std::uint8_t>(24, 0xAB),
+                 DataFormat::kWord);
+  EXPECT_TRUE(t.is_write());
+  EXPECT_EQ(t.burst_len, 6);  // 24 bytes / 4-byte beats
+  EXPECT_EQ(t.payload_bytes(), 24u);
+}
+
+TEST(Transaction, ByteAndHalfWordFormats) {
+  const BusTransaction b =
+      make_write(0, 0x10, std::vector<std::uint8_t>(3, 1), DataFormat::kByte);
+  EXPECT_EQ(b.burst_len, 3);
+  const BusTransaction h =
+      make_write(0, 0x10, std::vector<std::uint8_t>(6, 1), DataFormat::kHalfWord);
+  EXPECT_EQ(h.burst_len, 3);
+  EXPECT_EQ(beat_bytes(DataFormat::kByte), 1u);
+  EXPECT_EQ(beat_bytes(DataFormat::kHalfWord), 2u);
+  EXPECT_EQ(beat_bytes(DataFormat::kWord), 4u);
+}
+
+TEST(Transaction, FailedStatuses) {
+  BusTransaction t = make_read(0, 0);
+  for (TransStatus s : {TransStatus::kDecodeError, TransStatus::kSlaveError,
+                        TransStatus::kSecurityViolation,
+                        TransStatus::kIntegrityError}) {
+    t.status = s;
+    EXPECT_TRUE(t.failed());
+  }
+  t.status = TransStatus::kOk;
+  EXPECT_FALSE(t.failed());
+}
+
+TEST(Transaction, DescribeMentionsKeyFields) {
+  BusTransaction t = make_read(3, 0xDEAD0000, DataFormat::kHalfWord, 2);
+  t.id = 99;
+  const std::string text = t.describe();
+  EXPECT_NE(text.find("m3"), std::string::npos);
+  EXPECT_NE(text.find("read"), std::string::npos);
+  EXPECT_NE(text.find("dead0000"), std::string::npos);
+  EXPECT_NE(text.find("16-bit"), std::string::npos);
+}
+
+TEST(Transaction, TransIdEncodesMasterAndSequence) {
+  const auto id = make_trans_id(7, 123);
+  EXPECT_EQ(id >> 48, 7u);
+  EXPECT_EQ(id & 0xFFFFFFFFFFFFULL, 123u);
+  EXPECT_NE(make_trans_id(1, 5), make_trans_id(2, 5));
+  EXPECT_NE(make_trans_id(1, 5), make_trans_id(1, 6));
+}
+
+TEST(Transaction, StatusNames) {
+  EXPECT_STREQ(to_string(TransStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(TransStatus::kSecurityViolation),
+               "security_violation");
+  EXPECT_STREQ(to_string(TransStatus::kIntegrityError), "integrity_error");
+  EXPECT_STREQ(to_string(BusOp::kWrite), "write");
+  EXPECT_STREQ(to_string(DataFormat::kWord), "32-bit");
+}
+
+}  // namespace
+}  // namespace secbus::bus

@@ -1,0 +1,217 @@
+#include "core/local_firewall.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bus/system_bus.hpp"
+#include "mem/bram.hpp"
+#include "sim/kernel.hpp"
+
+namespace secbus::core {
+namespace {
+
+using bus::BusOp;
+using bus::DataFormat;
+using bus::TransStatus;
+
+// Master-side firewall in front of a real bus + BRAM.
+struct MasterFirewallFixture : public ::testing::Test {
+  void SetUp() override {
+    PolicyBuilder b(1);
+    b.allow(0x0000, 0x800, RwAccess::kReadWrite, FormatMask::kAll, "rw");
+    b.allow(0x0800, 0x800, RwAccess::kReadOnly, FormatMask::k32, "ro");
+    config_mem.install(1, b.build());
+
+    bus_obj = std::make_unique<bus::SystemBus>("bus");
+    const auto sid = bus_obj->add_slave(bram);
+    bus_obj->map_region(0x0000, 0x1000, sid, "bram");
+
+    fw = std::make_unique<LocalFirewall>("lf_test", 1, config_mem, log);
+    fw->connect_bus(bus_obj->attach_master(0, "m0"));
+    kernel.add(*fw);
+    kernel.add(*bus_obj);
+  }
+
+  // Pushes a transaction into the firewall's IP side and runs to response.
+  bus::BusTransaction submit(bus::BusTransaction t, sim::Cycle max = 200) {
+    t.issued_at = kernel.now();
+    fw->ip_side().request.push(std::move(t));
+    const bool done = kernel.run_until(
+        [this] { return !fw->ip_side().response.empty(); }, max);
+    EXPECT_TRUE(done) << "no response within " << max << " cycles";
+    return *fw->ip_side().response.pop();
+  }
+
+  sim::SimKernel kernel;
+  ConfigurationMemory config_mem;
+  SecurityEventLog log;
+  mem::Bram bram{"bram", mem::Bram::Config{0x0000, 0x1000, 1}};
+  std::unique_ptr<bus::SystemBus> bus_obj;
+  std::unique_ptr<LocalFirewall> fw;
+};
+
+TEST_F(MasterFirewallFixture, AllowedWriteReachesMemory) {
+  const auto resp = submit(bus::make_write(0, 0x100, {1, 2, 3, 4}));
+  EXPECT_EQ(resp.status, TransStatus::kOk);
+  EXPECT_EQ(fw->stats().passed, 1u);
+  EXPECT_EQ(fw->stats().blocked, 0u);
+  EXPECT_EQ(bram.writes(), 1u);
+  EXPECT_TRUE(log.alerts().empty());
+}
+
+TEST_F(MasterFirewallFixture, AllowedReadReturnsData) {
+  (void)submit(bus::make_write(0, 0x100, {5, 6, 7, 8}));
+  const auto resp = submit(bus::make_read(0, 0x100));
+  EXPECT_EQ(resp.status, TransStatus::kOk);
+  EXPECT_EQ(resp.data, (std::vector<std::uint8_t>{5, 6, 7, 8}));
+  EXPECT_EQ(fw->stats().responses_gated, 2u);
+}
+
+TEST_F(MasterFirewallFixture, CheckAddsTwelveCycles) {
+  const auto resp = submit(bus::make_read(0, 0x100));
+  // Pipeline: SB check occupies cycles 0..11 (12 cycles); the firewall
+  // pushes bus-ward during its cycle-11 tick, the bus (ticking later the
+  // same cycle) grants immediately, and the transfer takes 1 addr + 1 BRAM
+  // latency + 1 beat, completing at cycle 13 — the check's final cycle
+  // overlaps the bus grant.
+  EXPECT_EQ(resp.completed_at - resp.issued_at, 13u);
+  EXPECT_EQ(fw->stats().check_cycles, 12u);
+}
+
+TEST_F(MasterFirewallFixture, WriteToReadOnlyBlockedBeforeBus) {
+  const auto resp = submit(bus::make_write(0, 0x900, {1, 2, 3, 4}));
+  EXPECT_EQ(resp.status, TransStatus::kSecurityViolation);
+  EXPECT_EQ(fw->stats().blocked, 1u);
+  EXPECT_EQ(fw->stats().violation_count(Violation::kRwViolation), 1u);
+  // Containment: the transaction never reached the bus or the memory.
+  EXPECT_EQ(bus_obj->stats().transactions, 0u);
+  EXPECT_EQ(bram.writes(), 0u);
+  // Alert raised with the right shape.
+  ASSERT_EQ(log.count(), 1u);
+  EXPECT_EQ(log.alerts()[0].violation, Violation::kRwViolation);
+  EXPECT_EQ(log.alerts()[0].firewall, 1u);
+  EXPECT_EQ(log.alerts()[0].addr, 0x900u);
+}
+
+TEST_F(MasterFirewallFixture, OutOfSegmentBlocked) {
+  const auto resp = submit(bus::make_read(0, 0x4000));
+  EXPECT_EQ(resp.status, TransStatus::kSecurityViolation);
+  EXPECT_EQ(fw->stats().violation_count(Violation::kNoMatchingSegment), 1u);
+}
+
+TEST_F(MasterFirewallFixture, BadFormatBlocked) {
+  const auto resp = submit(bus::make_read(0, 0x900, DataFormat::kByte));
+  EXPECT_EQ(resp.status, TransStatus::kSecurityViolation);
+  EXPECT_EQ(fw->stats().violation_count(Violation::kFormatViolation), 1u);
+}
+
+TEST_F(MasterFirewallFixture, DiscardedWriteDataZeroed) {
+  const auto resp = submit(bus::make_write(0, 0x900, {0xAA, 0xBB, 0xCC, 0xDD}));
+  EXPECT_EQ(resp.data, std::vector<std::uint8_t>(4, 0));
+}
+
+TEST_F(MasterFirewallFixture, ChecksSerializeAcrossRequests) {
+  bus::BusTransaction t1 = bus::make_read(0, 0x100);
+  bus::BusTransaction t2 = bus::make_read(0, 0x200);
+  t1.issued_at = t2.issued_at = 0;
+  fw->ip_side().request.push(std::move(t1));
+  fw->ip_side().request.push(std::move(t2));
+  kernel.run(100);
+  ASSERT_EQ(fw->ip_side().response.size(), 2u);
+  const auto r1 = *fw->ip_side().response.pop();
+  const auto r2 = *fw->ip_side().response.pop();
+  // Second response at least 12 cycles (one SB slot) after the first.
+  EXPECT_GE(r2.completed_at, r1.completed_at + 12u);
+  EXPECT_EQ(fw->stats().secpol_reqs, 2u);
+}
+
+TEST_F(MasterFirewallFixture, IdleReflectsInFlightWork) {
+  EXPECT_TRUE(fw->idle());
+  fw->ip_side().request.push(bus::make_read(0, 0x100));
+  EXPECT_FALSE(fw->idle());
+  kernel.run(100);
+  (void)fw->ip_side().response.pop();
+  EXPECT_TRUE(fw->idle());
+}
+
+TEST_F(MasterFirewallFixture, ParanoidRecheckOnResponses) {
+  LocalFirewall::Config cfg;
+  cfg.recheck_responses = true;
+  auto paranoid = std::make_unique<LocalFirewall>("lf_paranoid", 1, config_mem,
+                                                  log, cfg);
+  paranoid->connect_bus(bus_obj->attach_master(1, "m1"));
+  kernel.add(*paranoid);
+
+  bus::BusTransaction t = bus::make_read(0, 0x100);
+  t.issued_at = kernel.now();
+  paranoid->ip_side().request.push(std::move(t));
+  kernel.run_until([&] { return !paranoid->ip_side().response.empty(); }, 200);
+  ASSERT_FALSE(paranoid->ip_side().response.empty());
+  EXPECT_EQ(paranoid->ip_side().response.pop()->status, TransStatus::kOk);
+  // Request check (12) + response re-check (12).
+  EXPECT_EQ(paranoid->stats().check_cycles, 24u);
+}
+
+TEST_F(MasterFirewallFixture, ResetClearsState) {
+  (void)submit(bus::make_read(0, 0x100));
+  fw->reset();
+  EXPECT_EQ(fw->stats().secpol_reqs, 0u);
+  EXPECT_TRUE(fw->idle());
+}
+
+// Slave-side firewall decorating a BRAM.
+struct SlaveFirewallFixture : public ::testing::Test {
+  void SetUp() override {
+    PolicyBuilder b(2);
+    b.allow(0x0000, 0x800, RwAccess::kReadWrite, FormatMask::kAll, "rw");
+    b.allow(0x0800, 0x800, RwAccess::kReadOnly, FormatMask::k32, "ro");
+    config_mem.install(2, b.build());
+    fw = std::make_unique<SlaveFirewall>("slf", 2, config_mem, log, bram);
+  }
+
+  ConfigurationMemory config_mem;
+  SecurityEventLog log;
+  mem::Bram bram{"bram", mem::Bram::Config{0x0000, 0x1000, 1}};
+  std::unique_ptr<SlaveFirewall> fw;
+};
+
+TEST_F(SlaveFirewallFixture, AllowedAccessAddsCheckLatency) {
+  auto w = bus::make_write(0, 0x100, {1, 2, 3, 4});
+  const auto result = fw->access(w, 0);
+  EXPECT_EQ(result.status, TransStatus::kOk);
+  EXPECT_EQ(result.latency, 12u + 1u);  // SB check + BRAM latency
+  EXPECT_EQ(bram.writes(), 1u);
+}
+
+TEST_F(SlaveFirewallFixture, ViolationNeverReachesDevice) {
+  auto w = bus::make_write(0, 0x900, {1, 2, 3, 4});
+  const auto result = fw->access(w, 0);
+  EXPECT_EQ(result.status, TransStatus::kSecurityViolation);
+  EXPECT_EQ(result.latency, 12u);
+  EXPECT_EQ(bram.writes(), 0u);
+  EXPECT_EQ(log.count(), 1u);
+  EXPECT_EQ(fw->stats().blocked, 1u);
+}
+
+TEST_F(SlaveFirewallFixture, BlockedReadDataZeroed) {
+  // Preload then attempt a byte read of the 32-bit-only segment.
+  bram.store().write_byte(0x900, 0x7F);
+  auto r = bus::make_read(0, 0x900, DataFormat::kByte);
+  r.data.assign(1, 0x55);  // stale buffer contents
+  const auto result = fw->access(r, 0);
+  EXPECT_EQ(result.status, TransStatus::kSecurityViolation);
+  EXPECT_EQ(r.data, std::vector<std::uint8_t>(1, 0));
+}
+
+TEST_F(SlaveFirewallFixture, StatsAccumulate) {
+  auto ok = bus::make_read(0, 0x100);
+  auto bad = bus::make_write(0, 0x900, {1, 2, 3, 4});
+  (void)fw->access(ok, 0);
+  (void)fw->access(bad, 20);
+  EXPECT_EQ(fw->stats().secpol_reqs, 2u);
+  EXPECT_EQ(fw->stats().passed, 1u);
+  EXPECT_EQ(fw->stats().blocked, 1u);
+  EXPECT_EQ(fw->stats().check_cycles, 24u);
+}
+
+}  // namespace
+}  // namespace secbus::core

@@ -1,0 +1,153 @@
+#include "core/security_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace secbus::core {
+namespace {
+
+using bus::BusOp;
+using bus::DataFormat;
+
+SecurityPolicy make_policy() {
+  return PolicyBuilder(7)
+      .allow(0x0000, 0x1000, RwAccess::kReadWrite, FormatMask::kAll, "scratch")
+      .allow(0x1000, 0x1000, RwAccess::kReadOnly, FormatMask::k32, "code")
+      .allow(0x2000, 0x1000, RwAccess::kWriteOnly, FormatMask::k8_16, "mailbox")
+      .build();
+}
+
+TEST(RwAccessRules, AllowsMatrix) {
+  EXPECT_FALSE(allows(RwAccess::kNone, BusOp::kRead));
+  EXPECT_FALSE(allows(RwAccess::kNone, BusOp::kWrite));
+  EXPECT_TRUE(allows(RwAccess::kReadOnly, BusOp::kRead));
+  EXPECT_FALSE(allows(RwAccess::kReadOnly, BusOp::kWrite));
+  EXPECT_FALSE(allows(RwAccess::kWriteOnly, BusOp::kRead));
+  EXPECT_TRUE(allows(RwAccess::kWriteOnly, BusOp::kWrite));
+  EXPECT_TRUE(allows(RwAccess::kReadWrite, BusOp::kRead));
+  EXPECT_TRUE(allows(RwAccess::kReadWrite, BusOp::kWrite));
+}
+
+TEST(FormatMaskRules, AllowsMatrix) {
+  EXPECT_TRUE(allows(FormatMask::kAll, DataFormat::kByte));
+  EXPECT_TRUE(allows(FormatMask::kAll, DataFormat::kWord));
+  EXPECT_FALSE(allows(FormatMask::k32, DataFormat::kByte));
+  EXPECT_FALSE(allows(FormatMask::k32, DataFormat::kHalfWord));
+  EXPECT_TRUE(allows(FormatMask::k32, DataFormat::kWord));
+  EXPECT_TRUE(allows(FormatMask::k8_16, DataFormat::kByte));
+  EXPECT_TRUE(allows(FormatMask::k8_16, DataFormat::kHalfWord));
+  EXPECT_FALSE(allows(FormatMask::k8_16, DataFormat::kWord));
+  EXPECT_FALSE(allows(FormatMask::kNone, DataFormat::kByte));
+  EXPECT_EQ(FormatMask::k8 | FormatMask::k16, FormatMask::k8_16);
+}
+
+TEST(SecurityPolicy, AllowedAccessInsideSegment) {
+  const SecurityPolicy p = make_policy();
+  const auto d = p.evaluate(BusOp::kRead, 0x0100, 4, DataFormat::kWord);
+  EXPECT_TRUE(d.allowed);
+  EXPECT_EQ(d.violation, Violation::kNone);
+  ASSERT_TRUE(d.rule_index.has_value());
+  EXPECT_EQ(*d.rule_index, 0u);
+}
+
+TEST(SecurityPolicy, NoMatchingSegment) {
+  const SecurityPolicy p = make_policy();
+  const auto d = p.evaluate(BusOp::kRead, 0x5000, 4, DataFormat::kWord);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.violation, Violation::kNoMatchingSegment);
+  EXPECT_FALSE(d.rule_index.has_value());
+}
+
+TEST(SecurityPolicy, StraddlingSegmentsIsNoMatch) {
+  const SecurityPolicy p = make_policy();
+  // 8 bytes starting 4 before the segment boundary: covered by neither rule
+  // alone even though both sides are individually allowed.
+  const auto d = p.evaluate(BusOp::kRead, 0x0FFC, 8, DataFormat::kWord);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.violation, Violation::kNoMatchingSegment);
+}
+
+TEST(SecurityPolicy, RwViolationWriteToReadOnly) {
+  const SecurityPolicy p = make_policy();
+  const auto d = p.evaluate(BusOp::kWrite, 0x1100, 4, DataFormat::kWord);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.violation, Violation::kRwViolation);
+  ASSERT_TRUE(d.rule_index.has_value());
+  EXPECT_EQ(*d.rule_index, 1u);
+}
+
+TEST(SecurityPolicy, RwViolationReadFromWriteOnly) {
+  const SecurityPolicy p = make_policy();
+  const auto d = p.evaluate(BusOp::kRead, 0x2100, 2, DataFormat::kHalfWord);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.violation, Violation::kRwViolation);
+}
+
+TEST(SecurityPolicy, FormatViolation) {
+  const SecurityPolicy p = make_policy();
+  const auto byte_read = p.evaluate(BusOp::kRead, 0x1100, 1, DataFormat::kByte);
+  EXPECT_FALSE(byte_read.allowed);
+  EXPECT_EQ(byte_read.violation, Violation::kFormatViolation);
+  const auto word_write =
+      p.evaluate(BusOp::kWrite, 0x2100, 4, DataFormat::kWord);
+  EXPECT_FALSE(word_write.allowed);
+  EXPECT_EQ(word_write.violation, Violation::kFormatViolation);
+}
+
+TEST(SecurityPolicy, SegmentBoundariesExact) {
+  const SecurityPolicy p = make_policy();
+  // Last word of the scratch segment.
+  EXPECT_TRUE(p.evaluate(BusOp::kWrite, 0x0FFC, 4, DataFormat::kWord).allowed);
+  // First word of the code segment.
+  EXPECT_TRUE(p.evaluate(BusOp::kRead, 0x1000, 4, DataFormat::kWord).allowed);
+}
+
+TEST(SecurityPolicy, LockdownRejectsEverything) {
+  const SecurityPolicy p = make_lockdown_policy(9);
+  EXPECT_TRUE(p.lockdown);
+  const auto d = p.evaluate(BusOp::kRead, 0x0000, 4, DataFormat::kWord);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.violation, Violation::kPolicyLockdown);
+}
+
+TEST(PolicyBuilder, CarriesModesAndKey) {
+  crypto::Aes128Key key{};
+  key[0] = 0x42;
+  const SecurityPolicy p = PolicyBuilder(3)
+                               .allow(0, 64, RwAccess::kReadWrite)
+                               .confidentiality(ConfidentialityMode::kCipher)
+                               .integrity(IntegrityMode::kHashTree)
+                               .key(key)
+                               .build();
+  EXPECT_EQ(p.spi, 3u);
+  EXPECT_EQ(p.cm, ConfidentialityMode::kCipher);
+  EXPECT_EQ(p.im, IntegrityMode::kHashTree);
+  EXPECT_EQ(p.key[0], 0x42);
+  EXPECT_EQ(p.rule_count(), 1u);
+}
+
+TEST(PolicyBuilderDeathTest, OverlappingSegmentsAbort) {
+  PolicyBuilder b(1);
+  b.allow(0x0000, 0x100, RwAccess::kReadWrite);
+  b.allow(0x00FF, 0x100, RwAccess::kReadOnly);
+  EXPECT_DEATH((void)b.build(), "disjoint");
+}
+
+TEST(ViolationNames, Stable) {
+  EXPECT_STREQ(to_string(Violation::kNoMatchingSegment), "no_matching_segment");
+  EXPECT_STREQ(to_string(Violation::kRwViolation), "rw_violation");
+  EXPECT_STREQ(to_string(Violation::kFormatViolation), "format_violation");
+  EXPECT_STREQ(to_string(Violation::kIntegrityFailure), "integrity_failure");
+  EXPECT_STREQ(to_string(Violation::kPolicyLockdown), "policy_lockdown");
+}
+
+TEST(PolicyToString, FormatsAndModes) {
+  EXPECT_EQ(to_string(FormatMask::kAll), "8/16/32-bit");
+  EXPECT_EQ(to_string(FormatMask::k32), "32-bit");
+  EXPECT_EQ(to_string(FormatMask::kNone), "none");
+  EXPECT_STREQ(to_string(RwAccess::kReadOnly), "read-only");
+  EXPECT_STREQ(to_string(ConfidentialityMode::kCipher), "cipher");
+  EXPECT_STREQ(to_string(IntegrityMode::kHashTree), "hash-tree");
+}
+
+}  // namespace
+}  // namespace secbus::core

@@ -1,0 +1,146 @@
+#include "core/reconfig.hpp"
+
+#include <gtest/gtest.h>
+
+namespace secbus::core {
+namespace {
+
+Alert make_alert(sim::Cycle cycle, FirewallId fw,
+                 Violation v = Violation::kRwViolation) {
+  Alert a;
+  a.cycle = cycle;
+  a.firewall = fw;
+  a.firewall_name = "fw" + std::to_string(fw);
+  a.violation = v;
+  return a;
+}
+
+SecurityPolicy normal_policy(std::uint32_t spi) {
+  return PolicyBuilder(spi).allow(0, 0x1000, RwAccess::kReadWrite).build();
+}
+
+struct ReconfigFixture : public ::testing::Test {
+  void SetUp() override {
+    config_mem.install(1, normal_policy(1));
+    config_mem.install(2, normal_policy(2));
+    PolicyReconfigurator::Config cfg;
+    cfg.threshold = 3;
+    cfg.window_cycles = 100;
+    reconfig = std::make_unique<PolicyReconfigurator>(config_mem, log, cfg);
+  }
+
+  ConfigurationMemory config_mem;
+  SecurityEventLog log;
+  std::unique_ptr<PolicyReconfigurator> reconfig;
+};
+
+TEST_F(ReconfigFixture, LockdownAfterThresholdInWindow) {
+  log.raise(make_alert(10, 1));
+  log.raise(make_alert(20, 1));
+  EXPECT_FALSE(reconfig->is_locked_down(1));
+  log.raise(make_alert(30, 1));
+  EXPECT_TRUE(reconfig->is_locked_down(1));
+  EXPECT_TRUE(config_mem.policy(1).lockdown);
+  ASSERT_EQ(reconfig->lockdowns().size(), 1u);
+  EXPECT_EQ(reconfig->lockdowns()[0].firewall, 1u);
+  EXPECT_EQ(reconfig->lockdowns()[0].cycle, 30u);
+  EXPECT_EQ(reconfig->lockdowns()[0].alerts_in_window, 3u);
+}
+
+TEST_F(ReconfigFixture, SlidingWindowForgetOldAlerts) {
+  log.raise(make_alert(10, 1));
+  log.raise(make_alert(20, 1));
+  // Third alert far outside the 100-cycle window: 10 and 20 expired.
+  log.raise(make_alert(500, 1));
+  EXPECT_FALSE(reconfig->is_locked_down(1));
+  log.raise(make_alert(510, 1));
+  log.raise(make_alert(520, 1));
+  EXPECT_TRUE(reconfig->is_locked_down(1));
+}
+
+TEST_F(ReconfigFixture, FirewallsTrackedIndependently) {
+  log.raise(make_alert(10, 1));
+  log.raise(make_alert(11, 2));
+  log.raise(make_alert(12, 1));
+  log.raise(make_alert(13, 2));
+  log.raise(make_alert(14, 1));
+  EXPECT_TRUE(reconfig->is_locked_down(1));
+  EXPECT_FALSE(reconfig->is_locked_down(2));
+  EXPECT_FALSE(config_mem.policy(2).lockdown);
+}
+
+TEST_F(ReconfigFixture, ExemptFirewallNeverLocked) {
+  reconfig->exempt(2);
+  for (sim::Cycle c = 0; c < 10; ++c) log.raise(make_alert(c, 2));
+  EXPECT_FALSE(reconfig->is_locked_down(2));
+}
+
+TEST_F(ReconfigFixture, ReleaseRestoresSavedPolicy) {
+  for (sim::Cycle c = 0; c < 3; ++c) log.raise(make_alert(c, 1));
+  ASSERT_TRUE(reconfig->is_locked_down(1));
+  reconfig->release(1);
+  EXPECT_FALSE(reconfig->is_locked_down(1));
+  EXPECT_FALSE(config_mem.policy(1).lockdown);
+  EXPECT_EQ(config_mem.policy(1).rule_count(), 1u);
+}
+
+TEST_F(ReconfigFixture, ReleaseUnknownFirewallIsNoop) {
+  reconfig->release(99);  // must not crash or alter anything
+  EXPECT_FALSE(reconfig->is_locked_down(99));
+}
+
+TEST_F(ReconfigFixture, AlertsAfterLockdownDontRetrigger) {
+  for (sim::Cycle c = 0; c < 3; ++c) log.raise(make_alert(c, 1));
+  ASSERT_EQ(reconfig->lockdowns().size(), 1u);
+  // The now-locked firewall keeps raising lockdown alerts; no double action.
+  for (sim::Cycle c = 4; c < 10; ++c) {
+    log.raise(make_alert(c, 1, Violation::kPolicyLockdown));
+  }
+  EXPECT_EQ(reconfig->lockdowns().size(), 1u);
+}
+
+TEST_F(ReconfigFixture, DisabledResponderDoesNothing) {
+  PolicyReconfigurator::Config cfg;
+  cfg.enabled = false;
+  cfg.threshold = 1;
+  ConfigurationMemory mem2;
+  SecurityEventLog log2;
+  mem2.install(1, normal_policy(1));
+  PolicyReconfigurator off(mem2, log2, cfg);
+  log2.raise(make_alert(1, 1));
+  EXPECT_FALSE(off.is_locked_down(1));
+}
+
+TEST(SecurityEventLog, CountersAndFirstCycle) {
+  SecurityEventLog log;
+  EXPECT_EQ(log.first_alert_cycle(), sim::kNeverCycle);
+  log.raise(make_alert(5, 1, Violation::kRwViolation));
+  log.raise(make_alert(9, 2, Violation::kIntegrityFailure));
+  log.raise(make_alert(12, 1, Violation::kRwViolation));
+  EXPECT_EQ(log.count(), 3u);
+  EXPECT_EQ(log.count_for(1), 2u);
+  EXPECT_EQ(log.count_of(Violation::kIntegrityFailure), 1u);
+  EXPECT_EQ(log.first_alert_cycle(), 5u);
+  log.clear();
+  EXPECT_EQ(log.count(), 0u);
+}
+
+TEST(SecurityEventLog, ListenersInvokedInOrder) {
+  SecurityEventLog log;
+  std::vector<int> calls;
+  log.subscribe([&calls](const Alert&) { calls.push_back(1); });
+  log.subscribe([&calls](const Alert&) { calls.push_back(2); });
+  log.raise(make_alert(1, 1));
+  EXPECT_EQ(calls, (std::vector<int>{1, 2}));
+}
+
+TEST(AlertDescribe, MentionsKeyFields) {
+  const Alert a = make_alert(77, 3, Violation::kFormatViolation);
+  const std::string text = a.describe();
+  EXPECT_NE(text.find("cycle=77"), std::string::npos);
+  EXPECT_NE(text.find("format_violation"), std::string::npos);
+  EXPECT_NE(text.find("fw3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secbus::core

@@ -1,0 +1,112 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/hexdump.hpp"
+
+namespace secbus::crypto {
+namespace {
+
+using util::from_hex;
+using util::to_hex;
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  HmacSha256 hmac({key.data(), key.size()});
+  const auto data = bytes_of("Hi There");
+  const Sha256Digest mac = hmac.mac({data.data(), data.size()});
+  EXPECT_EQ(to_hex({mac.data(), mac.size()}),
+            "b0344c61d8db38535ca8afceaf0bf12b"
+            "881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto key = bytes_of("Jefe");
+  HmacSha256 hmac({key.data(), key.size()});
+  const auto data = bytes_of("what do ya want for nothing?");
+  const Sha256Digest mac = hmac.mac({data.data(), data.size()});
+  EXPECT_EQ(to_hex({mac.data(), mac.size()}),
+            "5bdcc146bf60754e6a042426089575c7"
+            "5a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3FullBlocks) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  HmacSha256 hmac({key.data(), key.size()});
+  const Sha256Digest mac = hmac.mac({data.data(), data.size()});
+  EXPECT_EQ(to_hex({mac.data(), mac.size()}),
+            "773ea91e36800e46854db8ebd09181a7"
+            "2959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  // 131-byte key forces the hash-the-key path.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  HmacSha256 hmac({key.data(), key.size()});
+  const auto data = bytes_of("Test Using Larger Than Block-Size Key - Hash Key First");
+  const Sha256Digest mac = hmac.mac({data.data(), data.size()});
+  EXPECT_EQ(to_hex({mac.data(), mac.size()}),
+            "60e431591ee0b67f0d8a26aacbf5b77f"
+            "8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, StreamingMatchesOneShot) {
+  const auto key = bytes_of("stream-key");
+  const auto data = bytes_of("part one and part two concatenated");
+  HmacSha256 hmac({key.data(), key.size()});
+  const Sha256Digest one_shot = hmac.mac({data.data(), data.size()});
+
+  hmac.start();
+  hmac.update({data.data(), 8});
+  hmac.update({data.data() + 8, data.size() - 8});
+  EXPECT_EQ(hmac.finish(), one_shot);
+}
+
+TEST(HmacSha256, DifferentKeysDifferentMacs) {
+  const auto k1 = bytes_of("key-1");
+  const auto k2 = bytes_of("key-2");
+  const auto data = bytes_of("same message");
+  HmacSha256 h1({k1.data(), k1.size()});
+  HmacSha256 h2({k2.data(), k2.size()});
+  EXPECT_NE(h1.mac({data.data(), data.size()}),
+            h2.mac({data.data(), data.size()}));
+}
+
+TEST(DeriveKey, DeterministicAndLabelSeparated) {
+  const auto master = bytes_of("master-secret-0123456789");
+  const auto info_a = bytes_of("cc-nonce");
+  const auto info_b = bytes_of("ic-salt");
+
+  std::array<std::uint8_t, 32> out_a1{}, out_a2{}, out_b{};
+  derive_key({master.data(), master.size()}, {info_a.data(), info_a.size()},
+             out_a1);
+  derive_key({master.data(), master.size()}, {info_a.data(), info_a.size()},
+             out_a2);
+  derive_key({master.data(), master.size()}, {info_b.data(), info_b.size()},
+             out_b);
+  EXPECT_EQ(out_a1, out_a2);
+  EXPECT_NE(out_a1, out_b);
+}
+
+TEST(DeriveKey, ProducesArbitraryLengths) {
+  const auto master = bytes_of("m");
+  const auto info = bytes_of("i");
+  std::vector<std::uint8_t> out_short(4), out_long(100);
+  derive_key({master.data(), master.size()}, {info.data(), info.size()},
+             {out_short.data(), out_short.size()});
+  derive_key({master.data(), master.size()}, {info.data(), info.size()},
+             {out_long.data(), out_long.size()});
+  // Long output extends the short output's prefix (counter-mode expansion).
+  EXPECT_TRUE(std::equal(out_short.begin(), out_short.end(), out_long.begin()));
+  // Later blocks are not repeats of the first.
+  EXPECT_FALSE(std::equal(out_long.begin(), out_long.begin() + 32,
+                          out_long.begin() + 32));
+}
+
+}  // namespace
+}  // namespace secbus::crypto

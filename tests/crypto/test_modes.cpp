@@ -1,0 +1,151 @@
+#include "crypto/aes_modes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/hexdump.hpp"
+#include "util/rng.hpp"
+
+namespace secbus::crypto {
+namespace {
+
+using util::from_hex;
+using util::to_hex;
+
+const Aes128Key kNistKey = [] {
+  Aes128Key k{};
+  const auto bytes = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  std::copy(bytes.begin(), bytes.end(), k.begin());
+  return k;
+}();
+
+// NIST SP 800-38A test data (first two plaintext blocks).
+const std::vector<std::uint8_t> kPt = from_hex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51");
+
+TEST(EcbMode, Sp80038aVectors) {
+  const Aes128 aes(kNistKey);
+  std::vector<std::uint8_t> ct(kPt.size());
+  ecb_encrypt(aes, kPt, ct);
+  EXPECT_EQ(to_hex({ct.data(), ct.size()}),
+            "3ad77bb40d7a3660a89ecaf32466ef97"
+            "f5d3d58503b9699de785895a96fdbaaf");
+  std::vector<std::uint8_t> back(ct.size());
+  ecb_decrypt(aes, ct, back);
+  EXPECT_EQ(back, kPt);
+}
+
+TEST(EcbMode, InPlaceOperation) {
+  const Aes128 aes(kNistKey);
+  std::vector<std::uint8_t> buf = kPt;
+  ecb_encrypt(aes, buf, buf);
+  EXPECT_NE(buf, kPt);
+  ecb_decrypt(aes, buf, buf);
+  EXPECT_EQ(buf, kPt);
+}
+
+TEST(CbcMode, Sp80038aVectors) {
+  const Aes128 aes(kNistKey);
+  AesBlock iv{};
+  const auto iv_bytes = from_hex("000102030405060708090a0b0c0d0e0f");
+  std::copy(iv_bytes.begin(), iv_bytes.end(), iv.begin());
+
+  std::vector<std::uint8_t> ct(kPt.size());
+  cbc_encrypt(aes, iv, kPt, ct);
+  EXPECT_EQ(to_hex({ct.data(), ct.size()}),
+            "7649abac8119b246cee98e9b12e9197d"
+            "5086cb9b507219ee95db113a917678b2");
+  std::vector<std::uint8_t> back(ct.size());
+  cbc_decrypt(aes, iv, ct, back);
+  EXPECT_EQ(back, kPt);
+}
+
+TEST(CbcMode, InPlaceDecrypt) {
+  const Aes128 aes(kNistKey);
+  AesBlock iv{};
+  iv[3] = 0x42;
+  std::vector<std::uint8_t> buf = kPt;
+  cbc_encrypt(aes, iv, buf, buf);
+  cbc_decrypt(aes, iv, buf, buf);
+  EXPECT_EQ(buf, kPt);
+}
+
+TEST(CtrMode, Sp80038aVectors) {
+  const Aes128 aes(kNistKey);
+  AesBlock ctr{};
+  const auto ctr_bytes = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  std::copy(ctr_bytes.begin(), ctr_bytes.end(), ctr.begin());
+
+  std::vector<std::uint8_t> ct(kPt.size());
+  ctr_xcrypt(aes, ctr, kPt, ct);
+  EXPECT_EQ(to_hex({ct.data(), ct.size()}),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff");
+  // CTR is an involution with the same counter.
+  std::vector<std::uint8_t> back(ct.size());
+  ctr_xcrypt(aes, ctr, ct, back);
+  EXPECT_EQ(back, kPt);
+}
+
+TEST(CtrMode, PartialBlockLengths) {
+  const Aes128 aes(kNistKey);
+  AesBlock ctr{};
+  util::Xoshiro256 rng(5);
+  for (std::size_t len : {1u, 7u, 15u, 17u, 33u}) {
+    std::vector<std::uint8_t> pt(len);
+    rng.fill(std::span<std::uint8_t>(pt.data(), pt.size()));
+    std::vector<std::uint8_t> ct(len);
+    ctr_xcrypt(aes, ctr, pt, ct);
+    std::vector<std::uint8_t> back(len);
+    ctr_xcrypt(aes, ctr, ct, back);
+    EXPECT_EQ(back, pt) << "length " << len;
+  }
+}
+
+TEST(MemoryTweak, LayoutBindsNonceAddressVersion) {
+  const AesBlock tweak = make_memory_tweak(0xAABBCCDD, 0x1122334455667788ULL,
+                                           0x99AA77EE);
+  EXPECT_EQ(to_hex({tweak.data(), tweak.size()}),
+            "aabbccdd112233445566778899aa77ee");
+}
+
+TEST(MemoryXcrypt, DifferentAddressesDifferentKeystream) {
+  const Aes128 aes(kNistKey);
+  const std::vector<std::uint8_t> zeros(16, 0);
+  std::vector<std::uint8_t> ct_a(16), ct_b(16);
+  memory_xcrypt(aes, 1, 0x1000, 1, zeros, ct_a);
+  memory_xcrypt(aes, 1, 0x1010, 1, zeros, ct_b);
+  EXPECT_NE(ct_a, ct_b);
+}
+
+TEST(MemoryXcrypt, DifferentVersionsDifferentKeystream) {
+  const Aes128 aes(kNistKey);
+  const std::vector<std::uint8_t> zeros(16, 0);
+  std::vector<std::uint8_t> ct_v1(16), ct_v2(16);
+  memory_xcrypt(aes, 1, 0x1000, 1, zeros, ct_v1);
+  memory_xcrypt(aes, 1, 0x1000, 2, zeros, ct_v2);
+  EXPECT_NE(ct_v1, ct_v2);
+}
+
+TEST(MemoryXcrypt, DifferentNoncesDifferentKeystream) {
+  const Aes128 aes(kNistKey);
+  const std::vector<std::uint8_t> zeros(16, 0);
+  std::vector<std::uint8_t> ct_n1(16), ct_n2(16);
+  memory_xcrypt(aes, 1, 0x1000, 1, zeros, ct_n1);
+  memory_xcrypt(aes, 2, 0x1000, 1, zeros, ct_n2);
+  EXPECT_NE(ct_n1, ct_n2);
+}
+
+TEST(MemoryXcrypt, RoundTripSameParameters) {
+  const Aes128 aes(kNistKey);
+  util::Xoshiro256 rng(11);
+  std::vector<std::uint8_t> pt(48);
+  rng.fill(std::span<std::uint8_t>(pt.data(), pt.size()));
+  std::vector<std::uint8_t> ct(48), back(48);
+  memory_xcrypt(aes, 7, 0x8000'0000, 3, pt, ct);
+  memory_xcrypt(aes, 7, 0x8000'0000, 3, ct, back);
+  EXPECT_EQ(back, pt);
+}
+
+}  // namespace
+}  // namespace secbus::crypto

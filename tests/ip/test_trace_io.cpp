@@ -1,0 +1,73 @@
+#include "ip/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace secbus::ip {
+namespace {
+
+std::vector<TraceRecord> sample_trace() {
+  return {
+      {0, bus::BusOp::kRead, 0x1000, bus::DataFormat::kWord, 1},
+      {12, bus::BusOp::kWrite, 0x8000'0040, bus::DataFormat::kByte, 3},
+      {5, bus::BusOp::kRead, 0x2000, bus::DataFormat::kHalfWord, 8},
+  };
+}
+
+TEST(TraceIo, StringRoundTrip) {
+  const auto records = sample_trace();
+  const std::string text = trace_to_string(records);
+  bool ok = false;
+  const auto back = trace_from_string(text, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(back, records);
+}
+
+TEST(TraceIo, TextFormatIsHumanReadable) {
+  const std::string text = trace_to_string(sample_trace());
+  EXPECT_NE(text.find("0 r 1000 32 1"), std::string::npos);
+  EXPECT_NE(text.find("12 w 80000040 8 3"), std::string::npos);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  bool ok = false;
+  const auto records =
+      trace_from_string("# header comment\n\n3 r 10 32 1\n", &ok);
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].delay, 3u);
+}
+
+TEST(TraceIo, RejectsMalformedLines) {
+  bool ok = true;
+  EXPECT_TRUE(trace_from_string("not a record\n", &ok).empty());
+  EXPECT_FALSE(ok);
+  ok = true;
+  EXPECT_TRUE(trace_from_string("1 x 10 32 1\n", &ok).empty());  // bad op
+  EXPECT_FALSE(ok);
+  ok = true;
+  EXPECT_TRUE(trace_from_string("1 r 10 24 1\n", &ok).empty());  // bad width
+  EXPECT_FALSE(ok);
+  ok = true;
+  EXPECT_TRUE(trace_from_string("1 r 10 32 0\n", &ok).empty());  // zero burst
+  EXPECT_FALSE(ok);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/secbus_trace.txt";
+  const auto records = sample_trace();
+  ASSERT_TRUE(write_trace(path, records));
+  bool ok = false;
+  const auto back = read_trace(path, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(back, records);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileReportsError) {
+  bool ok = true;
+  EXPECT_TRUE(read_trace("/nonexistent/secbus.txt", &ok).empty());
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace secbus::ip

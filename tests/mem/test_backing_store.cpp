@@ -1,0 +1,94 @@
+#include "mem/backing_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace secbus::mem {
+namespace {
+
+TEST(BackingStore, UntouchedMemoryReadsFill) {
+  BackingStore store;
+  std::vector<std::uint8_t> buf(8, 0xFF);
+  store.read(0x123456, buf);
+  EXPECT_EQ(buf, std::vector<std::uint8_t>(8, 0x00));
+  EXPECT_EQ(store.allocated_pages(), 0u);
+}
+
+TEST(BackingStore, CustomFillByte) {
+  BackingStore store;
+  store.set_fill_byte(0xCD);
+  EXPECT_EQ(store.read_byte(0x10), 0xCD);
+}
+
+TEST(BackingStore, WriteReadRoundTrip) {
+  BackingStore store;
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  store.write(0x1000, data);
+  std::vector<std::uint8_t> back(5);
+  store.read(0x1000, back);
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(store.bytes_written(), 5u);
+}
+
+TEST(BackingStore, CrossPageAccess) {
+  BackingStore store;
+  const sim::Addr addr = BackingStore::kPageBytes - 2;
+  const std::vector<std::uint8_t> data{0xAA, 0xBB, 0xCC, 0xDD};
+  store.write(addr, data);
+  EXPECT_EQ(store.allocated_pages(), 2u);
+  std::vector<std::uint8_t> back(4);
+  store.read(addr, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST(BackingStore, SparseAllocation) {
+  BackingStore store;
+  store.write_byte(0, 1);
+  store.write_byte(1ULL << 40, 2);  // terabyte apart
+  EXPECT_EQ(store.allocated_pages(), 2u);
+  EXPECT_EQ(store.read_byte(0), 1);
+  EXPECT_EQ(store.read_byte(1ULL << 40), 2);
+}
+
+TEST(BackingStore, OverwriteInPlace) {
+  BackingStore store;
+  store.write_byte(0x10, 0x11);
+  store.write_byte(0x10, 0x22);
+  EXPECT_EQ(store.read_byte(0x10), 0x22);
+  EXPECT_EQ(store.allocated_pages(), 1u);
+}
+
+TEST(BackingStore, PeekPokeAliasReadWrite) {
+  BackingStore store;
+  const std::vector<std::uint8_t> data{9, 8, 7};
+  store.poke(0x42, data);
+  std::vector<std::uint8_t> back(3);
+  store.peek(0x42, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST(BackingStore, ClearDropsEverything) {
+  BackingStore store;
+  store.write_byte(5, 1);
+  store.clear();
+  EXPECT_EQ(store.allocated_pages(), 0u);
+  EXPECT_EQ(store.bytes_written(), 0u);
+  EXPECT_EQ(store.read_byte(5), 0x00);
+}
+
+TEST(BackingStore, LargeMultiPageWrite) {
+  BackingStore store;
+  std::vector<std::uint8_t> data(3 * BackingStore::kPageBytes + 17);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  store.write(100, data);
+  std::vector<std::uint8_t> back(data.size());
+  store.read(100, back);
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(store.allocated_pages(), 4u);
+}
+
+}  // namespace
+}  // namespace secbus::mem

@@ -1,0 +1,76 @@
+#include "mem/bram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace secbus::mem {
+namespace {
+
+Bram make_bram() {
+  return Bram("bram0", Bram::Config{0x1000, 0x1000, 1});
+}
+
+TEST(Bram, WriteReadRoundTrip) {
+  Bram bram = make_bram();
+  auto w = bus::make_write(0, 0x1100, {4, 3, 2, 1});
+  EXPECT_EQ(bram.access(w, 0).status, bus::TransStatus::kOk);
+  auto r = bus::make_read(0, 0x1100);
+  EXPECT_EQ(bram.access(r, 1).status, bus::TransStatus::kOk);
+  EXPECT_EQ(r.data, (std::vector<std::uint8_t>{4, 3, 2, 1}));
+  EXPECT_EQ(bram.reads(), 1u);
+  EXPECT_EQ(bram.writes(), 1u);
+}
+
+TEST(Bram, SingleCycleLatency) {
+  Bram bram = make_bram();
+  auto r = bus::make_read(0, 0x1000);
+  EXPECT_EQ(bram.access(r, 0).latency, 1u);
+}
+
+TEST(Bram, ConfigurableLatency) {
+  Bram slow("slow", Bram::Config{0, 0x100, 3});
+  auto r = bus::make_read(0, 0x0);
+  EXPECT_EQ(slow.access(r, 0).latency, 3u);
+}
+
+TEST(Bram, OutOfRangeRejected) {
+  Bram bram = make_bram();
+  auto low = bus::make_read(0, 0x0FFC);
+  EXPECT_EQ(bram.access(low, 0).status, bus::TransStatus::kSlaveError);
+  auto high = bus::make_read(0, 0x2000);
+  EXPECT_EQ(bram.access(high, 0).status, bus::TransStatus::kSlaveError);
+  auto straddle = bus::make_read(0, 0x1FFC, bus::DataFormat::kWord, 2);
+  EXPECT_EQ(bram.access(straddle, 0).status, bus::TransStatus::kSlaveError);
+}
+
+TEST(Bram, ExactBoundaryAccessOk) {
+  Bram bram = make_bram();
+  auto r = bus::make_read(0, 0x1FFC);  // last word
+  EXPECT_EQ(bram.access(r, 0).status, bus::TransStatus::kOk);
+}
+
+TEST(Bram, StorePreloadVisibleToBusReads) {
+  Bram bram = make_bram();
+  const std::vector<std::uint8_t> boot{0xB0, 0x07, 0x00, 0x01};
+  bram.store().write(0x1800, {boot.data(), boot.size()});
+  auto r = bus::make_read(0, 0x1800);
+  (void)bram.access(r, 0);
+  EXPECT_EQ(r.data, boot);
+}
+
+TEST(Bram, ByteAndHalfWordAccesses) {
+  Bram bram = make_bram();
+  auto wb = bus::make_write(0, 0x1004, {0xAB}, bus::DataFormat::kByte);
+  (void)bram.access(wb, 0);
+  auto rb = bus::make_read(0, 0x1004, bus::DataFormat::kByte);
+  (void)bram.access(rb, 0);
+  EXPECT_EQ(rb.data, (std::vector<std::uint8_t>{0xAB}));
+
+  auto wh = bus::make_write(0, 0x1006, {0x11, 0x22}, bus::DataFormat::kHalfWord);
+  (void)bram.access(wh, 0);
+  auto rh = bus::make_read(0, 0x1006, bus::DataFormat::kHalfWord);
+  (void)bram.access(rh, 0);
+  EXPECT_EQ(rh.data, (std::vector<std::uint8_t>{0x11, 0x22}));
+}
+
+}  // namespace
+}  // namespace secbus::mem

@@ -1,0 +1,114 @@
+#include "mem/ddr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace secbus::mem {
+namespace {
+
+DdrMemory::Config base_config() {
+  DdrMemory::Config cfg;
+  cfg.base = 0x8000'0000;
+  cfg.size = 1 << 20;
+  cfg.banks = 4;
+  cfg.row_bytes = 1024;
+  cfg.t_cas = 5;
+  cfg.t_rcd = 5;
+  cfg.t_rp = 5;
+  return cfg;
+}
+
+TEST(Ddr, WriteReadRoundTrip) {
+  DdrMemory ddr("ddr", base_config());
+  auto w = bus::make_write(0, 0x8000'0100, {9, 9, 8, 8});
+  EXPECT_EQ(ddr.access(w, 0).status, bus::TransStatus::kOk);
+  auto r = bus::make_read(0, 0x8000'0100);
+  EXPECT_EQ(ddr.access(r, 1).status, bus::TransStatus::kOk);
+  EXPECT_EQ(r.data, (std::vector<std::uint8_t>{9, 9, 8, 8}));
+}
+
+TEST(Ddr, FirstAccessIsRowMiss) {
+  DdrMemory ddr("ddr", base_config());
+  auto r = bus::make_read(0, 0x8000'0000);
+  // Bank idle (no open row): t_rcd + t_cas.
+  EXPECT_EQ(ddr.access(r, 0).latency, 10u);
+  EXPECT_EQ(ddr.stats().row_misses, 1u);
+}
+
+TEST(Ddr, RowHitAfterFirstAccess) {
+  DdrMemory ddr("ddr", base_config());
+  auto r1 = bus::make_read(0, 0x8000'0000);
+  (void)ddr.access(r1, 0);
+  auto r2 = bus::make_read(0, 0x8000'0040);  // same 1KiB row
+  EXPECT_EQ(ddr.access(r2, 1).latency, 5u);  // t_cas only
+  EXPECT_EQ(ddr.stats().row_hits, 1u);
+}
+
+TEST(Ddr, RowConflictPaysPrecharge) {
+  DdrMemory ddr("ddr", base_config());
+  auto r1 = bus::make_read(0, 0x8000'0000);  // bank 0, row 0
+  (void)ddr.access(r1, 0);
+  // Same bank, different row: rows interleave across 4 banks, so row at
+  // +4*row_bytes lands in bank 0 again.
+  auto r2 = bus::make_read(0, 0x8000'0000 + 4 * 1024);
+  EXPECT_EQ(ddr.access(r2, 1).latency, 15u);  // t_rp + t_rcd + t_cas
+  EXPECT_EQ(ddr.stats().row_misses, 2u);
+}
+
+TEST(Ddr, BanksTrackRowsIndependently) {
+  DdrMemory ddr("ddr", base_config());
+  auto r1 = bus::make_read(0, 0x8000'0000);          // bank 0
+  auto r2 = bus::make_read(0, 0x8000'0000 + 1024);   // bank 1
+  (void)ddr.access(r1, 0);
+  (void)ddr.access(r2, 1);
+  // Re-access bank 0's open row: still a hit despite bank 1 activity.
+  auto r3 = bus::make_read(0, 0x8000'0010);
+  EXPECT_EQ(ddr.access(r3, 2).latency, 5u);
+  EXPECT_DOUBLE_EQ(ddr.stats().hit_rate(), 1.0 / 3.0);
+}
+
+TEST(Ddr, OutOfRangeRejected) {
+  DdrMemory ddr("ddr", base_config());
+  auto low = bus::make_read(0, 0x7FFF'FFFC);
+  EXPECT_EQ(ddr.access(low, 0).status, bus::TransStatus::kSlaveError);
+  auto high = bus::make_read(0, 0x8010'0000);
+  EXPECT_EQ(ddr.access(high, 0).status, bus::TransStatus::kSlaveError);
+}
+
+TEST(Ddr, RefreshPenaltyOncePerEpoch) {
+  DdrMemory::Config cfg = base_config();
+  cfg.refresh_interval = 100;
+  cfg.refresh_penalty = 11;
+  DdrMemory ddr("ddr", cfg);
+  auto r1 = bus::make_read(0, 0x8000'0000);
+  // now=150 -> epoch 1 != initial epoch 0: refresh penalty applies.
+  EXPECT_EQ(ddr.access(r1, 150).latency, 10u + 11u);
+  auto r2 = bus::make_read(0, 0x8000'0010);
+  // Same epoch: no second penalty.
+  EXPECT_EQ(ddr.access(r2, 160).latency, 5u);
+  EXPECT_EQ(ddr.stats().refresh_stalls, 1u);
+}
+
+TEST(Ddr, StoreTamperableFromOutside) {
+  // The attack surface: direct poke bypasses the bus model entirely.
+  DdrMemory ddr("ddr", base_config());
+  auto w = bus::make_write(0, 0x8000'0200, {1, 2, 3, 4});
+  (void)ddr.access(w, 0);
+  const std::vector<std::uint8_t> tampered{0xEE, 0xEE, 0xEE, 0xEE};
+  ddr.store().poke(0x8000'0200, {tampered.data(), tampered.size()});
+  auto r = bus::make_read(0, 0x8000'0200);
+  (void)ddr.access(r, 1);
+  EXPECT_EQ(r.data, tampered);
+}
+
+TEST(Ddr, ResetTimingClearsRowStateAndStats) {
+  DdrMemory ddr("ddr", base_config());
+  auto r1 = bus::make_read(0, 0x8000'0000);
+  (void)ddr.access(r1, 0);
+  ddr.reset_timing_state();
+  EXPECT_EQ(ddr.stats().reads, 0u);
+  auto r2 = bus::make_read(0, 0x8000'0000);
+  EXPECT_EQ(ddr.access(r2, 0).latency, 10u);  // row miss again
+}
+
+}  // namespace
+}  // namespace secbus::mem

@@ -1,0 +1,97 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hpp"
+
+namespace secbus::sim {
+namespace {
+
+TraceEvent ev(Cycle cycle, TraceKind kind, TransactionId trans = 0) {
+  return TraceEvent{cycle, kind, "test", trans, 0x1000, 0};
+}
+
+TEST(EventTrace, DisabledByDefaultStillCounts) {
+  EventTrace trace;  // capacity 0
+  EXPECT_FALSE(trace.enabled());
+  trace.record(ev(1, TraceKind::kAlert));
+  EXPECT_EQ(trace.total_recorded(), 1u);
+  EXPECT_EQ(trace.count_of(TraceKind::kAlert), 1u);
+  EXPECT_TRUE(trace.snapshot().empty());
+}
+
+TEST(EventTrace, RecordsUpToCapacity) {
+  EventTrace trace(4);
+  for (Cycle c = 0; c < 3; ++c) trace.record(ev(c, TraceKind::kSecpolReq, c));
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].cycle, 0u);
+  EXPECT_EQ(events[2].cycle, 2u);
+}
+
+TEST(EventTrace, RingDropsOldest) {
+  EventTrace trace(3);
+  for (Cycle c = 0; c < 5; ++c) trace.record(ev(c, TraceKind::kSecpolReq, c));
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].cycle, 2u);  // 0 and 1 evicted
+  EXPECT_EQ(events[2].cycle, 4u);
+  EXPECT_EQ(trace.total_recorded(), 5u);
+}
+
+TEST(EventTrace, PerKindCounters) {
+  EventTrace trace(8);
+  trace.record(ev(0, TraceKind::kAlert));
+  trace.record(ev(1, TraceKind::kAlert));
+  trace.record(ev(2, TraceKind::kCipherOp));
+  EXPECT_EQ(trace.count_of(TraceKind::kAlert), 2u);
+  EXPECT_EQ(trace.count_of(TraceKind::kCipherOp), 1u);
+  EXPECT_EQ(trace.count_of(TraceKind::kIntegrityOp), 0u);
+}
+
+TEST(EventTrace, ClearResetsEverything) {
+  EventTrace trace(4);
+  trace.record(ev(0, TraceKind::kAlert));
+  trace.clear();
+  EXPECT_EQ(trace.total_recorded(), 0u);
+  EXPECT_EQ(trace.count_of(TraceKind::kAlert), 0u);
+  EXPECT_TRUE(trace.snapshot().empty());
+}
+
+TEST(EventTrace, FormatContainsKindAndAddress) {
+  EventTrace trace(4);
+  trace.record(ev(7, TraceKind::kTransDiscarded, 42));
+  const std::string text = trace.format();
+  EXPECT_NE(text.find("trans_discarded"), std::string::npos);
+  EXPECT_NE(text.find("0x00001000"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(EventTrace, FormatLimitsLines) {
+  EventTrace trace(100);
+  for (Cycle c = 0; c < 50; ++c) trace.record(ev(c, TraceKind::kSecpolReq));
+  const std::string text = trace.format(10);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 10);
+}
+
+TEST(TraceKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(TraceKind::kSecpolReq), "secpol_req");
+  EXPECT_STREQ(to_string(TraceKind::kAlert), "alert");
+  EXPECT_STREQ(to_string(TraceKind::kPolicyUpdate), "policy_update");
+  EXPECT_STREQ(to_string(TraceKind::kAttackAction), "attack_action");
+}
+
+TEST(ClockDomain, Conversions) {
+  ClockDomain clk{100e6};
+  EXPECT_DOUBLE_EQ(clk.period_ns(), 10.0);
+  EXPECT_DOUBLE_EQ(clk.cycles_to_ns(100), 1000.0);
+  EXPECT_DOUBLE_EQ(clk.cycles_to_us(100), 1.0);
+  // 4.5 bits/cycle at 100 MHz = 450 Mb/s (the paper's CC throughput).
+  EXPECT_NEAR(clk.mbps(4.5, 1.0), 450.0, 1e-9);
+  EXPECT_NEAR(clk.bits_per_cycle_for_mbps(450.0), 4.5, 1e-9);
+  // 1.31 bits/cycle = 131 Mb/s (the paper's IC throughput).
+  EXPECT_NEAR(clk.mbps(1.31, 1.0), 131.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace secbus::sim

@@ -1,0 +1,83 @@
+#include "soc/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/presets.hpp"
+
+namespace secbus::soc {
+namespace {
+
+TEST(SocReport, FirewallReportListsAllFirewalls) {
+  SocConfig cfg = tiny_test_config();
+  Soc soc(cfg);
+  (void)soc.run(2'000'000);
+  const std::string report = render_firewall_report(soc);
+  EXPECT_NE(report.find("lf_cpu0"), std::string::npos);
+  EXPECT_NE(report.find("lf_bram"), std::string::npos);
+  EXPECT_NE(report.find("lcf_ddr"), std::string::npos);
+  EXPECT_NE(report.find("secpol_req"), std::string::npos);
+}
+
+TEST(SocReport, LcfReportShowsCryptoWork) {
+  SocConfig cfg = tiny_test_config();
+  cfg.external_fraction = 0.8;
+  Soc soc(cfg);
+  (void)soc.run(4'000'000);
+  const std::string report = render_lcf_report(soc);
+  EXPECT_NE(report.find("cipher"), std::string::npos);
+  EXPECT_NE(report.find("hash-tree"), std::string::npos);
+  EXPECT_NE(report.find("CC:"), std::string::npos);
+  EXPECT_NE(report.find("IC:"), std::string::npos);
+}
+
+TEST(SocReport, LcfReportEmptyWithoutLcf) {
+  SocConfig cfg = tiny_test_config();
+  cfg.security = SecurityMode::kNone;
+  Soc soc(cfg);
+  (void)soc.run(1'000'000);
+  EXPECT_TRUE(render_lcf_report(soc).empty());
+}
+
+TEST(SocReport, PerformanceReportMentionsBusAndDdr) {
+  SocConfig cfg = tiny_test_config();
+  Soc soc(cfg);
+  (void)soc.run(2'000'000);
+  const std::string report = render_performance_report(soc);
+  EXPECT_NE(report.find("cpu0"), std::string::npos);
+  EXPECT_NE(report.find("occupancy"), std::string::npos);
+  EXPECT_NE(report.find("DDR"), std::string::npos);
+}
+
+TEST(SocReport, AlertReportEmptyOnBenignRun) {
+  SocConfig cfg = tiny_test_config();
+  Soc soc(cfg);
+  (void)soc.run(2'000'000);
+  const std::string report = render_alert_report(soc);
+  EXPECT_NE(report.find("Alerts: 0"), std::string::npos);
+}
+
+TEST(SocReport, AlertReportTruncatesLongLogs) {
+  SocConfig cfg = tiny_test_config();
+  Soc soc(cfg);
+  auto& mal = soc.add_scripted_master("noisy", soc.cpu_policy(0));
+  for (int i = 0; i < 8; ++i) {
+    mal.enqueue_read(5, 0xD000'0000);  // out-of-segment -> alert
+  }
+  (void)soc.run(2'000'000);
+  const std::string report = render_alert_report(soc, 3);
+  EXPECT_NE(report.find("Alerts: 8"), std::string::npos);
+  EXPECT_NE(report.find("(5 more)"), std::string::npos);
+}
+
+TEST(SocReport, FullReportConcatenatesSections) {
+  SocConfig cfg = tiny_test_config();
+  Soc soc(cfg);
+  (void)soc.run(2'000'000);
+  const std::string report = render_full_report(soc);
+  EXPECT_NE(report.find("Per-firewall activity"), std::string::npos);
+  EXPECT_NE(report.find("Bus masters"), std::string::npos);
+  EXPECT_NE(report.find("Alerts:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secbus::soc

@@ -1,0 +1,93 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace secbus::util {
+namespace {
+
+TEST(BitOps, Rotations) {
+  EXPECT_EQ(rotl32(0x80000000u, 1), 0x00000001u);
+  EXPECT_EQ(rotr32(0x00000001u, 1), 0x80000000u);
+  EXPECT_EQ(rotl64(0x8000000000000000ULL, 1), 1ULL);
+  EXPECT_EQ(rotr64(1ULL, 1), 0x8000000000000000ULL);
+  EXPECT_EQ(rotl32(0x12345678u, 0), 0x12345678u);
+}
+
+TEST(BitOps, BigEndianRoundTrip32) {
+  std::uint8_t buf[4];
+  store_be32(buf, 0xDEADBEEFu);
+  EXPECT_EQ(buf[0], 0xDE);
+  EXPECT_EQ(buf[1], 0xAD);
+  EXPECT_EQ(buf[2], 0xBE);
+  EXPECT_EQ(buf[3], 0xEF);
+  EXPECT_EQ(load_be32(buf), 0xDEADBEEFu);
+}
+
+TEST(BitOps, BigEndianRoundTrip64) {
+  std::uint8_t buf[8];
+  store_be64(buf, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xEF);
+  EXPECT_EQ(load_be64(buf), 0x0123456789ABCDEFULL);
+}
+
+TEST(BitOps, LittleEndianRoundTrip) {
+  std::uint8_t buf[8];
+  store_le32(buf, 0xDEADBEEFu);
+  EXPECT_EQ(buf[0], 0xEF);
+  EXPECT_EQ(load_le32(buf), 0xDEADBEEFu);
+  store_le64(buf, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(buf[0], 0xEF);
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(load_le64(buf), 0x0123456789ABCDEFULL);
+}
+
+TEST(BitOps, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(BitOps, AlignUpDown) {
+  EXPECT_EQ(align_up(0, 16), 0u);
+  EXPECT_EQ(align_up(1, 16), 16u);
+  EXPECT_EQ(align_up(16, 16), 16u);
+  EXPECT_EQ(align_up(17, 16), 32u);
+  EXPECT_EQ(align_down(17, 16), 16u);
+  EXPECT_EQ(align_down(15, 16), 0u);
+  EXPECT_EQ(align_down(32, 16), 32u);
+}
+
+TEST(BitOps, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(100, 7), 15u);
+}
+
+TEST(BitOps, Log2Pow2) {
+  EXPECT_EQ(log2_pow2(1), 0u);
+  EXPECT_EQ(log2_pow2(2), 1u);
+  EXPECT_EQ(log2_pow2(1024), 10u);
+  EXPECT_EQ(log2_pow2(1ULL << 50), 50u);
+}
+
+TEST(BitOps, ConstantTimeEqual) {
+  const std::array<std::uint8_t, 4> a{1, 2, 3, 4};
+  const std::array<std::uint8_t, 4> b{1, 2, 3, 4};
+  const std::array<std::uint8_t, 4> c{1, 2, 3, 5};
+  const std::array<std::uint8_t, 3> shorter{1, 2, 3};
+  EXPECT_TRUE(ct_equal({a.data(), a.size()}, {b.data(), b.size()}));
+  EXPECT_FALSE(ct_equal({a.data(), a.size()}, {c.data(), c.size()}));
+  EXPECT_FALSE(ct_equal({a.data(), a.size()}, {shorter.data(), shorter.size()}));
+  EXPECT_TRUE(ct_equal({a.data(), 0}, {b.data(), 0}));  // empty == empty
+}
+
+}  // namespace
+}  // namespace secbus::util

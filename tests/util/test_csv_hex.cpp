@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/hexdump.hpp"
+
+namespace secbus::util {
+namespace {
+
+TEST(Csv, BasicRows) {
+  CsvWriter csv;  // in-memory
+  csv.header({"a", "b"});
+  csv.row({"1", "2"});
+  EXPECT_EQ(csv.buffer(), "a,b\n1,2\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/secbus_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"x"});
+    csv.row({"42"});
+    csv.flush();
+    EXPECT_TRUE(csv.ok());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_STREQ(buf, "x\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(Hex, EncodeDecode) {
+  const std::vector<std::uint8_t> bytes{0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(to_hex({bytes.data(), bytes.size()}), "deadbeef");
+  bool ok = false;
+  EXPECT_EQ(from_hex("deadbeef", &ok), bytes);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(from_hex("DEADBEEF", &ok), bytes);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Hex, RejectsMalformed) {
+  bool ok = true;
+  EXPECT_TRUE(from_hex("abc", &ok).empty());  // odd length
+  EXPECT_FALSE(ok);
+  ok = true;
+  EXPECT_TRUE(from_hex("zz", &ok).empty());  // bad digit
+  EXPECT_FALSE(ok);
+}
+
+TEST(Hex, EmptyIsValid) {
+  bool ok = false;
+  EXPECT_TRUE(from_hex("", &ok).empty());
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(to_hex({}), "");
+}
+
+TEST(Hexdump, FormatsOffsetsAndAscii) {
+  std::vector<std::uint8_t> data(20);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>('A' + i);
+  }
+  const std::string dump = hexdump({data.data(), data.size()}, 0x1000);
+  EXPECT_NE(dump.find("00001000"), std::string::npos);
+  EXPECT_NE(dump.find("41 42 43"), std::string::npos);
+  EXPECT_NE(dump.find("ABCDEFGH"), std::string::npos);
+  // Two lines for 20 bytes.
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 2);
+}
+
+TEST(Hexdump, NonPrintableAsDots) {
+  const std::vector<std::uint8_t> data{0x00, 0x1F, 0x41};
+  const std::string dump = hexdump({data.data(), data.size()});
+  EXPECT_NE(dump.find("..A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secbus::util

@@ -1,0 +1,129 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace secbus::util {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleSampleVarianceZero) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(RunningStat, ResetClears) {
+  RunningStat s;
+  s.add(1);
+  s.add(2);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStat, NegativeValues) {
+  RunningStat s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Counter, IncAndReset) {
+  Counter c("grants");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(9);
+  EXPECT_EQ(c.value(), 10u);
+  EXPECT_EQ(c.name(), "grants");
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketsAndCounts) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.99);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 2.0);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // hi edge is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, PercentileMedianOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.percentile(50), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(95), 95.0, 1.5);
+  EXPECT_NEAR(h.percentile(0), 0.0, 1.5);
+  EXPECT_NEAR(h.percentile(100), 100.0, 1.5);
+}
+
+TEST(Histogram, PercentileEmptyIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1);
+  h.add(-1);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.bucket(0), 0u);
+}
+
+TEST(Ratios, PercentOverhead) {
+  EXPECT_NEAR(percent_overhead(113.43, 100.0), 13.43, 1e-9);
+  EXPECT_DOUBLE_EQ(percent_overhead(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(percent_overhead(50.0, 100.0), -50.0);
+  EXPECT_DOUBLE_EQ(percent_overhead(5.0, 0.0), 0.0);  // guarded
+}
+
+TEST(Ratios, SafeRatio) {
+  EXPECT_DOUBLE_EQ(safe_ratio(1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(safe_ratio(1.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace secbus::util

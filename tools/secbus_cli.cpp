@@ -1,0 +1,155 @@
+// secbus_cli — command-line driver for the secured-MPSoC simulator.
+//
+// Lets a user explore the design space without writing C++:
+//
+//   secbus_cli [options]
+//     --cpus N             processors (default 3, the Section-V case study)
+//     --security MODE      none | distributed | centralized   (default distributed)
+//     --protection LEVEL   plaintext | cipher | full          (default full)
+//     --external FRAC      external-traffic fraction 0..1     (default 0.3)
+//     --transactions N     per-CPU workload length            (default 300)
+//     --compute N          mean compute gap in cycles         (default 8)
+//     --extra-rules N      dummy policy rules per firewall    (default 0)
+//     --line-bytes N       LCF protection line size           (default 32)
+//     --seed N             workload seed                      (default 42)
+//     --max-cycles N       simulation cycle cap               (default 50M)
+//     --reconfig           enable the alert-driven lockdown responder
+//     --report             print the full post-run report tables
+//     --quiet              print only the one-line summary
+//
+// Exit status: 0 on a completed run, 1 on timeout or config error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "soc/presets.hpp"
+#include "soc/report.hpp"
+#include "soc/soc.hpp"
+
+using namespace secbus;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--cpus N] [--security none|distributed|centralized]\n"
+               "          [--protection plaintext|cipher|full] [--external F]\n"
+               "          [--transactions N] [--compute N] [--extra-rules N]\n"
+               "          [--line-bytes N] [--seed N] [--max-cycles N]\n"
+               "          [--reconfig] [--report] [--quiet]\n",
+               argv0);
+  std::exit(1);
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  soc::SocConfig cfg = soc::section5_config();
+  cfg.transactions_per_cpu = 300;
+  sim::Cycle max_cycles = 50'000'000;
+  bool full_report = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    std::uint64_t u = 0;
+    double d = 0.0;
+    if (arg == "--cpus" && parse_u64(next(), u) && u >= 1 && u <= 16) {
+      cfg.processors = u;
+    } else if (arg == "--security") {
+      const std::string mode = next();
+      if (mode == "none") {
+        cfg.security = soc::SecurityMode::kNone;
+      } else if (mode == "distributed") {
+        cfg.security = soc::SecurityMode::kDistributed;
+      } else if (mode == "centralized") {
+        cfg.security = soc::SecurityMode::kCentralized;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--protection") {
+      const std::string level = next();
+      if (level == "plaintext") {
+        cfg.protection = soc::ProtectionLevel::kPlaintext;
+      } else if (level == "cipher") {
+        cfg.protection = soc::ProtectionLevel::kCipherOnly;
+      } else if (level == "full") {
+        cfg.protection = soc::ProtectionLevel::kFull;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--external" && parse_double(next(), d) && d >= 0.0 &&
+               d <= 1.0) {
+      cfg.external_fraction = d;
+    } else if (arg == "--transactions" && parse_u64(next(), u) && u >= 1) {
+      cfg.transactions_per_cpu = u;
+    } else if (arg == "--compute" && parse_u64(next(), u)) {
+      cfg.compute_min = u;
+      cfg.compute_max = u + 8;
+    } else if (arg == "--extra-rules" && parse_u64(next(), u) && u <= 1024) {
+      cfg.extra_rules = u;
+    } else if (arg == "--line-bytes" && parse_u64(next(), u) &&
+               (u == 16 || u == 32 || u == 64 || u == 128)) {
+      cfg.line_bytes = u;
+    } else if (arg == "--seed" && parse_u64(next(), u)) {
+      cfg.seed = u;
+    } else if (arg == "--max-cycles" && parse_u64(next(), u) && u >= 1) {
+      max_cycles = u;
+    } else if (arg == "--reconfig") {
+      cfg.enable_reconfig = true;
+    } else if (arg == "--report") {
+      full_report = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  if (!quiet) {
+    std::printf(
+        "secbus: %zu CPU%s, security=%s, protection=%s, external=%.0f%%, "
+        "%llu txn/cpu, seed=%llu\n",
+        cfg.processors, cfg.processors == 1 ? "" : "s",
+        to_string(cfg.security), to_string(cfg.protection),
+        100.0 * cfg.external_fraction,
+        static_cast<unsigned long long>(cfg.transactions_per_cpu),
+        static_cast<unsigned long long>(cfg.seed));
+  }
+
+  soc::Soc system(cfg);
+  const soc::SocResults results = system.run(max_cycles);
+
+  std::printf(
+      "%s in %llu cycles (%.3f ms @100MHz): %llu ok, %llu failed, "
+      "latency %.1f cyc, bus %.1f%%, alerts %llu\n",
+      results.completed ? "completed" : "TIMED OUT",
+      static_cast<unsigned long long>(results.cycles),
+      cfg.clock.cycles_to_us(results.cycles) / 1000.0,
+      static_cast<unsigned long long>(results.transactions_ok),
+      static_cast<unsigned long long>(results.transactions_failed),
+      results.avg_access_latency, 100.0 * results.bus_occupancy,
+      static_cast<unsigned long long>(results.alerts));
+
+  if (full_report) {
+    std::fputs(soc::render_full_report(system).c_str(), stdout);
+  }
+  return results.completed ? 0 : 1;
+}
