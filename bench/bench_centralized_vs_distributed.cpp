@@ -10,10 +10,17 @@
 // the crypto cost. Distributed checks cost a flat 12 cycles at each
 // interface; centralized checks pay wire latency plus serialization at the
 // single manager, which grows with the number of concurrently active IPs.
+//
+// Implemented as a scenario batch: the registry's "centralized-scaling"
+// sweep (cpus x security mode) expands into one job per cell and runs on
+// all hardware threads; the rows below are pivoted from the job list, and
+// the full per-job data lands in bench_centralized_vs_distributed.csv.
 #include <cstdio>
 
-#include "soc/presets.hpp"
-#include "soc/soc.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -21,27 +28,14 @@ using namespace secbus;
 
 namespace {
 
-struct Outcome {
-  sim::Cycle cycles = 0;
-  double latency = 0.0;
-  double manager_queue = 0.0;
-};
-
-Outcome run_mode(std::size_t processors, soc::SecurityMode mode) {
-  soc::SocConfig cfg = soc::section5_config();
-  cfg.processors = processors;
-  cfg.transactions_per_cpu = 150;
-  cfg.protection = soc::ProtectionLevel::kPlaintext;  // isolate check cost
-  cfg.security = mode;
-  soc::Soc system(cfg);
-  const auto results = system.run(30'000'000);
-  Outcome out;
-  out.cycles = results.cycles;
-  out.latency = results.avg_access_latency;
-  if (system.manager() != nullptr) {
-    out.manager_queue = system.manager()->queue_wait().mean();
+const scenario::JobResult* find_job(const std::vector<scenario::JobResult>& jobs,
+                                    std::size_t cpus, const char* security) {
+  for (const auto& job : jobs) {
+    if (job.cpus == cpus && std::string_view(job.security) == security) {
+      return &job;
+    }
   }
-  return out;
+  return nullptr;
 }
 
 }  // namespace
@@ -50,27 +44,52 @@ int main() {
   std::puts(
       "=== bench_centralized_vs_distributed: check placement ablation ===\n");
 
+  const scenario::NamedScenario* entry =
+      scenario::find_scenario("centralized-scaling");
+  if (entry == nullptr) {
+    std::fputs("registry is missing 'centralized-scaling'\n", stderr);
+    return 1;
+  }
+
+  scenario::BatchOptions options;
+  options.threads = 0;  // all hardware threads
+  const std::vector<scenario::JobResult> jobs =
+      scenario::run_batch(scenario::expand(entry->spec, entry->axes), options);
+
   util::TextTable table(
       "Same workload/policies, plaintext ext. memory, varying CPU count");
   table.set_header({"CPUs", "none: latency", "distributed: latency",
                     "centralized: latency", "central queue wait",
                     "dist. overhead", "centr. overhead"});
 
-  for (const std::size_t cpus : {1u, 2u, 3u, 4u, 6u}) {
-    const Outcome none = run_mode(cpus, soc::SecurityMode::kNone);
-    const Outcome dist = run_mode(cpus, soc::SecurityMode::kDistributed);
-    const Outcome cent = run_mode(cpus, soc::SecurityMode::kCentralized);
+  bool complete = true;
+  for (const std::size_t cpus : entry->axes.cpus) {
+    const auto* none = find_job(jobs, cpus, "none");
+    const auto* dist = find_job(jobs, cpus, "distributed");
+    const auto* cent = find_job(jobs, cpus, "centralized");
+    if (none == nullptr || dist == nullptr || cent == nullptr) {
+      complete = false;
+      continue;
+    }
+    complete = complete && none->soc.completed && dist->soc.completed &&
+               cent->soc.completed;
     table.add_row(
-        {std::to_string(cpus), util::TextTable::fmt(none.latency, 1),
-         util::TextTable::fmt(dist.latency, 1),
-         util::TextTable::fmt(cent.latency, 1),
-         util::TextTable::fmt(cent.manager_queue, 1),
-         util::TextTable::fmt_percent(
-             util::percent_overhead(dist.latency, none.latency)),
-         util::TextTable::fmt_percent(
-             util::percent_overhead(cent.latency, none.latency))});
+        {std::to_string(cpus),
+         util::TextTable::fmt(none->soc.avg_access_latency, 1),
+         util::TextTable::fmt(dist->soc.avg_access_latency, 1),
+         util::TextTable::fmt(cent->soc.avg_access_latency, 1),
+         util::TextTable::fmt(cent->manager_queue_wait, 1),
+         util::TextTable::fmt_percent(util::percent_overhead(
+             dist->soc.avg_access_latency, none->soc.avg_access_latency)),
+         util::TextTable::fmt_percent(util::percent_overhead(
+             cent->soc.avg_access_latency, none->soc.avg_access_latency))});
   }
   table.print();
+
+  util::CsvWriter csv("bench_centralized_vs_distributed.csv");
+  scenario::write_batch_csv(csv, jobs);
+  csv.flush();
+  std::puts("\nPer-job data: bench_centralized_vs_distributed.csv");
 
   std::puts(
       "\nExpected shape (paper vs. SECA-style related work): the distributed\n"
@@ -78,5 +97,5 @@ int main() {
       "many IPs are active; the centralized manager serializes concurrent\n"
       "checks, so its queue wait and latency overhead grow with the number\n"
       "of processors. The crossover is immediate at >1 active IP.");
-  return 0;
+  return complete ? 0 : 1;
 }

@@ -27,9 +27,7 @@ const char* to_string(HijackAttackKind kind) noexcept {
   return "?";
 }
 
-namespace {
-
-std::vector<std::uint8_t> make_pattern(std::size_t len, std::uint8_t salt) {
+std::vector<std::uint8_t> attack_pattern(std::size_t len, std::uint8_t salt) {
   std::vector<std::uint8_t> out(len);
   for (std::size_t i = 0; i < len; ++i) {
     out[i] = static_cast<std::uint8_t>(i * 7 + salt);
@@ -37,13 +35,19 @@ std::vector<std::uint8_t> make_pattern(std::size_t len, std::uint8_t salt) {
   return out;
 }
 
-// First alert raised at or after `attack_cycle`.
 sim::Cycle detection_cycle_after(const core::SecurityEventLog& log,
                                  sim::Cycle attack_cycle) {
   for (const auto& alert : log.alerts()) {
     if (alert.cycle >= attack_cycle) return alert.cycle;
   }
   return sim::kNeverCycle;
+}
+
+namespace {
+
+// Local alias keeping the campaign bodies unchanged.
+std::vector<std::uint8_t> make_pattern(std::size_t len, std::uint8_t salt) {
+  return attack_pattern(len, salt);
 }
 
 }  // namespace

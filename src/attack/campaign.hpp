@@ -13,12 +13,23 @@
 // hides content but admits DoS-by-corruption, plaintext admits everything.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "core/alert.hpp"
 #include "sim/types.hpp"
 #include "soc/soc_config.hpp"
 
 namespace secbus::attack {
+
+// Staging helpers shared by the campaign runners and the scenario engine.
+// Deterministic victim payload: byte i is i*7+salt.
+[[nodiscard]] std::vector<std::uint8_t> attack_pattern(std::size_t len,
+                                                       std::uint8_t salt);
+// First alert raised at or after `attack_cycle`; kNeverCycle when none.
+[[nodiscard]] sim::Cycle detection_cycle_after(const core::SecurityEventLog& log,
+                                               sim::Cycle attack_cycle);
 
 enum class ExternalAttackKind : std::uint8_t {
   kSpoof,

@@ -40,13 +40,13 @@ struct FirewallStats {
   std::uint64_t blocked = 0;       // transactions discarded by the FI
   std::uint64_t check_cycles = 0;  // cycles spent in SB checks
   std::uint64_t responses_gated = 0;  // read data gated back to the IP
-  std::array<std::uint64_t, 8> violations{};  // indexed by Violation
+  std::array<std::uint64_t, kViolationKindCount> violations{};  // by Violation
 
   void count_violation(Violation v) noexcept {
-    violations[static_cast<std::size_t>(v) % violations.size()] += 1;
+    violations[static_cast<std::size_t>(v)] += 1;
   }
   [[nodiscard]] std::uint64_t violation_count(Violation v) const noexcept {
-    return violations[static_cast<std::size_t>(v) % violations.size()];
+    return violations[static_cast<std::size_t>(v)];
   }
 };
 

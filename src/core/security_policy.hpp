@@ -89,6 +89,11 @@ enum class Violation : std::uint8_t {
   kRateLimited,        // firewall DoS throttle exceeded (flood suppression)
 };
 
+// Number of distinct Violation kinds; sizes per-kind counter arrays so every
+// kind gets its own bucket. Keep in sync with the last enumerator above.
+inline constexpr std::size_t kViolationKindCount =
+    static_cast<std::size_t>(Violation::kRateLimited) + 1;
+
 [[nodiscard]] const char* to_string(Violation v) noexcept;
 
 // One address-segment rule of a policy.

@@ -1,0 +1,32 @@
+// Named scenario registry: the catalog of ready-to-run experiments.
+//
+// Every entry pairs a base ScenarioSpec with default sweep axes, so a single
+// name expands into anything from one job (e.g. "hijack") to a full design-
+// space sweep (e.g. "distributed-vs-centralized"). The seeded catalog lifts
+// the repo's hand-coded examples/ and bench/ mains into declarative specs.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+
+namespace secbus::scenario {
+
+struct NamedScenario {
+  ScenarioSpec spec;
+  SweepAxes axes;  // default sweep; empty = a single job
+
+  [[nodiscard]] std::size_t job_count() const noexcept {
+    return axes.cardinality();
+  }
+};
+
+// The built-in catalog, in presentation order.
+[[nodiscard]] const std::vector<NamedScenario>& builtin_scenarios();
+
+// nullptr when `name` is not registered.
+[[nodiscard]] const NamedScenario* find_scenario(std::string_view name);
+
+}  // namespace secbus::scenario

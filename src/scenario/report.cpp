@@ -1,0 +1,280 @@
+#include "scenario/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/table.hpp"
+
+namespace secbus::scenario {
+
+namespace {
+
+// Latency histogram range: per-job mean access latencies sit in the tens to
+// hundreds of cycles even under full protection; 1-cycle buckets up to 4096
+// keep the percentile interpolation sharp and clamp pathological outliers.
+constexpr double kLatencyHistLo = 0.0;
+constexpr double kLatencyHistHi = 4096.0;
+constexpr std::size_t kLatencyHistBuckets = 4096;
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Tiny append-only JSON writer; enough structure for the batch report
+// without dragging in a dependency.
+class JsonBuilder {
+ public:
+  void begin_object() { open('{'); }
+  void begin_object(const std::string& key) {
+    key_prefix(key);
+    out_ += '{';
+    fresh_ = true;
+  }
+  void end_object() { close('}'); }
+  void begin_array(const std::string& key) {
+    key_prefix(key);
+    out_ += '[';
+    fresh_ = true;
+  }
+  void begin_object_in_array() { open('{'); }
+  void end_array() { close(']'); }
+
+  void field(const std::string& key, const std::string& value) {
+    key_prefix(key);
+    out_ += '"';
+    out_ += json_escape(value);
+    out_ += '"';
+  }
+  void field(const std::string& key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const std::string& key, double value) {
+    key_prefix(key);
+    out_ += fmt_double(value);
+  }
+  void field(const std::string& key, std::uint64_t value) {
+    key_prefix(key);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+    out_ += buf;
+  }
+  void field(const std::string& key, bool value) {
+    key_prefix(key);
+    out_ += value ? "true" : "false";
+  }
+
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+
+ private:
+  void comma() {
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+  }
+  void open(char c) {
+    comma();
+    out_ += c;
+    fresh_ = true;
+  }
+  void close(char c) {
+    out_ += c;
+    fresh_ = false;
+  }
+  void key_prefix(const std::string& key) {
+    comma();
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+BatchAggregate BatchAggregate::from(const std::vector<JobResult>& jobs) {
+  BatchAggregate agg;
+  agg.jobs_total = jobs.size();
+  util::Histogram latency_hist(kLatencyHistLo, kLatencyHistHi,
+                               kLatencyHistBuckets);
+  for (const JobResult& job : jobs) {
+    if (job.soc.completed) ++agg.jobs_completed;
+    agg.cycles.add(static_cast<double>(job.soc.cycles));
+    agg.latency.add(job.soc.avg_access_latency);
+    agg.access_latency.merge(job.cpu_latency);
+    agg.bus_occupancy.add(job.soc.bus_occupancy);
+    agg.alerts.add(static_cast<double>(job.soc.alerts));
+    agg.blocked.add(static_cast<double>(job.fw_blocked));
+    latency_hist.add(job.soc.avg_access_latency);
+  }
+  agg.latency_p50 = latency_hist.percentile(50);
+  agg.latency_p95 = latency_hist.percentile(95);
+  agg.latency_p99 = latency_hist.percentile(99);
+  return agg;
+}
+
+const std::vector<std::string>& batch_csv_columns() {
+  static const std::vector<std::string> cols = {
+      "scenario",    "variant",        "cpus",
+      "security",    "protection",     "seed",
+      "extra_rules", "line_bytes",     "cycles",
+      "completed",   "txn_ok",         "txn_failed",
+      "alerts",      "avg_latency",    "bus_occupancy",
+      "bytes_moved", "fw_passed",      "fw_blocked",
+      "attack",      "detected",       "detection_latency",
+      "contained",   "victim_intact",  "flood_completed",
+      "flood_blocked"};
+  return cols;
+}
+
+void write_batch_csv(util::CsvWriter& csv, const std::vector<JobResult>& jobs) {
+  csv.header(batch_csv_columns());
+  for (const JobResult& job : jobs) {
+    csv.row({job.name, job.variant, u64(job.cpus), job.security,
+             job.protection, u64(job.seed), u64(job.extra_rules),
+             u64(job.line_bytes), u64(job.soc.cycles),
+             job.soc.completed ? "1" : "0", u64(job.soc.transactions_ok),
+             u64(job.soc.transactions_failed), u64(job.soc.alerts),
+             fmt_double(job.soc.avg_access_latency),
+             fmt_double(job.soc.bus_occupancy), u64(job.soc.bytes_moved),
+             u64(job.fw_passed), u64(job.fw_blocked),
+             job.attack, job.detected ? "1" : "0",
+             u64(job.detected ? job.detection_latency : 0),
+             job.contained ? "1" : "0", job.victim_data_intact ? "1" : "0",
+             u64(job.flood_completed), u64(job.flood_blocked)});
+  }
+}
+
+std::string batch_json(const std::string& scenario_name,
+                       const std::vector<JobResult>& jobs,
+                       const BatchAggregate& aggregate) {
+  JsonBuilder j;
+  j.begin_object();
+  j.field("scenario", scenario_name);
+  j.field("jobs_total", static_cast<std::uint64_t>(aggregate.jobs_total));
+  j.field("jobs_completed",
+          static_cast<std::uint64_t>(aggregate.jobs_completed));
+  j.begin_array("jobs");
+  for (const JobResult& job : jobs) {
+    j.begin_object_in_array();
+    j.field("index", static_cast<std::uint64_t>(job.index));
+    j.field("variant", job.variant);
+    j.field("cpus", static_cast<std::uint64_t>(job.cpus));
+    j.field("security", job.security);
+    j.field("protection", job.protection);
+    j.field("seed", job.seed);
+    j.field("extra_rules", static_cast<std::uint64_t>(job.extra_rules));
+    j.field("line_bytes", job.line_bytes);
+    j.field("cycles", job.soc.cycles);
+    j.field("completed", job.soc.completed);
+    j.field("txn_ok", job.soc.transactions_ok);
+    j.field("txn_failed", job.soc.transactions_failed);
+    j.field("alerts", job.soc.alerts);
+    j.field("avg_latency", job.soc.avg_access_latency);
+    j.field("bus_occupancy", job.soc.bus_occupancy);
+    j.field("bytes_moved", job.soc.bytes_moved);
+    j.field("fw_passed", job.fw_passed);
+    j.field("fw_blocked", job.fw_blocked);
+    j.field("attack", job.attack);
+    if (job.attack_ran) {
+      j.field("detected", job.detected);
+      j.field("detection_latency",
+              job.detected ? job.detection_latency : std::uint64_t{0});
+      j.field("contained", job.contained);
+      j.field("victim_intact", job.victim_data_intact);
+    }
+    j.end_object();
+  }
+  j.end_array();
+  j.begin_object("aggregate");
+  j.field("cycles_mean", aggregate.cycles.mean());
+  j.field("cycles_stddev", aggregate.cycles.stddev());
+  j.field("latency_mean", aggregate.latency.mean());
+  j.field("latency_stddev", aggregate.latency.stddev());
+  j.field("access_latency_mean", aggregate.access_latency.mean());
+  j.field("access_latency_stddev", aggregate.access_latency.stddev());
+  j.field("access_latency_max", aggregate.access_latency.max());
+  j.field("access_count",
+          static_cast<std::uint64_t>(aggregate.access_latency.count()));
+  j.field("latency_p50", aggregate.latency_p50);
+  j.field("latency_p95", aggregate.latency_p95);
+  j.field("latency_p99", aggregate.latency_p99);
+  j.field("bus_occupancy_mean", aggregate.bus_occupancy.mean());
+  j.field("alerts_mean", aggregate.alerts.mean());
+  j.field("alerts_total", static_cast<std::uint64_t>(aggregate.alerts.sum()));
+  j.field("fw_blocked_total",
+          static_cast<std::uint64_t>(aggregate.blocked.sum()));
+  j.end_object();
+  j.end_object();
+  return std::move(j).str() + "\n";
+}
+
+std::string render_batch_table(const std::string& scenario_name,
+                               const std::vector<JobResult>& jobs,
+                               const BatchAggregate& aggregate) {
+  util::TextTable table("scenario " + scenario_name + ": " +
+                        std::to_string(jobs.size()) + " job(s)");
+  table.set_header({"#", "variant", "cycles", "ok", "fail", "latency",
+                    "bus%", "alerts", "blocked", "attack", "outcome"});
+  for (const JobResult& job : jobs) {
+    std::string outcome;
+    if (!job.soc.completed) outcome = "TIMEOUT";
+    if (job.attack_ran) {
+      if (!outcome.empty()) outcome += ' ';
+      outcome += job.detected ? "detected" : "undetected";
+      if (job.contained) outcome += ",contained";
+      if (job.victim_read_aborted) outcome += ",aborted";
+    }
+    if (outcome.empty()) outcome = "ok";
+    table.add_row({std::to_string(job.index),
+                   job.variant.empty() ? "-" : job.variant,
+                   util::TextTable::fmt_thousands(job.soc.cycles),
+                   std::to_string(job.soc.transactions_ok),
+                   std::to_string(job.soc.transactions_failed),
+                   util::TextTable::fmt(job.soc.avg_access_latency, 1),
+                   util::TextTable::fmt(100.0 * job.soc.bus_occupancy, 1),
+                   std::to_string(job.soc.alerts),
+                   std::to_string(job.fw_blocked),
+                   job.attack_ran ? job.attack : "-", outcome});
+  }
+  std::string out = table.render();
+  char foot[512];
+  std::snprintf(
+      foot, sizeof foot,
+      "\naggregate: %zu/%zu completed | cycles %.0f +/- %.0f | latency "
+      "%.1f +/- %.1f cyc (p50 %.1f, p95 %.1f, p99 %.1f) | alerts %.0f | "
+      "blocked %.0f\n",
+      aggregate.jobs_completed, aggregate.jobs_total, aggregate.cycles.mean(),
+      aggregate.cycles.stddev(), aggregate.latency.mean(),
+      aggregate.latency.stddev(), aggregate.latency_p50, aggregate.latency_p95,
+      aggregate.latency_p99, aggregate.alerts.sum(), aggregate.blocked.sum());
+  return out + foot;
+}
+
+}  // namespace secbus::scenario

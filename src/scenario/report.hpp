@@ -1,0 +1,50 @@
+// Batch-level aggregation and emission.
+//
+// Summarizes a job list into cross-job statistics (mean/stddev via
+// util::RunningStat, p50/p95/p99 latency via util::Histogram) and mirrors
+// the per-job rows as CSV (util::CsvWriter) and JSON so downstream plots can
+// regenerate the paper's figures from one batch run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace secbus::scenario {
+
+struct BatchAggregate {
+  std::size_t jobs_total = 0;
+  std::size_t jobs_completed = 0;  // finished before the cycle cap
+  util::RunningStat cycles;
+  util::RunningStat latency;        // per-job mean access latency, cycles
+  util::RunningStat access_latency; // every access across every job, merged
+  util::RunningStat bus_occupancy;
+  util::RunningStat alerts;
+  util::RunningStat blocked;
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+
+  [[nodiscard]] static BatchAggregate from(const std::vector<JobResult>& jobs);
+};
+
+// Column order shared by the CSV and JSON emitters.
+[[nodiscard]] const std::vector<std::string>& batch_csv_columns();
+
+// One CSV row per job, in submission order.
+void write_batch_csv(util::CsvWriter& csv, const std::vector<JobResult>& jobs);
+
+// {"scenario": ..., "jobs": [...], "aggregate": {...}} as a JSON string.
+[[nodiscard]] std::string batch_json(const std::string& scenario_name,
+                                     const std::vector<JobResult>& jobs,
+                                     const BatchAggregate& aggregate);
+
+// Human-readable per-job table plus the aggregate footer.
+[[nodiscard]] std::string render_batch_table(
+    const std::string& scenario_name, const std::vector<JobResult>& jobs,
+    const BatchAggregate& aggregate);
+
+}  // namespace secbus::scenario

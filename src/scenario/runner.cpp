@@ -1,0 +1,52 @@
+#include "scenario/runner.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace secbus::scenario {
+
+std::vector<JobResult> run_batch(const std::vector<ScenarioSpec>& jobs,
+                                 const BatchOptions& options) {
+  std::vector<JobResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads > jobs.size()) threads = static_cast<unsigned>(jobs.size());
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      JobResult r = run_scenario(jobs[i]);
+      r.index = i;
+      results[i] = std::move(r);
+      const std::size_t finished = done.fetch_add(1) + 1;
+      if (options.on_job_done) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        options.on_job_done(results[i], finished, jobs.size());
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();  // run inline: no pool, identical results by construction
+    return results;
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace secbus::scenario

@@ -1,0 +1,32 @@
+// Parallel batch runner: executes independent scenario jobs across a
+// std::thread pool.
+//
+// Each job builds, runs and tears down its own Soc — the simulator has no
+// shared mutable state between instances — so jobs parallelize perfectly.
+// Results land in a pre-sized vector at each job's submission index, and all
+// aggregation happens after the pool joins, in submission order; batch output
+// is therefore bit-identical no matter how many worker threads execute it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace secbus::scenario {
+
+struct BatchOptions {
+  // Worker threads; 0 picks std::thread::hardware_concurrency() (min 1).
+  unsigned threads = 1;
+  // Invoked after each job completes, from the worker thread that ran it,
+  // serialized by an internal mutex (progress reporting).
+  std::function<void(const JobResult&, std::size_t done, std::size_t total)>
+      on_job_done;
+};
+
+// Runs every spec and returns the results in submission order.
+[[nodiscard]] std::vector<JobResult> run_batch(
+    const std::vector<ScenarioSpec>& jobs, const BatchOptions& options = {});
+
+}  // namespace secbus::scenario

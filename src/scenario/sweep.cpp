@@ -1,0 +1,149 @@
+#include "scenario/sweep.hpp"
+
+#include <string>
+
+namespace secbus::scenario {
+
+namespace {
+
+void append_label(std::string& label, const char* key,
+                  const std::string& value) {
+  if (!label.empty()) label += ',';
+  label += key;
+  label += '=';
+  label += value;
+}
+
+// Removes a "key=value" component from a sweep label (replicate_seeds must
+// not leave a stale seed= from an expanded seeds axis next to the derived
+// one).
+std::string strip_label_key(const std::string& label, const char* key) {
+  const std::string prefix = std::string(key) + '=';
+  std::string out;
+  std::size_t start = 0;
+  while (start <= label.size()) {
+    std::size_t comma = label.find(',', start);
+    if (comma == std::string::npos) comma = label.size();
+    const std::string component = label.substr(start, comma - start);
+    if (!component.empty() && component.rfind(prefix, 0) != 0) {
+      if (!out.empty()) out += ',';
+      out += component;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::string trimmed_double(double v) {
+  std::string s = std::to_string(v);
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+bool SweepAxes::empty() const noexcept {
+  return cpus.empty() && security.empty() && protection.empty() &&
+         extra_rules.empty() && line_bytes.empty() &&
+         external_fraction.empty() && seeds.empty();
+}
+
+std::size_t SweepAxes::cardinality() const noexcept {
+  std::size_t n = 1;
+  auto mul = [&n](std::size_t len) {
+    if (len > 0) n *= len;
+  };
+  mul(cpus.size());
+  mul(security.size());
+  mul(protection.size());
+  mul(extra_rules.size());
+  mul(line_bytes.size());
+  mul(external_fraction.size());
+  mul(seeds.size());
+  return n;
+}
+
+std::vector<ScenarioSpec> expand(const ScenarioSpec& base,
+                                 const SweepAxes& axes) {
+  std::vector<ScenarioSpec> jobs;
+  jobs.reserve(axes.cardinality());
+
+  // Nested loops over "axis or the base value" keep the crossing order
+  // explicit; a single-iteration dummy stands in for each empty axis.
+  const auto one = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
+  for (std::size_t ic = 0; ic < one(axes.cpus.size()); ++ic) {
+    for (std::size_t is = 0; is < one(axes.security.size()); ++is) {
+      for (std::size_t ip = 0; ip < one(axes.protection.size()); ++ip) {
+        for (std::size_t ir = 0; ir < one(axes.extra_rules.size()); ++ir) {
+          for (std::size_t il = 0; il < one(axes.line_bytes.size()); ++il) {
+            for (std::size_t ie = 0; ie < one(axes.external_fraction.size());
+                 ++ie) {
+              for (std::size_t id = 0; id < one(axes.seeds.size()); ++id) {
+                ScenarioSpec spec = base;
+                std::string label = base.variant;
+                if (!axes.cpus.empty()) {
+                  spec.soc.processors = axes.cpus[ic];
+                  append_label(label, "cpus", std::to_string(axes.cpus[ic]));
+                }
+                if (!axes.security.empty()) {
+                  spec.soc.security = axes.security[is];
+                  append_label(label, "security",
+                               to_string(axes.security[is]));
+                }
+                if (!axes.protection.empty()) {
+                  spec.soc.protection = axes.protection[ip];
+                  append_label(label, "protection",
+                               to_string(axes.protection[ip]));
+                }
+                if (!axes.extra_rules.empty()) {
+                  spec.soc.extra_rules = axes.extra_rules[ir];
+                  append_label(label, "extra_rules",
+                               std::to_string(axes.extra_rules[ir]));
+                }
+                if (!axes.line_bytes.empty()) {
+                  spec.soc.line_bytes = axes.line_bytes[il];
+                  append_label(label, "line_bytes",
+                               std::to_string(axes.line_bytes[il]));
+                }
+                if (!axes.external_fraction.empty()) {
+                  spec.soc.external_fraction = axes.external_fraction[ie];
+                  append_label(label, "external",
+                               trimmed_double(axes.external_fraction[ie]));
+                }
+                if (!axes.seeds.empty()) {
+                  spec.soc.seed = axes.seeds[id];
+                  append_label(label, "seed",
+                               std::to_string(axes.seeds[id]));
+                }
+                spec.variant = std::move(label);
+                jobs.push_back(std::move(spec));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+std::vector<ScenarioSpec> replicate_seeds(std::vector<ScenarioSpec> specs,
+                                          std::uint64_t repeats) {
+  if (repeats <= 1) return specs;
+  std::vector<ScenarioSpec> out;
+  out.reserve(specs.size() * repeats);
+  for (const ScenarioSpec& spec : specs) {
+    for (std::uint64_t rep = 0; rep < repeats; ++rep) {
+      ScenarioSpec copy = spec;
+      copy.soc.seed = derive_seed(spec.soc.seed, rep);
+      std::string label = strip_label_key(copy.variant, "seed");
+      append_label(label, "seed", std::to_string(copy.soc.seed));
+      copy.variant = std::move(label);
+      out.push_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+}  // namespace secbus::scenario

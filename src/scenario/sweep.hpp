@@ -1,0 +1,41 @@
+// Sweep expansion: crosses one base ScenarioSpec over parameter axes into a
+// flat job list. An empty axis keeps the base spec's value; non-empty axes
+// are crossed in a fixed order (cpus, security, protection, extra_rules,
+// line_bytes, external_fraction, seeds) so job order — and therefore every
+// derived report — is independent of how the runner schedules the jobs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace secbus::scenario {
+
+struct SweepAxes {
+  std::vector<std::size_t> cpus;
+  std::vector<soc::SecurityMode> security;
+  std::vector<soc::ProtectionLevel> protection;
+  std::vector<std::size_t> extra_rules;
+  std::vector<std::uint64_t> line_bytes;
+  std::vector<double> external_fraction;
+  std::vector<std::uint64_t> seeds;
+
+  [[nodiscard]] bool empty() const noexcept;
+
+  // Number of jobs expand() will produce: the product of every non-empty
+  // axis's length (1 when all axes are empty).
+  [[nodiscard]] std::size_t cardinality() const noexcept;
+};
+
+// Crosses `base` over `axes`. Each variant carries a "key=value,..." label
+// naming only the swept axes; a no-axis sweep returns the base spec alone.
+[[nodiscard]] std::vector<ScenarioSpec> expand(const ScenarioSpec& base,
+                                               const SweepAxes& axes);
+
+// Replicates each spec `repeats` times with deterministically derived seeds
+// (derive_seed(base_seed, r)); repeats <= 1 returns the input unchanged.
+[[nodiscard]] std::vector<ScenarioSpec> replicate_seeds(
+    std::vector<ScenarioSpec> specs, std::uint64_t repeats);
+
+}  // namespace secbus::scenario

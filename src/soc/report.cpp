@@ -17,7 +17,9 @@ std::vector<std::string> firewall_row(const std::string& name,
           std::to_string(s.check_cycles),
           std::to_string(s.violation_count(core::Violation::kNoMatchingSegment)),
           std::to_string(s.violation_count(core::Violation::kRwViolation)),
-          std::to_string(s.violation_count(core::Violation::kFormatViolation))};
+          std::to_string(s.violation_count(core::Violation::kFormatViolation)),
+          std::to_string(s.violation_count(core::Violation::kRateLimited)),
+          std::to_string(s.violation_count(core::Violation::kPolicyLockdown))};
 }
 
 }  // namespace
@@ -25,7 +27,8 @@ std::vector<std::string> firewall_row(const std::string& name,
 std::string render_firewall_report(Soc& soc) {
   util::TextTable table("Per-firewall activity (Figure 1 wires)");
   table.set_header({"Firewall", "secpol_req", "pass", "discard", "check cyc",
-                    "seg viol", "rwa viol", "adf viol"});
+                    "seg viol", "rwa viol", "adf viol", "rate-lim",
+                    "lockdown"});
   for (const auto& fw : soc.master_firewalls()) {
     table.add_row(firewall_row(fw->name(), fw->stats()));
   }

@@ -32,6 +32,11 @@ class RunningStat {
   void add(double x) noexcept;
   void reset() noexcept;
 
+  // Folds `other` into this stat as if every one of its samples had been
+  // add()ed here (Chan et al. parallel-variance combine). Lets the batch
+  // runner merge per-CPU / per-job moments without re-streaming samples.
+  void merge(const RunningStat& other) noexcept;
+
   [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
   // Sample variance (n-1 denominator); 0 for fewer than two samples.

@@ -1,0 +1,100 @@
+// Registry invariants: every seeded scenario is findable, self-consistent,
+// and (for the cheap ones) actually runnable with the documented outcome.
+#include "scenario/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scenario/scenario.hpp"
+
+namespace secbus::scenario {
+namespace {
+
+TEST(Registry, SeedsAtLeastTenScenarios) {
+  EXPECT_GE(builtin_scenarios().size(), 10u);
+}
+
+TEST(Registry, EveryEntryIsFindableByName) {
+  for (const NamedScenario& s : builtin_scenarios()) {
+    const NamedScenario* found = find_scenario(s.spec.name);
+    ASSERT_NE(found, nullptr) << s.spec.name;
+    EXPECT_EQ(found, &s) << s.spec.name;
+  }
+}
+
+TEST(Registry, NamesAreUniqueAndDescribed) {
+  std::set<std::string> names;
+  for (const NamedScenario& s : builtin_scenarios()) {
+    EXPECT_TRUE(names.insert(s.spec.name).second)
+        << "duplicate name " << s.spec.name;
+    EXPECT_FALSE(s.spec.description.empty()) << s.spec.name;
+    EXPECT_GE(s.job_count(), 1u) << s.spec.name;
+    EXPECT_GT(s.spec.max_cycles, 0u) << s.spec.name;
+  }
+}
+
+TEST(Registry, UnknownNameReturnsNull) {
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+  EXPECT_EQ(find_scenario(""), nullptr);
+}
+
+TEST(Registry, ExpectedCoreScenariosPresent) {
+  for (const char* name :
+       {"section5", "baseline-none", "baseline-centralized", "cipher-only",
+        "hijack", "external-attacker", "flood-dos", "flood-throttled",
+        "reconfig-lockdown", "distributed-vs-centralized", "line-size-sweep",
+        "policy-scaling"}) {
+    EXPECT_NE(find_scenario(name), nullptr) << name;
+  }
+}
+
+TEST(Registry, DistributedVsCentralizedIsTheFullModeProtectionCross) {
+  const NamedScenario* s = find_scenario("distributed-vs-centralized");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->axes.security.size(), 3u);
+  EXPECT_EQ(s->axes.protection.size(), 3u);
+  EXPECT_EQ(s->job_count(), 9u);
+}
+
+TEST(Registry, HijackScenarioDetectsAndContains) {
+  const NamedScenario* s = find_scenario("hijack");
+  ASSERT_NE(s, nullptr);
+  const JobResult r = run_scenario(s->spec);
+  EXPECT_TRUE(r.soc.completed);
+  EXPECT_TRUE(r.attack_ran);
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.contained);
+  EXPECT_GT(r.soc.alerts, 0u);
+  EXPECT_GT(r.fw_blocked, 0u);
+}
+
+TEST(Registry, SpoofUndetectedOnPlaintextDetectedOnFull) {
+  const NamedScenario* s = find_scenario("external-attacker");
+  ASSERT_NE(s, nullptr);
+
+  ScenarioSpec plaintext = s->spec;
+  plaintext.soc.protection = soc::ProtectionLevel::kPlaintext;
+  const JobResult unprotected = run_scenario(plaintext);
+  EXPECT_TRUE(unprotected.attack_ran);
+  EXPECT_FALSE(unprotected.detected);
+  EXPECT_FALSE(unprotected.victim_data_intact);  // spoof silently corrupts
+
+  ScenarioSpec full = s->spec;
+  full.soc.protection = soc::ProtectionLevel::kFull;
+  const JobResult protected_run = run_scenario(full);
+  EXPECT_TRUE(protected_run.detected);
+  EXPECT_TRUE(protected_run.victim_read_aborted);  // integrity abort
+}
+
+TEST(Registry, ThrottledFloodBlocksTraffic) {
+  const NamedScenario* s = find_scenario("flood-throttled");
+  ASSERT_NE(s, nullptr);
+  const JobResult r = run_scenario(s->spec);
+  EXPECT_TRUE(r.soc.completed);
+  EXPECT_GT(r.flood_blocked, 0u);
+  EXPECT_GT(r.violation_count(core::Violation::kRateLimited), 0u);
+}
+
+}  // namespace
+}  // namespace secbus::scenario

@@ -1,0 +1,127 @@
+// Sweep expansion: cardinality arithmetic, axis application, label
+// stability, and deterministic seed replication.
+#include "scenario/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "soc/presets.hpp"
+
+namespace secbus::scenario {
+namespace {
+
+ScenarioSpec tiny_spec() {
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.soc = soc::tiny_test_config();
+  spec.max_cycles = 1'000'000;
+  return spec;
+}
+
+TEST(SweepAxes, EmptyAxesHaveCardinalityOne) {
+  const SweepAxes axes;
+  EXPECT_TRUE(axes.empty());
+  EXPECT_EQ(axes.cardinality(), 1u);
+}
+
+TEST(SweepAxes, CardinalityIsProductOfNonEmptyAxes) {
+  SweepAxes axes;
+  axes.cpus = {1, 2, 3};
+  EXPECT_EQ(axes.cardinality(), 3u);
+  axes.security = {soc::SecurityMode::kNone, soc::SecurityMode::kDistributed};
+  EXPECT_EQ(axes.cardinality(), 6u);
+  axes.protection = {soc::ProtectionLevel::kPlaintext,
+                     soc::ProtectionLevel::kCipherOnly,
+                     soc::ProtectionLevel::kFull};
+  EXPECT_EQ(axes.cardinality(), 18u);
+  axes.seeds = {1, 2, 3, 4};
+  EXPECT_EQ(axes.cardinality(), 72u);
+  axes.extra_rules = {0, 8};
+  axes.line_bytes = {32, 64};
+  axes.external_fraction = {0.1, 0.5};
+  EXPECT_EQ(axes.cardinality(), 72u * 8u);
+}
+
+TEST(Sweep, ExpandMatchesCardinalityAndAppliesAxes) {
+  SweepAxes axes;
+  axes.cpus = {1, 2};
+  axes.protection = {soc::ProtectionLevel::kPlaintext,
+                     soc::ProtectionLevel::kFull};
+  axes.seeds = {7, 11, 13};
+  const auto jobs = expand(tiny_spec(), axes);
+  ASSERT_EQ(jobs.size(), axes.cardinality());
+  ASSERT_EQ(jobs.size(), 12u);
+
+  std::set<std::string> labels;
+  std::set<std::tuple<std::size_t, int, std::uint64_t>> combos;
+  for (const ScenarioSpec& job : jobs) {
+    EXPECT_EQ(job.name, "tiny");
+    labels.insert(job.variant);
+    combos.emplace(job.soc.processors, static_cast<int>(job.soc.protection),
+                   job.soc.seed);
+  }
+  EXPECT_EQ(labels.size(), jobs.size()) << "variant labels must be unique";
+  EXPECT_EQ(combos.size(), jobs.size()) << "every combination exactly once";
+}
+
+TEST(Sweep, EmptyAxesReturnBaseSpecUnchanged) {
+  const ScenarioSpec base = tiny_spec();
+  const auto jobs = expand(base, SweepAxes{});
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].variant, "");
+  EXPECT_EQ(jobs[0].soc.seed, base.soc.seed);
+  EXPECT_EQ(jobs[0].soc.processors, base.soc.processors);
+}
+
+TEST(Sweep, ExpansionOrderIsDeterministic) {
+  SweepAxes axes;
+  axes.security = {soc::SecurityMode::kDistributed, soc::SecurityMode::kNone};
+  axes.seeds = {3, 1, 2};
+  const auto first = expand(tiny_spec(), axes);
+  const auto second = expand(tiny_spec(), axes);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].variant, second[i].variant) << i;
+    EXPECT_EQ(first[i].soc.seed, second[i].soc.seed) << i;
+  }
+  // Axis values are honored in the order given, not sorted.
+  EXPECT_EQ(first[0].soc.seed, 3u);
+  EXPECT_EQ(first[1].soc.seed, 1u);
+  EXPECT_EQ(first[2].soc.seed, 2u);
+}
+
+TEST(Sweep, ReplicateSeedsDerivesDistinctDeterministicSeeds) {
+  const auto jobs = replicate_seeds(expand(tiny_spec(), SweepAxes{}), 4);
+  ASSERT_EQ(jobs.size(), 4u);
+  std::set<std::uint64_t> seeds;
+  for (const ScenarioSpec& job : jobs) seeds.insert(job.soc.seed);
+  EXPECT_EQ(seeds.size(), 4u) << "derived seeds must be distinct";
+  EXPECT_EQ(jobs[0].soc.seed, tiny_spec().soc.seed) << "repeat 0 keeps base";
+  for (std::size_t r = 0; r < jobs.size(); ++r) {
+    EXPECT_EQ(jobs[r].soc.seed, derive_seed(tiny_spec().soc.seed, r)) << r;
+  }
+}
+
+TEST(Sweep, ReplicateReplacesSweptSeedLabel) {
+  SweepAxes axes;
+  axes.seeds = {1, 2};
+  const auto jobs = replicate_seeds(expand(tiny_spec(), axes), 3);
+  ASSERT_EQ(jobs.size(), 6u);
+  for (const ScenarioSpec& job : jobs) {
+    // Exactly one seed= component, and it names the seed actually run.
+    const std::string expected = "seed=" + std::to_string(job.soc.seed);
+    EXPECT_EQ(job.variant, expected) << job.variant;
+  }
+}
+
+TEST(Sweep, ReplicateOnceIsIdentity) {
+  const auto base = expand(tiny_spec(), SweepAxes{});
+  const auto jobs = replicate_seeds(base, 1);
+  ASSERT_EQ(jobs.size(), base.size());
+  EXPECT_EQ(jobs[0].soc.seed, base[0].soc.seed);
+  EXPECT_EQ(jobs[0].variant, base[0].variant);
+}
+
+}  // namespace
+}  // namespace secbus::scenario

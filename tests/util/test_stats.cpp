@@ -54,6 +54,42 @@ TEST(RunningStat, NegativeValues) {
   EXPECT_DOUBLE_EQ(s.max(), 5.0);
 }
 
+TEST(RunningStat, MergeMatchesSequentialStreaming) {
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStat whole;
+  for (double x : xs) whole.add(x);
+
+  RunningStat left, right;
+  for (int i = 0; i < 3; ++i) left.add(xs[i]);
+  for (int i = 3; i < 8; ++i) right.add(xs[i]);
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+  EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat filled;
+  filled.add(1.0);
+  filled.add(3.0);
+
+  RunningStat target;
+  target.merge(filled);  // empty <- filled adopts everything
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+
+  const RunningStat empty;
+  target.merge(empty);  // filled <- empty is a no-op
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(target.min(), 1.0);
+  EXPECT_DOUBLE_EQ(target.max(), 3.0);
+}
+
 TEST(Counter, IncAndReset) {
   Counter c("grants");
   EXPECT_EQ(c.value(), 0u);

@@ -1,62 +1,338 @@
 // secbus_cli — command-line driver for the secured-MPSoC simulator.
 //
-// Lets a user explore the design space without writing C++:
+// Scenario-engine subcommands:
 //
-//   secbus_cli [options]
-//     --cpus N             processors (default 3, the Section-V case study)
-//     --security MODE      none | distributed | centralized   (default distributed)
-//     --protection LEVEL   plaintext | cipher | full          (default full)
-//     --external FRAC      external-traffic fraction 0..1     (default 0.3)
-//     --transactions N     per-CPU workload length            (default 300)
-//     --compute N          mean compute gap in cycles         (default 8)
-//     --extra-rules N      dummy policy rules per firewall    (default 0)
-//     --line-bytes N       LCF protection line size           (default 32)
-//     --seed N             workload seed                      (default 42)
-//     --max-cycles N       simulation cycle cap               (default 50M)
-//     --reconfig           enable the alert-driven lockdown responder
-//     --report             print the full post-run report tables
-//     --quiet              print only the one-line summary
+//   secbus_cli list-scenarios
+//       Prints the built-in scenario catalog (name, jobs, description).
 //
-// Exit status: 0 on a completed run, 1 on timeout or config error.
+//   secbus_cli run <scenario> [options]
+//       Expands the named scenario over its default sweep axes and executes
+//       the jobs on a worker pool. Emits a per-job table plus aggregate
+//       stats, and mirrors the batch as CSV and JSON reports.
+//     --jobs N          worker threads (default 1; 0 = all hardware threads)
+//     --repeats N       run every job N times with derived seeds
+//     --csv PATH        CSV report path   (default <scenario>.csv)
+//     --json PATH       JSON report path  (default <scenario>.json)
+//     --no-files        skip the CSV/JSON reports
+//     --max-cycles N    override the scenario's cycle cap
+//     --quiet           aggregate line only
+//
+//   secbus_cli sweep [base options] [axis options]
+//       Builds a custom sweep over the Section-V system (or any registered
+//       scenario via --scenario) and runs it like `run`.
+//     --scenario NAME   base scenario (default section5)
+//     --cpus A,B,...    axis: processor counts
+//     --security A,B    axis: none|distributed|centralized
+//     --protection A,B  axis: plaintext|cipher|full
+//     --seeds A,B,...   axis: workload seeds
+//     --extra-rules A,B axis: dummy policy rules per firewall
+//     --line-bytes A,B  axis: LCF protection line size
+//     --external A,B    axis: external-traffic fraction
+//       plus --jobs/--repeats/--csv/--json/--no-files/--max-cycles/--quiet.
+//
+// Legacy single-run mode (kept for scripts): secbus_cli [--cpus N]
+//   [--security M] [--protection L] [--external F] [--transactions N]
+//   [--compute N] [--extra-rules N] [--line-bytes N] [--seed N]
+//   [--max-cycles N] [--reconfig] [--report] [--quiet]
+//
+// Exit status: 0 when every executed job completed, 1 on timeout or usage
+// error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
 #include "soc/presets.hpp"
 #include "soc/report.hpp"
 #include "soc/soc.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
 
 using namespace secbus;
 
 namespace {
 
 [[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--cpus N] [--security none|distributed|centralized]\n"
-               "          [--protection plaintext|cipher|full] [--external F]\n"
-               "          [--transactions N] [--compute N] [--extra-rules N]\n"
-               "          [--line-bytes N] [--seed N] [--max-cycles N]\n"
-               "          [--reconfig] [--report] [--quiet]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s list-scenarios\n"
+      "       %s run <scenario> [--jobs N] [--repeats N] [--csv PATH]\n"
+      "              [--json PATH] [--no-files] [--max-cycles N] [--quiet]\n"
+      "       %s sweep [--scenario NAME] [--cpus A,B] [--security A,B]\n"
+      "              [--protection A,B] [--seeds A,B] [--extra-rules A,B]\n"
+      "              [--line-bytes A,B] [--external A,B] [run options]\n"
+      "       %s [--cpus N] [--security none|distributed|centralized]\n"
+      "          [--protection plaintext|cipher|full] [--external F]\n"
+      "          [--transactions N] [--compute N] [--extra-rules N]\n"
+      "          [--line-bytes N] [--seed N] [--max-cycles N]\n"
+      "          [--reconfig] [--report] [--quiet]\n",
+      argv0, argv0, argv0, argv0);
   std::exit(1);
 }
 
 bool parse_u64(const char* text, std::uint64_t& out) {
   char* end = nullptr;
   out = std::strtoull(text, &end, 10);
-  return end != nullptr && *end == '\0';
+  return end != nullptr && end != text && *end == '\0';
 }
 
 bool parse_double(const char* text, double& out) {
   char* end = nullptr;
   out = std::strtod(text, &end);
-  return end != nullptr && *end == '\0';
+  return end != nullptr && end != text && *end == '\0';
 }
 
-}  // namespace
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
 
-int main(int argc, char** argv) {
+bool parse_security(const std::string& text, soc::SecurityMode& out) {
+  if (text == "none") out = soc::SecurityMode::kNone;
+  else if (text == "distributed") out = soc::SecurityMode::kDistributed;
+  else if (text == "centralized") out = soc::SecurityMode::kCentralized;
+  else return false;
+  return true;
+}
+
+bool parse_protection(const std::string& text, soc::ProtectionLevel& out) {
+  if (text == "plaintext") out = soc::ProtectionLevel::kPlaintext;
+  else if (text == "cipher") out = soc::ProtectionLevel::kCipherOnly;
+  else if (text == "full") out = soc::ProtectionLevel::kFull;
+  else return false;
+  return true;
+}
+
+// Options shared by the `run` and `sweep` subcommands.
+struct BatchCliOptions {
+  unsigned jobs = 1;
+  std::uint64_t repeats = 1;
+  std::string csv_path;   // empty = default from scenario name
+  std::string json_path;  // empty = default from scenario name
+  bool no_files = false;
+  std::uint64_t max_cycles = 0;  // 0 = keep the scenario's cap
+  bool quiet = false;
+};
+
+// Tries to consume argv[i] as a shared batch option; advances i past any
+// value it takes. Returns false when the flag is not a batch option.
+bool parse_batch_option(int argc, char** argv, int& i, BatchCliOptions& opt) {
+  const std::string arg = argv[i];
+  auto next = [&]() -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  std::uint64_t u = 0;
+  if (arg == "--jobs" && parse_u64(next(), u) && u <= 256) {
+    opt.jobs = static_cast<unsigned>(u);
+  } else if (arg == "--repeats" && parse_u64(next(), u) && u >= 1 &&
+             u <= 10'000) {
+    opt.repeats = u;
+  } else if (arg == "--csv") {
+    opt.csv_path = next();
+  } else if (arg == "--json") {
+    opt.json_path = next();
+  } else if (arg == "--no-files") {
+    opt.no_files = true;
+  } else if (arg == "--max-cycles" && parse_u64(next(), u) && u >= 1) {
+    opt.max_cycles = u;
+  } else if (arg == "--quiet") {
+    opt.quiet = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int run_jobs(const std::string& name, std::vector<scenario::ScenarioSpec> specs,
+             const BatchCliOptions& opt) {
+  specs = scenario::replicate_seeds(std::move(specs), opt.repeats);
+  if (opt.max_cycles != 0) {
+    for (auto& spec : specs) spec.max_cycles = opt.max_cycles;
+  }
+
+  scenario::BatchOptions batch;
+  batch.threads = opt.jobs;
+  if (!opt.quiet) {
+    std::printf("scenario %s: %zu job(s) on %u thread(s)\n", name.c_str(),
+                specs.size(), opt.jobs == 0 ? 0u : opt.jobs);
+    batch.on_job_done = [](const scenario::JobResult& r, std::size_t done,
+                           std::size_t total) {
+      std::printf("  [%zu/%zu] %s %s\n", done, total,
+                  r.variant.empty() ? r.name.c_str() : r.variant.c_str(),
+                  r.soc.completed ? "done" : "TIMED OUT");
+      std::fflush(stdout);
+    };
+  }
+
+  const std::vector<scenario::JobResult> results =
+      scenario::run_batch(specs, batch);
+  const scenario::BatchAggregate aggregate =
+      scenario::BatchAggregate::from(results);
+
+  if (opt.quiet) {
+    std::printf(
+        "%s: %zu/%zu completed, latency %.1f +/- %.1f cyc "
+        "(p50 %.1f, p95 %.1f, p99 %.1f), alerts %.0f\n",
+        name.c_str(), aggregate.jobs_completed, aggregate.jobs_total,
+        aggregate.latency.mean(), aggregate.latency.stddev(),
+        aggregate.latency_p50, aggregate.latency_p95, aggregate.latency_p99,
+        aggregate.alerts.sum());
+  } else {
+    std::fputs(scenario::render_batch_table(name, results, aggregate).c_str(),
+               stdout);
+  }
+
+  bool reports_ok = true;
+  if (!opt.no_files) {
+    const std::string csv_path =
+        opt.csv_path.empty() ? name + ".csv" : opt.csv_path;
+    const std::string json_path =
+        opt.json_path.empty() ? name + ".json" : opt.json_path;
+    util::CsvWriter csv(csv_path);
+    scenario::write_batch_csv(csv, results);
+    csv.flush();
+    bool json_ok = false;
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      const std::string json = scenario::batch_json(name, results, aggregate);
+      json_ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+      std::fclose(f);
+    }
+    reports_ok = csv.ok() && json_ok;
+    if (!opt.quiet) {
+      std::printf("reports: %s%s, %s%s\n", csv_path.c_str(),
+                  csv.ok() ? "" : " (write failed)", json_path.c_str(),
+                  json_ok ? "" : " (write failed)");
+    }
+    if (!csv.ok()) {
+      std::fprintf(stderr, "error: failed to write %s\n", csv_path.c_str());
+    }
+    if (!json_ok) {
+      std::fprintf(stderr, "error: failed to write %s\n", json_path.c_str());
+    }
+  }
+
+  return aggregate.jobs_completed == aggregate.jobs_total && reports_ok ? 0 : 1;
+}
+
+int cmd_list_scenarios() {
+  util::TextTable table("Built-in scenarios (secbus_cli run <name>)");
+  table.set_header({"name", "jobs", "attack", "description"});
+  for (const auto& s : scenario::builtin_scenarios()) {
+    table.add_row({s.spec.name, std::to_string(s.job_count()),
+                   to_string(s.spec.attack.kind), s.spec.description});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) usage(argv[0]);
+  const std::string name = argv[2];
+  const scenario::NamedScenario* entry = scenario::find_scenario(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s'; try list-scenarios\n",
+                 name.c_str());
+    return 1;
+  }
+  BatchCliOptions opt;
+  for (int i = 3; i < argc; ++i) {
+    if (!parse_batch_option(argc, argv, i, opt)) usage(argv[0]);
+  }
+  return run_jobs(name, scenario::expand(entry->spec, entry->axes), opt);
+}
+
+int cmd_sweep(int argc, char** argv) {
+  std::string base_name = "section5";
+  scenario::SweepAxes axes;
+  BatchCliOptions opt;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (parse_batch_option(argc, argv, i, opt)) continue;
+    if (arg == "--scenario") {
+      base_name = next();
+    } else if (arg == "--cpus") {
+      for (const auto& tok : split_commas(next())) {
+        std::uint64_t u = 0;
+        if (!parse_u64(tok.c_str(), u) || u < 1 || u > 16) usage(argv[0]);
+        axes.cpus.push_back(static_cast<std::size_t>(u));
+      }
+    } else if (arg == "--security") {
+      for (const auto& tok : split_commas(next())) {
+        soc::SecurityMode mode;
+        if (!parse_security(tok, mode)) usage(argv[0]);
+        axes.security.push_back(mode);
+      }
+    } else if (arg == "--protection") {
+      for (const auto& tok : split_commas(next())) {
+        soc::ProtectionLevel level;
+        if (!parse_protection(tok, level)) usage(argv[0]);
+        axes.protection.push_back(level);
+      }
+    } else if (arg == "--seeds") {
+      for (const auto& tok : split_commas(next())) {
+        std::uint64_t u = 0;
+        if (!parse_u64(tok.c_str(), u)) usage(argv[0]);
+        axes.seeds.push_back(u);
+      }
+    } else if (arg == "--extra-rules") {
+      for (const auto& tok : split_commas(next())) {
+        std::uint64_t u = 0;
+        if (!parse_u64(tok.c_str(), u) || u > 1024) usage(argv[0]);
+        axes.extra_rules.push_back(static_cast<std::size_t>(u));
+      }
+    } else if (arg == "--line-bytes") {
+      for (const auto& tok : split_commas(next())) {
+        std::uint64_t u = 0;
+        if (!parse_u64(tok.c_str(), u) ||
+            (u != 16 && u != 32 && u != 64 && u != 128)) {
+          usage(argv[0]);
+        }
+        axes.line_bytes.push_back(u);
+      }
+    } else if (arg == "--external") {
+      for (const auto& tok : split_commas(next())) {
+        double d = 0.0;
+        if (!parse_double(tok.c_str(), d) || d < 0.0 || d > 1.0) usage(argv[0]);
+        axes.external_fraction.push_back(d);
+      }
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  const scenario::NamedScenario* entry = scenario::find_scenario(base_name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s'; try list-scenarios\n",
+                 base_name.c_str());
+    return 1;
+  }
+  // A custom sweep replaces the scenario's default axes.
+  const scenario::SweepAxes& effective = axes.empty() ? entry->axes : axes;
+  return run_jobs(base_name + "-sweep", scenario::expand(entry->spec, effective),
+                  opt);
+}
+
+int legacy_single_run(int argc, char** argv) {
   soc::SocConfig cfg = soc::section5_config();
   cfg.transactions_per_cpu = 300;
   sim::Cycle max_cycles = 50'000'000;
@@ -74,27 +350,9 @@ int main(int argc, char** argv) {
     if (arg == "--cpus" && parse_u64(next(), u) && u >= 1 && u <= 16) {
       cfg.processors = u;
     } else if (arg == "--security") {
-      const std::string mode = next();
-      if (mode == "none") {
-        cfg.security = soc::SecurityMode::kNone;
-      } else if (mode == "distributed") {
-        cfg.security = soc::SecurityMode::kDistributed;
-      } else if (mode == "centralized") {
-        cfg.security = soc::SecurityMode::kCentralized;
-      } else {
-        usage(argv[0]);
-      }
+      if (!parse_security(next(), cfg.security)) usage(argv[0]);
     } else if (arg == "--protection") {
-      const std::string level = next();
-      if (level == "plaintext") {
-        cfg.protection = soc::ProtectionLevel::kPlaintext;
-      } else if (level == "cipher") {
-        cfg.protection = soc::ProtectionLevel::kCipherOnly;
-      } else if (level == "full") {
-        cfg.protection = soc::ProtectionLevel::kFull;
-      } else {
-        usage(argv[0]);
-      }
+      if (!parse_protection(next(), cfg.protection)) usage(argv[0]);
     } else if (arg == "--external" && parse_double(next(), d) && d >= 0.0 &&
                d <= 1.0) {
       cfg.external_fraction = d;
@@ -152,4 +410,20 @@ int main(int argc, char** argv) {
     std::fputs(soc::render_full_report(system).c_str(), stdout);
   }
   return results.completed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "list-scenarios") == 0) {
+    return cmd_list_scenarios();
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "run") == 0) {
+    return cmd_run(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "sweep") == 0) {
+    return cmd_sweep(argc, argv);
+  }
+  if (argc >= 2 && argv[1][0] != '-') usage(argv[0]);
+  return legacy_single_run(argc, argv);
 }
