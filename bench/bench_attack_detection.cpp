@@ -2,21 +2,52 @@
 // paper defends against, run as a live campaign under each protection level.
 //
 // Grid: {spoof, replay, relocation, DoS-corruption} x {plaintext,
-// cipher-only, full}, plus the hijacked-IP scenarios (containment) and the
+// cipher-only, full}, plus the hijacked-IP scenario (containment) and the
 // traffic-flood DoS (arbitration vs. firewall throttling).
+//
+// The whole grid is submitted as one scenario batch and runs across all
+// hardware threads; tables pivot from the job list by submission index and
+// the per-job data lands in bench_attack_detection.csv.
 #include <cstdio>
+#include <vector>
 
-#include "attack/campaign.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "soc/presets.hpp"
+#include "util/csv.hpp"
 #include "util/table.hpp"
 
 using namespace secbus;
-using attack::ExternalAttackKind;
-using attack::HijackAttackKind;
+using scenario::AttackKind;
 using soc::ProtectionLevel;
 
 namespace {
 
-const char* outcome_word(const attack::ScenarioResult& r) {
+constexpr AttackKind kExternalKinds[] = {
+    AttackKind::kExternalSpoof, AttackKind::kExternalReplay,
+    AttackKind::kExternalRelocation, AttackKind::kExternalCorruption};
+constexpr ProtectionLevel kLevels[] = {ProtectionLevel::kPlaintext,
+                                       ProtectionLevel::kCipherOnly,
+                                       ProtectionLevel::kFull};
+constexpr AttackKind kFloodKinds[] = {AttackKind::kNone,  // victim baseline
+                                      AttackKind::kFloodInPolicy,
+                                      AttackKind::kFloodOutOfPolicy,
+                                      AttackKind::kFloodThrottled};
+
+scenario::ScenarioSpec attack_spec(AttackKind kind, std::uint64_t txns,
+                                   sim::Cycle max_cycles) {
+  scenario::ScenarioSpec spec;
+  spec.name = "attack-detection";
+  spec.soc = soc::tiny_test_config();
+  spec.soc.transactions_per_cpu = txns;
+  spec.attack.kind = kind;
+  spec.variant = to_string(kind);
+  spec.max_cycles = max_cycles;
+  return spec;
+}
+
+const char* outcome_word(const scenario::JobResult& r) {
   if (r.detected) return "DETECTED";
   if (!r.victim_data_intact) return "undetected-corrupt";
   return "undetected-clean";
@@ -27,25 +58,47 @@ const char* outcome_word(const attack::ScenarioResult& r) {
 int main() {
   std::puts("=== bench_attack_detection: threat-model campaigns ===\n");
 
+  std::vector<scenario::ScenarioSpec> specs;
+
+  // External-memory grid: attack kind x protection level.
+  for (const AttackKind kind : kExternalKinds) {
+    for (const ProtectionLevel level : kLevels) {
+      scenario::ScenarioSpec spec = attack_spec(kind, 40, 2'000'000);
+      spec.soc.protection = level;
+      spec.variant += std::string(",protection=") + to_string(level);
+      specs.push_back(std::move(spec));
+    }
+  }
+  const std::size_t hijack_at = specs.size();
+  specs.push_back(attack_spec(AttackKind::kHijack, 40, 2'000'000));
+  const std::size_t floods_at = specs.size();
+  for (const AttackKind kind : kFloodKinds) {
+    specs.push_back(attack_spec(kind, 150, 4'000'000));
+  }
+
+  scenario::BatchOptions options;
+  options.threads = 0;  // all hardware threads
+  const std::vector<scenario::JobResult> jobs =
+      scenario::run_batch(specs, options);
+
   {
     util::TextTable table(
         "External-memory attacks (attacker pokes DDR directly)");
     table.set_header({"attack", "protection", "outcome", "victim read",
                       "detect latency (cyc)", "alerts"});
-    for (const auto kind :
-         {ExternalAttackKind::kSpoof, ExternalAttackKind::kReplay,
-          ExternalAttackKind::kRelocation, ExternalAttackKind::kDosCorruption}) {
-      for (const auto level : {ProtectionLevel::kPlaintext,
-                               ProtectionLevel::kCipherOnly,
-                               ProtectionLevel::kFull}) {
-        const auto r = attack::run_external_scenario(kind, level, 42);
+    std::size_t i = 0;
+    for (const AttackKind kind : kExternalKinds) {
+      (void)kind;
+      for (const ProtectionLevel level : kLevels) {
+        (void)level;
+        const scenario::JobResult& r = jobs[i++];
         table.add_row(
-            {to_string(kind), to_string(level), outcome_word(r),
+            {r.attack, r.protection, outcome_word(r),
              r.victim_read_aborted
                  ? "aborted"
                  : (r.victim_data_intact ? "correct data" : "corrupted data"),
              r.detected ? std::to_string(r.detection_latency) : "-",
-             std::to_string(r.total_alerts)});
+             std::to_string(r.soc.alerts)});
       }
       table.add_separator();
     }
@@ -58,19 +111,14 @@ int main() {
   }
 
   {
+    const scenario::JobResult& r = jobs[hijack_at];
     util::TextTable table("Hijacked internal IP (malicious master)");
     table.set_header(
-        {"attack", "detected", "contained (0 bus grants)", "alerts",
+        {"attack", "detected", "contained (0 rogue grants)", "alerts",
          "workload survived"});
-    for (const auto kind :
-         {HijackAttackKind::kForbiddenWrite, HijackAttackKind::kOutOfSegmentRead,
-          HijackAttackKind::kBadFormat}) {
-      const auto r = attack::run_hijack_scenario(kind, 42);
-      table.add_row({to_string(kind), r.detected ? "yes" : "NO",
-                     r.contained ? "yes" : "NO",
-                     std::to_string(r.total_alerts),
-                     r.workload_completed ? "yes" : "NO"});
-    }
+    table.add_row({"escalating probe script", r.detected ? "yes" : "NO",
+                   r.contained ? "yes" : "NO", std::to_string(r.soc.alerts),
+                   r.soc.completed ? "yes" : "NO"});
     table.print();
     std::puts(
         "Expected shape (Section III.C): the infected IP's traffic is\n"
@@ -78,22 +126,22 @@ int main() {
   }
 
   {
+    const scenario::JobResult& base = jobs[floods_at];  // kNone baseline
     util::TextTable table("Traffic-flood DoS (dummy-data injection)");
     table.set_header({"flood type", "flood bursts ok", "flood bursts blocked",
                       "victim latency (base)", "victim latency (flooded)",
                       "bus occupancy (base)", "bus occupancy (flooded)"});
-    auto add_flood_row = [&table](const char* label, const attack::FloodResult& r) {
-      table.add_row({label, std::to_string(r.flood_completed),
+    const char* labels[] = {"in-policy", "out-of-policy",
+                            "in-policy + LF throttle"};
+    for (std::size_t f = 0; f < 3; ++f) {
+      const scenario::JobResult& r = jobs[floods_at + 1 + f];
+      table.add_row({labels[f], std::to_string(r.flood_completed),
                      std::to_string(r.flood_blocked),
-                     util::TextTable::fmt(r.victim_latency_baseline, 1),
-                     util::TextTable::fmt(r.victim_latency_flooded, 1),
-                     util::TextTable::fmt(100.0 * r.bus_occupancy_baseline, 1),
-                     util::TextTable::fmt(100.0 * r.bus_occupancy_flooded, 1)});
-    };
-    add_flood_row("in-policy", attack::run_flood_scenario(true, 42));
-    add_flood_row("out-of-policy", attack::run_flood_scenario(false, 42));
-    add_flood_row("in-policy + LF throttle",
-                  attack::run_throttled_flood_scenario(1000, 2, 42));
+                     util::TextTable::fmt(base.soc.avg_access_latency, 1),
+                     util::TextTable::fmt(r.soc.avg_access_latency, 1),
+                     util::TextTable::fmt(100.0 * base.soc.bus_occupancy, 1),
+                     util::TextTable::fmt(100.0 * r.soc.bus_occupancy, 1)});
+    }
     table.print();
     std::puts(
         "Expected shape: an out-of-policy flood dies at its own firewall\n"
@@ -102,5 +150,10 @@ int main() {
         "unless the flooder's LF enables the DoS rate limiter, which caps\n"
         "even rule-legal dummy traffic at the infected interface.");
   }
+
+  util::CsvWriter csv("bench_attack_detection.csv");
+  scenario::write_batch_csv(csv, jobs);
+  csv.flush();
+  std::puts("\nPer-job data: bench_attack_detection.csv");
   return 0;
 }

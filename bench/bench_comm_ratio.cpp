@@ -10,10 +10,19 @@
 //   1. external_fraction 0% .. 80% at a fixed compute gap;
 //   2. compute gap (communication intensity) at a fixed external fraction.
 // Reported figure of merit: execution-time overhead in percent.
+//
+// Both sweeps are submitted as one scenario batch (the external-fraction
+// sweep via SweepAxes, the compute-gap sweep as explicit spec variants) and
+// run across all hardware threads; tables pivot from the job list by
+// submission index and the per-job data lands in bench_comm_ratio.csv.
 #include <cstdio>
+#include <vector>
 
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sweep.hpp"
 #include "soc/presets.hpp"
-#include "soc/soc.hpp"
+#include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -21,24 +30,17 @@ using namespace secbus;
 
 namespace {
 
-struct RunOutcome {
-  sim::Cycle cycles;
-  double latency;
-};
+constexpr double kExternalFractions[] = {0.0, 0.1, 0.2, 0.4, 0.6, 0.8};
+constexpr sim::Cycle kComputeGaps[] = {0, 4, 16, 64, 256};
 
-RunOutcome run(const soc::SocConfig& cfg) {
-  soc::Soc system(cfg);
-  const auto results = system.run(20'000'000);
-  if (!results.completed) {
-    std::fprintf(stderr, "warning: run hit the cycle cap\n");
-  }
-  return {results.cycles, results.avg_access_latency};
-}
-
-soc::SocConfig base_config() {
-  soc::SocConfig cfg = soc::section5_config();
-  cfg.transactions_per_cpu = 150;
-  return cfg;
+scenario::ScenarioSpec base_spec() {
+  scenario::ScenarioSpec spec;
+  spec.name = "comm-ratio";
+  spec.description = "protection overhead vs. traffic shape";
+  spec.soc = soc::section5_config();
+  spec.soc.transactions_per_cpu = 150;
+  spec.max_cycles = 20'000'000;
+  return spec;
 }
 
 }  // namespace
@@ -46,26 +48,61 @@ soc::SocConfig base_config() {
 int main() {
   std::puts("=== bench_comm_ratio: protection overhead vs. traffic shape ===\n");
 
+  // Sweep 1 via axes: security x external fraction.
+  scenario::SweepAxes axes;
+  axes.security = {soc::SecurityMode::kNone, soc::SecurityMode::kDistributed};
+  axes.external_fraction.assign(std::begin(kExternalFractions),
+                                std::end(kExternalFractions));
+  std::vector<scenario::ScenarioSpec> specs =
+      scenario::expand(base_spec(), axes);
+  const std::size_t sweep2_begin = specs.size();
+
+  // Sweep 2 as explicit variants: security x compute gap at 30% external.
+  for (const soc::SecurityMode security :
+       {soc::SecurityMode::kNone, soc::SecurityMode::kDistributed}) {
+    for (const sim::Cycle gap : kComputeGaps) {
+      scenario::ScenarioSpec spec = base_spec();
+      spec.soc.security = security;
+      spec.soc.compute_min = gap;
+      spec.soc.compute_max = gap + 4;
+      spec.variant = std::string("security=") + to_string(security) +
+                     ",gap=" + std::to_string(gap);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  scenario::BatchOptions options;
+  options.threads = 0;  // all hardware threads
+  const std::vector<scenario::JobResult> jobs =
+      scenario::run_batch(specs, options);
+
+  bool complete = true;
+  for (const scenario::JobResult& job : jobs) {
+    if (!job.soc.completed) {
+      std::fprintf(stderr, "warning: %s hit the cycle cap\n",
+                   job.variant.c_str());
+      complete = false;
+    }
+  }
+
   {
     util::TextTable table(
         "Sweep 1: internal vs external communication (compute gap 4-12)");
     table.set_header({"external %", "cycles w/o FW", "cycles w/ FW",
                       "exec overhead", "latency w/o", "latency w/"});
-    for (const double ext : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8}) {
-      soc::SocConfig cfg = base_config();
-      cfg.external_fraction = ext;
-      cfg.security = soc::SecurityMode::kNone;
-      const RunOutcome plain = run(cfg);
-      cfg.security = soc::SecurityMode::kDistributed;
-      const RunOutcome secured = run(cfg);
+    const std::size_t n_ext = std::size(kExternalFractions);
+    for (std::size_t ie = 0; ie < n_ext; ++ie) {
+      // expand() crosses security (outer) over external_fraction (inner).
+      const scenario::JobResult& plain = jobs[ie];
+      const scenario::JobResult& secured = jobs[n_ext + ie];
       table.add_row(
-          {util::TextTable::fmt(100.0 * ext, 0),
-           std::to_string(plain.cycles), std::to_string(secured.cycles),
+          {util::TextTable::fmt(100.0 * kExternalFractions[ie], 0),
+           std::to_string(plain.soc.cycles), std::to_string(secured.soc.cycles),
            util::TextTable::fmt_percent(util::percent_overhead(
-               static_cast<double>(secured.cycles),
-               static_cast<double>(plain.cycles))),
-           util::TextTable::fmt(plain.latency, 1),
-           util::TextTable::fmt(secured.latency, 1)});
+               static_cast<double>(secured.soc.cycles),
+               static_cast<double>(plain.soc.cycles))),
+           util::TextTable::fmt(plain.soc.avg_access_latency, 1),
+           util::TextTable::fmt(secured.soc.avg_access_latency, 1)});
     }
     table.print();
     std::puts(
@@ -78,25 +115,27 @@ int main() {
         "Sweep 2: computation vs communication (external fraction 30%)");
     table.set_header({"compute gap", "cycles w/o FW", "cycles w/ FW",
                       "exec overhead"});
-    for (const sim::Cycle gap : {0u, 4u, 16u, 64u, 256u}) {
-      soc::SocConfig cfg = base_config();
-      cfg.compute_min = gap;
-      cfg.compute_max = gap + 4;
-      cfg.security = soc::SecurityMode::kNone;
-      const RunOutcome plain = run(cfg);
-      cfg.security = soc::SecurityMode::kDistributed;
-      const RunOutcome secured = run(cfg);
+    const std::size_t n_gaps = std::size(kComputeGaps);
+    for (std::size_t ig = 0; ig < n_gaps; ++ig) {
+      const scenario::JobResult& plain = jobs[sweep2_begin + ig];
+      const scenario::JobResult& secured = jobs[sweep2_begin + n_gaps + ig];
       table.add_row(
-          {std::to_string(gap) + "-" + std::to_string(gap + 4),
-           std::to_string(plain.cycles), std::to_string(secured.cycles),
+          {std::to_string(kComputeGaps[ig]) + "-" +
+               std::to_string(kComputeGaps[ig] + 4),
+           std::to_string(plain.soc.cycles), std::to_string(secured.soc.cycles),
            util::TextTable::fmt_percent(util::percent_overhead(
-               static_cast<double>(secured.cycles),
-               static_cast<double>(plain.cycles)))});
+               static_cast<double>(secured.soc.cycles),
+               static_cast<double>(plain.soc.cycles)))});
     }
     table.print();
     std::puts(
         "Expected shape (paper): overhead shrinks as computation dominates\n"
         "communication — the firewalls only sit on the memory path.");
   }
-  return 0;
+
+  util::CsvWriter csv("bench_comm_ratio.csv");
+  scenario::write_batch_csv(csv, jobs);
+  csv.flush();
+  std::puts("\nPer-job data: bench_comm_ratio.csv");
+  return complete ? 0 : 1;
 }

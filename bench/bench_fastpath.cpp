@@ -1,0 +1,176 @@
+// Tracked throughput baseline for the security datapath.
+//
+// Runs the "distributed-vs-centralized" sweep (security mode x protection
+// level on the Section-V workload) through the scenario batch runner and
+// measures host wall-clock per protection mode. The figure of merit is
+// *simulated accesses per second of host time* — how fast the simulator
+// pushes transactions through the firewall/crypto fast path — which is what
+// bounds >10k-job sweep campaigns. Results land in BENCH_fastpath.json so CI
+// can accumulate a perf trajectory per PR; compare the "accesses_per_sec"
+// fields between two runs on the same machine.
+//
+//   bench_fastpath [--repeats N] [--threads N] [--out PATH] [--quick]
+//
+// Defaults: 3 repeats (best-of wall time), 1 runner thread (stable,
+// scheduling-noise-free timing), output BENCH_fastpath.json. --quick drops
+// to 1 repeat for CI smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sweep.hpp"
+#include "util/table.hpp"
+
+using namespace secbus;
+
+namespace {
+
+struct ModeResult {
+  std::string protection;
+  std::size_t jobs = 0;
+  std::uint64_t sim_accesses = 0;  // txn_ok + txn_failed across the group
+  std::uint64_t sim_cycles = 0;
+  double wall_seconds = 0.0;  // best of --repeats
+  [[nodiscard]] double accesses_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(sim_accesses) / wall_seconds
+                              : 0.0;
+  }
+  [[nodiscard]] double wall_ms_per_job() const {
+    return jobs > 0 ? 1e3 * wall_seconds / static_cast<double>(jobs) : 0.0;
+  }
+};
+
+ModeResult run_group(const std::string& protection,
+                     const std::vector<scenario::ScenarioSpec>& specs,
+                     unsigned threads, int repeats) {
+  ModeResult mode;
+  mode.protection = protection;
+  mode.jobs = specs.size();
+  scenario::BatchOptions options;
+  options.threads = threads;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<scenario::JobResult> jobs =
+        scenario::run_batch(specs, options);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (r == 0 || secs < mode.wall_seconds) mode.wall_seconds = secs;
+    if (r == 0) {
+      for (const auto& job : jobs) {
+        mode.sim_accesses +=
+            job.soc.transactions_ok + job.soc.transactions_failed;
+        mode.sim_cycles += job.soc.cycles;
+      }
+    }
+  }
+  return mode;
+}
+
+void write_json(const std::string& path, const std::string& scenario_name,
+                unsigned threads, int repeats,
+                const std::vector<ModeResult>& modes) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fastpath\",\n");
+  std::fprintf(f, "  \"scenario\": \"%s\",\n", scenario_name.c_str());
+  std::fprintf(f, "  \"threads\": %u,\n  \"repeats\": %d,\n", threads, repeats);
+  std::fprintf(f, "  \"modes\": [\n");
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const ModeResult& m = modes[i];
+    std::fprintf(f,
+                 "    {\"protection\": \"%s\", \"jobs\": %zu, "
+                 "\"sim_accesses\": %llu, \"sim_cycles\": %llu, "
+                 "\"wall_seconds\": %.6f, \"accesses_per_sec\": %.1f, "
+                 "\"wall_ms_per_job\": %.3f}%s\n",
+                 m.protection.c_str(), m.jobs,
+                 static_cast<unsigned long long>(m.sim_accesses),
+                 static_cast<unsigned long long>(m.sim_cycles), m.wall_seconds,
+                 m.accesses_per_sec(), m.wall_ms_per_job(),
+                 i + 1 < modes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeats = 3;
+  unsigned threads = 1;
+  std::string out_path = "BENCH_fastpath.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repeats" && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--quick") {
+      repeats = 1;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fastpath [--repeats N] [--threads N] "
+                   "[--out PATH] [--quick]\n");
+      return 2;
+    }
+  }
+  if (repeats < 1) repeats = 1;
+
+  std::puts("=== bench_fastpath: security-datapath throughput ===\n");
+
+  const scenario::NamedScenario* entry =
+      scenario::find_scenario("distributed-vs-centralized");
+  if (entry == nullptr) {
+    std::fputs("registry is missing 'distributed-vs-centralized'\n", stderr);
+    return 1;
+  }
+  const std::vector<scenario::ScenarioSpec> all =
+      scenario::expand(entry->spec, entry->axes);
+
+  // One timing group per protection level (the axis the crypto fast path
+  // rides on), plus a combined "ciphered" group — the acceptance metric for
+  // perf work is accesses/sec with ciphering enabled.
+  std::vector<ModeResult> modes;
+  for (const soc::ProtectionLevel level : entry->axes.protection) {
+    std::vector<scenario::ScenarioSpec> group;
+    for (const scenario::ScenarioSpec& spec : all) {
+      if (spec.soc.protection == level) group.push_back(spec);
+    }
+    modes.push_back(run_group(to_string(level), group, threads, repeats));
+  }
+  {
+    std::vector<scenario::ScenarioSpec> ciphered;
+    for (const scenario::ScenarioSpec& spec : all) {
+      if (spec.soc.protection != soc::ProtectionLevel::kPlaintext) {
+        ciphered.push_back(spec);
+      }
+    }
+    modes.push_back(run_group("ciphered-combined", ciphered, threads, repeats));
+  }
+
+  util::TextTable table("distributed-vs-centralized sweep, wall best-of-" +
+                        std::to_string(repeats) + ", " +
+                        std::to_string(threads) + " runner thread(s)");
+  table.set_header({"protection", "jobs", "sim accesses", "wall (s)",
+                    "accesses/sec", "ms/job"});
+  for (const ModeResult& m : modes) {
+    table.add_row({m.protection, std::to_string(m.jobs),
+                   std::to_string(m.sim_accesses),
+                   util::TextTable::fmt(m.wall_seconds, 3),
+                   util::TextTable::fmt(m.accesses_per_sec(), 0),
+                   util::TextTable::fmt(m.wall_ms_per_job(), 2)});
+  }
+  table.print();
+
+  write_json(out_path, entry->spec.name, threads, repeats, modes);
+  std::printf("\nMachine-readable report: %s\n", out_path.c_str());
+  return 0;
+}

@@ -7,12 +7,17 @@
 //     protected byte and worse streaming efficiency;
 //   * large lines  — better bulk throughput, but every narrow write pays a
 //     full-line read-modify-write through CC and IC.
-// This bench sweeps line_bytes over the same Section-V workload and reports
-// execution time, RMW rate and crypto work per byte moved.
+//
+// Implemented as a scenario batch: the registry's "line-size-sweep" expands
+// into one job per line size and runs on all hardware threads; the table is
+// pivoted from the job list and the per-job data lands in
+// bench_line_size.csv.
 #include <cstdio>
 
-#include "soc/presets.hpp"
-#include "soc/soc.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "util/csv.hpp"
 #include "util/table.hpp"
 
 using namespace secbus;
@@ -20,32 +25,45 @@ using namespace secbus;
 int main() {
   std::puts("=== bench_line_size: LCF protection granularity ablation ===\n");
 
+  const scenario::NamedScenario* entry =
+      scenario::find_scenario("line-size-sweep");
+  if (entry == nullptr) {
+    std::fputs("registry is missing 'line-size-sweep'\n", stderr);
+    return 1;
+  }
+
+  scenario::BatchOptions options;
+  options.threads = 0;  // all hardware threads
+  const std::vector<scenario::JobResult> jobs =
+      scenario::run_batch(scenario::expand(entry->spec, entry->axes), options);
+
   util::TextTable table(
       "Section-V workload (30% external traffic), full protection");
   table.set_header({"line bytes", "exec cycles", "protected r/w", "RMW ops",
                     "CC cycles", "IC cycles", "tree depth"});
 
-  for (const std::uint64_t line : {16u, 32u, 64u, 128u}) {
-    soc::SocConfig cfg = soc::section5_config();
-    cfg.transactions_per_cpu = 120;
-    cfg.line_bytes = line;
-    soc::Soc system(cfg);
-    const auto results = system.run(30'000'000);
-    const auto* lcf = system.lcf();
-    table.add_row(
-        {std::to_string(line), std::to_string(results.cycles),
-         std::to_string(lcf->stats().protected_reads) + "/" +
-             std::to_string(lcf->stats().protected_writes),
-         std::to_string(lcf->stats().read_modify_writes),
-         std::to_string(lcf->cc().stats().cycles_charged),
-         std::to_string(lcf->ic().stats().cycles_charged),
-         std::to_string(lcf->ic().tree().depth())});
-    if (!results.completed) {
+  bool complete = true;
+  for (const scenario::JobResult& job : jobs) {
+    complete = complete && job.soc.completed;
+    table.add_row({std::to_string(job.line_bytes),
+                   std::to_string(job.soc.cycles),
+                   std::to_string(job.lcf.protected_reads) + "/" +
+                       std::to_string(job.lcf.protected_writes),
+                   std::to_string(job.lcf.read_modify_writes),
+                   std::to_string(job.lcf.cc_cycles),
+                   std::to_string(job.lcf.ic_cycles),
+                   std::to_string(job.lcf.tree_depth)});
+    if (!job.soc.completed) {
       std::fprintf(stderr, "warning: line=%llu hit the cycle cap\n",
-                   static_cast<unsigned long long>(line));
+                   static_cast<unsigned long long>(job.line_bytes));
     }
   }
   table.print();
+
+  util::CsvWriter csv("bench_line_size.csv");
+  scenario::write_batch_csv(csv, jobs);
+  csv.flush();
+  std::puts("\nPer-job data: bench_line_size.csv");
 
   std::puts(
       "\nExpected shape: larger lines shrink the hash tree (depth falls by\n"
@@ -55,5 +73,5 @@ int main() {
       "end execution time grows roughly linearly with line size under the\n"
       "case study's narrow-access traffic. Small protection lines win for\n"
       "word-grained workloads; large lines only pay off for bulk streaming.");
-  return 0;
+  return complete ? 0 : 1;
 }

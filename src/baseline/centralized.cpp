@@ -28,7 +28,7 @@ CentralizedManager::Outcome CentralizedManager::check(core::FirewallId id,
   busy_until_ = done;
   out.latency = (done + cfg_.wire_latency) - now;
 
-  out.decision = config_mem_->policy(id).evaluate(op, addr, len, fmt, thread);
+  out.decision = config_mem_->compiled(id).evaluate(op, addr, len, fmt, thread);
   ++checks_;
   queue_wait_.add(static_cast<double>(out.queue_wait));
   total_latency_.add(static_cast<double>(out.latency));

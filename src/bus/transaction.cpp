@@ -59,7 +59,7 @@ BusTransaction make_read(sim::MasterId master, sim::Addr addr, DataFormat fmt,
 }
 
 BusTransaction make_write(sim::MasterId master, sim::Addr addr,
-                          std::vector<std::uint8_t> payload, DataFormat fmt) {
+                          Payload payload, DataFormat fmt) {
   SECBUS_ASSERT(!payload.empty(), "write payload must be non-empty");
   SECBUS_ASSERT(payload.size() % beat_bytes(fmt) == 0,
                 "payload must be whole beats");

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bus/payload.hpp"
 #include "sim/types.hpp"
 
 namespace secbus::bus {
@@ -57,8 +58,10 @@ struct BusTransaction {
   DataFormat format = DataFormat::kWord;
   std::uint16_t burst_len = 1;  // number of beats
   // Write payload on the way in; read data on the way back. Size is
-  // burst_len * beat_bytes(format) for valid transactions.
-  std::vector<std::uint8_t> data;
+  // burst_len * beat_bytes(format) for valid transactions. Small-buffer
+  // storage: typical beats/lines stay inline, so moving transactions
+  // through the fabric's queues never touches the heap.
+  Payload data;
   TransStatus status = TransStatus::kPending;
 
   // Lifecycle timestamps for latency accounting.
@@ -90,7 +93,7 @@ struct BusTransaction {
                                        DataFormat fmt = DataFormat::kWord,
                                        std::uint16_t burst_len = 1);
 [[nodiscard]] BusTransaction make_write(sim::MasterId master, sim::Addr addr,
-                                        std::vector<std::uint8_t> payload,
+                                        Payload payload,
                                         DataFormat fmt = DataFormat::kWord);
 
 }  // namespace secbus::bus

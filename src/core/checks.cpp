@@ -12,6 +12,15 @@ std::optional<std::size_t> AddressSegmentChecker::check(
   return std::nullopt;
 }
 
+const CompiledRule* AddressSegmentChecker::check(const CompiledRuleSet& rules,
+                                                 sim::Addr addr,
+                                                 std::uint64_t len) noexcept {
+  ++stats_.evaluations;
+  const CompiledRule* rule = rules.lookup(addr, len);
+  if (rule == nullptr) ++stats_.violations;
+  return rule;
+}
+
 bool RwaChecker::check(const SegmentRule& rule, bus::BusOp op) noexcept {
   ++stats_.evaluations;
   const bool ok = allows(rule.rwa, op);
@@ -19,7 +28,21 @@ bool RwaChecker::check(const SegmentRule& rule, bus::BusOp op) noexcept {
   return ok;
 }
 
+bool RwaChecker::check(const CompiledRule& rule, bus::BusOp op) noexcept {
+  ++stats_.evaluations;
+  const bool ok = allows(rule.rwa, op);
+  if (!ok) ++stats_.violations;
+  return ok;
+}
+
 bool AdfChecker::check(const SegmentRule& rule, bus::DataFormat fmt) noexcept {
+  ++stats_.evaluations;
+  const bool ok = allows(rule.adf, fmt);
+  if (!ok) ++stats_.violations;
+  return ok;
+}
+
+bool AdfChecker::check(const CompiledRule& rule, bus::DataFormat fmt) noexcept {
   ++stats_.evaluations;
   const bool ok = allows(rule.adf, fmt);
   if (!ok) ++stats_.violations;

@@ -14,6 +14,7 @@
 #include <optional>
 #include <span>
 
+#include "core/policy_index.hpp"
 #include "core/security_policy.hpp"
 
 namespace secbus::core {
@@ -31,6 +32,14 @@ class AddressSegmentChecker {
   [[nodiscard]] std::optional<std::size_t> check(std::span<const SegmentRule> rules,
                                                  sim::Addr addr,
                                                  std::uint64_t len) noexcept;
+
+  // Fast path over a compiled rule set: one binary search instead of the
+  // linear scan. Returns the matched interval (with its original rule
+  // index), or nullptr on violation.
+  [[nodiscard]] const CompiledRule* check(const CompiledRuleSet& rules,
+                                          sim::Addr addr,
+                                          std::uint64_t len) noexcept;
+
   [[nodiscard]] const CheckerStats& stats() const noexcept { return stats_; }
   void reset() noexcept { stats_ = {}; }
 
@@ -41,6 +50,7 @@ class AddressSegmentChecker {
 class RwaChecker {
  public:
   [[nodiscard]] bool check(const SegmentRule& rule, bus::BusOp op) noexcept;
+  [[nodiscard]] bool check(const CompiledRule& rule, bus::BusOp op) noexcept;
   [[nodiscard]] const CheckerStats& stats() const noexcept { return stats_; }
   void reset() noexcept { stats_ = {}; }
 
@@ -51,6 +61,7 @@ class RwaChecker {
 class AdfChecker {
  public:
   [[nodiscard]] bool check(const SegmentRule& rule, bus::DataFormat fmt) noexcept;
+  [[nodiscard]] bool check(const CompiledRule& rule, bus::DataFormat fmt) noexcept;
   [[nodiscard]] const CheckerStats& stats() const noexcept { return stats_; }
   void reset() noexcept { stats_ = {}; }
 

@@ -55,7 +55,10 @@ LocalCipheringFirewall::LocalCipheringFirewall(std::string name, FirewallId id,
       log_(&log),
       inner_(&inner),
       cc_(config_mem.policy(id).key, cc_config(cfg, config_mem.policy(id).key)),
-      ic_(ic_config(cfg)) {
+      ic_(ic_config(cfg)),
+      scratch_stored_(cfg.line_bytes),
+      scratch_plain_(cfg.line_bytes),
+      scratch_write_(cfg.line_bytes) {
   SECBUS_ASSERT(cfg.line_bytes % crypto::kAesBlockBytes == 0,
                 "line must be whole AES blocks");
   SECBUS_ASSERT(cfg.protected_base % cfg.line_bytes == 0,
@@ -104,9 +107,8 @@ sim::Cycle LocalCipheringFirewall::raw_line_write(sim::Addr line_addr,
                                                   std::span<const std::uint8_t> in,
                                                   sim::Cycle now,
                                                   sim::MasterId master) {
-  bus::BusTransaction raw = bus::make_write(
-      master, line_addr, std::vector<std::uint8_t>(in.begin(), in.end()),
-      bus::DataFormat::kWord);
+  bus::BusTransaction raw =
+      bus::make_write(master, line_addr, bus::Payload(in), bus::DataFormat::kWord);
   const auto result = inner_->access(raw, now);
   SECBUS_ASSERT(result.status == bus::TransStatus::kOk,
                 "raw DDR line write failed (LCF range vs DDR size mismatch)");
@@ -117,7 +119,7 @@ LocalCipheringFirewall::LineOp LocalCipheringFirewall::read_protected_line(
     sim::Addr line_addr, std::span<std::uint8_t> plain, sim::Cycle now,
     sim::MasterId master) {
   LineOp op;
-  std::vector<std::uint8_t> stored(cfg_.line_bytes);
+  std::vector<std::uint8_t>& stored = scratch_stored_;
   op.cycles += raw_line_read(line_addr, stored, now, master);
 
   // Integrity first (the tree authenticates what is actually stored), then
@@ -152,7 +154,8 @@ LocalCipheringFirewall::LineOp LocalCipheringFirewall::write_protected_line(
     sim::Addr line_addr, std::span<const std::uint8_t> plain, sim::Cycle now,
     sim::MasterId master) {
   LineOp op;
-  std::vector<std::uint8_t> stored(plain.begin(), plain.end());
+  std::vector<std::uint8_t>& stored = scratch_write_;
+  stored.assign(plain.begin(), plain.end());
 
   if (cm_ == ConfidentialityMode::kCipher) {
     // Encrypt under the *next* version; the IC update below advances its
@@ -227,7 +230,7 @@ bus::AccessResult LocalCipheringFirewall::access(bus::BusTransaction& t,
     t.data.assign(t.payload_bytes(), 0);
     for (sim::Addr line = first_line; line <= last_line && ok;
          line += cfg_.line_bytes) {
-      std::vector<std::uint8_t> plain(cfg_.line_bytes);
+      std::vector<std::uint8_t>& plain = scratch_plain_;
       const auto lineop = read_protected_line(line, plain, now, t.master);
       cycles += lineop.cycles;
       ok = lineop.ok;
@@ -252,7 +255,8 @@ bus::AccessResult LocalCipheringFirewall::access(bus::BusTransaction& t,
       const sim::Addr copy_begin = std::max<sim::Addr>(line, t.addr);
       const sim::Addr copy_end =
           std::min<sim::Addr>(line + cfg_.line_bytes, t.end_addr());
-      std::vector<std::uint8_t> plain(cfg_.line_bytes, 0);
+      std::vector<std::uint8_t>& plain = scratch_plain_;
+      std::fill(plain.begin(), plain.end(), 0);
       if (copy_end - copy_begin < cfg_.line_bytes) {
         // Partial-line write: read-modify-write of the full line.
         ++stats_.read_modify_writes;
@@ -279,18 +283,24 @@ bus::AccessResult LocalCipheringFirewall::access(bus::BusTransaction& t,
 }
 
 void LocalCipheringFirewall::format_protected_region() {
+  // Build the whole stored image in one buffer, then let the IC rebuild the
+  // tree bottom-up in one pass: formatting 2^k lines via per-line root
+  // refreshes is O(lines * depth) hashing and used to dominate the cost of
+  // constructing a protected SoC.
   const std::uint64_t lines = cfg_.protected_size / cfg_.line_bytes;
-  for (std::uint64_t i = 0; i < lines; ++i) {
-    const sim::Addr line_addr = cfg_.protected_base + i * cfg_.line_bytes;
-    std::vector<std::uint8_t> stored(cfg_.line_bytes, 0);
-    if (cm_ == ConfidentialityMode::kCipher) {
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(cfg_.protected_size), 0);
+  if (cm_ == ConfidentialityMode::kCipher) {
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      const sim::Addr line_addr = cfg_.protected_base + i * cfg_.line_bytes;
       const std::uint32_t next_version = ic_.version_of(line_addr) + 1;
-      (void)cc_.encrypt(line_addr, next_version, stored, stored);
+      const auto line = std::span<std::uint8_t>(
+          image.data() + i * cfg_.line_bytes, cfg_.line_bytes);
+      (void)cc_.encrypt(line_addr, next_version, line, line);
     }
-    (void)ic_.update_line(line_addr, stored);
-    inner_->store().write(line_addr,
-                          std::span<const std::uint8_t>(stored.data(), stored.size()));
   }
+  ic_.bulk_update_all(image);
+  inner_->store().write(cfg_.protected_base,
+                        std::span<const std::uint8_t>(image.data(), image.size()));
   // Formatting is init-time work (the bitstream/loader does it before the
   // system runs); keep the runtime statistics clean.
   cc_.reset_stats();

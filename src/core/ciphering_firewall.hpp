@@ -25,6 +25,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "bus/ports.hpp"
 #include "core/alert.hpp"
@@ -130,6 +131,11 @@ class LocalCipheringFirewall final : public bus::SlaveDevice {
 
   ConfidentialityCore cc_;
   IntegrityCore ic_;
+  // Line-sized scratch buffers reused across accesses (sized once at
+  // construction) so the per-access protected path never allocates.
+  std::vector<std::uint8_t> scratch_stored_;  // raw line image (read path)
+  std::vector<std::uint8_t> scratch_plain_;   // assembled plaintext line
+  std::vector<std::uint8_t> scratch_write_;   // ciphertext being written
   ConfidentialityMode cm_ = ConfidentialityMode::kBypass;
   IntegrityMode im_ = IntegrityMode::kBypass;
   std::uint64_t policy_generation_ = 0;

@@ -5,7 +5,9 @@
 namespace secbus::core {
 
 void ConfigurationMemory::install(FirewallId firewall, SecurityPolicy policy) {
-  policies_[firewall] = std::move(policy);
+  Entry& entry = policies_[firewall];
+  entry.index = CompiledPolicyIndex(policy);
+  entry.policy = std::move(policy);
   ++generation_;
 }
 
@@ -17,12 +19,20 @@ const SecurityPolicy& ConfigurationMemory::policy(FirewallId firewall) const {
   const auto it = policies_.find(firewall);
   SECBUS_ASSERT(it != policies_.end(),
                 "no security policy installed for this firewall");
-  return it->second;
+  return it->second.policy;
+}
+
+const CompiledPolicyIndex& ConfigurationMemory::compiled(
+    FirewallId firewall) const {
+  const auto it = policies_.find(firewall);
+  SECBUS_ASSERT(it != policies_.end(),
+                "no security policy installed for this firewall");
+  return it->second.index;
 }
 
 std::size_t ConfigurationMemory::total_rules() const noexcept {
   std::size_t n = 0;
-  for (const auto& [id, policy] : policies_) n += policy.rule_count();
+  for (const auto& [id, entry] : policies_) n += entry.policy.rule_count();
   return n;
 }
 

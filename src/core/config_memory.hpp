@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "core/policy_index.hpp"
 #include "core/security_policy.hpp"
 #include "sim/types.hpp"
 
@@ -44,6 +45,10 @@ class ConfigurationMemory {
   // a policy is a wiring bug — the paper's architecture pairs them 1:1).
   [[nodiscard]] const SecurityPolicy& policy(FirewallId firewall) const;
 
+  // The compiled index of that policy, rebuilt on every install(). Checkers
+  // use this instead of scanning the rule lists; decisions are identical.
+  [[nodiscard]] const CompiledPolicyIndex& compiled(FirewallId firewall) const;
+
   [[nodiscard]] sim::Cycle read_latency() const noexcept { return cfg_.read_latency; }
 
   // Generation counter bumped on every install; lets components notice
@@ -57,8 +62,13 @@ class ConfigurationMemory {
   [[nodiscard]] std::size_t total_rules() const noexcept;
 
  private:
+  struct Entry {
+    SecurityPolicy policy;
+    CompiledPolicyIndex index;
+  };
+
   Config cfg_{};
-  std::unordered_map<FirewallId, SecurityPolicy> policies_;
+  std::unordered_map<FirewallId, Entry> policies_;
   std::uint64_t generation_ = 0;
 };
 

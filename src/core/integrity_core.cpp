@@ -80,6 +80,17 @@ std::uint32_t IntegrityCore::advance_version(sim::Addr line_addr) {
   return ++version;
 }
 
+void IntegrityCore::bulk_update_all(std::span<const std::uint8_t> image) {
+  for (std::uint32_t& version : versions_) {
+    if (version == 0xFFFFFFFFu) ++stats_.version_wraps;
+    ++version;
+  }
+  tree_.rebuild(image, std::span<const std::uint32_t>(versions_.data(),
+                                                      versions_.size()));
+  stats_.updates += versions_.size();
+  stats_.hash_invocations += 2 * tree_.leaf_count() - 1;
+}
+
 void IntegrityCore::rebuild_from(std::span<const std::uint8_t> image) {
   std::fill(versions_.begin(), versions_.end(), 0);
   tree_.rebuild(image, std::span<const std::uint32_t>(versions_.data(),

@@ -68,6 +68,12 @@ class IntegrityCore {
   // protected region at version 0 (system initialization / key rotation).
   void rebuild_from(std::span<const std::uint8_t> image);
 
+  // Bulk equivalent of update_line() over every line of `image`: advances
+  // every line's version by one and rebuilds the tree in one bottom-up pass
+  // — O(nodes) hashes instead of O(lines * depth). Used by region
+  // formatting, where per-line root refreshes would be pure waste.
+  void bulk_update_all(std::span<const std::uint8_t> image);
+
   [[nodiscard]] sim::Cycle cost_for_bits(std::uint64_t bits) const noexcept;
 
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }

@@ -1,0 +1,92 @@
+#include "core/policy_index.hpp"
+
+#include <algorithm>
+
+namespace secbus::core {
+
+CompiledRuleSet CompiledRuleSet::compile(std::span<const SegmentRule> rules) {
+  CompiledRuleSet set;
+  set.sorted_.reserve(rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const SegmentRule& rule = rules[i];
+    set.sorted_.push_back(CompiledRule{rule.base, rule.size, rule.rwa, rule.adf,
+                                       static_cast<std::uint32_t>(i)});
+  }
+  std::sort(set.sorted_.begin(), set.sorted_.end(),
+            [](const CompiledRule& a, const CompiledRule& b) {
+              return a.base < b.base;
+            });
+  return set;
+}
+
+const CompiledRule* CompiledRuleSet::lookup(sim::Addr addr,
+                                            std::uint64_t len) const noexcept {
+  // Last interval with base <= addr: since intervals are disjoint, it is the
+  // only one that can contain addr (a fully-covered access starts inside its
+  // segment, so no other interval can cover [addr, addr + len) either).
+  const auto it = std::upper_bound(
+      sorted_.begin(), sorted_.end(), addr,
+      [](sim::Addr a, const CompiledRule& rule) { return a < rule.base; });
+  if (it == sorted_.begin()) return nullptr;
+  const CompiledRule& candidate = *(it - 1);
+  const bool covers = len <= candidate.size &&
+                      addr - candidate.base <= candidate.size - len;
+  return covers ? &candidate : nullptr;
+}
+
+CompiledPolicyIndex::CompiledPolicyIndex(const SecurityPolicy& policy)
+    : base_(CompiledRuleSet::compile(
+          {policy.rules.data(), policy.rules.size()})),
+      lockdown_(policy.lockdown),
+      rule_count_(policy.rule_count()) {
+  overlays_.reserve(policy.thread_overlays.size());
+  for (const ThreadOverlay& overlay : policy.thread_overlays) {
+    overlays_.push_back(Overlay{
+        overlay.thread, CompiledRuleSet::compile(
+                            {overlay.rules.data(), overlay.rules.size()})});
+  }
+  std::sort(overlays_.begin(), overlays_.end(),
+            [](const Overlay& a, const Overlay& b) { return a.thread < b.thread; });
+}
+
+const CompiledRuleSet& CompiledPolicyIndex::rules_for(
+    bus::ThreadId thread) const noexcept {
+  const auto it = std::lower_bound(
+      overlays_.begin(), overlays_.end(), thread,
+      [](const Overlay& o, bus::ThreadId t) { return o.thread < t; });
+  if (it != overlays_.end() && it->thread == thread) return it->rules;
+  return base_;
+}
+
+SecurityPolicy::Decision CompiledPolicyIndex::evaluate(
+    bus::BusOp op, sim::Addr addr, std::uint64_t len, bus::DataFormat fmt,
+    bus::ThreadId thread) const noexcept {
+  SecurityPolicy::Decision d;
+  if (lockdown_) {
+    d.allowed = false;
+    d.violation = Violation::kPolicyLockdown;
+    return d;
+  }
+  const CompiledRule* rule = rules_for(thread).lookup(addr, len);
+  if (rule == nullptr) {
+    d.allowed = false;
+    d.violation = Violation::kNoMatchingSegment;
+    return d;
+  }
+  d.rule_index = rule->rule_index;
+  if (!allows(rule->rwa, op)) {
+    d.allowed = false;
+    d.violation = Violation::kRwViolation;
+    return d;
+  }
+  if (!allows(rule->adf, fmt)) {
+    d.allowed = false;
+    d.violation = Violation::kFormatViolation;
+    return d;
+  }
+  d.allowed = true;
+  d.violation = Violation::kNone;
+  return d;
+}
+
+}  // namespace secbus::core

@@ -1,0 +1,84 @@
+// Compiled Security Policy index — the check-side fast path.
+//
+// A SecurityPolicy is authored as ordered rule lists (base + per-thread
+// overlays, Section IV.A); the paper's hardware checks them with parallel
+// comparators, but a software model scanning O(rules) per access turns
+// policy size into simulator cost. This module compiles each policy once —
+// at install/reconfiguration time in the Configuration Memory — into an
+// immutable index: per rule set, intervals sorted by base address (disjoint
+// by construction, the PolicyBuilder validates that) carrying pre-merged
+// RWA/ADF masks and the original rule index. A check is then one binary
+// search plus two mask tests, and its decisions are bit-identical to the
+// linear reference (SecurityPolicy::evaluate), which stays as the
+// differential-testing oracle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/security_policy.hpp"
+
+namespace secbus::core {
+
+// One compiled rule interval: [base, base + size) plus everything a check
+// needs, laid out flat for the binary-search walk.
+struct CompiledRule {
+  sim::Addr base = 0;
+  std::uint64_t size = 0;
+  RwAccess rwa = RwAccess::kReadWrite;
+  FormatMask adf = FormatMask::kAll;
+  std::uint32_t rule_index = 0;  // index within the source rule list
+};
+
+// Immutable index over one rule set (the base rules or one thread overlay).
+class CompiledRuleSet {
+ public:
+  CompiledRuleSet() = default;
+  [[nodiscard]] static CompiledRuleSet compile(std::span<const SegmentRule> rules);
+
+  // The unique interval fully covering [addr, addr + len), or nullptr. With
+  // disjoint segments this matches the linear first-covering-rule scan.
+  [[nodiscard]] const CompiledRule* lookup(sim::Addr addr,
+                                           std::uint64_t len) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] std::span<const CompiledRule> rules() const noexcept {
+    return {sorted_.data(), sorted_.size()};
+  }
+
+ private:
+  std::vector<CompiledRule> sorted_;  // by base, non-overlapping
+};
+
+// Compiled form of a whole SecurityPolicy. Built once per install; lives in
+// the Configuration Memory next to the source policy.
+class CompiledPolicyIndex {
+ public:
+  CompiledPolicyIndex() = default;
+  explicit CompiledPolicyIndex(const SecurityPolicy& policy);
+
+  // The compiled rule set governing `thread` (its overlay or the base set).
+  [[nodiscard]] const CompiledRuleSet& rules_for(bus::ThreadId thread) const noexcept;
+
+  // Full decision; bit-identical to SecurityPolicy::evaluate.
+  [[nodiscard]] SecurityPolicy::Decision evaluate(
+      bus::BusOp op, sim::Addr addr, std::uint64_t len, bus::DataFormat fmt,
+      bus::ThreadId thread = 0) const noexcept;
+
+  [[nodiscard]] bool lockdown() const noexcept { return lockdown_; }
+  // Total rule count across base + overlays (drives SB check latency).
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rule_count_; }
+
+ private:
+  CompiledRuleSet base_;
+  struct Overlay {
+    bus::ThreadId thread = 0;
+    CompiledRuleSet rules;
+  };
+  std::vector<Overlay> overlays_;  // sorted by thread id
+  bool lockdown_ = false;
+  std::size_t rule_count_ = 0;
+};
+
+}  // namespace secbus::core

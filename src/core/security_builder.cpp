@@ -17,14 +17,20 @@ SecurityBuilder::SecurityBuilder(ConfigurationMemory& config_mem,
   SECBUS_ASSERT(cfg.rules_per_extra_cycle > 0, "rules_per_extra_cycle must be > 0");
 }
 
-sim::Cycle SecurityBuilder::check_latency() const {
-  const SecurityPolicy& policy = current_policy();
-  sim::Cycle latency = cfg_.base_check_cycles;
-  if (policy.rule_count() > cfg_.calibrated_rules) {
-    const std::uint64_t extra = policy.rule_count() - cfg_.calibrated_rules;
-    latency += util::ceil_div(extra, cfg_.rules_per_extra_cycle);
+void SecurityBuilder::refresh_policy_cache() const {
+  if (cached_generation_ == config_mem_->generation()) return;
+  compiled_ = &config_mem_->compiled(firewall_);
+  cached_latency_ = cfg_.base_check_cycles;
+  if (compiled_->rule_count() > cfg_.calibrated_rules) {
+    const std::uint64_t extra = compiled_->rule_count() - cfg_.calibrated_rules;
+    cached_latency_ += util::ceil_div(extra, cfg_.rules_per_extra_cycle);
   }
-  return latency;
+  cached_generation_ = config_mem_->generation();
+}
+
+sim::Cycle SecurityBuilder::check_latency() const {
+  refresh_policy_cache();
+  return cached_latency_;
 }
 
 SecurityBuilder::Result SecurityBuilder::run_check(bus::BusOp op, sim::Addr addr,
@@ -32,11 +38,12 @@ SecurityBuilder::Result SecurityBuilder::run_check(bus::BusOp op, sim::Addr addr
                                                    bus::DataFormat fmt,
                                                    bus::ThreadId thread) {
   ++checks_run_;
+  refresh_policy_cache();
   Result result;
-  result.latency = check_latency();
+  result.latency = cached_latency_;
 
-  const SecurityPolicy& policy = current_policy();
-  if (policy.lockdown) {
+  const CompiledPolicyIndex& compiled = *compiled_;
+  if (compiled.lockdown()) {
     result.decision.allowed = false;
     result.decision.violation = Violation::kPolicyLockdown;
     return result;
@@ -44,22 +51,22 @@ SecurityBuilder::Result SecurityBuilder::run_check(bus::BusOp op, sim::Addr addr
 
   // Drive the three checking modules the way the RTL would: rule-set select
   // (thread-specific security), segment match, then direction and format
-  // against the matched rule.
-  const std::span<const SegmentRule> active = policy.rules_for(thread);
-  const auto segment = segment_checker_.check(active, addr, len);
-  if (!segment.has_value()) {
+  // against the matched rule — over the compiled index, so the segment
+  // match is one binary search no matter how aggressive the policy is.
+  const CompiledRuleSet& active = compiled.rules_for(thread);
+  const CompiledRule* rule = segment_checker_.check(active, addr, len);
+  if (rule == nullptr) {
     result.decision.allowed = false;
     result.decision.violation = Violation::kNoMatchingSegment;
     return result;
   }
-  result.decision.rule_index = segment;
-  const SegmentRule& rule = active[*segment];
-  if (!rwa_checker_.check(rule, op)) {
+  result.decision.rule_index = rule->rule_index;
+  if (!rwa_checker_.check(*rule, op)) {
     result.decision.allowed = false;
     result.decision.violation = Violation::kRwViolation;
     return result;
   }
-  if (!adf_checker_.check(rule, fmt)) {
+  if (!adf_checker_.check(*rule, fmt)) {
     result.decision.allowed = false;
     result.decision.violation = Violation::kFormatViolation;
     return result;

@@ -71,6 +71,12 @@ class SecurityBuilder {
   void reset_stats();
 
  private:
+  // Re-reads the compiled policy from the Configuration Memory when its
+  // generation moved (policy install/reconfiguration). Checks between
+  // installs touch only the cached pointer — no map lookup, no rule-count
+  // recomputation per access.
+  void refresh_policy_cache() const;
+
   ConfigurationMemory* config_mem_;
   FirewallId firewall_;
   Config cfg_;
@@ -78,6 +84,10 @@ class SecurityBuilder {
   RwaChecker rwa_checker_;
   AdfChecker adf_checker_;
   std::uint64_t checks_run_ = 0;
+
+  mutable const CompiledPolicyIndex* compiled_ = nullptr;
+  mutable sim::Cycle cached_latency_ = 0;
+  mutable std::uint64_t cached_generation_ = ~std::uint64_t{0};
 };
 
 }  // namespace secbus::core

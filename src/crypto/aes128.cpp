@@ -2,12 +2,21 @@
 
 #include <cstring>
 
+#include "util/bitops.hpp"
+
 namespace secbus::crypto {
 
 namespace {
 
 using detail::kInvSbox;
 using detail::kSbox;
+
+// Reassembles four S-box bytes into a big-endian state word (final rounds,
+// which skip MixColumns and therefore bypass the T-tables).
+constexpr std::uint32_t pack_words(std::uint8_t b0, std::uint8_t b1,
+                                   std::uint8_t b2, std::uint8_t b3) noexcept {
+  return detail::pack_be(b0, b1, b2, b3);
+}
 
 inline std::uint8_t xtime(std::uint8_t x) noexcept {
   return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1B));
@@ -100,11 +109,141 @@ void Aes128::rekey(const Aes128Key& key) noexcept {
           round_keys_[static_cast<std::size_t>(4 * (word - 4) + i)] ^ temp[i];
     }
   }
+
+  // Word-form schedules for the T-table path.
+  for (std::size_t w = 0; w < enc_words_.size(); ++w) {
+    enc_words_[w] = util::load_be32(round_keys_.data() + 4 * w);
+  }
+  // Equivalent inverse cipher (FIPS-197 Section 5.3.5): round keys in
+  // reverse round order, with InvMixColumns applied to the inner rounds.
+  // InvMixColumns of a raw word b0..b3 is Td0[S[b0]]^Td1[S[b1]]^... because
+  // the Td tables fold InvSubBytes, which S[] cancels.
+  for (int round = 0; round <= kAes128Rounds; ++round) {
+    for (int c = 0; c < 4; ++c) {
+      std::uint32_t w =
+          enc_words_[static_cast<std::size_t>(4 * (kAes128Rounds - round) + c)];
+      if (round != 0 && round != kAes128Rounds) {
+        w = detail::kTd0[kSbox[(w >> 24) & 0xff]] ^
+            detail::kTd1[kSbox[(w >> 16) & 0xff]] ^
+            detail::kTd2[kSbox[(w >> 8) & 0xff]] ^ detail::kTd3[kSbox[w & 0xff]];
+      }
+      dec_words_[static_cast<std::size_t>(4 * round + c)] = w;
+    }
+  }
   block_ops_ = 0;
 }
 
 void Aes128::encrypt_block(const std::uint8_t in[kAesBlockBytes],
                            std::uint8_t out[kAesBlockBytes]) const noexcept {
+  if (impl_ == AesImpl::kTTable) {
+    encrypt_block_ttable(in, out);
+  } else {
+    encrypt_block_scalar(in, out);
+  }
+  ++block_ops_;
+}
+
+void Aes128::decrypt_block(const std::uint8_t in[kAesBlockBytes],
+                           std::uint8_t out[kAesBlockBytes]) const noexcept {
+  if (impl_ == AesImpl::kTTable) {
+    decrypt_block_ttable(in, out);
+  } else {
+    decrypt_block_scalar(in, out);
+  }
+  ++block_ops_;
+}
+
+void Aes128::encrypt_block_ttable(const std::uint8_t in[kAesBlockBytes],
+                                  std::uint8_t out[kAesBlockBytes]) const noexcept {
+  using namespace detail;
+  const std::uint32_t* rk = enc_words_.data();
+  std::uint32_t s0 = util::load_be32(in) ^ rk[0];
+  std::uint32_t s1 = util::load_be32(in + 4) ^ rk[1];
+  std::uint32_t s2 = util::load_be32(in + 8) ^ rk[2];
+  std::uint32_t s3 = util::load_be32(in + 12) ^ rk[3];
+  for (int round = 1; round < kAes128Rounds; ++round) {
+    rk += 4;
+    // One fused SubBytes+ShiftRows+MixColumns round: column c reads row r's
+    // byte from column (c + r) mod 4 (ShiftRows rotates row r left by r).
+    const std::uint32_t t0 = kTe0[s0 >> 24] ^ kTe1[(s1 >> 16) & 0xff] ^
+                             kTe2[(s2 >> 8) & 0xff] ^ kTe3[s3 & 0xff] ^ rk[0];
+    const std::uint32_t t1 = kTe0[s1 >> 24] ^ kTe1[(s2 >> 16) & 0xff] ^
+                             kTe2[(s3 >> 8) & 0xff] ^ kTe3[s0 & 0xff] ^ rk[1];
+    const std::uint32_t t2 = kTe0[s2 >> 24] ^ kTe1[(s3 >> 16) & 0xff] ^
+                             kTe2[(s0 >> 8) & 0xff] ^ kTe3[s1 & 0xff] ^ rk[2];
+    const std::uint32_t t3 = kTe0[s3 >> 24] ^ kTe1[(s0 >> 16) & 0xff] ^
+                             kTe2[(s1 >> 8) & 0xff] ^ kTe3[s2 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+  rk += 4;
+  // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+  const std::uint32_t t0 =
+      pack_words(kSbox[s0 >> 24], kSbox[(s1 >> 16) & 0xff],
+                 kSbox[(s2 >> 8) & 0xff], kSbox[s3 & 0xff]) ^ rk[0];
+  const std::uint32_t t1 =
+      pack_words(kSbox[s1 >> 24], kSbox[(s2 >> 16) & 0xff],
+                 kSbox[(s3 >> 8) & 0xff], kSbox[s0 & 0xff]) ^ rk[1];
+  const std::uint32_t t2 =
+      pack_words(kSbox[s2 >> 24], kSbox[(s3 >> 16) & 0xff],
+                 kSbox[(s0 >> 8) & 0xff], kSbox[s1 & 0xff]) ^ rk[2];
+  const std::uint32_t t3 =
+      pack_words(kSbox[s3 >> 24], kSbox[(s0 >> 16) & 0xff],
+                 kSbox[(s1 >> 8) & 0xff], kSbox[s2 & 0xff]) ^ rk[3];
+  util::store_be32(out, t0);
+  util::store_be32(out + 4, t1);
+  util::store_be32(out + 8, t2);
+  util::store_be32(out + 12, t3);
+}
+
+void Aes128::decrypt_block_ttable(const std::uint8_t in[kAesBlockBytes],
+                                  std::uint8_t out[kAesBlockBytes]) const noexcept {
+  using namespace detail;
+  const std::uint32_t* rk = dec_words_.data();
+  std::uint32_t s0 = util::load_be32(in) ^ rk[0];
+  std::uint32_t s1 = util::load_be32(in + 4) ^ rk[1];
+  std::uint32_t s2 = util::load_be32(in + 8) ^ rk[2];
+  std::uint32_t s3 = util::load_be32(in + 12) ^ rk[3];
+  for (int round = 1; round < kAes128Rounds; ++round) {
+    rk += 4;
+    // InvShiftRows rotates row r right by r: column c reads row r's byte
+    // from column (c - r) mod 4.
+    const std::uint32_t t0 = kTd0[s0 >> 24] ^ kTd1[(s3 >> 16) & 0xff] ^
+                             kTd2[(s2 >> 8) & 0xff] ^ kTd3[s1 & 0xff] ^ rk[0];
+    const std::uint32_t t1 = kTd0[s1 >> 24] ^ kTd1[(s0 >> 16) & 0xff] ^
+                             kTd2[(s3 >> 8) & 0xff] ^ kTd3[s2 & 0xff] ^ rk[1];
+    const std::uint32_t t2 = kTd0[s2 >> 24] ^ kTd1[(s1 >> 16) & 0xff] ^
+                             kTd2[(s0 >> 8) & 0xff] ^ kTd3[s3 & 0xff] ^ rk[2];
+    const std::uint32_t t3 = kTd0[s3 >> 24] ^ kTd1[(s2 >> 16) & 0xff] ^
+                             kTd2[(s1 >> 8) & 0xff] ^ kTd3[s0 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+  rk += 4;
+  const std::uint32_t t0 =
+      pack_words(kInvSbox[s0 >> 24], kInvSbox[(s3 >> 16) & 0xff],
+                 kInvSbox[(s2 >> 8) & 0xff], kInvSbox[s1 & 0xff]) ^ rk[0];
+  const std::uint32_t t1 =
+      pack_words(kInvSbox[s1 >> 24], kInvSbox[(s0 >> 16) & 0xff],
+                 kInvSbox[(s3 >> 8) & 0xff], kInvSbox[s2 & 0xff]) ^ rk[1];
+  const std::uint32_t t2 =
+      pack_words(kInvSbox[s2 >> 24], kInvSbox[(s1 >> 16) & 0xff],
+                 kInvSbox[(s0 >> 8) & 0xff], kInvSbox[s3 & 0xff]) ^ rk[2];
+  const std::uint32_t t3 =
+      pack_words(kInvSbox[s3 >> 24], kInvSbox[(s2 >> 16) & 0xff],
+                 kInvSbox[(s1 >> 8) & 0xff], kInvSbox[s0 & 0xff]) ^ rk[3];
+  util::store_be32(out, t0);
+  util::store_be32(out + 4, t1);
+  util::store_be32(out + 8, t2);
+  util::store_be32(out + 12, t3);
+}
+
+void Aes128::encrypt_block_scalar(const std::uint8_t in[kAesBlockBytes],
+                                  std::uint8_t out[kAesBlockBytes]) const noexcept {
   std::uint8_t s[16];
   std::memcpy(s, in, 16);
   add_round_key(s, round_keys_.data());
@@ -118,11 +257,10 @@ void Aes128::encrypt_block(const std::uint8_t in[kAesBlockBytes],
   shift_rows(s);
   add_round_key(s, round_keys_.data() + 16 * kAes128Rounds);
   std::memcpy(out, s, 16);
-  ++block_ops_;
 }
 
-void Aes128::decrypt_block(const std::uint8_t in[kAesBlockBytes],
-                           std::uint8_t out[kAesBlockBytes]) const noexcept {
+void Aes128::decrypt_block_scalar(const std::uint8_t in[kAesBlockBytes],
+                                  std::uint8_t out[kAesBlockBytes]) const noexcept {
   std::uint8_t s[16];
   std::memcpy(s, in, 16);
   add_round_key(s, round_keys_.data() + 16 * kAes128Rounds);
@@ -136,7 +274,6 @@ void Aes128::decrypt_block(const std::uint8_t in[kAesBlockBytes],
   inv_sub_bytes(s);
   add_round_key(s, round_keys_.data());
   std::memcpy(out, s, 16);
-  ++block_ops_;
 }
 
 AesBlock Aes128::encrypt(const AesBlock& in) const noexcept {

@@ -7,6 +7,17 @@
 // from its algebraic definition (GF(2^8) inverse + affine map), which both
 // documents the construction and removes the risk of a mistyped table.
 //
+// Two interchangeable datapaths produce identical blocks:
+//   * kTTable (default) — 32-bit T-table rounds (SubBytes/ShiftRows/
+//     MixColumns fused into four 1KB lookups per direction, round keys held
+//     as words). This is the simulator's fast path; the tables are computed
+//     constexpr from the same algebraic S-box.
+//   * kScalar — the byte-wise FIPS-197 textbook rounds, kept as the readable
+//     reference and for differential validation.
+// The default can be forced to scalar at compile time with
+// -DSECBUS_AES_FORCE_SCALAR (CMake option SECBUS_AES_SCALAR) or per context
+// at runtime with set_impl(); FIPS-197 vectors run against both.
+//
 // This implementation favors clarity over side-channel hardening; the paper's
 // threat model explicitly excludes side-channel attacks (Section III.B).
 #pragma once
@@ -85,7 +96,75 @@ namespace detail {
 inline constexpr std::array<std::uint8_t, 256> kSbox = make_sbox();
 inline constexpr std::array<std::uint8_t, 256> kInvSbox = make_inv_sbox(kSbox);
 
+// T-tables: one 32-bit word per S-box output, packing the four MixColumns
+// products so a full round is 16 lookups + XORs. Byte order is big-endian
+// within the word (row 0 in the top byte), matching the column words the
+// block datapath loads with load_be32.
+//
+//   kTe0[b] = {02*S[b], 01*S[b], 01*S[b], 03*S[b]}   (contribution of row 0)
+// and kTe1..3 rotate the coefficient column for rows 1..3. The decryption
+// tables fold InvSubBytes and the {0e,0b,0d,09} InvMixColumns matrix the
+// same way.
+using TTable = std::array<std::uint32_t, 256>;
+
+[[nodiscard]] constexpr std::uint32_t pack_be(std::uint8_t b0, std::uint8_t b1,
+                                              std::uint8_t b2,
+                                              std::uint8_t b3) noexcept {
+  return (static_cast<std::uint32_t>(b0) << 24) |
+         (static_cast<std::uint32_t>(b1) << 16) |
+         (static_cast<std::uint32_t>(b2) << 8) | b3;
+}
+
+[[nodiscard]] constexpr TTable make_enc_ttable(int rotation) noexcept {
+  TTable table{};
+  for (unsigned i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[i];
+    const std::uint8_t coeffs[4] = {gf_mul(s, 0x02), s, s, gf_mul(s, 0x03)};
+    // rotation r selects the coefficient column for state row r.
+    table[i] = pack_be(coeffs[(0 + 4 - rotation) % 4],
+                       coeffs[(1 + 4 - rotation) % 4],
+                       coeffs[(2 + 4 - rotation) % 4],
+                       coeffs[(3 + 4 - rotation) % 4]);
+  }
+  return table;
+}
+
+[[nodiscard]] constexpr TTable make_dec_ttable(int rotation) noexcept {
+  TTable table{};
+  for (unsigned i = 0; i < 256; ++i) {
+    const std::uint8_t y = kInvSbox[i];
+    const std::uint8_t coeffs[4] = {gf_mul(y, 0x0e), gf_mul(y, 0x09),
+                                    gf_mul(y, 0x0d), gf_mul(y, 0x0b)};
+    table[i] = pack_be(coeffs[(0 + 4 - rotation) % 4],
+                       coeffs[(1 + 4 - rotation) % 4],
+                       coeffs[(2 + 4 - rotation) % 4],
+                       coeffs[(3 + 4 - rotation) % 4]);
+  }
+  return table;
+}
+
+inline constexpr TTable kTe0 = make_enc_ttable(0);
+inline constexpr TTable kTe1 = make_enc_ttable(1);
+inline constexpr TTable kTe2 = make_enc_ttable(2);
+inline constexpr TTable kTe3 = make_enc_ttable(3);
+inline constexpr TTable kTd0 = make_dec_ttable(0);
+inline constexpr TTable kTd1 = make_dec_ttable(1);
+inline constexpr TTable kTd2 = make_dec_ttable(2);
+inline constexpr TTable kTd3 = make_dec_ttable(3);
+
 }  // namespace detail
+
+// Which block datapath a context uses. Both produce identical output; the
+// scalar path exists as the validated reference implementation.
+enum class AesImpl : std::uint8_t { kTTable, kScalar };
+
+[[nodiscard]] constexpr AesImpl default_aes_impl() noexcept {
+#ifdef SECBUS_AES_FORCE_SCALAR
+  return AesImpl::kScalar;
+#else
+  return AesImpl::kTTable;
+#endif
+}
 
 // AES-128 context: expands the key once; encrypt/decrypt are const and
 // reusable across blocks.
@@ -95,6 +174,12 @@ class Aes128 {
 
   // Re-expands with a new key (used by policy reconfiguration).
   void rekey(const Aes128Key& key) noexcept;
+
+  // Selects the block datapath (default: T-table, or scalar when built with
+  // SECBUS_AES_FORCE_SCALAR). Both produce identical blocks; the switch
+  // exists so tests can validate the fast path against the reference.
+  void set_impl(AesImpl impl) noexcept { impl_ = impl; }
+  [[nodiscard]] AesImpl impl() const noexcept { return impl_; }
 
   // Single-block ECB primitive operations.
   void encrypt_block(const std::uint8_t in[kAesBlockBytes],
@@ -117,7 +202,22 @@ class Aes128 {
   void reset_block_ops() noexcept { block_ops_ = 0; }
 
  private:
+  void encrypt_block_scalar(const std::uint8_t in[kAesBlockBytes],
+                            std::uint8_t out[kAesBlockBytes]) const noexcept;
+  void decrypt_block_scalar(const std::uint8_t in[kAesBlockBytes],
+                            std::uint8_t out[kAesBlockBytes]) const noexcept;
+  void encrypt_block_ttable(const std::uint8_t in[kAesBlockBytes],
+                            std::uint8_t out[kAesBlockBytes]) const noexcept;
+  void decrypt_block_ttable(const std::uint8_t in[kAesBlockBytes],
+                            std::uint8_t out[kAesBlockBytes]) const noexcept;
+
   std::array<std::uint8_t, kAesBlockBytes*(kAes128Rounds + 1)> round_keys_{};
+  // Word-form key schedules for the T-table path: the FIPS-197 schedule as
+  // big-endian words, and the equivalent-inverse-cipher schedule (round keys
+  // reversed, inner ones passed through InvMixColumns).
+  std::array<std::uint32_t, 4 * (kAes128Rounds + 1)> enc_words_{};
+  std::array<std::uint32_t, 4 * (kAes128Rounds + 1)> dec_words_{};
+  AesImpl impl_ = default_aes_impl();
   mutable std::uint64_t block_ops_ = 0;
 };
 

@@ -103,4 +103,30 @@ void memory_xcrypt(const Aes128& aes, std::uint32_t nonce, std::uint64_t block_a
   ctr_xcrypt(aes, ctr, in, out);
 }
 
+void memory_xcrypt_line(const Aes128& aes, std::uint32_t nonce,
+                        std::uint64_t line_addr, std::uint32_t version,
+                        std::span<const std::uint8_t> in,
+                        std::span<std::uint8_t> out) noexcept {
+  SECBUS_ASSERT(in.size() == out.size() && in.size() % kAesBlockBytes == 0,
+                "line transform requires equal-size whole-block spans");
+  AesBlock tweak = make_memory_tweak(nonce, line_addr, version);
+  AesBlock keystream;
+  for (std::size_t off = 0; off < in.size(); off += kAesBlockBytes) {
+    util::store_be64(tweak.data() + 4, line_addr + off);
+    aes.encrypt_block(tweak.data(), keystream.data());
+    // XOR one block as two 64-bit lanes (in/out may alias; the loads happen
+    // before the stores).
+    std::uint64_t lo, hi;
+    std::memcpy(&lo, in.data() + off, 8);
+    std::memcpy(&hi, in.data() + off + 8, 8);
+    std::uint64_t klo, khi;
+    std::memcpy(&klo, keystream.data(), 8);
+    std::memcpy(&khi, keystream.data() + 8, 8);
+    lo ^= klo;
+    hi ^= khi;
+    std::memcpy(out.data() + off, &lo, 8);
+    std::memcpy(out.data() + off + 8, &hi, 8);
+  }
+}
+
 }  // namespace secbus::crypto

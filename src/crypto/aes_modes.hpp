@@ -51,4 +51,15 @@ void memory_xcrypt(const Aes128& aes, std::uint32_t nonce, std::uint64_t block_a
                    std::uint32_t version, std::span<const std::uint8_t> in,
                    std::span<std::uint8_t> out) noexcept;
 
+// Whole-line tweaked-CTR transform: equivalent to calling memory_xcrypt()
+// once per 16-byte block at addresses line_addr, line_addr+16, ... but the
+// keystream for the whole line is generated in one pass (the tweak's address
+// field steps per block; only those 8 bytes change between blocks). This is
+// the Confidentiality Core's batch entry point — spans must be equal-sized
+// whole blocks; in/out may alias.
+void memory_xcrypt_line(const Aes128& aes, std::uint32_t nonce,
+                        std::uint64_t line_addr, std::uint32_t version,
+                        std::span<const std::uint8_t> in,
+                        std::span<std::uint8_t> out) noexcept;
+
 }  // namespace secbus::crypto

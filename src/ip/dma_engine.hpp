@@ -56,7 +56,7 @@ class DmaEngine final : public sim::Component {
   bus::MasterEndpoint* port_ = nullptr;
   Job job_;
   std::uint64_t progress_ = 0;  // bytes copied so far
-  std::vector<std::uint8_t> chunk_;
+  bus::Payload chunk_;
   State state_ = State::kIdle;
   bool pending_issue_ = false;
   std::uint64_t seq_ = 0;

@@ -207,7 +207,16 @@ JobResult run_scenario(const ScenarioSpec& spec) {
   if (soc.bram_firewall() != nullptr) {
     accumulate(r, soc.bram_firewall()->stats());
   }
-  if (soc.lcf() != nullptr) accumulate(r, soc.lcf()->firewall_stats());
+  if (soc.lcf() != nullptr) {
+    accumulate(r, soc.lcf()->firewall_stats());
+    const auto& lcf = *soc.lcf();
+    r.lcf.protected_reads = lcf.stats().protected_reads;
+    r.lcf.protected_writes = lcf.stats().protected_writes;
+    r.lcf.read_modify_writes = lcf.stats().read_modify_writes;
+    r.lcf.cc_cycles = lcf.cc().stats().cycles_charged;
+    r.lcf.ic_cycles = lcf.ic().stats().cycles_charged;
+    r.lcf.tree_depth = lcf.ic().tree().depth();
+  }
 
   if (soc.manager() != nullptr) {
     r.manager_queue_wait = soc.manager()->queue_wait().mean();

@@ -108,6 +108,17 @@ struct JobResult {
   double manager_queue_wait = 0.0;   // centralized: mean cycles in the queue
   sim::Cycle sb_check_latency = 0;   // distributed: per-access SB check cost
 
+  // LCF activity (distributed mode; zeros otherwise) for the line-size and
+  // protection-granularity ablations.
+  struct LcfProbe {
+    std::uint64_t protected_reads = 0;
+    std::uint64_t protected_writes = 0;
+    std::uint64_t read_modify_writes = 0;
+    std::uint64_t cc_cycles = 0;  // Confidentiality Core cycles charged
+    std::uint64_t ic_cycles = 0;  // Integrity Core cycles charged
+    std::size_t tree_depth = 0;
+  } lcf;
+
   [[nodiscard]] std::uint64_t violation_count(core::Violation v) const noexcept {
     return violations[static_cast<std::size_t>(v)];
   }

@@ -1,5 +1,7 @@
 #include "sim/kernel.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace secbus::sim {
@@ -15,10 +17,10 @@ void SimKernel::step() {
   // Phase 1: due callbacks (scheduled events) run before any component ticks
   // this cycle, in (cycle, FIFO) order. A callback may schedule more work for
   // the same cycle; it runs within this phase.
-  while (!pending_.empty() && pending_.top().when <= now_) {
-    // priority_queue::top is const; move out via const_cast-free copy of fn.
-    Scheduled ev = pending_.top();
-    pending_.pop();
+  while (!pending_.empty() && pending_.front().when <= now_) {
+    std::pop_heap(pending_.begin(), pending_.end(), ScheduledLater{});
+    Scheduled ev = std::move(pending_.back());
+    pending_.pop_back();
     ev.fn();
   }
   // Phase 2: tick all components in registration order.
@@ -42,14 +44,15 @@ bool SimKernel::run_until(const std::function<bool()>& done, Cycle max_cycles) {
 }
 
 void SimKernel::schedule(Cycle delay, std::function<void()> fn) {
-  pending_.push(Scheduled{now_ + delay, seq_++, std::move(fn)});
+  pending_.push_back(Scheduled{now_ + delay, seq_++, std::move(fn)});
+  std::push_heap(pending_.begin(), pending_.end(), ScheduledLater{});
 }
 
 void SimKernel::reset() {
   now_ = 0;
   ticks_executed_ = 0;
   seq_ = 0;
-  pending_ = {};
+  pending_.clear();
   for (Component* c : components_) c->reset();
 }
 

@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/component.hpp"
@@ -70,7 +69,12 @@ class SimKernel {
   };
 
   std::vector<Component*> components_;
-  std::priority_queue<Scheduled, std::vector<Scheduled>, ScheduledLater> pending_;
+  // Min-heap over (when, seq) maintained with std::push_heap/pop_heap on a
+  // plain vector (rather than std::priority_queue, whose const top() forces
+  // copying the std::function out on every dispatch — pop_heap lets us move
+  // it). The backing storage is also reused across steps instead of being
+  // reallocated.
+  std::vector<Scheduled> pending_;
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t ticks_executed_ = 0;

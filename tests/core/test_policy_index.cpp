@@ -1,0 +1,203 @@
+// Differential validation of the compiled policy index: across randomized
+// rule sets, thread overlays and reconfigurations, CompiledPolicyIndex (one
+// binary search per check) must reach the exact decisions of the linear
+// reference scan (SecurityPolicy::evaluate), including the matched rule
+// index and the violation kind.
+#include "core/policy_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/config_memory.hpp"
+#include "core/security_builder.hpp"
+#include "core/security_policy.hpp"
+#include "util/rng.hpp"
+
+namespace secbus::core {
+namespace {
+
+RwAccess random_rwa(util::Xoshiro256& rng) {
+  return static_cast<RwAccess>(rng.below(4));
+}
+
+FormatMask random_adf(util::Xoshiro256& rng) {
+  return static_cast<FormatMask>(rng.below(8));
+}
+
+// Builds a random disjoint rule list in *shuffled declaration order* (the
+// index must sort internally; the reference scans declaration order).
+std::vector<SegmentRule> random_rules(util::Xoshiro256& rng, std::size_t count) {
+  std::vector<SegmentRule> rules;
+  sim::Addr cursor = rng.below(0x1000);
+  for (std::size_t i = 0; i < count; ++i) {
+    SegmentRule rule;
+    rule.base = cursor;
+    rule.size = 4 + rng.below(0x400);
+    rule.rwa = random_rwa(rng);
+    rule.adf = random_adf(rng);
+    rules.push_back(rule);
+    cursor = rule.base + rule.size + rng.below(0x200);  // gap (possibly 0)
+  }
+  // Shuffle declaration order.
+  for (std::size_t i = rules.size(); i > 1; --i) {
+    std::swap(rules[i - 1], rules[rng.below(i)]);
+  }
+  return rules;
+}
+
+SecurityPolicy random_policy(util::Xoshiro256& rng) {
+  SecurityPolicy policy;
+  policy.spi = static_cast<std::uint32_t>(rng.below(1000));
+  policy.rules = random_rules(rng, 1 + rng.below(12));
+  const std::size_t overlays = rng.below(4);
+  for (std::size_t t = 0; t < overlays; ++t) {
+    ThreadOverlay overlay;
+    overlay.thread = static_cast<bus::ThreadId>(1 + t);
+    overlay.rules = random_rules(rng, rng.below(6));  // possibly empty
+    policy.thread_overlays.push_back(std::move(overlay));
+  }
+  return policy;
+}
+
+struct Probe {
+  bus::BusOp op;
+  sim::Addr addr;
+  std::uint64_t len;
+  bus::DataFormat fmt;
+  bus::ThreadId thread;
+};
+
+Probe random_probe(util::Xoshiro256& rng, const SecurityPolicy& policy) {
+  Probe p;
+  p.op = rng.below(2) == 0 ? bus::BusOp::kRead : bus::BusOp::kWrite;
+  p.fmt = rng.below(3) == 0   ? bus::DataFormat::kByte
+          : rng.below(2) == 0 ? bus::DataFormat::kHalfWord
+                              : bus::DataFormat::kWord;
+  p.len = 1 + rng.below(64);
+  p.thread = static_cast<bus::ThreadId>(rng.below(6));
+  // Bias probes toward rule boundaries so edge cases (exact base, one past
+  // the end, len overrun) are exercised, not just random misses.
+  const std::span<const SegmentRule> rules = policy.rules_for(p.thread);
+  if (!rules.empty() && rng.below(4) != 0) {
+    const SegmentRule& rule = rules[rng.below(rules.size())];
+    switch (rng.below(5)) {
+      case 0: p.addr = rule.base; break;
+      case 1: p.addr = rule.base + rule.size - 1; break;
+      case 2: p.addr = rule.base + rule.size; break;
+      case 3: p.addr = rule.base + rng.below(rule.size); break;
+      default: p.addr = rule.base == 0 ? 0 : rule.base - 1; break;
+    }
+  } else {
+    p.addr = rng.below(0x8000);
+  }
+  return p;
+}
+
+void expect_same_decision(const SecurityPolicy::Decision& ref,
+                          const SecurityPolicy::Decision& fast,
+                          const Probe& p) {
+  EXPECT_EQ(ref.allowed, fast.allowed)
+      << "addr=" << p.addr << " len=" << p.len;
+  EXPECT_EQ(ref.violation, fast.violation)
+      << "addr=" << p.addr << " len=" << p.len;
+  EXPECT_EQ(ref.rule_index.has_value(), fast.rule_index.has_value());
+  if (ref.rule_index.has_value() && fast.rule_index.has_value()) {
+    EXPECT_EQ(*ref.rule_index, *fast.rule_index);
+  }
+}
+
+TEST(CompiledPolicyIndex, MatchesLinearScanOnRandomizedPolicies) {
+  util::Xoshiro256 rng(0xC0FFEEu);
+  for (int round = 0; round < 100; ++round) {
+    const SecurityPolicy policy = random_policy(rng);
+    const CompiledPolicyIndex index(policy);
+    EXPECT_EQ(index.rule_count(), policy.rule_count());
+    for (int probe = 0; probe < 200; ++probe) {
+      const Probe p = random_probe(rng, policy);
+      expect_same_decision(
+          policy.evaluate(p.op, p.addr, p.len, p.fmt, p.thread),
+          index.evaluate(p.op, p.addr, p.len, p.fmt, p.thread), p);
+    }
+  }
+}
+
+TEST(CompiledPolicyIndex, LockdownAndEmptyPolicies) {
+  const SecurityPolicy locked = make_lockdown_policy(7);
+  const CompiledPolicyIndex locked_index(locked);
+  EXPECT_TRUE(locked_index.lockdown());
+  const auto d =
+      locked_index.evaluate(bus::BusOp::kRead, 0x100, 4, bus::DataFormat::kWord);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.violation, Violation::kPolicyLockdown);
+
+  SecurityPolicy empty;
+  const CompiledPolicyIndex empty_index(empty);
+  const auto e =
+      empty_index.evaluate(bus::BusOp::kRead, 0x100, 4, bus::DataFormat::kWord);
+  EXPECT_FALSE(e.allowed);
+  EXPECT_EQ(e.violation, Violation::kNoMatchingSegment);
+}
+
+TEST(CompiledPolicyIndex, OverlayFallbackMatchesReference) {
+  util::Xoshiro256 rng(0xBEEFu);
+  SecurityPolicy policy;
+  policy.rules = random_rules(rng, 6);
+  ThreadOverlay overlay;
+  overlay.thread = 3;
+  overlay.rules = random_rules(rng, 4);
+  policy.thread_overlays.push_back(overlay);
+
+  const CompiledPolicyIndex index(policy);
+  for (bus::ThreadId thread : {0, 1, 2, 3, 4}) {
+    for (int probe = 0; probe < 100; ++probe) {
+      Probe p = random_probe(rng, policy);
+      p.thread = thread;
+      expect_same_decision(
+          policy.evaluate(p.op, p.addr, p.len, p.fmt, p.thread),
+          index.evaluate(p.op, p.addr, p.len, p.fmt, p.thread), p);
+    }
+  }
+}
+
+// Reconfiguration: every install() recompiles, and the SecurityBuilder's
+// cached index follows the Configuration Memory's generation counter.
+TEST(CompiledPolicyIndex, ReconfigurationRecompilesAndSbFollows) {
+  util::Xoshiro256 rng(0x5EED5u);
+  ConfigurationMemory config_mem;
+  const FirewallId fw = 42;
+
+  PolicyBuilder pb(1);
+  pb.allow(0x1000, 0x100, RwAccess::kReadWrite);
+  config_mem.install(fw, pb.build());
+
+  SecurityBuilder sb(config_mem, fw);
+  EXPECT_TRUE(
+      sb.run_check(bus::BusOp::kWrite, 0x1000, 4, bus::DataFormat::kWord)
+          .decision.allowed);
+
+  // Lockdown swap must take effect on the very next check.
+  config_mem.install(fw, make_lockdown_policy(1));
+  EXPECT_EQ(sb.run_check(bus::BusOp::kWrite, 0x1000, 4, bus::DataFormat::kWord)
+                .decision.violation,
+            Violation::kPolicyLockdown);
+
+  // A run of random reinstalls: the SB must always agree with a fresh
+  // linear evaluation of the currently-installed policy.
+  for (int round = 0; round < 30; ++round) {
+    SecurityPolicy policy = random_policy(rng);
+    const SecurityPolicy reference = policy;
+    config_mem.install(fw, std::move(policy));
+    for (int probe = 0; probe < 50; ++probe) {
+      const Probe p = random_probe(rng, reference);
+      const auto ref = reference.evaluate(p.op, p.addr, p.len, p.fmt, p.thread);
+      const auto got =
+          sb.run_check(p.op, p.addr, p.len, p.fmt, p.thread).decision;
+      expect_same_decision(ref, got, p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace secbus::core
