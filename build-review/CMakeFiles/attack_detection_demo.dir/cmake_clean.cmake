@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_detection_demo.dir/examples/attack_detection_demo.cpp.o"
+  "CMakeFiles/attack_detection_demo.dir/examples/attack_detection_demo.cpp.o.d"
+  "attack_detection_demo"
+  "attack_detection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_detection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

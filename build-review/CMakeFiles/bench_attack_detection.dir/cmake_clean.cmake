@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_detection.dir/bench/bench_attack_detection.cpp.o"
+  "CMakeFiles/bench_attack_detection.dir/bench/bench_attack_detection.cpp.o.d"
+  "bench_attack_detection"
+  "bench_attack_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_line_size.dir/bench/bench_line_size.cpp.o"
+  "CMakeFiles/bench_line_size.dir/bench/bench_line_size.cpp.o.d"
+  "bench_line_size"
+  "bench_line_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_line_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_scaling.dir/bench/bench_policy_scaling.cpp.o"
+  "CMakeFiles/bench_policy_scaling.dir/bench/bench_policy_scaling.cpp.o.d"
+  "bench_policy_scaling"
+  "bench_policy_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hijack_containment.dir/examples/hijack_containment.cpp.o"
+  "CMakeFiles/hijack_containment.dir/examples/hijack_containment.cpp.o.d"
+  "hijack_containment"
+  "hijack_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hijack_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_reconfiguration.dir/examples/policy_reconfiguration.cpp.o"
+  "CMakeFiles/policy_reconfiguration.dir/examples/policy_reconfiguration.cpp.o.d"
+  "policy_reconfiguration"
+  "policy_reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

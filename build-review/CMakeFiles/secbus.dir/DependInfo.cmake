@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/area/cost_model.cpp" "CMakeFiles/secbus.dir/src/area/cost_model.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/area/cost_model.cpp.o.d"
+  "/root/repo/src/area/report.cpp" "CMakeFiles/secbus.dir/src/area/report.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/area/report.cpp.o.d"
+  "/root/repo/src/attack/campaign.cpp" "CMakeFiles/secbus.dir/src/attack/campaign.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/attack/campaign.cpp.o.d"
+  "/root/repo/src/attack/external_attacker.cpp" "CMakeFiles/secbus.dir/src/attack/external_attacker.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/attack/external_attacker.cpp.o.d"
+  "/root/repo/src/attack/flood_master.cpp" "CMakeFiles/secbus.dir/src/attack/flood_master.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/attack/flood_master.cpp.o.d"
+  "/root/repo/src/baseline/centralized.cpp" "CMakeFiles/secbus.dir/src/baseline/centralized.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/baseline/centralized.cpp.o.d"
+  "/root/repo/src/bus/address_map.cpp" "CMakeFiles/secbus.dir/src/bus/address_map.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/bus/address_map.cpp.o.d"
+  "/root/repo/src/bus/arbiter.cpp" "CMakeFiles/secbus.dir/src/bus/arbiter.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/bus/arbiter.cpp.o.d"
+  "/root/repo/src/bus/system_bus.cpp" "CMakeFiles/secbus.dir/src/bus/system_bus.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/bus/system_bus.cpp.o.d"
+  "/root/repo/src/bus/transaction.cpp" "CMakeFiles/secbus.dir/src/bus/transaction.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/bus/transaction.cpp.o.d"
+  "/root/repo/src/core/alert.cpp" "CMakeFiles/secbus.dir/src/core/alert.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/core/alert.cpp.o.d"
+  "/root/repo/src/core/checks.cpp" "CMakeFiles/secbus.dir/src/core/checks.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/core/checks.cpp.o.d"
+  "/root/repo/src/core/ciphering_firewall.cpp" "CMakeFiles/secbus.dir/src/core/ciphering_firewall.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/core/ciphering_firewall.cpp.o.d"
+  "/root/repo/src/core/confidentiality_core.cpp" "CMakeFiles/secbus.dir/src/core/confidentiality_core.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/core/confidentiality_core.cpp.o.d"
+  "/root/repo/src/core/config_memory.cpp" "CMakeFiles/secbus.dir/src/core/config_memory.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/core/config_memory.cpp.o.d"
+  "/root/repo/src/core/integrity_core.cpp" "CMakeFiles/secbus.dir/src/core/integrity_core.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/core/integrity_core.cpp.o.d"
+  "/root/repo/src/core/local_firewall.cpp" "CMakeFiles/secbus.dir/src/core/local_firewall.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/core/local_firewall.cpp.o.d"
+  "/root/repo/src/core/policy_index.cpp" "CMakeFiles/secbus.dir/src/core/policy_index.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/core/policy_index.cpp.o.d"
+  "/root/repo/src/core/reconfig.cpp" "CMakeFiles/secbus.dir/src/core/reconfig.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/core/reconfig.cpp.o.d"
+  "/root/repo/src/core/security_builder.cpp" "CMakeFiles/secbus.dir/src/core/security_builder.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/core/security_builder.cpp.o.d"
+  "/root/repo/src/core/security_policy.cpp" "CMakeFiles/secbus.dir/src/core/security_policy.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/core/security_policy.cpp.o.d"
+  "/root/repo/src/crypto/aes128.cpp" "CMakeFiles/secbus.dir/src/crypto/aes128.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/crypto/aes128.cpp.o.d"
+  "/root/repo/src/crypto/aes_modes.cpp" "CMakeFiles/secbus.dir/src/crypto/aes_modes.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/crypto/aes_modes.cpp.o.d"
+  "/root/repo/src/crypto/hash_tree.cpp" "CMakeFiles/secbus.dir/src/crypto/hash_tree.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/crypto/hash_tree.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "CMakeFiles/secbus.dir/src/crypto/hmac.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/secbus.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/ip/dma_engine.cpp" "CMakeFiles/secbus.dir/src/ip/dma_engine.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/ip/dma_engine.cpp.o.d"
+  "/root/repo/src/ip/processor.cpp" "CMakeFiles/secbus.dir/src/ip/processor.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/ip/processor.cpp.o.d"
+  "/root/repo/src/ip/scripted_master.cpp" "CMakeFiles/secbus.dir/src/ip/scripted_master.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/ip/scripted_master.cpp.o.d"
+  "/root/repo/src/ip/trace_io.cpp" "CMakeFiles/secbus.dir/src/ip/trace_io.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/ip/trace_io.cpp.o.d"
+  "/root/repo/src/ip/trace_replayer.cpp" "CMakeFiles/secbus.dir/src/ip/trace_replayer.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/ip/trace_replayer.cpp.o.d"
+  "/root/repo/src/mem/backing_store.cpp" "CMakeFiles/secbus.dir/src/mem/backing_store.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/mem/backing_store.cpp.o.d"
+  "/root/repo/src/mem/bram.cpp" "CMakeFiles/secbus.dir/src/mem/bram.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/mem/bram.cpp.o.d"
+  "/root/repo/src/mem/ddr.cpp" "CMakeFiles/secbus.dir/src/mem/ddr.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/mem/ddr.cpp.o.d"
+  "/root/repo/src/scenario/registry.cpp" "CMakeFiles/secbus.dir/src/scenario/registry.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/scenario/registry.cpp.o.d"
+  "/root/repo/src/scenario/report.cpp" "CMakeFiles/secbus.dir/src/scenario/report.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/scenario/report.cpp.o.d"
+  "/root/repo/src/scenario/runner.cpp" "CMakeFiles/secbus.dir/src/scenario/runner.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/scenario/runner.cpp.o.d"
+  "/root/repo/src/scenario/scenario.cpp" "CMakeFiles/secbus.dir/src/scenario/scenario.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/scenario/scenario.cpp.o.d"
+  "/root/repo/src/scenario/sweep.cpp" "CMakeFiles/secbus.dir/src/scenario/sweep.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/scenario/sweep.cpp.o.d"
+  "/root/repo/src/sim/component.cpp" "CMakeFiles/secbus.dir/src/sim/component.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/sim/component.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "CMakeFiles/secbus.dir/src/sim/kernel.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/sim/kernel.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "CMakeFiles/secbus.dir/src/sim/trace.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/sim/trace.cpp.o.d"
+  "/root/repo/src/soc/presets.cpp" "CMakeFiles/secbus.dir/src/soc/presets.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/soc/presets.cpp.o.d"
+  "/root/repo/src/soc/report.cpp" "CMakeFiles/secbus.dir/src/soc/report.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/soc/report.cpp.o.d"
+  "/root/repo/src/soc/soc.cpp" "CMakeFiles/secbus.dir/src/soc/soc.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/soc/soc.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/secbus.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/hexdump.cpp" "CMakeFiles/secbus.dir/src/util/hexdump.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/util/hexdump.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/secbus.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/secbus.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/secbus.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/secbus.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/secbus.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secbus_cli.dir/tools/secbus_cli.cpp.o"
+  "CMakeFiles/secbus_cli.dir/tools/secbus_cli.cpp.o.d"
+  "secbus_cli"
+  "secbus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secbus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_security.dir/examples/thread_security.cpp.o"
+  "CMakeFiles/thread_security.dir/examples/thread_security.cpp.o.d"
+  "thread_security"
+  "thread_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_test_cost_model.dir/area/test_cost_model.cpp.o"
+  "CMakeFiles/area_test_cost_model.dir/area/test_cost_model.cpp.o.d"
+  "area_test_cost_model"
+  "area_test_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_test_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

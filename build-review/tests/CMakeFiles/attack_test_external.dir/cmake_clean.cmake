@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_test_external.dir/attack/test_external.cpp.o"
+  "CMakeFiles/attack_test_external.dir/attack/test_external.cpp.o.d"
+  "attack_test_external"
+  "attack_test_external.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_test_external.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_test_flood.dir/attack/test_flood.cpp.o"
+  "CMakeFiles/attack_test_flood.dir/attack/test_flood.cpp.o.d"
+  "attack_test_flood"
+  "attack_test_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_test_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for attack_test_flood.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_test_hijack.dir/attack/test_hijack.cpp.o"
+  "CMakeFiles/attack_test_hijack.dir/attack/test_hijack.cpp.o.d"
+  "attack_test_hijack"
+  "attack_test_hijack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_test_hijack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

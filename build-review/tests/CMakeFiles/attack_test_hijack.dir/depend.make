@@ -1,0 +1,2 @@
+# Empty dependencies file for attack_test_hijack.
+# This may be replaced when dependencies are built.

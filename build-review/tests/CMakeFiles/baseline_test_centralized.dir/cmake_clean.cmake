@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_test_centralized.dir/baseline/test_centralized.cpp.o"
+  "CMakeFiles/baseline_test_centralized.dir/baseline/test_centralized.cpp.o.d"
+  "baseline_test_centralized"
+  "baseline_test_centralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_test_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_test_address_map.dir/bus/test_address_map.cpp.o"
+  "CMakeFiles/bus_test_address_map.dir/bus/test_address_map.cpp.o.d"
+  "bus_test_address_map"
+  "bus_test_address_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_test_address_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

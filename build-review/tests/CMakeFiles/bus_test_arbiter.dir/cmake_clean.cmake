@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_test_arbiter.dir/bus/test_arbiter.cpp.o"
+  "CMakeFiles/bus_test_arbiter.dir/bus/test_arbiter.cpp.o.d"
+  "bus_test_arbiter"
+  "bus_test_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_test_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

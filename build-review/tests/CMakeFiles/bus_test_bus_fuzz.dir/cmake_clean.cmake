@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_test_bus_fuzz.dir/bus/test_bus_fuzz.cpp.o"
+  "CMakeFiles/bus_test_bus_fuzz.dir/bus/test_bus_fuzz.cpp.o.d"
+  "bus_test_bus_fuzz"
+  "bus_test_bus_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_test_bus_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_test_system_bus.dir/bus/test_system_bus.cpp.o"
+  "CMakeFiles/bus_test_system_bus.dir/bus/test_system_bus.cpp.o.d"
+  "bus_test_system_bus"
+  "bus_test_system_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_test_system_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

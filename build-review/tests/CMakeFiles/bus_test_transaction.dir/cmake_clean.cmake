@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_test_transaction.dir/bus/test_transaction.cpp.o"
+  "CMakeFiles/bus_test_transaction.dir/bus/test_transaction.cpp.o.d"
+  "bus_test_transaction"
+  "bus_test_transaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_test_transaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_ciphering_firewall.dir/core/test_ciphering_firewall.cpp.o"
+  "CMakeFiles/core_test_ciphering_firewall.dir/core/test_ciphering_firewall.cpp.o.d"
+  "core_test_ciphering_firewall"
+  "core_test_ciphering_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_ciphering_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

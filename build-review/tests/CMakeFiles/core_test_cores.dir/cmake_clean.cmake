@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_cores.dir/core/test_cores.cpp.o"
+  "CMakeFiles/core_test_cores.dir/core/test_cores.cpp.o.d"
+  "core_test_cores"
+  "core_test_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_lcf_shadow.dir/core/test_lcf_shadow.cpp.o"
+  "CMakeFiles/core_test_lcf_shadow.dir/core/test_lcf_shadow.cpp.o.d"
+  "core_test_lcf_shadow"
+  "core_test_lcf_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_lcf_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

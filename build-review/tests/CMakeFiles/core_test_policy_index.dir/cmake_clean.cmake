@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_policy_index.dir/core/test_policy_index.cpp.o"
+  "CMakeFiles/core_test_policy_index.dir/core/test_policy_index.cpp.o.d"
+  "core_test_policy_index"
+  "core_test_policy_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_policy_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

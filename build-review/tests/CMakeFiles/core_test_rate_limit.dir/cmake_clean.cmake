@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_rate_limit.dir/core/test_rate_limit.cpp.o"
+  "CMakeFiles/core_test_rate_limit.dir/core/test_rate_limit.cpp.o.d"
+  "core_test_rate_limit"
+  "core_test_rate_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_rate_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

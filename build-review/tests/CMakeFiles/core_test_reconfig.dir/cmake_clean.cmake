@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_reconfig.dir/core/test_reconfig.cpp.o"
+  "CMakeFiles/core_test_reconfig.dir/core/test_reconfig.cpp.o.d"
+  "core_test_reconfig"
+  "core_test_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_security_builder.dir/core/test_security_builder.cpp.o"
+  "CMakeFiles/core_test_security_builder.dir/core/test_security_builder.cpp.o.d"
+  "core_test_security_builder"
+  "core_test_security_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_security_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

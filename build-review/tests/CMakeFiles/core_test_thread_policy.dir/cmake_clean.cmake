@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_thread_policy.dir/core/test_thread_policy.cpp.o"
+  "CMakeFiles/core_test_thread_policy.dir/core/test_thread_policy.cpp.o.d"
+  "core_test_thread_policy"
+  "core_test_thread_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_thread_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test_aes.dir/crypto/test_aes.cpp.o"
+  "CMakeFiles/crypto_test_aes.dir/crypto/test_aes.cpp.o.d"
+  "crypto_test_aes"
+  "crypto_test_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test_aes_ttable.dir/crypto/test_aes_ttable.cpp.o"
+  "CMakeFiles/crypto_test_aes_ttable.dir/crypto/test_aes_ttable.cpp.o.d"
+  "crypto_test_aes_ttable"
+  "crypto_test_aes_ttable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test_aes_ttable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test_hash_tree.dir/crypto/test_hash_tree.cpp.o"
+  "CMakeFiles/crypto_test_hash_tree.dir/crypto/test_hash_tree.cpp.o.d"
+  "crypto_test_hash_tree"
+  "crypto_test_hash_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test_hash_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test_hmac.dir/crypto/test_hmac.cpp.o"
+  "CMakeFiles/crypto_test_hmac.dir/crypto/test_hmac.cpp.o.d"
+  "crypto_test_hmac"
+  "crypto_test_hmac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test_hmac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test_modes.dir/crypto/test_modes.cpp.o"
+  "CMakeFiles/crypto_test_modes.dir/crypto/test_modes.cpp.o.d"
+  "crypto_test_modes"
+  "crypto_test_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test_sha256.dir/crypto/test_sha256.cpp.o"
+  "CMakeFiles/crypto_test_sha256.dir/crypto/test_sha256.cpp.o.d"
+  "crypto_test_sha256"
+  "crypto_test_sha256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test_sha256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

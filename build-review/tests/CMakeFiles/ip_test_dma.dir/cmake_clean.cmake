@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_test_dma.dir/ip/test_dma.cpp.o"
+  "CMakeFiles/ip_test_dma.dir/ip/test_dma.cpp.o.d"
+  "ip_test_dma"
+  "ip_test_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_test_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

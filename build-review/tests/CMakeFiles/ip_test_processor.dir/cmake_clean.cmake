@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_test_processor.dir/ip/test_processor.cpp.o"
+  "CMakeFiles/ip_test_processor.dir/ip/test_processor.cpp.o.d"
+  "ip_test_processor"
+  "ip_test_processor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_test_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_test_trace_io.dir/ip/test_trace_io.cpp.o"
+  "CMakeFiles/ip_test_trace_io.dir/ip/test_trace_io.cpp.o.d"
+  "ip_test_trace_io"
+  "ip_test_trace_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_test_trace_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

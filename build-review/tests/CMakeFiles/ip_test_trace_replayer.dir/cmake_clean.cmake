@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_test_trace_replayer.dir/ip/test_trace_replayer.cpp.o"
+  "CMakeFiles/ip_test_trace_replayer.dir/ip/test_trace_replayer.cpp.o.d"
+  "ip_test_trace_replayer"
+  "ip_test_trace_replayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_test_trace_replayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

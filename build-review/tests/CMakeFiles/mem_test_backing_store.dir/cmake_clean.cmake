@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_test_backing_store.dir/mem/test_backing_store.cpp.o"
+  "CMakeFiles/mem_test_backing_store.dir/mem/test_backing_store.cpp.o.d"
+  "mem_test_backing_store"
+  "mem_test_backing_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_test_backing_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_test_bram.dir/mem/test_bram.cpp.o"
+  "CMakeFiles/mem_test_bram.dir/mem/test_bram.cpp.o.d"
+  "mem_test_bram"
+  "mem_test_bram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_test_bram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_test_ddr.dir/mem/test_ddr.cpp.o"
+  "CMakeFiles/mem_test_ddr.dir/mem/test_ddr.cpp.o.d"
+  "mem_test_ddr"
+  "mem_test_ddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_test_ddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mem_test_ddr.
+# This may be replaced when dependencies are built.

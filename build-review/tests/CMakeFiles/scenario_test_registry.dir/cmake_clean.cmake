@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_test_registry.dir/scenario/test_registry.cpp.o"
+  "CMakeFiles/scenario_test_registry.dir/scenario/test_registry.cpp.o.d"
+  "scenario_test_registry"
+  "scenario_test_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_test_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

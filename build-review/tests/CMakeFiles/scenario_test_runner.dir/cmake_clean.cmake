@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_test_runner.dir/scenario/test_runner.cpp.o"
+  "CMakeFiles/scenario_test_runner.dir/scenario/test_runner.cpp.o.d"
+  "scenario_test_runner"
+  "scenario_test_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_test_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_test_sweep.dir/scenario/test_sweep.cpp.o"
+  "CMakeFiles/scenario_test_sweep.dir/scenario/test_sweep.cpp.o.d"
+  "scenario_test_sweep"
+  "scenario_test_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_test_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

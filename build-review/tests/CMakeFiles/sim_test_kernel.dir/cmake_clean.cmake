@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_kernel.dir/sim/test_kernel.cpp.o"
+  "CMakeFiles/sim_test_kernel.dir/sim/test_kernel.cpp.o.d"
+  "sim_test_kernel"
+  "sim_test_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

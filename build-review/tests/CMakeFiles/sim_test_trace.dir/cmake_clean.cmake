@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_trace.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/sim_test_trace.dir/sim/test_trace.cpp.o.d"
+  "sim_test_trace"
+  "sim_test_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_test_determinism.dir/soc/test_determinism.cpp.o"
+  "CMakeFiles/soc_test_determinism.dir/soc/test_determinism.cpp.o.d"
+  "soc_test_determinism"
+  "soc_test_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_test_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_test_report.dir/soc/test_report.cpp.o"
+  "CMakeFiles/soc_test_report.dir/soc/test_report.cpp.o.d"
+  "soc_test_report"
+  "soc_test_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_test_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

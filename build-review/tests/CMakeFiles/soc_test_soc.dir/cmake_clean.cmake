@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_test_soc.dir/soc/test_soc.cpp.o"
+  "CMakeFiles/soc_test_soc.dir/soc/test_soc.cpp.o.d"
+  "soc_test_soc"
+  "soc_test_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_test_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

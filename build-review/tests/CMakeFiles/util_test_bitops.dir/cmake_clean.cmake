@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_bitops.dir/util/test_bitops.cpp.o"
+  "CMakeFiles/util_test_bitops.dir/util/test_bitops.cpp.o.d"
+  "util_test_bitops"
+  "util_test_bitops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_bitops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

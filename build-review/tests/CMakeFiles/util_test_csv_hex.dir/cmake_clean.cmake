@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_csv_hex.dir/util/test_csv_hex.cpp.o"
+  "CMakeFiles/util_test_csv_hex.dir/util/test_csv_hex.cpp.o.d"
+  "util_test_csv_hex"
+  "util_test_csv_hex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_csv_hex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_rng.dir/util/test_rng.cpp.o"
+  "CMakeFiles/util_test_rng.dir/util/test_rng.cpp.o.d"
+  "util_test_rng"
+  "util_test_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

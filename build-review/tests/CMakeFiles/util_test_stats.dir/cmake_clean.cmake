@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_stats.dir/util/test_stats.cpp.o"
+  "CMakeFiles/util_test_stats.dir/util/test_stats.cpp.o.d"
+  "util_test_stats"
+  "util_test_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
