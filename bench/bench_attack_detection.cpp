@@ -7,7 +7,7 @@
 //
 // The whole grid is submitted as one scenario batch and runs across all
 // hardware threads; tables pivot from the job list by submission index and
-// the per-job data lands in bench_attack_detection.csv.
+// the per-job data lands in bench/out/bench_attack_detection.csv.
 #include <cstdio>
 #include <vector>
 
@@ -16,6 +16,8 @@
 #include "scenario/scenario.hpp"
 #include "soc/presets.hpp"
 #include "util/csv.hpp"
+
+#include "bench_output.hpp"
 #include "util/table.hpp"
 
 using namespace secbus;
@@ -151,9 +153,10 @@ int main() {
         "even rule-legal dummy traffic at the infected interface.");
   }
 
-  util::CsvWriter csv("bench_attack_detection.csv");
+  const std::string csv_path = benchio::out_path("bench_attack_detection.csv");
+  util::CsvWriter csv(csv_path);
   scenario::write_batch_csv(csv, jobs);
   csv.flush();
-  std::puts("\nPer-job data: bench_attack_detection.csv");
+  std::printf("\nPer-job data: %s\n", csv_path.c_str());
   return 0;
 }

@@ -14,13 +14,15 @@
 // Implemented as a scenario batch: the registry's "centralized-scaling"
 // sweep (cpus x security mode) expands into one job per cell and runs on
 // all hardware threads; the rows below are pivoted from the job list, and
-// the full per-job data lands in bench_centralized_vs_distributed.csv.
+// the full per-job data lands in bench/out/bench_centralized_vs_distributed.csv.
 #include <cstdio>
 
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 #include "util/csv.hpp"
+
+#include "bench_output.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -86,10 +88,11 @@ int main() {
   }
   table.print();
 
-  util::CsvWriter csv("bench_centralized_vs_distributed.csv");
+  const std::string csv_path = benchio::out_path("bench_centralized_vs_distributed.csv");
+  util::CsvWriter csv(csv_path);
   scenario::write_batch_csv(csv, jobs);
   csv.flush();
-  std::puts("\nPer-job data: bench_centralized_vs_distributed.csv");
+  std::printf("\nPer-job data: %s\n", csv_path.c_str());
 
   std::puts(
       "\nExpected shape (paper vs. SECA-style related work): the distributed\n"

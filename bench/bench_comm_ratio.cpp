@@ -14,7 +14,7 @@
 // Both sweeps are submitted as one scenario batch (the external-fraction
 // sweep via SweepAxes, the compute-gap sweep as explicit spec variants) and
 // run across all hardware threads; tables pivot from the job list by
-// submission index and the per-job data lands in bench_comm_ratio.csv.
+// submission index and the per-job data lands in bench/out/bench_comm_ratio.csv.
 #include <cstdio>
 #include <vector>
 
@@ -23,6 +23,8 @@
 #include "scenario/sweep.hpp"
 #include "soc/presets.hpp"
 #include "util/csv.hpp"
+
+#include "bench_output.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -133,9 +135,10 @@ int main() {
         "communication — the firewalls only sit on the memory path.");
   }
 
-  util::CsvWriter csv("bench_comm_ratio.csv");
+  const std::string csv_path = benchio::out_path("bench_comm_ratio.csv");
+  util::CsvWriter csv(csv_path);
   scenario::write_batch_csv(csv, jobs);
   csv.flush();
-  std::puts("\nPer-job data: bench_comm_ratio.csv");
+  std::printf("\nPer-job data: %s\n", csv_path.c_str());
   return complete ? 0 : 1;
 }

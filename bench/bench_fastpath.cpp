@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_output.hpp"
+
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/sweep.hpp"
@@ -104,7 +106,7 @@ void write_json(const std::string& path, const std::string& scenario_name,
 int main(int argc, char** argv) {
   int repeats = 3;
   unsigned threads = 1;
-  std::string out_path = "BENCH_fastpath.json";
+  std::string out_path = benchio::out_path("BENCH_fastpath.json");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--repeats" && i + 1 < argc) {

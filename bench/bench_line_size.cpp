@@ -11,13 +11,15 @@
 // Implemented as a scenario batch: the registry's "line-size-sweep" expands
 // into one job per line size and runs on all hardware threads; the table is
 // pivoted from the job list and the per-job data lands in
-// bench_line_size.csv.
+// bench/out/bench_line_size.csv.
 #include <cstdio>
 
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 #include "util/csv.hpp"
+
+#include "bench_output.hpp"
 #include "util/table.hpp"
 
 using namespace secbus;
@@ -60,10 +62,11 @@ int main() {
   }
   table.print();
 
-  util::CsvWriter csv("bench_line_size.csv");
+  const std::string csv_path = benchio::out_path("bench_line_size.csv");
+  util::CsvWriter csv(csv_path);
   scenario::write_batch_csv(csv, jobs);
   csv.flush();
-  std::puts("\nPer-job data: bench_line_size.csv");
+  std::printf("\nPer-job data: %s\n", csv_path.c_str());
 
   std::puts(
       "\nExpected shape: larger lines shrink the hash tree (depth falls by\n"

@@ -1,0 +1,20 @@
+// Shared output-path convention for the bench binaries.
+//
+// Every bench drops its CSV/JSON artifacts under bench/out/ (gitignored),
+// creating the directory on demand, so generated files never land in the
+// repo root — and never end up committed by accident again.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace secbus::benchio {
+
+inline std::string out_path(const std::string& filename) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench/out", ec);
+  if (ec) return filename;  // unwritable cwd: fall back to the bare name
+  return (std::filesystem::path("bench/out") / filename).string();
+}
+
+}  // namespace secbus::benchio

@@ -10,7 +10,7 @@
 // Section-V workload, whose SB checks slow down as the comparator array
 // deepens. The measured half runs as a scenario batch: the registry's
 // "policy-scaling" sweep expands into one job per rule count, executes on
-// all hardware threads, and mirrors to bench_policy_scaling.csv.
+// all hardware threads, and mirrors to bench/out/bench_policy_scaling.csv.
 #include <cstdio>
 
 #include "area/cost_model.hpp"
@@ -18,6 +18,8 @@
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 #include "util/csv.hpp"
+
+#include "bench_output.hpp"
 #include "util/table.hpp"
 
 using namespace secbus;
@@ -68,10 +70,11 @@ int main() {
   }
   time_table.print();
 
-  util::CsvWriter csv("bench_policy_scaling.csv");
+  const std::string csv_path = benchio::out_path("bench_policy_scaling.csv");
+  util::CsvWriter csv(csv_path);
   scenario::write_batch_csv(csv, jobs);
   csv.flush();
-  std::puts("\nPer-job data: bench_policy_scaling.csv");
+  std::printf("\nPer-job data: %s\n", csv_path.c_str());
 
   std::puts(
       "\nExpected shape: LUTs grow linearly with rules (+28/rule beyond the\n"

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "area/cost_model.hpp"
+#include "bench_output.hpp"
 #include "area/report.hpp"
 
 using namespace secbus;
@@ -53,10 +54,11 @@ int main() {
 
   // Machine-readable mirror.
   const std::string rows = area::table1_csv(soc);
-  if (std::FILE* f = std::fopen("bench_table1_area.csv", "w"); f != nullptr) {
+  const std::string csv_path = benchio::out_path("bench_table1_area.csv");
+  if (std::FILE* f = std::fopen(csv_path.c_str(), "w"); f != nullptr) {
     std::fwrite(rows.data(), 1, rows.size(), f);
     std::fclose(f);
-    std::puts("\nCSV written to bench_table1_area.csv");
+    std::printf("\nCSV written to %s\n", csv_path.c_str());
   }
   return 0;
 }

@@ -176,12 +176,12 @@ ScenarioResult run_hijack_scenario(HijackAttackKind kind, std::uint64_t seed) {
   r.victim_data_intact = true;
   r.victim_read_aborted = false;
 
-  // Containment: the hijacked master's transactions never won a bus grant —
-  // they died inside its Local Firewall (Section III.C).
-  r.contained = true;
-  for (const auto& ms : soc.bus().master_stats()) {
-    if (ms.name == "hijacked" && ms.grants > 0) r.contained = false;
-  }
+  // Containment: the hijacked master's transactions never won a bus grant
+  // on any fabric segment — they died inside its Local Firewall
+  // (Section III.C).
+  const bus::SystemBus::MasterStats* hijacked =
+      soc.fabric().find_master("hijacked");
+  r.contained = hijacked == nullptr || hijacked->grants == 0;
   SECBUS_ASSERT(mal.stats().violations == mal.stats().issued || !r.detected,
                 "hijacked master should see violation responses");
   return r;

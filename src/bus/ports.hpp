@@ -68,6 +68,11 @@ class SlaveDevice {
   virtual ~SlaveDevice() = default;
   virtual AccessResult access(BusTransaction& t, sim::Cycle now) = 0;
   [[nodiscard]] virtual std::string_view slave_name() const = 0;
+  // True for fabric bridges. A transaction serviced by a bridge holds its
+  // segment partly for *queueing waits* on other segments; incoming
+  // crossings must not stack on top of that hold (see SystemBus::free_at),
+  // so the bus records this flag per in-flight transaction.
+  [[nodiscard]] virtual bool is_bridge() const noexcept { return false; }
 };
 
 }  // namespace secbus::bus

@@ -29,6 +29,20 @@ void SystemBus::map_region(sim::Addr base, std::uint64_t size, sim::SlaveId slav
   map_.add(Region{base, size, slave, std::move(region_name)});
 }
 
+void SystemBus::book(sim::Cycle start, sim::Cycle end) {
+  SECBUS_ASSERT(start >= booking_tail_ && end > start,
+                "bookings must be ascending, non-empty windows");
+  booking_tail_ = end;
+  bookings_.emplace_back(start, end);
+}
+
+bool SystemBus::booked_at(sim::Cycle now) noexcept {
+  while (!bookings_.empty() && bookings_.front().second <= now) {
+    bookings_.pop_front();
+  }
+  return !bookings_.empty() && bookings_.front().first <= now;
+}
+
 bool SystemBus::no_requests_waiting() const noexcept {
   for (const auto& ep : endpoints_) {
     if (!ep->request.empty()) return false;
@@ -83,6 +97,11 @@ void SystemBus::finish_transaction(sim::Cycle now) {
 void SystemBus::tick(sim::Cycle now) {
   switch (state_) {
     case State::kIdle: {
+      if (booked_at(now)) {
+        // A bridged crossing occupies the segment; local masters wait.
+        ++stats_.busy_cycles;
+        return;
+      }
       std::vector<bool> requesting(endpoints_.size(), false);
       bool any = false;
       for (std::size_t i = 0; i < endpoints_.size(); ++i) {
@@ -109,9 +128,11 @@ void SystemBus::tick(sim::Cycle now) {
           current_.status = TransStatus::kDecodeError;
           pending_result_ = AccessResult{1, TransStatus::kDecodeError};
           state_ = State::kDataAndSlave;
+          current_is_crossing_ = false;
           phase_remaining_ = 1;  // error response next cycle
         } else {
           SlaveDevice* dev = slaves_[region->slave];
+          current_is_crossing_ = dev->is_bridge();
           pending_result_ = dev->access(current_, now);
           SECBUS_ASSERT(pending_result_.latency >= 1,
                         "slave access latency must be >= 1 cycle");
@@ -135,6 +156,9 @@ void SystemBus::tick(sim::Cycle now) {
 
 void SystemBus::reset() {
   state_ = State::kIdle;
+  bookings_.clear();
+  booking_tail_ = 0;
+  current_is_crossing_ = false;
   phase_remaining_ = 0;
   stats_ = {};
   for (auto& ep : endpoints_) ep->clear();

@@ -8,8 +8,10 @@
 // internal communication.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bus/address_map.hpp"
@@ -45,6 +47,10 @@ class SystemBus final : public sim::Component {
     std::uint64_t transactions = 0;
     std::uint64_t decode_errors = 0;
     std::uint64_t bytes_transferred = 0;
+    // Traffic forwarded *into* this segment by a Bridge (fabric topologies
+    // only; the cycles it occupies are charged via reserve()).
+    std::uint64_t bridged_in = 0;
+    std::uint64_t bridged_in_bytes = 0;
 
     [[nodiscard]] double occupancy() const noexcept {
       const double total = static_cast<double>(busy_cycles + idle_cycles);
@@ -69,6 +75,47 @@ class SystemBus final : public sim::Component {
 
   [[nodiscard]] const AddressMap& address_map() const noexcept { return map_; }
 
+  // Registered slave device for a decoded slave id (bridge forwarding path).
+  [[nodiscard]] SlaveDevice* slave_device(sim::SlaveId id) noexcept {
+    return id < slaves_.size() ? slaves_[id] : nullptr;
+  }
+
+  // --- fabric integration (bridge-forwarded traffic) --------------------
+  // Bridge crossings book *service windows* on this segment: incoming
+  // crossings queue after the booking tail (so bridged traffic serializes),
+  // and local masters get no grant while a booked window is active (so they
+  // contend with bridged traffic). Only actual crossing service — hop +
+  // slave latency + data beats — is ever booked; a crossing's queueing wait
+  // deliberately never enters another segment's bookings, because letting
+  // origin-hold waits feed other segments' waits compounds without bound on
+  // deep fabrics (circuit-switched head-of-line explosion).
+  //
+  // First cycle >= now at which a new crossing may enter this segment:
+  // after the booked crossings, and after the current *local* transaction
+  // if one is in flight. A current transaction that is itself crossing a
+  // bridge is deliberately excluded — its hold time contains queueing waits
+  // on other segments, and stacking waits on waits compounds without bound
+  // on deep fabrics.
+  [[nodiscard]] sim::Cycle free_at(sim::Cycle now) const noexcept {
+    sim::Cycle t = booking_tail_ > now ? booking_tail_ : now;
+    if (state_ != State::kIdle && !current_is_crossing_ &&
+        now + phase_remaining_ > t) {
+      t = now + phase_remaining_;
+    }
+    return t;
+  }
+  // Books [start, end); start must come from free_at(), so windows are
+  // non-overlapping and ascending.
+  void book(sim::Cycle start, sim::Cycle end);
+  [[nodiscard]] sim::Cycle booked_until() const noexcept {
+    return booking_tail_;
+  }
+  // Accounting hook for bridge-forwarded traffic terminating here.
+  void note_bridged_in(std::uint64_t bytes) noexcept {
+    ++stats_.bridged_in;
+    stats_.bridged_in_bytes += bytes;
+  }
+
   // Event trace shared with firewalls (optional; capacity 0 = off).
   void set_trace(sim::EventTrace* trace) noexcept { trace_ = trace; }
 
@@ -91,6 +138,8 @@ class SystemBus final : public sim::Component {
  private:
   enum class State { kIdle, kAddress, kDataAndSlave };
 
+  // True when a booked crossing window covers `now`; prunes expired windows.
+  [[nodiscard]] bool booked_at(sim::Cycle now) noexcept;
   [[nodiscard]] bool no_requests_waiting() const noexcept;
   void start_transaction(sim::Cycle now, std::size_t master_index);
   void finish_transaction(sim::Cycle now);
@@ -104,6 +153,12 @@ class SystemBus final : public sim::Component {
   sim::EventTrace* trace_ = nullptr;
 
   State state_ = State::kIdle;
+  // Bridge service windows: ascending, non-overlapping [start, end) pairs;
+  // the head is pruned as simulation time passes. Bounded by the number of
+  // in-flight crossings (each master has at most one outstanding).
+  std::deque<std::pair<sim::Cycle, sim::Cycle>> bookings_;
+  sim::Cycle booking_tail_ = 0;  // end of the last booked window
+  bool current_is_crossing_ = false;  // current_ is serviced by a Bridge
   BusTransaction current_;
   std::size_t current_master_ = 0;
   sim::Cycle phase_remaining_ = 0;

@@ -5,10 +5,37 @@
 namespace secbus::core {
 
 void ConfigurationMemory::install(FirewallId firewall, SecurityPolicy policy) {
+  // Reinstall path (reconfiguration responder): the firewall keeps the
+  // fabric segment it was first installed on; brand-new ids land on 0.
   Entry& entry = policies_[firewall];
   entry.index = CompiledPolicyIndex(policy);
   entry.policy = std::move(policy);
   ++generation_;
+}
+
+void ConfigurationMemory::install(FirewallId firewall, SecurityPolicy policy,
+                                  std::size_t segment) {
+  Entry& entry = policies_[firewall];
+  entry.index = CompiledPolicyIndex(policy);
+  entry.policy = std::move(policy);
+  entry.segment = segment;
+  ++generation_;
+}
+
+std::size_t ConfigurationMemory::segment_of(FirewallId firewall) const {
+  const auto it = policies_.find(firewall);
+  SECBUS_ASSERT(it != policies_.end(),
+                "no security policy installed for this firewall");
+  return it->second.segment;
+}
+
+std::size_t ConfigurationMemory::policies_on_segment(
+    std::size_t segment) const noexcept {
+  std::size_t n = 0;
+  for (const auto& [id, entry] : policies_) {
+    if (entry.segment == segment) ++n;
+  }
+  return n;
 }
 
 bool ConfigurationMemory::has_policy(FirewallId firewall) const noexcept {

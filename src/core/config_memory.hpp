@@ -36,7 +36,19 @@ class ConfigurationMemory {
   explicit ConfigurationMemory(Config cfg) : cfg_(cfg) {}
 
   // Installs or replaces a policy. Counts as a policy update (gen bump).
+  // The two-argument form keeps the firewall's previously recorded fabric
+  // segment (new ids land on segment 0); the three-argument form keys the
+  // install by the segment the firewall lives on, which is how a
+  // multi-segment fabric keeps its per-segment Configuration Memories
+  // attributable.
   void install(FirewallId firewall, SecurityPolicy policy);
+  void install(FirewallId firewall, SecurityPolicy policy,
+               std::size_t segment);
+
+  // Fabric segment recorded at install time; aborts if the id is unknown.
+  [[nodiscard]] std::size_t segment_of(FirewallId firewall) const;
+  // Number of policies whose firewall lives on `segment`.
+  [[nodiscard]] std::size_t policies_on_segment(std::size_t segment) const noexcept;
 
   // True when a policy exists for the firewall.
   [[nodiscard]] bool has_policy(FirewallId firewall) const noexcept;
@@ -65,6 +77,7 @@ class ConfigurationMemory {
   struct Entry {
     SecurityPolicy policy;
     CompiledPolicyIndex index;
+    std::size_t segment = 0;  // fabric segment hosting the firewall
   };
 
   Config cfg_{};

@@ -97,6 +97,7 @@ void Processor::tick(sim::Cycle now) {
       }
       const bus::BusTransaction resp = *port_->response.pop();
       stats_.latency.add(static_cast<double>(now - resp.issued_at));
+      stats_.latency_hist.add(now - resp.issued_at);
       if (resp.status == bus::TransStatus::kOk) {
         ++stats_.completed;
         stats_.bytes_moved += resp.payload_bytes();

@@ -63,6 +63,9 @@ class Processor final : public sim::Component {
     std::uint64_t compute_cycles = 0;
     std::uint64_t stall_cycles = 0;  // waiting for a response
     util::RunningStat latency;       // issue -> response, cycles
+    // Same samples, bucketed per cycle for exact percentile extraction;
+    // merged fabric-wide into SocResults and the batch reports.
+    util::LatencyHistogram latency_hist;
   };
 
   Processor(std::string name, sim::MasterId id, std::uint64_t seed,

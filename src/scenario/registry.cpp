@@ -139,6 +139,65 @@ std::vector<NamedScenario> build_catalog() {
     catalog.push_back(std::move(s));
   }
 
+  // --- multi-segment fabrics (NoC-style mesh/star topologies) ------------
+  {
+    NamedScenario s;
+    soc::SocConfig cfg = soc::mesh2x2_config();
+    cfg.protection = soc::ProtectionLevel::kCipherOnly;
+    cfg.transactions_per_cpu = 100;
+    s.spec = base_spec("mesh2x2_ciphered",
+                       "8 CPUs on a 2x2 mesh-of-buses with ciphered external "
+                       "memory; check placement swept to expose how hop "
+                       "count separates distributed from centralized",
+                       cfg, 30'000'000);
+    s.axes.security = {soc::SecurityMode::kNone,
+                       soc::SecurityMode::kDistributed,
+                       soc::SecurityMode::kCentralized};
+    catalog.push_back(std::move(s));
+  }
+  {
+    NamedScenario s;
+    s.spec = base_spec("star_32cpu",
+                       "32 CPUs on 4 star leaves around the memory hub: "
+                       "distributed firewalls at fabric scale the paper's "
+                       "centralized baseline cannot reach",
+                       soc::star32_config(), 60'000'000);
+    catalog.push_back(std::move(s));
+  }
+  {
+    NamedScenario s;
+    soc::SocConfig cfg = soc::tiny_test_config();
+    cfg.topology = soc::TopologySpec::mesh(2, 2);
+    cfg.processors = 4;
+    cfg.transactions_per_cpu = 40;
+    s.spec = base_spec("fabric_containment",
+                       "Hijacked IP on the far corner of a 2x2 mesh: its "
+                       "Local Firewall must contain every probe before it "
+                       "crosses a single bridge",
+                       cfg, 2'000'000);
+    s.spec.attack.kind = AttackKind::kHijack;
+    catalog.push_back(std::move(s));
+  }
+  {
+    NamedScenario s;
+    soc::SocConfig cfg = soc::section5_config();
+    cfg.processors = 16;
+    cfg.protection = soc::ProtectionLevel::kPlaintext;  // isolate check cost
+    cfg.transactions_per_cpu = 80;
+    s.spec = base_spec("fabric_scaling",
+                       "16 CPUs swept over flat/star/mesh fabrics and check "
+                       "placement: per-access tails vs. hop count (plaintext "
+                       "memory isolates the check cost)",
+                       cfg, 30'000'000);
+    s.axes.topology = {soc::TopologySpec::flat(), soc::TopologySpec::star(4),
+                       soc::TopologySpec::mesh(2, 2),
+                       soc::TopologySpec::mesh(4, 4)};
+    s.axes.security = {soc::SecurityMode::kNone,
+                       soc::SecurityMode::kDistributed,
+                       soc::SecurityMode::kCentralized};
+    catalog.push_back(std::move(s));
+  }
+
   // --- design-space sweeps (the bench one-liners) ------------------------
   {
     NamedScenario s;

@@ -132,20 +132,26 @@ BatchAggregate BatchAggregate::from(const std::vector<JobResult>& jobs) {
     agg.alerts.add(static_cast<double>(job.soc.alerts));
     agg.blocked.add(static_cast<double>(job.fw_blocked));
     latency_hist.add(job.soc.avg_access_latency);
+    agg.access_hist.merge(job.latency_hist);
   }
   agg.latency_p50 = latency_hist.percentile(50);
   agg.latency_p95 = latency_hist.percentile(95);
   agg.latency_p99 = latency_hist.percentile(99);
+  agg.access_p50 = agg.access_hist.p50();
+  agg.access_p95 = agg.access_hist.p95();
+  agg.access_p99 = agg.access_hist.p99();
   return agg;
 }
 
 const std::vector<std::string>& batch_csv_columns() {
   static const std::vector<std::string> cols = {
-      "scenario",    "variant",        "cpus",
+      "scenario",    "variant",        "topology",
+      "segments",    "max_hops",       "cpus",
       "security",    "protection",     "seed",
       "extra_rules", "line_bytes",     "cycles",
       "completed",   "txn_ok",         "txn_failed",
-      "alerts",      "avg_latency",    "bus_occupancy",
+      "alerts",      "avg_latency",    "latency_p50",
+      "latency_p95", "latency_p99",    "bus_occupancy",
       "bytes_moved", "fw_passed",      "fw_blocked",
       "attack",      "detected",       "detection_latency",
       "contained",   "victim_intact",  "flood_completed",
@@ -156,12 +162,15 @@ const std::vector<std::string>& batch_csv_columns() {
 void write_batch_csv(util::CsvWriter& csv, const std::vector<JobResult>& jobs) {
   csv.header(batch_csv_columns());
   for (const JobResult& job : jobs) {
-    csv.row({job.name, job.variant, u64(job.cpus), job.security,
+    csv.row({job.name, job.variant, job.topology, u64(job.segments),
+             u64(job.max_hops), u64(job.cpus), job.security,
              job.protection, u64(job.seed), u64(job.extra_rules),
              u64(job.line_bytes), u64(job.soc.cycles),
              job.soc.completed ? "1" : "0", u64(job.soc.transactions_ok),
              u64(job.soc.transactions_failed), u64(job.soc.alerts),
              fmt_double(job.soc.avg_access_latency),
+             u64(job.soc.latency_p50), u64(job.soc.latency_p95),
+             u64(job.soc.latency_p99),
              fmt_double(job.soc.bus_occupancy), u64(job.soc.bytes_moved),
              u64(job.fw_passed), u64(job.fw_blocked),
              job.attack, job.detected ? "1" : "0",
@@ -185,6 +194,9 @@ std::string batch_json(const std::string& scenario_name,
     j.begin_object_in_array();
     j.field("index", static_cast<std::uint64_t>(job.index));
     j.field("variant", job.variant);
+    j.field("topology", job.topology);
+    j.field("segments", static_cast<std::uint64_t>(job.segments));
+    j.field("max_hops", static_cast<std::uint64_t>(job.max_hops));
     j.field("cpus", static_cast<std::uint64_t>(job.cpus));
     j.field("security", job.security);
     j.field("protection", job.protection);
@@ -197,6 +209,10 @@ std::string batch_json(const std::string& scenario_name,
     j.field("txn_failed", job.soc.transactions_failed);
     j.field("alerts", job.soc.alerts);
     j.field("avg_latency", job.soc.avg_access_latency);
+    j.field("latency_p50", job.soc.latency_p50);
+    j.field("latency_p95", job.soc.latency_p95);
+    j.field("latency_p99", job.soc.latency_p99);
+    j.field("latency_max", job.soc.latency_max);
     j.field("bus_occupancy", job.soc.bus_occupancy);
     j.field("bytes_moved", job.soc.bytes_moved);
     j.field("fw_passed", job.fw_passed);
@@ -225,6 +241,9 @@ std::string batch_json(const std::string& scenario_name,
   j.field("latency_p50", aggregate.latency_p50);
   j.field("latency_p95", aggregate.latency_p95);
   j.field("latency_p99", aggregate.latency_p99);
+  j.field("access_p50", aggregate.access_p50);
+  j.field("access_p95", aggregate.access_p95);
+  j.field("access_p99", aggregate.access_p99);
   j.field("bus_occupancy_mean", aggregate.bus_occupancy.mean());
   j.field("alerts_mean", aggregate.alerts.mean());
   j.field("alerts_total", static_cast<std::uint64_t>(aggregate.alerts.sum()));
@@ -268,12 +287,16 @@ std::string render_batch_table(const std::string& scenario_name,
   std::snprintf(
       foot, sizeof foot,
       "\naggregate: %zu/%zu completed | cycles %.0f +/- %.0f | latency "
-      "%.1f +/- %.1f cyc (p50 %.1f, p95 %.1f, p99 %.1f) | alerts %.0f | "
-      "blocked %.0f\n",
+      "%.1f +/- %.1f cyc (p50 %.1f, p95 %.1f, p99 %.1f) | per-access "
+      "p50/p95/p99 %llu/%llu/%llu cyc | alerts %.0f | blocked %.0f\n",
       aggregate.jobs_completed, aggregate.jobs_total, aggregate.cycles.mean(),
       aggregate.cycles.stddev(), aggregate.latency.mean(),
       aggregate.latency.stddev(), aggregate.latency_p50, aggregate.latency_p95,
-      aggregate.latency_p99, aggregate.alerts.sum(), aggregate.blocked.sum());
+      aggregate.latency_p99,
+      static_cast<unsigned long long>(aggregate.access_p50),
+      static_cast<unsigned long long>(aggregate.access_p95),
+      static_cast<unsigned long long>(aggregate.access_p99),
+      aggregate.alerts.sum(), aggregate.blocked.sum());
   return out + foot;
 }
 

@@ -27,6 +27,13 @@ struct BatchAggregate {
   double latency_p50 = 0.0;
   double latency_p95 = 0.0;
   double latency_p99 = 0.0;
+  // Exact per-access percentiles over every access of every job (the
+  // per-job LatencyHistograms merged), as opposed to the per-job-mean
+  // percentiles above.
+  util::LatencyHistogram access_hist;
+  std::uint64_t access_p50 = 0;
+  std::uint64_t access_p95 = 0;
+  std::uint64_t access_p99 = 0;
 
   [[nodiscard]] static BatchAggregate from(const std::vector<JobResult>& jobs);
 };

@@ -55,10 +55,8 @@ using attack::attack_pattern;
 using attack::detection_cycle_after;
 
 std::uint64_t bus_grants_for(soc::Soc& soc, std::string_view master) {
-  for (const auto& ms : soc.bus().master_stats()) {
-    if (ms.name == master) return ms.grants;
-  }
-  return 0;
+  const bus::SystemBus::MasterStats* ms = soc.fabric().find_master(master);
+  return ms != nullptr ? ms->grants : 0;
 }
 
 void accumulate(JobResult& r, const core::FirewallStats& s) {
@@ -97,8 +95,12 @@ JobResult run_scenario(const ScenarioSpec& spec) {
   r.extra_rules = spec.soc.extra_rules;
   r.line_bytes = spec.soc.line_bytes;
   r.attack = to_string(spec.attack.kind);
+  r.topology = spec.soc.topology.label();
+  r.segments = spec.soc.topology.segment_count();
 
   soc::Soc soc(spec.soc);
+  r.max_hops = soc.fabric().hop_count(
+      0, soc.fabric().farthest_segment_from(0));
   const auto& plan = soc.plan();
   const AttackPlan& atk = spec.attack;
 
@@ -202,6 +204,7 @@ JobResult run_scenario(const ScenarioSpec& spec) {
   // --- collect -----------------------------------------------------------
   for (const auto& cpu : soc.processors()) {
     r.cpu_latency.merge(cpu->stats().latency);
+    r.latency_hist.merge(cpu->stats().latency_hist);
   }
   for (const auto& fw : soc.master_firewalls()) accumulate(r, fw->stats());
   if (soc.bram_firewall() != nullptr) {

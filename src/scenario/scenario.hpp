@@ -78,12 +78,18 @@ struct JobResult {
   std::size_t extra_rules = 0;
   std::uint64_t line_bytes = 0;
   const char* attack = "none";
+  std::string topology = "flat";  // fabric shape label ("flat", "mesh2x2"...)
+  std::size_t segments = 1;       // fabric segment count
+  std::size_t max_hops = 0;       // fabric diameter from the memory segment
 
   soc::SocResults soc;
 
   // Per-access issue->response latency, merged across every processor in
   // this job (full moments, not a mean-of-means).
   util::RunningStat cpu_latency;
+  // The same accesses bucketed per cycle: exact p50/p95/p99 per job, and
+  // mergeable across jobs for true batch-level access percentiles.
+  util::LatencyHistogram latency_hist;
 
   // Firewall activity summed over every firewall in the system (master LFs,
   // BRAM slave firewall, LCF).

@@ -44,8 +44,8 @@ std::string trimmed_double(double v) {
 }  // namespace
 
 bool SweepAxes::empty() const noexcept {
-  return cpus.empty() && security.empty() && protection.empty() &&
-         extra_rules.empty() && line_bytes.empty() &&
+  return topology.empty() && cpus.empty() && security.empty() &&
+         protection.empty() && extra_rules.empty() && line_bytes.empty() &&
          external_fraction.empty() && seeds.empty();
 }
 
@@ -54,6 +54,7 @@ std::size_t SweepAxes::cardinality() const noexcept {
   auto mul = [&n](std::size_t len) {
     if (len > 0) n *= len;
   };
+  mul(topology.size());
   mul(cpus.size());
   mul(security.size());
   mul(protection.size());
@@ -72,6 +73,7 @@ std::vector<ScenarioSpec> expand(const ScenarioSpec& base,
   // Nested loops over "axis or the base value" keep the crossing order
   // explicit; a single-iteration dummy stands in for each empty axis.
   const auto one = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
+  for (std::size_t it = 0; it < one(axes.topology.size()); ++it) {
   for (std::size_t ic = 0; ic < one(axes.cpus.size()); ++ic) {
     for (std::size_t is = 0; is < one(axes.security.size()); ++is) {
       for (std::size_t ip = 0; ip < one(axes.protection.size()); ++ip) {
@@ -82,6 +84,11 @@ std::vector<ScenarioSpec> expand(const ScenarioSpec& base,
               for (std::size_t id = 0; id < one(axes.seeds.size()); ++id) {
                 ScenarioSpec spec = base;
                 std::string label = base.variant;
+                if (!axes.topology.empty()) {
+                  spec.soc.topology = axes.topology[it];
+                  append_label(label, "topology",
+                               axes.topology[it].label());
+                }
                 if (!axes.cpus.empty()) {
                   spec.soc.processors = axes.cpus[ic];
                   append_label(label, "cpus", std::to_string(axes.cpus[ic]));
@@ -124,6 +131,7 @@ std::vector<ScenarioSpec> expand(const ScenarioSpec& base,
         }
       }
     }
+  }
   }
   return jobs;
 }

@@ -1,8 +1,9 @@
 // Sweep expansion: crosses one base ScenarioSpec over parameter axes into a
 // flat job list. An empty axis keeps the base spec's value; non-empty axes
-// are crossed in a fixed order (cpus, security, protection, extra_rules,
-// line_bytes, external_fraction, seeds) so job order — and therefore every
-// derived report — is independent of how the runner schedules the jobs.
+// are crossed in a fixed order (topology, cpus, security, protection,
+// extra_rules, line_bytes, external_fraction, seeds) so job order — and
+// therefore every derived report — is independent of how the runner
+// schedules the jobs.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +14,7 @@
 namespace secbus::scenario {
 
 struct SweepAxes {
+  std::vector<soc::TopologySpec> topology;
   std::vector<std::size_t> cpus;
   std::vector<soc::SecurityMode> security;
   std::vector<soc::ProtectionLevel> protection;

@@ -23,6 +23,28 @@ SocConfig centralized_config() {
   return cfg;
 }
 
+SocConfig mesh2x2_config() {
+  SocConfig cfg = section5_config();
+  cfg.topology = TopologySpec::mesh(2, 2);
+  cfg.processors = 8;
+  return cfg;
+}
+
+SocConfig mesh4x4_config() {
+  SocConfig cfg = section5_config();
+  cfg.topology = TopologySpec::mesh(4, 4);
+  cfg.processors = 16;
+  return cfg;
+}
+
+SocConfig star32_config() {
+  SocConfig cfg = section5_config();
+  cfg.topology = TopologySpec::star(4);
+  cfg.processors = 32;
+  cfg.transactions_per_cpu = 60;
+  return cfg;
+}
+
 SocConfig tiny_test_config() {
   SocConfig cfg;
   cfg.processors = 1;

@@ -20,4 +20,16 @@ namespace secbus::soc {
 // smaller memories, short workloads. Deterministic and quick.
 [[nodiscard]] SocConfig tiny_test_config();
 
+// --- multi-segment fabric presets ------------------------------------------
+
+// 8 processors spread over a 2x2 mesh-of-buses (memories at corner 0),
+// distributed firewalls, full protection.
+[[nodiscard]] SocConfig mesh2x2_config();
+
+// 16 processors over a 4x4 mesh (up to 6 bridge hops to the memories).
+[[nodiscard]] SocConfig mesh4x4_config();
+
+// 32 processors on 4 star leaves around the memory hub segment.
+[[nodiscard]] SocConfig star32_config();
+
 }  // namespace secbus::soc

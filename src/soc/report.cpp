@@ -9,8 +9,10 @@ namespace secbus::soc {
 namespace {
 
 std::vector<std::string> firewall_row(const std::string& name,
+                                      std::size_t segment,
                                       const core::FirewallStats& s) {
   return {name,
+          std::to_string(segment),
           std::to_string(s.secpol_reqs),
           std::to_string(s.passed),
           std::to_string(s.blocked),
@@ -26,17 +28,22 @@ std::vector<std::string> firewall_row(const std::string& name,
 
 std::string render_firewall_report(Soc& soc) {
   util::TextTable table("Per-firewall activity (Figure 1 wires)");
-  table.set_header({"Firewall", "secpol_req", "pass", "discard", "check cyc",
-                    "seg viol", "rwa viol", "adf viol", "rate-lim",
-                    "lockdown"});
+  table.set_header({"Firewall", "segment", "secpol_req", "pass", "discard",
+                    "check cyc", "seg viol", "rwa viol", "adf viol",
+                    "rate-lim", "lockdown"});
+  const auto segment_of = [&soc](core::FirewallId id) {
+    return soc.config_mem().segment_of(id);
+  };
   for (const auto& fw : soc.master_firewalls()) {
-    table.add_row(firewall_row(fw->name(), fw->stats()));
+    table.add_row(firewall_row(fw->name(), segment_of(fw->id()), fw->stats()));
   }
   if (soc.bram_firewall() != nullptr) {
-    table.add_row(firewall_row("lf_bram", soc.bram_firewall()->stats()));
+    table.add_row(firewall_row("lf_bram", segment_of(soc.bram_firewall()->id()),
+                               soc.bram_firewall()->stats()));
   }
   if (soc.lcf() != nullptr) {
-    table.add_row(firewall_row("lcf_ddr", soc.lcf()->firewall_stats()));
+    table.add_row(firewall_row("lcf_ddr", segment_of(soc.lcf()->id()),
+                               soc.lcf()->firewall_stats()));
   }
   return table.render();
 }
@@ -70,24 +77,50 @@ std::string render_lcf_report(Soc& soc) {
 }
 
 std::string render_performance_report(Soc& soc) {
-  util::TextTable table("Bus masters");
-  table.set_header({"Master", "grants", "errors", "mean wait", "mean service"});
-  for (const auto& ms : soc.bus().master_stats()) {
-    table.add_row({ms.name, std::to_string(ms.grants),
-                   std::to_string(ms.errors),
-                   util::TextTable::fmt(ms.wait_cycles.mean(), 1),
-                   util::TextTable::fmt(ms.service_cycles.mean(), 1)});
+  bus::Fabric& fabric = soc.fabric();
+  const bool multi = fabric.segment_count() > 1;
+
+  util::TextTable table(multi ? "Bus masters (per fabric segment)"
+                              : "Bus masters");
+  table.set_header({"Master", "segment", "grants", "errors", "mean wait",
+                    "mean service"});
+  for (std::size_t seg = 0; seg < fabric.segment_count(); ++seg) {
+    for (const auto& ms : fabric.segment(seg).master_stats()) {
+      table.add_row({ms.name, std::to_string(seg), std::to_string(ms.grants),
+                     std::to_string(ms.errors),
+                     util::TextTable::fmt(ms.wait_cycles.mean(), 1),
+                     util::TextTable::fmt(ms.service_cycles.mean(), 1)});
+    }
   }
   std::string out = table.render();
 
-  char buf[256];
+  char buf[320];
+  if (multi) {
+    util::TextTable segs("Fabric segments & bridges");
+    segs.set_header({"Segment", "txns", "occupancy%", "bytes", "bridged-in"});
+    for (std::size_t seg = 0; seg < fabric.segment_count(); ++seg) {
+      const auto& st = fabric.segment(seg).stats();
+      segs.add_row({std::string(fabric.segment(seg).name()),
+                    std::to_string(st.transactions),
+                    util::TextTable::fmt(100.0 * st.occupancy(), 1),
+                    std::to_string(st.bytes_transferred),
+                    std::to_string(st.bridged_in)});
+    }
+    for (const auto& bridge : fabric.bridges()) {
+      const auto& bs = bridge->stats();
+      segs.add_row({std::string(bridge->slave_name()),
+                    std::to_string(bs.forwarded), "-",
+                    std::to_string(bs.bytes_forwarded),
+                    util::TextTable::fmt(bs.far_wait.mean(), 1) + " wait"});
+    }
+    out += segs.render();
+  }
   std::snprintf(buf, sizeof(buf),
-                "Bus: %llu transactions, occupancy %.1f%%, %llu bytes | "
+                "Fabric: %llu transactions, occupancy %.1f%%, %llu bytes | "
                 "DDR: %llu reads %llu writes, row-hit %.0f%%\n",
-                static_cast<unsigned long long>(soc.bus().stats().transactions),
-                100.0 * soc.bus().stats().occupancy(),
-                static_cast<unsigned long long>(
-                    soc.bus().stats().bytes_transferred),
+                static_cast<unsigned long long>(fabric.transactions()),
+                100.0 * fabric.occupancy(),
+                static_cast<unsigned long long>(fabric.bytes_transferred()),
                 static_cast<unsigned long long>(soc.ddr().stats().reads),
                 static_cast<unsigned long long>(soc.ddr().stats().writes),
                 100.0 * soc.ddr().stats().hit_rate());

@@ -25,6 +25,26 @@ const char* to_string(ProtectionLevel level) noexcept {
   return "?";
 }
 
+const char* to_string(TopologyKind kind) noexcept {
+  switch (kind) {
+    case TopologyKind::kFlat: return "flat";
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kMesh: return "mesh";
+  }
+  return "?";
+}
+
+std::string TopologySpec::label() const {
+  switch (kind) {
+    case TopologyKind::kFlat: return "flat";
+    case TopologyKind::kStar: return "star" + std::to_string(star_leaves);
+    case TopologyKind::kMesh:
+      return "mesh" + std::to_string(mesh_rows) + "x" +
+             std::to_string(mesh_cols);
+  }
+  return "?";
+}
+
 AddressPlan AddressPlan::from_config(const SocConfig& cfg) {
   SECBUS_ASSERT(cfg.bram_size > 16 * 1024, "BRAM too small for the plan");
   SECBUS_ASSERT(cfg.ddr_protected_base == cfg.ddr_base,
@@ -63,16 +83,46 @@ crypto::Aes128Key derive_soc_key(std::uint64_t seed) {
   return key;
 }
 
+bus::FabricTopology to_fabric_topology(const TopologySpec& spec) {
+  switch (spec.kind) {
+    case TopologyKind::kFlat: return bus::FabricTopology::flat();
+    case TopologyKind::kStar:
+      return bus::FabricTopology::star(spec.star_leaves, spec.hop_latency);
+    case TopologyKind::kMesh:
+      return bus::FabricTopology::mesh(spec.mesh_rows, spec.mesh_cols,
+                                       spec.hop_latency);
+  }
+  SECBUS_UNREACHABLE("bad topology kind");
+}
+
+// Memories (and the dedicated IP) anchor segment 0 in every topology.
+constexpr std::size_t kMemorySegment = 0;
+
 }  // namespace
+
+std::size_t Soc::cpu_segment(std::size_t i) const noexcept {
+  const TopologySpec& topo = cfg_.topology;
+  switch (topo.kind) {
+    case TopologyKind::kFlat: return 0;
+    case TopologyKind::kStar:
+      // CPUs live on the leaves only; the hub is the memory segment.
+      return 1 + (i % topo.star_leaves);
+    case TopologyKind::kMesh:
+      // Round-robin over the whole grid, memory corner included.
+      return i % topo.segment_count();
+  }
+  return 0;
+}
 
 Soc::Soc(const SocConfig& cfg)
     : cfg_(cfg), plan_(AddressPlan::from_config(cfg)), trace_(cfg.trace_capacity) {
-  bus_ = std::make_unique<bus::SystemBus>("system_bus");
-  if (trace_.enabled()) bus_->set_trace(&trace_);
+  fabric_ = std::make_unique<bus::Fabric>(to_fabric_topology(cfg_.topology));
+  if (trace_.enabled()) fabric_->set_trace(&trace_);
 
   build_policies();
   build_memory();
   build_masters();
+  fabric_->finalize();
   register_components();
 
   if (cfg_.enable_reconfig) {
@@ -157,13 +207,18 @@ core::SecurityPolicy Soc::lcf_policy() const {
 }
 
 void Soc::build_policies() {
+  // Policies install keyed by the fabric segment their firewall lives on, so
+  // the per-segment Configuration Memories of a scaled-out fabric stay
+  // attributable (and the report can group enforcement by segment).
   for (std::size_t i = 0; i < cfg_.processors; ++i) {
     config_mem_.install(static_cast<core::FirewallId>(kFwCpuBase + i),
-                        cpu_policy(i));
+                        cpu_policy(i), cpu_segment(i));
   }
-  if (cfg_.dedicated_ip) config_mem_.install(kFwDma, dma_policy());
-  config_mem_.install(kFwBram, bram_policy());
-  config_mem_.install(kFwLcf, lcf_policy());
+  if (cfg_.dedicated_ip) {
+    config_mem_.install(kFwDma, dma_policy(), kMemorySegment);
+  }
+  config_mem_.install(kFwBram, bram_policy(), kMemorySegment);
+  config_mem_.install(kFwLcf, lcf_policy(), kMemorySegment);
 }
 
 void Soc::build_memory() {
@@ -222,10 +277,12 @@ void Soc::build_memory() {
     }
   }
 
-  const auto bram_slave = bus_->add_slave(*bram_dev);
-  bus_->map_region(cfg_.bram_base, cfg_.bram_size, bram_slave, "bram");
-  const auto ddr_slave = bus_->add_slave(*ddr_dev);
-  bus_->map_region(cfg_.ddr_base, cfg_.ddr_size, ddr_slave, "ddr");
+  // Both memories (and their slave-side protection) live on segment 0;
+  // remote segments reach them through the fabric's bridge routes.
+  const auto bram_slave = fabric_->add_slave(*bram_dev, kMemorySegment);
+  fabric_->map_region(cfg_.bram_base, cfg_.bram_size, bram_slave, "bram");
+  const auto ddr_slave = fabric_->add_slave(*ddr_dev, kMemorySegment);
+  fabric_->map_region(cfg_.ddr_base, cfg_.ddr_size, ddr_slave, "ddr");
 }
 
 void Soc::build_masters() {
@@ -236,9 +293,10 @@ void Soc::build_masters() {
   }();
 
   auto wire_master = [&](sim::Component& /*owner*/, const std::string& name,
-                         sim::MasterId master_id, core::FirewallId fw_id)
-      -> bus::MasterEndpoint& {
-    bus::MasterEndpoint& bus_ep = bus_->attach_master(master_id, name);
+                         sim::MasterId master_id, core::FirewallId fw_id,
+                         std::size_t segment) -> bus::MasterEndpoint& {
+    bus::MasterEndpoint& bus_ep =
+        fabric_->attach_master(segment, master_id, name);
     switch (cfg_.security) {
       case SecurityMode::kNone:
         return bus_ep;
@@ -283,13 +341,15 @@ void Soc::build_masters() {
         cfg_.seed * 0x9E3779B9ULL + i + 1, w);
     cpu->connect(wire_master(*cpu, name,
                              static_cast<sim::MasterId>(kMasterCpuBase + i),
-                             static_cast<core::FirewallId>(kFwCpuBase + i)));
+                             static_cast<core::FirewallId>(kFwCpuBase + i),
+                             cpu_segment(i)));
     processors_.push_back(std::move(cpu));
   }
 
   if (cfg_.dedicated_ip) {
     dma_ = std::make_unique<ip::DmaEngine>("dma", kMasterDma);
-    dma_->connect(wire_master(*dma_, "dma", kMasterDma, kFwDma));
+    dma_->connect(
+        wire_master(*dma_, "dma", kMasterDma, kFwDma, kMemorySegment));
   }
 }
 
@@ -298,21 +358,26 @@ void Soc::register_components() {
   if (dma_ != nullptr) kernel_.add(*dma_);
   for (auto& fw : master_fws_) kernel_.add(*fw);
   for (auto& gate : master_gates_) kernel_.add(*gate);
-  kernel_.add(*bus_);
+  fabric_->register_components(kernel_);
 }
 
 bus::MasterEndpoint& Soc::attach_custom_master(
     sim::Component& component, const std::string& name,
     core::SecurityPolicy policy, std::function<bool()> done,
-    const core::LocalFirewall::Config* lf_cfg) {
+    const core::LocalFirewall::Config* lf_cfg, std::size_t segment) {
+  if (segment == kRemoteSegment) {
+    segment = fabric_->farthest_segment_from(kMemorySegment);
+  }
+  SECBUS_ASSERT(segment < fabric_->segment_count(),
+                "attach_custom_master: bad segment");
   const sim::MasterId index = next_custom_index_++;
   const auto master_id = static_cast<sim::MasterId>(kMasterScriptedBase + index);
   const auto fw_id = static_cast<core::FirewallId>(kMasterScriptedBase + index);
   SECBUS_ASSERT(!config_mem_.has_policy(fw_id),
                 "custom-master firewall id collides with an installed policy");
-  config_mem_.install(fw_id, std::move(policy));
+  config_mem_.install(fw_id, std::move(policy), segment);
 
-  bus::MasterEndpoint& bus_ep = bus_->attach_master(master_id, name);
+  bus::MasterEndpoint& bus_ep = fabric_->attach_master(segment, master_id, name);
   bus::MasterEndpoint* ip_ep = &bus_ep;
   switch (cfg_.security) {
     case SecurityMode::kNone:
@@ -346,11 +411,13 @@ bus::MasterEndpoint& Soc::attach_custom_master(
 }
 
 ip::ScriptedMaster& Soc::add_scripted_master(const std::string& name,
-                                             core::SecurityPolicy policy) {
+                                             core::SecurityPolicy policy,
+                                             std::size_t segment) {
   auto master = std::make_unique<ip::ScriptedMaster>(
       name, static_cast<sim::MasterId>(kMasterScriptedBase + next_custom_index_));
   bus::MasterEndpoint& ep =
-      attach_custom_master(*master, name, std::move(policy));
+      attach_custom_master(*master, name, std::move(policy), {}, nullptr,
+                           segment);
   master->connect(ep);
   scripted_.push_back(std::move(master));
   return *scripted_.back();
@@ -375,7 +442,7 @@ bool Soc::quiescent() const {
   for (const auto& fw : master_fws_) {
     if (!fw->idle()) return false;
   }
-  return bus_->idle();
+  return fabric_->idle();
 }
 
 SocResults Soc::run(sim::Cycle max_cycles) {
@@ -386,16 +453,22 @@ SocResults Soc::run(sim::Cycle max_cycles) {
   r.cycles = kernel_.now();
   r.completed = done;
   util::RunningStat latency;
+  util::LatencyHistogram hist;
   for (const auto& cpu : processors_) {
     const auto& s = cpu->stats();
     r.transactions_ok += s.completed;
     r.transactions_failed += s.failed;
     r.bytes_moved += s.bytes_moved;
     if (s.latency.count() > 0) latency.add(s.latency.mean());
+    hist.merge(s.latency_hist);
   }
   r.avg_access_latency = latency.mean();
+  r.latency_p50 = hist.p50();
+  r.latency_p95 = hist.p95();
+  r.latency_p99 = hist.p99();
+  r.latency_max = hist.max();
   r.alerts = log_.count();
-  r.bus_occupancy = bus_->stats().occupancy();
+  r.bus_occupancy = fabric_->occupancy();
   return r;
 }
 

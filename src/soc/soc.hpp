@@ -2,11 +2,13 @@
 // Section V) in any SecurityMode, owns every component, and runs it.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "baseline/centralized.hpp"
+#include "bus/fabric.hpp"
 #include "bus/system_bus.hpp"
 #include "core/alert.hpp"
 #include "core/ciphering_firewall.hpp"
@@ -61,8 +63,14 @@ struct SocResults {
   std::uint64_t transactions_failed = 0;
   std::uint64_t alerts = 0;
   double avg_access_latency = 0.0;  // mean issue->response cycles across CPUs
-  double bus_occupancy = 0.0;
+  double bus_occupancy = 0.0;  // aggregate across every fabric segment
   std::uint64_t bytes_moved = 0;
+  // Exact per-access issue->response percentiles, merged over every
+  // processor's latency histogram (nearest-rank; see util::LatencyHistogram).
+  std::uint64_t latency_p50 = 0;
+  std::uint64_t latency_p95 = 0;
+  std::uint64_t latency_p99 = 0;
+  std::uint64_t latency_max = 0;
 };
 
 class Soc {
@@ -78,8 +86,16 @@ class Soc {
 
   // Adds a scripted master behind its own firewall/gate with the given
   // policy. Must be called before run(). Returns the master for scripting.
+  // `segment` places it on the fabric (default: farthest from the memories).
   ip::ScriptedMaster& add_scripted_master(const std::string& name,
-                                          core::SecurityPolicy policy);
+                                          core::SecurityPolicy policy,
+                                          std::size_t segment = kRemoteSegment);
+
+  // Resolves to "the segment farthest from the memories" when passed as the
+  // `segment` of attach_custom_master — the most adversarial placement for
+  // attack masters (0 on a flat fabric, a far corner on a mesh).
+  static constexpr std::size_t kRemoteSegment =
+      std::numeric_limits<std::size_t>::max();
 
   // Attaches an externally-owned master component (e.g. a FloodMaster)
   // behind its own firewall/gate with the given policy and registers it with
@@ -88,11 +104,13 @@ class Soc {
   // `done` (optional) joins the quiescence predicate so run() keeps going
   // while the custom master is still active. `lf_cfg` (optional) overrides
   // the Local Firewall configuration for this master in distributed mode
-  // (e.g. to enable the DoS throttle on a suspect interface).
+  // (e.g. to enable the DoS throttle on a suspect interface). `segment`
+  // picks the fabric segment the master (and its firewall) lives on.
   bus::MasterEndpoint& attach_custom_master(
       sim::Component& component, const std::string& name,
       core::SecurityPolicy policy, std::function<bool()> done = {},
-      const core::LocalFirewall::Config* lf_cfg = nullptr);
+      const core::LocalFirewall::Config* lf_cfg = nullptr,
+      std::size_t segment = kRemoteSegment);
 
   // Starts the dedicated IP's DMA job (no-op SoCs without the dedicated IP
   // abort). Typically scheduled before run().
@@ -102,7 +120,13 @@ class Soc {
   [[nodiscard]] const SocConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const AddressPlan& plan() const noexcept { return plan_; }
   sim::SimKernel& kernel() noexcept { return kernel_; }
-  bus::SystemBus& bus() noexcept { return *bus_; }
+  bus::Fabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] const bus::Fabric& fabric() const noexcept { return *fabric_; }
+  // Segment 0 — the memory-side segment, and the *only* segment on a flat
+  // topology (which is what pre-fabric callers mean by "the bus").
+  bus::SystemBus& bus() noexcept { return fabric_->segment(0); }
+  // Fabric segment hosting processor `i` under this SoC's placement.
+  [[nodiscard]] std::size_t cpu_segment(std::size_t i) const noexcept;
   mem::DdrMemory& ddr() noexcept { return *ddr_; }
   mem::Bram& bram() noexcept { return *bram_; }
   core::SecurityEventLog& log() noexcept { return log_; }
@@ -148,7 +172,7 @@ class Soc {
   core::SecurityEventLog log_;
   core::ConfigurationMemory config_mem_;
 
-  std::unique_ptr<bus::SystemBus> bus_;
+  std::unique_ptr<bus::Fabric> fabric_;
   std::unique_ptr<mem::Bram> bram_;
   std::unique_ptr<mem::DdrMemory> ddr_;
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/types.hpp"
 
@@ -27,9 +28,63 @@ enum class ProtectionLevel : std::uint8_t {
 
 [[nodiscard]] const char* to_string(ProtectionLevel level) noexcept;
 
+// Shape of the interconnect fabric the SoC is built on.
+enum class TopologyKind : std::uint8_t {
+  kFlat,  // one shared bus segment (the paper's case-study interconnect)
+  kStar,  // memory hub segment + N CPU leaf segments
+  kMesh,  // rows x cols grid of segments, memories at grid corner 0
+};
+
+[[nodiscard]] const char* to_string(TopologyKind kind) noexcept;
+
+// Declarative interconnect description resolved by the Soc into a
+// bus::Fabric (segment graph + bridge latencies) and a placement: memories
+// and the dedicated IP live on segment 0, processors spread round-robin
+// over the CPU-bearing segments, and each master's Local Firewall sits on
+// its master's segment.
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kFlat;
+  std::size_t star_leaves = 4;  // kStar: leaf segments around the hub
+  std::size_t mesh_rows = 2;    // kMesh grid shape
+  std::size_t mesh_cols = 2;
+  sim::Cycle hop_latency = 2;   // per-bridge segment-crossing cost
+
+  [[nodiscard]] static TopologySpec flat() { return TopologySpec{}; }
+  [[nodiscard]] static TopologySpec star(std::size_t leaves,
+                                         sim::Cycle hop_latency = 2) {
+    TopologySpec spec;
+    spec.kind = TopologyKind::kStar;
+    spec.star_leaves = leaves;
+    spec.hop_latency = hop_latency;
+    return spec;
+  }
+  [[nodiscard]] static TopologySpec mesh(std::size_t rows, std::size_t cols,
+                                         sim::Cycle hop_latency = 2) {
+    TopologySpec spec;
+    spec.kind = TopologyKind::kMesh;
+    spec.mesh_rows = rows;
+    spec.mesh_cols = cols;
+    spec.hop_latency = hop_latency;
+    return spec;
+  }
+
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    switch (kind) {
+      case TopologyKind::kFlat: return 1;
+      case TopologyKind::kStar: return 1 + star_leaves;
+      case TopologyKind::kMesh: return mesh_rows * mesh_cols;
+    }
+    return 1;
+  }
+
+  // Stable axis label for sweeps/reports: "flat", "star4", "mesh2x2", ...
+  [[nodiscard]] std::string label() const;
+};
+
 struct SocConfig {
   // --- structure ------------------------------------------------------
   std::size_t processors = 3;
+  TopologySpec topology;  // interconnect fabric shape (default: flat bus)
   bool dedicated_ip = true;  // the DMA engine
   SecurityMode security = SecurityMode::kDistributed;
   ProtectionLevel protection = ProtectionLevel::kFull;

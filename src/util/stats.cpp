@@ -96,6 +96,64 @@ double Histogram::percentile(double q) const noexcept {
   return hi_;
 }
 
+void LatencyHistogram::ensure_capacity(std::uint64_t value) {
+  if (value < counts_.size()) return;
+  std::size_t cap = counts_.empty() ? 512 : counts_.size();
+  while (cap <= value) cap *= 2;
+  if (cap > kTrackedMax) cap = kTrackedMax;
+  counts_.resize(cap, 0);
+}
+
+void LatencyHistogram::add(std::uint64_t cycles) {
+  ++count_;
+  sum_ += cycles;
+  min_ = std::min(min_, cycles);
+  max_ = std::max(max_, cycles);
+  if (cycles >= kTrackedMax) {
+    ++overflow_;
+    return;
+  }
+  ensure_capacity(cycles);
+  ++counts_[cycles];
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  count_ += other.count_;
+  overflow_ += other.overflow_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  if (!other.counts_.empty()) {
+    ensure_capacity(other.counts_.size() - 1);
+    for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+  }
+}
+
+void LatencyHistogram::reset() noexcept { *this = LatencyHistogram{}; }
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ > 0
+             ? static_cast<double>(sum_) / static_cast<double>(count_)
+             : 0.0;
+}
+
+std::uint64_t LatencyHistogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 100.0);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q / 100.0 * static_cast<double>(count_)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t c = 0; c < counts_.size(); ++c) {
+    cumulative += counts_[c];
+    if (cumulative >= rank) return c;
+  }
+  return max_;  // rank lands among the overflow samples
+}
+
 double percent_overhead(double num, double den) noexcept {
   if (den == 0.0) return 0.0;
   return 100.0 * (num / den - 1.0);

@@ -87,6 +87,53 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
+// Integer-cycle latency histogram: 1-cycle buckets over [0, kTrackedMax)
+// plus a saturating overflow bucket. Unlike the interpolating Histogram
+// above, percentile extraction is *exact* (nearest-rank over the recorded
+// integer samples) for every value below kTrackedMax; samples at or above
+// it saturate and report the exact tracked maximum instead. Mergeable, so
+// per-IP histograms fold into per-job and per-batch ones without losing
+// the tail. Bucket storage is allocated lazily and grows in powers of two,
+// keeping short-latency runs cheap.
+class LatencyHistogram {
+ public:
+  // Latencies up to 16k cycles are tracked exactly; anything slower (deeply
+  // congested fabrics, pathological floods) saturates into overflow.
+  static constexpr std::uint64_t kTrackedMax = 16384;
+
+  void add(std::uint64_t cycles);
+  void merge(const LatencyHistogram& other);
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ > 0 ? min_ : 0;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return count_ > 0 ? max_ : 0;
+  }
+  [[nodiscard]] double mean() const noexcept;
+
+  // Nearest-rank percentile, q in [0, 100]: the smallest recorded latency L
+  // such that at least ceil(q/100 * count) samples are <= L. Returns 0 when
+  // empty; returns max() when the rank lands in the overflow bucket.
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+  [[nodiscard]] std::uint64_t p50() const noexcept { return percentile(50); }
+  [[nodiscard]] std::uint64_t p95() const noexcept { return percentile(95); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return percentile(99); }
+
+ private:
+  void ensure_capacity(std::uint64_t value);
+
+  std::vector<std::uint64_t> counts_;  // counts_[c] = samples of c cycles
+  std::uint64_t count_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
 // Ratio helper: returns 100*(num/den - 1), i.e. percentage overhead of `num`
 // relative to baseline `den`; 0 when den == 0.
 [[nodiscard]] double percent_overhead(double num, double den) noexcept;

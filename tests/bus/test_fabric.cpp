@@ -1,0 +1,173 @@
+#include "bus/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/kernel.hpp"
+
+namespace secbus::bus {
+namespace {
+
+class FakeSlave final : public SlaveDevice {
+ public:
+  AccessResult access(BusTransaction& t, sim::Cycle /*now*/) override {
+    ++accesses;
+    if (t.is_write()) {
+      last_write.assign(t.data.begin(), t.data.end());
+    } else {
+      t.data.assign(t.payload_bytes(), 0x5A);
+    }
+    return {1, TransStatus::kOk};
+  }
+  [[nodiscard]] std::string_view slave_name() const override { return "fake"; }
+
+  int accesses = 0;
+  std::vector<std::uint8_t> last_write;
+};
+
+TEST(FabricTopology, PresetShapes) {
+  EXPECT_EQ(FabricTopology::flat().segments, 1u);
+  EXPECT_TRUE(FabricTopology::flat().links.empty());
+
+  const FabricTopology star = FabricTopology::star(4);
+  EXPECT_EQ(star.segments, 5u);
+  EXPECT_EQ(star.links.size(), 4u);
+  EXPECT_TRUE(star.validate());
+
+  const FabricTopology mesh = FabricTopology::mesh(2, 2);
+  EXPECT_EQ(mesh.segments, 4u);
+  EXPECT_EQ(mesh.links.size(), 4u);  // 2 horizontal + 2 vertical
+  EXPECT_TRUE(mesh.validate());
+
+  const FabricTopology mesh43 = FabricTopology::mesh(4, 3);
+  EXPECT_EQ(mesh43.segments, 12u);
+  // rows*(cols-1) horizontal + (rows-1)*cols vertical.
+  EXPECT_EQ(mesh43.links.size(), 4u * 2u + 3u * 3u);
+  EXPECT_TRUE(mesh43.validate());
+}
+
+TEST(FabricTopology, RejectsMalformedGraphs) {
+  std::string error;
+
+  FabricTopology out_of_range;
+  out_of_range.segments = 2;
+  out_of_range.links.push_back({0, 5, 2});
+  EXPECT_FALSE(out_of_range.validate(&error));
+
+  FabricTopology self_link;
+  self_link.segments = 2;
+  self_link.links.push_back({1, 1, 2});
+  EXPECT_FALSE(self_link.validate(&error));
+
+  FabricTopology disconnected;
+  disconnected.segments = 3;
+  disconnected.links.push_back({0, 1, 2});  // segment 2 unreachable
+  EXPECT_FALSE(disconnected.validate(&error));
+  EXPECT_EQ(error, "topology is not connected");
+
+  FabricTopology zero_hop;
+  zero_hop.segments = 2;
+  zero_hop.links.push_back({0, 1, 0});
+  EXPECT_FALSE(zero_hop.validate(&error));
+}
+
+TEST(Fabric, HopCountsAndRoutesOnMesh2x2) {
+  // Segment layout: 0 1
+  //                 2 3
+  Fabric fabric(FabricTopology::mesh(2, 2));
+  EXPECT_EQ(fabric.hop_count(0, 0), 0u);
+  EXPECT_EQ(fabric.hop_count(0, 1), 1u);
+  EXPECT_EQ(fabric.hop_count(0, 2), 1u);
+  EXPECT_EQ(fabric.hop_count(0, 3), 2u);
+  EXPECT_EQ(fabric.hop_count(3, 0), 2u);
+  // Deterministic tie-break: of 3's neighbors {1, 2}, BFS meets 1 first.
+  EXPECT_EQ(fabric.next_hop(3, 0), 1u);
+  EXPECT_EQ(fabric.farthest_segment_from(0), 3u);
+}
+
+TEST(Fabric, FlatFabricIsTheLegacyBus) {
+  Fabric fabric(FabricTopology::flat());
+  FakeSlave slave;
+  const auto id = fabric.add_slave(slave, 0);
+  fabric.map_region(0x0, 0x1000, id, "mem");
+  fabric.finalize();
+  EXPECT_EQ(fabric.segment_count(), 1u);
+  EXPECT_TRUE(fabric.bridges().empty());
+  EXPECT_EQ(fabric.segment(0).name(), "system_bus");
+  EXPECT_EQ(fabric.farthest_segment_from(0), 0u);
+}
+
+TEST(Fabric, StarRoutesLeafTrafficThroughHub) {
+  Fabric fabric(FabricTopology::star(2));
+  FakeSlave slave;
+  const auto id = fabric.add_slave(slave, 0);
+  fabric.map_region(0x0, 0x1000, id, "mem");
+
+  MasterEndpoint& leaf1 = fabric.attach_master(1, 0, "leaf1");
+  MasterEndpoint& leaf2 = fabric.attach_master(2, 1, "leaf2");
+  fabric.finalize();
+  // One bridge per leaf toward the hub; nothing routes hub -> leaf because
+  // no slave lives on a leaf.
+  EXPECT_EQ(fabric.bridges().size(), 2u);
+
+  sim::SimKernel kernel;
+  fabric.register_components(kernel);
+  leaf1.request.push(make_write(0, 0x10, {1, 2, 3, 4}));
+  leaf2.request.push(make_read(1, 0x20));
+  kernel.run(40);
+
+  ASSERT_FALSE(leaf1.response.empty());
+  ASSERT_FALSE(leaf2.response.empty());
+  EXPECT_EQ(leaf1.response.pop()->status, TransStatus::kOk);
+  EXPECT_EQ(leaf2.response.pop()->status, TransStatus::kOk);
+  EXPECT_EQ(slave.accesses, 2);
+  EXPECT_EQ(fabric.find_master("leaf1")->grants, 1u);
+  EXPECT_EQ(fabric.find_master("leaf2")->grants, 1u);
+  EXPECT_EQ(fabric.find_master("nobody"), nullptr);
+  // Aggregate stats fold both leaf segments.
+  EXPECT_EQ(fabric.transactions(), 2u);
+  EXPECT_TRUE(fabric.idle());
+}
+
+TEST(Fabric, RemoteWindowsMaterializeOnEverySegment) {
+  Fabric fabric(FabricTopology::mesh(2, 2));
+  FakeSlave slave;
+  const auto id = fabric.add_slave(slave, 0);
+  fabric.map_region(0x8000, 0x1000, id, "mem");
+  fabric.finalize();
+  EXPECT_EQ(fabric.home_segment(id), 0u);
+  for (std::size_t seg = 0; seg < 4; ++seg) {
+    const Region* region = fabric.segment(seg).address_map().region_at(0x8800);
+    ASSERT_NE(region, nullptr) << "segment " << seg;
+    EXPECT_EQ(region->name, "mem");
+  }
+  // Segment 3 is two hops out: its window must point at a bridge, and the
+  // chain 3 -> 1 -> 0 exists.
+  EXPECT_EQ(fabric.hop_count(3, 0), 2u);
+  EXPECT_GE(fabric.bridges().size(), 3u);  // 1->0, 2->0, 3->1
+}
+
+TEST(Fabric, CrossSegmentLatencyGrowsWithHopCount) {
+  // Identical single-master traffic from segments at hop distance 0, 1 and
+  // 2 of a 2x2 mesh: completion time must be strictly ordered by hops.
+  sim::Cycle completed[3] = {0, 0, 0};
+  const std::size_t sources[3] = {0, 1, 3};
+  for (int i = 0; i < 3; ++i) {
+    Fabric fabric(FabricTopology::mesh(2, 2));
+    FakeSlave slave;
+    const auto id = fabric.add_slave(slave, 0);
+    fabric.map_region(0x0, 0x1000, id, "mem");
+    MasterEndpoint& ep = fabric.attach_master(sources[i], 0, "m");
+    fabric.finalize();
+    sim::SimKernel kernel;
+    fabric.register_components(kernel);
+    ep.request.push(make_read(0, 0x40));
+    kernel.run(30);
+    ASSERT_FALSE(ep.response.empty());
+    completed[i] = ep.response.pop()->completed_at;
+  }
+  EXPECT_LT(completed[0], completed[1]);
+  EXPECT_LT(completed[1], completed[2]);
+}
+
+}  // namespace
+}  // namespace secbus::bus

@@ -1,0 +1,178 @@
+// Topology equivalence and multi-segment SoC integration.
+//
+// The load-bearing test here is Section5GoldenEquivalence: the one-segment
+// fabric must reproduce the legacy single-SystemBus results bit for bit.
+// The golden numbers were captured from the pre-fabric tree (PR 2 head,
+// commit a3a9bd2) running `secbus_cli run section5`.
+#include <gtest/gtest.h>
+
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "soc/presets.hpp"
+#include "soc/soc.hpp"
+
+namespace secbus {
+namespace {
+
+TEST(TopologyEquivalence, Section5GoldenEquivalence) {
+  soc::Soc system(soc::section5_config());
+  const soc::SocResults r = system.run(30'000'000);
+
+  // Pre-refactor golden values (legacy single bus, seed 42, 3 CPUs, full
+  // protection, 300 txns/cpu).
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.cycles, 98167u);
+  EXPECT_EQ(r.transactions_ok, 900u);
+  EXPECT_EQ(r.transactions_failed, 0u);
+  EXPECT_EQ(r.alerts, 0u);
+  EXPECT_EQ(r.bytes_moved, 7953u);
+  EXPECT_NEAR(r.avg_access_latency, 318.134, 5e-4);
+  EXPECT_NEAR(r.bus_occupancy, 0.999817, 5e-7);
+}
+
+TEST(TopologyEquivalence, FlatSocIsStructurallyLegacy) {
+  soc::Soc system(soc::tiny_test_config());
+  EXPECT_EQ(system.fabric().segment_count(), 1u);
+  EXPECT_TRUE(system.fabric().bridges().empty());
+  EXPECT_EQ(system.bus().name(), "system_bus");
+  EXPECT_EQ(system.cpu_segment(0), 0u);
+}
+
+TEST(TopologySpec, LabelsAndSegmentCounts) {
+  EXPECT_EQ(soc::TopologySpec::flat().label(), "flat");
+  EXPECT_EQ(soc::TopologySpec::star(4).label(), "star4");
+  EXPECT_EQ(soc::TopologySpec::mesh(2, 2).label(), "mesh2x2");
+  EXPECT_EQ(soc::TopologySpec::flat().segment_count(), 1u);
+  EXPECT_EQ(soc::TopologySpec::star(4).segment_count(), 5u);
+  EXPECT_EQ(soc::TopologySpec::mesh(4, 4).segment_count(), 16u);
+}
+
+TEST(MultiSegmentSoc, MeshPlacementSpreadsCpus) {
+  soc::SocConfig cfg = soc::mesh2x2_config();
+  cfg.transactions_per_cpu = 20;
+  soc::Soc system(cfg);
+  ASSERT_EQ(system.fabric().segment_count(), 4u);
+  for (std::size_t i = 0; i < cfg.processors; ++i) {
+    EXPECT_EQ(system.cpu_segment(i), i % 4);
+  }
+  // Every non-memory segment got its CPUs' masters.
+  for (std::size_t seg = 1; seg < 4; ++seg) {
+    EXPECT_FALSE(system.fabric().segment(seg).master_stats().empty());
+  }
+}
+
+TEST(MultiSegmentSoc, StarKeepsHubForMemoriesAndDma) {
+  soc::SocConfig cfg = soc::star32_config();
+  cfg.transactions_per_cpu = 5;
+  soc::Soc system(cfg);
+  ASSERT_EQ(system.fabric().segment_count(), 5u);
+  for (std::size_t i = 0; i < cfg.processors; ++i) {
+    EXPECT_EQ(system.cpu_segment(i), 1 + (i % 4));
+  }
+  // Hub hosts only the dedicated IP's master interface.
+  ASSERT_EQ(system.fabric().segment(0).master_stats().size(), 1u);
+  EXPECT_EQ(system.fabric().segment(0).master_stats().front().name, "dma");
+}
+
+TEST(MultiSegmentSoc, MeshRunCompletesAndCrossesBridges) {
+  soc::SocConfig cfg = soc::mesh2x2_config();
+  cfg.transactions_per_cpu = 40;
+  soc::Soc system(cfg);
+  const soc::SocResults r = system.run(10'000'000);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.transactions_ok, 8u * 40u);
+  EXPECT_EQ(r.transactions_failed, 0u);
+
+  std::uint64_t forwarded = 0;
+  for (const auto& bridge : system.fabric().bridges()) {
+    forwarded += bridge->stats().forwarded;
+  }
+  EXPECT_GT(forwarded, 0u);
+  // Percentiles populated and ordered.
+  EXPECT_GT(r.latency_p50, 0u);
+  EXPECT_LE(r.latency_p50, r.latency_p95);
+  EXPECT_LE(r.latency_p95, r.latency_p99);
+  EXPECT_LE(r.latency_p99, r.latency_max);
+}
+
+TEST(MultiSegmentSoc, Mesh4x4DeepChainsMakeProgress) {
+  // Regression for the circuit-switched wait-compounding livelock: 16 CPUs
+  // on a 4x4 mesh (up to 6 bridge hops) must finish in a sane cycle count,
+  // not stall with booking tails running away into the future.
+  soc::SocConfig cfg = soc::mesh4x4_config();
+  cfg.protection = soc::ProtectionLevel::kPlaintext;
+  cfg.transactions_per_cpu = 40;
+  soc::Soc system(cfg);
+  const soc::SocResults r = system.run(2'000'000);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.transactions_ok, 16u * 40u);
+  EXPECT_LT(r.latency_p99, 5'000u);
+}
+
+TEST(MultiSegmentSoc, MeshRunsAreDeterministic) {
+  soc::SocConfig cfg = soc::mesh2x2_config();
+  cfg.transactions_per_cpu = 30;
+  soc::Soc a(cfg);
+  soc::Soc b(cfg);
+  const soc::SocResults ra = a.run(10'000'000);
+  const soc::SocResults rb = b.run(10'000'000);
+  EXPECT_EQ(ra.cycles, rb.cycles);
+  EXPECT_EQ(ra.transactions_ok, rb.transactions_ok);
+  EXPECT_EQ(ra.latency_p99, rb.latency_p99);
+  EXPECT_DOUBLE_EQ(ra.avg_access_latency, rb.avg_access_latency);
+  EXPECT_DOUBLE_EQ(ra.bus_occupancy, rb.bus_occupancy);
+}
+
+TEST(MultiSegmentSoc, PoliciesInstallKeyedBySegment) {
+  soc::SocConfig cfg = soc::mesh2x2_config();
+  soc::Soc system(cfg);
+  auto& cm = system.config_mem();
+  for (std::size_t i = 0; i < cfg.processors; ++i) {
+    EXPECT_EQ(cm.segment_of(static_cast<core::FirewallId>(soc::kFwCpuBase + i)),
+              system.cpu_segment(i));
+  }
+  EXPECT_EQ(cm.segment_of(soc::kFwBram), 0u);
+  EXPECT_EQ(cm.segment_of(soc::kFwLcf), 0u);
+  EXPECT_EQ(cm.segment_of(soc::kFwDma), 0u);
+  EXPECT_GE(cm.policies_on_segment(0), 3u);
+}
+
+TEST(MultiSegmentSoc, ScriptedMasterDefaultsToRemotestSegment) {
+  soc::SocConfig cfg = soc::tiny_test_config();
+  cfg.topology = soc::TopologySpec::mesh(2, 2);
+  soc::Soc system(cfg);
+  auto& mal = system.add_scripted_master("probe", system.cpu_policy(0));
+  (void)mal;
+  // Farthest corner of the 2x2 mesh from the memory segment is 3.
+  const auto& stats = system.fabric().segment(3).master_stats();
+  ASSERT_FALSE(stats.empty());
+  EXPECT_EQ(stats.back().name, "probe");
+}
+
+TEST(MultiSegmentSoc, FabricContainmentScenarioContainsHijack) {
+  const scenario::NamedScenario* entry =
+      scenario::find_scenario("fabric_containment");
+  ASSERT_NE(entry, nullptr);
+  const scenario::JobResult r = scenario::run_scenario(entry->spec);
+  EXPECT_TRUE(r.soc.completed);
+  EXPECT_TRUE(r.attack_ran);
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.contained);
+  EXPECT_EQ(r.topology, "mesh2x2");
+  EXPECT_EQ(r.segments, 4u);
+  EXPECT_EQ(r.max_hops, 2u);
+}
+
+TEST(MultiSegmentSoc, TopologySweepAxisExpands) {
+  const scenario::NamedScenario* entry =
+      scenario::find_scenario("fabric_scaling");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->axes.topology.size(), 4u);
+  const auto jobs = scenario::expand(entry->spec, entry->axes);
+  ASSERT_EQ(jobs.size(), 12u);
+  EXPECT_NE(jobs[0].variant.find("topology=flat"), std::string::npos);
+  EXPECT_NE(jobs.back().variant.find("topology=mesh4x4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secbus

@@ -161,5 +161,95 @@ TEST(Ratios, SafeRatio) {
   EXPECT_DOUBLE_EQ(safe_ratio(1.0, 0.0), 0.0);
 }
 
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(LatencyHistogram, ExactNearestRankPercentiles) {
+  LatencyHistogram h;
+  for (std::uint64_t c = 1; c <= 100; ++c) h.add(c);
+  // Nearest-rank over 100 samples 1..100: p_q is exactly q.
+  EXPECT_EQ(h.p50(), 50u);
+  EXPECT_EQ(h.p95(), 95u);
+  EXPECT_EQ(h.p99(), 99u);
+  EXPECT_EQ(h.percentile(100), 100u);
+  EXPECT_EQ(h.percentile(0), 1u);  // rank clamps to the first sample
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(LatencyHistogram, SkewedDistributionIsExact) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.add(7);
+  h.add(4000);  // single tail sample
+  EXPECT_EQ(h.p50(), 7u);
+  EXPECT_EQ(h.p95(), 7u);
+  EXPECT_EQ(h.p99(), 7u);  // rank 99 of 100 still lands on the mode
+  EXPECT_EQ(h.percentile(100), 4000u);
+}
+
+TEST(LatencyHistogram, MergeMatchesSingleStream) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  for (std::uint64_t c = 1; c <= 60; ++c) {
+    a.add(c);
+    combined.add(c);
+  }
+  for (std::uint64_t c = 500; c <= 540; ++c) {
+    b.add(c);
+    combined.add(c);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (double q : {1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(a.percentile(q), combined.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeIntoEmptyAndFromEmpty) {
+  LatencyHistogram a;
+  LatencyHistogram empty;
+  a.add(10);
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  LatencyHistogram target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_EQ(target.p50(), 10u);
+}
+
+TEST(LatencyHistogram, OverflowSaturatesButTracksExactMax) {
+  LatencyHistogram h;
+  h.add(3);
+  h.add(LatencyHistogram::kTrackedMax + 123);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), LatencyHistogram::kTrackedMax + 123);
+  EXPECT_EQ(h.p50(), 3u);
+  // The rank falling into the overflow bucket reports the tracked max.
+  EXPECT_EQ(h.percentile(100), LatencyHistogram::kTrackedMax + 123);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.add(5);
+  h.add(LatencyHistogram::kTrackedMax + 1);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+}
+
 }  // namespace
 }  // namespace secbus::util

@@ -21,6 +21,8 @@
 //       Builds a custom sweep over the Section-V system (or any registered
 //       scenario via --scenario) and runs it like `run`.
 //     --scenario NAME   base scenario (default section5)
+//     --topology A,B    axis: interconnect fabrics (flat | star<leaves> |
+//                       mesh<rows>x<cols>, e.g. star4, mesh2x2)
 //     --cpus A,B,...    axis: processor counts
 //     --security A,B    axis: none|distributed|centralized
 //     --protection A,B  axis: plaintext|cipher|full
@@ -62,10 +64,12 @@ namespace {
       "usage: %s list-scenarios\n"
       "       %s run <scenario> [--jobs N] [--repeats N] [--csv PATH]\n"
       "              [--json PATH] [--no-files] [--max-cycles N] [--quiet]\n"
-      "       %s sweep [--scenario NAME] [--cpus A,B] [--security A,B]\n"
-      "              [--protection A,B] [--seeds A,B] [--extra-rules A,B]\n"
-      "              [--line-bytes A,B] [--external A,B] [run options]\n"
-      "       %s [--cpus N] [--security none|distributed|centralized]\n"
+      "       %s sweep [--scenario NAME] [--topology A,B] [--cpus A,B]\n"
+      "              [--security A,B] [--protection A,B] [--seeds A,B]\n"
+      "              [--extra-rules A,B] [--line-bytes A,B] [--external A,B]\n"
+      "              [run options]\n"
+      "       %s [--cpus N] [--topology flat|starN|meshRxC]\n"
+      "          [--security none|distributed|centralized]\n"
       "          [--protection plaintext|cipher|full] [--external F]\n"
       "          [--transactions N] [--compute N] [--extra-rules N]\n"
       "          [--line-bytes N] [--seed N] [--max-cycles N]\n"
@@ -115,6 +119,33 @@ bool parse_protection(const std::string& text, soc::ProtectionLevel& out) {
   else if (text == "full") out = soc::ProtectionLevel::kFull;
   else return false;
   return true;
+}
+
+// "flat" | "star<leaves>" | "mesh<rows>x<cols>", e.g. star4, mesh2x2.
+bool parse_topology(const std::string& text, soc::TopologySpec& out) {
+  if (text == "flat") {
+    out = soc::TopologySpec::flat();
+    return true;
+  }
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  if (text.rfind("star", 0) == 0) {
+    if (!parse_u64(text.c_str() + 4, a) || a < 1 || a > 64) return false;
+    out = soc::TopologySpec::star(a);
+    return true;
+  }
+  if (text.rfind("mesh", 0) == 0) {
+    const std::size_t x = text.find('x', 4);
+    if (x == std::string::npos) return false;
+    if (!parse_u64(text.substr(4, x - 4).c_str(), a) ||
+        !parse_u64(text.substr(x + 1).c_str(), b)) {
+      return false;
+    }
+    if (a < 1 || b < 1 || a * b > 64) return false;
+    out = soc::TopologySpec::mesh(a, b);
+    return true;
+  }
+  return false;
 }
 
 // Options shared by the `run` and `sweep` subcommands.
@@ -270,10 +301,16 @@ int cmd_sweep(int argc, char** argv) {
     if (parse_batch_option(argc, argv, i, opt)) continue;
     if (arg == "--scenario") {
       base_name = next();
+    } else if (arg == "--topology") {
+      for (const auto& tok : split_commas(next())) {
+        soc::TopologySpec topo;
+        if (!parse_topology(tok, topo)) usage(argv[0]);
+        axes.topology.push_back(topo);
+      }
     } else if (arg == "--cpus") {
       for (const auto& tok : split_commas(next())) {
         std::uint64_t u = 0;
-        if (!parse_u64(tok.c_str(), u) || u < 1 || u > 16) usage(argv[0]);
+        if (!parse_u64(tok.c_str(), u) || u < 1 || u > 63) usage(argv[0]);
         axes.cpus.push_back(static_cast<std::size_t>(u));
       }
     } else if (arg == "--security") {
@@ -347,8 +384,10 @@ int legacy_single_run(int argc, char** argv) {
     };
     std::uint64_t u = 0;
     double d = 0.0;
-    if (arg == "--cpus" && parse_u64(next(), u) && u >= 1 && u <= 16) {
+    if (arg == "--cpus" && parse_u64(next(), u) && u >= 1 && u <= 63) {
       cfg.processors = u;
+    } else if (arg == "--topology") {
+      if (!parse_topology(next(), cfg.topology)) usage(argv[0]);
     } else if (arg == "--security") {
       if (!parse_security(next(), cfg.security)) usage(argv[0]);
     } else if (arg == "--protection") {
