@@ -1,0 +1,349 @@
+#include "campaign/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "scenario/sweep.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace secbus::campaign {
+
+namespace {
+
+std::string fmt_rate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+double CellAggregate::detection_rate() const noexcept {
+  return attacks_ran > 0
+             ? static_cast<double>(detected) / static_cast<double>(attacks_ran)
+             : 0.0;
+}
+
+double CellAggregate::containment_rate() const noexcept {
+  return containment_checked > 0 ? static_cast<double>(contained) /
+                                       static_cast<double>(containment_checked)
+                                 : 0.0;
+}
+
+double CellAggregate::victim_intact_rate() const noexcept {
+  return victim_checked > 0 ? static_cast<double>(victim_intact) /
+                                  static_cast<double>(victim_checked)
+                            : 0.0;
+}
+
+CampaignReport CampaignReport::from(
+    std::string name, const std::vector<scenario::JobResult>& jobs) {
+  CampaignReport report;
+  report.name = std::move(name);
+  report.batch = scenario::BatchAggregate::from(jobs);
+
+  // Cell index by key: a million-job campaign must aggregate in O(jobs).
+  std::unordered_map<std::string, std::size_t> index;
+  for (const scenario::JobResult& job : jobs) {
+    std::string key = scenario::strip_variant_key(job.variant, "seed");
+    if (key.empty()) key = "-";
+    CellAggregate* cell = nullptr;
+    const auto it = index.find(key);
+    if (it != index.end()) {
+      cell = &report.cells[it->second];
+    } else {
+      index.emplace(key, report.cells.size());
+      report.cells.emplace_back();
+      cell = &report.cells.back();
+      cell->key = std::move(key);
+      cell->attack = job.attack;
+      cell->topology = job.topology;
+      cell->security = job.security;
+      cell->protection = job.protection;
+      cell->cpus = job.cpus;
+      cell->line_bytes = job.line_bytes;
+      cell->extra_rules = job.extra_rules;
+    }
+    ++cell->jobs;
+    if (job.soc.completed) ++cell->completed;
+    if (job.attack_ran) {
+      ++cell->attacks_ran;
+      if (job.detected) {
+        ++cell->detected;
+        cell->detection_hist.add(job.detection_latency);
+      }
+      if (job.containment_checked) {
+        ++cell->containment_checked;
+        if (job.contained) ++cell->contained;
+      }
+      if (job.victim_checked) {
+        ++cell->victim_checked;
+        if (job.victim_data_intact) ++cell->victim_intact;
+      }
+    }
+    cell->job_latency.add(job.soc.avg_access_latency);
+    cell->access_hist.merge(job.latency_hist);
+    cell->alerts += job.soc.alerts;
+    cell->fw_blocked += job.fw_blocked;
+  }
+  return report;
+}
+
+std::vector<std::size_t> CampaignReport::ranked_weakest() const {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].attacks_ran > 0) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t ia, std::size_t ib) {
+                     const CellAggregate& a = cells[ia];
+                     const CellAggregate& b = cells[ib];
+                     if (a.detection_rate() != b.detection_rate()) {
+                       return a.detection_rate() < b.detection_rate();
+                     }
+                     // Cells that never evaluate a check rank as "fine"
+                     // (rate 1) for that tiebreak, not as failing it.
+                     const double ai =
+                         a.victim_checked > 0 ? a.victim_intact_rate() : 1.0;
+                     const double bi =
+                         b.victim_checked > 0 ? b.victim_intact_rate() : 1.0;
+                     if (ai != bi) return ai < bi;
+                     const double ac = a.containment_checked > 0
+                                           ? a.containment_rate()
+                                           : 1.0;
+                     const double bc = b.containment_checked > 0
+                                           ? b.containment_rate()
+                                           : 1.0;
+                     if (ac != bc) return ac < bc;
+                     return a.detection_hist.p95() > b.detection_hist.p95();
+                   });
+  return order;
+}
+
+const std::vector<std::string>& cell_csv_columns() {
+  static const std::vector<std::string> cols = {
+      "campaign",           "cell",           "attack",
+      "topology",           "security",       "protection",
+      "cpus",               "line_bytes",     "extra_rules",
+      "jobs",               "completed",      "attacks_ran",
+      "detected",           "detection_rate", "containment_checked",
+      "contained",          "containment_rate",
+      "victim_checked",     "victim_intact_rate",
+      "detection_p50",      "detection_p95",  "detection_p99",
+      "detection_max",      "avg_latency",    "access_p50",
+      "access_p95",         "access_p99",     "alerts",
+      "fw_blocked"};
+  return cols;
+}
+
+void write_cells_csv(util::CsvWriter& csv, const CampaignReport& report) {
+  csv.header(cell_csv_columns());
+  const std::string blank;
+  for (const CellAggregate& cell : report.cells) {
+    const bool attacked = cell.attacks_ran > 0;
+    const bool any_detected = cell.detected > 0;
+    csv.row({report.name, cell.key, cell.attack, cell.topology, cell.security,
+             cell.protection, u64(cell.cpus), u64(cell.line_bytes),
+             u64(cell.extra_rules), u64(cell.jobs), u64(cell.completed),
+             u64(cell.attacks_ran),
+             attacked ? u64(cell.detected) : blank,
+             attacked ? fmt_rate(cell.detection_rate()) : blank,
+             u64(cell.containment_checked),
+             cell.containment_checked > 0 ? u64(cell.contained) : blank,
+             cell.containment_checked > 0 ? fmt_rate(cell.containment_rate())
+                                          : blank,
+             u64(cell.victim_checked),
+             cell.victim_checked > 0 ? fmt_rate(cell.victim_intact_rate())
+                                     : blank,
+             any_detected ? u64(cell.detection_hist.p50()) : blank,
+             any_detected ? u64(cell.detection_hist.p95()) : blank,
+             any_detected ? u64(cell.detection_hist.p99()) : blank,
+             any_detected ? u64(cell.detection_hist.max()) : blank,
+             fmt_double(cell.job_latency.mean()),
+             u64(cell.access_hist.p50()), u64(cell.access_hist.p95()),
+             u64(cell.access_hist.p99()), u64(cell.alerts),
+             u64(cell.fw_blocked)});
+  }
+}
+
+namespace {
+
+util::Json cell_to_json(const CellAggregate& cell) {
+  using util::Json;
+  Json j = Json::object();
+  j.set("cell", Json::string(cell.key));
+  j.set("attack", Json::string(cell.attack));
+  j.set("topology", Json::string(cell.topology));
+  j.set("security", Json::string(cell.security));
+  j.set("protection", Json::string(cell.protection));
+  j.set("cpus", Json::number(static_cast<std::uint64_t>(cell.cpus)));
+  j.set("line_bytes", Json::number(cell.line_bytes));
+  j.set("extra_rules",
+        Json::number(static_cast<std::uint64_t>(cell.extra_rules)));
+  j.set("jobs", Json::number(static_cast<std::uint64_t>(cell.jobs)));
+  j.set("completed", Json::number(static_cast<std::uint64_t>(cell.completed)));
+  j.set("attacks_ran",
+        Json::number(static_cast<std::uint64_t>(cell.attacks_ran)));
+  if (cell.attacks_ran > 0) {
+    j.set("detected", Json::number(static_cast<std::uint64_t>(cell.detected)));
+    j.set("detection_rate", Json::number(cell.detection_rate()));
+  } else {
+    j.set("detected", Json::null());
+    j.set("detection_rate", Json::null());
+  }
+  // Denominators are always present (0 = the question was never posed in
+  // this cell); the derived rates go null exactly when their denominator
+  // is 0, mirroring the CSV's empty cells.
+  j.set("containment_checked",
+        Json::number(static_cast<std::uint64_t>(cell.containment_checked)));
+  j.set("containment_rate", cell.containment_checked > 0
+                                ? Json::number(cell.containment_rate())
+                                : Json::null());
+  j.set("victim_checked",
+        Json::number(static_cast<std::uint64_t>(cell.victim_checked)));
+  j.set("victim_intact_rate", cell.victim_checked > 0
+                                  ? Json::number(cell.victim_intact_rate())
+                                  : Json::null());
+  if (cell.detected > 0) {
+    Json det = Json::object();
+    det.set("p50", Json::number(cell.detection_hist.p50()));
+    det.set("p95", Json::number(cell.detection_hist.p95()));
+    det.set("p99", Json::number(cell.detection_hist.p99()));
+    det.set("max", Json::number(cell.detection_hist.max()));
+    det.set("mean", Json::number(cell.detection_hist.mean()));
+    j.set("detection_latency", std::move(det));
+  } else {
+    j.set("detection_latency", Json::null());
+  }
+  j.set("avg_latency", Json::number(cell.job_latency.mean()));
+  j.set("access_p50", Json::number(cell.access_hist.p50()));
+  j.set("access_p95", Json::number(cell.access_hist.p95()));
+  j.set("access_p99", Json::number(cell.access_hist.p99()));
+  j.set("alerts", Json::number(cell.alerts));
+  j.set("fw_blocked", Json::number(cell.fw_blocked));
+  return j;
+}
+
+}  // namespace
+
+std::string campaign_json(const CampaignReport& report) {
+  using util::Json;
+  Json j = Json::object();
+  j.set("campaign", Json::string(report.name));
+  j.set("jobs_total",
+        Json::number(static_cast<std::uint64_t>(report.batch.jobs_total)));
+  j.set("jobs_completed",
+        Json::number(static_cast<std::uint64_t>(report.batch.jobs_completed)));
+  j.set("cells_total",
+        Json::number(static_cast<std::uint64_t>(report.cells.size())));
+
+  Json cells = Json::array();
+  for (const CellAggregate& cell : report.cells) {
+    cells.push(cell_to_json(cell));
+  }
+  j.set("cells", std::move(cells));
+
+  Json weakest = Json::array();
+  for (const std::size_t i : report.ranked_weakest()) {
+    weakest.push(Json::string(report.cells[i].key));
+  }
+  j.set("weakest", std::move(weakest));
+
+  Json agg = Json::object();
+  agg.set("attacks_ran",
+          Json::number(static_cast<std::uint64_t>(report.batch.attacks_ran)));
+  agg.set("attacks_detected",
+          Json::number(
+              static_cast<std::uint64_t>(report.batch.attacks_detected)));
+  agg.set("containment_checked",
+          Json::number(
+              static_cast<std::uint64_t>(report.batch.containment_checked)));
+  agg.set("attacks_contained",
+          Json::number(
+              static_cast<std::uint64_t>(report.batch.attacks_contained)));
+  if (report.batch.attacks_detected > 0) {
+    agg.set("detection_p50", Json::number(report.batch.detection_hist.p50()));
+    agg.set("detection_p95", Json::number(report.batch.detection_hist.p95()));
+    agg.set("detection_p99", Json::number(report.batch.detection_hist.p99()));
+  } else {
+    agg.set("detection_p50", Json::null());
+    agg.set("detection_p95", Json::null());
+    agg.set("detection_p99", Json::null());
+  }
+  agg.set("access_latency_mean",
+          Json::number(report.batch.access_latency.mean()));
+  agg.set("access_p50", Json::number(report.batch.access_p50));
+  agg.set("access_p95", Json::number(report.batch.access_p95));
+  agg.set("access_p99", Json::number(report.batch.access_p99));
+  agg.set("alerts_total",
+          Json::number(static_cast<std::uint64_t>(
+              report.batch.alerts.sum())));
+  j.set("aggregate", std::move(agg));
+  return j.dump();
+}
+
+std::string render_campaign_table(const CampaignReport& report,
+                                  std::size_t weakest_n) {
+  util::TextTable table("campaign " + report.name + ": " +
+                        std::to_string(report.batch.jobs_total) + " job(s), " +
+                        std::to_string(report.cells.size()) + " cell(s)");
+  table.set_header({"cell", "jobs", "detect", "contain", "intact",
+                    "det p50/p95/p99", "latency"});
+  const auto pct = [](double v) {
+    return util::TextTable::fmt(100.0 * v, 0) + "%";
+  };
+  for (const CellAggregate& cell : report.cells) {
+    std::string det_pcts = "-";
+    if (cell.detected > 0) {
+      det_pcts = std::to_string(cell.detection_hist.p50()) + "/" +
+                 std::to_string(cell.detection_hist.p95()) + "/" +
+                 std::to_string(cell.detection_hist.p99());
+    }
+    table.add_row(
+        {cell.key, std::to_string(cell.jobs),
+         cell.attacks_ran > 0 ? pct(cell.detection_rate()) : "-",
+         cell.containment_checked > 0 ? pct(cell.containment_rate()) : "-",
+         cell.victim_checked > 0 ? pct(cell.victim_intact_rate()) : "-",
+         det_pcts, util::TextTable::fmt(cell.job_latency.mean(), 1)});
+  }
+  std::string out = table.render();
+
+  const std::vector<std::size_t> ranked = report.ranked_weakest();
+  if (!ranked.empty()) {
+    out += "\nweakest cells (lowest detection, most damage first):\n";
+    const std::size_t n = std::min(weakest_n, ranked.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const CellAggregate& cell = report.cells[ranked[i]];
+      char line[512];
+      std::snprintf(
+          line, sizeof line,
+          "  %zu. %s: detected %zu/%zu (%.0f%%)%s%s\n", i + 1,
+          cell.key.c_str(), cell.detected, cell.attacks_ran,
+          100.0 * cell.detection_rate(),
+          cell.victim_checked > 0
+              ? (", victim intact " + std::to_string(cell.victim_intact) +
+                 "/" + std::to_string(cell.victim_checked))
+                    .c_str()
+              : "",
+          cell.containment_checked > 0
+              ? (", contained " + std::to_string(cell.contained) + "/" +
+                 std::to_string(cell.containment_checked))
+                    .c_str()
+              : "");
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace secbus::campaign

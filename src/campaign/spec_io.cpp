@@ -1,0 +1,710 @@
+#include "campaign/spec_io.hpp"
+
+#include <limits>
+
+#include "util/bitops.hpp"
+
+namespace secbus::campaign {
+
+namespace {
+
+bool fail(std::string* error, const std::string& path,
+          const std::string& message) {
+  // First error wins: nested readers bubble up without overwriting the most
+  // specific path.
+  if (error != nullptr && error->empty()) *error = path + ": " + message;
+  return false;
+}
+
+std::string member_path(const std::string& path, const std::string& key) {
+  return path.empty() ? key : path + "." + key;
+}
+
+std::string index_path(const std::string& path, std::size_t i) {
+  return path + "[" + std::to_string(i) + "]";
+}
+
+// One JSON object being decoded: typed field extraction with range checks,
+// then an unknown-key sweep. Every getter is a no-op when the key is absent
+// (reader semantics are merge-onto-default).
+class ObjectReader {
+ public:
+  ObjectReader(const util::Json& j, std::string path, std::string* error)
+      : j_(j), path_(std::move(path)), error_(error) {
+    ok_ = j_.is_object();
+    if (!ok_) fail(error_, path_, "expected an object");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::string* error() const noexcept { return error_; }
+
+  // Marks `key` as recognized and returns its value; nullptr when absent.
+  const util::Json* take(const char* key) {
+    known_.push_back(key);
+    return ok_ ? j_.find(key) : nullptr;
+  }
+
+  template <typename T>
+  bool u64_field(const char* key, T& out, std::uint64_t lo = 0,
+                 std::uint64_t hi = std::numeric_limits<std::uint64_t>::max()) {
+    const util::Json* v = take(key);
+    if (v == nullptr) return ok_;
+    std::uint64_t raw = 0;
+    if (!v->to_u64(raw)) {
+      return ok_ = fail(error_, member_path(path_, key),
+                        "expected a non-negative integer");
+    }
+    if (raw < lo || raw > hi) {
+      return ok_ = fail(error_, member_path(path_, key),
+                        "value " + std::to_string(raw) + " out of range [" +
+                            std::to_string(lo) + ", " + std::to_string(hi) +
+                            "]");
+    }
+    out = static_cast<T>(raw);
+    return ok_;
+  }
+
+  bool double_field(const char* key, double& out,
+                    double lo = -std::numeric_limits<double>::infinity(),
+                    double hi = std::numeric_limits<double>::infinity()) {
+    const util::Json* v = take(key);
+    if (v == nullptr) return ok_;
+    if (!v->is_number()) {
+      return ok_ = fail(error_, member_path(path_, key), "expected a number");
+    }
+    const double raw = v->as_double();
+    if (raw < lo || raw > hi) {
+      return ok_ = fail(error_, member_path(path_, key),
+                        "value out of range [" + std::to_string(lo) + ", " +
+                            std::to_string(hi) + "]");
+    }
+    out = raw;
+    return ok_;
+  }
+
+  bool bool_field(const char* key, bool& out) {
+    const util::Json* v = take(key);
+    if (v == nullptr) return ok_;
+    if (!v->is_bool()) {
+      return ok_ = fail(error_, member_path(path_, key),
+                        "expected true or false");
+    }
+    out = v->as_bool();
+    return ok_;
+  }
+
+  bool string_field(const char* key, std::string& out) {
+    const util::Json* v = take(key);
+    if (v == nullptr) return ok_;
+    if (!v->is_string()) {
+      return ok_ = fail(error_, member_path(path_, key), "expected a string");
+    }
+    out = v->as_string();
+    return ok_;
+  }
+
+  // Call last: any member that was never take()n is a spec error.
+  bool finish() {
+    if (!ok_) return false;
+    for (const util::Json::Member& m : j_.members()) {
+      bool known = false;
+      for (const char* k : known_) {
+        if (m.first == k) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return ok_ = fail(error_, member_path(path_, m.first), "unknown key");
+      }
+    }
+    return true;
+  }
+
+  bool mark_failed() { return ok_ = false; }
+
+ private:
+  const util::Json& j_;
+  std::string path_;
+  std::string* error_;
+  std::vector<const char*> known_;
+  bool ok_ = true;
+};
+
+constexpr sim::Cycle kDefaultHopLatency = 2;
+
+}  // namespace
+
+// --- topology ---------------------------------------------------------------
+
+util::Json topology_to_json(const soc::TopologySpec& topo) {
+  if (topo.hop_latency == kDefaultHopLatency) {
+    return util::Json::string(topo.label());  // compact, parse_topology form
+  }
+  util::Json j = util::Json::object();
+  j.set("kind", util::Json::string(to_string(topo.kind)));
+  switch (topo.kind) {
+    case soc::TopologyKind::kFlat:
+      break;
+    case soc::TopologyKind::kStar:
+      j.set("leaves", util::Json::number(
+                          static_cast<std::uint64_t>(topo.star_leaves)));
+      break;
+    case soc::TopologyKind::kMesh:
+      j.set("rows",
+            util::Json::number(static_cast<std::uint64_t>(topo.mesh_rows)));
+      j.set("cols",
+            util::Json::number(static_cast<std::uint64_t>(topo.mesh_cols)));
+      break;
+  }
+  j.set("hop_latency",
+        util::Json::number(static_cast<std::uint64_t>(topo.hop_latency)));
+  return j;
+}
+
+bool topology_from_json(const util::Json& j, const std::string& path,
+                        soc::TopologySpec& out, std::string* error) {
+  if (j.is_string()) {
+    soc::TopologySpec parsed;
+    if (!soc::parse_topology(j.as_string(), parsed)) {
+      return fail(error, path,
+                  "unknown topology '" + j.as_string() +
+                      "' (expected flat | star<leaves> | mesh<rows>x<cols>)");
+    }
+    out = parsed;
+    return true;
+  }
+  ObjectReader r(j, path, error);
+  if (!r.ok()) return false;
+  std::string kind_text;
+  const util::Json* kind = r.take("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    return fail(error, member_path(path, "kind"),
+                "topology objects need a \"kind\" string");
+  }
+  kind_text = kind->as_string();
+  soc::TopologySpec topo;
+  if (kind_text == "flat") {
+    topo = soc::TopologySpec::flat();
+  } else if (kind_text == "star") {
+    topo.kind = soc::TopologyKind::kStar;
+  } else if (kind_text == "mesh") {
+    topo.kind = soc::TopologyKind::kMesh;
+  } else {
+    return fail(error, member_path(path, "kind"),
+                "unknown topology kind '" + kind_text +
+                    "' (expected flat | star | mesh)");
+  }
+  // Only the shape keys of the declared kind are known: "rows" on a star
+  // (a star/mesh mix-up) must fail as an unknown key, not silently run the
+  // default shape.
+  if (topo.kind == soc::TopologyKind::kStar) {
+    r.u64_field("leaves", topo.star_leaves, 1, 64);
+  }
+  if (topo.kind == soc::TopologyKind::kMesh) {
+    r.u64_field("rows", topo.mesh_rows, 1, 64);
+    r.u64_field("cols", topo.mesh_cols, 1, 64);
+  }
+  r.u64_field("hop_latency", topo.hop_latency, 1, 1'000'000);
+  if (!r.finish()) return false;
+  if (topo.segment_count() > 65) {
+    return fail(error, path, "topology has more than 65 segments");
+  }
+  out = topo;
+  return true;
+}
+
+// --- SocConfig --------------------------------------------------------------
+
+util::Json soc_to_json(const soc::SocConfig& cfg) {
+  using util::Json;
+  Json j = Json::object();
+  j.set("processors", Json::number(static_cast<std::uint64_t>(cfg.processors)));
+  j.set("topology", topology_to_json(cfg.topology));
+  j.set("dedicated_ip", Json::boolean(cfg.dedicated_ip));
+  j.set("memory_segment",
+        Json::number(static_cast<std::uint64_t>(cfg.memory_segment)));
+  j.set("dma_segment",
+        cfg.dma_segment == soc::SocConfig::kAutoSegment
+            ? Json::string("auto")
+            : Json::number(static_cast<std::uint64_t>(cfg.dma_segment)));
+  j.set("security", Json::string(to_string(cfg.security)));
+  j.set("protection", Json::string(to_string(cfg.protection)));
+  j.set("enable_reconfig", Json::boolean(cfg.enable_reconfig));
+  j.set("trace_capacity",
+        Json::number(static_cast<std::uint64_t>(cfg.trace_capacity)));
+  j.set("bram_base", Json::number(cfg.bram_base));
+  j.set("bram_size", Json::number(cfg.bram_size));
+  j.set("ddr_base", Json::number(cfg.ddr_base));
+  j.set("ddr_size", Json::number(cfg.ddr_size));
+  j.set("ddr_protected_base", Json::number(cfg.ddr_protected_base));
+  j.set("ddr_protected_size", Json::number(cfg.ddr_protected_size));
+  j.set("line_bytes", Json::number(cfg.line_bytes));
+  j.set("clock_hz", Json::number(cfg.clock.freq_hz));
+  j.set("sb_check_cycles", Json::number(cfg.sb_check_cycles));
+  j.set("cc_latency", Json::number(cfg.cc_latency));
+  j.set("cc_bits_per_cycle", Json::number(cfg.cc_bits_per_cycle));
+  j.set("ic_latency", Json::number(cfg.ic_latency));
+  j.set("ic_bits_per_cycle", Json::number(cfg.ic_bits_per_cycle));
+  j.set("seed", Json::number(cfg.seed));
+  j.set("transactions_per_cpu", Json::number(cfg.transactions_per_cpu));
+  j.set("write_fraction", Json::number(cfg.write_fraction));
+  j.set("external_fraction", Json::number(cfg.external_fraction));
+  j.set("compute_min", Json::number(cfg.compute_min));
+  j.set("compute_max", Json::number(cfg.compute_max));
+  j.set("max_burst_beats",
+        Json::number(static_cast<std::uint64_t>(cfg.max_burst_beats)));
+  j.set("extra_rules",
+        Json::number(static_cast<std::uint64_t>(cfg.extra_rules)));
+  return j;
+}
+
+bool soc_from_json(const util::Json& j, const std::string& path,
+                   soc::SocConfig& out, std::string* error) {
+  ObjectReader r(j, path, error);
+  if (!r.ok()) return false;
+  soc::SocConfig cfg = out;
+
+  r.u64_field("processors", cfg.processors, 1, 64);
+  if (const util::Json* topo = r.take("topology")) {
+    if (!topology_from_json(*topo, member_path(path, "topology"),
+                            cfg.topology, error)) {
+      return r.mark_failed();
+    }
+  }
+  r.bool_field("dedicated_ip", cfg.dedicated_ip);
+  r.u64_field("memory_segment", cfg.memory_segment, 0, 64);
+  if (const util::Json* dma = r.take("dma_segment")) {
+    if (dma->is_string() && dma->as_string() == "auto") {
+      cfg.dma_segment = soc::SocConfig::kAutoSegment;
+    } else {
+      std::uint64_t seg = 0;
+      if (!dma->to_u64(seg) || seg > 64) {
+        fail(error, member_path(path, "dma_segment"),
+             "expected \"auto\" or a segment index");
+        return r.mark_failed();
+      }
+      cfg.dma_segment = static_cast<std::size_t>(seg);
+    }
+  }
+  if (const util::Json* sec = r.take("security")) {
+    if (!sec->is_string() ||
+        !soc::parse_security_mode(sec->as_string(), cfg.security)) {
+      fail(error, member_path(path, "security"),
+           "unknown security mode (expected none | distributed | "
+           "centralized)");
+      return r.mark_failed();
+    }
+  }
+  if (const util::Json* prot = r.take("protection")) {
+    if (!prot->is_string() ||
+        !soc::parse_protection_level(prot->as_string(), cfg.protection)) {
+      fail(error, member_path(path, "protection"),
+           "unknown protection level (expected plaintext | cipher-only | "
+           "cipher+integrity)");
+      return r.mark_failed();
+    }
+  }
+  r.bool_field("enable_reconfig", cfg.enable_reconfig);
+  r.u64_field("trace_capacity", cfg.trace_capacity);
+  r.u64_field("bram_base", cfg.bram_base);
+  r.u64_field("bram_size", cfg.bram_size, 1);
+  r.u64_field("ddr_base", cfg.ddr_base);
+  r.u64_field("ddr_size", cfg.ddr_size, 1);
+  r.u64_field("ddr_protected_base", cfg.ddr_protected_base);
+  r.u64_field("ddr_protected_size", cfg.ddr_protected_size, 1);
+  r.u64_field("line_bytes", cfg.line_bytes, 16, 128);
+  r.double_field("clock_hz", cfg.clock.freq_hz, 1.0);
+  r.u64_field("sb_check_cycles", cfg.sb_check_cycles);
+  r.u64_field("cc_latency", cfg.cc_latency);
+  r.double_field("cc_bits_per_cycle", cfg.cc_bits_per_cycle, 0.0);
+  r.u64_field("ic_latency", cfg.ic_latency);
+  r.double_field("ic_bits_per_cycle", cfg.ic_bits_per_cycle, 0.0);
+  r.u64_field("seed", cfg.seed);
+  r.u64_field("transactions_per_cpu", cfg.transactions_per_cpu, 1);
+  r.double_field("write_fraction", cfg.write_fraction, 0.0, 1.0);
+  r.double_field("external_fraction", cfg.external_fraction, 0.0, 1.0);
+  r.u64_field("compute_min", cfg.compute_min);
+  r.u64_field("compute_max", cfg.compute_max);
+  r.u64_field("max_burst_beats", cfg.max_burst_beats, 1, 256);
+  r.u64_field("extra_rules", cfg.extra_rules, 0, 1024);
+  if (!r.finish()) return false;
+
+  // The structural invariants AddressPlan::from_config() would otherwise
+  // assert on: report them as file errors, not a process abort.
+  if (!util::is_pow2(cfg.line_bytes)) {
+    return fail(error, member_path(path, "line_bytes"),
+                "must be a power of two (16, 32, 64 or 128)");
+  }
+  if (cfg.bram_size <= 16 * 1024) {
+    return fail(error, member_path(path, "bram_size"),
+                "must exceed 16384 (the boot-window size)");
+  }
+  if (cfg.ddr_protected_base != cfg.ddr_base) {
+    return fail(error, member_path(path, "ddr_protected_base"),
+                "the protected window must start at ddr_base");
+  }
+  if (cfg.ddr_protected_size >= cfg.ddr_size) {
+    return fail(error, member_path(path, "ddr_protected_size"),
+                "must leave unprotected scratch after the window (be < "
+                "ddr_size)");
+  }
+  if (cfg.compute_max < cfg.compute_min) {
+    return fail(error, member_path(path, "compute_max"),
+                "must be >= compute_min");
+  }
+  out = cfg;
+  return true;
+}
+
+// --- AttackPlan -------------------------------------------------------------
+
+util::Json attack_to_json(const scenario::AttackPlan& plan) {
+  using util::Json;
+  Json j = Json::object();
+  j.set("kind", Json::string(to_string(plan.kind)));
+  j.set("flood_writes", Json::number(plan.flood_writes));
+  j.set("flood_burst_beats",
+        Json::number(static_cast<std::uint64_t>(plan.flood_burst_beats)));
+  j.set("rate_limit_window", Json::number(plan.rate_limit_window));
+  j.set("rate_limit_max",
+        Json::number(static_cast<std::uint64_t>(plan.rate_limit_max)));
+  j.set("corruption_flips",
+        Json::number(static_cast<std::uint64_t>(plan.corruption_flips)));
+  return j;
+}
+
+bool attack_from_json(const util::Json& j, const std::string& path,
+                      scenario::AttackPlan& out, std::string* error) {
+  // A bare string is shorthand for {"kind": "..."} with default shaping.
+  if (j.is_string()) {
+    scenario::AttackPlan plan = out;
+    if (!scenario::parse_attack_kind(j.as_string(), plan.kind)) {
+      return fail(error, path,
+                  "unknown attack kind '" + j.as_string() + "'");
+    }
+    out = plan;
+    return true;
+  }
+  ObjectReader r(j, path, error);
+  if (!r.ok()) return false;
+  scenario::AttackPlan plan = out;
+  if (const util::Json* kind = r.take("kind")) {
+    if (!kind->is_string() ||
+        !scenario::parse_attack_kind(kind->as_string(), plan.kind)) {
+      fail(error, member_path(path, "kind"), "unknown attack kind");
+      return r.mark_failed();
+    }
+  }
+  r.u64_field("flood_writes", plan.flood_writes, 1, 10'000'000);
+  r.u64_field("flood_burst_beats", plan.flood_burst_beats, 1, 256);
+  r.u64_field("rate_limit_window", plan.rate_limit_window, 1);
+  r.u64_field("rate_limit_max", plan.rate_limit_max, 1, 0xFFFF'FFFFULL);
+  r.u64_field("corruption_flips", plan.corruption_flips, 1, 4096);
+  if (!r.finish()) return false;
+  out = plan;
+  return true;
+}
+
+// --- ScenarioSpec -----------------------------------------------------------
+
+util::Json spec_to_json(const scenario::ScenarioSpec& spec) {
+  using util::Json;
+  Json j = Json::object();
+  j.set("name", Json::string(spec.name));
+  if (!spec.variant.empty()) j.set("variant", Json::string(spec.variant));
+  j.set("description", Json::string(spec.description));
+  j.set("soc", soc_to_json(spec.soc));
+  j.set("attack", attack_to_json(spec.attack));
+  j.set("max_cycles", Json::number(spec.max_cycles));
+  return j;
+}
+
+bool spec_from_json(const util::Json& j, const std::string& path,
+                    scenario::ScenarioSpec& out, std::string* error) {
+  ObjectReader r(j, path, error);
+  if (!r.ok()) return false;
+  scenario::ScenarioSpec spec = out;
+  r.string_field("name", spec.name);
+  r.string_field("variant", spec.variant);
+  r.string_field("description", spec.description);
+  if (const util::Json* soc = r.take("soc")) {
+    if (!soc_from_json(*soc, member_path(path, "soc"), spec.soc, error)) {
+      return r.mark_failed();
+    }
+  }
+  if (const util::Json* attack = r.take("attack")) {
+    if (!attack_from_json(*attack, member_path(path, "attack"), spec.attack,
+                          error)) {
+      return r.mark_failed();
+    }
+  }
+  r.u64_field("max_cycles", spec.max_cycles, 1);
+  if (!r.finish()) return false;
+  out = std::move(spec);
+  return true;
+}
+
+// --- SweepAxes --------------------------------------------------------------
+
+util::Json axes_to_json(const scenario::SweepAxes& axes) {
+  using util::Json;
+  Json j = Json::object();
+  if (!axes.topology.empty()) {
+    Json arr = Json::array();
+    for (const soc::TopologySpec& t : axes.topology) {
+      arr.push(topology_to_json(t));
+    }
+    j.set("topology", std::move(arr));
+  }
+  const auto u64_axis = [&j](const char* key, const auto& values) {
+    if (values.empty()) return;
+    Json arr = Json::array();
+    for (const auto v : values) {
+      arr.push(Json::number(static_cast<std::uint64_t>(v)));
+    }
+    j.set(key, std::move(arr));
+  };
+  u64_axis("cpus", axes.cpus);
+  if (!axes.security.empty()) {
+    Json arr = Json::array();
+    for (const soc::SecurityMode m : axes.security) {
+      arr.push(Json::string(to_string(m)));
+    }
+    j.set("security", std::move(arr));
+  }
+  if (!axes.protection.empty()) {
+    Json arr = Json::array();
+    for (const soc::ProtectionLevel p : axes.protection) {
+      arr.push(Json::string(to_string(p)));
+    }
+    j.set("protection", std::move(arr));
+  }
+  u64_axis("extra_rules", axes.extra_rules);
+  u64_axis("line_bytes", axes.line_bytes);
+  if (!axes.external_fraction.empty()) {
+    Json arr = Json::array();
+    for (const double f : axes.external_fraction) {
+      arr.push(Json::number(f));
+    }
+    j.set("external_fraction", std::move(arr));
+  }
+  u64_axis("seeds", axes.seeds);
+  return j;
+}
+
+bool axes_from_json(const util::Json& j, const std::string& path,
+                    std::uint64_t base_seed, scenario::SweepAxes& out,
+                    std::string* error, bool allow_attack_key) {
+  ObjectReader r(j, path, error);
+  if (!r.ok()) return false;
+  scenario::SweepAxes axes;
+  if (allow_attack_key) r.take("attack");  // the campaign reader's axis
+
+  if (const util::Json* topo = r.take("topology")) {
+    if (!topo->is_array()) {
+      fail(error, member_path(path, "topology"), "expected an array");
+      return r.mark_failed();
+    }
+    for (std::size_t i = 0; i < topo->items().size(); ++i) {
+      soc::TopologySpec t;
+      if (!topology_from_json(
+              topo->items()[i],
+              index_path(member_path(path, "topology"), i), t, error)) {
+        return r.mark_failed();
+      }
+      axes.topology.push_back(t);
+    }
+  }
+
+  const auto u64_axis = [&](const char* key, auto& values, std::uint64_t lo,
+                            std::uint64_t hi) -> bool {
+    const util::Json* v = r.take(key);
+    if (v == nullptr) return true;
+    if (!v->is_array()) {
+      fail(error, member_path(path, key), "expected an array");
+      return false;
+    }
+    for (std::size_t i = 0; i < v->items().size(); ++i) {
+      std::uint64_t raw = 0;
+      if (!v->items()[i].to_u64(raw) || raw < lo || raw > hi) {
+        fail(error, index_path(member_path(path, key), i),
+             "expected an integer in [" + std::to_string(lo) + ", " +
+                 std::to_string(hi) + "]");
+        return false;
+      }
+      values.push_back(
+          static_cast<typename std::decay_t<decltype(values)>::value_type>(
+              raw));
+    }
+    return true;
+  };
+
+  if (!u64_axis("cpus", axes.cpus, 1, 64)) return r.mark_failed();
+
+  if (const util::Json* sec = r.take("security")) {
+    if (!sec->is_array()) {
+      fail(error, member_path(path, "security"), "expected an array");
+      return r.mark_failed();
+    }
+    for (std::size_t i = 0; i < sec->items().size(); ++i) {
+      const util::Json& item = sec->items()[i];
+      soc::SecurityMode mode;
+      if (!item.is_string() ||
+          !soc::parse_security_mode(item.as_string(), mode)) {
+        fail(error, index_path(member_path(path, "security"), i),
+             "unknown security mode (expected none | distributed | "
+             "centralized)");
+        return r.mark_failed();
+      }
+      axes.security.push_back(mode);
+    }
+  }
+  if (const util::Json* prot = r.take("protection")) {
+    if (!prot->is_array()) {
+      fail(error, member_path(path, "protection"), "expected an array");
+      return r.mark_failed();
+    }
+    for (std::size_t i = 0; i < prot->items().size(); ++i) {
+      const util::Json& item = prot->items()[i];
+      soc::ProtectionLevel level;
+      if (!item.is_string() ||
+          !soc::parse_protection_level(item.as_string(), level)) {
+        fail(error, index_path(member_path(path, "protection"), i),
+             "unknown protection level (expected plaintext | cipher-only | "
+             "cipher+integrity)");
+        return r.mark_failed();
+      }
+      axes.protection.push_back(level);
+    }
+  }
+
+  if (!u64_axis("extra_rules", axes.extra_rules, 0, 1024)) {
+    return r.mark_failed();
+  }
+  if (!u64_axis("line_bytes", axes.line_bytes, 16, 128)) {
+    return r.mark_failed();
+  }
+
+  if (const util::Json* ext = r.take("external_fraction")) {
+    if (!ext->is_array()) {
+      fail(error, member_path(path, "external_fraction"),
+           "expected an array");
+      return r.mark_failed();
+    }
+    for (std::size_t i = 0; i < ext->items().size(); ++i) {
+      const util::Json& item = ext->items()[i];
+      const double f = item.as_double();
+      if (!item.is_number() || f < 0.0 || f > 1.0) {
+        fail(error, index_path(member_path(path, "external_fraction"), i),
+             "expected a fraction in [0, 1]");
+        return r.mark_failed();
+      }
+      axes.external_fraction.push_back(f);
+    }
+  }
+
+  if (const util::Json* seeds = r.take("seeds")) {
+    if (seeds->is_array()) {
+      for (std::size_t i = 0; i < seeds->items().size(); ++i) {
+        std::uint64_t s = 0;
+        if (!seeds->items()[i].to_u64(s)) {
+          fail(error, index_path(member_path(path, "seeds"), i),
+               "expected a non-negative integer seed");
+          return r.mark_failed();
+        }
+        axes.seeds.push_back(s);
+      }
+    } else {
+      // Count shorthand: N deterministically derived repeats of the base
+      // seed (derive_seed chain, repeat 0 = the base seed itself).
+      std::uint64_t count = 0;
+      if (!seeds->to_u64(count) || count < 1 || count > 10'000) {
+        fail(error, member_path(path, "seeds"),
+             "seed count out of range [1, 10000] (or pass an explicit "
+             "array of seeds)");
+        return r.mark_failed();
+      }
+      for (std::uint64_t rep = 0; rep < count; ++rep) {
+        axes.seeds.push_back(scenario::derive_seed(base_seed, rep));
+      }
+    }
+  }
+
+  if (!r.finish()) return false;
+  out = std::move(axes);
+  return true;
+}
+
+// --- equality ---------------------------------------------------------------
+
+bool topology_equal(const soc::TopologySpec& a,
+                    const soc::TopologySpec& b) noexcept {
+  if (a.kind != b.kind || a.hop_latency != b.hop_latency) return false;
+  switch (a.kind) {
+    case soc::TopologyKind::kFlat: return true;
+    case soc::TopologyKind::kStar: return a.star_leaves == b.star_leaves;
+    case soc::TopologyKind::kMesh:
+      return a.mesh_rows == b.mesh_rows && a.mesh_cols == b.mesh_cols;
+  }
+  return false;
+}
+
+bool soc_equal(const soc::SocConfig& a, const soc::SocConfig& b) noexcept {
+  return a.processors == b.processors &&
+         topology_equal(a.topology, b.topology) &&
+         a.dedicated_ip == b.dedicated_ip &&
+         a.memory_segment == b.memory_segment &&
+         a.dma_segment == b.dma_segment && a.security == b.security &&
+         a.protection == b.protection &&
+         a.enable_reconfig == b.enable_reconfig &&
+         a.trace_capacity == b.trace_capacity && a.bram_base == b.bram_base &&
+         a.bram_size == b.bram_size && a.ddr_base == b.ddr_base &&
+         a.ddr_size == b.ddr_size &&
+         a.ddr_protected_base == b.ddr_protected_base &&
+         a.ddr_protected_size == b.ddr_protected_size &&
+         a.line_bytes == b.line_bytes &&
+         a.clock.freq_hz == b.clock.freq_hz &&
+         a.sb_check_cycles == b.sb_check_cycles &&
+         a.cc_latency == b.cc_latency &&
+         a.cc_bits_per_cycle == b.cc_bits_per_cycle &&
+         a.ic_latency == b.ic_latency &&
+         a.ic_bits_per_cycle == b.ic_bits_per_cycle && a.seed == b.seed &&
+         a.transactions_per_cpu == b.transactions_per_cpu &&
+         a.write_fraction == b.write_fraction &&
+         a.external_fraction == b.external_fraction &&
+         a.compute_min == b.compute_min && a.compute_max == b.compute_max &&
+         a.max_burst_beats == b.max_burst_beats &&
+         a.extra_rules == b.extra_rules;
+}
+
+bool attack_equal(const scenario::AttackPlan& a,
+                  const scenario::AttackPlan& b) noexcept {
+  return a.kind == b.kind && a.flood_writes == b.flood_writes &&
+         a.flood_burst_beats == b.flood_burst_beats &&
+         a.rate_limit_window == b.rate_limit_window &&
+         a.rate_limit_max == b.rate_limit_max &&
+         a.corruption_flips == b.corruption_flips;
+}
+
+bool spec_equal(const scenario::ScenarioSpec& a,
+                const scenario::ScenarioSpec& b) noexcept {
+  return a.name == b.name && a.variant == b.variant &&
+         a.description == b.description && soc_equal(a.soc, b.soc) &&
+         attack_equal(a.attack, b.attack) && a.max_cycles == b.max_cycles;
+}
+
+bool axes_equal(const scenario::SweepAxes& a,
+                const scenario::SweepAxes& b) noexcept {
+  if (a.topology.size() != b.topology.size()) return false;
+  for (std::size_t i = 0; i < a.topology.size(); ++i) {
+    if (!topology_equal(a.topology[i], b.topology[i])) return false;
+  }
+  return a.cpus == b.cpus && a.security == b.security &&
+         a.protection == b.protection && a.extra_rules == b.extra_rules &&
+         a.line_bytes == b.line_bytes &&
+         a.external_fraction == b.external_fraction && a.seeds == b.seeds;
+}
+
+}  // namespace secbus::campaign

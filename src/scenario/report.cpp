@@ -86,6 +86,10 @@ class JsonBuilder {
     key_prefix(key);
     out_ += value ? "true" : "false";
   }
+  void null_field(const std::string& key) {
+    key_prefix(key);
+    out_ += "null";
+  }
 
   [[nodiscard]] std::string str() && { return std::move(out_); }
 
@@ -133,6 +137,17 @@ BatchAggregate BatchAggregate::from(const std::vector<JobResult>& jobs) {
     agg.blocked.add(static_cast<double>(job.fw_blocked));
     latency_hist.add(job.soc.avg_access_latency);
     agg.access_hist.merge(job.latency_hist);
+    if (job.attack_ran) {
+      ++agg.attacks_ran;
+      if (job.detected) {
+        ++agg.attacks_detected;
+        agg.detection_hist.add(job.detection_latency);
+      }
+      if (job.containment_checked) {
+        ++agg.containment_checked;
+        if (job.contained) ++agg.attacks_contained;
+      }
+    }
   }
   agg.latency_p50 = latency_hist.percentile(50);
   agg.latency_p95 = latency_hist.percentile(95);
@@ -162,6 +177,21 @@ const std::vector<std::string>& batch_csv_columns() {
 void write_batch_csv(util::CsvWriter& csv, const std::vector<JobResult>& jobs) {
   csv.header(batch_csv_columns());
   for (const JobResult& job : jobs) {
+    // Attack-outcome cells stay *empty* when the question was never posed:
+    // no attack ran, detection never happened, containment/victim checks
+    // don't apply to this attack kind. "0" is reserved for a real negative.
+    const std::string blank;
+    const std::string detected =
+        job.attack_ran ? (job.detected ? "1" : "0") : blank;
+    const std::string detection_latency =
+        job.attack_ran && job.detected ? u64(job.detection_latency) : blank;
+    const std::string contained =
+        job.attack_ran && job.containment_checked ? (job.contained ? "1" : "0")
+                                                  : blank;
+    const std::string victim_intact =
+        job.attack_ran && job.victim_checked
+            ? (job.victim_data_intact ? "1" : "0")
+            : blank;
     csv.row({job.name, job.variant, job.topology, u64(job.segments),
              u64(job.max_hops), u64(job.cpus), job.security,
              job.protection, u64(job.seed), u64(job.extra_rules),
@@ -173,10 +203,9 @@ void write_batch_csv(util::CsvWriter& csv, const std::vector<JobResult>& jobs) {
              u64(job.soc.latency_p99),
              fmt_double(job.soc.bus_occupancy), u64(job.soc.bytes_moved),
              u64(job.fw_passed), u64(job.fw_blocked),
-             job.attack, job.detected ? "1" : "0",
-             u64(job.detected ? job.detection_latency : 0),
-             job.contained ? "1" : "0", job.victim_data_intact ? "1" : "0",
-             u64(job.flood_completed), u64(job.flood_blocked)});
+             job.attack, detected, detection_latency, contained,
+             victim_intact, u64(job.flood_completed),
+             u64(job.flood_blocked)});
   }
 }
 
@@ -219,11 +248,24 @@ std::string batch_json(const std::string& scenario_name,
     j.field("fw_blocked", job.fw_blocked);
     j.field("attack", job.attack);
     if (job.attack_ran) {
+      // One convention for "the question was never posed": an explicit
+      // null, mirroring the CSV's empty cells. false is a real negative.
       j.field("detected", job.detected);
-      j.field("detection_latency",
-              job.detected ? job.detection_latency : std::uint64_t{0});
-      j.field("contained", job.contained);
-      j.field("victim_intact", job.victim_data_intact);
+      if (job.detected) {
+        j.field("detection_latency", job.detection_latency);
+      } else {
+        j.null_field("detection_latency");  // never detected, not "cycle 0"
+      }
+      if (job.containment_checked) {
+        j.field("contained", job.contained);
+      } else {
+        j.null_field("contained");
+      }
+      if (job.victim_checked) {
+        j.field("victim_intact", job.victim_data_intact);
+      } else {
+        j.null_field("victim_intact");
+      }
     }
     j.end_object();
   }
@@ -249,6 +291,28 @@ std::string batch_json(const std::string& scenario_name,
   j.field("alerts_total", static_cast<std::uint64_t>(aggregate.alerts.sum()));
   j.field("fw_blocked_total",
           static_cast<std::uint64_t>(aggregate.blocked.sum()));
+  if (aggregate.attacks_ran > 0) {
+    j.field("attacks_ran", static_cast<std::uint64_t>(aggregate.attacks_ran));
+    j.field("attacks_detected",
+            static_cast<std::uint64_t>(aggregate.attacks_detected));
+    if (aggregate.containment_checked > 0) {
+      // Denominator and numerator together: containment is only evaluated
+      // for some attack kinds, so contained/ran would misread the rate.
+      j.field("containment_checked",
+              static_cast<std::uint64_t>(aggregate.containment_checked));
+      j.field("attacks_contained",
+              static_cast<std::uint64_t>(aggregate.attacks_contained));
+    }
+    if (aggregate.attacks_detected > 0) {
+      j.field("detection_p50", aggregate.detection_hist.p50());
+      j.field("detection_p95", aggregate.detection_hist.p95());
+      j.field("detection_p99", aggregate.detection_hist.p99());
+    } else {
+      j.null_field("detection_p50");
+      j.null_field("detection_p95");
+      j.null_field("detection_p99");
+    }
+  }
   j.end_object();
   j.end_object();
   return std::move(j).str() + "\n";
@@ -297,7 +361,34 @@ std::string render_batch_table(const std::string& scenario_name,
       static_cast<unsigned long long>(aggregate.access_p95),
       static_cast<unsigned long long>(aggregate.access_p99),
       aggregate.alerts.sum(), aggregate.blocked.sum());
-  return out + foot;
+  out += foot;
+  if (aggregate.attacks_ran > 0) {
+    char sec[256];
+    if (aggregate.attacks_detected > 0) {
+      std::snprintf(
+          sec, sizeof sec,
+          "security: %zu/%zu detected (latency p50/p95/p99 %llu/%llu/%llu "
+          "cyc over detected runs)",
+          aggregate.attacks_detected, aggregate.attacks_ran,
+          static_cast<unsigned long long>(aggregate.detection_hist.p50()),
+          static_cast<unsigned long long>(aggregate.detection_hist.p95()),
+          static_cast<unsigned long long>(aggregate.detection_hist.p99()));
+    } else {
+      std::snprintf(sec, sizeof sec, "security: 0/%zu detected",
+                    aggregate.attacks_ran);
+    }
+    out += sec;
+    // Containment only when some run actually posed the question: "0/0
+    // contained" would read as a failure.
+    if (aggregate.containment_checked > 0) {
+      std::snprintf(sec, sizeof sec, ", %zu/%zu contained",
+                    aggregate.attacks_contained,
+                    aggregate.containment_checked);
+      out += sec;
+    }
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace secbus::scenario

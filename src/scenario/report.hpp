@@ -34,6 +34,14 @@ struct BatchAggregate {
   std::uint64_t access_p50 = 0;
   std::uint64_t access_p95 = 0;
   std::uint64_t access_p99 = 0;
+  // Security outcomes across the batch. Detection-latency percentiles cover
+  // *detected* runs only — undetected runs have no latency, and folding a 0
+  // in for them would fake instant detections.
+  std::size_t attacks_ran = 0;
+  std::size_t attacks_detected = 0;
+  std::size_t containment_checked = 0;
+  std::size_t attacks_contained = 0;
+  util::LatencyHistogram detection_hist;
 
   [[nodiscard]] static BatchAggregate from(const std::vector<JobResult>& jobs);
 };

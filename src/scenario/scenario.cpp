@@ -100,7 +100,8 @@ JobResult run_scenario(const ScenarioSpec& spec) {
 
   soc::Soc soc(spec.soc);
   r.max_hops = soc.fabric().hop_count(
-      0, soc.fabric().farthest_segment_from(0));
+      soc.memory_segment(),
+      soc.fabric().farthest_segment_from(soc.memory_segment()));
   const auto& plan = soc.plan();
   const AttackPlan& atk = spec.attack;
 
@@ -246,12 +247,14 @@ JobResult run_scenario(const ScenarioSpec& spec) {
   if (atk.kind == AttackKind::kHijack) {
     // Containment (Section III.C): only the script's legal accesses may ever
     // win a bus grant; every probe must die inside the hijacked IP's LF.
+    r.containment_checked = true;
     r.contained = bus_grants_for(soc, "hijacked") <= kHijackLegalSteps;
   }
   if (victim != nullptr && !victim->stats().responses.empty()) {
     // An empty response list means the cycle cap cut the victim's script
     // short (r.soc.completed is false); no final read to judge.
     const bus::BusTransaction& final_read = victim->stats().responses.back();
+    r.victim_checked = true;
     r.victim_read_aborted = final_read.status != bus::TransStatus::kOk;
     r.victim_data_intact =
         final_read.status == bus::TransStatus::kOk && final_read.data == expected;
@@ -259,8 +262,10 @@ JobResult run_scenario(const ScenarioSpec& spec) {
   if (flood != nullptr) {
     r.flood_completed = flood->completed();
     r.flood_blocked = flood->rejected();
-    r.contained = atk.kind == AttackKind::kFloodOutOfPolicy &&
-                  bus_grants_for(soc, "flooder") == 0;
+    // Only an out-of-policy flood can be *contained* (absorbed by the
+    // flooder's own LF); in-policy floods are legal traffic by definition.
+    r.containment_checked = atk.kind == AttackKind::kFloodOutOfPolicy;
+    r.contained = r.containment_checked && bus_grants_for(soc, "flooder") == 0;
   }
 
   return r;

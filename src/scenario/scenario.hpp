@@ -98,14 +98,23 @@ struct JobResult {
   std::uint64_t fw_check_cycles = 0;
   std::array<std::uint64_t, core::kViolationKindCount> violations{};
 
-  // Attack outcome (meaningful when the spec staged one).
+  // Attack outcome (meaningful when the spec staged one). detection_cycle /
+  // detection_latency are only meaningful when `detected` is true — report
+  // emitters must write empty/null cells for undetected runs, never 0,
+  // so "detected instantly" stays distinguishable from "never detected".
   bool attack_ran = false;
   bool detected = false;
   sim::Cycle attack_cycle = 0;
   sim::Cycle detection_cycle = sim::kNeverCycle;
   sim::Cycle detection_latency = 0;
   bool contained = false;          // attacker traffic never won the bus
+  // True when this scenario kind actually evaluates containment (hijack and
+  // out-of-policy floods); `contained` is meaningless otherwise.
+  bool containment_checked = false;
   bool victim_data_intact = false; // external attacks: final read unchanged
+  // True when a victim's final read-back completed and was judged; external
+  // attacks only. `victim_data_intact` is meaningless otherwise.
+  bool victim_checked = false;
   bool victim_read_aborted = false;
   std::uint64_t flood_completed = 0;
   std::uint64_t flood_blocked = 0;

@@ -6,34 +6,6 @@ namespace secbus::scenario {
 
 namespace {
 
-void append_label(std::string& label, const char* key,
-                  const std::string& value) {
-  if (!label.empty()) label += ',';
-  label += key;
-  label += '=';
-  label += value;
-}
-
-// Removes a "key=value" component from a sweep label (replicate_seeds must
-// not leave a stale seed= from an expanded seeds axis next to the derived
-// one).
-std::string strip_label_key(const std::string& label, const char* key) {
-  const std::string prefix = std::string(key) + '=';
-  std::string out;
-  std::size_t start = 0;
-  while (start <= label.size()) {
-    std::size_t comma = label.find(',', start);
-    if (comma == std::string::npos) comma = label.size();
-    const std::string component = label.substr(start, comma - start);
-    if (!component.empty() && component.rfind(prefix, 0) != 0) {
-      if (!out.empty()) out += ',';
-      out += component;
-    }
-    start = comma + 1;
-  }
-  return out;
-}
-
 std::string trimmed_double(double v) {
   std::string s = std::to_string(v);
   while (s.size() > 1 && s.back() == '0') s.pop_back();
@@ -42,6 +14,14 @@ std::string trimmed_double(double v) {
 }
 
 }  // namespace
+
+void append_variant_label(std::string& label, const char* key,
+                          const std::string& value) {
+  if (!label.empty()) label += ',';
+  label += key;
+  label += '=';
+  label += value;
+}
 
 bool SweepAxes::empty() const noexcept {
   return topology.empty() && cpus.empty() && security.empty() &&
@@ -86,41 +66,41 @@ std::vector<ScenarioSpec> expand(const ScenarioSpec& base,
                 std::string label = base.variant;
                 if (!axes.topology.empty()) {
                   spec.soc.topology = axes.topology[it];
-                  append_label(label, "topology",
+                  append_variant_label(label, "topology",
                                axes.topology[it].label());
                 }
                 if (!axes.cpus.empty()) {
                   spec.soc.processors = axes.cpus[ic];
-                  append_label(label, "cpus", std::to_string(axes.cpus[ic]));
+                  append_variant_label(label, "cpus", std::to_string(axes.cpus[ic]));
                 }
                 if (!axes.security.empty()) {
                   spec.soc.security = axes.security[is];
-                  append_label(label, "security",
+                  append_variant_label(label, "security",
                                to_string(axes.security[is]));
                 }
                 if (!axes.protection.empty()) {
                   spec.soc.protection = axes.protection[ip];
-                  append_label(label, "protection",
+                  append_variant_label(label, "protection",
                                to_string(axes.protection[ip]));
                 }
                 if (!axes.extra_rules.empty()) {
                   spec.soc.extra_rules = axes.extra_rules[ir];
-                  append_label(label, "extra_rules",
+                  append_variant_label(label, "extra_rules",
                                std::to_string(axes.extra_rules[ir]));
                 }
                 if (!axes.line_bytes.empty()) {
                   spec.soc.line_bytes = axes.line_bytes[il];
-                  append_label(label, "line_bytes",
+                  append_variant_label(label, "line_bytes",
                                std::to_string(axes.line_bytes[il]));
                 }
                 if (!axes.external_fraction.empty()) {
                   spec.soc.external_fraction = axes.external_fraction[ie];
-                  append_label(label, "external",
+                  append_variant_label(label, "external",
                                trimmed_double(axes.external_fraction[ie]));
                 }
                 if (!axes.seeds.empty()) {
                   spec.soc.seed = axes.seeds[id];
-                  append_label(label, "seed",
+                  append_variant_label(label, "seed",
                                std::to_string(axes.seeds[id]));
                 }
                 spec.variant = std::move(label);
@@ -145,11 +125,30 @@ std::vector<ScenarioSpec> replicate_seeds(std::vector<ScenarioSpec> specs,
     for (std::uint64_t rep = 0; rep < repeats; ++rep) {
       ScenarioSpec copy = spec;
       copy.soc.seed = derive_seed(spec.soc.seed, rep);
-      std::string label = strip_label_key(copy.variant, "seed");
-      append_label(label, "seed", std::to_string(copy.soc.seed));
+      // Strip any seed= from an expanded seeds axis before appending the
+      // derived one; no stale component may survive.
+      std::string label = strip_variant_key(copy.variant, "seed");
+      append_variant_label(label, "seed", std::to_string(copy.soc.seed));
       copy.variant = std::move(label);
       out.push_back(std::move(copy));
     }
+  }
+  return out;
+}
+
+std::string strip_variant_key(const std::string& label, const char* key) {
+  const std::string prefix = std::string(key) + '=';
+  std::string out;
+  std::size_t start = 0;
+  while (start <= label.size()) {
+    std::size_t comma = label.find(',', start);
+    if (comma == std::string::npos) comma = label.size();
+    const std::string component = label.substr(start, comma - start);
+    if (!component.empty() && component.rfind(prefix, 0) != 0) {
+      if (!out.empty()) out += ',';
+      out += component;
+    }
+    start = comma + 1;
   }
   return out;
 }

@@ -40,4 +40,15 @@ struct SweepAxes {
 [[nodiscard]] std::vector<ScenarioSpec> replicate_seeds(
     std::vector<ScenarioSpec> specs, std::uint64_t repeats);
 
+// The variant-label format, shared with the campaign expander: labels are
+// comma-joined "key=value" components, appended in axis order.
+void append_variant_label(std::string& label, const char* key,
+                          const std::string& value);
+
+// Removes every "key=value" component from a sweep variant label. Grouping
+// jobs by strip_variant_key(variant, "seed") collapses seed repeats of one
+// grid cell onto a single key (campaign report cells).
+[[nodiscard]] std::string strip_variant_key(const std::string& label,
+                                            const char* key);
+
 }  // namespace secbus::scenario

@@ -25,6 +25,66 @@ const char* to_string(ProtectionLevel level) noexcept {
   return "?";
 }
 
+bool parse_security_mode(std::string_view text, SecurityMode& out) noexcept {
+  if (text == "none") out = SecurityMode::kNone;
+  else if (text == "distributed") out = SecurityMode::kDistributed;
+  else if (text == "centralized") out = SecurityMode::kCentralized;
+  else return false;
+  return true;
+}
+
+bool parse_protection_level(std::string_view text,
+                            ProtectionLevel& out) noexcept {
+  if (text == "plaintext") out = ProtectionLevel::kPlaintext;
+  else if (text == "cipher" || text == "cipher-only")
+    out = ProtectionLevel::kCipherOnly;
+  else if (text == "full" || text == "cipher+integrity")
+    out = ProtectionLevel::kFull;
+  else return false;
+  return true;
+}
+
+namespace {
+
+bool parse_size(std::string_view text, std::size_t& out) noexcept {
+  if (text.empty() || text.size() > 6) return false;
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+bool parse_topology(std::string_view text, TopologySpec& out) noexcept {
+  if (text == "flat") {
+    out = TopologySpec::flat();
+    return true;
+  }
+  std::size_t a = 0;
+  std::size_t b = 0;
+  if (text.rfind("star", 0) == 0) {
+    if (!parse_size(text.substr(4), a) || a < 1 || a > 64) return false;
+    out = TopologySpec::star(a);
+    return true;
+  }
+  if (text.rfind("mesh", 0) == 0) {
+    const std::size_t x = text.find('x', 4);
+    if (x == std::string_view::npos) return false;
+    if (!parse_size(text.substr(4, x - 4), a) ||
+        !parse_size(text.substr(x + 1), b)) {
+      return false;
+    }
+    if (a < 1 || b < 1 || a * b > 64) return false;
+    out = TopologySpec::mesh(a, b);
+    return true;
+  }
+  return false;
+}
+
 const char* to_string(TopologyKind kind) noexcept {
   switch (kind) {
     case TopologyKind::kFlat: return "flat";
@@ -45,6 +105,11 @@ std::string TopologySpec::label() const {
   return "?";
 }
 
+std::uint64_t AddressPlan::cpu_window_bytes(const SocConfig& cfg,
+                                            std::size_t processors) {
+  return util::align_down(cfg.ddr_protected_size / (processors + 1), 4096);
+}
+
 AddressPlan AddressPlan::from_config(const SocConfig& cfg) {
   SECBUS_ASSERT(cfg.bram_size > 16 * 1024, "BRAM too small for the plan");
   SECBUS_ASSERT(cfg.ddr_protected_base == cfg.ddr_base,
@@ -57,8 +122,7 @@ AddressPlan AddressPlan::from_config(const SocConfig& cfg) {
   plan.bram_scratch = {cfg.bram_base, cfg.bram_size - boot_size};
   plan.bram_boot = {cfg.bram_base + cfg.bram_size - boot_size, boot_size};
 
-  const std::uint64_t window = util::align_down(
-      cfg.ddr_protected_size / (cfg.processors + 1), 4096);
+  const std::uint64_t window = cpu_window_bytes(cfg, cfg.processors);
   SECBUS_ASSERT(window >= 4096, "protected region too small for CPU windows");
   for (std::size_t i = 0; i < cfg.processors; ++i) {
     plan.cpu_windows.push_back(
@@ -95,10 +159,16 @@ bus::FabricTopology to_fabric_topology(const TopologySpec& spec) {
   SECBUS_UNREACHABLE("bad topology kind");
 }
 
-// Memories (and the dedicated IP) anchor segment 0 in every topology.
-constexpr std::size_t kMemorySegment = 0;
-
 }  // namespace
+
+std::size_t Soc::memory_segment() const noexcept {
+  return cfg_.memory_segment;
+}
+
+std::size_t Soc::dma_segment() const noexcept {
+  return cfg_.dma_segment == SocConfig::kAutoSegment ? cfg_.memory_segment
+                                                     : cfg_.dma_segment;
+}
 
 std::size_t Soc::cpu_segment(std::size_t i) const noexcept {
   const TopologySpec& topo = cfg_.topology;
@@ -116,6 +186,11 @@ std::size_t Soc::cpu_segment(std::size_t i) const noexcept {
 
 Soc::Soc(const SocConfig& cfg)
     : cfg_(cfg), plan_(AddressPlan::from_config(cfg)), trace_(cfg.trace_capacity) {
+  SECBUS_ASSERT(cfg_.memory_segment < cfg_.topology.segment_count(),
+                "memory_segment outside the fabric");
+  SECBUS_ASSERT(cfg_.dma_segment == SocConfig::kAutoSegment ||
+                    cfg_.dma_segment < cfg_.topology.segment_count(),
+                "dma_segment outside the fabric");
   fabric_ = std::make_unique<bus::Fabric>(to_fabric_topology(cfg_.topology));
   if (trace_.enabled()) fabric_->set_trace(&trace_);
 
@@ -215,10 +290,10 @@ void Soc::build_policies() {
                         cpu_policy(i), cpu_segment(i));
   }
   if (cfg_.dedicated_ip) {
-    config_mem_.install(kFwDma, dma_policy(), kMemorySegment);
+    config_mem_.install(kFwDma, dma_policy(), dma_segment());
   }
-  config_mem_.install(kFwBram, bram_policy(), kMemorySegment);
-  config_mem_.install(kFwLcf, lcf_policy(), kMemorySegment);
+  config_mem_.install(kFwBram, bram_policy(), cfg_.memory_segment);
+  config_mem_.install(kFwLcf, lcf_policy(), cfg_.memory_segment);
 }
 
 void Soc::build_memory() {
@@ -277,11 +352,12 @@ void Soc::build_memory() {
     }
   }
 
-  // Both memories (and their slave-side protection) live on segment 0;
-  // remote segments reach them through the fabric's bridge routes.
-  const auto bram_slave = fabric_->add_slave(*bram_dev, kMemorySegment);
+  // Both memories (and their slave-side protection) share one home segment
+  // (cfg.memory_segment, historically 0); remote segments reach them through
+  // the fabric's bridge routes.
+  const auto bram_slave = fabric_->add_slave(*bram_dev, cfg_.memory_segment);
   fabric_->map_region(cfg_.bram_base, cfg_.bram_size, bram_slave, "bram");
-  const auto ddr_slave = fabric_->add_slave(*ddr_dev, kMemorySegment);
+  const auto ddr_slave = fabric_->add_slave(*ddr_dev, cfg_.memory_segment);
   fabric_->map_region(cfg_.ddr_base, cfg_.ddr_size, ddr_slave, "ddr");
 }
 
@@ -349,7 +425,7 @@ void Soc::build_masters() {
   if (cfg_.dedicated_ip) {
     dma_ = std::make_unique<ip::DmaEngine>("dma", kMasterDma);
     dma_->connect(
-        wire_master(*dma_, "dma", kMasterDma, kFwDma, kMemorySegment));
+        wire_master(*dma_, "dma", kMasterDma, kFwDma, dma_segment()));
   }
 }
 
@@ -366,7 +442,7 @@ bus::MasterEndpoint& Soc::attach_custom_master(
     core::SecurityPolicy policy, std::function<bool()> done,
     const core::LocalFirewall::Config* lf_cfg, std::size_t segment) {
   if (segment == kRemoteSegment) {
-    segment = fabric_->farthest_segment_from(kMemorySegment);
+    segment = fabric_->farthest_segment_from(cfg_.memory_segment);
   }
   SECBUS_ASSERT(segment < fabric_->segment_count(),
                 "attach_custom_master: bad segment");

@@ -41,6 +41,13 @@ struct AddressPlan {
   Window ddr_scratch;   // unprotected external scratch (the paper's
                         // "non sensitive part of the system")
 
+  // Per-CPU protected-window size under this plan's layout for a
+  // hypothetical CPU count. from_config() asserts it is >= 4096; campaign
+  // validation calls it to reject bad `cpus` values *before* building a
+  // SoC, so the two can never disagree on the layout formula.
+  [[nodiscard]] static std::uint64_t cpu_window_bytes(const SocConfig& cfg,
+                                                      std::size_t processors);
+
   static AddressPlan from_config(const SocConfig& cfg);
 };
 
@@ -122,11 +129,17 @@ class Soc {
   sim::SimKernel& kernel() noexcept { return kernel_; }
   bus::Fabric& fabric() noexcept { return *fabric_; }
   [[nodiscard]] const bus::Fabric& fabric() const noexcept { return *fabric_; }
-  // Segment 0 — the memory-side segment, and the *only* segment on a flat
-  // topology (which is what pre-fabric callers mean by "the bus").
-  bus::SystemBus& bus() noexcept { return fabric_->segment(0); }
+  // The memory-side segment — the *only* segment on a flat topology (which
+  // is what pre-fabric callers mean by "the bus").
+  bus::SystemBus& bus() noexcept {
+    return fabric_->segment(cfg_.memory_segment);
+  }
   // Fabric segment hosting processor `i` under this SoC's placement.
   [[nodiscard]] std::size_t cpu_segment(std::size_t i) const noexcept;
+  // Home segment of the memories / the dedicated IP (cfg overrides applied,
+  // kAutoSegment resolved).
+  [[nodiscard]] std::size_t memory_segment() const noexcept;
+  [[nodiscard]] std::size_t dma_segment() const noexcept;
   mem::DdrMemory& ddr() noexcept { return *ddr_; }
   mem::Bram& bram() noexcept { return *bram_; }
   core::SecurityEventLog& log() noexcept { return log_; }

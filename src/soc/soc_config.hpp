@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "sim/types.hpp"
 
@@ -19,6 +20,10 @@ enum class SecurityMode : std::uint8_t {
 
 [[nodiscard]] const char* to_string(SecurityMode mode) noexcept;
 
+// Accepts the to_string() name; false on anything else.
+[[nodiscard]] bool parse_security_mode(std::string_view text,
+                                       SecurityMode& out) noexcept;
+
 // External-memory protection level (the LCF's CM/IM policy parameters).
 enum class ProtectionLevel : std::uint8_t {
   kPlaintext,   // CM=bypass, IM=bypass (the paper's unprotected memory)
@@ -27,6 +32,11 @@ enum class ProtectionLevel : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(ProtectionLevel level) noexcept;
+
+// Accepts both the to_string() names ("plaintext", "cipher-only",
+// "cipher+integrity") and the CLI short forms ("cipher", "full").
+[[nodiscard]] bool parse_protection_level(std::string_view text,
+                                          ProtectionLevel& out) noexcept;
 
 // Shape of the interconnect fabric the SoC is built on.
 enum class TopologyKind : std::uint8_t {
@@ -81,11 +91,26 @@ struct TopologySpec {
   [[nodiscard]] std::string label() const;
 };
 
+// Inverse of TopologySpec::label(): "flat" | "star<leaves>" |
+// "mesh<rows>x<cols>" (e.g. star4, mesh2x2); segment counts are capped at
+// 64. `hop_latency` keeps its default; false on anything else.
+[[nodiscard]] bool parse_topology(std::string_view text,
+                                  TopologySpec& out) noexcept;
+
 struct SocConfig {
+  // Sentinel for the placement fields below: "derive from the other
+  // placement choices" instead of a fixed segment index.
+  static constexpr std::size_t kAutoSegment = static_cast<std::size_t>(-1);
+
   // --- structure ------------------------------------------------------
   std::size_t processors = 3;
   TopologySpec topology;  // interconnect fabric shape (default: flat bus)
   bool dedicated_ip = true;  // the DMA engine
+  // Home fabric segment of both memories and their slave-side protection
+  // (the historical anchor was segment 0). Must be < segment_count().
+  std::size_t memory_segment = 0;
+  // Home segment of the dedicated IP; kAutoSegment follows the memories.
+  std::size_t dma_segment = kAutoSegment;
   SecurityMode security = SecurityMode::kDistributed;
   ProtectionLevel protection = ProtectionLevel::kFull;
   bool enable_reconfig = false;  // alert-driven policy lockdown responder

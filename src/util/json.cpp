@@ -1,0 +1,545 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace secbus::util {
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.dbl_ = v;
+  return j;
+}
+
+Json Json::number(std::uint64_t v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.int_exact_ = true;
+  j.mag_ = v;
+  return j;
+}
+
+Json Json::number(std::int64_t v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.int_exact_ = true;
+  j.neg_ = v < 0;
+  j.mag_ = j.neg_ ? ~static_cast<std::uint64_t>(v) + 1
+                  : static_cast<std::uint64_t>(v);
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+double Json::as_double() const noexcept {
+  if (!int_exact_) return dbl_;
+  const double mag = static_cast<double>(mag_);
+  return neg_ ? -mag : mag;
+}
+
+bool Json::to_u64(std::uint64_t& out) const noexcept {
+  if (kind_ != Kind::kNumber || !int_exact_ || neg_) return false;
+  out = mag_;
+  return true;
+}
+
+bool Json::to_i64(std::int64_t& out) const noexcept {
+  if (kind_ != Kind::kNumber || !int_exact_) return false;
+  if (neg_) {
+    if (mag_ > 0x8000'0000'0000'0000ULL) return false;
+    out = static_cast<std::int64_t>(~mag_ + 1);
+  } else {
+    if (mag_ > 0x7FFF'FFFF'FFFF'FFFFULL) return false;
+    out = static_cast<std::int64_t>(mag_);
+  }
+  return true;
+}
+
+Json& Json::set(std::string key, Json value) {
+  kind_ = Kind::kObject;
+  for (Member& m : object_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  kind_ = Kind::kArray;
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& m : object_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+std::string Json::quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no Inf/NaN; emit null like most writers
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Prefer the shortest representation that round-trips.
+  char shorter[32];
+  std::snprintf(shorter, sizeof shorter, "%.15g", v);
+  if (std::strtod(shorter, nullptr) == v) {
+    out += shorter;
+  } else {
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const auto newline_indent = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * d, ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      if (int_exact_) {
+        if (neg_) out += '-';
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(mag_));
+        out += buf;
+      } else {
+        append_double(out, dbl_);
+      }
+      break;
+    case Kind::kString:
+      out += quote(str_);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const Json& item : array_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(depth + 1);
+        item.write(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const Member& m : object_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(depth + 1);
+        out += quote(m.first);
+        out += indent > 0 ? ": " : ":";
+        m.second.write(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+// --- parser -----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool run(Json& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  char advance() noexcept {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_ws() noexcept {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      advance();
+    }
+  }
+
+  bool fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = "line " + std::to_string(line_) + ", column " +
+                std::to_string(col_) + ": " + message;
+    }
+    return false;
+  }
+
+  bool expect(char c) {
+    if (at_end() || peek() != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    advance();
+    return true;
+  }
+
+  bool literal(const char* word, Json value, Json& out) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (at_end() || peek() != *p) return fail("invalid literal");
+      advance();
+    }
+    out = std::move(value);
+    return true;
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case 'n': return literal("null", Json::null(), out);
+      case 't': return literal("true", Json::boolean(true), out);
+      case 'f': return literal("false", Json::boolean(false), out);
+      case '"': return parse_string_value(out);
+      case '[': return parse_array(out, depth);
+      case '{': return parse_object(out, depth);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_array(Json& out, int depth) {
+    advance();  // '['
+    out = Json::array();
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      advance();
+      return true;
+    }
+    while (true) {
+      Json item;
+      skip_ws();
+      if (!parse_value(item, depth + 1)) return false;
+      out.push(std::move(item));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      if (peek() == ']') {
+        advance();
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(Json& out, int depth) {
+    advance();  // '{'
+    out = Json::object();
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      advance();
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key string");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      Json value;
+      if (!parse_value(value, depth + 1)) return false;
+      // Duplicate keys are a spec error in campaign files; reject early so
+      // a typo'd second value can't silently win.
+      if (out.find(key) != nullptr) {
+        return fail("duplicate object key \"" + key + "\"");
+      }
+      out.members().emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      if (peek() == '}') {
+        advance();
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_string_value(Json& out) {
+    std::string s;
+    if (!parse_string(s)) return false;
+    out = Json::string(std::move(s));
+    return true;
+  }
+
+  bool hex4(std::uint32_t& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (at_end()) return fail("truncated \\u escape");
+      const char c = advance();
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return fail("invalid \\u escape digit");
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& s, std::uint32_t cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    advance();  // '"'
+    out.clear();
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const char c = advance();
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) return fail("truncated escape");
+      const char e = advance();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // surrogate pair
+            if (at_end() || peek() != '\\') return fail("unpaired surrogate");
+            advance();
+            if (at_end() || peek() != 'u') return fail("unpaired surrogate");
+            advance();
+            std::uint32_t low = 0;
+            if (!hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) return fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos_;
+    bool neg = false;
+    if (!at_end() && peek() == '-') {
+      neg = true;
+      advance();
+    }
+    if (at_end() || peek() < '0' || peek() > '9') {
+      return fail("invalid number");
+    }
+    bool int_overflow = false;
+    std::uint64_t mag = 0;
+    if (peek() == '0') {
+      advance();
+      if (!at_end() && peek() >= '0' && peek() <= '9') {
+        return fail("leading zero in number");
+      }
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') {
+        const std::uint64_t digit = static_cast<std::uint64_t>(advance() - '0');
+        if (mag > (0xFFFF'FFFF'FFFF'FFFFULL - digit) / 10) {
+          int_overflow = true;
+        } else {
+          mag = mag * 10 + digit;
+        }
+      }
+    }
+    bool is_int = !int_overflow;
+    if (!at_end() && peek() == '.') {
+      is_int = false;
+      advance();
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("digit required after decimal point");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      is_int = false;
+      advance();
+      if (!at_end() && (peek() == '+' || peek() == '-')) advance();
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("digit required in exponent");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (is_int && neg && mag > 0x8000'0000'0000'0000ULL) is_int = false;
+    if (is_int) {
+      if (neg) {
+        out = Json::number(static_cast<std::int64_t>(~mag + 1));
+      } else {
+        out = Json::number(mag);
+      }
+      return true;
+    }
+    const std::string lexeme(text_.substr(start, pos_ - start));
+    out = Json::number(std::strtod(lexeme.c_str(), nullptr));
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+}  // namespace
+
+bool Json::parse(std::string_view text, Json& out, std::string* error) {
+  if (error != nullptr) error->clear();
+  Parser p(text, error);
+  Json value;
+  if (!p.run(value)) {
+    if (error != nullptr && error->empty()) *error = "invalid JSON";
+    return false;
+  }
+  out = std::move(value);
+  return true;
+}
+
+}  // namespace secbus::util

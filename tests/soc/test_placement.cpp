@@ -1,0 +1,147 @@
+// Placement overrides: memories and the dedicated IP can live on any fabric
+// segment (SocConfig::memory_segment / dma_segment), closing the PR-3
+// remnant that hard-anchored them on segment 0. Cross-segment memory
+// traffic must route over bridges and stay firewalled exactly like
+// segment-0 placement.
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+#include "soc/presets.hpp"
+#include "soc/soc.hpp"
+
+namespace secbus::soc {
+namespace {
+
+SocConfig mesh_cfg(std::size_t memory_segment) {
+  SocConfig cfg = tiny_test_config();
+  cfg.topology = TopologySpec::mesh(2, 2);
+  cfg.processors = 4;
+  cfg.memory_segment = memory_segment;
+  cfg.transactions_per_cpu = 30;
+  return cfg;
+}
+
+TEST(Placement, DefaultsReproduceTheSegmentZeroAnchor) {
+  Soc soc(mesh_cfg(0));
+  EXPECT_EQ(soc.memory_segment(), 0u);
+  EXPECT_EQ(soc.dma_segment(), 0u);  // auto follows the memories
+}
+
+TEST(Placement, MemoriesOnAFarMeshCornerStillServeEveryCpu) {
+  SocConfig cfg = mesh_cfg(3);
+  Soc soc(cfg);
+  EXPECT_EQ(soc.memory_segment(), 3u);
+
+  const SocResults results = soc.run(5'000'000);
+  EXPECT_TRUE(results.completed);
+  EXPECT_EQ(results.transactions_failed, 0u);
+  EXPECT_EQ(results.alerts, 0u);
+  EXPECT_GT(results.transactions_ok, 0u);
+
+  // CPU 0 lives on segment 0; its memory traffic must have crossed bridges
+  // to reach the corner-3 memories (2 hops on a 2x2 mesh).
+  EXPECT_EQ(soc.fabric().hop_count(0, 3), 2u);
+  std::uint64_t bridged = 0;
+  for (const auto& bridge : soc.fabric().bridges()) {
+    bridged += bridge->stats().forwarded;
+  }
+  EXPECT_GT(bridged, 0u);
+}
+
+TEST(Placement, RemoteMemoryRunMatchesMirroredCornerStatistics) {
+  // A 2x2 mesh is symmetric under the 0<->3 corner swap, but the CPU
+  // round-robin is not (cpu i keeps segment i either way), so only
+  // structural invariants must match: same transaction count, everything
+  // completed, zero alerts.
+  Soc at0(mesh_cfg(0));
+  const SocResults r0 = at0.run(5'000'000);
+  Soc at3(mesh_cfg(3));
+  const SocResults r3 = at3.run(5'000'000);
+  EXPECT_TRUE(r0.completed);
+  EXPECT_TRUE(r3.completed);
+  EXPECT_EQ(r0.transactions_ok, r3.transactions_ok);
+  EXPECT_EQ(r0.transactions_failed, r3.transactions_failed);
+  EXPECT_EQ(r0.alerts, r3.alerts);
+}
+
+TEST(Placement, CrossSegmentProbesAreStillFirewalled) {
+  // A hijacked master placed as far as possible from the corner-3 memories
+  // (segment 0 now) must be contained by its own Local Firewall: no probe
+  // may cross a bridge, exactly like the segment-0 fabric_containment
+  // scenario.
+  scenario::ScenarioSpec spec;
+  spec.name = "placement-hijack";
+  spec.soc = mesh_cfg(3);
+  spec.attack.kind = scenario::AttackKind::kHijack;
+  spec.max_cycles = 2'000'000;
+
+  const scenario::JobResult result = scenario::run_scenario(spec);
+  EXPECT_TRUE(result.soc.completed);
+  EXPECT_TRUE(result.attack_ran);
+  EXPECT_TRUE(result.detected);
+  EXPECT_TRUE(result.containment_checked);
+  EXPECT_TRUE(result.contained);
+  EXPECT_GT(result.fw_blocked, 0u);
+  // max_hops is measured from the *overridden* memory segment.
+  EXPECT_EQ(result.max_hops, 2u);
+}
+
+TEST(Placement, ExternalAttackOnRemoteMemoryIsDetectedUnderFullProtection) {
+  scenario::ScenarioSpec spec;
+  spec.name = "placement-spoof";
+  spec.soc = mesh_cfg(3);
+  spec.soc.protection = ProtectionLevel::kFull;
+  spec.attack.kind = scenario::AttackKind::kExternalSpoof;
+  spec.max_cycles = 4'000'000;
+
+  const scenario::JobResult result = scenario::run_scenario(spec);
+  EXPECT_TRUE(result.soc.completed);
+  EXPECT_TRUE(result.attack_ran);
+  EXPECT_TRUE(result.detected);
+  EXPECT_TRUE(result.victim_checked);
+  EXPECT_FALSE(result.victim_data_intact);  // read aborted, not corrupted
+  EXPECT_TRUE(result.victim_read_aborted);
+}
+
+TEST(Placement, StarLeafMemoriesWork) {
+  SocConfig cfg = tiny_test_config();
+  cfg.topology = TopologySpec::star(3);
+  cfg.processors = 3;
+  cfg.memory_segment = 2;  // a leaf, not the hub
+  cfg.transactions_per_cpu = 30;
+  Soc soc(cfg);
+  const SocResults results = soc.run(5'000'000);
+  EXPECT_TRUE(results.completed);
+  EXPECT_EQ(results.alerts, 0u);
+}
+
+TEST(Placement, DedicatedIpSegmentIsIndependent) {
+  SocConfig cfg = mesh_cfg(3);
+  cfg.dedicated_ip = true;
+  cfg.dma_segment = 1;  // neither the memory corner nor auto
+  Soc soc(cfg);
+  EXPECT_EQ(soc.dma_segment(), 1u);
+  const SocResults results = soc.run(5'000'000);
+  EXPECT_TRUE(results.completed);
+  EXPECT_EQ(results.alerts, 0u);
+}
+
+TEST(Placement, FlatTopologyIsUnchangedByTheNewFields) {
+  // Placement defaults on the flat bus must reproduce the legacy system
+  // bit-for-bit (the new fields only *add* freedom).
+  SocConfig cfg = tiny_test_config();
+  Soc a(cfg);
+  const SocResults ra = a.run(5'000'000);
+  SocConfig cfg2 = tiny_test_config();
+  cfg2.memory_segment = 0;
+  cfg2.dma_segment = SocConfig::kAutoSegment;
+  Soc b(cfg2);
+  const SocResults rb = b.run(5'000'000);
+  EXPECT_EQ(ra.cycles, rb.cycles);
+  EXPECT_EQ(ra.transactions_ok, rb.transactions_ok);
+  EXPECT_EQ(ra.bytes_moved, rb.bytes_moved);
+  EXPECT_DOUBLE_EQ(ra.avg_access_latency, rb.avg_access_latency);
+}
+
+}  // namespace
+}  // namespace secbus::soc

@@ -1,0 +1,121 @@
+// util::Json: parsing, exact-integer round trips, emission, and error
+// positions — the substrate campaign files stand on.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace secbus::util {
+namespace {
+
+Json parse_ok(const std::string& text) {
+  Json j;
+  std::string error;
+  EXPECT_TRUE(Json::parse(text, j, &error)) << error;
+  return j;
+}
+
+std::string parse_error(const std::string& text) {
+  Json j;
+  std::string error;
+  EXPECT_FALSE(Json::parse(text, j, &error)) << "parsed: " << text;
+  EXPECT_FALSE(error.empty());
+  return error;
+}
+
+TEST(Json, ParsesPrimitives) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").as_bool());
+  EXPECT_FALSE(parse_ok("false").as_bool());
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(parse_ok("1.5").as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_ok("-2e3").as_double(), -2000.0);
+}
+
+TEST(Json, IntegersAreExact) {
+  // Full uint64 range: doubles would mangle this seed-sized value.
+  const Json j = parse_ok("18446744073709551615");
+  EXPECT_TRUE(j.is_integer());
+  std::uint64_t u = 0;
+  EXPECT_TRUE(j.to_u64(u));
+  EXPECT_EQ(u, 18446744073709551615ULL);
+
+  std::int64_t i = 0;
+  EXPECT_TRUE(parse_ok("-9223372036854775808").to_i64(i));
+  EXPECT_EQ(i, std::numeric_limits<std::int64_t>::min());
+
+  // Fractions and exponents are not integers.
+  EXPECT_FALSE(parse_ok("1.0").is_integer());
+  EXPECT_FALSE(parse_ok("1e2").is_integer());
+  EXPECT_FALSE(parse_ok("-1").to_u64(u));
+}
+
+TEST(Json, IntegerDumpRoundTrips) {
+  const std::string text = "18446744073709551615";
+  EXPECT_EQ(parse_ok(text).dump(0), text);
+  EXPECT_EQ(Json::number(std::uint64_t{42}).dump(0), "42");
+  EXPECT_EQ(Json::number(std::int64_t{-7}).dump(0), "-7");
+}
+
+TEST(Json, ObjectsKeepInsertionOrderAndSupportLookup) {
+  const Json j = parse_ok(R"({"b": 1, "a": 2, "c": [1, 2, 3]})");
+  ASSERT_TRUE(j.is_object());
+  ASSERT_EQ(j.size(), 3u);
+  EXPECT_EQ(j.members()[0].first, "b");
+  EXPECT_EQ(j.members()[1].first, "a");
+  ASSERT_NE(j.find("c"), nullptr);
+  EXPECT_EQ(j.find("c")->items().size(), 3u);
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  const Json j = parse_ok(R"("a\"b\\c\ndAé")");
+  EXPECT_EQ(j.as_string(), "a\"b\\c\nd" "A" "\xc3\xa9");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse_ok(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, DumpParsesBack) {
+  const std::string text =
+      R"({"name":"x","n":3,"f":0.25,"flag":true,"none":null,)"
+      R"("arr":[1,"two",{"k":"v"}]})";
+  const Json j = parse_ok(text);
+  const Json again = parse_ok(j.dump());       // pretty
+  const Json compact = parse_ok(j.dump(0));    // compact
+  EXPECT_EQ(again.dump(0), compact.dump(0));
+  EXPECT_EQ(again.find("arr")->items()[2].find("k")->as_string(), "v");
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  EXPECT_NE(parse_error("{\n  \"a\": 1,\n  bad\n}").find("line 3"),
+            std::string::npos);
+  EXPECT_NE(parse_error("[1, 2,]").find("column"), std::string::npos);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  parse_error("");
+  parse_error("{");
+  parse_error("[1 2]");
+  parse_error("{\"a\" 1}");
+  parse_error("{\"a\": 1} extra");
+  parse_error("01");
+  parse_error("1.");
+  parse_error("\"unterminated");
+  parse_error("nulL");
+  parse_error("{\"a\": 1, \"a\": 2}");  // duplicate keys rejected
+}
+
+TEST(Json, BuilderApi) {
+  Json j = Json::object();
+  j.set("x", Json::number(std::uint64_t{1}));
+  j.set("x", Json::number(std::uint64_t{2}));  // replaces
+  Json arr = Json::array();
+  arr.push(Json::string("a"));
+  j.set("list", std::move(arr));
+  EXPECT_EQ(j.dump(0), R"({"x":2,"list":["a"]})");
+}
+
+}  // namespace
+}  // namespace secbus::util

@@ -32,6 +32,26 @@
 //     --external A,B    axis: external-traffic fraction
 //       plus --jobs/--repeats/--csv/--json/--no-files/--max-cycles/--quiet.
 //
+//   secbus_cli campaign run <file.json> [options]
+//       Loads a JSON campaign file (base ScenarioSpec + attack/protection/
+//       topology/seed grid), expands it into jobs and runs them like `run`.
+//       On top of the per-job reports it aggregates *security outcomes* per
+//       grid cell — detection/containment/victim-intact rates and detection
+//       latency p50/p95/p99 — and prints the weakest cells.
+//     --out DIR         report directory (default bench/out)
+//     --cells-csv PATH  per-cell CSV   (default <out>/<name>.cells.csv)
+//     --json PATH       campaign JSON  (default <out>/<name>.campaign.json)
+//     --csv PATH        per-job CSV    (default <out>/<name>.jobs.csv)
+//       plus --jobs/--repeats/--no-files/--max-cycles/--quiet.
+//
+//   secbus_cli campaign validate <file.json>...
+//       Parses + validates each file, printing the job/cell counts or the
+//       offending JSON path. Exit 1 on the first invalid file.
+//
+//   secbus_cli campaign export-builtin [--dir DIR]
+//       Writes every builtin scenario as an equivalent campaign file
+//       (default bench/out/builtin-campaigns/): the registry as data.
+//
 // Legacy single-run mode (kept for scripts): secbus_cli [--cpus N]
 //   [--security M] [--protection L] [--external F] [--transactions N]
 //   [--compute N] [--extra-rules N] [--line-bytes N] [--seed N]
@@ -42,9 +62,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
@@ -68,13 +91,17 @@ namespace {
       "              [--security A,B] [--protection A,B] [--seeds A,B]\n"
       "              [--extra-rules A,B] [--line-bytes A,B] [--external A,B]\n"
       "              [run options]\n"
+      "       %s campaign run <file.json> [--out DIR] [--cells-csv PATH]\n"
+      "              [run options]\n"
+      "       %s campaign validate <file.json>...\n"
+      "       %s campaign export-builtin [--dir DIR]\n"
       "       %s [--cpus N] [--topology flat|starN|meshRxC]\n"
       "          [--security none|distributed|centralized]\n"
       "          [--protection plaintext|cipher|full] [--external F]\n"
       "          [--transactions N] [--compute N] [--extra-rules N]\n"
       "          [--line-bytes N] [--seed N] [--max-cycles N]\n"
       "          [--reconfig] [--report] [--quiet]\n",
-      argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(1);
 }
 
@@ -105,48 +132,9 @@ std::vector<std::string> split_commas(const std::string& text) {
   return out;
 }
 
-bool parse_security(const std::string& text, soc::SecurityMode& out) {
-  if (text == "none") out = soc::SecurityMode::kNone;
-  else if (text == "distributed") out = soc::SecurityMode::kDistributed;
-  else if (text == "centralized") out = soc::SecurityMode::kCentralized;
-  else return false;
-  return true;
-}
-
-bool parse_protection(const std::string& text, soc::ProtectionLevel& out) {
-  if (text == "plaintext") out = soc::ProtectionLevel::kPlaintext;
-  else if (text == "cipher") out = soc::ProtectionLevel::kCipherOnly;
-  else if (text == "full") out = soc::ProtectionLevel::kFull;
-  else return false;
-  return true;
-}
-
-// "flat" | "star<leaves>" | "mesh<rows>x<cols>", e.g. star4, mesh2x2.
-bool parse_topology(const std::string& text, soc::TopologySpec& out) {
-  if (text == "flat") {
-    out = soc::TopologySpec::flat();
-    return true;
-  }
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-  if (text.rfind("star", 0) == 0) {
-    if (!parse_u64(text.c_str() + 4, a) || a < 1 || a > 64) return false;
-    out = soc::TopologySpec::star(a);
-    return true;
-  }
-  if (text.rfind("mesh", 0) == 0) {
-    const std::size_t x = text.find('x', 4);
-    if (x == std::string::npos) return false;
-    if (!parse_u64(text.substr(4, x - 4).c_str(), a) ||
-        !parse_u64(text.substr(x + 1).c_str(), b)) {
-      return false;
-    }
-    if (a < 1 || b < 1 || a * b > 64) return false;
-    out = soc::TopologySpec::mesh(a, b);
-    return true;
-  }
-  return false;
-}
+// Enum/topology parsing lives next to the enums (soc::parse_security_mode,
+// soc::parse_protection_level, soc::parse_topology) and is shared with the
+// campaign-file reader.
 
 // Options shared by the `run` and `sweep` subcommands.
 struct BatchCliOptions {
@@ -189,8 +177,14 @@ bool parse_batch_option(int argc, char** argv, int& i, BatchCliOptions& opt) {
   return true;
 }
 
-int run_jobs(const std::string& name, std::vector<scenario::ScenarioSpec> specs,
-             const BatchCliOptions& opt) {
+// Shared execution core for run/sweep/campaign: seed replication, cycle-cap
+// override, worker-pool setup and progress reporting. Scenario runs print
+// one line per finished job; campaigns (thousands of jobs) print ~20
+// strided updates instead.
+std::vector<scenario::JobResult> execute_specs(
+    const char* kind, const std::string& name,
+    std::vector<scenario::ScenarioSpec> specs, const BatchCliOptions& opt,
+    bool per_job_progress) {
   specs = scenario::replicate_seeds(std::move(specs), opt.repeats);
   if (opt.max_cycles != 0) {
     for (auto& spec : specs) spec.max_cycles = opt.max_cycles;
@@ -199,19 +193,35 @@ int run_jobs(const std::string& name, std::vector<scenario::ScenarioSpec> specs,
   scenario::BatchOptions batch;
   batch.threads = opt.jobs;
   if (!opt.quiet) {
-    std::printf("scenario %s: %zu job(s) on %u thread(s)\n", name.c_str(),
+    std::printf("%s %s: %zu job(s) on %u thread(s)\n", kind, name.c_str(),
                 specs.size(), opt.jobs == 0 ? 0u : opt.jobs);
-    batch.on_job_done = [](const scenario::JobResult& r, std::size_t done,
-                           std::size_t total) {
-      std::printf("  [%zu/%zu] %s %s\n", done, total,
-                  r.variant.empty() ? r.name.c_str() : r.variant.c_str(),
-                  r.soc.completed ? "done" : "TIMED OUT");
-      std::fflush(stdout);
-    };
+    if (per_job_progress) {
+      batch.on_job_done = [](const scenario::JobResult& r, std::size_t done,
+                             std::size_t total) {
+        std::printf("  [%zu/%zu] %s %s\n", done, total,
+                    r.variant.empty() ? r.name.c_str() : r.variant.c_str(),
+                    r.soc.completed ? "done" : "TIMED OUT");
+        std::fflush(stdout);
+      };
+    } else {
+      std::size_t stride = specs.size() / 20;
+      if (stride == 0) stride = 1;
+      batch.on_job_done = [stride](const scenario::JobResult&,
+                                   std::size_t done, std::size_t total) {
+        if (done % stride == 0 || done == total) {
+          std::printf("  [%zu/%zu]\n", done, total);
+          std::fflush(stdout);
+        }
+      };
+    }
   }
+  return scenario::run_batch(specs, batch);
+}
 
+int run_jobs(const std::string& name, std::vector<scenario::ScenarioSpec> specs,
+             const BatchCliOptions& opt) {
   const std::vector<scenario::JobResult> results =
-      scenario::run_batch(specs, batch);
+      execute_specs("scenario", name, std::move(specs), opt, true);
   const scenario::BatchAggregate aggregate =
       scenario::BatchAggregate::from(results);
 
@@ -304,7 +314,7 @@ int cmd_sweep(int argc, char** argv) {
     } else if (arg == "--topology") {
       for (const auto& tok : split_commas(next())) {
         soc::TopologySpec topo;
-        if (!parse_topology(tok, topo)) usage(argv[0]);
+        if (!soc::parse_topology(tok, topo)) usage(argv[0]);
         axes.topology.push_back(topo);
       }
     } else if (arg == "--cpus") {
@@ -316,13 +326,13 @@ int cmd_sweep(int argc, char** argv) {
     } else if (arg == "--security") {
       for (const auto& tok : split_commas(next())) {
         soc::SecurityMode mode;
-        if (!parse_security(tok, mode)) usage(argv[0]);
+        if (!soc::parse_security_mode(tok, mode)) usage(argv[0]);
         axes.security.push_back(mode);
       }
     } else if (arg == "--protection") {
       for (const auto& tok : split_commas(next())) {
         soc::ProtectionLevel level;
-        if (!parse_protection(tok, level)) usage(argv[0]);
+        if (!soc::parse_protection_level(tok, level)) usage(argv[0]);
         axes.protection.push_back(level);
       }
     } else if (arg == "--seeds") {
@@ -369,6 +379,163 @@ int cmd_sweep(int argc, char** argv) {
                   opt);
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+int cmd_campaign_run(int argc, char** argv) {
+  if (argc < 4) usage(argv[0]);
+  const std::string file = argv[3];
+  BatchCliOptions opt;
+  std::string out_dir = "bench/out";
+  std::string cells_csv_path;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (parse_batch_option(argc, argv, i, opt)) continue;
+    if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--cells-csv") {
+      cells_csv_path = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  campaign::CampaignSpec spec;
+  std::string error;
+  if (!campaign::load_campaign_file(file, spec, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  // --repeats multiplies the validated grid; the job cap must survive it.
+  if (spec.job_count() * opt.repeats > campaign::kMaxCampaignJobs) {
+    std::fprintf(stderr,
+                 "error: %s: %zu job(s) x %llu repeat(s) exceeds the %zu-job "
+                 "cap\n",
+                 file.c_str(), spec.job_count(),
+                 static_cast<unsigned long long>(opt.repeats),
+                 campaign::kMaxCampaignJobs);
+    return 1;
+  }
+
+  const std::vector<scenario::JobResult> results = execute_specs(
+      "campaign", spec.name, campaign::expand_campaign(spec), opt, false);
+  const campaign::CampaignReport report =
+      campaign::CampaignReport::from(spec.name, results);
+
+  if (opt.quiet) {
+    std::printf(
+        "%s: %zu/%zu completed, %zu cell(s), detected %zu/%zu, "
+        "contained %zu/%zu\n",
+        spec.name.c_str(), report.batch.jobs_completed,
+        report.batch.jobs_total, report.cells.size(),
+        report.batch.attacks_detected, report.batch.attacks_ran,
+        report.batch.attacks_contained, report.batch.containment_checked);
+  } else {
+    std::fputs(campaign::render_campaign_table(report).c_str(), stdout);
+  }
+
+  bool reports_ok = true;
+  if (!opt.no_files) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    const auto in_out = [&out_dir](const std::string& name) {
+      return (std::filesystem::path(out_dir) / name).string();
+    };
+    const std::string cells_path = cells_csv_path.empty()
+                                       ? in_out(spec.name + ".cells.csv")
+                                       : cells_csv_path;
+    const std::string json_path = opt.json_path.empty()
+                                      ? in_out(spec.name + ".campaign.json")
+                                      : opt.json_path;
+    const std::string jobs_path = opt.csv_path.empty()
+                                      ? in_out(spec.name + ".jobs.csv")
+                                      : opt.csv_path;
+
+    util::CsvWriter cells_csv(cells_path);
+    campaign::write_cells_csv(cells_csv, report);
+    cells_csv.flush();
+    util::CsvWriter jobs_csv(jobs_path);
+    scenario::write_batch_csv(jobs_csv, results);
+    jobs_csv.flush();
+    const bool json_ok =
+        write_text_file(json_path, campaign::campaign_json(report));
+    reports_ok = cells_csv.ok() && jobs_csv.ok() && json_ok;
+    if (!opt.quiet) {
+      std::printf("reports: %s, %s, %s\n", cells_path.c_str(),
+                  json_path.c_str(), jobs_path.c_str());
+    }
+    if (!reports_ok) {
+      std::fprintf(stderr, "error: failed to write campaign reports under %s\n",
+                   out_dir.c_str());
+    }
+  }
+
+  return report.batch.jobs_completed == report.batch.jobs_total && reports_ok
+             ? 0
+             : 1;
+}
+
+int cmd_campaign_validate(int argc, char** argv) {
+  if (argc < 4) usage(argv[0]);
+  for (int i = 3; i < argc; ++i) {
+    campaign::CampaignSpec spec;
+    std::string error;
+    if (!campaign::load_campaign_file(argv[i], spec, &error)) {
+      std::fprintf(stderr, "%s: INVALID\n  %s\n", argv[i], error.c_str());
+      return 1;
+    }
+    // Cells = grid points with the seed axis collapsed.
+    const std::size_t seeds =
+        spec.axes.seeds.empty() ? 1 : spec.axes.seeds.size();
+    std::printf("%s: ok — campaign '%s', %zu job(s), %zu cell(s)\n", argv[i],
+                spec.name.c_str(), spec.job_count(),
+                spec.job_count() / seeds);
+  }
+  return 0;
+}
+
+int cmd_campaign_export(int argc, char** argv) {
+  std::string dir = "bench/out/builtin-campaigns";
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else {
+      usage(argv[0]);
+    }
+  }
+  std::vector<std::string> paths;
+  std::string error;
+  if (!campaign::export_builtin_campaigns(dir, &paths, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  for (const std::string& path : paths) {
+    std::printf("wrote %s\n", path.c_str());
+  }
+  std::printf("%zu builtin scenario(s) exported as campaign files\n",
+              paths.size());
+  return 0;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 3) usage(argv[0]);
+  const std::string verb = argv[2];
+  if (verb == "run") return cmd_campaign_run(argc, argv);
+  if (verb == "validate") return cmd_campaign_validate(argc, argv);
+  if (verb == "export-builtin") return cmd_campaign_export(argc, argv);
+  usage(argv[0]);
+}
+
 int legacy_single_run(int argc, char** argv) {
   soc::SocConfig cfg = soc::section5_config();
   cfg.transactions_per_cpu = 300;
@@ -387,11 +554,11 @@ int legacy_single_run(int argc, char** argv) {
     if (arg == "--cpus" && parse_u64(next(), u) && u >= 1 && u <= 63) {
       cfg.processors = u;
     } else if (arg == "--topology") {
-      if (!parse_topology(next(), cfg.topology)) usage(argv[0]);
+      if (!soc::parse_topology(next(), cfg.topology)) usage(argv[0]);
     } else if (arg == "--security") {
-      if (!parse_security(next(), cfg.security)) usage(argv[0]);
+      if (!soc::parse_security_mode(next(), cfg.security)) usage(argv[0]);
     } else if (arg == "--protection") {
-      if (!parse_protection(next(), cfg.protection)) usage(argv[0]);
+      if (!soc::parse_protection_level(next(), cfg.protection)) usage(argv[0]);
     } else if (arg == "--external" && parse_double(next(), d) && d >= 0.0 &&
                d <= 1.0) {
       cfg.external_fraction = d;
@@ -462,6 +629,9 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "sweep") == 0) {
     return cmd_sweep(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "campaign") == 0) {
+    return cmd_campaign(argc, argv);
   }
   if (argc >= 2 && argv[1][0] != '-') usage(argv[0]);
   return legacy_single_run(argc, argv);
