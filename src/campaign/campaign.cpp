@@ -5,6 +5,7 @@
 
 #include "soc/soc.hpp"
 #include "util/bitops.hpp"
+#include "util/fileio.hpp"
 
 namespace secbus::campaign {
 
@@ -106,15 +107,8 @@ util::Json campaign_to_json(const CampaignSpec& campaign) {
 
 bool load_campaign_file(const std::string& path, CampaignSpec& out,
                         std::string* error) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return fail(error, path, "cannot open file");
   std::string text;
-  char buf[4096];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
-  const bool read_ok = std::ferror(f) == 0;
-  std::fclose(f);
-  if (!read_ok) return fail(error, path, "read error");
+  if (!util::read_file(path, text, error)) return false;
 
   util::Json j;
   std::string detail;
@@ -129,13 +123,7 @@ bool load_campaign_file(const std::string& path, CampaignSpec& out,
 
 bool save_campaign_file(const std::string& path, const CampaignSpec& campaign,
                         std::string* error) {
-  const std::string text = campaign_to_json(campaign).dump();
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return fail(error, path, "cannot open file for writing");
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  std::fclose(f);
-  if (!ok) return fail(error, path, "write error");
-  return true;
+  return util::write_file(path, campaign_to_json(campaign).dump(), error);
 }
 
 bool validate_campaign(const CampaignSpec& campaign, std::string* error) {
@@ -181,14 +169,19 @@ bool validate_campaign(const CampaignSpec& campaign, std::string* error) {
                       std::to_string(segments) + " segment(s), from " + path +
                       ")");
     }
-    if (soc.dma_segment != soc::SocConfig::kAutoSegment &&
-        soc.dma_segment >= segments) {
-      return fail(error, "base.soc.dma_segment",
-                  "segment " + std::to_string(soc.dma_segment) +
-                      " outside topology '" + topo.label() + "' (" +
-                      std::to_string(segments) + " segment(s), from " + path +
-                      ")");
-    }
+    const auto check_override = [&](std::size_t segment, const char* field) {
+      if (segment != soc::SocConfig::kAutoSegment && segment >= segments) {
+        return fail(error, std::string("base.soc.") + field,
+                    "segment " + std::to_string(segment) +
+                        " outside topology '" + topo.label() + "' (" +
+                        std::to_string(segments) + " segment(s), from " +
+                        path + ")");
+      }
+      return true;
+    };
+    if (!check_override(soc.bram_segment, "bram_segment")) return false;
+    if (!check_override(soc.ddr_segment, "ddr_segment")) return false;
+    if (!check_override(soc.dma_segment, "dma_segment")) return false;
     return true;
   };
   if (campaign.axes.topology.empty()) {

@@ -1,0 +1,518 @@
+#include "campaign/shard.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "campaign/campaign.hpp"
+#include "campaign/spec_io.hpp"
+#include "scenario/result_io.hpp"
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+#include "util/fileio.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SECBUS_HAS_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define SECBUS_HAS_FORK 0
+#endif
+
+namespace secbus::campaign {
+
+namespace {
+
+using util::Json;
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr && error->empty()) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::size_t> shard_indices(std::size_t job_count,
+                                       std::size_t shard,
+                                       std::size_t shards) {
+  SECBUS_ASSERT(shards >= 1 && shard < shards, "bad shard selector");
+  std::vector<std::size_t> indices;
+  if (job_count == 0) return indices;
+  indices.reserve(job_count / shards + 1);
+  for (std::size_t i = shard; i < job_count; i += shards) indices.push_back(i);
+  return indices;
+}
+
+std::uint64_t spec_fingerprint(const scenario::ScenarioSpec& spec) {
+  const std::string canonical = spec_to_json(spec).dump(0);
+  return util::fnv1a_64(util::kFnv1aOffset, canonical.data(), canonical.size());
+}
+
+std::uint64_t grid_fingerprint(
+    const std::vector<scenario::ScenarioSpec>& specs) {
+  std::uint64_t h = util::kFnv1aOffset;
+  const std::uint64_t count = specs.size();
+  h = util::fnv1a_64(h, &count, sizeof count);
+  for (const scenario::ScenarioSpec& spec : specs) {
+    const std::uint64_t fp = spec_fingerprint(spec);
+    h = util::fnv1a_64(h, &fp, sizeof fp);
+  }
+  return h;
+}
+
+// --- shard result files -----------------------------------------------------
+
+namespace {
+
+std::string shard_stem(const std::string& campaign, std::size_t shard,
+                       std::size_t shards) {
+  return campaign + ".shard-" + std::to_string(shard) + "-of-" +
+         std::to_string(shards);
+}
+
+}  // namespace
+
+std::string shard_file_name(const std::string& campaign, std::size_t shard,
+                            std::size_t shards) {
+  return shard_stem(campaign, shard, shards) + ".json";
+}
+
+std::string checkpoint_file_name(const std::string& campaign,
+                                 std::size_t shard, std::size_t shards) {
+  return shard_stem(campaign, shard, shards) + ".ckpt.jsonl";
+}
+
+bool write_shard_file(const std::string& path, const ShardResultFile& file,
+                      std::string* error) {
+  Json j = Json::object();
+  j.set("campaign", Json::string(file.campaign));
+  j.set("shard", Json::number(static_cast<std::uint64_t>(file.shard)));
+  j.set("shards", Json::number(static_cast<std::uint64_t>(file.shards)));
+  j.set("jobs_total",
+        Json::number(static_cast<std::uint64_t>(file.jobs_total)));
+  j.set("grid_fingerprint", Json::number(file.grid_fp));
+  Json results = Json::array();
+  for (const scenario::JobResult& r : file.results) {
+    results.push(scenario::job_result_to_json(r));
+  }
+  j.set("results", std::move(results));
+  return util::write_file(path, j.dump(), error);
+}
+
+bool read_shard_file(const std::string& path, ShardResultFile& out,
+                     std::string* error) {
+  std::string text;
+  if (!util::read_file(path, text, error)) return false;
+  Json j;
+  std::string detail;
+  if (!Json::parse(text, j, &detail)) return fail(error, path + ": " + detail);
+  if (!j.is_object()) return fail(error, path + ": expected an object");
+
+  ShardResultFile file;
+  const Json* campaign = j.find("campaign");
+  if (campaign == nullptr || !campaign->is_string()) {
+    return fail(error, path + ": missing \"campaign\"");
+  }
+  file.campaign = campaign->as_string();
+  const auto u64_field = [&](const char* name, std::size_t& out_value) {
+    const Json* v = j.find(name);
+    std::uint64_t u = 0;
+    if (v == nullptr || !v->to_u64(u)) {
+      return fail(error, path + ": missing u64 \"" + name + "\"");
+    }
+    out_value = static_cast<std::size_t>(u);
+    return true;
+  };
+  if (!u64_field("shard", file.shard)) return false;
+  if (!u64_field("shards", file.shards)) return false;
+  if (!u64_field("jobs_total", file.jobs_total)) return false;
+  const Json* fp = j.find("grid_fingerprint");
+  if (fp == nullptr || !fp->to_u64(file.grid_fp)) {
+    return fail(error, path + ": missing u64 \"grid_fingerprint\"");
+  }
+  if (file.shards == 0 || file.shard >= file.shards) {
+    return fail(error, path + ": shard index outside shard count");
+  }
+  // Magnitude sanity before anything is sized from these fields: a corrupt
+  // header must produce a named error, not a bad_alloc.
+  if (file.shards > 1024) {
+    return fail(error, path + ": implausible shard count " +
+                           std::to_string(file.shards));
+  }
+  if (file.jobs_total > kMaxCampaignJobs) {
+    return fail(error, path + ": jobs_total " +
+                           std::to_string(file.jobs_total) +
+                           " exceeds the " +
+                           std::to_string(kMaxCampaignJobs) + "-job cap");
+  }
+
+  const Json* results = j.find("results");
+  if (results == nullptr || !results->is_array()) {
+    return fail(error, path + ": missing \"results\" array");
+  }
+  file.results.reserve(results->items().size());
+  for (std::size_t i = 0; i < results->items().size(); ++i) {
+    scenario::JobResult r;
+    std::string job_error;
+    if (!scenario::job_result_from_json(results->items()[i], r, &job_error)) {
+      return fail(error, path + ": results[" + std::to_string(i) +
+                             "]: " + job_error);
+    }
+    file.results.push_back(std::move(r));
+  }
+  out = std::move(file);
+  return true;
+}
+
+bool merge_shard_files(const std::vector<std::string>& paths,
+                       std::string* campaign_name,
+                       std::vector<scenario::JobResult>* results,
+                       std::string* error) {
+  if (paths.empty()) return fail(error, "no shard files to merge");
+
+  std::vector<ShardResultFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    ShardResultFile file;
+    if (!read_shard_file(path, file, error)) return false;
+    files.push_back(std::move(file));
+  }
+
+  const ShardResultFile& first = files.front();
+  std::vector<char> shard_seen(first.shards, 0);
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const ShardResultFile& file = files[f];
+    if (file.campaign != first.campaign || file.shards != first.shards ||
+        file.jobs_total != first.jobs_total ||
+        file.grid_fp != first.grid_fp) {
+      return fail(error, paths[f] +
+                             ": shard file disagrees with " + paths[0] +
+                             " (campaign/shards/jobs/grid fingerprint)");
+    }
+    if (shard_seen[file.shard]) {
+      return fail(error, paths[f] + ": duplicate shard " +
+                             std::to_string(file.shard));
+    }
+    shard_seen[file.shard] = 1;
+  }
+  if (files.size() != first.shards) {
+    return fail(error, "expected " + std::to_string(first.shards) +
+                           " shard files, got " +
+                           std::to_string(files.size()));
+  }
+
+  std::vector<scenario::JobResult> merged(first.jobs_total);
+  std::vector<char> filled(first.jobs_total, 0);
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    ShardResultFile& file = files[f];
+    for (scenario::JobResult& r : file.results) {
+      if (r.index >= first.jobs_total) {
+        return fail(error, paths[f] + ": job index " +
+                               std::to_string(r.index) + " out of range");
+      }
+      if (shard_of(r.index, first.shards) != file.shard) {
+        return fail(error, paths[f] + ": job " + std::to_string(r.index) +
+                               " does not belong to shard " +
+                               std::to_string(file.shard));
+      }
+      if (filled[r.index]) {
+        return fail(error, paths[f] + ": job " + std::to_string(r.index) +
+                               " appears twice");
+      }
+      filled[r.index] = 1;
+      merged[r.index] = std::move(r);
+    }
+  }
+  for (std::size_t i = 0; i < filled.size(); ++i) {
+    if (!filled[i]) {
+      return fail(error, "merged shards do not cover job " +
+                             std::to_string(i) + " (incomplete shard run?)");
+    }
+  }
+
+  if (campaign_name != nullptr) *campaign_name = first.campaign;
+  if (results != nullptr) *results = std::move(merged);
+  return true;
+}
+
+// --- checkpoints ------------------------------------------------------------
+
+bool CheckpointWriter::open(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return writer_.open(path);
+}
+
+bool CheckpointWriter::append(const scenario::JobResult& result,
+                              std::uint64_t fingerprint) {
+  Json record = Json::object();
+  record.set("index", Json::number(static_cast<std::uint64_t>(result.index)));
+  record.set("fingerprint", Json::number(fingerprint));
+  record.set("result", scenario::job_result_to_json(result));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return writer_.append(record);
+}
+
+bool CheckpointWriter::ok() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return writer_.ok();
+}
+
+void CheckpointWriter::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  writer_.close();
+}
+
+std::size_t load_checkpoint(const std::string& path,
+                            const std::vector<scenario::ScenarioSpec>& specs,
+                            std::vector<scenario::JobResult>& results,
+                            std::vector<char>& done) {
+  SECBUS_ASSERT(results.size() == specs.size() && done.size() == specs.size(),
+                "checkpoint buffers must match the job list");
+  std::vector<Json> records;
+  if (!util::read_jsonl(path, records)) return 0;  // no checkpoint yet
+
+  // Fingerprints computed lazily: a checkpoint references only its own
+  // shard's indices, no need to hash the whole grid.
+  std::vector<std::optional<std::uint64_t>> fingerprints(specs.size());
+  std::size_t restored = 0;
+  for (const Json& record : records) {
+    if (!record.is_object()) continue;
+    const Json* index_v = record.find("index");
+    const Json* fp_v = record.find("fingerprint");
+    const Json* result_v = record.find("result");
+    std::uint64_t index = 0;
+    std::uint64_t fp = 0;
+    if (index_v == nullptr || !index_v->to_u64(index) || fp_v == nullptr ||
+        !fp_v->to_u64(fp) || result_v == nullptr) {
+      continue;  // torn or foreign record
+    }
+    if (index >= specs.size() || done[index]) continue;
+    if (!fingerprints[index].has_value()) {
+      fingerprints[index] = spec_fingerprint(specs[index]);
+    }
+    if (*fingerprints[index] != fp) continue;  // grid drifted: re-run it
+    scenario::JobResult r;
+    if (!scenario::job_result_from_json(*result_v, r, nullptr)) continue;
+    if (r.index != index) continue;
+    results[index] = std::move(r);
+    done[index] = 1;
+    ++restored;
+  }
+  return restored;
+}
+
+// --- shard execution --------------------------------------------------------
+
+ShardRunOutcome run_shard(const std::vector<scenario::ScenarioSpec>& specs,
+                          const ShardRunOptions& options) {
+  ShardRunOutcome outcome;
+  outcome.indices = shard_indices(specs.size(), options.shard, options.shards);
+  outcome.results.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) outcome.results[i].index = i;
+
+  std::vector<char> done(specs.size(), 0);
+  CheckpointWriter checkpoint;
+  const bool checkpointing = !options.checkpoint_path.empty();
+  if (checkpointing) {
+    (void)load_checkpoint(options.checkpoint_path, specs, outcome.results,
+                          done);
+    outcome.checkpoint_ok = checkpoint.open(options.checkpoint_path);
+  }
+
+  // `resumed` counts only this shard's slice: a checkpoint shared across
+  // shards restores foreign indices too, which are neither our progress
+  // nor our output.
+  std::vector<std::size_t> to_run;
+  to_run.reserve(outcome.indices.size());
+  for (const std::size_t i : outcome.indices) {
+    if (done[i]) {
+      ++outcome.resumed;
+    } else {
+      to_run.push_back(i);
+    }
+  }
+  outcome.executed = to_run.size();
+
+  scenario::BatchOptions batch;
+  batch.threads = options.threads;
+  batch.indices = to_run;
+  const std::size_t resumed = outcome.resumed;
+  const std::size_t total = outcome.indices.size();
+  if (checkpointing || options.on_job_done) {
+    batch.on_job_done = [&](const scenario::JobResult& r, std::size_t n,
+                            std::size_t /*of*/) {
+      if (checkpointing) {
+        checkpoint.append(r, spec_fingerprint(specs[r.index]));
+      }
+      if (options.on_job_done) options.on_job_done(r, resumed + n, total);
+    };
+  }
+
+  std::vector<scenario::JobResult> fresh = scenario::run_batch(specs, batch);
+  for (const std::size_t i : to_run) {
+    outcome.results[i] = std::move(fresh[i]);
+  }
+  if (checkpointing && !checkpoint.ok()) outcome.checkpoint_ok = false;
+  checkpoint.close();
+  return outcome;
+}
+
+ShardResultFile to_shard_file(const std::string& campaign,
+                              const ShardRunOutcome& outcome,
+                              std::size_t shard, std::size_t shards,
+                              std::uint64_t grid_fp) {
+  SECBUS_ASSERT(outcome.indices.empty() ||
+                    shard_of(outcome.indices.front(), shards) == shard,
+                "outcome does not belong to this shard");
+  ShardResultFile file;
+  file.campaign = campaign;
+  file.shard = shard;
+  file.shards = shards;
+  file.jobs_total = outcome.results.size();
+  file.grid_fp = grid_fp;
+  file.results.reserve(outcome.indices.size());
+  for (const std::size_t i : outcome.indices) {
+    file.results.push_back(outcome.results[i]);
+  }
+  return file;
+}
+
+// --- local multi-process orchestration --------------------------------------
+
+namespace {
+
+struct ShardPaths {
+  std::string result;
+  std::string checkpoint;  // empty when checkpointing is off
+};
+
+ShardPaths shard_paths(const SpawnOptions& options,
+                       const std::string& campaign, std::size_t shard) {
+  const std::filesystem::path dir(options.out_dir);
+  ShardPaths paths;
+  paths.result =
+      (dir / shard_file_name(campaign, shard, options.shards)).string();
+  if (options.checkpoint) {
+    paths.checkpoint =
+        (dir / checkpoint_file_name(campaign, shard, options.shards))
+            .string();
+  }
+  return paths;
+}
+
+// One shard, start to finish: run (checkpoint-resumed), write the result
+// file. Returns false on simulation-incomplete jobs only if writing fails —
+// timeouts are data, not errors — and on any I/O failure.
+bool run_one_shard(const std::string& campaign,
+                   const std::vector<scenario::ScenarioSpec>& specs,
+                   const SpawnOptions& options, std::size_t shard,
+                   std::uint64_t grid_fp, std::string* error) {
+  const ShardPaths paths = shard_paths(options, campaign, shard);
+  ShardRunOptions run;
+  run.shard = shard;
+  run.shards = options.shards;
+  run.threads = options.threads_per_shard;
+  run.checkpoint_path = paths.checkpoint;
+  if (!options.quiet) {
+    run.on_job_done = [shard](const scenario::JobResult&, std::size_t n,
+                              std::size_t total) {
+      // Line-buffered progress; lines from sibling processes interleave
+      // whole.
+      std::printf("  [shard %zu] %zu/%zu\n", shard, n, total);
+      std::fflush(stdout);
+    };
+  }
+  const ShardRunOutcome outcome = run_shard(specs, run);
+  if (!outcome.checkpoint_ok) {
+    return fail(error, paths.checkpoint + ": checkpoint write failed");
+  }
+  return write_shard_file(
+      paths.result,
+      to_shard_file(campaign, outcome, shard, options.shards, grid_fp),
+      error);
+}
+
+}  // namespace
+
+bool run_campaign_sharded_local(const std::string& campaign_name,
+                                const std::vector<scenario::ScenarioSpec>& specs,
+                                const SpawnOptions& options,
+                                std::vector<scenario::JobResult>* merged,
+                                std::vector<std::string>* shard_files,
+                                std::string* error) {
+  if (options.shards < 1) return fail(error, "need at least one shard");
+  std::error_code ec;
+  std::filesystem::create_directories(options.out_dir, ec);
+
+  const std::uint64_t grid_fp = grid_fingerprint(specs);
+  std::vector<std::string> paths;
+  paths.reserve(options.shards);
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    paths.push_back(shard_paths(options, campaign_name, s).result);
+  }
+
+#if SECBUS_HAS_FORK
+  // Flush before forking so children don't re-emit inherited buffers on
+  // their own exit path.
+  std::fflush(nullptr);
+  std::vector<pid_t> children;
+  children.reserve(options.shards);
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      for (const pid_t child : children) {
+        int ignored = 0;
+        waitpid(child, &ignored, 0);
+      }
+      return fail(error, "fork failed for shard " + std::to_string(s));
+    }
+    if (pid == 0) {
+      // Worker process: run the shard and leave without unwinding the
+      // parent's inherited state (_exit skips atexit/stdio flushing).
+      std::string child_error;
+      const bool ok =
+          run_one_shard(campaign_name, specs, options, s, grid_fp,
+                        &child_error);
+      if (!ok) {
+        std::fprintf(stderr, "shard %zu failed: %s\n", s,
+                     child_error.c_str());
+        std::fflush(stderr);
+      }
+      _exit(ok ? 0 : 1);
+    }
+    children.push_back(pid);
+  }
+
+  bool all_ok = true;
+  for (std::size_t s = 0; s < children.size(); ++s) {
+    int status = 0;
+    if (waitpid(children[s], &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      all_ok = false;
+      fail(error, "shard worker " + std::to_string(s) +
+                      " exited abnormally (its checkpoint, if enabled, "
+                      "resumes on re-run)");
+    }
+  }
+  if (!all_ok) return false;
+#else
+  // No fork(): degrade to sequential in-process shards — identical files
+  // and merge semantics, no process parallelism.
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    if (!run_one_shard(campaign_name, specs, options, s, grid_fp, error)) {
+      return false;
+    }
+  }
+#endif
+
+  if (shard_files != nullptr) *shard_files = paths;
+  std::string merged_name;
+  if (!merge_shard_files(paths, &merged_name, merged, error)) return false;
+  if (merged_name != campaign_name) {
+    return fail(error, "merged campaign name mismatch");
+  }
+  return true;
+}
+
+}  // namespace secbus::campaign

@@ -225,10 +225,14 @@ util::Json soc_to_json(const soc::SocConfig& cfg) {
   j.set("dedicated_ip", Json::boolean(cfg.dedicated_ip));
   j.set("memory_segment",
         Json::number(static_cast<std::uint64_t>(cfg.memory_segment)));
-  j.set("dma_segment",
-        cfg.dma_segment == soc::SocConfig::kAutoSegment
-            ? Json::string("auto")
-            : Json::number(static_cast<std::uint64_t>(cfg.dma_segment)));
+  const auto auto_or_index = [](std::size_t segment) {
+    return segment == soc::SocConfig::kAutoSegment
+               ? Json::string("auto")
+               : Json::number(static_cast<std::uint64_t>(segment));
+  };
+  j.set("bram_segment", auto_or_index(cfg.bram_segment));
+  j.set("ddr_segment", auto_or_index(cfg.ddr_segment));
+  j.set("dma_segment", auto_or_index(cfg.dma_segment));
   j.set("security", Json::string(to_string(cfg.security)));
   j.set("protection", Json::string(to_string(cfg.protection)));
   j.set("enable_reconfig", Json::boolean(cfg.enable_reconfig));
@@ -275,19 +279,28 @@ bool soc_from_json(const util::Json& j, const std::string& path,
   }
   r.bool_field("dedicated_ip", cfg.dedicated_ip);
   r.u64_field("memory_segment", cfg.memory_segment, 0, 64);
-  if (const util::Json* dma = r.take("dma_segment")) {
-    if (dma->is_string() && dma->as_string() == "auto") {
-      cfg.dma_segment = soc::SocConfig::kAutoSegment;
-    } else {
-      std::uint64_t seg = 0;
-      if (!dma->to_u64(seg) || seg > 64) {
-        fail(error, member_path(path, "dma_segment"),
-             "expected \"auto\" or a segment index");
-        return r.mark_failed();
-      }
-      cfg.dma_segment = static_cast<std::size_t>(seg);
+  const auto segment_field = [&](const char* name,
+                                 std::size_t& out_segment) -> bool {
+    const util::Json* v = r.take(name);
+    if (v == nullptr) return true;
+    if (v->is_string() && v->as_string() == "auto") {
+      out_segment = soc::SocConfig::kAutoSegment;
+      return true;
     }
+    std::uint64_t seg = 0;
+    if (!v->to_u64(seg) || seg > 64) {
+      fail(error, member_path(path, name),
+           "expected \"auto\" or a segment index");
+      return false;
+    }
+    out_segment = static_cast<std::size_t>(seg);
+    return true;
+  };
+  if (!segment_field("bram_segment", cfg.bram_segment)) {
+    return r.mark_failed();
   }
+  if (!segment_field("ddr_segment", cfg.ddr_segment)) return r.mark_failed();
+  if (!segment_field("dma_segment", cfg.dma_segment)) return r.mark_failed();
   if (const util::Json* sec = r.take("security")) {
     if (!sec->is_string() ||
         !soc::parse_security_mode(sec->as_string(), cfg.security)) {
@@ -656,6 +669,7 @@ bool soc_equal(const soc::SocConfig& a, const soc::SocConfig& b) noexcept {
          topology_equal(a.topology, b.topology) &&
          a.dedicated_ip == b.dedicated_ip &&
          a.memory_segment == b.memory_segment &&
+         a.bram_segment == b.bram_segment && a.ddr_segment == b.ddr_segment &&
          a.dma_segment == b.dma_segment && a.security == b.security &&
          a.protection == b.protection &&
          a.enable_reconfig == b.enable_reconfig &&

@@ -1,0 +1,110 @@
+// Process-wide memoization of protected-region formatting (SoC setup).
+//
+// Every distributed-mode Soc construction formats the LCF's protected
+// region: encrypt `protected_size` bytes of zeros line by line (CM=cipher)
+// and rebuild the whole hash tree — work that is *identical* across every
+// job sharing (region geometry, line size, confidentiality mode, key).
+// Campaign grids cross attack/protection/topology/seed axes over a fixed
+// memory layout, so thousands of jobs repeat the exact same format; for
+// short jobs (the statistical sweet spot: many seeds x few transactions)
+// it dominates wall-clock. This cache keys the finished artifacts — the
+// stored ciphertext image and the post-format tree node heap — and lets
+// later constructions skip both the AES and the SHA passes.
+//
+// Bit-identity is the contract, not an optimization target: the key covers
+// every input that reaches the image or the tree, the restore path advances
+// versions and accounts stats exactly like the computing path, and
+// core_test_format_cache + the determinism suite verify results are
+// indistinguishable with the cache on, off, warm or cold.
+//
+// The cache is per process (shard workers each warm their own), bounded
+// (FIFO eviction), and thread-safe: batch-runner workers constructing SoCs
+// concurrently share it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/aes128.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/types.hpp"
+
+namespace secbus::core {
+
+// Everything that determines the formatted image and tree: region geometry,
+// line size, whether lines are enciphered, and the cipher key (the CTR
+// nonce derives from the key, versions always start at zero). The key is
+// all-zero — and irrelevant — when `ciphered` is false; callers must pass
+// it zeroed so plaintext formats share one entry across seeds.
+struct FormatKey {
+  sim::Addr protected_base = 0;
+  std::uint64_t protected_size = 0;
+  std::uint64_t line_bytes = 0;
+  bool ciphered = false;
+  crypto::Aes128Key key{};
+
+  bool operator==(const FormatKey&) const = default;
+};
+
+// The finished format: what the DDR backing store holds and what the hash
+// tree's node heap contains immediately after bulk_update_all(image).
+struct FormatSnapshot {
+  std::vector<std::uint8_t> image;
+  std::vector<crypto::Sha256Digest> tree_nodes;
+};
+
+class FormatCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  // ~64 entries x (image + tree) stays tens of MB for default geometries;
+  // campaigns rarely need more than (seeds x line sizes) + 1 entries.
+  static constexpr std::size_t kMaxEntries = 64;
+
+  static FormatCache& instance();
+
+  // Snapshot for `key`, or nullptr on miss / when disabled (both count as
+  // misses only when enabled).
+  [[nodiscard]] std::shared_ptr<const FormatSnapshot> find(
+      const FormatKey& key);
+
+  // Publishes a freshly-computed snapshot; no-op when disabled. Concurrent
+  // inserts of the same key are benign (workers compute identical
+  // snapshots; first wins).
+  void insert(const FormatKey& key, std::shared_ptr<const FormatSnapshot> snap);
+
+  // Process-wide switch (benchmarking the uncached baseline, paranoia
+  // escape hatch). Disabling does not drop existing entries; clear() does.
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled();
+
+  // Drops every entry and zeroes the stats (test isolation).
+  void clear();
+  [[nodiscard]] Stats stats();
+
+ private:
+  FormatCache() = default;
+
+  struct KeyHash {
+    std::size_t operator()(const FormatKey& key) const noexcept;
+  };
+
+  std::mutex mutex_;
+  bool enabled_ = true;
+  Stats stats_;
+  std::unordered_map<FormatKey, std::shared_ptr<const FormatSnapshot>, KeyHash>
+      entries_;
+  std::deque<FormatKey> insertion_order_;  // FIFO eviction
+};
+
+}  // namespace secbus::core

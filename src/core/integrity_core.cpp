@@ -91,6 +91,27 @@ void IntegrityCore::bulk_update_all(std::span<const std::uint8_t> image) {
   stats_.hash_invocations += 2 * tree_.leaf_count() - 1;
 }
 
+bool IntegrityCore::pristine() const noexcept {
+  for (const std::uint32_t version : versions_) {
+    if (version != 0) return false;
+  }
+  return true;
+}
+
+void IntegrityCore::restore_bulk_format(
+    const std::vector<crypto::Sha256Digest>& nodes) {
+  SECBUS_ASSERT(pristine(),
+                "restore_bulk_format on a used core: snapshot binds "
+                "version 1");
+  for (std::uint32_t& version : versions_) {
+    if (version == 0xFFFFFFFFu) ++stats_.version_wraps;
+    ++version;
+  }
+  tree_.restore_nodes(nodes);
+  stats_.updates += versions_.size();
+  stats_.hash_invocations += 2 * tree_.leaf_count() - 1;
+}
+
 void IntegrityCore::rebuild_from(std::span<const std::uint8_t> image) {
   std::fill(versions_.begin(), versions_.end(), 0);
   tree_.rebuild(image, std::span<const std::uint32_t>(versions_.data(),

@@ -74,6 +74,20 @@ class IntegrityCore {
   // formatting, where per-line root refreshes would be pure waste.
   void bulk_update_all(std::span<const std::uint8_t> image);
 
+  // Cache-hit twin of bulk_update_all(): installs a node heap snapshotted
+  // right after a bulk update on an identically-configured core over the
+  // identical image, without re-hashing anything. Versions advance and
+  // stats account exactly as the hashing path would, so the two paths are
+  // indistinguishable downstream (core::FormatCache relies on this). Only
+  // valid on a pristine core — snapshots bind version 1 into every leaf,
+  // so callers check pristine() and fall back to the hashing path
+  // otherwise.
+  void restore_bulk_format(const std::vector<crypto::Sha256Digest>& nodes);
+
+  // True while no line's version has ever advanced (the state a snapshot
+  // taken right after construction + bulk_update_all corresponds to).
+  [[nodiscard]] bool pristine() const noexcept;
+
   [[nodiscard]] sim::Cycle cost_for_bits(std::uint64_t bits) const noexcept;
 
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }

@@ -144,6 +144,12 @@ HashTree::VerifyResult HashTree::verify(std::size_t leaf,
   return result;
 }
 
+void HashTree::restore_nodes(const std::vector<Sha256Digest>& nodes) {
+  SECBUS_ASSERT(nodes.size() == nodes_.size(),
+                "node snapshot from a differently-shaped tree");
+  nodes_ = nodes;
+}
+
 void HashTree::poke_node(std::size_t level, std::size_t idx,
                          const Sha256Digest& digest) {
   nodes_[heap_index(level, idx)] = digest;

@@ -81,6 +81,16 @@ class HashTree {
   // Leaf index covering `addr`; addr must lie inside the protected range.
   [[nodiscard]] std::size_t leaf_for_addr(std::uint64_t addr) const;
 
+  // Whole-tree snapshot/restore (setup memoization): nodes() exposes the
+  // flat node heap, restore_nodes() replaces it wholesale. The snapshot must
+  // come from an identically-configured tree; content equivalence is the
+  // caller's contract (the Integrity Core's format cache keys on everything
+  // that determines the image).
+  [[nodiscard]] const std::vector<Sha256Digest>& nodes() const noexcept {
+    return nodes_;
+  }
+  void restore_nodes(const std::vector<Sha256Digest>& nodes);
+
   // --- test hooks -----------------------------------------------------
   // Overwrites a stored node, modeling off-chip tree-node corruption.
   // level 0 = leaves, depth() = root; idx indexes nodes within the level.

@@ -1,0 +1,358 @@
+#include "scenario/result_io.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace secbus::scenario {
+
+namespace {
+
+using util::Json;
+
+bool fail(std::string* error, const std::string& field,
+          const std::string& message) {
+  if (error != nullptr && error->empty()) *error = field + ": " + message;
+  return false;
+}
+
+Json stat_to_json(const util::RunningStat& stat) {
+  const util::RunningStat::Snapshot snap = stat.snapshot();
+  Json j = Json::object();
+  j.set("count", Json::number(snap.count));
+  if (snap.count > 0) {
+    j.set("mean", Json::number(snap.mean));
+    j.set("m2", Json::number(snap.m2));
+    j.set("sum", Json::number(snap.sum));
+    j.set("min", Json::number(snap.min));
+    j.set("max", Json::number(snap.max));
+  }
+  return j;
+}
+
+Json hist_to_json(const util::LatencyHistogram& hist) {
+  Json j = Json::object();
+  j.set("count", Json::number(hist.count()));
+  j.set("overflow", Json::number(hist.overflow()));
+  // The bucket table alone cannot recover the sum (overflow samples only
+  // keep their saturated bucket), so the exact sum travels alongside.
+  j.set("sum", Json::number(hist.sum()));
+  Json buckets = Json::array();
+  const std::vector<std::uint64_t>& counts = hist.buckets();
+  for (std::uint64_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] == 0) continue;
+    Json pair = Json::array();
+    pair.push(Json::number(c));
+    pair.push(Json::number(counts[c]));
+    buckets.push(std::move(pair));
+  }
+  j.set("buckets", std::move(buckets));
+  if (hist.count() > 0) {
+    j.set("min", Json::number(hist.min()));
+    j.set("max", Json::number(hist.max()));
+  }
+  return j;
+}
+
+// --- readers ----------------------------------------------------------------
+
+bool get_u64(const Json& j, const char* field, std::uint64_t& out,
+             std::string* error) {
+  const Json* v = j.find(field);
+  if (v == nullptr) return fail(error, field, "missing field");
+  if (!v->to_u64(out)) return fail(error, field, "expected a u64");
+  return true;
+}
+
+bool get_double(const Json& j, const char* field, double& out,
+                std::string* error) {
+  const Json* v = j.find(field);
+  if (v == nullptr) return fail(error, field, "missing field");
+  if (!v->is_number()) return fail(error, field, "expected a number");
+  out = v->as_double();
+  return true;
+}
+
+bool get_bool(const Json& j, const char* field, bool& out,
+              std::string* error) {
+  const Json* v = j.find(field);
+  if (v == nullptr) return fail(error, field, "missing field");
+  if (!v->is_bool()) return fail(error, field, "expected a bool");
+  out = v->as_bool();
+  return true;
+}
+
+bool get_string(const Json& j, const char* field, std::string& out,
+                std::string* error) {
+  const Json* v = j.find(field);
+  if (v == nullptr) return fail(error, field, "missing field");
+  if (!v->is_string()) return fail(error, field, "expected a string");
+  out = v->as_string();
+  return true;
+}
+
+bool stat_from_json(const Json& j, const char* field,
+                    util::RunningStat& out, std::string* error) {
+  const Json* v = j.find(field);
+  if (v == nullptr || !v->is_object()) {
+    return fail(error, field, "expected a running-stat object");
+  }
+  util::RunningStat::Snapshot snap;
+  if (!get_u64(*v, "count", snap.count, error)) return fail(error, field, "");
+  if (snap.count > 0) {
+    if (!get_double(*v, "mean", snap.mean, error) ||
+        !get_double(*v, "m2", snap.m2, error) ||
+        !get_double(*v, "sum", snap.sum, error) ||
+        !get_double(*v, "min", snap.min, error) ||
+        !get_double(*v, "max", snap.max, error)) {
+      return fail(error, field, "");
+    }
+  }
+  out.restore(snap);
+  return true;
+}
+
+bool hist_from_json(const Json& j, const char* field,
+                    util::LatencyHistogram& out, std::string* error) {
+  const Json* v = j.find(field);
+  if (v == nullptr || !v->is_object()) {
+    return fail(error, field, "expected a histogram object");
+  }
+  std::uint64_t count = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  if (!get_u64(*v, "count", count, error) ||
+      !get_u64(*v, "overflow", overflow, error) ||
+      !get_u64(*v, "sum", sum, error)) {
+    return fail(error, field, "");
+  }
+  if (count > 0) {
+    if (!get_u64(*v, "min", min, error) || !get_u64(*v, "max", max, error)) {
+      return fail(error, field, "");
+    }
+  }
+  const Json* buckets = v->find("buckets");
+  if (buckets == nullptr || !buckets->is_array()) {
+    return fail(error, field, "expected a buckets array");
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+  pairs.reserve(buckets->items().size());
+  for (const Json& pair : buckets->items()) {
+    std::uint64_t cycle = 0;
+    std::uint64_t n = 0;
+    if (!pair.is_array() || pair.items().size() != 2 ||
+        !pair.items()[0].to_u64(cycle) || !pair.items()[1].to_u64(n) ||
+        cycle >= util::LatencyHistogram::kTrackedMax || n == 0) {
+      return fail(error, field, "malformed bucket entry");
+    }
+    pairs.emplace_back(cycle, n);
+  }
+  out.restore(pairs, overflow, count, sum, min, max);
+  return true;
+}
+
+}  // namespace
+
+Json job_result_to_json(const JobResult& r) {
+  Json j = Json::object();
+  j.set("index", Json::number(static_cast<std::uint64_t>(r.index)));
+  j.set("name", Json::string(r.name));
+  j.set("variant", Json::string(r.variant));
+  j.set("cpus", Json::number(static_cast<std::uint64_t>(r.cpus)));
+  j.set("security", Json::string(r.security));
+  j.set("protection", Json::string(r.protection));
+  j.set("seed", Json::number(r.seed));
+  j.set("extra_rules", Json::number(static_cast<std::uint64_t>(r.extra_rules)));
+  j.set("line_bytes", Json::number(r.line_bytes));
+  j.set("attack", Json::string(r.attack));
+  j.set("topology", Json::string(r.topology));
+  j.set("segments", Json::number(static_cast<std::uint64_t>(r.segments)));
+  j.set("max_hops", Json::number(static_cast<std::uint64_t>(r.max_hops)));
+
+  Json soc = Json::object();
+  soc.set("cycles", Json::number(r.soc.cycles));
+  soc.set("completed", Json::boolean(r.soc.completed));
+  soc.set("transactions_ok", Json::number(r.soc.transactions_ok));
+  soc.set("transactions_failed", Json::number(r.soc.transactions_failed));
+  soc.set("alerts", Json::number(r.soc.alerts));
+  soc.set("avg_access_latency", Json::number(r.soc.avg_access_latency));
+  soc.set("bus_occupancy", Json::number(r.soc.bus_occupancy));
+  soc.set("bytes_moved", Json::number(r.soc.bytes_moved));
+  soc.set("latency_p50", Json::number(r.soc.latency_p50));
+  soc.set("latency_p95", Json::number(r.soc.latency_p95));
+  soc.set("latency_p99", Json::number(r.soc.latency_p99));
+  soc.set("latency_max", Json::number(r.soc.latency_max));
+  j.set("soc", std::move(soc));
+
+  j.set("cpu_latency", stat_to_json(r.cpu_latency));
+  j.set("latency_hist", hist_to_json(r.latency_hist));
+
+  j.set("fw_passed", Json::number(r.fw_passed));
+  j.set("fw_blocked", Json::number(r.fw_blocked));
+  j.set("fw_check_cycles", Json::number(r.fw_check_cycles));
+  Json violations = Json::array();
+  for (const std::uint64_t v : r.violations) violations.push(Json::number(v));
+  j.set("violations", std::move(violations));
+
+  j.set("attack_ran", Json::boolean(r.attack_ran));
+  j.set("detected", Json::boolean(r.detected));
+  j.set("attack_cycle", Json::number(r.attack_cycle));
+  j.set("detection_cycle", Json::number(r.detection_cycle));
+  j.set("detection_latency", Json::number(r.detection_latency));
+  j.set("contained", Json::boolean(r.contained));
+  j.set("containment_checked", Json::boolean(r.containment_checked));
+  j.set("victim_data_intact", Json::boolean(r.victim_data_intact));
+  j.set("victim_checked", Json::boolean(r.victim_checked));
+  j.set("victim_read_aborted", Json::boolean(r.victim_read_aborted));
+  j.set("flood_completed", Json::number(r.flood_completed));
+  j.set("flood_blocked", Json::number(r.flood_blocked));
+
+  j.set("manager_queue_wait", Json::number(r.manager_queue_wait));
+  j.set("sb_check_latency", Json::number(r.sb_check_latency));
+
+  Json lcf = Json::object();
+  lcf.set("protected_reads", Json::number(r.lcf.protected_reads));
+  lcf.set("protected_writes", Json::number(r.lcf.protected_writes));
+  lcf.set("read_modify_writes", Json::number(r.lcf.read_modify_writes));
+  lcf.set("cc_cycles", Json::number(r.lcf.cc_cycles));
+  lcf.set("ic_cycles", Json::number(r.lcf.ic_cycles));
+  lcf.set("tree_depth",
+          Json::number(static_cast<std::uint64_t>(r.lcf.tree_depth)));
+  j.set("lcf", std::move(lcf));
+  return j;
+}
+
+bool job_result_from_json(const Json& j, JobResult& out, std::string* error) {
+  if (!j.is_object()) return fail(error, "$", "expected a job-result object");
+  JobResult r;
+
+  std::uint64_t u = 0;
+  if (!get_u64(j, "index", u, error)) return false;
+  r.index = static_cast<std::size_t>(u);
+  if (!get_string(j, "name", r.name, error)) return false;
+  if (!get_string(j, "variant", r.variant, error)) return false;
+  if (!get_u64(j, "cpus", u, error)) return false;
+  r.cpus = static_cast<std::size_t>(u);
+
+  // security/protection/attack echo static to_string() storage; rebinding
+  // through the parsers keeps the const char* fields pointing at it. The
+  // empty string is the JobResult default (job never ran).
+  std::string text;
+  if (!get_string(j, "security", text, error)) return false;
+  if (!text.empty()) {
+    soc::SecurityMode mode;
+    if (!soc::parse_security_mode(text, mode)) {
+      return fail(error, "security", "unknown security mode '" + text + "'");
+    }
+    r.security = to_string(mode);
+  }
+  if (!get_string(j, "protection", text, error)) return false;
+  if (!text.empty()) {
+    soc::ProtectionLevel level;
+    if (!soc::parse_protection_level(text, level)) {
+      return fail(error, "protection",
+                  "unknown protection level '" + text + "'");
+    }
+    r.protection = to_string(level);
+  }
+  if (!get_string(j, "attack", text, error)) return false;
+  {
+    AttackKind kind;
+    if (!parse_attack_kind(text, kind)) {
+      return fail(error, "attack", "unknown attack kind '" + text + "'");
+    }
+    r.attack = to_string(kind);
+  }
+
+  if (!get_u64(j, "seed", r.seed, error)) return false;
+  if (!get_u64(j, "extra_rules", u, error)) return false;
+  r.extra_rules = static_cast<std::size_t>(u);
+  if (!get_u64(j, "line_bytes", r.line_bytes, error)) return false;
+  if (!get_string(j, "topology", r.topology, error)) return false;
+  if (!get_u64(j, "segments", u, error)) return false;
+  r.segments = static_cast<std::size_t>(u);
+  if (!get_u64(j, "max_hops", u, error)) return false;
+  r.max_hops = static_cast<std::size_t>(u);
+
+  const Json* soc = j.find("soc");
+  if (soc == nullptr || !soc->is_object()) {
+    return fail(error, "soc", "expected a soc-results object");
+  }
+  if (!get_u64(*soc, "cycles", r.soc.cycles, error) ||
+      !get_bool(*soc, "completed", r.soc.completed, error) ||
+      !get_u64(*soc, "transactions_ok", r.soc.transactions_ok, error) ||
+      !get_u64(*soc, "transactions_failed", r.soc.transactions_failed,
+               error) ||
+      !get_u64(*soc, "alerts", r.soc.alerts, error) ||
+      !get_double(*soc, "avg_access_latency", r.soc.avg_access_latency,
+                  error) ||
+      !get_double(*soc, "bus_occupancy", r.soc.bus_occupancy, error) ||
+      !get_u64(*soc, "bytes_moved", r.soc.bytes_moved, error) ||
+      !get_u64(*soc, "latency_p50", r.soc.latency_p50, error) ||
+      !get_u64(*soc, "latency_p95", r.soc.latency_p95, error) ||
+      !get_u64(*soc, "latency_p99", r.soc.latency_p99, error) ||
+      !get_u64(*soc, "latency_max", r.soc.latency_max, error)) {
+    return false;
+  }
+
+  if (!stat_from_json(j, "cpu_latency", r.cpu_latency, error)) return false;
+  if (!hist_from_json(j, "latency_hist", r.latency_hist, error)) return false;
+
+  if (!get_u64(j, "fw_passed", r.fw_passed, error) ||
+      !get_u64(j, "fw_blocked", r.fw_blocked, error) ||
+      !get_u64(j, "fw_check_cycles", r.fw_check_cycles, error)) {
+    return false;
+  }
+  const Json* violations = j.find("violations");
+  if (violations == nullptr || !violations->is_array() ||
+      violations->items().size() != r.violations.size()) {
+    return fail(error, "violations",
+                "expected an array of " +
+                    std::to_string(r.violations.size()) + " counters");
+  }
+  for (std::size_t i = 0; i < r.violations.size(); ++i) {
+    if (!violations->items()[i].to_u64(r.violations[i])) {
+      return fail(error, "violations", "expected u64 counters");
+    }
+  }
+
+  if (!get_bool(j, "attack_ran", r.attack_ran, error) ||
+      !get_bool(j, "detected", r.detected, error) ||
+      !get_u64(j, "attack_cycle", r.attack_cycle, error) ||
+      !get_u64(j, "detection_cycle", r.detection_cycle, error) ||
+      !get_u64(j, "detection_latency", r.detection_latency, error) ||
+      !get_bool(j, "contained", r.contained, error) ||
+      !get_bool(j, "containment_checked", r.containment_checked, error) ||
+      !get_bool(j, "victim_data_intact", r.victim_data_intact, error) ||
+      !get_bool(j, "victim_checked", r.victim_checked, error) ||
+      !get_bool(j, "victim_read_aborted", r.victim_read_aborted, error) ||
+      !get_u64(j, "flood_completed", r.flood_completed, error) ||
+      !get_u64(j, "flood_blocked", r.flood_blocked, error)) {
+    return false;
+  }
+
+  if (!get_double(j, "manager_queue_wait", r.manager_queue_wait, error) ||
+      !get_u64(j, "sb_check_latency", r.sb_check_latency, error)) {
+    return false;
+  }
+
+  const Json* lcf = j.find("lcf");
+  if (lcf == nullptr || !lcf->is_object()) {
+    return fail(error, "lcf", "expected an lcf-probe object");
+  }
+  if (!get_u64(*lcf, "protected_reads", r.lcf.protected_reads, error) ||
+      !get_u64(*lcf, "protected_writes", r.lcf.protected_writes, error) ||
+      !get_u64(*lcf, "read_modify_writes", r.lcf.read_modify_writes, error) ||
+      !get_u64(*lcf, "cc_cycles", r.lcf.cc_cycles, error) ||
+      !get_u64(*lcf, "ic_cycles", r.lcf.ic_cycles, error) ||
+      !get_u64(*lcf, "tree_depth", u, error)) {
+    return false;
+  }
+  r.lcf.tree_depth = static_cast<std::size_t>(u);
+
+  out = std::move(r);
+  return true;
+}
+
+}  // namespace secbus::scenario

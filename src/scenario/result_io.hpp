@@ -1,0 +1,31 @@
+// JSON (de)serialization of JobResult — the unit of work that crosses
+// process boundaries.
+//
+// Shard workers and checkpoint files ship completed JobResults as JSON; the
+// merge step replays them into the ordinary aggregation pipeline
+// (BatchAggregate / CampaignReport). The contract is *bit*-fidelity, not
+// just value fidelity: every double round-trips to the identical IEEE-754
+// pattern (util::Json emits shortest-round-trip decimals) and the streaming
+// stats (RunningStat moments, LatencyHistogram buckets) restore their exact
+// internal state, so a report built from merged shard files is byte-
+// identical to one built in-process. job_result_io_test locks this down
+// field by field.
+#pragma once
+
+#include <string>
+
+#include "scenario/scenario.hpp"
+#include "util/json.hpp"
+
+namespace secbus::scenario {
+
+// Emits every JobResult field (histograms as sparse bucket tables).
+[[nodiscard]] util::Json job_result_to_json(const JobResult& r);
+
+// Parses a job_result_to_json() document. On failure returns false and, when
+// `error` is non-null, names the offending field. `out` is fully reset
+// before parsing, so a partial read never leaks prior state.
+bool job_result_from_json(const util::Json& j, JobResult& out,
+                          std::string* error);
+
+}  // namespace secbus::scenario

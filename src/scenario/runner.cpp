@@ -1,38 +1,58 @@
 #include "scenario/runner.hpp"
 
 #include <atomic>
-#include <mutex>
+#include <numeric>
 #include <thread>
+
+#include "util/assert.hpp"
 
 namespace secbus::scenario {
 
 std::vector<JobResult> run_batch(const std::vector<ScenarioSpec>& jobs,
                                  const BatchOptions& options) {
   std::vector<JobResult> results(jobs.size());
-  if (jobs.empty()) return results;
+  for (std::size_t i = 0; i < results.size(); ++i) results[i].index = i;
+
+  // The executed subset: an explicit index list (shard slice / resume) or
+  // every job.
+  std::vector<std::size_t> worklist;
+  if (options.indices.has_value()) {
+    worklist = *options.indices;
+    for (const std::size_t i : worklist) {
+      SECBUS_ASSERT(i < jobs.size(), "batch index outside the job list");
+    }
+  } else {
+    worklist.resize(jobs.size());
+    std::iota(worklist.begin(), worklist.end(), std::size_t{0});
+  }
+  if (worklist.empty()) return results;
 
   unsigned threads = options.threads;
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
-  if (threads > jobs.size()) threads = static_cast<unsigned>(jobs.size());
+  if (threads > worklist.size()) {
+    threads = static_cast<unsigned>(worklist.size());
+  }
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex progress_mutex;
 
   auto worker = [&] {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) return;
+      const std::size_t w = next.fetch_add(1, std::memory_order_relaxed);
+      if (w >= worklist.size()) return;
+      const std::size_t i = worklist[w];
       JobResult r = run_scenario(jobs[i]);
       r.index = i;
       results[i] = std::move(r);
+      // fetch_add is the progress snapshot; the callback runs outside any
+      // lock so its I/O (checkpoint appends, progress printing) overlaps
+      // with the other workers' simulation instead of serializing it.
       const std::size_t finished = done.fetch_add(1) + 1;
       if (options.on_job_done) {
-        const std::lock_guard<std::mutex> lock(progress_mutex);
-        options.on_job_done(results[i], finished, jobs.size());
+        options.on_job_done(results[i], finished, worklist.size());
       }
     }
   };

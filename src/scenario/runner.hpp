@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "scenario/scenario.hpp"
@@ -19,13 +20,24 @@ namespace secbus::scenario {
 struct BatchOptions {
   // Worker threads; 0 picks std::thread::hardware_concurrency() (min 1).
   unsigned threads = 1;
-  // Invoked after each job completes, from the worker thread that ran it,
-  // serialized by an internal mutex (progress reporting).
+  // Job indices to execute, in this order (shard slices, checkpoint resume).
+  // Unset runs every job; an explicitly empty list runs none. Unexecuted
+  // slots of the returned vector keep their value-initialized JobResult
+  // (only `index` is stamped), so callers can prefill them from checkpoints.
+  std::optional<std::vector<std::size_t>> indices;
+  // Invoked after each job completes, from the worker thread that ran it.
+  // NOT serialized: completions on different workers may run the callback
+  // concurrently, so a slow callback (checkpoint I/O, logging) never stalls
+  // the other workers. The JobResult reference is to the completed job's
+  // private slot; callbacks that touch shared state synchronize internally.
+  // `done`/`total` count executed jobs (the indices subset, not the full
+  // job list).
   std::function<void(const JobResult&, std::size_t done, std::size_t total)>
       on_job_done;
 };
 
-// Runs every spec and returns the results in submission order.
+// Runs the selected specs and returns the results in submission order
+// (results.size() == jobs.size() regardless of the indices subset).
 [[nodiscard]] std::vector<JobResult> run_batch(
     const std::vector<ScenarioSpec>& jobs, const BatchOptions& options = {});
 

@@ -99,9 +99,11 @@ JobResult run_scenario(const ScenarioSpec& spec) {
   r.segments = spec.soc.topology.segment_count();
 
   soc::Soc soc(spec.soc);
+  // Diameter from the protected external memory's segment (== the legacy
+  // memory segment unless the DDR was relocated).
   r.max_hops = soc.fabric().hop_count(
-      soc.memory_segment(),
-      soc.fabric().farthest_segment_from(soc.memory_segment()));
+      soc.ddr_segment(),
+      soc.fabric().farthest_segment_from(soc.ddr_segment()));
   const auto& plan = soc.plan();
   const AttackPlan& atk = spec.attack;
 

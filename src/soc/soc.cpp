@@ -165,6 +165,16 @@ std::size_t Soc::memory_segment() const noexcept {
   return cfg_.memory_segment;
 }
 
+std::size_t Soc::bram_segment() const noexcept {
+  return cfg_.bram_segment == SocConfig::kAutoSegment ? cfg_.memory_segment
+                                                      : cfg_.bram_segment;
+}
+
+std::size_t Soc::ddr_segment() const noexcept {
+  return cfg_.ddr_segment == SocConfig::kAutoSegment ? cfg_.memory_segment
+                                                     : cfg_.ddr_segment;
+}
+
 std::size_t Soc::dma_segment() const noexcept {
   return cfg_.dma_segment == SocConfig::kAutoSegment ? cfg_.memory_segment
                                                      : cfg_.dma_segment;
@@ -188,6 +198,12 @@ Soc::Soc(const SocConfig& cfg)
     : cfg_(cfg), plan_(AddressPlan::from_config(cfg)), trace_(cfg.trace_capacity) {
   SECBUS_ASSERT(cfg_.memory_segment < cfg_.topology.segment_count(),
                 "memory_segment outside the fabric");
+  SECBUS_ASSERT(cfg_.bram_segment == SocConfig::kAutoSegment ||
+                    cfg_.bram_segment < cfg_.topology.segment_count(),
+                "bram_segment outside the fabric");
+  SECBUS_ASSERT(cfg_.ddr_segment == SocConfig::kAutoSegment ||
+                    cfg_.ddr_segment < cfg_.topology.segment_count(),
+                "ddr_segment outside the fabric");
   SECBUS_ASSERT(cfg_.dma_segment == SocConfig::kAutoSegment ||
                     cfg_.dma_segment < cfg_.topology.segment_count(),
                 "dma_segment outside the fabric");
@@ -292,8 +308,8 @@ void Soc::build_policies() {
   if (cfg_.dedicated_ip) {
     config_mem_.install(kFwDma, dma_policy(), dma_segment());
   }
-  config_mem_.install(kFwBram, bram_policy(), cfg_.memory_segment);
-  config_mem_.install(kFwLcf, lcf_policy(), cfg_.memory_segment);
+  config_mem_.install(kFwBram, bram_policy(), bram_segment());
+  config_mem_.install(kFwLcf, lcf_policy(), ddr_segment());
 }
 
 void Soc::build_memory() {
@@ -352,12 +368,13 @@ void Soc::build_memory() {
     }
   }
 
-  // Both memories (and their slave-side protection) share one home segment
-  // (cfg.memory_segment, historically 0); remote segments reach them through
-  // the fabric's bridge routes.
-  const auto bram_slave = fabric_->add_slave(*bram_dev, cfg_.memory_segment);
+  // Each memory (and its slave-side protection) lands on its own home
+  // segment — by default both resolve to cfg.memory_segment (historically
+  // 0), but the secure BRAM and open DDR can be split across the fabric;
+  // remote segments reach either through the fabric's bridge routes.
+  const auto bram_slave = fabric_->add_slave(*bram_dev, bram_segment());
   fabric_->map_region(cfg_.bram_base, cfg_.bram_size, bram_slave, "bram");
-  const auto ddr_slave = fabric_->add_slave(*ddr_dev, cfg_.memory_segment);
+  const auto ddr_slave = fabric_->add_slave(*ddr_dev, ddr_segment());
   fabric_->map_region(cfg_.ddr_base, cfg_.ddr_size, ddr_slave, "ddr");
 }
 
@@ -442,7 +459,9 @@ bus::MasterEndpoint& Soc::attach_custom_master(
     core::SecurityPolicy policy, std::function<bool()> done,
     const core::LocalFirewall::Config* lf_cfg, std::size_t segment) {
   if (segment == kRemoteSegment) {
-    segment = fabric_->farthest_segment_from(cfg_.memory_segment);
+    // Most adversarial placement: farthest from the protected external
+    // memory (the threat model's target), wherever the LCF lives.
+    segment = fabric_->farthest_segment_from(ddr_segment());
   }
   SECBUS_ASSERT(segment < fabric_->segment_count(),
                 "attach_custom_master: bad segment");

@@ -136,9 +136,14 @@ class Soc {
   }
   // Fabric segment hosting processor `i` under this SoC's placement.
   [[nodiscard]] std::size_t cpu_segment(std::size_t i) const noexcept;
-  // Home segment of the memories / the dedicated IP (cfg overrides applied,
-  // kAutoSegment resolved).
+  // Default memory home segment (cfg.memory_segment); the per-memory
+  // accessors below resolve kAutoSegment overrides against it.
   [[nodiscard]] std::size_t memory_segment() const noexcept;
+  // Segment hosting the secure internal BRAM (+ its slave firewall/gate).
+  [[nodiscard]] std::size_t bram_segment() const noexcept;
+  // Segment hosting the open external DDR (+ the LCF). Anchor for
+  // "farthest from the memories" attack placement and max-hops reporting.
+  [[nodiscard]] std::size_t ddr_segment() const noexcept;
   [[nodiscard]] std::size_t dma_segment() const noexcept;
   mem::DdrMemory& ddr() noexcept { return *ddr_; }
   mem::Bram& bram() noexcept { return *bram_; }

@@ -106,10 +106,19 @@ struct SocConfig {
   std::size_t processors = 3;
   TopologySpec topology;  // interconnect fabric shape (default: flat bus)
   bool dedicated_ip = true;  // the DMA engine
-  // Home fabric segment of both memories and their slave-side protection
-  // (the historical anchor was segment 0). Must be < segment_count().
+  // Default home fabric segment of the memories and their slave-side
+  // protection (the historical anchor was segment 0). Must be
+  // < segment_count().
   std::size_t memory_segment = 0;
-  // Home segment of the dedicated IP; kAutoSegment follows the memories.
+  // Per-memory placement overrides: the secure on-chip BRAM (plus its slave
+  // firewall / gate) and the open external DDR (plus the LCF) can live on
+  // *different* fabric segments; kAutoSegment keeps each on
+  // memory_segment. The DDR's segment is the anchor for "farthest from the
+  // memories" attack placement and the reported fabric diameter, since the
+  // protected external memory is the threat model's target.
+  std::size_t bram_segment = kAutoSegment;
+  std::size_t ddr_segment = kAutoSegment;
+  // Home segment of the dedicated IP; kAutoSegment follows memory_segment.
   std::size_t dma_segment = kAutoSegment;
   SecurityMode security = SecurityMode::kDistributed;
   ProtectionLevel protection = ProtectionLevel::kFull;

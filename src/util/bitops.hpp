@@ -26,6 +26,22 @@ namespace secbus::util {
   return std::rotr(x, r);
 }
 
+// FNV-1a 64-bit over raw bytes. One implementation for every fingerprint in
+// the tree — shard/checkpoint fingerprints persist to disk, so the hash
+// must never fork between call sites.
+inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
+
+[[nodiscard]] inline std::uint64_t fnv1a_64(std::uint64_t h, const void* data,
+                                            std::size_t len) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
 // Big-endian load/store (SHA-256 and AES operate on big-endian word streams).
 [[nodiscard]] inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
   return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |

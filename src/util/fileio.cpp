@@ -1,0 +1,44 @@
+#include "util/fileio.hpp"
+
+#include <cstdio>
+
+namespace secbus::util {
+
+namespace {
+
+bool fail(std::string* error, const std::string& path, const char* message) {
+  if (error != nullptr && error->empty()) {
+    *error = path + ": " + message;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool read_file(const std::string& path, std::string& out,
+               std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail(error, path, "cannot open file");
+  out.clear();
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return fail(error, path, "read error");
+  return true;
+}
+
+bool write_file(const std::string& path, std::string_view text,
+                std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return fail(error, path, "cannot open file for writing");
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) return fail(error, path, "write error");
+  return true;
+}
+
+}  // namespace secbus::util

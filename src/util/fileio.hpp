@@ -1,0 +1,22 @@
+// Whole-file read/write helpers.
+//
+// Campaign files, shard result files, JSONL checkpoints and the CLI's
+// report emission all slurp or dump whole small files; this is the one
+// implementation of that loop (fix EINTR/errno handling here, everywhere).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace secbus::util {
+
+// Reads the entire file into `out`. False on open/read failure, with
+// "<path>: message" stored through `error` when non-null.
+bool read_file(const std::string& path, std::string& out,
+               std::string* error = nullptr);
+
+// Writes `text`, truncating any existing file. False on open/write failure.
+bool write_file(const std::string& path, std::string_view text,
+                std::string* error = nullptr);
+
+}  // namespace secbus::util

@@ -1,0 +1,66 @@
+#include "util/jsonl.hpp"
+
+#include "util/fileio.hpp"
+
+namespace secbus::util {
+
+bool JsonlWriter::open(const std::string& path) {
+  close();
+  // A previous writer may have died mid-record, leaving the file without a
+  // trailing newline; terminate the fragment so the next append starts on
+  // its own line (the replayer skips the now-isolated bad line).
+  bool needs_newline = false;
+  if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+    if (std::fseek(probe, -1, SEEK_END) == 0) {
+      needs_newline = std::fgetc(probe) != '\n';
+    }
+    std::fclose(probe);
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  ok_ = file_ != nullptr;
+  if (ok_ && needs_newline) {
+    ok_ = std::fputc('\n', file_) == '\n' && std::fflush(file_) == 0;
+  }
+  return ok_;
+}
+
+bool JsonlWriter::append(const Json& value) {
+  if (file_ == nullptr || !ok_) return false;
+  std::string line = value.dump(0);
+  line += '\n';
+  ok_ = std::fwrite(line.data(), 1, line.size(), file_) == line.size() &&
+        std::fflush(file_) == 0;
+  return ok_;
+}
+
+void JsonlWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool read_jsonl(const std::string& path, std::vector<Json>& out,
+                std::string* error) {
+  std::string text;
+  if (!read_file(path, text, error)) return false;
+
+  out.clear();
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    Json value;
+    // Records are independent: a line that doesn't parse is a crash
+    // fragment (torn tail, or a welded-over tear from an earlier resume) —
+    // skip it and keep replaying. A complete record whose newline never
+    // made it out parses fine and is kept.
+    if (Json::parse(line, value)) out.push_back(std::move(value));
+  }
+  return true;
+}
+
+}  // namespace secbus::util

@@ -37,6 +37,29 @@ void RunningStat::merge(const RunningStat& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStat::Snapshot RunningStat::snapshot() const noexcept {
+  Snapshot snap;
+  snap.count = n_;
+  if (n_ == 0) return snap;  // min/max are +/-inf sentinels; don't leak them
+  snap.mean = mean_;
+  snap.m2 = m2_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
+}
+
+void RunningStat::restore(const Snapshot& snap) noexcept {
+  reset();
+  if (snap.count == 0) return;
+  n_ = snap.count;
+  mean_ = snap.mean;
+  m2_ = snap.m2;
+  sum_ = snap.sum;
+  min_ = snap.min;
+  max_ = snap.max;
+}
+
 double RunningStat::variance() const noexcept {
   if (n_ < 2) return 0.0;
   return m2_ / static_cast<double>(n_ - 1);
@@ -133,6 +156,26 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
 }
 
 void LatencyHistogram::reset() noexcept { *this = LatencyHistogram{}; }
+
+void LatencyHistogram::restore(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& cycle_counts,
+    std::uint64_t overflow, std::uint64_t count, std::uint64_t sum,
+    std::uint64_t min, std::uint64_t max) {
+  reset();
+  for (const auto& [cycle, n] : cycle_counts) {
+    SECBUS_ASSERT(cycle < kTrackedMax && n > 0,
+                  "histogram restore: bad bucket");
+    ensure_capacity(cycle);
+    counts_[cycle] += n;
+  }
+  overflow_ = overflow;
+  count_ = count;
+  sum_ = sum;
+  if (count_ > 0) {
+    min_ = min;
+    max_ = max;
+  }
+}
 
 double LatencyHistogram::mean() const noexcept {
   return count_ > 0

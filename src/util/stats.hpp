@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace secbus::util {
@@ -29,6 +30,19 @@ class Counter {
 // Streaming mean/variance/min/max via Welford's algorithm.
 class RunningStat {
  public:
+  // Exact internal state, exposed so results can cross a process boundary
+  // (shard result files / checkpoints) and merge bit-identically afterwards.
+  // `restore(snapshot())` reproduces the stat down to the last mantissa bit;
+  // min/max are meaningless (and not finite) when count == 0.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   void add(double x) noexcept;
   void reset() noexcept;
 
@@ -36,6 +50,9 @@ class RunningStat {
   // add()ed here (Chan et al. parallel-variance combine). Lets the batch
   // runner merge per-CPU / per-job moments without re-streaming samples.
   void merge(const RunningStat& other) noexcept;
+
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+  void restore(const Snapshot& snap) noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
@@ -105,8 +122,26 @@ class LatencyHistogram {
   void merge(const LatencyHistogram& other);
   void reset() noexcept;
 
+  // Bucket table for cross-process result shipping: buckets() exposes the
+  // raw per-cycle counts (index = latency in cycles; trailing capacity may
+  // be zero), restore() rebuilds the histogram from sparse (cycle, count)
+  // pairs plus the overflow-bucket population. All derived state (count,
+  // sum, min, max) is recomputed except the overflow contribution to
+  // sum/min/max, which the saturating bucket cannot recover — callers pass
+  // the original sum/min/max alongside.
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return counts_;
+  }
+  void restore(const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+                   cycle_counts,
+               std::uint64_t overflow, std::uint64_t count, std::uint64_t sum,
+               std::uint64_t min, std::uint64_t max);
+
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  // Exact sum of every recorded latency, overflow samples included (their
+  // true values, not the saturated bucket) — mean() = sum()/count().
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
   [[nodiscard]] std::uint64_t min() const noexcept {
     return count_ > 0 ? min_ : 0;
   }

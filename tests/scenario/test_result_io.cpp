@@ -1,0 +1,231 @@
+// JobResult JSON round-trip: the merge path's bit-fidelity contract.
+// Every field — IEEE doubles, streaming moments, histogram buckets,
+// never-detected sentinels — must survive serialize -> parse -> serialize
+// unchanged, because merged shard reports are promised byte-identical to
+// in-process ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "scenario/report.hpp"
+#include "scenario/result_io.hpp"
+#include "scenario/scenario.hpp"
+#include "soc/presets.hpp"
+
+namespace secbus::scenario {
+namespace {
+
+JobResult adversarial_result() {
+  JobResult r;
+  r.index = 41;
+  r.name = "round-trip";
+  r.variant = "attack=hijack,seed=42";
+  r.cpus = 7;
+  r.security = soc::to_string(soc::SecurityMode::kDistributed);
+  r.protection = soc::to_string(soc::ProtectionLevel::kFull);
+  r.seed = 0xDEADBEEFCAFEF00DULL;  // needs exact u64 round-trip
+  r.extra_rules = 17;
+  r.line_bytes = 64;
+  r.attack = to_string(AttackKind::kExternalReplay);
+  r.topology = "mesh2x2";
+  r.segments = 4;
+  r.max_hops = 2;
+
+  r.soc.cycles = 123'456'789;
+  r.soc.completed = true;
+  r.soc.transactions_ok = 1'000'000;
+  r.soc.transactions_failed = 3;
+  r.soc.alerts = 11;
+  // Doubles chosen to have no short decimal representation.
+  r.soc.avg_access_latency = 1.0 / 3.0;
+  r.soc.bus_occupancy = 0.1 + 0.2;  // the classic 0.30000000000000004
+  r.soc.bytes_moved = 1ULL << 40;
+  r.soc.latency_p50 = 17;
+  r.soc.latency_p95 = 230;
+  r.soc.latency_p99 = 999;
+  r.soc.latency_max = 20'000;
+
+  for (int i = 0; i < 1000; ++i) r.cpu_latency.add(std::sqrt(i) * 0.7);
+  r.latency_hist.add(3);
+  r.latency_hist.add(3);
+  r.latency_hist.add(500);
+  r.latency_hist.add(99'999);  // overflow bucket, exact sum preserved
+
+  r.fw_passed = 55;
+  r.fw_blocked = 5;
+  r.fw_check_cycles = 600;
+  for (std::size_t i = 0; i < r.violations.size(); ++i) {
+    r.violations[i] = 100 + i;
+  }
+
+  r.attack_ran = true;
+  r.detected = false;
+  r.attack_cycle = 4242;
+  r.detection_cycle = sim::kNeverCycle;  // u64 max must survive
+  r.detection_latency = 0;
+  r.contained = true;
+  r.containment_checked = true;
+  r.victim_data_intact = false;
+  r.victim_checked = true;
+  r.victim_read_aborted = true;
+  r.flood_completed = 400;
+  r.flood_blocked = 395;
+
+  r.manager_queue_wait = 2.0 / 7.0;
+  r.sb_check_latency = 12;
+
+  r.lcf.protected_reads = 123;
+  r.lcf.protected_writes = 456;
+  r.lcf.read_modify_writes = 78;
+  r.lcf.cc_cycles = 9'000;
+  r.lcf.ic_cycles = 21'000;
+  r.lcf.tree_depth = 11;
+  return r;
+}
+
+void expect_bit_identical(const JobResult& a, const JobResult& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.variant, b.variant);
+  EXPECT_EQ(a.cpus, b.cpus);
+  EXPECT_STREQ(a.security, b.security);
+  EXPECT_STREQ(a.protection, b.protection);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.extra_rules, b.extra_rules);
+  EXPECT_EQ(a.line_bytes, b.line_bytes);
+  EXPECT_STREQ(a.attack, b.attack);
+  EXPECT_EQ(a.topology, b.topology);
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_EQ(a.max_hops, b.max_hops);
+
+  EXPECT_EQ(a.soc.cycles, b.soc.cycles);
+  EXPECT_EQ(a.soc.completed, b.soc.completed);
+  EXPECT_EQ(a.soc.transactions_ok, b.soc.transactions_ok);
+  EXPECT_EQ(a.soc.transactions_failed, b.soc.transactions_failed);
+  EXPECT_EQ(a.soc.alerts, b.soc.alerts);
+  // Bit equality, not epsilon equality: memcmp the doubles.
+  EXPECT_EQ(std::memcmp(&a.soc.avg_access_latency, &b.soc.avg_access_latency,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&a.soc.bus_occupancy, &b.soc.bus_occupancy,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(a.soc.bytes_moved, b.soc.bytes_moved);
+  EXPECT_EQ(a.soc.latency_p50, b.soc.latency_p50);
+  EXPECT_EQ(a.soc.latency_p95, b.soc.latency_p95);
+  EXPECT_EQ(a.soc.latency_p99, b.soc.latency_p99);
+  EXPECT_EQ(a.soc.latency_max, b.soc.latency_max);
+
+  const util::RunningStat::Snapshot sa = a.cpu_latency.snapshot();
+  const util::RunningStat::Snapshot sb = b.cpu_latency.snapshot();
+  EXPECT_EQ(sa.count, sb.count);
+  EXPECT_EQ(std::memcmp(&sa, &sb, sizeof sa), 0);
+
+  EXPECT_EQ(a.latency_hist.count(), b.latency_hist.count());
+  EXPECT_EQ(a.latency_hist.overflow(), b.latency_hist.overflow());
+  EXPECT_EQ(a.latency_hist.sum(), b.latency_hist.sum());
+  EXPECT_EQ(a.latency_hist.min(), b.latency_hist.min());
+  EXPECT_EQ(a.latency_hist.max(), b.latency_hist.max());
+  EXPECT_EQ(a.latency_hist.p50(), b.latency_hist.p50());
+  EXPECT_EQ(a.latency_hist.p99(), b.latency_hist.p99());
+
+  EXPECT_EQ(a.fw_passed, b.fw_passed);
+  EXPECT_EQ(a.fw_blocked, b.fw_blocked);
+  EXPECT_EQ(a.fw_check_cycles, b.fw_check_cycles);
+  EXPECT_EQ(a.violations, b.violations);
+
+  EXPECT_EQ(a.attack_ran, b.attack_ran);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.attack_cycle, b.attack_cycle);
+  EXPECT_EQ(a.detection_cycle, b.detection_cycle);
+  EXPECT_EQ(a.detection_latency, b.detection_latency);
+  EXPECT_EQ(a.contained, b.contained);
+  EXPECT_EQ(a.containment_checked, b.containment_checked);
+  EXPECT_EQ(a.victim_data_intact, b.victim_data_intact);
+  EXPECT_EQ(a.victim_checked, b.victim_checked);
+  EXPECT_EQ(a.victim_read_aborted, b.victim_read_aborted);
+  EXPECT_EQ(a.flood_completed, b.flood_completed);
+  EXPECT_EQ(a.flood_blocked, b.flood_blocked);
+
+  EXPECT_EQ(std::memcmp(&a.manager_queue_wait, &b.manager_queue_wait,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(a.sb_check_latency, b.sb_check_latency);
+
+  EXPECT_EQ(a.lcf.protected_reads, b.lcf.protected_reads);
+  EXPECT_EQ(a.lcf.protected_writes, b.lcf.protected_writes);
+  EXPECT_EQ(a.lcf.read_modify_writes, b.lcf.read_modify_writes);
+  EXPECT_EQ(a.lcf.cc_cycles, b.lcf.cc_cycles);
+  EXPECT_EQ(a.lcf.ic_cycles, b.lcf.ic_cycles);
+  EXPECT_EQ(a.lcf.tree_depth, b.lcf.tree_depth);
+}
+
+TEST(ResultIo, AdversarialResultRoundTripsBitExactly) {
+  const JobResult original = adversarial_result();
+  const util::Json j = job_result_to_json(original);
+  JobResult parsed;
+  std::string error;
+  ASSERT_TRUE(job_result_from_json(j, parsed, &error)) << error;
+  expect_bit_identical(original, parsed);
+}
+
+TEST(ResultIo, SerializationIsAFixedPoint) {
+  // serialize(parse(serialize(x))) == serialize(x): the strongest cheap
+  // probe that nothing drifts per round trip.
+  const JobResult original = adversarial_result();
+  const std::string once = job_result_to_json(original).dump(0);
+  JobResult parsed;
+  ASSERT_TRUE(job_result_from_json(job_result_to_json(original), parsed,
+                                   nullptr));
+  EXPECT_EQ(job_result_to_json(parsed).dump(0), once);
+}
+
+TEST(ResultIo, DefaultConstructedResultRoundTrips) {
+  const JobResult original;  // empty stats, "" security, "none" attack
+  JobResult parsed;
+  std::string error;
+  ASSERT_TRUE(
+      job_result_from_json(job_result_to_json(original), parsed, &error))
+      << error;
+  expect_bit_identical(original, parsed);
+}
+
+TEST(ResultIo, RealScenarioResultRoundTripsAndAggregatesIdentically) {
+  ScenarioSpec spec;
+  spec.name = "result-io-live";
+  spec.soc = soc::tiny_test_config();
+  spec.attack.kind = AttackKind::kHijack;
+  spec.max_cycles = 2'000'000;
+  const JobResult original = run_scenario(spec);
+
+  JobResult parsed;
+  std::string error;
+  ASSERT_TRUE(
+      job_result_from_json(job_result_to_json(original), parsed, &error))
+      << error;
+  expect_bit_identical(original, parsed);
+
+  // The aggregation downstream of the merge must not see any difference.
+  const std::vector<JobResult> a{original};
+  const std::vector<JobResult> b{parsed};
+  EXPECT_EQ(batch_json("x", a, BatchAggregate::from(a)),
+            batch_json("x", b, BatchAggregate::from(b)));
+}
+
+TEST(ResultIo, RejectsMalformedDocuments) {
+  JobResult parsed;
+  std::string error;
+  EXPECT_FALSE(job_result_from_json(util::Json::number(std::uint64_t{3}),
+                                    parsed, &error));
+
+  util::Json j = job_result_to_json(adversarial_result());
+  // Corrupt one enum echo.
+  j.set("protection", util::Json::string("super-secret"));
+  error.clear();
+  EXPECT_FALSE(job_result_from_json(j, parsed, &error));
+  EXPECT_NE(error.find("protection"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secbus::scenario

@@ -115,7 +115,11 @@ TEST(Runner, ProgressCallbackFiresOncePerJob) {
   options.on_job_done = [&](const JobResult&, std::size_t done,
                             std::size_t total) {
     ++calls;
-    if (done > max_done) max_done = done;
+    // Callbacks run concurrently (the runner no longer serializes them), so
+    // the max is tracked with a CAS loop, not check-then-act.
+    std::size_t seen = max_done.load();
+    while (done > seen && !max_done.compare_exchange_weak(seen, done)) {
+    }
     EXPECT_EQ(total, jobs.size());
   };
   (void)run_batch(jobs, options);

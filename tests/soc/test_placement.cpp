@@ -1,7 +1,9 @@
 // Placement overrides: memories and the dedicated IP can live on any fabric
 // segment (SocConfig::memory_segment / dma_segment), closing the PR-3
-// remnant that hard-anchored them on segment 0. Cross-segment memory
-// traffic must route over bridges and stay firewalled exactly like
+// remnant that hard-anchored them on segment 0 — and the secure BRAM and
+// open DDR can live on *different* segments (bram_segment / ddr_segment),
+// closing the PR-4 remnant that kept them on one shared home. Cross-segment
+// memory traffic must route over bridges and stay firewalled exactly like
 // segment-0 placement.
 #include <gtest/gtest.h>
 
@@ -124,6 +126,113 @@ TEST(Placement, DedicatedIpSegmentIsIndependent) {
   const SocResults results = soc.run(5'000'000);
   EXPECT_TRUE(results.completed);
   EXPECT_EQ(results.alerts, 0u);
+}
+
+TEST(Placement, SplitMemoriesDefaultToTheSharedHomeSegment) {
+  Soc soc(mesh_cfg(3));
+  EXPECT_EQ(soc.bram_segment(), 3u);  // auto follows memory_segment
+  EXPECT_EQ(soc.ddr_segment(), 3u);
+}
+
+TEST(Placement, SecureAndOpenMemoriesOnDifferentSegmentsServeEveryCpu) {
+  // The secure internal BRAM and the open external DDR split across
+  // opposite mesh corners: every CPU reaches both, nothing raises alerts,
+  // and traffic demonstrably crosses bridges toward *both* memories.
+  SocConfig cfg = mesh_cfg(0);
+  cfg.bram_segment = 0;
+  cfg.ddr_segment = 3;
+  Soc soc(cfg);
+  EXPECT_EQ(soc.bram_segment(), 0u);
+  EXPECT_EQ(soc.ddr_segment(), 3u);
+
+  const SocResults results = soc.run(5'000'000);
+  EXPECT_TRUE(results.completed);
+  EXPECT_EQ(results.transactions_failed, 0u);
+  EXPECT_EQ(results.alerts, 0u);
+  EXPECT_GT(results.transactions_ok, 0u);
+  std::uint64_t bridged = 0;
+  for (const auto& bridge : soc.fabric().bridges()) {
+    bridged += bridge->stats().forwarded;
+  }
+  EXPECT_GT(bridged, 0u);
+}
+
+TEST(Placement, SplitMemoryRoutingMatchesSharedPlacementStatistics) {
+  // Splitting the memories changes only *where* accesses travel, not which
+  // accesses succeed: transaction outcomes match the shared-home run.
+  SocConfig shared = mesh_cfg(0);
+  Soc a(shared);
+  const SocResults ra = a.run(5'000'000);
+
+  SocConfig split = mesh_cfg(0);
+  split.ddr_segment = 3;
+  Soc b(split);
+  const SocResults rb = b.run(5'000'000);
+
+  EXPECT_TRUE(ra.completed);
+  EXPECT_TRUE(rb.completed);
+  EXPECT_EQ(ra.transactions_ok, rb.transactions_ok);
+  EXPECT_EQ(ra.transactions_failed, rb.transactions_failed);
+  EXPECT_EQ(ra.alerts, rb.alerts);
+  // Timing genuinely changes: external accesses pay bridge hops but no
+  // longer contend with BRAM traffic on one segment (empirically the split
+  // *wins* here — the whole point of making placement explorable).
+  EXPECT_NE(rb.avg_access_latency, ra.avg_access_latency);
+}
+
+TEST(Placement, HijackAgainstSplitMemoriesIsStillFirewalled) {
+  // Attack masters spawn farthest from the *DDR* (the protected target).
+  // With the DDR on corner 3 the hijacker lands on corner 0 and its LF
+  // must contain every cross-fabric probe.
+  scenario::ScenarioSpec spec;
+  spec.name = "placement-split-hijack";
+  spec.soc = mesh_cfg(0);
+  spec.soc.ddr_segment = 3;
+  spec.attack.kind = scenario::AttackKind::kHijack;
+  spec.max_cycles = 2'000'000;
+
+  const scenario::JobResult result = scenario::run_scenario(spec);
+  EXPECT_TRUE(result.soc.completed);
+  EXPECT_TRUE(result.attack_ran);
+  EXPECT_TRUE(result.detected);
+  EXPECT_TRUE(result.containment_checked);
+  EXPECT_TRUE(result.contained);
+  EXPECT_GT(result.fw_blocked, 0u);
+  // max_hops is measured from the *DDR's* segment (corner 3 -> corner 0).
+  EXPECT_EQ(result.max_hops, 2u);
+}
+
+TEST(Placement, ExternalSpoofOnRelocatedDdrIsDetected) {
+  scenario::ScenarioSpec spec;
+  spec.name = "placement-split-spoof";
+  spec.soc = mesh_cfg(0);
+  spec.soc.ddr_segment = 2;
+  spec.soc.protection = ProtectionLevel::kFull;
+  spec.attack.kind = scenario::AttackKind::kExternalSpoof;
+  spec.max_cycles = 4'000'000;
+
+  const scenario::JobResult result = scenario::run_scenario(spec);
+  EXPECT_TRUE(result.soc.completed);
+  EXPECT_TRUE(result.attack_ran);
+  EXPECT_TRUE(result.detected);
+  EXPECT_TRUE(result.victim_checked);
+  EXPECT_FALSE(result.victim_data_intact);
+  EXPECT_TRUE(result.victim_read_aborted);
+}
+
+TEST(Placement, SplitFieldsAtAutoAreBitIdenticalToTheSharedHome) {
+  SocConfig cfg = mesh_cfg(3);
+  Soc a(cfg);
+  const SocResults ra = a.run(5'000'000);
+  SocConfig cfg2 = mesh_cfg(3);
+  cfg2.bram_segment = 3;  // explicit == auto resolution
+  cfg2.ddr_segment = 3;
+  Soc b(cfg2);
+  const SocResults rb = b.run(5'000'000);
+  EXPECT_EQ(ra.cycles, rb.cycles);
+  EXPECT_EQ(ra.transactions_ok, rb.transactions_ok);
+  EXPECT_EQ(ra.bytes_moved, rb.bytes_moved);
+  EXPECT_DOUBLE_EQ(ra.avg_access_latency, rb.avg_access_latency);
 }
 
 TEST(Placement, FlatTopologyIsUnchangedByTheNewFields) {

@@ -1,0 +1,163 @@
+// JSONL append/replay: per-record durability and torn-tail recovery — the
+// properties campaign checkpoints stand on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/jsonl.hpp"
+
+namespace secbus::util {
+namespace {
+
+class JsonlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("secbus_jsonl_" +
+              std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+              "_" + std::string(::testing::UnitTest::GetInstance()
+                                    ->current_test_info()
+                                    ->name()) +
+              ".jsonl"))
+                .string();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+Json record(std::uint64_t index) {
+  Json j = Json::object();
+  j.set("index", Json::number(index));
+  j.set("label", Json::string("job-" + std::to_string(index)));
+  return j;
+}
+
+TEST_F(JsonlTest, RoundTripsRecordsInOrder) {
+  {
+    JsonlWriter writer;
+    ASSERT_TRUE(writer.open(path_));
+    for (std::uint64_t i = 0; i < 5; ++i) ASSERT_TRUE(writer.append(record(i)));
+    EXPECT_TRUE(writer.ok());
+  }
+  std::vector<Json> out;
+  ASSERT_TRUE(read_jsonl(path_, out));
+  ASSERT_EQ(out.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    std::uint64_t index = 0;
+    ASSERT_TRUE(out[i].find("index")->to_u64(index));
+    EXPECT_EQ(index, i);
+  }
+}
+
+TEST_F(JsonlTest, AppendModeExtendsAnExistingFile) {
+  {
+    JsonlWriter writer;
+    ASSERT_TRUE(writer.open(path_));
+    ASSERT_TRUE(writer.append(record(0)));
+  }
+  {
+    JsonlWriter writer;  // reopen: append, never truncate
+    ASSERT_TRUE(writer.open(path_));
+    ASSERT_TRUE(writer.append(record(1)));
+  }
+  std::vector<Json> out;
+  ASSERT_TRUE(read_jsonl(path_, out));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(JsonlTest, TornTrailingLineIsDroppedNotFatal) {
+  {
+    JsonlWriter writer;
+    ASSERT_TRUE(writer.open(path_));
+    ASSERT_TRUE(writer.append(record(0)));
+    ASSERT_TRUE(writer.append(record(1)));
+  }
+  // Simulate a crash mid-append: a record cut off without its newline.
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const char torn[] = "{\"index\": 2, \"lab";
+  std::fwrite(torn, 1, sizeof torn - 1, f);
+  std::fclose(f);
+
+  std::vector<Json> out;
+  ASSERT_TRUE(read_jsonl(path_, out));
+  EXPECT_EQ(out.size(), 2u);  // the torn record is gone, the prefix survives
+}
+
+TEST_F(JsonlTest, CrashResumeCrashLosesOnlyTheTornRecords) {
+  // Run 1 crashes mid-append; run 2 reopens (must not weld onto the
+  // fragment), appends more, and crashes mid-append again; run 3 replays.
+  // Every complete record from both runs must survive.
+  {
+    JsonlWriter writer;
+    ASSERT_TRUE(writer.open(path_));
+    ASSERT_TRUE(writer.append(record(0)));
+  }
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char torn[] = "{\"index\": 1, \"la";
+    std::fwrite(torn, 1, sizeof torn - 1, f);
+    std::fclose(f);
+  }
+  {
+    JsonlWriter writer;  // resume: terminates the fragment first
+    ASSERT_TRUE(writer.open(path_));
+    ASSERT_TRUE(writer.append(record(2)));
+    ASSERT_TRUE(writer.append(record(3)));
+  }
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char torn[] = "{\"ind";
+    std::fwrite(torn, 1, sizeof torn - 1, f);
+    std::fclose(f);
+  }
+  std::vector<Json> out;
+  ASSERT_TRUE(read_jsonl(path_, out));
+  ASSERT_EQ(out.size(), 3u);  // records 0, 2, 3; both fragments dropped
+  std::uint64_t index = 0;
+  ASSERT_TRUE(out[1].find("index")->to_u64(index));
+  EXPECT_EQ(index, 2u);
+}
+
+TEST_F(JsonlTest, CompleteUnterminatedTailIsKept) {
+  // Writer died between the record bytes and the newline: record complete,
+  // terminator missing — it must still replay.
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char text[] = "{\"index\": 0}\n{\"index\": 1}";
+  std::fwrite(text, 1, sizeof text - 1, f);
+  std::fclose(f);
+
+  std::vector<Json> out;
+  ASSERT_TRUE(read_jsonl(path_, out));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(JsonlTest, MissingFileReportsFailure) {
+  std::vector<Json> out;
+  std::string error;
+  EXPECT_FALSE(read_jsonl(path_ + ".does-not-exist", out, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST_F(JsonlTest, BlankLinesAreSkipped) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char text[] = "{\"a\": 1}\n\n{\"b\": 2}\n";
+  std::fwrite(text, 1, sizeof text - 1, f);
+  std::fclose(f);
+
+  std::vector<Json> out;
+  ASSERT_TRUE(read_jsonl(path_, out));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace secbus::util

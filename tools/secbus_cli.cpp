@@ -42,7 +42,32 @@
 //     --cells-csv PATH  per-cell CSV   (default <out>/<name>.cells.csv)
 //     --json PATH       campaign JSON  (default <out>/<name>.campaign.json)
 //     --csv PATH        per-job CSV    (default <out>/<name>.jobs.csv)
-//       plus --jobs/--repeats/--no-files/--max-cycles/--quiet.
+//     --shard i/N       run only shard i of N (stable round-robin over the
+//                       job index) and write <out>/<name>.shard-i-of-N.json
+//                       instead of the aggregate reports; shard runs
+//                       checkpoint to <out>/<name>.shard-i-of-N.ckpt.jsonl
+//                       by default, so re-running resumes after a crash
+//     --spawn N         fork N local single-shard worker processes, wait,
+//                       merge their shard files and emit the normal reports
+//                       (byte-identical to an unsharded run)
+//     --checkpoint PATH crash-safe JSONL checkpoint (resume + append).
+//                       Checkpointing is on by default for --shard/--spawn
+//                       (per-shard paths derived under --out; an explicit
+//                       PATH is rejected with --spawn) and opt-in via this
+//                       flag for plain runs
+//     --no-checkpoint   disable checkpointing
+//     --no-setup-cache  disable the per-process SoC-setup memo cache
+//                       (formatted hash trees / memory images); results are
+//                       bit-identical either way — this exists for baseline
+//                       benchmarking
+//       plus --jobs/--repeats/--no-files/--max-cycles/--quiet (--jobs is
+//       threads per process; with --spawn it applies to each worker).
+//
+//   secbus_cli campaign merge <shard.json>... [--out DIR] [options]
+//       Recombines shard result files (all N of them) into the identical
+//       cells CSV + campaign JSON + weakest-cell ranking a single-process
+//       run would emit. Validates campaign identity, grid fingerprints and
+//       exactly-once job coverage before writing anything.
 //
 //   secbus_cli campaign validate <file.json>...
 //       Parses + validates each file, printing the job/cell counts or the
@@ -68,6 +93,8 @@
 
 #include "campaign/campaign.hpp"
 #include "campaign/report.hpp"
+#include "campaign/shard.hpp"
+#include "core/format_cache.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
@@ -75,6 +102,7 @@
 #include "soc/report.hpp"
 #include "soc/soc.hpp"
 #include "util/csv.hpp"
+#include "util/fileio.hpp"
 #include "util/table.hpp"
 
 using namespace secbus;
@@ -92,7 +120,9 @@ namespace {
       "              [--extra-rules A,B] [--line-bytes A,B] [--external A,B]\n"
       "              [run options]\n"
       "       %s campaign run <file.json> [--out DIR] [--cells-csv PATH]\n"
-      "              [run options]\n"
+      "              [--shard i/N] [--spawn N] [--checkpoint PATH]\n"
+      "              [--no-checkpoint] [--no-setup-cache] [run options]\n"
+      "       %s campaign merge <shard.json>... [--out DIR] [run options]\n"
       "       %s campaign validate <file.json>...\n"
       "       %s campaign export-builtin [--dir DIR]\n"
       "       %s [--cpus N] [--topology flat|starN|meshRxC]\n"
@@ -101,7 +131,7 @@ namespace {
       "          [--transactions N] [--compute N] [--extra-rules N]\n"
       "          [--line-bytes N] [--seed N] [--max-cycles N]\n"
       "          [--reconfig] [--report] [--quiet]\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(1);
 }
 
@@ -177,18 +207,43 @@ bool parse_batch_option(int argc, char** argv, int& i, BatchCliOptions& opt) {
   return true;
 }
 
-// Shared execution core for run/sweep/campaign: seed replication, cycle-cap
-// override, worker-pool setup and progress reporting. Scenario runs print
-// one line per finished job; campaigns (thousands of jobs) print ~20
-// strided updates instead.
-std::vector<scenario::JobResult> execute_specs(
-    const char* kind, const std::string& name,
-    std::vector<scenario::ScenarioSpec> specs, const BatchCliOptions& opt,
-    bool per_job_progress) {
+// Applies the shared CLI post-processing to an expanded spec list: seed
+// replication and the cycle-cap override. Every execution path — plain,
+// sharded, spawned — prepares specs identically, so shard fingerprints and
+// job order agree across processes and invocations.
+std::vector<scenario::ScenarioSpec> prepare_specs(
+    std::vector<scenario::ScenarioSpec> specs, const BatchCliOptions& opt) {
   specs = scenario::replicate_seeds(std::move(specs), opt.repeats);
   if (opt.max_cycles != 0) {
     for (auto& spec : specs) spec.max_cycles = opt.max_cycles;
   }
+  return specs;
+}
+
+// Strided progress for many-job campaigns: ~20 updates total. The batch
+// runner may invoke completion callbacks concurrently; printf is atomic per
+// call, so lines interleave whole.
+std::function<void(const scenario::JobResult&, std::size_t, std::size_t)>
+strided_progress(std::size_t jobs) {
+  std::size_t stride = jobs / 20;
+  if (stride == 0) stride = 1;
+  return [stride](const scenario::JobResult&, std::size_t done,
+                  std::size_t total) {
+    if (done % stride == 0 || done == total) {
+      std::printf("  [%zu/%zu]\n", done, total);
+      std::fflush(stdout);
+    }
+  };
+}
+
+// Shared execution core for run/sweep/campaign: worker-pool setup and
+// progress reporting. Scenario runs print one line per finished job;
+// campaigns (thousands of jobs) print ~20 strided updates instead.
+std::vector<scenario::JobResult> execute_specs(
+    const char* kind, const std::string& name,
+    std::vector<scenario::ScenarioSpec> specs, const BatchCliOptions& opt,
+    bool per_job_progress) {
+  specs = prepare_specs(std::move(specs), opt);
 
   scenario::BatchOptions batch;
   batch.threads = opt.jobs;
@@ -204,15 +259,7 @@ std::vector<scenario::JobResult> execute_specs(
         std::fflush(stdout);
       };
     } else {
-      std::size_t stride = specs.size() / 20;
-      if (stride == 0) stride = 1;
-      batch.on_job_done = [stride](const scenario::JobResult&,
-                                   std::size_t done, std::size_t total) {
-        if (done % stride == 0 || done == total) {
-          std::printf("  [%zu/%zu]\n", done, total);
-          std::fflush(stdout);
-        }
-      };
+      batch.on_job_done = strided_progress(specs.size());
     }
   }
   return scenario::run_batch(specs, batch);
@@ -247,12 +294,8 @@ int run_jobs(const std::string& name, std::vector<scenario::ScenarioSpec> specs,
     util::CsvWriter csv(csv_path);
     scenario::write_batch_csv(csv, results);
     csv.flush();
-    bool json_ok = false;
-    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-      const std::string json = scenario::batch_json(name, results, aggregate);
-      json_ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
-      std::fclose(f);
-    }
+    const bool json_ok = util::write_file(
+        json_path, scenario::batch_json(name, results, aggregate));
     reports_ok = csv.ok() && json_ok;
     if (!opt.quiet) {
       std::printf("reports: %s%s, %s%s\n", csv_path.c_str(),
@@ -379,12 +422,83 @@ int cmd_sweep(int argc, char** argv) {
                   opt);
 }
 
-bool write_text_file(const std::string& path, const std::string& text) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  std::fclose(f);
-  return ok;
+// Renders + writes the campaign outputs (table or quiet line; cells CSV,
+// campaign JSON, per-job CSV) for a complete submission-order result
+// vector. Shared by the plain run, --spawn and `campaign merge` so all
+// three emit byte-identical artifacts from identical results.
+int emit_campaign_outputs(const std::string& name,
+                          const std::vector<scenario::JobResult>& results,
+                          const BatchCliOptions& opt,
+                          const std::string& out_dir,
+                          const std::string& cells_csv_path) {
+  const campaign::CampaignReport report =
+      campaign::CampaignReport::from(name, results);
+
+  if (opt.quiet) {
+    std::printf(
+        "%s: %zu/%zu completed, %zu cell(s), detected %zu/%zu, "
+        "contained %zu/%zu\n",
+        name.c_str(), report.batch.jobs_completed, report.batch.jobs_total,
+        report.cells.size(), report.batch.attacks_detected,
+        report.batch.attacks_ran, report.batch.attacks_contained,
+        report.batch.containment_checked);
+  } else {
+    std::fputs(campaign::render_campaign_table(report).c_str(), stdout);
+  }
+
+  bool reports_ok = true;
+  if (!opt.no_files) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    const auto in_out = [&out_dir](const std::string& file_name) {
+      return (std::filesystem::path(out_dir) / file_name).string();
+    };
+    const std::string cells_path = cells_csv_path.empty()
+                                       ? in_out(name + ".cells.csv")
+                                       : cells_csv_path;
+    const std::string json_path = opt.json_path.empty()
+                                      ? in_out(name + ".campaign.json")
+                                      : opt.json_path;
+    const std::string jobs_path =
+        opt.csv_path.empty() ? in_out(name + ".jobs.csv") : opt.csv_path;
+
+    util::CsvWriter cells_csv(cells_path);
+    campaign::write_cells_csv(cells_csv, report);
+    cells_csv.flush();
+    util::CsvWriter jobs_csv(jobs_path);
+    scenario::write_batch_csv(jobs_csv, results);
+    jobs_csv.flush();
+    const bool json_ok =
+        util::write_file(json_path, campaign::campaign_json(report));
+    reports_ok = cells_csv.ok() && jobs_csv.ok() && json_ok;
+    if (!opt.quiet) {
+      std::printf("reports: %s, %s, %s\n", cells_path.c_str(),
+                  json_path.c_str(), jobs_path.c_str());
+    }
+    if (!reports_ok) {
+      std::fprintf(stderr, "error: failed to write campaign reports under %s\n",
+                   out_dir.c_str());
+    }
+  }
+
+  return report.batch.jobs_completed == report.batch.jobs_total && reports_ok
+             ? 0
+             : 1;
+}
+
+// "--shard i/N": 0 <= i < N <= 1024.
+bool parse_shard_selector(const char* text, std::size_t& index,
+                          std::size_t& total) {
+  char* end = nullptr;
+  const unsigned long long i = std::strtoull(text, &end, 10);
+  if (end == text || *end != '/') return false;
+  const char* rest = end + 1;
+  const unsigned long long n = std::strtoull(rest, &end, 10);
+  if (end == rest || *end != '\0') return false;
+  if (n < 1 || n > 1024 || i >= n) return false;
+  index = static_cast<std::size_t>(i);
+  total = static_cast<std::size_t>(n);
+  return true;
 }
 
 int cmd_campaign_run(int argc, char** argv) {
@@ -393,6 +507,11 @@ int cmd_campaign_run(int argc, char** argv) {
   BatchCliOptions opt;
   std::string out_dir = "bench/out";
   std::string cells_csv_path;
+  std::size_t shard_index = 0;
+  std::size_t shard_total = 0;  // 0 = not sharded
+  std::size_t spawn = 0;        // 0 = no worker processes
+  std::string checkpoint_path;
+  bool no_checkpoint = false;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -404,9 +523,36 @@ int cmd_campaign_run(int argc, char** argv) {
       out_dir = next();
     } else if (arg == "--cells-csv") {
       cells_csv_path = next();
+    } else if (arg == "--shard") {
+      if (!parse_shard_selector(next(), shard_index, shard_total)) {
+        usage(argv[0]);
+      }
+    } else if (arg == "--spawn") {
+      std::uint64_t u = 0;
+      if (!parse_u64(next(), u) || u < 1 || u > 64) usage(argv[0]);
+      spawn = static_cast<std::size_t>(u);
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = next();
+    } else if (arg == "--no-checkpoint") {
+      no_checkpoint = true;
+    } else if (arg == "--no-setup-cache") {
+      core::FormatCache::instance().set_enabled(false);
     } else {
       usage(argv[0]);
     }
+  }
+  if (shard_total != 0 && spawn != 0) {
+    std::fprintf(stderr, "error: --shard and --spawn are mutually exclusive\n");
+    return 1;
+  }
+  if (spawn != 0 && !checkpoint_path.empty()) {
+    // Spawned workers each need their own checkpoint; a single shared path
+    // would be silently ignored. Per-shard files derive under --out.
+    std::fprintf(stderr,
+                 "error: --checkpoint PATH does not combine with --spawn "
+                 "(workers checkpoint per shard under --out; use "
+                 "--no-checkpoint to disable)\n");
+    return 1;
   }
 
   campaign::CampaignSpec spec;
@@ -426,62 +572,169 @@ int cmd_campaign_run(int argc, char** argv) {
     return 1;
   }
 
-  const std::vector<scenario::JobResult> results = execute_specs(
-      "campaign", spec.name, campaign::expand_campaign(spec), opt, false);
-  const campaign::CampaignReport report =
-      campaign::CampaignReport::from(spec.name, results);
-
-  if (opt.quiet) {
-    std::printf(
-        "%s: %zu/%zu completed, %zu cell(s), detected %zu/%zu, "
-        "contained %zu/%zu\n",
-        spec.name.c_str(), report.batch.jobs_completed,
-        report.batch.jobs_total, report.cells.size(),
-        report.batch.attacks_detected, report.batch.attacks_ran,
-        report.batch.attacks_contained, report.batch.containment_checked);
-  } else {
-    std::fputs(campaign::render_campaign_table(report).c_str(), stdout);
+  // --- spawn: N local worker processes over the shards, then merge -------
+  if (spawn != 0) {
+    const std::vector<scenario::ScenarioSpec> specs =
+        prepare_specs(campaign::expand_campaign(spec), opt);
+    campaign::SpawnOptions spawn_opt;
+    spawn_opt.shards = spawn;
+    spawn_opt.threads_per_shard = opt.jobs == 0 ? 1 : opt.jobs;
+    spawn_opt.out_dir = out_dir;
+    spawn_opt.checkpoint = !no_checkpoint;
+    spawn_opt.quiet = opt.quiet;
+    if (!opt.quiet) {
+      std::printf("campaign %s: %zu job(s) across %zu worker process(es), "
+                  "%u thread(s) each\n",
+                  spec.name.c_str(), specs.size(), spawn,
+                  spawn_opt.threads_per_shard);
+    }
+    std::vector<scenario::JobResult> merged;
+    std::vector<std::string> shard_files;
+    if (!campaign::run_campaign_sharded_local(spec.name, specs, spawn_opt,
+                                              &merged, &shard_files, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    if (!opt.quiet) {
+      for (const std::string& path : shard_files) {
+        std::printf("shard file: %s\n", path.c_str());
+      }
+    }
+    return emit_campaign_outputs(spec.name, merged, opt, out_dir,
+                                 cells_csv_path);
   }
 
-  bool reports_ok = true;
-  if (!opt.no_files) {
+  // --- shard worker: run slice i/N, write the shard result file ----------
+  if (shard_total != 0) {
+    const std::vector<scenario::ScenarioSpec> specs =
+        prepare_specs(campaign::expand_campaign(spec), opt);
     std::error_code ec;
     std::filesystem::create_directories(out_dir, ec);
-    const auto in_out = [&out_dir](const std::string& name) {
-      return (std::filesystem::path(out_dir) / name).string();
+    const auto in_out = [&out_dir](const std::string& file_name) {
+      return (std::filesystem::path(out_dir) / file_name).string();
     };
-    const std::string cells_path = cells_csv_path.empty()
-                                       ? in_out(spec.name + ".cells.csv")
-                                       : cells_csv_path;
-    const std::string json_path = opt.json_path.empty()
-                                      ? in_out(spec.name + ".campaign.json")
-                                      : opt.json_path;
-    const std::string jobs_path = opt.csv_path.empty()
-                                      ? in_out(spec.name + ".jobs.csv")
-                                      : opt.csv_path;
-
-    util::CsvWriter cells_csv(cells_path);
-    campaign::write_cells_csv(cells_csv, report);
-    cells_csv.flush();
-    util::CsvWriter jobs_csv(jobs_path);
-    scenario::write_batch_csv(jobs_csv, results);
-    jobs_csv.flush();
-    const bool json_ok =
-        write_text_file(json_path, campaign::campaign_json(report));
-    reports_ok = cells_csv.ok() && jobs_csv.ok() && json_ok;
+    campaign::ShardRunOptions run;
+    run.shard = shard_index;
+    run.shards = shard_total;
+    run.threads = opt.jobs;
+    if (!no_checkpoint) {
+      run.checkpoint_path =
+          checkpoint_path.empty()
+              ? in_out(campaign::checkpoint_file_name(spec.name, shard_index,
+                                                      shard_total))
+              : checkpoint_path;
+    }
+    const std::size_t slice =
+        campaign::shard_indices(specs.size(), shard_index, shard_total).size();
     if (!opt.quiet) {
-      std::printf("reports: %s, %s, %s\n", cells_path.c_str(),
-                  json_path.c_str(), jobs_path.c_str());
+      std::printf("campaign %s: shard %zu/%zu — %zu of %zu job(s) on %u "
+                  "thread(s)\n",
+                  spec.name.c_str(), shard_index, shard_total, slice,
+                  specs.size(), opt.jobs == 0 ? 0u : opt.jobs);
+      run.on_job_done = strided_progress(slice);
     }
-    if (!reports_ok) {
-      std::fprintf(stderr, "error: failed to write campaign reports under %s\n",
-                   out_dir.c_str());
+    const campaign::ShardRunOutcome outcome = campaign::run_shard(specs, run);
+    if (!outcome.checkpoint_ok) {
+      std::fprintf(stderr, "error: checkpoint write failed (%s)\n",
+                   run.checkpoint_path.c_str());
     }
+    const std::string shard_path =
+        in_out(campaign::shard_file_name(spec.name, shard_index, shard_total));
+    if (!campaign::write_shard_file(
+            shard_path,
+            campaign::to_shard_file(spec.name, outcome, shard_index,
+                                    shard_total,
+                                    campaign::grid_fingerprint(specs)),
+            &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::size_t completed = 0;
+    for (const std::size_t i : outcome.indices) {
+      if (outcome.results[i].soc.completed) ++completed;
+    }
+    std::printf("%s shard %zu/%zu: %zu/%zu completed (%zu resumed from "
+                "checkpoint, %zu executed) -> %s\n",
+                spec.name.c_str(), shard_index, shard_total, completed,
+                outcome.indices.size(), outcome.resumed, outcome.executed,
+                shard_path.c_str());
+    return completed == outcome.indices.size() && outcome.checkpoint_ok ? 0
+                                                                        : 1;
   }
 
-  return report.batch.jobs_completed == report.batch.jobs_total && reports_ok
-             ? 0
-             : 1;
+  // --- plain single-process run ------------------------------------------
+  std::vector<scenario::JobResult> results;
+  if (!checkpoint_path.empty() && !no_checkpoint) {
+    // Checkpointed single-process run = shard 0 of 1.
+    const std::vector<scenario::ScenarioSpec> specs =
+        prepare_specs(campaign::expand_campaign(spec), opt);
+    campaign::ShardRunOptions run;
+    run.shard = 0;
+    run.shards = 1;
+    run.threads = opt.jobs;
+    run.checkpoint_path = checkpoint_path;
+    if (!opt.quiet) {
+      std::printf("campaign %s: %zu job(s) on %u thread(s)\n",
+                  spec.name.c_str(), specs.size(),
+                  opt.jobs == 0 ? 0u : opt.jobs);
+      run.on_job_done = strided_progress(specs.size());
+    }
+    campaign::ShardRunOutcome outcome = campaign::run_shard(specs, run);
+    if (!outcome.checkpoint_ok) {
+      std::fprintf(stderr, "error: checkpoint write failed (%s)\n",
+                   checkpoint_path.c_str());
+      return 1;
+    }
+    if (!opt.quiet && outcome.resumed > 0) {
+      std::printf("  resumed %zu job(s) from %s\n", outcome.resumed,
+                  checkpoint_path.c_str());
+    }
+    results = std::move(outcome.results);
+  } else {
+    results = execute_specs("campaign", spec.name,
+                            campaign::expand_campaign(spec), opt, false);
+  }
+  return emit_campaign_outputs(spec.name, results, opt, out_dir,
+                               cells_csv_path);
+}
+
+int cmd_campaign_merge(int argc, char** argv) {
+  if (argc < 4) usage(argv[0]);
+  BatchCliOptions opt;
+  std::string out_dir = "bench/out";
+  std::string cells_csv_path;
+  std::vector<std::string> shard_paths;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (parse_batch_option(argc, argv, i, opt)) continue;
+    if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--cells-csv") {
+      cells_csv_path = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (shard_paths.empty()) usage(argv[0]);
+
+  std::string name;
+  std::vector<scenario::JobResult> results;
+  std::string error;
+  if (!campaign::merge_shard_files(shard_paths, &name, &results, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (!opt.quiet) {
+    std::printf("merged %zu shard file(s): campaign %s, %zu job(s)\n",
+                shard_paths.size(), name.c_str(), results.size());
+  }
+  return emit_campaign_outputs(name, results, opt, out_dir, cells_csv_path);
 }
 
 int cmd_campaign_validate(int argc, char** argv) {
@@ -531,6 +784,7 @@ int cmd_campaign(int argc, char** argv) {
   if (argc < 3) usage(argv[0]);
   const std::string verb = argv[2];
   if (verb == "run") return cmd_campaign_run(argc, argv);
+  if (verb == "merge") return cmd_campaign_merge(argc, argv);
   if (verb == "validate") return cmd_campaign_validate(argc, argv);
   if (verb == "export-builtin") return cmd_campaign_export(argc, argv);
   usage(argv[0]);
