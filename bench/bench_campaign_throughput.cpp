@@ -22,6 +22,7 @@
 // (best-of), output bench/out/BENCH_campaign_throughput.json. --quick drops
 // to 1 repeat for CI smoke runs.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -94,11 +95,25 @@ void write_json(const std::string& path, const std::string& campaign,
   std::fprintf(f, "  \"speedup_total\": %.3f,\n", speedup_total);
   std::fprintf(f,
                "  \"format_cache\": {\"hits\": %llu, \"misses\": %llu, "
-               "\"insertions\": %llu, \"evictions\": %llu}\n",
+               "\"insertions\": %llu, \"evictions\": %llu},\n",
                static_cast<unsigned long long>(cache_stats.hits),
                static_cast<unsigned long long>(cache_stats.misses),
                static_cast<unsigned long long>(cache_stats.insertions),
                static_cast<unsigned long long>(cache_stats.evictions));
+  // Flat registry-style metric paths (obs::Registry naming): these resolve
+  // through tools/bench_compare's flat-key fallback, e.g.
+  //   --metric metrics.core.format_cache.hit_rate
+  const std::uint64_t lookups = cache_stats.hits + cache_stats.misses;
+  const double hit_rate =
+      lookups > 0
+          ? static_cast<double>(cache_stats.hits) / static_cast<double>(lookups)
+          : 0.0;
+  std::fprintf(f,
+               "  \"metrics\": {\"core.format_cache.hit_rate\": %.6f, "
+               "\"core.format_cache.hits\": %llu, "
+               "\"core.format_cache.misses\": %llu}\n",
+               hit_rate, static_cast<unsigned long long>(cache_stats.hits),
+               static_cast<unsigned long long>(cache_stats.misses));
   std::fprintf(f, "}\n");
   std::fclose(f);
 }

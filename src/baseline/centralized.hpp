@@ -66,6 +66,14 @@ class CentralizedManager {
 
   void reset();
 
+  // Zeroes the accounting only; busy_until_ is simulation state and is
+  // left alone so a mid-run stats reset cannot alter check timing.
+  void reset_stats() noexcept {
+    checks_ = 0;
+    queue_wait_.reset();
+    total_latency_.reset();
+  }
+
  private:
   core::ConfigurationMemory* config_mem_;
   Config cfg_;
@@ -91,6 +99,7 @@ class CentralizedMasterGate final : public sim::Component {
   void reset() override;
 
   [[nodiscard]] const core::FirewallStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
 
  private:
   core::FirewallId id_;
@@ -116,6 +125,7 @@ class CentralizedSlaveGate final : public bus::SlaveDevice {
   [[nodiscard]] std::string_view slave_name() const override { return name_; }
 
   [[nodiscard]] const core::FirewallStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
 
  private:
   std::string name_;

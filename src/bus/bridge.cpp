@@ -1,6 +1,7 @@
 #include "bus/bridge.hpp"
 
 #include "bus/address_map.hpp"
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 
 namespace secbus::bus {
@@ -67,6 +68,15 @@ AccessResult Bridge::access(BusTransaction& t, sim::Cycle now) {
       far_res.status == TransStatus::kOk ? t.payload_bytes() : 0);
 
   return AccessResult{wait + service, far_res.status};
+}
+
+void Bridge::contribute_metrics(obs::Registry& reg,
+                                const std::string& prefix) const {
+  reg.counter(prefix + ".forwarded", stats_.forwarded);
+  reg.counter(prefix + ".decode_errors", stats_.decode_errors);
+  reg.counter(prefix + ".bytes_forwarded", stats_.bytes_forwarded);
+  reg.stat(prefix + ".far_wait", stats_.far_wait);
+  reg.stat(prefix + ".service", stats_.service);
 }
 
 }  // namespace secbus::bus

@@ -28,6 +28,10 @@
 #include "bus/system_bus.hpp"
 #include "util/stats.hpp"
 
+namespace secbus::obs {
+class Registry;
+}
+
 namespace secbus::bus {
 
 class Bridge final : public SlaveDevice {
@@ -56,6 +60,9 @@ class Bridge final : public SlaveDevice {
   [[nodiscard]] const SystemBus& far_segment() const noexcept { return *far_; }
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
   void reset_stats() noexcept { stats_ = {}; }
+
+  // Publishes crossing counters under `prefix` ("<prefix>.forwarded", ...).
+  void contribute_metrics(obs::Registry& reg, const std::string& prefix) const;
 
  private:
   std::string name_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <string>
 
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 
 namespace secbus::bus {
@@ -217,6 +219,21 @@ bool Fabric::idle() const noexcept {
 void Fabric::reset() {
   for (auto& seg : segments_) seg->reset();
   for (auto& bridge : bridges_) bridge->reset_stats();
+}
+
+void Fabric::reset_stats() noexcept {
+  for (auto& seg : segments_) seg->reset_stats();
+  for (auto& bridge : bridges_) bridge->reset_stats();
+}
+
+void Fabric::contribute_metrics(obs::Registry& reg) const {
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    segments_[i]->contribute_metrics(reg, "bus.seg" + std::to_string(i));
+  }
+  for (const auto& bridge : bridges_) {
+    bridge->contribute_metrics(
+        reg, "bus.bridge." + std::string(bridge->slave_name()));
+  }
 }
 
 double Fabric::occupancy() const noexcept {

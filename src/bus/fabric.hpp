@@ -23,6 +23,10 @@
 #include "bus/system_bus.hpp"
 #include "sim/kernel.hpp"
 
+namespace secbus::obs {
+class Registry;
+}
+
 namespace secbus::bus {
 
 // Abstract description of the segment graph. Links are bidirectional; the
@@ -91,6 +95,14 @@ class Fabric {
   // --- simulation-state queries ----------------------------------------
   [[nodiscard]] bool idle() const noexcept;
   void reset();
+
+  // Zeroes every segment's and bridge's statistics without touching the
+  // simulation state (phase-boundary metric snapshots).
+  void reset_stats() noexcept;
+
+  // Publishes every segment under "bus.seg<i>" and every bridge under
+  // "bus.bridge.<name>".
+  void contribute_metrics(obs::Registry& reg) const;
 
   // --- results ----------------------------------------------------------
   // Aggregate occupancy: total busy cycles over total ticked cycles across

@@ -1,5 +1,6 @@
 #include "bus/system_bus.hpp"
 
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 
 namespace secbus::bus {
@@ -154,14 +155,8 @@ void SystemBus::tick(sim::Cycle now) {
   }
 }
 
-void SystemBus::reset() {
-  state_ = State::kIdle;
-  bookings_.clear();
-  booking_tail_ = 0;
-  current_is_crossing_ = false;
-  phase_remaining_ = 0;
+void SystemBus::reset_stats() noexcept {
   stats_ = {};
-  for (auto& ep : endpoints_) ep->clear();
   for (auto& ms : master_stats_) {
     ms.grants = 0;
     ms.errors = 0;
@@ -169,6 +164,36 @@ void SystemBus::reset() {
     ms.service_cycles.reset();
     ms.total_cycles.reset();
   }
+}
+
+void SystemBus::contribute_metrics(obs::Registry& reg,
+                                   const std::string& prefix) const {
+  reg.counter(prefix + ".busy_cycles", stats_.busy_cycles);
+  reg.counter(prefix + ".idle_cycles", stats_.idle_cycles);
+  reg.counter(prefix + ".transactions", stats_.transactions);
+  reg.counter(prefix + ".decode_errors", stats_.decode_errors);
+  reg.counter(prefix + ".bytes_transferred", stats_.bytes_transferred);
+  reg.counter(prefix + ".bridged_in", stats_.bridged_in);
+  reg.counter(prefix + ".bridged_in_bytes", stats_.bridged_in_bytes);
+  reg.gauge(prefix + ".occupancy", stats_.occupancy());
+  for (const MasterStats& ms : master_stats_) {
+    const std::string mp = prefix + ".master." + ms.name;
+    reg.counter(mp + ".grants", ms.grants);
+    reg.counter(mp + ".errors", ms.errors);
+    reg.stat(mp + ".wait_cycles", ms.wait_cycles);
+    reg.stat(mp + ".service_cycles", ms.service_cycles);
+    reg.stat(mp + ".total_cycles", ms.total_cycles);
+  }
+}
+
+void SystemBus::reset() {
+  state_ = State::kIdle;
+  bookings_.clear();
+  booking_tail_ = 0;
+  current_is_crossing_ = false;
+  phase_remaining_ = 0;
+  for (auto& ep : endpoints_) ep->clear();
+  reset_stats();
   arbiter_->reset();
 }
 

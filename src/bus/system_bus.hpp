@@ -22,6 +22,10 @@
 #include "sim/trace.hpp"
 #include "util/stats.hpp"
 
+namespace secbus::obs {
+class Registry;
+}
+
 namespace secbus::bus {
 
 // Builds a transaction id unique per (master, per-master sequence number).
@@ -122,6 +126,15 @@ class SystemBus final : public sim::Component {
   // --- simulation ------------------------------------------------------
   void tick(sim::Cycle now) override;
   void reset() override;
+
+  // Zeroes the segment and per-master statistics (master names survive)
+  // without disturbing the simulation state, so phase boundaries can snap
+  // metrics without double-counting. reset() implies it.
+  void reset_stats() noexcept;
+
+  // Publishes segment counters and per-master stats under `prefix`
+  // ("<prefix>.transactions", "<prefix>.master.<name>.grants", ...).
+  void contribute_metrics(obs::Registry& reg, const std::string& prefix) const;
 
   // --- results ----------------------------------------------------------
   [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }

@@ -7,6 +7,7 @@
 
 #include "campaign/campaign.hpp"
 #include "campaign/spec_io.hpp"
+#include "campaign/telemetry.hpp"
 #include "scenario/result_io.hpp"
 #include "util/assert.hpp"
 #include "util/bitops.hpp"
@@ -320,6 +321,12 @@ ShardRunOutcome run_shard(const std::vector<scenario::ScenarioSpec>& specs,
     outcome.checkpoint_ok = checkpoint.open(options.checkpoint_path);
   }
 
+  ProgressWriter progress;
+  const bool telemetry =
+      !options.progress_path.empty() &&
+      progress.open(options.progress_path, options.campaign, options.shard,
+                    options.shards, options.progress_interval_ms);
+
   // `resumed` counts only this shard's slice: a checkpoint shared across
   // shards restores foreign indices too, which are neither our progress
   // nor our output.
@@ -337,14 +344,16 @@ ShardRunOutcome run_shard(const std::vector<scenario::ScenarioSpec>& specs,
   scenario::BatchOptions batch;
   batch.threads = options.threads;
   batch.indices = to_run;
+  batch.hooks.collect_metrics = options.collect_metrics;
   const std::size_t resumed = outcome.resumed;
   const std::size_t total = outcome.indices.size();
-  if (checkpointing || options.on_job_done) {
+  if (checkpointing || telemetry || options.on_job_done) {
     batch.on_job_done = [&](const scenario::JobResult& r, std::size_t n,
                             std::size_t /*of*/) {
       if (checkpointing) {
         checkpoint.append(r, spec_fingerprint(specs[r.index]));
       }
+      if (telemetry) progress.update(resumed + n, total);
       if (options.on_job_done) options.on_job_done(r, resumed + n, total);
     };
   }
@@ -355,6 +364,10 @@ ShardRunOutcome run_shard(const std::vector<scenario::ScenarioSpec>& specs,
   }
   if (checkpointing && !checkpoint.ok()) outcome.checkpoint_ok = false;
   checkpoint.close();
+  if (telemetry) {
+    progress.finish(resumed + outcome.executed, total);
+    progress.close();
+  }
   return outcome;
 }
 
@@ -385,6 +398,7 @@ namespace {
 struct ShardPaths {
   std::string result;
   std::string checkpoint;  // empty when checkpointing is off
+  std::string progress;    // empty when telemetry is off
 };
 
 ShardPaths shard_paths(const SpawnOptions& options,
@@ -397,6 +411,10 @@ ShardPaths shard_paths(const SpawnOptions& options,
     paths.checkpoint =
         (dir / checkpoint_file_name(campaign, shard, options.shards))
             .string();
+  }
+  if (options.telemetry) {
+    paths.progress =
+        (dir / progress_file_name(campaign, shard, options.shards)).string();
   }
   return paths;
 }
@@ -414,6 +432,9 @@ bool run_one_shard(const std::string& campaign,
   run.shards = options.shards;
   run.threads = options.threads_per_shard;
   run.checkpoint_path = paths.checkpoint;
+  run.progress_path = paths.progress;
+  run.campaign = campaign;
+  run.collect_metrics = options.collect_metrics;
   if (!options.quiet) {
     run.on_job_done = [shard](const scenario::JobResult&, std::size_t n,
                               std::size_t total) {

@@ -133,6 +133,16 @@ struct ShardRunOptions {
   // Non-empty enables checkpointing: resume from the file, then append
   // every newly-completed job to it.
   std::string checkpoint_path;
+  // Non-empty enables progress telemetry: periodic ProgressRecords append
+  // to this sidecar (see campaign/telemetry.hpp). `campaign` labels the
+  // records; `progress_interval_ms` throttles them.
+  std::string progress_path;
+  std::string campaign;
+  std::uint64_t progress_interval_ms = 1000;
+  // Collect the full per-component metric registry on every job
+  // (JobResult::metrics). A recording option, not a spec field: it never
+  // perturbs spec fingerprints, so checkpoints resume across it.
+  bool collect_metrics = false;
   // Progress over the whole shard slice; `done` counts resumed + executed.
   std::function<void(const scenario::JobResult&, std::size_t done,
                      std::size_t total)>
@@ -173,6 +183,8 @@ struct SpawnOptions {
   std::string out_dir;     // shard result + checkpoint files land here
   bool checkpoint = true;  // per-shard JSONL checkpoints (resume on re-run)
   bool quiet = true;       // suppress per-shard progress lines
+  bool telemetry = true;   // per-shard progress sidecars (campaign status)
+  bool collect_metrics = false;  // per-job metric registries in the results
 };
 
 // Forks one worker process per shard (POSIX; elsewhere the shards run

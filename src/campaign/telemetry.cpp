@@ -1,0 +1,263 @@
+#include "campaign/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string_view>
+#include <utility>
+
+#include "core/format_cache.hpp"
+
+namespace secbus::campaign {
+
+namespace {
+
+using util::Json;
+
+Json record_to_json(const ProgressRecord& r) {
+  Json j = Json::object();
+  j.set("campaign", Json::string(r.campaign));
+  j.set("shard", Json::number(static_cast<std::uint64_t>(r.shard)));
+  j.set("shards", Json::number(static_cast<std::uint64_t>(r.shards)));
+  j.set("done", Json::number(static_cast<std::uint64_t>(r.done)));
+  j.set("total", Json::number(static_cast<std::uint64_t>(r.total)));
+  j.set("elapsed_ms", Json::number(r.elapsed_ms));
+  j.set("jobs_per_sec", Json::number(r.jobs_per_sec));
+  j.set("format_cache_hits", Json::number(r.format_cache_hits));
+  j.set("format_cache_misses", Json::number(r.format_cache_misses));
+  j.set("finished", Json::boolean(r.finished));
+  return j;
+}
+
+bool record_from_json(const Json& j, ProgressRecord& out) {
+  if (!j.is_object()) return false;
+  ProgressRecord r;
+  const Json* campaign = j.find("campaign");
+  if (campaign == nullptr || !campaign->is_string()) return false;
+  r.campaign = campaign->as_string();
+  const auto u64 = [&](const char* name, std::uint64_t& value) {
+    const Json* v = j.find(name);
+    return v != nullptr && v->to_u64(value);
+  };
+  std::uint64_t u = 0;
+  if (!u64("shard", u)) return false;
+  r.shard = static_cast<std::size_t>(u);
+  if (!u64("shards", u) || u == 0) return false;
+  r.shards = static_cast<std::size_t>(u);
+  if (!u64("done", u)) return false;
+  r.done = static_cast<std::size_t>(u);
+  if (!u64("total", u)) return false;
+  r.total = static_cast<std::size_t>(u);
+  if (!u64("elapsed_ms", r.elapsed_ms)) return false;
+  const Json* jps = j.find("jobs_per_sec");
+  if (jps == nullptr || !jps->is_number()) return false;
+  r.jobs_per_sec = jps->as_double();
+  if (!u64("format_cache_hits", r.format_cache_hits)) return false;
+  if (!u64("format_cache_misses", r.format_cache_misses)) return false;
+  const Json* finished = j.find("finished");
+  if (finished == nullptr || !finished->is_bool()) return false;
+  r.finished = finished->as_bool();
+  out = std::move(r);
+  return true;
+}
+
+}  // namespace
+
+std::string progress_file_name(const std::string& campaign, std::size_t shard,
+                               std::size_t shards) {
+  return campaign + ".shard-" + std::to_string(shard) + "-of-" +
+         std::to_string(shards) + ".progress.jsonl";
+}
+
+// --- ProgressWriter ---------------------------------------------------------
+
+bool ProgressWriter::open(const std::string& path, std::string campaign,
+                          std::size_t shard, std::size_t shards,
+                          std::uint64_t min_interval_ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  campaign_ = std::move(campaign);
+  shard_ = shard;
+  shards_ = shards;
+  min_interval_ms_ = min_interval_ms;
+  opened_at_ = std::chrono::steady_clock::now();
+  last_write_ms_ = 0;
+  wrote_any_ = false;
+  have_baseline_ = false;
+  done_at_open_ = 0;
+  return writer_.open(path);
+}
+
+void ProgressWriter::append_locked(std::size_t done, std::size_t total,
+                                   bool finished) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto elapsed_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - opened_at_)
+          .count());
+
+  ProgressRecord r;
+  r.campaign = campaign_;
+  r.shard = shard_;
+  r.shards = shards_;
+  r.done = done;
+  r.total = total;
+  r.elapsed_ms = elapsed_ms;
+  // Throughput over the work this process actually did: resumed jobs were
+  // restored instantly from the checkpoint and would inflate the rate.
+  const std::size_t executed = done >= done_at_open_ ? done - done_at_open_ : 0;
+  r.jobs_per_sec = elapsed_ms > 0
+                       ? static_cast<double>(executed) * 1000.0 /
+                             static_cast<double>(elapsed_ms)
+                       : 0.0;
+  const core::FormatCache::Stats fc = core::FormatCache::instance().stats();
+  r.format_cache_hits = fc.hits;
+  r.format_cache_misses = fc.misses;
+  r.finished = finished;
+
+  writer_.append(record_to_json(r));
+  wrote_any_ = true;
+  last_write_ms_ = elapsed_ms;
+}
+
+void ProgressWriter::update(std::size_t done, std::size_t total) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!writer_.is_open()) return;
+  if (!have_baseline_) {
+    // First sample: whatever was already done was checkpoint-resumed, not
+    // executed by this process.
+    have_baseline_ = true;
+    done_at_open_ = done > 0 ? done - 1 : 0;
+  }
+  if (wrote_any_) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto elapsed_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - opened_at_)
+            .count());
+    if (elapsed_ms - last_write_ms_ < min_interval_ms_) return;
+  }
+  append_locked(done, total, false);
+}
+
+void ProgressWriter::finish(std::size_t done, std::size_t total) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!writer_.is_open()) return;
+  if (!have_baseline_) {
+    have_baseline_ = true;
+    done_at_open_ = done;  // nothing executed: resumed-complete shard
+  }
+  append_locked(done, total, true);
+}
+
+bool ProgressWriter::ok() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return writer_.ok();
+}
+
+void ProgressWriter::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  writer_.close();
+}
+
+// --- readers ----------------------------------------------------------------
+
+bool read_progress_file(const std::string& path,
+                        std::vector<ProgressRecord>& out, std::string* error) {
+  std::vector<Json> records;
+  if (!util::read_jsonl(path, records, error)) return false;
+  out.clear();
+  out.reserve(records.size());
+  for (const Json& j : records) {
+    ProgressRecord r;
+    if (record_from_json(j, r)) out.push_back(std::move(r));
+  }
+  return true;
+}
+
+bool scan_progress_dir(const std::string& dir, std::vector<ShardProgress>& out,
+                       std::string* error) {
+  namespace fs = std::filesystem;
+  out.clear();
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    if (error != nullptr) *error = dir + ": " + ec.message();
+    return false;
+  }
+  constexpr std::string_view kSuffix = ".progress.jsonl";
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());  // directory order is unspecified
+
+  for (const std::string& path : paths) {
+    std::vector<ProgressRecord> records;
+    if (!read_progress_file(path, records) || records.empty()) continue;
+    ShardProgress sp;
+    sp.path = path;
+    sp.last = records.back();
+    sp.records = records.size();
+    out.push_back(std::move(sp));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ShardProgress& a, const ShardProgress& b) {
+              if (a.last.campaign != b.last.campaign) {
+                return a.last.campaign < b.last.campaign;
+              }
+              return a.last.shard < b.last.shard;
+            });
+  return true;
+}
+
+std::string render_campaign_status(const std::vector<ShardProgress>& shards) {
+  std::string out;
+  if (shards.empty()) {
+    out = "no progress files found\n";
+    return out;
+  }
+  char line[256];
+  std::snprintf(line, sizeof line, "%-20s %6s %12s %8s %10s %12s %9s\n",
+                "campaign", "shard", "done/total", "pct", "jobs/s",
+                "cache-hit%", "state");
+  out += line;
+
+  std::size_t done_sum = 0;
+  std::size_t total_sum = 0;
+  std::size_t finished_count = 0;
+  for (const ShardProgress& sp : shards) {
+    const ProgressRecord& r = sp.last;
+    const double pct =
+        r.total > 0
+            ? 100.0 * static_cast<double>(r.done) / static_cast<double>(r.total)
+            : 100.0;
+    const std::uint64_t lookups = r.format_cache_hits + r.format_cache_misses;
+    const double hit_pct =
+        lookups > 0 ? 100.0 * static_cast<double>(r.format_cache_hits) /
+                          static_cast<double>(lookups)
+                    : 0.0;
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%zu/%zu", r.done, r.total);
+    std::snprintf(line, sizeof line,
+                  "%-20s %6zu %12s %7.1f%% %10.2f %11.1f%% %9s\n",
+                  r.campaign.c_str(), r.shard, ratio, pct, r.jobs_per_sec,
+                  hit_pct, r.finished ? "finished" : "running");
+    out += line;
+    done_sum += r.done;
+    total_sum += r.total;
+    if (r.finished) ++finished_count;
+  }
+
+  std::snprintf(line, sizeof line,
+                "total: %zu/%zu jobs done across %zu shard(s), %zu finished\n",
+                done_sum, total_sum, shards.size(), finished_count);
+  out += line;
+  return out;
+}
+
+}  // namespace secbus::campaign

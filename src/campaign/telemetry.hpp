@@ -1,0 +1,112 @@
+// Campaign progress telemetry.
+//
+// Long campaigns run as detached shard worker processes; until now the only
+// way to see how far one had gotten was to count checkpoint lines by hand.
+// Each worker now appends periodic ProgressRecords to a sidecar JSONL file
+// ("<campaign>.shard-<i>-of-<N>.progress.jsonl", next to the shard's result
+// and checkpoint files), and `secbus_cli campaign status <dir>` renders the
+// latest record of every shard as a live status table.
+//
+// Telemetry is wall-clock data — throughput, elapsed time, the process-wide
+// format-cache hit counters — and therefore deliberately lives *outside*
+// the deterministic result artifacts: progress files are never merged,
+// fingerprinted or compared. Records are throttled (at most one per
+// `min_interval_ms`, plus an unconditional first and final record) so the
+// sidecar stays tiny even for 10k-job shards.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/jsonl.hpp"
+
+namespace secbus::campaign {
+
+// One progress sample from one shard worker.
+struct ProgressRecord {
+  std::string campaign;
+  std::size_t shard = 0;
+  std::size_t shards = 1;
+  std::size_t done = 0;   // completed jobs in this shard's slice (incl. resumed)
+  std::size_t total = 0;  // slice size
+  std::uint64_t elapsed_ms = 0;  // since the worker opened the sidecar
+  double jobs_per_sec = 0.0;     // executed (not resumed) jobs / elapsed
+  // Process-wide SoC-setup memoization counters (core::FormatCache) at the
+  // sample point: cache effectiveness is a wall-clock property, so this is
+  // its home (never the per-job deterministic metrics).
+  std::uint64_t format_cache_hits = 0;
+  std::uint64_t format_cache_misses = 0;
+  bool finished = false;  // true only on the worker's final record
+};
+
+// Sidecar file name: "<campaign>.shard-<i>-of-<N>.progress.jsonl" (same stem
+// as the shard's result and checkpoint files).
+[[nodiscard]] std::string progress_file_name(const std::string& campaign,
+                                             std::size_t shard,
+                                             std::size_t shards);
+
+// Throttled, thread-safe JSONL appender for ProgressRecords. update() is
+// safe to call from concurrent batch-runner completion callbacks; only
+// samples that beat the throttle pay the serialization + write.
+class ProgressWriter {
+ public:
+  // `min_interval_ms` throttles update(); 0 writes every sample (tests).
+  bool open(const std::string& path, std::string campaign, std::size_t shard,
+            std::size_t shards, std::uint64_t min_interval_ms = 1000);
+
+  // Progress sample; appends when the throttle allows (always for the
+  // first sample after open).
+  void update(std::size_t done, std::size_t total);
+
+  // Unconditional final record with finished = true.
+  void finish(std::size_t done, std::size_t total);
+
+  [[nodiscard]] bool ok();
+  void close();
+
+ private:
+  void append_locked(std::size_t done, std::size_t total, bool finished);
+
+  std::mutex mutex_;
+  util::JsonlWriter writer_;
+  std::string campaign_;
+  std::size_t shard_ = 0;
+  std::size_t shards_ = 1;
+  std::uint64_t min_interval_ms_ = 1000;
+  std::chrono::steady_clock::time_point opened_at_;
+  std::uint64_t last_write_ms_ = 0;
+  bool wrote_any_ = false;
+  std::size_t done_at_open_ = 0;
+  bool have_baseline_ = false;
+};
+
+// Replays a progress sidecar. Malformed lines are skipped (torn tails are
+// normal for a live or killed worker); returns false only when the file
+// cannot be read at all.
+bool read_progress_file(const std::string& path,
+                        std::vector<ProgressRecord>& out,
+                        std::string* error = nullptr);
+
+// Latest state of one shard, as recovered from its sidecar.
+struct ShardProgress {
+  std::string path;
+  ProgressRecord last;        // most recent complete record
+  std::size_t records = 0;    // total complete records in the file
+};
+
+// Scans `dir` for "*.progress.jsonl" files and returns each shard's latest
+// record, sorted by (campaign, shard). Files with no complete record are
+// skipped. Returns false when the directory cannot be read.
+bool scan_progress_dir(const std::string& dir, std::vector<ShardProgress>& out,
+                       std::string* error = nullptr);
+
+// Human-readable status table for `campaign status`: one row per shard plus
+// a totals row. Stale/live distinction is the reader's judgement call —
+// the table shows each shard's last-sample age input (elapsed) instead.
+[[nodiscard]] std::string render_campaign_status(
+    const std::vector<ShardProgress>& shards);
+
+}  // namespace secbus::campaign

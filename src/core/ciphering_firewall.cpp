@@ -6,6 +6,7 @@
 
 #include "core/format_cache.hpp"
 #include "crypto/hmac.hpp"
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 #include "util/bitops.hpp"
 
@@ -201,6 +202,11 @@ bus::AccessResult LocalCipheringFirewall::access(bus::BusTransaction& t,
   const auto check =
       sb_.run_check(t.op, t.addr, t.payload_bytes(), t.format, t.thread);
   fw_stats_.check_cycles += check.latency;
+  if (trace_ != nullptr) {
+    trace_->record({now + check.latency, sim::TraceKind::kCheckResult,
+                    name_.c_str(), t.id, t.addr,
+                    static_cast<std::uint64_t>(check.decision.violation)});
+  }
   const auto gate = fi_.apply(check.decision);
   if (!gate.forwarded) {
     ++fw_stats_.blocked;
@@ -391,6 +397,37 @@ sim::Cycle LocalCipheringFirewall::rotate_key(const crypto::Aes128Key& new_key) 
     cost += inner_->config().t_cas;
   }
   return cost;
+}
+
+void LocalCipheringFirewall::reset_stats() noexcept {
+  stats_ = {};
+  fw_stats_ = {};
+  fi_.reset();
+  sb_.reset_stats();
+  cc_.reset_stats();
+  ic_.reset_stats();
+}
+
+void LocalCipheringFirewall::contribute_metrics(obs::Registry& reg,
+                                                const std::string& prefix) const {
+  contribute_firewall_metrics(reg, prefix, fw_stats_);
+  reg.counter(prefix + ".passthrough", stats_.passthrough);
+  reg.counter(prefix + ".protected_reads", stats_.protected_reads);
+  reg.counter(prefix + ".protected_writes", stats_.protected_writes);
+  reg.counter(prefix + ".lines_encrypted", stats_.lines_encrypted);
+  reg.counter(prefix + ".lines_decrypted", stats_.lines_decrypted);
+  reg.counter(prefix + ".read_modify_writes", stats_.read_modify_writes);
+  reg.counter(prefix + ".integrity_failures", stats_.integrity_failures);
+  reg.counter(prefix + ".key_rotations", stats_.key_rotations);
+  reg.counter(prefix + ".cc.operations", cc_.stats().operations);
+  reg.counter(prefix + ".cc.bytes", cc_.stats().bytes);
+  reg.counter(prefix + ".cc.cycles_charged", cc_.stats().cycles_charged);
+  reg.counter(prefix + ".ic.updates", ic_.stats().updates);
+  reg.counter(prefix + ".ic.verifies", ic_.stats().verifies);
+  reg.counter(prefix + ".ic.failures", ic_.stats().failures);
+  reg.counter(prefix + ".ic.hash_invocations", ic_.stats().hash_invocations);
+  reg.counter(prefix + ".ic.cycles_charged", ic_.stats().cycles_charged);
+  reg.counter(prefix + ".ic.version_wraps", ic_.stats().version_wraps);
 }
 
 }  // namespace secbus::core

@@ -35,6 +35,10 @@
 #include "core/security_builder.hpp"
 #include "mem/ddr.hpp"
 
+namespace secbus::obs {
+class Registry;
+}
+
 namespace secbus::core {
 
 class LocalCipheringFirewall final : public bus::SlaveDevice {
@@ -97,6 +101,15 @@ class LocalCipheringFirewall final : public bus::SlaveDevice {
 
   // Test hook: the integrity core (e.g. to force versions near wrap).
   IntegrityCore& ic_mut() noexcept { return ic_; }
+
+  // Zeroes the LCF's protection statistics, its FirewallStats and the
+  // CC/IC core counters. The key, versions, tree and cached policy modes
+  // are untouched — this resets accounting, not security state.
+  void reset_stats() noexcept;
+
+  // Publishes protection counters under `prefix` plus the rule-check stats
+  // and the crypto cores under "<prefix>.cc." / "<prefix>.ic.".
+  void contribute_metrics(obs::Registry& reg, const std::string& prefix) const;
 
  private:
   [[nodiscard]] bool in_protected_range(sim::Addr addr, std::uint64_t len) const noexcept;

@@ -1,6 +1,8 @@
 #include "core/format_cache.hpp"
 
+#include "obs/registry.hpp"
 #include "util/bitops.hpp"
+#include "util/stats.hpp"
 
 namespace secbus::core {
 
@@ -67,6 +69,18 @@ void FormatCache::clear() {
 FormatCache::Stats FormatCache::stats() {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+void FormatCache::contribute_metrics(obs::Registry& reg,
+                                     const std::string& prefix) {
+  const Stats s = stats();
+  reg.counter(prefix + ".hits", s.hits);
+  reg.counter(prefix + ".misses", s.misses);
+  reg.counter(prefix + ".insertions", s.insertions);
+  reg.counter(prefix + ".evictions", s.evictions);
+  reg.gauge(prefix + ".hit_rate",
+            util::safe_ratio(static_cast<double>(s.hits),
+                             static_cast<double>(s.hits + s.misses)));
 }
 
 }  // namespace secbus::core

@@ -34,6 +34,10 @@
 #include "crypto/sha256.hpp"
 #include "sim/types.hpp"
 
+namespace secbus::obs {
+class Registry;
+}
+
 namespace secbus::core {
 
 // Everything that determines the formatted image and tree: region geometry,
@@ -91,6 +95,12 @@ class FormatCache {
   // Drops every entry and zeroes the stats (test isolation).
   void clear();
   [[nodiscard]] Stats stats();
+
+  // Publishes hit/miss counters and the hit rate under `prefix`. The cache
+  // is process-wide and races across batch-runner threads, so these belong
+  // in wall-clock telemetry (progress sidecars, benches) — never in
+  // per-job deterministic artifacts.
+  void contribute_metrics(obs::Registry& reg, const std::string& prefix);
 
  private:
   FormatCache() = default;

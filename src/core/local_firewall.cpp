@@ -1,8 +1,24 @@
 #include "core/local_firewall.hpp"
 
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 
 namespace secbus::core {
+
+void contribute_firewall_metrics(obs::Registry& reg, const std::string& prefix,
+                                 const FirewallStats& stats) {
+  reg.counter(prefix + ".secpol_reqs", stats.secpol_reqs);
+  reg.counter(prefix + ".passed", stats.passed);
+  reg.counter(prefix + ".blocked", stats.blocked);
+  reg.counter(prefix + ".check_cycles", stats.check_cycles);
+  reg.counter(prefix + ".responses_gated", stats.responses_gated);
+  // kNone is skipped: it is never counted (only denials are).
+  for (std::size_t v = 1; v < kViolationKindCount; ++v) {
+    reg.counter(
+        prefix + ".violations." + to_string(static_cast<Violation>(v)),
+        stats.violations[v]);
+  }
+}
 
 LocalFirewall::LocalFirewall(std::string name, FirewallId id,
                              ConfigurationMemory& config_mem,
@@ -31,6 +47,11 @@ void LocalFirewall::start_check(sim::Cycle now) {
   in_check_ = std::move(*popped);
   ++stats_.secpol_reqs;
   if (trace_ != nullptr) {
+    // The issue event is back-dated to when the IP handed the transaction
+    // to the LFCB queue; detail carries the queue wait it saw.
+    trace_->record({in_check_->issued_at, sim::TraceKind::kTransIssued,
+                    name().c_str(), in_check_->id, in_check_->addr,
+                    now - in_check_->issued_at});
     trace_->record({now, sim::TraceKind::kSecpolReq, name().c_str(),
                     in_check_->id, in_check_->addr, 0});
   }
@@ -136,6 +157,17 @@ void LocalFirewall::tick(sim::Cycle now) {
   }
 }
 
+void LocalFirewall::reset_stats() noexcept {
+  stats_ = {};
+  fi_.reset();
+  sb_.reset_stats();
+}
+
+void LocalFirewall::contribute_metrics(obs::Registry& reg,
+                                       const std::string& prefix) const {
+  contribute_firewall_metrics(reg, prefix, stats_);
+}
+
 void LocalFirewall::reset() {
   ip_side_.clear();
   if (bus_side_ != nullptr) bus_side_->clear();
@@ -143,9 +175,7 @@ void LocalFirewall::reset() {
   check_remaining_ = 0;
   rate_window_start_ = 0;
   rate_window_count_ = 0;
-  stats_ = {};
-  fi_.reset();
-  sb_.reset_stats();
+  reset_stats();
 }
 
 SlaveFirewall::SlaveFirewall(std::string name, FirewallId id,
@@ -174,8 +204,11 @@ bus::AccessResult SlaveFirewall::access(bus::BusTransaction& t, sim::Cycle now) 
       sb_.run_check(t.op, t.addr, t.payload_bytes(), t.format, t.thread);
   stats_.check_cycles += result.latency;
   if (trace_ != nullptr) {
-    trace_->record({now, sim::TraceKind::kCheckResult, name_.c_str(), t.id,
-                    t.addr, static_cast<std::uint64_t>(result.decision.violation)});
+    // Stamped at check completion so the secpol_req -> check_result pair
+    // spans the SB latency the access is charged.
+    trace_->record({now + result.latency, sim::TraceKind::kCheckResult,
+                    name_.c_str(), t.id, t.addr,
+                    static_cast<std::uint64_t>(result.decision.violation)});
   }
 
   const auto gate = fi_.apply(result.decision);
@@ -198,6 +231,17 @@ bus::AccessResult SlaveFirewall::access(bus::BusTransaction& t, sim::Cycle now) 
   ++stats_.passed;
   const auto inner_result = inner_->access(t, now + result.latency);
   return {result.latency + inner_result.latency, inner_result.status};
+}
+
+void SlaveFirewall::reset_stats() noexcept {
+  stats_ = {};
+  fi_.reset();
+  sb_.reset_stats();
+}
+
+void SlaveFirewall::contribute_metrics(obs::Registry& reg,
+                                       const std::string& prefix) const {
+  contribute_firewall_metrics(reg, prefix, stats_);
 }
 
 }  // namespace secbus::core

@@ -32,6 +32,10 @@
 #include "sim/component.hpp"
 #include "sim/trace.hpp"
 
+namespace secbus::obs {
+class Registry;
+}
+
 namespace secbus::core {
 
 struct FirewallStats {
@@ -49,6 +53,12 @@ struct FirewallStats {
     return violations[static_cast<std::size_t>(v)];
   }
 };
+
+// Publishes a FirewallStats under `prefix` ("<prefix>.secpol_reqs",
+// "<prefix>.violations.rw_violation", ...) — shared by every firewall
+// flavor so their metric shapes stay identical.
+void contribute_firewall_metrics(obs::Registry& reg, const std::string& prefix,
+                                 const FirewallStats& stats);
 
 // The FI datapath gate: applies a latched check decision to a transaction.
 // Kept as its own object (rather than an if in the firewall) so the gate's
@@ -118,6 +128,13 @@ class LocalFirewall final : public sim::Component {
   // True when no transaction is being checked and no queue holds data.
   [[nodiscard]] bool idle() const noexcept;
 
+  // Zeroes the check/gate statistics (including the FI's and SB's) without
+  // touching queues or the check in flight. reset() implies it.
+  void reset_stats() noexcept;
+
+  // Publishes the FirewallStats under `prefix`.
+  void contribute_metrics(obs::Registry& reg, const std::string& prefix) const;
+
  private:
   void start_check(sim::Cycle now);
   void finish_check(sim::Cycle now);
@@ -162,6 +179,12 @@ class SlaveFirewall final : public bus::SlaveDevice {
   [[nodiscard]] const FirewallStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const SecurityBuilder& builder() const noexcept { return sb_; }
   [[nodiscard]] FirewallId id() const noexcept { return id_; }
+
+  // Zeroes the check/gate statistics (including the FI's and SB's).
+  void reset_stats() noexcept;
+
+  // Publishes the FirewallStats under `prefix`.
+  void contribute_metrics(obs::Registry& reg, const std::string& prefix) const;
 
  private:
   std::string name_;

@@ -39,6 +39,11 @@ void PolicyReconfigurator::on_alert(const Alert& alert) {
       make_lockdown_policy(config_mem_->policy(alert.firewall).spi | 0x80000000u);
   config_mem_->install(alert.firewall, std::move(lockdown));
   lockdowns_.push_back(LockdownEvent{alert.cycle, alert.firewall, history.size()});
+  if (trace_ != nullptr) {
+    // detail: alerts in the window that tripped the threshold.
+    trace_->record({alert.cycle, sim::TraceKind::kPolicyUpdate, "reconfig",
+                    alert.trans, alert.addr, history.size()});
+  }
   history.clear();
 }
 

@@ -17,6 +17,7 @@
 
 #include "core/alert.hpp"
 #include "core/config_memory.hpp"
+#include "sim/trace.hpp"
 
 namespace secbus::core {
 
@@ -41,6 +42,10 @@ class PolicyReconfigurator {
   // Called by the log on each alert (wired in the constructor).
   void on_alert(const Alert& alert);
 
+  // Policy rewrites (lockdown install / release) record kPolicyUpdate
+  // events, marking reconfiguration windows in exported traces.
+  void set_trace(sim::EventTrace* trace) noexcept { trace_ = trace; }
+
   // Excludes a firewall from lockdown (e.g. the LCF itself, whose integrity
   // alerts indicate external tampering, not a hijacked internal IP).
   void exempt(FirewallId firewall) { exempt_.push_back(firewall); }
@@ -56,6 +61,7 @@ class PolicyReconfigurator {
  private:
   ConfigurationMemory* config_mem_;
   Config cfg_;
+  sim::EventTrace* trace_ = nullptr;
   std::unordered_map<FirewallId, std::deque<sim::Cycle>> recent_alerts_;
   std::unordered_map<FirewallId, SecurityPolicy> saved_policies_;
   std::vector<LockdownEvent> lockdowns_;

@@ -1,6 +1,7 @@
 #include "ip/dma_engine.hpp"
 
 #include "bus/system_bus.hpp"
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 
 namespace secbus::ip {
@@ -90,6 +91,15 @@ void DmaEngine::tick(sim::Cycle now) {
       return;
     }
   }
+}
+
+void DmaEngine::contribute_metrics(obs::Registry& reg,
+                                   const std::string& prefix) const {
+  reg.counter(prefix + ".bursts", stats_.bursts);
+  reg.counter(prefix + ".bytes_copied", stats_.bytes_copied);
+  reg.counter(prefix + ".errors", stats_.errors);
+  reg.counter(prefix + ".started_at", stats_.started_at);
+  reg.counter(prefix + ".finished_at", stats_.finished_at);
 }
 
 void DmaEngine::reset() {

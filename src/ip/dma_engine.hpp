@@ -11,6 +11,10 @@
 #include "bus/ports.hpp"
 #include "sim/component.hpp"
 
+namespace secbus::obs {
+class Registry;
+}
+
 namespace secbus::ip {
 
 class DmaEngine final : public sim::Component {
@@ -46,6 +50,14 @@ class DmaEngine final : public sim::Component {
   }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] sim::MasterId master_id() const noexcept { return id_; }
+
+  // Zeroes the statistics only; the engine state machine and any job in
+  // flight are untouched. job_done() reports false again until the next
+  // copy completes (it keys off bytes_copied).
+  void reset_stats() noexcept { stats_ = {}; }
+
+  // Publishes the copy counters under `prefix` ("<prefix>.bursts", ...).
+  void contribute_metrics(obs::Registry& reg, const std::string& prefix) const;
 
  private:
   enum class State { kIdle, kReading, kWriting };

@@ -1,6 +1,7 @@
 #include "ip/processor.hpp"
 
 #include "bus/system_bus.hpp"
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 
 namespace secbus::ip {
@@ -111,6 +112,21 @@ void Processor::tick(sim::Cycle now) {
       break;
     }
   }
+}
+
+void Processor::contribute_metrics(obs::Registry& reg,
+                                   const std::string& prefix) const {
+  reg.counter(prefix + ".issued", stats_.issued);
+  reg.counter(prefix + ".completed", stats_.completed);
+  reg.counter(prefix + ".failed", stats_.failed);
+  reg.counter(prefix + ".reads", stats_.reads);
+  reg.counter(prefix + ".writes", stats_.writes);
+  reg.counter(prefix + ".external_accesses", stats_.external_accesses);
+  reg.counter(prefix + ".internal_accesses", stats_.internal_accesses);
+  reg.counter(prefix + ".bytes_moved", stats_.bytes_moved);
+  reg.counter(prefix + ".compute_cycles", stats_.compute_cycles);
+  reg.counter(prefix + ".stall_cycles", stats_.stall_cycles);
+  reg.hist(prefix + ".latency", stats_.latency_hist);
 }
 
 void Processor::reset() {

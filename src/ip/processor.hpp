@@ -18,6 +18,10 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
+namespace secbus::obs {
+class Registry;
+}
+
 namespace secbus::ip {
 
 class Processor final : public sim::Component {
@@ -80,6 +84,16 @@ class Processor final : public sim::Component {
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] sim::MasterId master_id() const noexcept { return id_; }
+
+  // Zeroes the statistics only (workload position, RNG and any in-flight
+  // transaction are untouched). Note a bounded workload's done() predicate
+  // counts completed transactions, so resetting mid-run re-arms the
+  // transaction budget — that is what a measurement-phase restart means.
+  void reset_stats() noexcept { stats_ = {}; }
+
+  // Publishes the traffic counters and the latency distribution under
+  // `prefix` ("<prefix>.issued", "<prefix>.latency.p95", ...).
+  void contribute_metrics(obs::Registry& reg, const std::string& prefix) const;
   // Captured access trace (empty unless Workload::capture_trace).
   [[nodiscard]] const std::vector<TraceRecord>& captured_trace() const noexcept {
     return captured_;

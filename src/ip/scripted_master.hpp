@@ -57,6 +57,9 @@ class ScriptedMaster final : public sim::Component {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] sim::MasterId master_id() const noexcept { return id_; }
 
+  // Zeroes the accounting without touching script progress.
+  void reset_stats() noexcept { stats_ = {}; }
+
  private:
   enum class State { kIdle, kDelay, kWaiting };
 

@@ -1,5 +1,6 @@
 #include "mem/ddr.hpp"
 
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 
 namespace secbus::mem {
@@ -58,6 +59,16 @@ bus::AccessResult DdrMemory::access(bus::BusTransaction& t, sim::Cycle now) {
     ++stats_.reads;
   }
   return {latency, bus::TransStatus::kOk};
+}
+
+void DdrMemory::contribute_metrics(obs::Registry& reg,
+                                   const std::string& prefix) const {
+  reg.counter(prefix + ".reads", stats_.reads);
+  reg.counter(prefix + ".writes", stats_.writes);
+  reg.counter(prefix + ".row_hits", stats_.row_hits);
+  reg.counter(prefix + ".row_misses", stats_.row_misses);
+  reg.counter(prefix + ".refresh_stalls", stats_.refresh_stalls);
+  reg.gauge(prefix + ".row_hit_rate", stats_.hit_rate());
 }
 
 void DdrMemory::reset_timing_state() {

@@ -14,6 +14,10 @@
 #include "bus/ports.hpp"
 #include "mem/backing_store.hpp"
 
+namespace secbus::obs {
+class Registry;
+}
+
 namespace secbus::mem {
 
 class DdrMemory final : public bus::SlaveDevice {
@@ -60,6 +64,14 @@ class DdrMemory final : public bus::SlaveDevice {
   const BackingStore& store() const noexcept { return store_; }
 
   void reset_timing_state();
+
+  // Zeroes the access statistics; bank/row timing state and the stored
+  // contents are untouched (reset_timing_state handles the former).
+  void reset_stats() noexcept { stats_ = {}; }
+
+  // Publishes access and row-buffer counters under `prefix`
+  // ("<prefix>.reads", "<prefix>.row_hit_rate", ...).
+  void contribute_metrics(obs::Registry& reg, const std::string& prefix) const;
 
  private:
   struct BankState {

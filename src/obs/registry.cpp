@@ -1,0 +1,101 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace secbus::obs {
+
+void Registry::counter(std::string name, std::uint64_t value) {
+  Metric m;
+  m.name = std::move(name);
+  m.is_counter = true;
+  m.count = value;
+  metrics_.push_back(std::move(m));
+}
+
+void Registry::gauge(std::string name, double value) {
+  Metric m;
+  m.name = std::move(name);
+  m.is_counter = false;
+  m.value = value;
+  metrics_.push_back(std::move(m));
+}
+
+void Registry::stat(const std::string& prefix, const util::RunningStat& s) {
+  counter(prefix + ".count", s.count());
+  if (s.count() == 0) return;
+  gauge(prefix + ".mean", s.mean());
+  gauge(prefix + ".min", s.min());
+  gauge(prefix + ".max", s.max());
+}
+
+void Registry::hist(const std::string& prefix, const util::LatencyHistogram& h) {
+  counter(prefix + ".count", h.count());
+  if (h.count() == 0) return;
+  gauge(prefix + ".mean", h.mean());
+  counter(prefix + ".p50", h.p50());
+  counter(prefix + ".p95", h.p95());
+  counter(prefix + ".p99", h.p99());
+  counter(prefix + ".max", h.max());
+}
+
+const Metric* Registry::find(std::string_view name) const noexcept {
+  for (const Metric& m : metrics_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const noexcept {
+  const Metric* m = find(name);
+  return (m != nullptr && m->is_counter) ? m->count : 0;
+}
+
+double Registry::value(std::string_view name) const noexcept {
+  const Metric* m = find(name);
+  if (m == nullptr) return 0.0;
+  return m->is_counter ? static_cast<double>(m->count) : m->value;
+}
+
+util::Json Registry::to_json() const {
+  std::vector<const Metric*> order;
+  order.reserve(metrics_.size());
+  for (const Metric& m : metrics_) order.push_back(&m);
+  std::sort(order.begin(), order.end(),
+            [](const Metric* a, const Metric* b) { return a->name < b->name; });
+  util::Json out = util::Json::object();
+  const Metric* prev = nullptr;
+  for (const Metric* m : order) {
+    SECBUS_ASSERT(prev == nullptr || prev->name != m->name,
+                  m->name.c_str());
+    prev = m;
+    out.set(m->name, m->is_counter ? util::Json::number(m->count)
+                                   : util::Json::number(m->value));
+  }
+  return out;
+}
+
+bool Registry::from_json(const util::Json& j, Registry& out,
+                         std::string* error) {
+  out.clear();
+  if (!j.is_object()) {
+    if (error != nullptr) *error = "metrics: expected an object";
+    return false;
+  }
+  for (const auto& [name, value] : j.members()) {
+    if (!value.is_number()) {
+      if (error != nullptr) *error = "metrics." + name + ": expected a number";
+      return false;
+    }
+    std::uint64_t u = 0;
+    if (value.is_integer() && value.to_u64(u)) {
+      out.counter(name, u);
+    } else {
+      out.gauge(name, value.as_double());
+    }
+  }
+  return true;
+}
+
+}  // namespace secbus::obs

@@ -1,0 +1,56 @@
+// Chrome trace-event export of a sim::EventTrace.
+//
+// Emits the JSON Array Format that Perfetto and chrome://tracing load
+// directly: one track (pid 1, one tid) per recording component, "X"
+// complete events for the spans the event stream implies, and "i" instant
+// events for everything punctual. Spans are reconstructed by pairing
+// lifecycle kinds:
+//
+//   kTransOnBus -> kTransComplete   per (segment, transaction): the bus
+//                                   grant-to-response service window,
+//   kSecpolReq  -> kCheckResult     per (firewall, transaction): the SB
+//                                   check latency window,
+//   kTransIssued -> last kTransComplete / kTransDiscarded per transaction:
+//                                   an async "b"/"e" pair spanning the full
+//                                   issue-to-retirement lifetime.
+//
+// Trace timestamps are bus cycles mapped 1:1 onto trace microseconds (the
+// format's time unit); the mapping constant is recorded in otherData.
+// Output is deterministic: tracks are numbered by first appearance in the
+// event stream and events are emitted in a fixed walk order, so the same
+// trace always serializes to the same bytes (golden-file testable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace secbus::obs {
+
+// What the writer emitted — the cross-check surface for tests that compare
+// the trace against SocResults / fabric counters.
+struct TraceExportStats {
+  std::uint64_t tracks = 0;           // component tracks (metadata events)
+  std::uint64_t bus_spans = 0;        // kTransOnBus -> kTransComplete "X"
+  std::uint64_t check_spans = 0;      // kSecpolReq -> kCheckResult "X"
+  std::uint64_t lifecycle_spans = 0;  // kTransIssued -> retirement "b"/"e"
+  std::uint64_t instants = 0;         // all "i" events
+  std::uint64_t alert_instants = 0;   // the kAlert subset of instants
+  // Begin events whose end never arrived (ring overwrote it or the run was
+  // truncated); they are dropped, not emitted as zero-length spans.
+  std::uint64_t unmatched = 0;
+};
+
+// Serializes the trace's current snapshot. `stats`, when non-null, receives
+// the emission counts.
+[[nodiscard]] std::string chrome_trace_json(const sim::EventTrace& trace,
+                                            TraceExportStats* stats = nullptr);
+
+// chrome_trace_json() to a file; false (with `error` filled) on I/O failure.
+[[nodiscard]] bool write_chrome_trace(const std::string& path,
+                                      const sim::EventTrace& trace,
+                                      std::string* error = nullptr,
+                                      TraceExportStats* stats = nullptr);
+
+}  // namespace secbus::obs

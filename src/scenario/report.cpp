@@ -90,6 +90,11 @@ class JsonBuilder {
     key_prefix(key);
     out_ += "null";
   }
+  // Splices pre-serialized JSON (e.g. an obs::Registry document) verbatim.
+  void raw_field(const std::string& key, const std::string& raw_json) {
+    key_prefix(key);
+    out_ += raw_json;
+  }
 
   [[nodiscard]] std::string str() && { return std::move(out_); }
 
@@ -266,6 +271,11 @@ std::string batch_json(const std::string& scenario_name,
       } else {
         j.null_field("victim_intact");
       }
+    }
+    // Populated only under --metrics; omitted otherwise so default batch
+    // reports keep their historical bytes.
+    if (!job.metrics.empty()) {
+      j.raw_field("metrics", job.metrics.to_json().dump(0));
     }
     j.end_object();
   }

@@ -220,6 +220,10 @@ Json job_result_to_json(const JobResult& r) {
   lcf.set("tree_depth",
           Json::number(static_cast<std::uint64_t>(r.lcf.tree_depth)));
   j.set("lcf", std::move(lcf));
+
+  // Only written when collection was on, so legacy results (and runs
+  // without --metrics) serialize byte-identically to before.
+  if (!r.metrics.empty()) j.set("metrics", r.metrics.to_json());
   return j;
 }
 
@@ -350,6 +354,15 @@ bool job_result_from_json(const Json& j, JobResult& out, std::string* error) {
     return false;
   }
   r.lcf.tree_depth = static_cast<std::size_t>(u);
+
+  // Optional: absent in legacy files and in runs without --metrics.
+  const Json* metrics = j.find("metrics");
+  if (metrics != nullptr) {
+    std::string merr;
+    if (!obs::Registry::from_json(*metrics, r.metrics, &merr)) {
+      return fail(error, "metrics", merr);
+    }
+  }
 
   out = std::move(r);
   return true;

@@ -44,7 +44,7 @@ std::vector<JobResult> run_batch(const std::vector<ScenarioSpec>& jobs,
       const std::size_t w = next.fetch_add(1, std::memory_order_relaxed);
       if (w >= worklist.size()) return;
       const std::size_t i = worklist[w];
-      JobResult r = run_scenario(jobs[i]);
+      JobResult r = run_scenario(jobs[i], options.hooks);
       r.index = i;
       results[i] = std::move(r);
       // fetch_add is the progress snapshot; the callback runs outside any

@@ -34,6 +34,9 @@ struct BatchOptions {
   // job list).
   std::function<void(const JobResult&, std::size_t done, std::size_t total)>
       on_job_done;
+  // Per-run observability hooks, forwarded to every run_scenario() call.
+  // hooks.inspect runs on the worker thread that owns the job's SoC.
+  RunHooks hooks;
 };
 
 // Runs the selected specs and returns the results in submission order

@@ -85,6 +85,10 @@ void stage_hijack(soc::Soc& soc, ip::ScriptedMaster& mal) {
 }  // namespace
 
 JobResult run_scenario(const ScenarioSpec& spec) {
+  return run_scenario(spec, RunHooks{});
+}
+
+JobResult run_scenario(const ScenarioSpec& spec, const RunHooks& hooks) {
   JobResult r;
   r.name = spec.name;
   r.variant = spec.variant;
@@ -98,7 +102,9 @@ JobResult run_scenario(const ScenarioSpec& spec) {
   r.topology = spec.soc.topology.label();
   r.segments = spec.soc.topology.segment_count();
 
-  soc::Soc soc(spec.soc);
+  soc::SocConfig soc_cfg = spec.soc;
+  if (hooks.trace_capacity > 0) soc_cfg.trace_capacity = hooks.trace_capacity;
+  soc::Soc soc(soc_cfg);
   // Diameter from the protected external memory's segment (== the legacy
   // memory segment unless the DDR was relocated).
   r.max_hops = soc.fabric().hop_count(
@@ -269,6 +275,9 @@ JobResult run_scenario(const ScenarioSpec& spec) {
     r.containment_checked = atk.kind == AttackKind::kFloodOutOfPolicy;
     r.contained = r.containment_checked && bus_grants_for(soc, "flooder") == 0;
   }
+
+  if (hooks.collect_metrics) soc.snapshot_metrics(r.metrics);
+  if (hooks.inspect) hooks.inspect(soc, r);
 
   return r;
 }

@@ -10,10 +10,12 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
 #include "core/security_policy.hpp"
+#include "obs/registry.hpp"
 #include "sim/types.hpp"
 #include "soc/soc.hpp"
 #include "soc/soc_config.hpp"
@@ -119,6 +121,11 @@ struct JobResult {
   std::uint64_t flood_completed = 0;
   std::uint64_t flood_blocked = 0;
 
+  // Full per-component metric snapshot (RunHooks::collect_metrics). Empty —
+  // and absent from serialized results — unless collection was requested,
+  // so default outputs stay byte-identical to pre-observability runs.
+  obs::Registry metrics;
+
   // Mode-specific probes used by the benches.
   double manager_queue_wait = 0.0;   // centralized: mean cycles in the queue
   sim::Cycle sb_check_latency = 0;   // distributed: per-access SB check cost
@@ -139,10 +146,31 @@ struct JobResult {
   }
 };
 
+// Per-run observability options. Deliberately *not* part of ScenarioSpec:
+// hooks change what is recorded about a run, never what the run computes,
+// so they must not perturb spec fingerprints (campaign checkpoints resume
+// against the unhooked spec identity).
+struct RunHooks {
+  // Snapshot the full component-metric registry into JobResult::metrics
+  // after the run. Costs nothing during simulation (pull model).
+  bool collect_metrics = false;
+
+  // When > 0, overrides SocConfig::trace_capacity for this run (e.g. the
+  // CLI's --trace path raises it so a whole run fits in the ring).
+  std::size_t trace_capacity = 0;
+
+  // Called after metrics collection, while the SoC is still alive — the
+  // only window where a caller can inspect live components (export the
+  // event trace, dump memories, cross-check counters).
+  std::function<void(soc::Soc&, const JobResult&)> inspect;
+};
+
 // Builds the SoC described by `spec`, stages the attack plan, runs to
 // quiescence (or the cycle cap) and collects every metric. Self-contained
 // and thread-safe: concurrent calls share no state.
 [[nodiscard]] JobResult run_scenario(const ScenarioSpec& spec);
+[[nodiscard]] JobResult run_scenario(const ScenarioSpec& spec,
+                                     const RunHooks& hooks);
 
 // Deterministically derives the seed for repeat `r` of a spec seeded with
 // `base` (SplitMix64 over base ^ r; repeat 0 keeps the base seed).

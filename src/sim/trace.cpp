@@ -29,16 +29,39 @@ void EventTrace::set_capacity(std::size_t capacity) {
   ring_.clear();
   ring_.reserve(capacity);
   head_ = 0;
+  // Caller pointers cached before a reconfiguration may be stale; the
+  // content map (and the owned strings it points at) stays valid.
+  intern_by_ptr_.clear();
+}
+
+const char* EventTrace::intern(const char* source) {
+  if (source == nullptr) source = "";
+  if (const auto it = intern_by_ptr_.find(source); it != intern_by_ptr_.end()) {
+    return it->second;
+  }
+  const char* owned = nullptr;
+  if (const auto it = intern_by_content_.find(std::string_view(source));
+      it != intern_by_content_.end()) {
+    owned = it->second;  // same name from a new pointer (component rebuilt)
+  } else {
+    names_.emplace_back(source);
+    owned = names_.back().c_str();
+    intern_by_content_.emplace(std::string_view(names_.back()), owned);
+  }
+  intern_by_ptr_.emplace(source, owned);
+  return owned;
 }
 
 void EventTrace::record(const TraceEvent& ev) {
   ++total_;
   ++per_kind_[static_cast<std::size_t>(ev.kind) % per_kind_.size()];
   if (capacity_ == 0) return;
+  TraceEvent stored = ev;
+  stored.source = intern(ev.source);
   if (ring_.size() < capacity_) {
-    ring_.push_back(ev);
+    ring_.push_back(stored);
   } else {
-    ring_[head_] = ev;
+    ring_[head_] = stored;
     head_ = (head_ + 1) % capacity_;
   }
 }
@@ -61,6 +84,7 @@ void EventTrace::clear() {
   head_ = 0;
   total_ = 0;
   per_kind_ = {};
+  intern_by_ptr_.clear();
 }
 
 std::string EventTrace::format(std::size_t max_lines) const {

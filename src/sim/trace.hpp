@@ -8,7 +8,10 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -34,8 +37,10 @@ enum class TraceKind : std::uint8_t {
 struct TraceEvent {
   Cycle cycle = 0;
   TraceKind kind = TraceKind::kTransIssued;
-  // Emitting component (firewall/bus/attacker) name; stable C-string owned by
-  // the component, so events stay POD-cheap.
+  // Emitting component (firewall/bus/attacker) name. record() interns the
+  // string, so callers may pass any pointer that is valid *for the call* —
+  // events returned by snapshot() point at trace-owned copies and stay
+  // valid after the emitting component is torn down.
   const char* source = "";
   TransactionId trans = 0;
   Addr addr = 0;
@@ -53,6 +58,8 @@ class EventTrace {
   void record(const TraceEvent& ev);
 
   // Events in arrival order (oldest first), up to capacity (older dropped).
+  // Every `source` points into this trace's intern table: valid as long as
+  // the trace lives, independent of the recording components' lifetimes.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
 
   [[nodiscard]] std::uint64_t total_recorded() const noexcept { return total_; }
@@ -64,11 +71,20 @@ class EventTrace {
   [[nodiscard]] std::string format(std::size_t max_lines = 64) const;
 
  private:
+  // Trace-owned copy of `source` (content-deduplicated). The by-pointer map
+  // short-circuits the common case: components record thousands of events
+  // through the same name().c_str() pointer.
+  [[nodiscard]] const char* intern(const char* source);
+
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  // index of oldest element when full
   std::uint64_t total_ = 0;
   std::array<std::uint64_t, 16> per_kind_{};
+
+  std::deque<std::string> names_;  // pointer-stable intern storage
+  std::unordered_map<const char*, const char*> intern_by_ptr_;
+  std::unordered_map<std::string_view, const char*> intern_by_content_;
 };
 
 }  // namespace secbus::sim

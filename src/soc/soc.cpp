@@ -221,6 +221,7 @@ Soc::Soc(const SocConfig& cfg)
     // Integrity alerts from the LCF indicate *external* tampering; locking
     // down the external memory interface would be self-inflicted DoS.
     reconfig_->exempt(kFwLcf);
+    if (trace_.enabled()) reconfig_->set_trace(&trace_);
   }
 }
 

@@ -24,6 +24,10 @@
 #include "sim/trace.hpp"
 #include "soc/soc_config.hpp"
 
+namespace secbus::obs {
+class Registry;
+}
+
 namespace secbus::soc {
 
 // Named address windows derived from a SocConfig; both the workload
@@ -90,6 +94,21 @@ class Soc {
   // Runs until every processor finished and the fabric drained, or until
   // `max_cycles`. Returns the summary.
   SocResults run(sim::Cycle max_cycles);
+
+  // Walks every component's Stats into `reg` under the stable hierarchical
+  // naming scheme (bus.seg<i>.*, core.<firewall>.*, ip.<master>.*,
+  // mem.ddr.*, trace.*). Pull-model: costs nothing unless called, and a
+  // given SoC state always snapshots to the same document. The process-wide
+  // FormatCache is deliberately excluded — it races across batch threads
+  // and would break byte-stable per-job artifacts.
+  void snapshot_metrics(obs::Registry& reg) const;
+
+  // Zeroes every component's statistics (fabric, masters, memories,
+  // firewalls, crypto cores) without touching simulation or security
+  // state, so a later snapshot_metrics() covers only the cycles since.
+  // The alert log and the event trace are history, not counters, and are
+  // left alone.
+  void reset_stats();
 
   // Adds a scripted master behind its own firewall/gate with the given
   // policy. Must be called before run(). Returns the master for scripting.

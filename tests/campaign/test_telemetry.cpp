@@ -1,0 +1,176 @@
+#include "campaign/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/shard.hpp"
+#include "scenario/registry.hpp"
+#include "util/jsonl.hpp"
+
+namespace secbus::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TelemetryTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(testing::TempDir()) / "secbus_telemetry_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path_of(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(TelemetryTest, FileNameMatchesShardStem) {
+  EXPECT_EQ(progress_file_name("grid", 2, 8),
+            "grid.shard-2-of-8.progress.jsonl");
+}
+
+TEST_F(TelemetryTest, WriterRoundTripsRecords) {
+  const std::string path = path_of(progress_file_name("grid", 0, 2));
+  ProgressWriter w;
+  // min_interval_ms = 0: every sample writes (no wall-clock throttling).
+  ASSERT_TRUE(w.open(path, "grid", 0, 2, 0));
+  w.update(1, 10);
+  w.update(2, 10);
+  w.finish(10, 10);
+  EXPECT_TRUE(w.ok());
+  w.close();
+
+  std::vector<ProgressRecord> records;
+  ASSERT_TRUE(read_progress_file(path, records));
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].campaign, "grid");
+  EXPECT_EQ(records[0].shard, 0u);
+  EXPECT_EQ(records[0].shards, 2u);
+  EXPECT_EQ(records[0].done, 1u);
+  EXPECT_EQ(records[0].total, 10u);
+  EXPECT_FALSE(records[0].finished);
+  EXPECT_EQ(records[1].done, 2u);
+  EXPECT_EQ(records[2].done, 10u);
+  EXPECT_TRUE(records[2].finished);
+}
+
+TEST_F(TelemetryTest, ThrottleSuppressesIntermediateSamples) {
+  const std::string path = path_of(progress_file_name("grid", 0, 1));
+  ProgressWriter w;
+  // A huge interval: only the first sample and the final record survive.
+  ASSERT_TRUE(w.open(path, "grid", 0, 1, 3'600'000));
+  for (std::size_t i = 1; i <= 50; ++i) w.update(i, 50);
+  w.finish(50, 50);
+  w.close();
+
+  std::vector<ProgressRecord> records;
+  ASSERT_TRUE(read_progress_file(path, records));
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_FALSE(records.front().finished);
+  EXPECT_TRUE(records.back().finished);
+  EXPECT_EQ(records.back().done, 50u);
+}
+
+TEST_F(TelemetryTest, ReaderSkipsTornTail) {
+  const std::string path = path_of(progress_file_name("grid", 0, 1));
+  ProgressWriter w;
+  ASSERT_TRUE(w.open(path, "grid", 0, 1, 0));
+  w.update(1, 4);
+  w.close();
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "{\"campaign\": \"grid\", \"shard\"";  // worker died mid-write
+  }
+  std::vector<ProgressRecord> records;
+  ASSERT_TRUE(read_progress_file(path, records));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].done, 1u);
+}
+
+TEST_F(TelemetryTest, ScanFindsAndSortsShards) {
+  for (std::size_t shard : {1u, 0u}) {  // created out of order
+    ProgressWriter w;
+    ASSERT_TRUE(
+        w.open(path_of(progress_file_name("grid", shard, 2)), "grid", shard,
+               2, 0));
+    w.update(shard + 1, 5);
+    if (shard == 0) w.finish(5, 5);
+    w.close();
+  }
+  // Noise the scanner must ignore.
+  {
+    std::ofstream result(path_of("grid.shard-0-of-2.json"));
+    result << "{}";
+    std::ofstream noise(path_of("unrelated.txt"));
+    noise << "hello";
+  }
+
+  std::vector<ShardProgress> shards;
+  ASSERT_TRUE(scan_progress_dir(dir_.string(), shards));
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0].last.shard, 0u);
+  EXPECT_TRUE(shards[0].last.finished);
+  EXPECT_EQ(shards[0].last.done, 5u);
+  EXPECT_EQ(shards[1].last.shard, 1u);
+  EXPECT_FALSE(shards[1].last.finished);
+  EXPECT_EQ(shards[1].records, 1u);
+
+  const std::string table = render_campaign_status(shards);
+  EXPECT_NE(table.find("grid"), std::string::npos);
+  EXPECT_NE(table.find("finished"), std::string::npos);
+  EXPECT_NE(table.find("running"), std::string::npos);
+  EXPECT_NE(table.find("7/10 jobs done across 2 shard(s), 1 finished"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, ScanFailsOnMissingDirectory) {
+  std::vector<ShardProgress> shards;
+  std::string error;
+  EXPECT_FALSE(
+      scan_progress_dir((dir_ / "nope").string(), shards, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(TelemetryTest, RenderOnEmptyInput) {
+  EXPECT_EQ(render_campaign_status({}), "no progress files found\n");
+}
+
+// End to end through the shard runner: run_shard() with a progress_path
+// writes a sidecar whose final record covers the whole slice.
+TEST_F(TelemetryTest, RunShardWritesProgressSidecar) {
+  const scenario::NamedScenario* named = scenario::find_scenario("hijack");
+  ASSERT_NE(named, nullptr);
+  std::vector<scenario::ScenarioSpec> specs(4, named->spec);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].soc.seed = 100 + i;
+  }
+
+  ShardRunOptions opt;
+  opt.shard = 0;
+  opt.shards = 2;
+  opt.campaign = "mini";
+  opt.progress_path = path_of(progress_file_name("mini", 0, 2));
+  opt.progress_interval_ms = 0;
+  const ShardRunOutcome outcome = run_shard(specs, opt);
+  EXPECT_EQ(outcome.executed, 2u);  // round-robin: indices 0 and 2
+
+  std::vector<ProgressRecord> records;
+  ASSERT_TRUE(read_progress_file(opt.progress_path, records));
+  ASSERT_GE(records.size(), 2u);  // at least one update + the final record
+  EXPECT_EQ(records.back().campaign, "mini");
+  EXPECT_EQ(records.back().done, 2u);
+  EXPECT_EQ(records.back().total, 2u);
+  EXPECT_TRUE(records.back().finished);
+}
+
+}  // namespace
+}  // namespace secbus::campaign

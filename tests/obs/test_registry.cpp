@@ -1,0 +1,122 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace secbus::obs {
+namespace {
+
+TEST(Registry, CountersAndGauges) {
+  Registry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.counter("bus.seg0.grants", 42);
+  reg.gauge("bus.seg0.occupancy", 0.5);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.counter_value("bus.seg0.grants"), 42u);
+  EXPECT_DOUBLE_EQ(reg.value("bus.seg0.occupancy"), 0.5);
+  // value() works for both kinds; counter_value() only for counters.
+  EXPECT_DOUBLE_EQ(reg.value("bus.seg0.grants"), 42.0);
+  EXPECT_EQ(reg.counter_value("bus.seg0.occupancy"), 0u);
+  EXPECT_EQ(reg.find("nope"), nullptr);
+  EXPECT_EQ(reg.counter_value("nope"), 0u);
+  EXPECT_DOUBLE_EQ(reg.value("nope"), 0.0);
+}
+
+TEST(Registry, CounterIsU64Exact) {
+  Registry reg;
+  const std::uint64_t big = 0xFFFF'FFFF'FFFF'FFFEull;  // not double-exact
+  reg.counter("c", big);
+  EXPECT_EQ(reg.counter_value("c"), big);
+
+  Registry back;
+  ASSERT_TRUE(Registry::from_json(reg.to_json(), back));
+  EXPECT_EQ(back.counter_value("c"), big);
+}
+
+TEST(Registry, StatExpansion) {
+  util::RunningStat s;
+  s.add(10.0);
+  s.add(20.0);
+
+  Registry reg;
+  reg.stat("ip.cpu0.latency", s);
+  EXPECT_EQ(reg.counter_value("ip.cpu0.latency.count"), 2u);
+  EXPECT_DOUBLE_EQ(reg.value("ip.cpu0.latency.mean"), 15.0);
+  EXPECT_DOUBLE_EQ(reg.value("ip.cpu0.latency.min"), 10.0);
+  EXPECT_DOUBLE_EQ(reg.value("ip.cpu0.latency.max"), 20.0);
+
+  // Empty stats stay compact: count only.
+  Registry empty;
+  empty.stat("x", util::RunningStat{});
+  EXPECT_EQ(empty.size(), 1u);
+  EXPECT_EQ(empty.counter_value("x.count"), 0u);
+}
+
+TEST(Registry, HistExpansion) {
+  util::LatencyHistogram h;
+  for (std::uint64_t v : {5u, 5u, 7u, 9u}) h.add(v);
+
+  Registry reg;
+  reg.hist("bus.seg0.latency", h);
+  EXPECT_EQ(reg.counter_value("bus.seg0.latency.count"), 4u);
+  EXPECT_EQ(reg.counter_value("bus.seg0.latency.p50"), h.p50());
+  EXPECT_EQ(reg.counter_value("bus.seg0.latency.p99"), h.p99());
+  EXPECT_EQ(reg.counter_value("bus.seg0.latency.max"), 9u);
+}
+
+TEST(Registry, ToJsonSortsNames) {
+  Registry reg;
+  reg.counter("z.last", 1);
+  reg.counter("a.first", 2);
+  reg.gauge("m.middle", 3.0);
+  const std::string text = reg.to_json().dump(0);
+  const auto a = text.find("a.first");
+  const auto m = text.find("m.middle");
+  const auto z = text.find("z.last");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+}
+
+TEST(Registry, JsonRoundTripIsByteStable) {
+  Registry reg;
+  reg.counter("core.lf_cpu0.passed", 123);
+  reg.counter("core.lf_cpu0.blocked", 0);
+  reg.gauge("bus.seg0.occupancy", 0.125);
+  reg.gauge("ip.cpu0.latency.mean", 17.5);
+
+  const std::string first = reg.to_json().dump(0);
+  Registry back;
+  std::string error;
+  ASSERT_TRUE(Registry::from_json(reg.to_json(), back, &error)) << error;
+  EXPECT_EQ(back.to_json().dump(0), first);
+
+  // Integer lexemes restore as counters, fractions as gauges.
+  EXPECT_EQ(back.counter_value("core.lf_cpu0.passed"), 123u);
+  EXPECT_DOUBLE_EQ(back.value("bus.seg0.occupancy"), 0.125);
+}
+
+TEST(Registry, FromJsonRejectsNonObject) {
+  Registry out;
+  std::string error;
+  EXPECT_FALSE(Registry::from_json(util::Json::number(std::uint64_t{1}), out,
+                                   &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Registry, ClearEmpties) {
+  Registry reg;
+  reg.counter("a", 1);
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.to_json().dump(0), "{}");
+}
+
+}  // namespace
+}  // namespace secbus::obs

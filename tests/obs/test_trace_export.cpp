@@ -1,0 +1,171 @@
+// Chrome trace-event writer: span reconstruction, golden-file byte
+// stability, and the acceptance cross-check — a traced ciphered-mesh run's
+// exported spans must reconcile exactly with the run's own counters.
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/trace.hpp"
+#include "util/json.hpp"
+
+namespace secbus::obs {
+namespace {
+
+using sim::EventTrace;
+using sim::TraceEvent;
+using sim::TraceKind;
+
+// A hand-written stream exercising every writer feature: two firewalls, a
+// bus segment, an LCF, a completed transaction, a discarded one, an alert,
+// and one check left open (unmatched).
+EventTrace synthetic_trace() {
+  EventTrace trace(64);
+  trace.record({1, TraceKind::kTransIssued, "lf_cpu0", 1, 0x1000, 0});
+  trace.record({1, TraceKind::kSecpolReq, "lf_cpu0", 1, 0x1000, 4});
+  trace.record({3, TraceKind::kCheckResult, "lf_cpu0", 1, 0x1000, 0});
+  trace.record({4, TraceKind::kTransOnBus, "bus.seg0", 1, 0x1000, 16});
+  trace.record({9, TraceKind::kTransComplete, "bus.seg0", 1, 0x1000, 0});
+  trace.record({12, TraceKind::kTransIssued, "lf_cpu1", 2, 0x2000, 0});
+  trace.record({12, TraceKind::kSecpolReq, "lf_cpu1", 2, 0x2000, 4});
+  trace.record({14, TraceKind::kCheckResult, "lf_cpu1", 2, 0x2000, 3});
+  trace.record({14, TraceKind::kTransDiscarded, "lf_cpu1", 2, 0x2000, 3});
+  trace.record({14, TraceKind::kAlert, "lf_cpu1", 2, 0x2000, 3});
+  trace.record({20, TraceKind::kCipherOp, "lcf_ddr", 1, 0x2000, 2});
+  trace.record({25, TraceKind::kSecpolReq, "lf_cpu0", 3, 0x3000, 4});
+  return trace;
+}
+
+TEST(ChromeTrace, SyntheticSpanReconstruction) {
+  TraceExportStats st;
+  const std::string text = chrome_trace_json(synthetic_trace(), &st);
+
+  EXPECT_EQ(st.tracks, 4u);  // lf_cpu0, bus.seg0, lf_cpu1, lcf_ddr
+  EXPECT_EQ(st.check_spans, 2u);
+  EXPECT_EQ(st.bus_spans, 1u);
+  EXPECT_EQ(st.lifecycle_spans, 2u);  // trans 1 completed, trans 2 discarded
+  EXPECT_EQ(st.instants, 3u);  // discard + alert + cipher op
+  EXPECT_EQ(st.alert_instants, 1u);
+  EXPECT_EQ(st.unmatched, 1u);  // trans 3's check never resolved
+
+  util::Json doc;
+  std::string error;
+  ASSERT_TRUE(util::Json::parse(text, doc, &error)) << error;
+  const util::Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // 1 process + 4 thread metadata, 3 X spans, 3 instants, 2 b/e pairs.
+  EXPECT_EQ(events->size(), 1u + 4u + 3u + 3u + 4u);
+}
+
+TEST(ChromeTrace, OutputIsByteStable) {
+  const std::string a = chrome_trace_json(synthetic_trace());
+  const std::string b = chrome_trace_json(synthetic_trace());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ChromeTrace, EmptyTraceIsValidJson) {
+  EventTrace trace;  // capacity 0: recording disabled
+  TraceExportStats st;
+  const std::string text = chrome_trace_json(trace, &st);
+  EXPECT_EQ(st.tracks, 0u);
+  util::Json doc;
+  std::string error;
+  EXPECT_TRUE(util::Json::parse(text, doc, &error)) << error;
+}
+
+// Golden file: the synthetic trace always serializes to the committed
+// bytes. Regenerate deliberately with SECBUS_UPDATE_GOLDEN=1 after a
+// writer change, and eyeball the diff — the file is the format contract.
+TEST(ChromeTrace, MatchesGoldenFile) {
+  const std::string path =
+      std::string(SECBUS_REPO_DIR) + "/tests/data/trace_golden.json";
+  const std::string text = chrome_trace_json(synthetic_trace());
+
+  if (std::getenv("SECBUS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+    out << text;
+    return;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << path << " missing; regenerate with SECBUS_UPDATE_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(text, golden.str());
+}
+
+TEST(ChromeTrace, WriteToFileRoundTrips) {
+  const std::string path = testing::TempDir() + "secbus_trace_out.json";
+  TraceExportStats st;
+  std::string error;
+  ASSERT_TRUE(write_chrome_trace(path, synthetic_trace(), &error, &st))
+      << error;
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream written;
+  written << in.rdbuf();
+  EXPECT_EQ(written.str(), chrome_trace_json(synthetic_trace()));
+  std::remove(path.c_str());
+}
+
+// Acceptance: a traced ciphered-mesh run under a hijack exports spans that
+// reconcile exactly with the run's own counters — every alert becomes an
+// alert instant, every completed bus transfer a span, nothing dropped.
+TEST(ChromeTrace, TracedMeshRunReconcilesWithSocCounters) {
+  const scenario::NamedScenario* named =
+      scenario::find_scenario("mesh2x2_ciphered");
+  ASSERT_NE(named, nullptr);
+  scenario::ScenarioSpec spec = named->spec;
+  spec.attack.kind = scenario::AttackKind::kHijack;
+
+  TraceExportStats st;
+  std::string text;
+  std::uint64_t on_bus = 0;
+  std::uint64_t completes = 0;
+  std::uint64_t checks = 0;
+  std::uint64_t alerts_traced = 0;
+
+  scenario::RunHooks hooks;
+  hooks.trace_capacity = std::size_t{1} << 20;  // whole run fits the ring
+  hooks.inspect = [&](soc::Soc& sys, const scenario::JobResult&) {
+    const sim::EventTrace& trace = sys.trace();
+    on_bus = trace.count_of(TraceKind::kTransOnBus);
+    completes = trace.count_of(TraceKind::kTransComplete);
+    checks = trace.count_of(TraceKind::kCheckResult);
+    alerts_traced = trace.count_of(TraceKind::kAlert);
+    ASSERT_LE(trace.total_recorded(), std::size_t{1} << 20)
+        << "ring overflowed; grow trace_capacity";
+    text = chrome_trace_json(trace, &st);
+  };
+  const scenario::JobResult r = scenario::run_scenario(spec, hooks);
+
+  ASSERT_FALSE(text.empty());
+  EXPECT_GT(st.bus_spans, 0u);
+  EXPECT_GT(st.check_spans, 0u);
+  EXPECT_GT(r.soc.alerts, 0u) << "hijack should raise alerts";
+
+  // Exact reconciliation: nothing unmatched, so every lifecycle event
+  // paired up and the span counts equal the event counts.
+  EXPECT_EQ(st.unmatched, 0u);
+  EXPECT_EQ(st.bus_spans, completes);
+  EXPECT_EQ(st.bus_spans, on_bus);
+  EXPECT_EQ(st.check_spans, checks);
+  EXPECT_EQ(st.alert_instants, alerts_traced);
+  EXPECT_EQ(st.alert_instants, r.soc.alerts);
+
+  util::Json doc;
+  std::string error;
+  ASSERT_TRUE(util::Json::parse(text, doc, &error)) << error;
+}
+
+}  // namespace
+}  // namespace secbus::obs

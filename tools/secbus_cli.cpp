@@ -16,6 +16,12 @@
 //     --no-files        skip the CSV/JSON reports
 //     --max-cycles N    override the scenario's cycle cap
 //     --quiet           aggregate line only
+//     --metrics         attach the per-job component-metric registry
+//                       (obs::Registry) to the JSON reports
+//     --trace PATH      run only the first expanded job, single-threaded,
+//                       with a 1M-event trace ring, and export a Chrome
+//                       trace-event JSON (load it in Perfetto / chrome://
+//                       tracing) to PATH
 //
 //   secbus_cli sweep [base options] [axis options]
 //       Builds a custom sweep over the Section-V system (or any registered
@@ -73,6 +79,12 @@
 //       Parses + validates each file, printing the job/cell counts or the
 //       offending JSON path. Exit 1 on the first invalid file.
 //
+//   secbus_cli campaign status [DIR]
+//       Scans DIR (default bench/out) for shard progress sidecars
+//       (*.progress.jsonl, written by --shard/--spawn workers) and renders
+//       each shard's latest record: done/total, throughput, setup-cache hit
+//       rate, finished/running. Exit 1 when no sidecars are found.
+//
 //   secbus_cli campaign export-builtin [--dir DIR]
 //       Writes every builtin scenario as an equivalent campaign file
 //       (default bench/out/builtin-campaigns/): the registry as data.
@@ -94,7 +106,9 @@
 #include "campaign/campaign.hpp"
 #include "campaign/report.hpp"
 #include "campaign/shard.hpp"
+#include "campaign/telemetry.hpp"
 #include "core/format_cache.hpp"
+#include "obs/trace_export.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
@@ -115,6 +129,7 @@ namespace {
       "usage: %s list-scenarios\n"
       "       %s run <scenario> [--jobs N] [--repeats N] [--csv PATH]\n"
       "              [--json PATH] [--no-files] [--max-cycles N] [--quiet]\n"
+      "              [--metrics] [--trace PATH]\n"
       "       %s sweep [--scenario NAME] [--topology A,B] [--cpus A,B]\n"
       "              [--security A,B] [--protection A,B] [--seeds A,B]\n"
       "              [--extra-rules A,B] [--line-bytes A,B] [--external A,B]\n"
@@ -124,6 +139,7 @@ namespace {
       "              [--no-checkpoint] [--no-setup-cache] [run options]\n"
       "       %s campaign merge <shard.json>... [--out DIR] [run options]\n"
       "       %s campaign validate <file.json>...\n"
+      "       %s campaign status [DIR]\n"
       "       %s campaign export-builtin [--dir DIR]\n"
       "       %s [--cpus N] [--topology flat|starN|meshRxC]\n"
       "          [--security none|distributed|centralized]\n"
@@ -131,7 +147,7 @@ namespace {
       "          [--transactions N] [--compute N] [--extra-rules N]\n"
       "          [--line-bytes N] [--seed N] [--max-cycles N]\n"
       "          [--reconfig] [--report] [--quiet]\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(1);
 }
 
@@ -175,6 +191,11 @@ struct BatchCliOptions {
   bool no_files = false;
   std::uint64_t max_cycles = 0;  // 0 = keep the scenario's cap
   bool quiet = false;
+  // Collect per-job component metrics (obs::Registry) into the JSON reports.
+  bool metrics = false;
+  // Non-empty: run only the first expanded job, single-threaded, with a
+  // large event-trace ring, and export a Chrome/Perfetto trace here.
+  std::string trace_path;
 };
 
 // Tries to consume argv[i] as a shared batch option; advances i past any
@@ -201,6 +222,10 @@ bool parse_batch_option(int argc, char** argv, int& i, BatchCliOptions& opt) {
     opt.max_cycles = u;
   } else if (arg == "--quiet") {
     opt.quiet = true;
+  } else if (arg == "--metrics") {
+    opt.metrics = true;
+  } else if (arg == "--trace") {
+    opt.trace_path = next();
   } else {
     return false;
   }
@@ -247,6 +272,34 @@ std::vector<scenario::JobResult> execute_specs(
 
   scenario::BatchOptions batch;
   batch.threads = opt.jobs;
+  batch.hooks.collect_metrics = opt.metrics || !opt.trace_path.empty();
+  if (!opt.trace_path.empty()) {
+    // Big enough that a whole scenario run fits in the ring — exported
+    // spans then reconcile exactly with the SoC's counters.
+    batch.hooks.trace_capacity = std::size_t{1} << 20;
+    batch.hooks.inspect = [&opt](soc::Soc& sys,
+                                 const scenario::JobResult& r) {
+      obs::TraceExportStats st;
+      std::string terr;
+      if (!obs::write_chrome_trace(opt.trace_path, sys.trace(), &terr, &st)) {
+        std::fprintf(stderr, "error: trace export failed: %s\n", terr.c_str());
+        return;
+      }
+      std::printf(
+          "trace: %s — job '%s', %llu track(s), %llu bus span(s), "
+          "%llu check span(s), %llu lifecycle span(s), %llu instant(s) "
+          "(%llu alerts)\n",
+          opt.trace_path.c_str(),
+          r.variant.empty() ? r.name.c_str() : r.variant.c_str(),
+          static_cast<unsigned long long>(st.tracks),
+          static_cast<unsigned long long>(st.bus_spans),
+          static_cast<unsigned long long>(st.check_spans),
+          static_cast<unsigned long long>(st.lifecycle_spans),
+          static_cast<unsigned long long>(st.instants),
+          static_cast<unsigned long long>(st.alert_instants));
+      std::fflush(stdout);
+    };
+  }
   if (!opt.quiet) {
     std::printf("%s %s: %zu job(s) on %u thread(s)\n", kind, name.c_str(),
                 specs.size(), opt.jobs == 0 ? 0u : opt.jobs);
@@ -266,7 +319,14 @@ std::vector<scenario::JobResult> execute_specs(
 }
 
 int run_jobs(const std::string& name, std::vector<scenario::ScenarioSpec> specs,
-             const BatchCliOptions& opt) {
+             const BatchCliOptions& options) {
+  BatchCliOptions opt = options;
+  if (!opt.trace_path.empty() && !specs.empty()) {
+    // Tracing runs one job, single-threaded: one deterministic SoC whose
+    // exported spans match its counters (see the trace example/test).
+    specs.resize(1);
+    opt.jobs = 1;
+  }
   const std::vector<scenario::JobResult> results =
       execute_specs("scenario", name, std::move(specs), opt, true);
   const scenario::BatchAggregate aggregate =
@@ -471,9 +531,34 @@ int emit_campaign_outputs(const std::string& name,
     const bool json_ok =
         util::write_file(json_path, campaign::campaign_json(report));
     reports_ok = cells_csv.ok() && jobs_csv.ok() && json_ok;
+
+    // Per-job component metrics ride in their own sidecar (present only
+    // under --metrics) so the main campaign JSON keeps its historical
+    // shape and size.
+    std::string metrics_path;
+    bool any_metrics = false;
+    for (const auto& r : results) any_metrics |= !r.metrics.empty();
+    if (any_metrics) {
+      metrics_path = in_out(name + ".metrics.json");
+      util::Json doc = util::Json::object();
+      doc.set("campaign", util::Json::string(name));
+      util::Json jobs = util::Json::array();
+      for (const auto& r : results) {
+        if (r.metrics.empty()) continue;
+        util::Json entry = util::Json::object();
+        entry.set("index",
+                  util::Json::number(static_cast<std::uint64_t>(r.index)));
+        entry.set("metrics", r.metrics.to_json());
+        jobs.push(std::move(entry));
+      }
+      doc.set("jobs", std::move(jobs));
+      if (!util::write_file(metrics_path, doc.dump())) reports_ok = false;
+    }
+
     if (!opt.quiet) {
-      std::printf("reports: %s, %s, %s\n", cells_path.c_str(),
-                  json_path.c_str(), jobs_path.c_str());
+      std::printf("reports: %s, %s, %s%s%s\n", cells_path.c_str(),
+                  json_path.c_str(), jobs_path.c_str(),
+                  metrics_path.empty() ? "" : ", ", metrics_path.c_str());
     }
     if (!reports_ok) {
       std::fprintf(stderr, "error: failed to write campaign reports under %s\n",
@@ -545,6 +630,11 @@ int cmd_campaign_run(int argc, char** argv) {
     std::fprintf(stderr, "error: --shard and --spawn are mutually exclusive\n");
     return 1;
   }
+  if (!opt.trace_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --trace applies to `run`/`sweep`, not campaigns\n");
+    return 1;
+  }
   if (spawn != 0 && !checkpoint_path.empty()) {
     // Spawned workers each need their own checkpoint; a single shared path
     // would be silently ignored. Per-shard files derive under --out.
@@ -582,6 +672,7 @@ int cmd_campaign_run(int argc, char** argv) {
     spawn_opt.out_dir = out_dir;
     spawn_opt.checkpoint = !no_checkpoint;
     spawn_opt.quiet = opt.quiet;
+    spawn_opt.collect_metrics = opt.metrics;
     if (!opt.quiet) {
       std::printf("campaign %s: %zu job(s) across %zu worker process(es), "
                   "%u thread(s) each\n",
@@ -617,6 +708,10 @@ int cmd_campaign_run(int argc, char** argv) {
     run.shard = shard_index;
     run.shards = shard_total;
     run.threads = opt.jobs;
+    run.collect_metrics = opt.metrics;
+    run.campaign = spec.name;
+    run.progress_path = in_out(
+        campaign::progress_file_name(spec.name, shard_index, shard_total));
     if (!no_checkpoint) {
       run.checkpoint_path =
           checkpoint_path.empty()
@@ -673,6 +768,7 @@ int cmd_campaign_run(int argc, char** argv) {
     run.shards = 1;
     run.threads = opt.jobs;
     run.checkpoint_path = checkpoint_path;
+    run.collect_metrics = opt.metrics;
     if (!opt.quiet) {
       std::printf("campaign %s: %zu job(s) on %u thread(s)\n",
                   spec.name.c_str(), specs.size(),
@@ -756,6 +852,22 @@ int cmd_campaign_validate(int argc, char** argv) {
   return 0;
 }
 
+int cmd_campaign_status(int argc, char** argv) {
+  std::string dir = "bench/out";
+  if (argc >= 4) {
+    if (argv[3][0] == '-') usage(argv[0]);
+    dir = argv[3];
+  }
+  std::vector<campaign::ShardProgress> shards;
+  std::string error;
+  if (!campaign::scan_progress_dir(dir, shards, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::fputs(campaign::render_campaign_status(shards).c_str(), stdout);
+  return shards.empty() ? 1 : 0;
+}
+
 int cmd_campaign_export(int argc, char** argv) {
   std::string dir = "bench/out/builtin-campaigns";
   for (int i = 3; i < argc; ++i) {
@@ -786,6 +898,7 @@ int cmd_campaign(int argc, char** argv) {
   if (verb == "run") return cmd_campaign_run(argc, argv);
   if (verb == "merge") return cmd_campaign_merge(argc, argv);
   if (verb == "validate") return cmd_campaign_validate(argc, argv);
+  if (verb == "status") return cmd_campaign_status(argc, argv);
   if (verb == "export-builtin") return cmd_campaign_export(argc, argv);
   usage(argv[0]);
 }
