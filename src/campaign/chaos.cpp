@@ -1,0 +1,57 @@
+#include "campaign/chaos.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace secbus::campaign {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr && error->empty()) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool ChaosOptions::parse(const std::string& text, ChaosOptions& out,
+                         std::string* error) {
+  out = ChaosOptions{};
+  if (text.empty()) return true;
+  constexpr const char kKillAfterPrefix[] = "kill_after:";
+  const std::size_t prefix_len = sizeof kKillAfterPrefix - 1;
+  if (text.compare(0, prefix_len, kKillAfterPrefix) == 0) {
+    const std::string value = text.substr(prefix_len);
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || n < 1) {
+      return fail(error, "SECBUS_CHAOS: kill_after wants a positive job "
+                         "count, got \"" + value + "\"");
+    }
+    out.kind = Kind::kKillAfter;
+    out.kill_after = n;
+    return true;
+  }
+  return fail(error, "SECBUS_CHAOS: unknown directive \"" + text +
+                         "\" (supported: kill_after:<n>)");
+}
+
+bool ChaosOptions::from_env(ChaosOptions& out, std::string* error) {
+  const char* env = std::getenv("SECBUS_CHAOS");
+  return parse(env == nullptr ? std::string() : std::string(env), out, error);
+}
+
+void chaos_maybe_die(const ChaosOptions& chaos, std::uint64_t executed_jobs) {
+  if (chaos.kind != ChaosOptions::Kind::kKillAfter) return;
+  if (executed_jobs < chaos.kill_after) return;
+  std::fprintf(stderr,
+               "chaos: killing worker after %llu completed job(s) "
+               "(SECBUS_CHAOS kill_after)\n",
+               static_cast<unsigned long long>(executed_jobs));
+  std::fflush(stderr);
+  // _Exit, not exit: no atexit handlers, no stream flushing, no destructor
+  // unwinding — the closest in-process stand-in for a crashed worker.
+  std::_Exit(kChaosExitCode);
+}
+
+}  // namespace secbus::campaign

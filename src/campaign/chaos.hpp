@@ -1,0 +1,55 @@
+// Deterministic fault injection for the campaign fleet.
+//
+// Fault tolerance that is only exercised by real crashes is untested fault
+// tolerance. ChaosOptions is a tiny seam that makes a shard worker die at
+// a *chosen, reproducible* point — after its n-th completed job — so the
+// lease-expiry/reassignment path runs on every CI build, not just on bad
+// days. The worker checkpoints the n-th job first and then calls
+// std::_Exit (no unwinding, no flushing — as close to a real SIGKILL as a
+// process can do to itself), which is exactly the torn state the JSONL
+// replay and lease machinery must absorb.
+//
+// Activation: programmatic (ShardRunOptions::chaos / WorkerOptions::chaos)
+// or the SECBUS_CHAOS environment variable, e.g.
+//
+//   SECBUS_CHAOS=kill_after:5    die after completing 5 jobs (exit 42)
+//
+// The variable is parsed strictly; a malformed value is a hard error at
+// startup rather than silently-no-chaos (a chaos test that forgot to
+// inject is the worst kind of green).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace secbus::campaign {
+
+// Exit status of a chaos-killed worker: distinguishable from both success
+// (0) and ordinary failure (1) in wait status checks and CI logs.
+inline constexpr int kChaosExitCode = 42;
+
+struct ChaosOptions {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kKillAfter,  // std::_Exit(kChaosExitCode) after `kill_after` jobs
+  };
+  Kind kind = Kind::kNone;
+  std::uint64_t kill_after = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return kind != Kind::kNone; }
+
+  // Parses "kill_after:<n>" (n >= 1). Empty text parses to no-chaos.
+  static bool parse(const std::string& text, ChaosOptions& out,
+                    std::string* error);
+
+  // Reads SECBUS_CHAOS. Unset parses to no-chaos; a malformed value
+  // returns false with a message.
+  static bool from_env(ChaosOptions& out, std::string* error);
+};
+
+// Call after every completed job with the number of jobs this process has
+// executed so far; dies when the configured point is reached. Announces
+// the death on stderr first so logs show the kill was injected, not a bug.
+void chaos_maybe_die(const ChaosOptions& chaos, std::uint64_t executed_jobs);
+
+}  // namespace secbus::campaign

@@ -1,0 +1,1026 @@
+#include "campaign/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+
+#include "scenario/sweep.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace secbus::campaign {
+
+using util::Json;
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr && error->empty()) *error = message;
+  return false;
+}
+
+bool u64_field(const Json& j, const char* name, std::uint64_t& out) {
+  const Json* v = j.find(name);
+  return v != nullptr && v->to_u64(out);
+}
+
+std::string string_field(const Json& j, const char* name) {
+  const Json* v = j.find(name);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
+
+std::string fp_hex(std::uint64_t fp) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+void sleep_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+// --- grid shaping -----------------------------------------------------------
+
+Json fleet_grid_to_json(const FleetGridOptions& grid) {
+  Json j = Json::object();
+  j.set("repeats", Json::number(grid.repeats));
+  j.set("max_cycles", Json::number(grid.max_cycles));
+  j.set("collect_metrics", Json::boolean(grid.collect_metrics));
+  return j;
+}
+
+bool fleet_grid_from_json(const Json& j, FleetGridOptions& out,
+                          std::string* error) {
+  if (!j.is_object()) return fail(error, "grid: expected an object");
+  FleetGridOptions grid;
+  if (!u64_field(j, "repeats", grid.repeats) ||
+      !u64_field(j, "max_cycles", grid.max_cycles)) {
+    return fail(error, "grid: missing u64 \"repeats\"/\"max_cycles\"");
+  }
+  const Json* metrics = j.find("collect_metrics");
+  if (metrics == nullptr || !metrics->is_bool()) {
+    return fail(error, "grid: missing bool \"collect_metrics\"");
+  }
+  grid.collect_metrics = metrics->as_bool();
+  out = grid;
+  return true;
+}
+
+std::vector<scenario::ScenarioSpec> expand_fleet_grid(
+    const CampaignSpec& campaign, const FleetGridOptions& grid) {
+  std::vector<scenario::ScenarioSpec> specs = scenario::replicate_seeds(
+      expand_campaign(campaign), grid.repeats == 0 ? 1 : grid.repeats);
+  if (grid.max_cycles != 0) {
+    for (scenario::ScenarioSpec& spec : specs) {
+      spec.max_cycles = grid.max_cycles;
+    }
+  }
+  return specs;
+}
+
+// --- wire messages ----------------------------------------------------------
+
+namespace fleet_msg {
+
+Json hello(const std::string& worker) {
+  Json j = Json::object();
+  j.set("type", Json::string("hello"));
+  j.set("worker", Json::string(worker));
+  j.set("protocol", Json::number(kFleetProtocolVersion));
+  return j;
+}
+
+Json request() {
+  Json j = Json::object();
+  j.set("type", Json::string("request"));
+  return j;
+}
+
+Json heartbeat(std::size_t shard, std::uint64_t generation,
+               const ProgressRecord& progress) {
+  Json j = Json::object();
+  j.set("type", Json::string("heartbeat"));
+  j.set("shard", Json::number(static_cast<std::uint64_t>(shard)));
+  j.set("generation", Json::number(generation));
+  j.set("progress", progress_record_to_json(progress));
+  return j;
+}
+
+Json shard_done(std::size_t shard, std::uint64_t generation,
+                const ProgressRecord& progress, const ShardResultFile& file) {
+  Json j = Json::object();
+  j.set("type", Json::string("shard_done"));
+  j.set("shard", Json::number(static_cast<std::uint64_t>(shard)));
+  j.set("generation", Json::number(generation));
+  j.set("progress", progress_record_to_json(progress));
+  j.set("file", shard_file_to_json(file));
+  return j;
+}
+
+std::string type_of(const Json& message) {
+  return message.is_object() ? string_field(message, "type") : std::string();
+}
+
+}  // namespace fleet_msg
+
+// --- lease state machine ----------------------------------------------------
+
+void LeaseManager::reset(std::size_t shards, std::uint64_t lease_timeout_ms) {
+  shards_.assign(shards, Shard{});
+  lease_timeout_ms_ = lease_timeout_ms == 0 ? 1 : lease_timeout_ms;
+  regrants_ = 0;
+}
+
+std::optional<LeaseGrant> LeaseManager::acquire(const std::string& worker,
+                                                std::uint64_t now_ms) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = shards_[i];
+    if (s.state != ShardState::kPending) continue;
+    LeaseGrant grant;
+    grant.shard = i;
+    grant.generation = ++s.generation;
+    grant.reassigned = s.granted_before;
+    if (s.granted_before) ++regrants_;
+    s.state = ShardState::kLeased;
+    s.worker = worker;
+    s.deadline_ms = now_ms + lease_timeout_ms_;
+    s.granted_before = true;
+    return grant;
+  }
+  return std::nullopt;
+}
+
+bool LeaseManager::heartbeat(const std::string& worker, std::size_t shard,
+                             std::uint64_t generation, std::uint64_t now_ms) {
+  if (shard >= shards_.size()) return false;
+  Shard& s = shards_[shard];
+  if (s.state != ShardState::kLeased || s.worker != worker ||
+      s.generation != generation) {
+    return false;
+  }
+  s.deadline_ms = now_ms + lease_timeout_ms_;
+  return true;
+}
+
+LeaseManager::Completion LeaseManager::probe(const std::string& worker,
+                                             std::size_t shard,
+                                             std::uint64_t generation) const {
+  if (shard >= shards_.size()) return Completion::kStale;
+  const Shard& s = shards_[shard];
+  if (s.state == ShardState::kDone) return Completion::kDuplicate;
+  if (s.state != ShardState::kLeased || s.worker != worker ||
+      s.generation != generation) {
+    return Completion::kStale;
+  }
+  return Completion::kAccepted;
+}
+
+LeaseManager::Completion LeaseManager::complete(const std::string& worker,
+                                                std::size_t shard,
+                                                std::uint64_t generation) {
+  const Completion verdict = probe(worker, shard, generation);
+  if (verdict == Completion::kAccepted) {
+    Shard& s = shards_[shard];
+    s.state = ShardState::kDone;
+    s.worker.clear();
+  }
+  return verdict;
+}
+
+std::vector<std::size_t> LeaseManager::expire(std::uint64_t now_ms) {
+  std::vector<std::size_t> freed;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = shards_[i];
+    if (s.state != ShardState::kLeased || now_ms < s.deadline_ms) continue;
+    s.state = ShardState::kPending;
+    s.worker.clear();
+    freed.push_back(i);
+  }
+  return freed;
+}
+
+std::vector<std::size_t> LeaseManager::release_worker(
+    const std::string& worker) {
+  std::vector<std::size_t> freed;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = shards_[i];
+    if (s.state != ShardState::kLeased || s.worker != worker) continue;
+    s.state = ShardState::kPending;
+    s.worker.clear();
+    freed.push_back(i);
+  }
+  return freed;
+}
+
+bool LeaseManager::all_done() const noexcept {
+  return done_count() == shards_.size();
+}
+
+std::size_t LeaseManager::pending_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(shards_.begin(), shards_.end(), [](const Shard& s) {
+        return s.state == ShardState::kPending;
+      }));
+}
+
+std::size_t LeaseManager::leased_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(shards_.begin(), shards_.end(), [](const Shard& s) {
+        return s.state == ShardState::kLeased;
+      }));
+}
+
+std::size_t LeaseManager::done_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(shards_.begin(), shards_.end(), [](const Shard& s) {
+        return s.state == ShardState::kDone;
+      }));
+}
+
+LeaseManager::ShardState LeaseManager::state(std::size_t shard) const {
+  return shards_.at(shard).state;
+}
+
+const std::string& LeaseManager::holder(std::size_t shard) const {
+  return shards_.at(shard).worker;
+}
+
+std::uint64_t LeaseManager::generation(std::size_t shard) const {
+  return shards_.at(shard).generation;
+}
+
+std::optional<std::uint64_t> LeaseManager::next_deadline_ms() const {
+  std::optional<std::uint64_t> next;
+  for (const Shard& s : shards_) {
+    if (s.state != ShardState::kLeased) continue;
+    if (!next.has_value() || s.deadline_ms < *next) next = s.deadline_ms;
+  }
+  return next;
+}
+
+// --- server -----------------------------------------------------------------
+
+FleetServer::FleetServer(net::Transport& transport,
+                         const CampaignSpec& campaign,
+                         FleetServerOptions options)
+    : transport_(transport),
+      options_(std::move(options)),
+      campaign_name_(campaign.name) {
+  if (options_.shards == 0) options_.shards = 1;
+  specs_ = expand_fleet_grid(campaign, options_.grid);
+  grid_fp_ = grid_fingerprint(specs_);
+  leases_.reset(options_.shards, options_.lease_timeout_ms);
+  shard_paths_.assign(options_.shards, std::string());
+  std::error_code ec;
+  std::filesystem::create_directories(options_.out_dir, ec);
+
+  Json msg = Json::object();
+  msg.set("type", Json::string("campaign"));
+  msg.set("name", Json::string(campaign_name_));
+  msg.set("campaign", campaign_to_json(campaign));
+  msg.set("grid", fleet_grid_to_json(options_.grid));
+  msg.set("shards", Json::number(static_cast<std::uint64_t>(options_.shards)));
+  msg.set("grid_fingerprint", Json::number(grid_fp_));
+  msg.set("heartbeat_ms", Json::number(options_.heartbeat_ms));
+  msg.set("lease_timeout_ms", Json::number(options_.lease_timeout_ms));
+  campaign_msg_ = std::move(msg);
+}
+
+FleetServer::~FleetServer() = default;
+
+void FleetServer::log_event(const char* fmt, ...) {
+  if (options_.quiet) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+bool FleetServer::step(std::uint64_t max_wait_ms, std::string* error) {
+  if (finished_) return true;
+  std::uint64_t wait = max_wait_ms;
+  const std::uint64_t now = transport_.now_ms();
+  if (const std::optional<std::uint64_t> deadline = leases_.next_deadline_ms();
+      deadline.has_value()) {
+    wait = std::min(wait, *deadline > now ? *deadline - now : 0);
+  }
+  std::vector<net::TransportEvent> events;
+  if (!transport_.poll(wait, events, error)) return false;
+  std::string step_error;
+  for (const net::TransportEvent& event : events) {
+    handle_event(event, &step_error);
+    if (!step_error.empty()) return fail(error, step_error);
+  }
+  for (const std::size_t shard : leases_.expire(transport_.now_ms())) {
+    std::fprintf(stderr,
+                 "fleet: lease on shard %zu expired (no heartbeat for "
+                 "%llu ms); returning it to the pending pool\n",
+                 shard,
+                 static_cast<unsigned long long>(options_.lease_timeout_ms));
+  }
+  grant_to_waiting();
+  if (!finished_ && leases_.all_done()) return finalize(error);
+  return true;
+}
+
+bool FleetServer::run(std::string* error) {
+  while (!finished_) {
+    if (!step(250, error)) return false;
+  }
+  // Linger briefly so queued `done` frames reach workers that have not yet
+  // hung up; workers exit on `done`, which shows up here as kClose.
+  for (int i = 0; i < 40 && !peers_.empty(); ++i) {
+    std::vector<net::TransportEvent> events;
+    std::string drain_error;
+    if (!transport_.poll(50, events, &drain_error)) break;
+    for (const net::TransportEvent& event : events) {
+      if (event.kind == net::TransportEvent::Kind::kClose) {
+        peers_.erase(event.conn);
+      }
+    }
+  }
+  return true;
+}
+
+void FleetServer::handle_event(const net::TransportEvent& event,
+                               std::string* error) {
+  switch (event.kind) {
+    case net::TransportEvent::Kind::kOpen:
+      peers_.emplace(event.conn, Peer{});
+      break;
+    case net::TransportEvent::Kind::kClose:
+      drop_peer(event.conn, event.detail);
+      break;
+    case net::TransportEvent::Kind::kMessage:
+      handle_message(event.conn, event.message, error);
+      break;
+  }
+}
+
+void FleetServer::handle_message(net::ConnId conn, const Json& message,
+                                 std::string* error) {
+  const auto peer = peers_.find(conn);
+  if (peer == peers_.end()) return;  // raced with a close
+  const std::string type = fleet_msg::type_of(message);
+  if (type == "hello") {
+    handle_hello(conn, message);
+    return;
+  }
+  if (peer->second.worker.empty()) {
+    // Everything else requires an identity first.
+    Json reply = Json::object();
+    reply.set("type", Json::string("error"));
+    reply.set("message", Json::string("hello required before \"" + type +
+                                      "\" (fleet protocol violation)"));
+    transport_.send(conn, reply);
+    transport_.close_conn(conn);
+    return;
+  }
+  if (type == "request") {
+    handle_request(conn);
+  } else if (type == "heartbeat") {
+    handle_heartbeat(conn, message);
+  } else if (type == "shard_done") {
+    handle_shard_done(conn, message, error);
+  } else {
+    Json reply = Json::object();
+    reply.set("type", Json::string("error"));
+    reply.set("message",
+              Json::string("unknown fleet message type \"" + type + "\""));
+    transport_.send(conn, reply);
+    transport_.close_conn(conn);
+  }
+}
+
+void FleetServer::handle_hello(net::ConnId conn, const Json& message) {
+  const std::string worker = string_field(message, "worker");
+  std::uint64_t protocol = 0;
+  if (worker.empty() || !u64_field(message, "protocol", protocol)) {
+    Json reply = Json::object();
+    reply.set("type", Json::string("error"));
+    reply.set("message", Json::string("malformed hello"));
+    transport_.send(conn, reply);
+    transport_.close_conn(conn);
+    return;
+  }
+  if (protocol != kFleetProtocolVersion) {
+    Json reply = Json::object();
+    reply.set("type", Json::string("error"));
+    reply.set("message",
+              Json::string("fleet protocol mismatch: server speaks " +
+                           std::to_string(kFleetProtocolVersion) +
+                           ", worker " + worker + " speaks " +
+                           std::to_string(protocol)));
+    transport_.send(conn, reply);
+    transport_.close_conn(conn);
+    return;
+  }
+  // A worker id re-appearing on a fresh connection is a reconnect; the old
+  // connection is dead even if its close has not surfaced yet. Retire it
+  // without releasing the worker's leases — the same identity continues
+  // them (heartbeats over the new connection keep them alive).
+  const auto existing = worker_conns_.find(worker);
+  if (existing != worker_conns_.end() && existing->second != conn) {
+    transport_.close_conn(existing->second);
+    peers_.erase(existing->second);
+  }
+  worker_conns_[worker] = conn;
+  peers_[conn].worker = worker;
+  log_event("fleet: worker %s connected", worker.c_str());
+  transport_.send(conn, campaign_msg_);
+}
+
+void FleetServer::handle_request(net::ConnId conn) {
+  Peer& peer = peers_[conn];
+  if (leases_.all_done() || finished_) {
+    Json reply = Json::object();
+    reply.set("type", Json::string("done"));
+    transport_.send(conn, reply);
+    return;
+  }
+  const std::optional<LeaseGrant> grant =
+      leases_.acquire(peer.worker, transport_.now_ms());
+  if (!grant.has_value()) {
+    peer.waiting = true;
+    Json reply = Json::object();
+    reply.set("type", Json::string("wait"));
+    reply.set("poll_ms", Json::number(options_.heartbeat_ms));
+    transport_.send(conn, reply);
+    return;
+  }
+  peer.waiting = false;
+  if (grant->reassigned) {
+    std::fprintf(stderr,
+                 "fleet: shard %zu reassigned to worker %s "
+                 "(generation %llu); its checkpoint makes this a resume\n",
+                 grant->shard, peer.worker.c_str(),
+                 static_cast<unsigned long long>(grant->generation));
+  } else {
+    log_event("fleet: shard %zu granted to worker %s (generation %llu)",
+              grant->shard, peer.worker.c_str(),
+              static_cast<unsigned long long>(grant->generation));
+  }
+  Json reply = Json::object();
+  reply.set("type", Json::string("grant"));
+  reply.set("shard", Json::number(static_cast<std::uint64_t>(grant->shard)));
+  reply.set("generation", Json::number(grant->generation));
+  transport_.send(conn, reply);
+}
+
+void FleetServer::refuse(net::ConnId conn, std::size_t shard,
+                         const std::string& reason) {
+  Json reply = Json::object();
+  reply.set("type", Json::string("refuse"));
+  reply.set("shard", Json::number(static_cast<std::uint64_t>(shard)));
+  reply.set("reason", Json::string(reason));
+  reply.set("drop", Json::boolean(true));
+  transport_.send(conn, reply);
+}
+
+void FleetServer::handle_heartbeat(net::ConnId conn, const Json& message) {
+  Peer& peer = peers_[conn];
+  std::uint64_t shard = 0;
+  std::uint64_t generation = 0;
+  if (!u64_field(message, "shard", shard) ||
+      !u64_field(message, "generation", generation)) {
+    return;  // malformed heartbeat: ignore, the lease deadline will judge
+  }
+  if (!leases_.heartbeat(peer.worker, static_cast<std::size_t>(shard),
+                         generation, transport_.now_ms())) {
+    refuse(conn, static_cast<std::size_t>(shard),
+           "lease expired or reassigned; drop this shard and request new "
+           "work");
+    return;
+  }
+  if (!options_.write_progress) return;
+  const Json* progress = message.find("progress");
+  ProgressRecord record;
+  if (progress != nullptr && progress_record_from_json(*progress, record)) {
+    if (ProgressWriter* writer =
+            progress_writer(static_cast<std::size_t>(shard))) {
+      writer->append_record(record);
+    }
+  }
+}
+
+void FleetServer::handle_shard_done(net::ConnId conn, const Json& message,
+                                    std::string* error) {
+  Peer& peer = peers_[conn];
+  std::uint64_t shard = 0;
+  std::uint64_t generation = 0;
+  if (!u64_field(message, "shard", shard) ||
+      !u64_field(message, "generation", generation) ||
+      shard >= leases_.shard_count()) {
+    Json reply = Json::object();
+    reply.set("type", Json::string("error"));
+    reply.set("message", Json::string("malformed shard_done"));
+    transport_.send(conn, reply);
+    transport_.close_conn(conn);
+    return;
+  }
+  const LeaseManager::Completion verdict =
+      leases_.probe(peer.worker, static_cast<std::size_t>(shard), generation);
+  if (verdict != LeaseManager::Completion::kAccepted) {
+    refuse(conn, static_cast<std::size_t>(shard),
+           verdict == LeaseManager::Completion::kDuplicate
+               ? "shard already completed; drop this result"
+               : "lease expired or reassigned; drop this result");
+    return;
+  }
+  // Vet the payload before committing the lease: a worker whose grid
+  // drifted must not burn the shard.
+  const Json* file_json = message.find("file");
+  ShardResultFile file;
+  std::string payload_error;
+  bool valid =
+      file_json != nullptr &&
+      shard_file_from_json(*file_json, "worker " + peer.worker, file,
+                           &payload_error);
+  if (valid) {
+    if (file.campaign != campaign_name_ ||
+        file.shard != static_cast<std::size_t>(shard) ||
+        file.shards != options_.shards ||
+        file.jobs_total != specs_.size() || file.grid_fp != grid_fp_) {
+      valid = false;
+      payload_error = "worker " + peer.worker +
+                      ": shard_done payload identity mismatch (campaign, "
+                      "geometry, or grid fingerprint)";
+    }
+  }
+  if (!valid) {
+    std::fprintf(stderr, "fleet: rejecting result for shard %llu: %s\n",
+                 static_cast<unsigned long long>(shard),
+                 payload_error.c_str());
+    Json reply = Json::object();
+    reply.set("type", Json::string("error"));
+    reply.set("message", Json::string(payload_error));
+    transport_.send(conn, reply);
+    transport_.close_conn(conn);
+    // The shard stays leased; its deadline reassigns it.
+    return;
+  }
+  leases_.complete(peer.worker, static_cast<std::size_t>(shard), generation);
+  ProgressRecord final_progress;
+  const Json* progress = message.find("progress");
+  const bool have_progress =
+      progress != nullptr && progress_record_from_json(*progress,
+                                                       final_progress);
+  if (!accept_result(peer.worker, std::move(file),
+                     have_progress ? final_progress : ProgressRecord{},
+                     error)) {
+    return;  // fatal: error set (disk full etc.)
+  }
+}
+
+bool FleetServer::accept_result(const std::string& worker,
+                                ShardResultFile file,
+                                const ProgressRecord& final_progress,
+                                std::string* error) {
+  const std::size_t shard = file.shard;
+  const std::string path =
+      (std::filesystem::path(options_.out_dir) /
+       shard_file_name(campaign_name_, shard, options_.shards))
+          .string();
+  if (!write_shard_file(path, file, error)) return false;
+  shard_paths_[shard] = path;
+  if (options_.write_progress) {
+    if (ProgressWriter* writer = progress_writer(shard)) {
+      ProgressRecord record = final_progress;
+      record.campaign = campaign_name_;
+      record.shard = shard;
+      record.shards = options_.shards;
+      record.finished = true;
+      writer->append_record(record);
+    }
+    progress_.erase(shard);  // closes (flushes) the sidecar
+  }
+  log_event("fleet: shard %zu completed by worker %s (%zu result(s)) -> %s",
+            shard, worker.c_str(), file.results.size(), path.c_str());
+  return true;
+}
+
+void FleetServer::drop_peer(net::ConnId conn, const std::string& reason) {
+  const auto it = peers_.find(conn);
+  if (it == peers_.end()) return;
+  const std::string worker = it->second.worker;
+  peers_.erase(it);
+  if (worker.empty()) return;
+  const auto mapped = worker_conns_.find(worker);
+  if (mapped == worker_conns_.end() || mapped->second != conn) return;
+  worker_conns_.erase(mapped);
+  for (const std::size_t shard : leases_.release_worker(worker)) {
+    std::fprintf(stderr,
+                 "fleet: worker %s disconnected (%s); shard %zu returned to "
+                 "the pending pool\n",
+                 worker.c_str(), reason.empty() ? "closed" : reason.c_str(),
+                 shard);
+  }
+  grant_to_waiting();
+}
+
+void FleetServer::grant_to_waiting() {
+  if (finished_) return;
+  for (auto& [conn, peer] : peers_) {
+    if (!peer.waiting || peer.worker.empty()) continue;
+    if (leases_.pending_count() == 0) return;
+    handle_request(conn);
+  }
+}
+
+ProgressWriter* FleetServer::progress_writer(std::size_t shard) {
+  const auto it = progress_.find(shard);
+  if (it != progress_.end()) return it->second.get();
+  auto writer = std::make_unique<ProgressWriter>();
+  const std::string path =
+      (std::filesystem::path(options_.out_dir) /
+       progress_file_name(campaign_name_, shard, options_.shards))
+          .string();
+  if (!writer->open(path, campaign_name_, shard, options_.shards,
+                    /*min_interval_ms=*/0)) {
+    return nullptr;  // telemetry is best-effort; results are unaffected
+  }
+  return progress_.emplace(shard, std::move(writer)).first->second.get();
+}
+
+bool FleetServer::finalize(std::string* error) {
+  std::string merged_name;
+  if (!merge_shard_files(shard_paths_, &merged_name, &results_, error)) {
+    return false;
+  }
+  finished_ = true;
+  for (auto& [conn, peer] : peers_) {
+    Json reply = Json::object();
+    reply.set("type", Json::string("done"));
+    transport_.send(conn, reply);
+  }
+  log_event("fleet: campaign %s complete — %zu job(s) across %zu shard(s), "
+            "%zu reassignment(s)",
+            campaign_name_.c_str(), results_.size(), options_.shards,
+            leases_.regrants());
+  return true;
+}
+
+// --- worker -----------------------------------------------------------------
+
+namespace {
+
+// Shared between the worker's main thread (run_shard completion callback)
+// and its heartbeat thread.
+struct HeartbeatShared {
+  std::mutex mutex;
+  ProgressSampler sampler;
+  std::size_t done = 0;
+  std::size_t total = 0;
+  bool have_baseline = false;
+};
+
+std::string default_worker_id() {
+#if defined(__unix__) || defined(__APPLE__)
+  return "worker-" + std::to_string(static_cast<long>(::getpid()));
+#else
+  return "worker-local";
+#endif
+}
+
+}  // namespace
+
+bool run_fleet_worker(const FleetWorkerOptions& options,
+                      FleetWorkerStats* stats, std::string* error) {
+  FleetWorkerStats local_stats;
+  FleetWorkerStats& st = stats != nullptr ? *stats : local_stats;
+  st = FleetWorkerStats{};
+
+  const std::string worker_id =
+      options.worker_id.empty() ? default_worker_id() : options.worker_id;
+  const std::string where =
+      options.host + ":" + std::to_string(options.port);
+
+  std::unique_ptr<net::TcpClientTransport> conn;
+  std::size_t reconnects_left = options.max_reconnects;
+
+  // Campaign state, learned from the first campaign message and pinned for
+  // the life of the worker (reconnects verify it did not change).
+  bool have_campaign = false;
+  bool fatal = false;  // campaign-level failure: do not retry
+  std::string campaign_name;
+  FleetGridOptions grid;
+  std::vector<scenario::ScenarioSpec> specs;
+  std::uint64_t grid_fp = 0;
+  std::size_t shards = 0;
+  std::uint64_t heartbeat_ms = 2'000;
+
+  const auto load_campaign_msg = [&](const Json& msg,
+                                     std::string* err) -> bool {
+    std::uint64_t announced_fp = 0;
+    std::uint64_t shards_u = 0;
+    std::uint64_t hb = 0;
+    const Json* campaign_json = msg.find("campaign");
+    const Json* grid_json = msg.find("grid");
+    if (campaign_json == nullptr || grid_json == nullptr ||
+        !u64_field(msg, "grid_fingerprint", announced_fp) ||
+        !u64_field(msg, "shards", shards_u) ||
+        !u64_field(msg, "heartbeat_ms", hb) || shards_u == 0) {
+      return fail(err, "malformed campaign message from server");
+    }
+    if (have_campaign) {
+      if (announced_fp != grid_fp ||
+          static_cast<std::size_t>(shards_u) != shards) {
+        fatal = true;
+        return fail(err, "server campaign changed across a reconnect "
+                         "(grid fingerprint or shard count drifted)");
+      }
+      return true;
+    }
+    FleetGridOptions g;
+    CampaignSpec spec;
+    if (!fleet_grid_from_json(*grid_json, g, err) ||
+        !campaign_from_json(*campaign_json, spec, err)) {
+      fatal = true;
+      return false;
+    }
+    std::vector<scenario::ScenarioSpec> expanded = expand_fleet_grid(spec, g);
+    const std::uint64_t local_fp = grid_fingerprint(expanded);
+    if (local_fp != announced_fp) {
+      fatal = true;
+      return fail(err, "expanded grid fingerprint " + fp_hex(local_fp) +
+                           " disagrees with the server's " +
+                           fp_hex(announced_fp) +
+                           " — server and worker have drifted (binary or "
+                           "campaign version skew); refusing to run");
+    }
+    campaign_name = spec.name;
+    grid = g;
+    specs = std::move(expanded);
+    grid_fp = local_fp;
+    shards = static_cast<std::size_t>(shards_u);
+    heartbeat_ms = std::max<std::uint64_t>(hb, 100);
+    have_campaign = true;
+    if (!options.quiet) {
+      std::fprintf(stderr,
+                   "fleet worker %s: campaign %s — %zu job(s), %zu "
+                   "shard(s), grid %s\n",
+                   worker_id.c_str(), campaign_name.c_str(), specs.size(),
+                   shards, fp_hex(grid_fp).c_str());
+    }
+    return true;
+  };
+
+  // Connect + hello + campaign handshake; one attempt.
+  const auto try_attach = [&](std::string* err) -> bool {
+    conn = std::make_unique<net::TcpClientTransport>();
+    if (!conn->connect(options.host, options.port, err)) return false;
+    if (!conn->send(net::kServerConn, fleet_msg::hello(worker_id))) {
+      return fail(err, "hello send failed");
+    }
+    const std::uint64_t deadline = conn->now_ms() + 15'000;
+    while (conn->now_ms() < deadline) {
+      std::vector<net::TransportEvent> events;
+      if (!conn->poll(200, events, err)) return false;
+      for (const net::TransportEvent& event : events) {
+        if (event.kind == net::TransportEvent::Kind::kClose) {
+          return fail(err, event.detail.empty()
+                               ? "server closed the connection during the "
+                                 "handshake"
+                               : event.detail);
+        }
+        if (event.kind != net::TransportEvent::Kind::kMessage) continue;
+        const std::string type = fleet_msg::type_of(event.message);
+        if (type == "error") {
+          fatal = true;
+          return fail(err, "server: " + string_field(event.message,
+                                                     "message"));
+        }
+        if (type == "campaign") return load_campaign_msg(event.message, err);
+      }
+    }
+    return fail(err, "timed out waiting for the campaign message");
+  };
+
+  // Handshake with bounded exponential backoff across the reconnect budget.
+  const auto attach = [&](std::string* err) -> bool {
+    std::uint64_t backoff = std::max<std::uint64_t>(options.backoff_ms, 1);
+    const std::uint64_t backoff_cap =
+        std::max(options.backoff_max_ms, options.backoff_ms);
+    for (;;) {
+      std::string attempt_error;
+      if (try_attach(&attempt_error)) return true;
+      if (fatal || reconnects_left == 0) {
+        return fail(err, "fleet worker " + worker_id + ": " + where + ": " +
+                             attempt_error +
+                             (fatal ? "" : " (reconnect budget exhausted)"));
+      }
+      --reconnects_left;
+      ++st.reconnects;
+      if (!options.quiet) {
+        std::fprintf(stderr,
+                     "fleet worker %s: %s; retrying in %llu ms (%zu "
+                     "attempt(s) left)\n",
+                     worker_id.c_str(), attempt_error.c_str(),
+                     static_cast<unsigned long long>(backoff),
+                     reconnects_left);
+      }
+      sleep_ms(backoff);
+      backoff = std::min(backoff * 2, backoff_cap);
+    }
+  };
+
+  // Runs one granted shard and submits the result. False only on fatal
+  // (unrecoverable) failure with `err` set.
+  const auto run_granted = [&](const LeaseGrant& grant,
+                               std::string* err) -> bool {
+    std::error_code ec;
+    std::filesystem::create_directories(options.out_dir, ec);
+    ShardRunOptions run;
+    run.shard = grant.shard;
+    run.shards = shards;
+    run.threads = options.threads == 0 ? 1 : options.threads;
+    run.campaign = campaign_name;
+    run.collect_metrics = grid.collect_metrics;
+    run.chaos = options.chaos;
+    if (options.checkpoint) {
+      run.checkpoint_path =
+          (std::filesystem::path(options.out_dir) /
+           checkpoint_file_name(campaign_name, grant.shard, shards))
+              .string();
+    }
+
+    auto shared = std::make_shared<HeartbeatShared>();
+    shared->sampler.begin(campaign_name, grant.shard, shards);
+    run.on_job_done = [shared](const scenario::JobResult&, std::size_t done,
+                               std::size_t total) {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      if (!shared->have_baseline) {
+        // First completion: everything before it was checkpoint-resumed.
+        shared->have_baseline = true;
+        shared->sampler.set_baseline(done == 0 ? 0 : done - 1);
+      }
+      shared->done = done;
+      shared->total = total;
+    };
+
+    std::atomic<bool> stop{false};
+    net::TcpClientTransport* wire = conn.get();
+    const std::uint64_t beat_every = heartbeat_ms;
+    std::thread beat([&stop, shared, wire, grant, beat_every] {
+      std::uint64_t slept = 0;
+      for (;;) {
+        sleep_ms(50);
+        if (stop.load(std::memory_order_relaxed)) return;
+        slept += 50;
+        if (slept < beat_every) continue;
+        slept = 0;
+        ProgressRecord record;
+        {
+          std::lock_guard<std::mutex> lock(shared->mutex);
+          record = shared->sampler.sample(shared->done, shared->total,
+                                          /*finished=*/false);
+        }
+        // Best-effort: a dead connection is discovered (and repaired) by
+        // the main thread once the shard finishes.
+        wire->send(net::kServerConn,
+                   fleet_msg::heartbeat(grant.shard, grant.generation,
+                                        record));
+      }
+    });
+    const ShardRunOutcome outcome = run_shard(specs, run);
+    stop.store(true, std::memory_order_relaxed);
+    beat.join();
+    if (!outcome.checkpoint_ok) {
+      std::fprintf(stderr,
+                   "fleet worker %s: checkpoint write failed (%s); shard "
+                   "%zu results are still submitted\n",
+                   worker_id.c_str(), run.checkpoint_path.c_str(),
+                   grant.shard);
+    }
+
+    const ShardResultFile file = to_shard_file(campaign_name, outcome,
+                                               grant.shard, shards, grid_fp);
+    ProgressRecord final_record;
+    {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      final_record = shared->sampler.sample(outcome.indices.size(),
+                                            outcome.indices.size(),
+                                            /*finished=*/true);
+    }
+    const Json done_msg = fleet_msg::shard_done(grant.shard, grant.generation,
+                                                final_record, file);
+    if (!conn->send(net::kServerConn, done_msg)) {
+      // The connection died while we computed. Re-attach and resubmit: a
+      // quick reconnect beats the lease deadline and the result is
+      // accepted; a slow one gets a refuse and the shard re-runs
+      // elsewhere (from our checkpoint).
+      if (!attach(err)) return false;
+      if (!conn->send(net::kServerConn, done_msg)) {
+        return fail(err, "fleet worker " + worker_id +
+                             ": resubmitting shard " +
+                             std::to_string(grant.shard) +
+                             " failed after reconnect");
+      }
+    }
+    ++st.shards_completed;
+    if (!options.quiet) {
+      std::fprintf(stderr,
+                   "fleet worker %s: shard %zu submitted (%zu resumed, %zu "
+                   "executed)\n",
+                   worker_id.c_str(), grant.shard, outcome.resumed,
+                   outcome.executed);
+    }
+    return true;
+  };
+
+  if (!attach(error)) return false;
+
+  bool need_request = true;
+  std::uint64_t last_request_ms = 0;
+  for (;;) {
+    if (need_request) {
+      if (!conn->send(net::kServerConn, fleet_msg::request())) {
+        if (!attach(error)) return false;
+        continue;  // retry the request on the fresh connection
+      }
+      need_request = false;
+      last_request_ms = conn->now_ms();
+    }
+    std::vector<net::TransportEvent> events;
+    std::string poll_error;
+    if (!conn->poll(200, events, &poll_error)) {
+      if (!attach(error)) return false;
+      need_request = true;
+      continue;
+    }
+    bool disconnected = false;
+    for (const net::TransportEvent& event : events) {
+      if (event.kind == net::TransportEvent::Kind::kClose) {
+        disconnected = true;
+        break;
+      }
+      if (event.kind != net::TransportEvent::Kind::kMessage) continue;
+      const std::string type = fleet_msg::type_of(event.message);
+      if (type == "grant") {
+        std::uint64_t shard_u = 0;
+        std::uint64_t generation = 0;
+        if (!u64_field(event.message, "shard", shard_u) ||
+            !u64_field(event.message, "generation", generation) ||
+            shard_u >= shards) {
+          return fail(error, "fleet worker " + worker_id +
+                                 ": malformed grant from server");
+        }
+        LeaseGrant grant;
+        grant.shard = static_cast<std::size_t>(shard_u);
+        grant.generation = generation;
+        if (!run_granted(grant, error)) return false;
+        need_request = true;
+      } else if (type == "refuse") {
+        ++st.shards_refused;
+        if (!options.quiet) {
+          std::uint64_t shard_u = 0;
+          (void)u64_field(event.message, "shard", shard_u);
+          std::fprintf(stderr,
+                       "fleet worker %s: dropping shard %llu (%s)\n",
+                       worker_id.c_str(),
+                       static_cast<unsigned long long>(shard_u),
+                       string_field(event.message, "reason").c_str());
+        }
+      } else if (type == "done") {
+        if (!options.quiet) {
+          std::fprintf(stderr,
+                       "fleet worker %s: campaign complete (%zu shard(s) "
+                       "submitted, %zu refused, %zu reconnect(s))\n",
+                       worker_id.c_str(), st.shards_completed,
+                       st.shards_refused, st.reconnects);
+        }
+        return true;
+      } else if (type == "error") {
+        return fail(error, "fleet worker " + worker_id + ": server: " +
+                               string_field(event.message, "message"));
+      }
+      // "wait" and duplicate "campaign" messages need no action: the
+      // server pushes a grant when a shard frees up.
+    }
+    if (disconnected) {
+      if (!attach(error)) return false;
+      need_request = true;
+      continue;
+    }
+    // Belt and braces for a lost wait/grant: quietly re-request after a
+    // few silent heartbeat intervals.
+    if (!need_request &&
+        conn->now_ms() - last_request_ms > 4 * heartbeat_ms) {
+      need_request = true;
+    }
+  }
+}
+
+}  // namespace secbus::campaign

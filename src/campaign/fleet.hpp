@@ -1,0 +1,316 @@
+// Fault-tolerant campaign fleet: shard leases, heartbeats, reassignment.
+//
+// `secbus_cli campaign serve` runs a FleetServer: it owns the expanded
+// campaign grid and hands out *shard leases* to `campaign worker`
+// processes over TCP (net/transport.hpp). Each lease carries a generation
+// counter; the worker heartbeats (shard, generation, ProgressRecord) while
+// it runs, and the server mirrors those heartbeats into ordinary progress
+// sidecars so `campaign status` renders a remote fleet exactly like a
+// local --spawn run. A lease whose heartbeats stop for `lease_timeout_ms`
+// expires: the shard returns to the pending pool and is granted to the
+// next live worker. Because shard checkpoints are crash-safe JSONL
+// (shard.hpp), reassignment is a *resume* — the replacement worker skips
+// every job the dead worker durably recorded — and the merged fleet
+// output stays byte-identical to a single-process `campaign run`.
+//
+// Generations make reassignment safe against zombies: a worker that lost
+// its lease (crash-recovered, network-partitioned, or paused past the
+// timeout) presents a stale generation on its next heartbeat or
+// shard_done, gets a `refuse` with drop=true, discards the shard, and
+// asks for new work. Exactly one result per shard is ever accepted.
+//
+// Layering (top to bottom):
+//   * FleetServer / run_fleet_worker — protocol endpoints;
+//   * LeaseManager — the pure lease state machine (clock injected, no
+//     I/O), unit-tested over net/fake_transport.hpp;
+//   * fleet_msg — the wire vocabulary, shared by both endpoints and the
+//     protocol tests.
+//
+// Wire protocol (length-prefixed JSON frames, net/frame.hpp), version 1:
+//   worker -> server: hello{worker,protocol} request{}
+//                     heartbeat{shard,generation,progress}
+//                     shard_done{shard,generation,progress,file}
+//   server -> worker: campaign{name,campaign,grid,shards,grid_fingerprint,
+//                              heartbeat_ms,lease_timeout_ms}
+//                     grant{shard,generation} wait{poll_ms}
+//                     refuse{shard,reason,drop} done{} error{message}
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/chaos.hpp"
+#include "campaign/shard.hpp"
+#include "campaign/telemetry.hpp"
+#include "net/transport.hpp"
+
+namespace secbus::campaign {
+
+inline constexpr std::uint64_t kFleetProtocolVersion = 1;
+
+// --- grid shaping -----------------------------------------------------------
+
+// The CLI batch options that change what a campaign grid *means* (not just
+// how it is executed). The server announces them in the campaign message
+// and every worker applies them identically before fingerprint-checking
+// the expanded grid — so `--repeats`/`--max-cycles` drift between fleet
+// participants is caught up front, not discovered at merge time.
+struct FleetGridOptions {
+  std::uint64_t repeats = 1;
+  std::uint64_t max_cycles = 0;  // 0 = keep each spec's cap
+  bool collect_metrics = false;
+};
+
+[[nodiscard]] util::Json fleet_grid_to_json(const FleetGridOptions& grid);
+bool fleet_grid_from_json(const util::Json& j, FleetGridOptions& out,
+                          std::string* error);
+
+// expand_campaign + seed replication + cycle-cap override, in the exact
+// order `campaign run` applies them. Single source of truth for both fleet
+// endpoints.
+[[nodiscard]] std::vector<scenario::ScenarioSpec> expand_fleet_grid(
+    const CampaignSpec& campaign, const FleetGridOptions& grid);
+
+// --- wire messages ----------------------------------------------------------
+
+namespace fleet_msg {
+
+[[nodiscard]] util::Json hello(const std::string& worker);
+[[nodiscard]] util::Json request();
+[[nodiscard]] util::Json heartbeat(std::size_t shard, std::uint64_t generation,
+                                   const ProgressRecord& progress);
+[[nodiscard]] util::Json shard_done(std::size_t shard,
+                                    std::uint64_t generation,
+                                    const ProgressRecord& progress,
+                                    const ShardResultFile& file);
+
+// Message "type" field, or "" for a non-object / untyped message.
+[[nodiscard]] std::string type_of(const util::Json& message);
+
+}  // namespace fleet_msg
+
+// --- lease state machine ----------------------------------------------------
+
+struct LeaseGrant {
+  std::size_t shard = 0;
+  std::uint64_t generation = 0;
+  // True when this shard had been granted before (its previous lease
+  // expired or was released) — i.e. this grant is a reassignment.
+  bool reassigned = false;
+};
+
+// Pure shard-lease bookkeeping: who holds which shard, under which
+// generation, and until when. No I/O, no clock of its own — callers pass
+// `now_ms` (the transport's clock), which is what makes expiry exactly
+// testable over FakeTransport's manual clock.
+class LeaseManager {
+ public:
+  enum class ShardState : std::uint8_t { kPending, kLeased, kDone };
+  enum class Completion : std::uint8_t {
+    kAccepted,  // lease valid: shard is now done
+    kStale,     // wrong holder or generation: refuse, tell worker to drop
+    kDuplicate  // shard already done: refuse (harmless late duplicate)
+  };
+
+  void reset(std::size_t shards, std::uint64_t lease_timeout_ms);
+
+  // Grants the lowest pending shard to `worker`, bumping that shard's
+  // generation; nullopt when nothing is pending (all leased or done).
+  std::optional<LeaseGrant> acquire(const std::string& worker,
+                                    std::uint64_t now_ms);
+
+  // True extends the lease deadline to now + timeout. False means the
+  // lease is stale — expired-and-not-regranted, reassigned to someone
+  // else, or a generation from a previous grant.
+  bool heartbeat(const std::string& worker, std::size_t shard,
+                 std::uint64_t generation, std::uint64_t now_ms);
+
+  // Result delivery for a shard. Only the current (worker, generation)
+  // holder is accepted; everything else is refused so exactly one result
+  // per shard survives. probe() answers without mutating — the server
+  // uses it to vet an expensive shard_done payload before committing.
+  [[nodiscard]] Completion probe(const std::string& worker, std::size_t shard,
+                                 std::uint64_t generation) const;
+  Completion complete(const std::string& worker, std::size_t shard,
+                      std::uint64_t generation);
+
+  // Returns the shards whose lease deadline has passed, each moved back
+  // to pending (eligible for reassignment).
+  std::vector<std::size_t> expire(std::uint64_t now_ms);
+
+  // Frees every lease held by `worker` (orderly disconnect). Returns the
+  // freed shards.
+  std::vector<std::size_t> release_worker(const std::string& worker);
+
+  [[nodiscard]] bool all_done() const noexcept;
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t pending_count() const noexcept;
+  [[nodiscard]] std::size_t leased_count() const noexcept;
+  [[nodiscard]] std::size_t done_count() const noexcept;
+  [[nodiscard]] ShardState state(std::size_t shard) const;
+  [[nodiscard]] const std::string& holder(std::size_t shard) const;
+  [[nodiscard]] std::uint64_t generation(std::size_t shard) const;
+  // Grants beyond the first per shard — the fleet's reassignment count.
+  [[nodiscard]] std::size_t regrants() const noexcept { return regrants_; }
+  // Earliest live lease deadline; nullopt when nothing is leased. Drives
+  // the server's poll timeout so expiry is detected promptly.
+  [[nodiscard]] std::optional<std::uint64_t> next_deadline_ms() const;
+
+ private:
+  struct Shard {
+    ShardState state = ShardState::kPending;
+    std::string worker;
+    std::uint64_t generation = 0;
+    std::uint64_t deadline_ms = 0;
+    bool granted_before = false;
+  };
+  std::vector<Shard> shards_;
+  std::uint64_t lease_timeout_ms_ = 10'000;
+  std::size_t regrants_ = 0;
+};
+
+// --- server -----------------------------------------------------------------
+
+struct FleetServerOptions {
+  std::size_t shards = 4;
+  std::uint64_t lease_timeout_ms = 10'000;
+  std::uint64_t heartbeat_ms = 2'000;
+  // Shard result files land here; heartbeat payloads mirror into
+  // "<campaign>.shard-i-of-N.progress.jsonl" sidecars for `campaign
+  // status` (disable with write_progress = false).
+  std::string out_dir = "bench/out";
+  bool write_progress = true;
+  bool quiet = true;  // suppress per-event stdout lines (stderr warnings stay)
+  FleetGridOptions grid;
+};
+
+// The lease-granting endpoint. Transport-abstracted: production runs it
+// over TcpServerTransport, the state-machine tests over FakeTransport.
+class FleetServer {
+ public:
+  FleetServer(net::Transport& transport, const CampaignSpec& campaign,
+              FleetServerOptions options);
+  ~FleetServer();
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  // One poll-and-dispatch round: waits up to `max_wait_ms` for transport
+  // activity (shortened to the next lease deadline), handles every event,
+  // expires dead leases, pushes freed shards to waiting workers, and
+  // merges the shard files once the last one lands. False on
+  // unrecoverable failure (transport death, shard-file write/merge
+  // failure) with `error` set.
+  bool step(std::uint64_t max_wait_ms, std::string* error);
+
+  // step() until the campaign completes, then drain briefly so the final
+  // `done` messages flush to workers.
+  bool run(std::string* error);
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  // Valid once finished(): the full submission-order result vector —
+  // byte-identical to a single-process run — and the shard files merged.
+  [[nodiscard]] const std::vector<scenario::JobResult>& results() const {
+    return results_;
+  }
+  [[nodiscard]] const std::vector<std::string>& shard_files() const {
+    return shard_paths_;
+  }
+
+  [[nodiscard]] const std::vector<scenario::ScenarioSpec>& specs() const {
+    return specs_;
+  }
+  [[nodiscard]] std::uint64_t grid_fp() const noexcept { return grid_fp_; }
+  [[nodiscard]] const LeaseManager& leases() const { return leases_; }
+  [[nodiscard]] std::size_t reassignments() const noexcept {
+    return leases_.regrants();
+  }
+  [[nodiscard]] std::size_t connected_workers() const noexcept {
+    return peers_.size();
+  }
+
+ private:
+  struct Peer {
+    std::string worker;  // empty until hello
+    bool waiting = false;
+  };
+
+  void handle_event(const net::TransportEvent& event, std::string* error);
+  void handle_message(net::ConnId conn, const util::Json& message,
+                      std::string* error);
+  void handle_hello(net::ConnId conn, const util::Json& message);
+  void handle_request(net::ConnId conn);
+  void handle_heartbeat(net::ConnId conn, const util::Json& message);
+  void handle_shard_done(net::ConnId conn, const util::Json& message,
+                         std::string* error);
+  void drop_peer(net::ConnId conn, const std::string& reason);
+  void grant_to_waiting();
+  void refuse(net::ConnId conn, std::size_t shard, const std::string& reason);
+  bool accept_result(const std::string& worker, ShardResultFile file,
+                     const ProgressRecord& final_progress, std::string* error);
+  bool finalize(std::string* error);
+  ProgressWriter* progress_writer(std::size_t shard);
+  void log_event(const char* fmt, ...);
+
+  net::Transport& transport_;
+  FleetServerOptions options_;
+  std::string campaign_name_;
+  util::Json campaign_msg_;
+  std::vector<scenario::ScenarioSpec> specs_;
+  std::uint64_t grid_fp_ = 0;
+  LeaseManager leases_;
+  std::map<net::ConnId, Peer> peers_;
+  std::map<std::string, net::ConnId> worker_conns_;
+  std::map<std::size_t, std::unique_ptr<ProgressWriter>> progress_;
+  std::vector<std::string> shard_paths_;  // filled per accepted shard
+  std::vector<scenario::JobResult> results_;
+  bool finished_ = false;
+};
+
+// --- worker -----------------------------------------------------------------
+
+struct FleetWorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  // Identifies this worker in leases and logs; default "worker-<pid>".
+  std::string worker_id;
+  // Checkpoints land here as "<campaign>.shard-i-of-N.ckpt.jsonl". Point
+  // every worker of a local fleet at the *server's* out_dir and a
+  // reassigned shard resumes from the dead worker's checkpoint.
+  std::string out_dir = "bench/out";
+  unsigned threads = 1;
+  bool checkpoint = true;
+  // Reconnect budget after a lost connection (bounded exponential
+  // backoff). The initial connect gets the same budget, so a worker
+  // started moments before its server still attaches.
+  std::size_t max_reconnects = 5;
+  std::uint64_t backoff_ms = 500;
+  std::uint64_t backoff_max_ms = 5'000;
+  bool quiet = true;
+  // Fault injection (campaign/chaos.hpp): the worker _Exit()s mid-shard
+  // after kill_after checkpointed jobs. CLI wires SECBUS_CHAOS here.
+  ChaosOptions chaos;
+};
+
+struct FleetWorkerStats {
+  std::size_t shards_completed = 0;  // run to completion and submitted
+  std::size_t shards_refused = 0;    // refuse received: stale lease, dropped
+  std::size_t reconnects = 0;
+};
+
+// Connects to a fleet server and runs granted shards until the server
+// says `done`. Returns false (with `error`) when the reconnect budget is
+// exhausted, the campaign payload is invalid, or the expanded grid's
+// fingerprint disagrees with the server's (version drift).
+bool run_fleet_worker(const FleetWorkerOptions& options,
+                      FleetWorkerStats* stats, std::string* error);
+
+}  // namespace secbus::campaign

@@ -84,8 +84,7 @@ std::string checkpoint_file_name(const std::string& campaign,
   return shard_stem(campaign, shard, shards) + ".ckpt.jsonl";
 }
 
-bool write_shard_file(const std::string& path, const ShardResultFile& file,
-                      std::string* error) {
+Json shard_file_to_json(const ShardResultFile& file) {
   Json j = Json::object();
   j.set("campaign", Json::string(file.campaign));
   j.set("shard", Json::number(static_cast<std::uint64_t>(file.shard)));
@@ -98,29 +97,24 @@ bool write_shard_file(const std::string& path, const ShardResultFile& file,
     results.push(scenario::job_result_to_json(r));
   }
   j.set("results", std::move(results));
-  return util::write_file(path, j.dump(), error);
+  return j;
 }
 
-bool read_shard_file(const std::string& path, ShardResultFile& out,
-                     std::string* error) {
-  std::string text;
-  if (!util::read_file(path, text, error)) return false;
-  Json j;
-  std::string detail;
-  if (!Json::parse(text, j, &detail)) return fail(error, path + ": " + detail);
-  if (!j.is_object()) return fail(error, path + ": expected an object");
+bool shard_file_from_json(const Json& j, const std::string& context,
+                          ShardResultFile& out, std::string* error) {
+  if (!j.is_object()) return fail(error, context + ": expected an object");
 
   ShardResultFile file;
   const Json* campaign = j.find("campaign");
   if (campaign == nullptr || !campaign->is_string()) {
-    return fail(error, path + ": missing \"campaign\"");
+    return fail(error, context + ": missing \"campaign\"");
   }
   file.campaign = campaign->as_string();
   const auto u64_field = [&](const char* name, std::size_t& out_value) {
     const Json* v = j.find(name);
     std::uint64_t u = 0;
     if (v == nullptr || !v->to_u64(u)) {
-      return fail(error, path + ": missing u64 \"" + name + "\"");
+      return fail(error, context + ": missing u64 \"" + name + "\"");
     }
     out_value = static_cast<std::size_t>(u);
     return true;
@@ -130,19 +124,19 @@ bool read_shard_file(const std::string& path, ShardResultFile& out,
   if (!u64_field("jobs_total", file.jobs_total)) return false;
   const Json* fp = j.find("grid_fingerprint");
   if (fp == nullptr || !fp->to_u64(file.grid_fp)) {
-    return fail(error, path + ": missing u64 \"grid_fingerprint\"");
+    return fail(error, context + ": missing u64 \"grid_fingerprint\"");
   }
   if (file.shards == 0 || file.shard >= file.shards) {
-    return fail(error, path + ": shard index outside shard count");
+    return fail(error, context + ": shard index outside shard count");
   }
   // Magnitude sanity before anything is sized from these fields: a corrupt
   // header must produce a named error, not a bad_alloc.
   if (file.shards > 1024) {
-    return fail(error, path + ": implausible shard count " +
+    return fail(error, context + ": implausible shard count " +
                            std::to_string(file.shards));
   }
   if (file.jobs_total > kMaxCampaignJobs) {
-    return fail(error, path + ": jobs_total " +
+    return fail(error, context + ": jobs_total " +
                            std::to_string(file.jobs_total) +
                            " exceeds the " +
                            std::to_string(kMaxCampaignJobs) + "-job cap");
@@ -150,20 +144,35 @@ bool read_shard_file(const std::string& path, ShardResultFile& out,
 
   const Json* results = j.find("results");
   if (results == nullptr || !results->is_array()) {
-    return fail(error, path + ": missing \"results\" array");
+    return fail(error, context + ": missing \"results\" array");
   }
   file.results.reserve(results->items().size());
   for (std::size_t i = 0; i < results->items().size(); ++i) {
     scenario::JobResult r;
     std::string job_error;
     if (!scenario::job_result_from_json(results->items()[i], r, &job_error)) {
-      return fail(error, path + ": results[" + std::to_string(i) +
+      return fail(error, context + ": results[" + std::to_string(i) +
                              "]: " + job_error);
     }
     file.results.push_back(std::move(r));
   }
   out = std::move(file);
   return true;
+}
+
+bool write_shard_file(const std::string& path, const ShardResultFile& file,
+                      std::string* error) {
+  return util::write_file(path, shard_file_to_json(file).dump(), error);
+}
+
+bool read_shard_file(const std::string& path, ShardResultFile& out,
+                     std::string* error) {
+  std::string text;
+  if (!util::read_file(path, text, error)) return false;
+  Json j;
+  std::string detail;
+  if (!Json::parse(text, j, &detail)) return fail(error, path + ": " + detail);
+  return shard_file_from_json(j, path, out, error);
 }
 
 bool merge_shard_files(const std::vector<std::string>& paths,
@@ -347,7 +356,8 @@ ShardRunOutcome run_shard(const std::vector<scenario::ScenarioSpec>& specs,
   batch.hooks.collect_metrics = options.collect_metrics;
   const std::size_t resumed = outcome.resumed;
   const std::size_t total = outcome.indices.size();
-  if (checkpointing || telemetry || options.on_job_done) {
+  if (checkpointing || telemetry || options.on_job_done ||
+      options.chaos.enabled()) {
     batch.on_job_done = [&](const scenario::JobResult& r, std::size_t n,
                             std::size_t /*of*/) {
       if (checkpointing) {
@@ -355,6 +365,9 @@ ShardRunOutcome run_shard(const std::vector<scenario::ScenarioSpec>& specs,
       }
       if (telemetry) progress.update(resumed + n, total);
       if (options.on_job_done) options.on_job_done(r, resumed + n, total);
+      // After the checkpoint append: a chaos-killed worker dies having
+      // durably recorded exactly the jobs it completed.
+      chaos_maybe_die(options.chaos, n);
     };
   }
 
@@ -425,7 +438,8 @@ ShardPaths shard_paths(const SpawnOptions& options,
 bool run_one_shard(const std::string& campaign,
                    const std::vector<scenario::ScenarioSpec>& specs,
                    const SpawnOptions& options, std::size_t shard,
-                   std::uint64_t grid_fp, std::string* error) {
+                   std::uint64_t grid_fp, const ChaosOptions& chaos,
+                   std::string* error) {
   const ShardPaths paths = shard_paths(options, campaign, shard);
   ShardRunOptions run;
   run.shard = shard;
@@ -435,6 +449,7 @@ bool run_one_shard(const std::string& campaign,
   run.progress_path = paths.progress;
   run.campaign = campaign;
   run.collect_metrics = options.collect_metrics;
+  run.chaos = chaos;
   if (!options.quiet) {
     run.on_job_done = [shard](const scenario::JobResult&, std::size_t n,
                               std::size_t total) {
@@ -474,54 +489,97 @@ bool run_campaign_sharded_local(const std::string& campaign_name,
   }
 
 #if SECBUS_HAS_FORK
-  // Flush before forking so children don't re-emit inherited buffers on
-  // their own exit path.
-  std::fflush(nullptr);
-  std::vector<pid_t> children;
-  children.reserve(options.shards);
-  for (std::size_t s = 0; s < options.shards; ++s) {
-    const pid_t pid = fork();
-    if (pid < 0) {
-      for (const pid_t child : children) {
-        int ignored = 0;
-        waitpid(child, &ignored, 0);
-      }
-      return fail(error, "fork failed for shard " + std::to_string(s));
-    }
-    if (pid == 0) {
-      // Worker process: run the shard and leave without unwinding the
-      // parent's inherited state (_exit skips atexit/stdio flushing).
-      std::string child_error;
-      const bool ok =
-          run_one_shard(campaign_name, specs, options, s, grid_fp,
-                        &child_error);
-      if (!ok) {
-        std::fprintf(stderr, "shard %zu failed: %s\n", s,
-                     child_error.c_str());
-        std::fflush(stderr);
-      }
-      _exit(ok ? 0 : 1);
-    }
-    children.push_back(pid);
-  }
+  // Forks one worker per listed shard; returns the shards whose worker
+  // exited abnormally (non-zero status, signal, or wait failure).
+  const auto fork_and_wait =
+      [&](const std::vector<std::size_t>& shards, const ChaosOptions& chaos,
+          std::vector<std::size_t>& failed, std::string* fork_error) {
+        // Flush before forking so children don't re-emit inherited buffers
+        // on their own exit path.
+        std::fflush(nullptr);
+        std::vector<pid_t> children;
+        children.reserve(shards.size());
+        for (const std::size_t s : shards) {
+          const pid_t pid = fork();
+          if (pid < 0) {
+            for (const pid_t child : children) {
+              int ignored = 0;
+              waitpid(child, &ignored, 0);
+            }
+            return fail(fork_error,
+                        "fork failed for shard " + std::to_string(s));
+          }
+          if (pid == 0) {
+            // Worker process: run the shard and leave without unwinding
+            // the parent's inherited state (_exit skips atexit/stdio
+            // flushing).
+            std::string child_error;
+            const bool ok = run_one_shard(campaign_name, specs, options, s,
+                                          grid_fp, chaos, &child_error);
+            if (!ok) {
+              std::fprintf(stderr, "shard %zu failed: %s\n", s,
+                           child_error.c_str());
+              std::fflush(stderr);
+            }
+            _exit(ok ? 0 : 1);
+          }
+          children.push_back(pid);
+        }
+        for (std::size_t i = 0; i < children.size(); ++i) {
+          int status = 0;
+          if (waitpid(children[i], &status, 0) < 0 || !WIFEXITED(status) ||
+              WEXITSTATUS(status) != 0) {
+            failed.push_back(shards[i]);
+          }
+        }
+        return true;
+      };
 
-  bool all_ok = true;
-  for (std::size_t s = 0; s < children.size(); ++s) {
-    int status = 0;
-    if (waitpid(children[s], &status, 0) < 0 || !WIFEXITED(status) ||
-        WEXITSTATUS(status) != 0) {
-      all_ok = false;
-      fail(error, "shard worker " + std::to_string(s) +
-                      " exited abnormally (its checkpoint, if enabled, "
-                      "resumes on re-run)");
+  std::vector<std::size_t> all_shards;
+  all_shards.reserve(options.shards);
+  for (std::size_t s = 0; s < options.shards; ++s) all_shards.push_back(s);
+
+  std::vector<std::size_t> failed;
+  if (!fork_and_wait(all_shards, options.chaos, failed, error)) return false;
+
+  if (!failed.empty()) {
+    // Restart each failed shard once, chaos-free. With checkpointing on
+    // this is a resume — the dead worker's completed jobs replay from its
+    // checkpoint and only the remainder re-executes.
+    for (const std::size_t s : failed) {
+      std::fprintf(stderr,
+                   "shard worker %zu exited abnormally; restarting it once"
+                   "%s\n",
+                   s,
+                   options.checkpoint ? " (resuming from its checkpoint)"
+                                      : "");
+    }
+    std::fflush(stderr);
+    std::vector<std::size_t> failed_again;
+    if (!fork_and_wait(failed, ChaosOptions{}, failed_again, error)) {
+      return false;
+    }
+    if (!failed_again.empty()) {
+      const std::size_t s = failed_again.front();
+      const ShardPaths paths = shard_paths(options, campaign_name, s);
+      return fail(error,
+                  "shard " + std::to_string(s) + " of " +
+                      std::to_string(options.shards) +
+                      " failed twice (worker exited abnormally on the "
+                      "restart too); its checkpoint is " +
+                      (paths.checkpoint.empty() ? std::string("disabled")
+                                                : paths.checkpoint) +
+                      " — re-run to resume, or inspect the worker stderr "
+                      "above");
     }
   }
-  if (!all_ok) return false;
 #else
   // No fork(): degrade to sequential in-process shards — identical files
-  // and merge semantics, no process parallelism.
+  // and merge semantics, no process parallelism (and no chaos: a killed
+  // "worker" here would be the orchestrator itself).
   for (std::size_t s = 0; s < options.shards; ++s) {
-    if (!run_one_shard(campaign_name, specs, options, s, grid_fp, error)) {
+    if (!run_one_shard(campaign_name, specs, options, s, grid_fp,
+                       ChaosOptions{}, error)) {
       return false;
     }
   }

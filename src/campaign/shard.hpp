@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/chaos.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
 #include "util/jsonl.hpp"
@@ -82,6 +83,15 @@ struct ShardResultFile {
 [[nodiscard]] std::string checkpoint_file_name(const std::string& campaign,
                                                std::size_t shard,
                                                std::size_t shards);
+
+// JSON (de)serialization of a shard result file. The on-disk file and the
+// fleet protocol's shard_done payload are the same document, so a result
+// that traveled over the wire is byte-for-byte the result a local worker
+// would have written. `context` prefixes error messages (file path, or
+// "worker <id>" for wire payloads).
+[[nodiscard]] util::Json shard_file_to_json(const ShardResultFile& file);
+bool shard_file_from_json(const util::Json& j, const std::string& context,
+                          ShardResultFile& out, std::string* error);
 
 bool write_shard_file(const std::string& path, const ShardResultFile& file,
                       std::string* error);
@@ -143,6 +153,11 @@ struct ShardRunOptions {
   // (JobResult::metrics). A recording option, not a spec field: it never
   // perturbs spec fingerprints, so checkpoints resume across it.
   bool collect_metrics = false;
+  // Fault injection (campaign/chaos.hpp): with kKillAfter, the process
+  // std::_Exit()s right after checkpointing its n-th executed job — the
+  // deterministic stand-in for a worker crash that the fleet's lease
+  // reassignment (and --spawn's restart-once) must recover from.
+  ChaosOptions chaos;
   // Progress over the whole shard slice; `done` counts resumed + executed.
   std::function<void(const scenario::JobResult&, std::size_t done,
                      std::size_t total)>
@@ -185,15 +200,24 @@ struct SpawnOptions {
   bool quiet = true;       // suppress per-shard progress lines
   bool telemetry = true;   // per-shard progress sidecars (campaign status)
   bool collect_metrics = false;  // per-job metric registries in the results
+  // Fault injection applied to each shard's *first* attempt (fork path
+  // only — the sequential fallback shares the orchestrator's process, so
+  // killing a "worker" would kill the run). Restarted shards run
+  // chaos-free: the restart exists to recover from the fault, not to
+  // re-inject it.
+  ChaosOptions chaos;
 };
 
 // Forks one worker process per shard (POSIX; elsewhere the shards run
 // sequentially in-process — same files, same merged result, no
 // parallelism), waits for all of them, then merges the shard files.
 // `merged` receives the full submission-order result vector; `shard_files`
-// (optional) the written paths. Workers exit non-zero on failure and the
-// merge validates coverage, so a crashed worker cannot yield a silently
-// partial campaign.
+// (optional) the written paths. A worker that exits abnormally is
+// restarted exactly once — with checkpointing on, the restart resumes from
+// the dead worker's checkpoint instead of recomputing the slice — and a
+// second failure aborts the run with an error naming the shard and its
+// checkpoint path. The merge validates exactly-once coverage, so a failed
+// worker can never yield a silently partial campaign.
 bool run_campaign_sharded_local(const std::string& campaign_name,
                                 const std::vector<scenario::ScenarioSpec>& specs,
                                 const SpawnOptions& options,

@@ -14,7 +14,9 @@ namespace {
 
 using util::Json;
 
-Json record_to_json(const ProgressRecord& r) {
+}  // namespace
+
+Json progress_record_to_json(const ProgressRecord& r) {
   Json j = Json::object();
   j.set("campaign", Json::string(r.campaign));
   j.set("shard", Json::number(static_cast<std::uint64_t>(r.shard)));
@@ -29,7 +31,7 @@ Json record_to_json(const ProgressRecord& r) {
   return j;
 }
 
-bool record_from_json(const Json& j, ProgressRecord& out) {
+bool progress_record_from_json(const Json& j, ProgressRecord& out) {
   if (!j.is_object()) return false;
   ProgressRecord r;
   const Json* campaign = j.find("campaign");
@@ -61,12 +63,89 @@ bool record_from_json(const Json& j, ProgressRecord& out) {
   return true;
 }
 
-}  // namespace
-
 std::string progress_file_name(const std::string& campaign, std::size_t shard,
                                std::size_t shards) {
   return campaign + ".shard-" + std::to_string(shard) + "-of-" +
          std::to_string(shards) + ".progress.jsonl";
+}
+
+bool parse_progress_file_name(const std::string& file_name,
+                              std::string& campaign, std::size_t& shard,
+                              std::size_t& shards) {
+  constexpr std::string_view kSuffix = ".progress.jsonl";
+  if (file_name.size() <= kSuffix.size()) return false;
+  const std::string_view name(file_name);
+  if (name.substr(name.size() - kSuffix.size()) != kSuffix) return false;
+  const std::string_view stem = name.substr(0, name.size() - kSuffix.size());
+
+  const std::size_t marker = stem.rfind(".shard-");
+  if (marker == std::string_view::npos || marker == 0) return false;
+  const std::string_view selector = stem.substr(marker + 7);  // "<i>-of-<N>"
+  const std::size_t sep = selector.find("-of-");
+  if (sep == std::string_view::npos) return false;
+
+  const auto parse_num = [](std::string_view text, std::size_t& out_value) {
+    if (text.empty()) return false;
+    std::size_t value = 0;
+    for (const char c : text) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    out_value = value;
+    return true;
+  };
+  std::size_t i = 0;
+  std::size_t n = 0;
+  if (!parse_num(selector.substr(0, sep), i) ||
+      !parse_num(selector.substr(sep + 4), n) || n == 0 || i >= n) {
+    return false;
+  }
+  campaign = std::string(stem.substr(0, marker));
+  shard = i;
+  shards = n;
+  return true;
+}
+
+// --- ProgressSampler --------------------------------------------------------
+
+void ProgressSampler::begin(std::string campaign, std::size_t shard,
+                            std::size_t shards) {
+  campaign_ = std::move(campaign);
+  shard_ = shard;
+  shards_ = shards;
+  baseline_done_ = 0;
+  began_at_ = std::chrono::steady_clock::now();
+}
+
+std::uint64_t ProgressSampler::elapsed_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - began_at_)
+          .count());
+}
+
+ProgressRecord ProgressSampler::sample(std::size_t done, std::size_t total,
+                                       bool finished) const {
+  ProgressRecord r;
+  r.campaign = campaign_;
+  r.shard = shard_;
+  r.shards = shards_;
+  r.done = done;
+  r.total = total;
+  r.elapsed_ms = elapsed_ms();
+  // Throughput over the work this process actually did: resumed jobs were
+  // restored instantly from the checkpoint and would inflate the rate.
+  const std::size_t executed =
+      done >= baseline_done_ ? done - baseline_done_ : 0;
+  r.jobs_per_sec = r.elapsed_ms > 0
+                       ? static_cast<double>(executed) * 1000.0 /
+                             static_cast<double>(r.elapsed_ms)
+                       : 0.0;
+  const core::FormatCache::Stats fc = core::FormatCache::instance().stats();
+  r.format_cache_hits = fc.hits;
+  r.format_cache_misses = fc.misses;
+  r.finished = finished;
+  return r;
 }
 
 // --- ProgressWriter ---------------------------------------------------------
@@ -75,47 +154,20 @@ bool ProgressWriter::open(const std::string& path, std::string campaign,
                           std::size_t shard, std::size_t shards,
                           std::uint64_t min_interval_ms) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  campaign_ = std::move(campaign);
-  shard_ = shard;
-  shards_ = shards;
+  sampler_.begin(std::move(campaign), shard, shards);
   min_interval_ms_ = min_interval_ms;
-  opened_at_ = std::chrono::steady_clock::now();
   last_write_ms_ = 0;
   wrote_any_ = false;
   have_baseline_ = false;
-  done_at_open_ = 0;
   return writer_.open(path);
 }
 
 void ProgressWriter::append_locked(std::size_t done, std::size_t total,
                                    bool finished) {
-  const auto now = std::chrono::steady_clock::now();
-  const auto elapsed_ms = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(now - opened_at_)
-          .count());
-
-  ProgressRecord r;
-  r.campaign = campaign_;
-  r.shard = shard_;
-  r.shards = shards_;
-  r.done = done;
-  r.total = total;
-  r.elapsed_ms = elapsed_ms;
-  // Throughput over the work this process actually did: resumed jobs were
-  // restored instantly from the checkpoint and would inflate the rate.
-  const std::size_t executed = done >= done_at_open_ ? done - done_at_open_ : 0;
-  r.jobs_per_sec = elapsed_ms > 0
-                       ? static_cast<double>(executed) * 1000.0 /
-                             static_cast<double>(elapsed_ms)
-                       : 0.0;
-  const core::FormatCache::Stats fc = core::FormatCache::instance().stats();
-  r.format_cache_hits = fc.hits;
-  r.format_cache_misses = fc.misses;
-  r.finished = finished;
-
-  writer_.append(record_to_json(r));
+  const ProgressRecord r = sampler_.sample(done, total, finished);
+  writer_.append(progress_record_to_json(r));
   wrote_any_ = true;
-  last_write_ms_ = elapsed_ms;
+  last_write_ms_ = r.elapsed_ms;
 }
 
 void ProgressWriter::update(std::size_t done, std::size_t total) {
@@ -125,14 +177,10 @@ void ProgressWriter::update(std::size_t done, std::size_t total) {
     // First sample: whatever was already done was checkpoint-resumed, not
     // executed by this process.
     have_baseline_ = true;
-    done_at_open_ = done > 0 ? done - 1 : 0;
+    sampler_.set_baseline(done > 0 ? done - 1 : 0);
   }
-  if (wrote_any_) {
-    const auto now = std::chrono::steady_clock::now();
-    const auto elapsed_ms = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(now - opened_at_)
-            .count());
-    if (elapsed_ms - last_write_ms_ < min_interval_ms_) return;
+  if (wrote_any_ && sampler_.elapsed_ms() - last_write_ms_ < min_interval_ms_) {
+    return;
   }
   append_locked(done, total, false);
 }
@@ -142,9 +190,16 @@ void ProgressWriter::finish(std::size_t done, std::size_t total) {
   if (!writer_.is_open()) return;
   if (!have_baseline_) {
     have_baseline_ = true;
-    done_at_open_ = done;  // nothing executed: resumed-complete shard
+    sampler_.set_baseline(done);  // nothing executed: resumed-complete shard
   }
   append_locked(done, total, true);
+}
+
+void ProgressWriter::append_record(const ProgressRecord& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!writer_.is_open()) return;
+  writer_.append(progress_record_to_json(record));
+  wrote_any_ = true;
 }
 
 bool ProgressWriter::ok() {
@@ -167,7 +222,7 @@ bool read_progress_file(const std::string& path,
   out.reserve(records.size());
   for (const Json& j : records) {
     ProgressRecord r;
-    if (record_from_json(j, r)) out.push_back(std::move(r));
+    if (progress_record_from_json(j, r)) out.push_back(std::move(r));
   }
   return true;
 }
@@ -196,13 +251,33 @@ bool scan_progress_dir(const std::string& dir, std::vector<ShardProgress>& out,
   }
   std::sort(paths.begin(), paths.end());  // directory order is unspecified
 
+  const auto now = fs::file_time_type::clock::now();
   for (const std::string& path : paths) {
-    std::vector<ProgressRecord> records;
-    if (!read_progress_file(path, records) || records.empty()) continue;
     ShardProgress sp;
     sp.path = path;
-    sp.last = records.back();
-    sp.records = records.size();
+    const auto mtime = fs::last_write_time(path, ec);
+    if (!ec && now > mtime) {
+      sp.age_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - mtime)
+              .count());
+    }
+    std::vector<ProgressRecord> records;
+    if (read_progress_file(path, records) && !records.empty()) {
+      sp.parsed = true;
+      sp.last = records.back();
+      sp.records = records.size();
+    } else {
+      // Unreadable, empty, or all-corrupt sidecar: keep the row with the
+      // identity the file name still carries so the shard shows up as
+      // "unknown" instead of silently disappearing from the table.
+      const std::string file_name = fs::path(path).filename().string();
+      if (!parse_progress_file_name(file_name, sp.last.campaign,
+                                    sp.last.shard, sp.last.shards)) {
+        sp.last.campaign = file_name;
+        sp.last.shard = 0;
+        sp.last.shards = 0;
+      }
+    }
     out.push_back(std::move(sp));
   }
   std::sort(out.begin(), out.end(),
@@ -215,7 +290,8 @@ bool scan_progress_dir(const std::string& dir, std::vector<ShardProgress>& out,
   return true;
 }
 
-std::string render_campaign_status(const std::vector<ShardProgress>& shards) {
+std::string render_campaign_status(const std::vector<ShardProgress>& shards,
+                                   std::uint64_t stale_after_ms) {
   std::string out;
   if (shards.empty()) {
     out = "no progress files found\n";
@@ -230,8 +306,17 @@ std::string render_campaign_status(const std::vector<ShardProgress>& shards) {
   std::size_t done_sum = 0;
   std::size_t total_sum = 0;
   std::size_t finished_count = 0;
+  std::size_t unknown_count = 0;
   for (const ShardProgress& sp : shards) {
     const ProgressRecord& r = sp.last;
+    if (!sp.parsed) {
+      ++unknown_count;
+      std::snprintf(line, sizeof line,
+                    "%-20s %6zu %12s %8s %10s %12s %9s\n", r.campaign.c_str(),
+                    r.shard, "-/-", "-", "-", "-", "unknown");
+      out += line;
+      continue;
+    }
     const double pct =
         r.total > 0
             ? 100.0 * static_cast<double>(r.done) / static_cast<double>(r.total)
@@ -241,12 +326,15 @@ std::string render_campaign_status(const std::vector<ShardProgress>& shards) {
         lookups > 0 ? 100.0 * static_cast<double>(r.format_cache_hits) /
                           static_cast<double>(lookups)
                     : 0.0;
+    const char* state = r.finished ? "finished"
+                        : sp.age_ms > stale_after_ms ? "stale"
+                                                     : "running";
     char ratio[32];
     std::snprintf(ratio, sizeof ratio, "%zu/%zu", r.done, r.total);
     std::snprintf(line, sizeof line,
                   "%-20s %6zu %12s %7.1f%% %10.2f %11.1f%% %9s\n",
                   r.campaign.c_str(), r.shard, ratio, pct, r.jobs_per_sec,
-                  hit_pct, r.finished ? "finished" : "running");
+                  hit_pct, state);
     out += line;
     done_sum += r.done;
     total_sum += r.total;
@@ -254,9 +342,14 @@ std::string render_campaign_status(const std::vector<ShardProgress>& shards) {
   }
 
   std::snprintf(line, sizeof line,
-                "total: %zu/%zu jobs done across %zu shard(s), %zu finished\n",
+                "total: %zu/%zu jobs done across %zu shard(s), %zu finished",
                 done_sum, total_sum, shards.size(), finished_count);
   out += line;
+  if (unknown_count > 0) {
+    std::snprintf(line, sizeof line, ", %zu unknown", unknown_count);
+    out += line;
+  }
+  out += '\n';
   return out;
 }
 

@@ -7,6 +7,12 @@
 // and checkpoint files), and `secbus_cli campaign status <dir>` renders the
 // latest record of every shard as a live status table.
 //
+// The fleet control plane (campaign/fleet.hpp) reuses ProgressRecord as its
+// heartbeat payload: workers sample progress with a ProgressSampler, ship
+// the record inside each heartbeat message, and the server writes the
+// records into ordinary sidecars — so `campaign status` renders a remote
+// fleet and a local --spawn run identically.
+//
 // Telemetry is wall-clock data — throughput, elapsed time, the process-wide
 // format-cache hit counters — and therefore deliberately lives *outside*
 // the deterministic result artifacts: progress files are never merged,
@@ -42,11 +48,55 @@ struct ProgressRecord {
   bool finished = false;  // true only on the worker's final record
 };
 
+// JSON (de)serialization of one record — the sidecar line format and the
+// fleet heartbeat payload are the same bytes.
+[[nodiscard]] util::Json progress_record_to_json(const ProgressRecord& r);
+bool progress_record_from_json(const util::Json& j, ProgressRecord& out);
+
 // Sidecar file name: "<campaign>.shard-<i>-of-<N>.progress.jsonl" (same stem
 // as the shard's result and checkpoint files).
 [[nodiscard]] std::string progress_file_name(const std::string& campaign,
                                              std::size_t shard,
                                              std::size_t shards);
+
+// Inverse of progress_file_name: recovers (campaign, shard, shards) from a
+// sidecar file name. Lets `campaign status` identify a shard whose sidecar
+// content is missing or corrupt — the row degrades to "unknown" instead of
+// vanishing (or worse, erroring the whole table).
+bool parse_progress_file_name(const std::string& file_name,
+                              std::string& campaign, std::size_t& shard,
+                              std::size_t& shards);
+
+// Builds ProgressRecords from live counters: identity + start instant +
+// the resumed-jobs baseline (checkpoint-restored jobs would otherwise
+// inflate the throughput). ProgressWriter uses one internally; fleet
+// workers use one directly to fill heartbeat payloads.
+class ProgressSampler {
+ public:
+  // Stamps the start instant and resets the baseline.
+  void begin(std::string campaign, std::size_t shard, std::size_t shards);
+
+  // Jobs that were already done when this worker started (checkpoint
+  // resume); excluded from the jobs/sec numerator.
+  void set_baseline(std::size_t done) { baseline_done_ = done; }
+  [[nodiscard]] std::size_t baseline() const noexcept {
+    return baseline_done_;
+  }
+
+  // Milliseconds since begin().
+  [[nodiscard]] std::uint64_t elapsed_ms() const;
+
+  // One record at "now".
+  [[nodiscard]] ProgressRecord sample(std::size_t done, std::size_t total,
+                                      bool finished) const;
+
+ private:
+  std::string campaign_;
+  std::size_t shard_ = 0;
+  std::size_t shards_ = 1;
+  std::size_t baseline_done_ = 0;
+  std::chrono::steady_clock::time_point began_at_;
+};
 
 // Throttled, thread-safe JSONL appender for ProgressRecords. update() is
 // safe to call from concurrent batch-runner completion callbacks; only
@@ -64,6 +114,11 @@ class ProgressWriter {
   // Unconditional final record with finished = true.
   void finish(std::size_t done, std::size_t total);
 
+  // Appends a pre-built record verbatim, bypassing sampling and throttle.
+  // The fleet server uses this to mirror heartbeat payloads into ordinary
+  // sidecars.
+  void append_record(const ProgressRecord& record);
+
   [[nodiscard]] bool ok();
   void close();
 
@@ -72,14 +127,10 @@ class ProgressWriter {
 
   std::mutex mutex_;
   util::JsonlWriter writer_;
-  std::string campaign_;
-  std::size_t shard_ = 0;
-  std::size_t shards_ = 1;
+  ProgressSampler sampler_;
   std::uint64_t min_interval_ms_ = 1000;
-  std::chrono::steady_clock::time_point opened_at_;
   std::uint64_t last_write_ms_ = 0;
   bool wrote_any_ = false;
-  std::size_t done_at_open_ = 0;
   bool have_baseline_ = false;
 };
 
@@ -93,20 +144,33 @@ bool read_progress_file(const std::string& path,
 // Latest state of one shard, as recovered from its sidecar.
 struct ShardProgress {
   std::string path;
-  ProgressRecord last;        // most recent complete record
-  std::size_t records = 0;    // total complete records in the file
+  ProgressRecord last;      // most recent complete record (when parsed)
+  std::size_t records = 0;  // total complete records in the file
+  // False when the sidecar held no complete record (missing content,
+  // empty file, all-corrupt lines, or an unreadable file): `last` then
+  // carries only the identity recovered from the file name, and the row
+  // renders as "unknown".
+  bool parsed = false;
+  // Sidecar age (now - mtime) at scan time; drives the "stale" state.
+  std::uint64_t age_ms = 0;
 };
+
+// A shard whose sidecar is older than this and not finished renders as
+// "stale" — its worker missed ~30 heartbeat intervals or died.
+inline constexpr std::uint64_t kDefaultStaleAfterMs = 30'000;
 
 // Scans `dir` for "*.progress.jsonl" files and returns each shard's latest
 // record, sorted by (campaign, shard). Files with no complete record are
-// skipped. Returns false when the directory cannot be read.
+// kept as unparsed rows (identity from the file name), never dropped.
+// Returns false only when the directory itself cannot be read.
 bool scan_progress_dir(const std::string& dir, std::vector<ShardProgress>& out,
                        std::string* error = nullptr);
 
 // Human-readable status table for `campaign status`: one row per shard plus
-// a totals row. Stale/live distinction is the reader's judgement call —
-// the table shows each shard's last-sample age input (elapsed) instead.
+// a totals row. States: finished, running, stale (no sidecar write for
+// `stale_after_ms` and not finished), unknown (no complete record).
 [[nodiscard]] std::string render_campaign_status(
-    const std::vector<ShardProgress>& shards);
+    const std::vector<ShardProgress>& shards,
+    std::uint64_t stale_after_ms = kDefaultStaleAfterMs);
 
 }  // namespace secbus::campaign

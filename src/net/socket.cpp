@@ -1,0 +1,246 @@
+#include "net/socket.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SECBUS_HAS_SOCKETS 1
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define SECBUS_HAS_SOCKETS 0
+#endif
+
+namespace secbus::net {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr && error->empty()) *error = message;
+  return false;
+}
+
+#if SECBUS_HAS_SOCKETS
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+#endif
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+#if SECBUS_HAS_SOCKETS
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  fd_ = -1;
+}
+
+IoStatus Socket::read_some(void* buf, std::size_t cap, std::size_t& n) {
+  n = 0;
+#if SECBUS_HAS_SOCKETS
+  if (fd_ < 0) return IoStatus::kError;
+  for (;;) {
+    const ssize_t got = ::recv(fd_, buf, cap, 0);
+    if (got > 0) {
+      n = static_cast<std::size_t>(got);
+      return IoStatus::kOk;
+    }
+    if (got == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+#else
+  (void)buf;
+  (void)cap;
+  return IoStatus::kError;
+#endif
+}
+
+IoStatus Socket::write_some(const void* buf, std::size_t len, std::size_t& n) {
+  n = 0;
+#if SECBUS_HAS_SOCKETS
+  if (fd_ < 0) return IoStatus::kError;
+  for (;;) {
+    // MSG_NOSIGNAL: a worker killed mid-write must surface as EPIPE, not a
+    // SIGPIPE that takes the whole server down.
+#ifdef MSG_NOSIGNAL
+    const ssize_t put = ::send(fd_, buf, len, MSG_NOSIGNAL);
+#else
+    const ssize_t put = ::send(fd_, buf, len, 0);
+#endif
+    if (put >= 0) {
+      n = static_cast<std::size_t>(put);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+#else
+  (void)buf;
+  (void)len;
+  return IoStatus::kError;
+#endif
+}
+
+bool TcpListener::listen(std::uint16_t port, bool loopback_only,
+                         std::string* error) {
+#if SECBUS_HAS_SOCKETS
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail(error, "socket(): " + std::string(strerror(errno)));
+  Socket sock(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return fail(error, "bind(port " + std::to_string(port) +
+                           "): " + strerror(errno));
+  }
+  if (::listen(fd, 16) != 0) {
+    return fail(error, "listen(): " + std::string(strerror(errno)));
+  }
+  if (!set_nonblocking(fd)) {
+    return fail(error, "fcntl(O_NONBLOCK): " + std::string(strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return fail(error, "getsockname(): " + std::string(strerror(errno)));
+  }
+  port_ = ntohs(bound.sin_port);
+  socket_ = std::move(sock);
+  return true;
+#else
+  (void)port;
+  (void)loopback_only;
+  return fail(error, "sockets unsupported on this platform");
+#endif
+}
+
+Socket TcpListener::accept() {
+#if SECBUS_HAS_SOCKETS
+  if (!socket_.valid()) return Socket();
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      if (!set_nonblocking(fd)) {
+        ::close(fd);
+        return Socket();
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Socket();
+  }
+#else
+  return Socket();
+#endif
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   std::string* error) {
+#if SECBUS_HAS_SOCKETS
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* info = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &info);
+  if (rc != 0) {
+    fail(error, host + ": " + gai_strerror(rc));
+    return Socket();
+  }
+  Socket result;
+  for (addrinfo* ai = info; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    int crc = 0;
+    do {
+      crc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (crc != 0 && errno == EINTR);
+    if (crc == 0 && set_nonblocking(fd)) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      result = Socket(fd);
+      break;
+    }
+    ::close(fd);
+  }
+  ::freeaddrinfo(info);
+  if (!result.valid()) {
+    fail(error, "connect " + host + ":" + service + ": " + strerror(errno));
+  }
+  return result;
+#else
+  (void)host;
+  (void)port;
+  fail(error, "sockets unsupported on this platform");
+  return Socket();
+#endif
+}
+
+bool poll_fds(const std::vector<int>& fds, const std::vector<bool>& want_write,
+              std::uint64_t timeout_ms, std::vector<PollResult>& out,
+              std::string* error) {
+  out.assign(fds.size(), PollResult{});
+#if SECBUS_HAS_SOCKETS
+  std::vector<pollfd> pfds(fds.size());
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    pfds[i].fd = fds[i];
+    pfds[i].events = POLLIN;
+    if (i < want_write.size() && want_write[i]) pfds[i].events |= POLLOUT;
+    pfds[i].revents = 0;
+  }
+  const int timeout =
+      timeout_ms > 60'000 ? 60'000 : static_cast<int>(timeout_ms);
+  int rc = 0;
+  do {
+    rc = ::poll(pfds.data(), pfds.size(), timeout);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return fail(error, "poll(): " + std::string(strerror(errno)));
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    out[i].readable = (pfds[i].revents & POLLIN) != 0;
+    out[i].writable = (pfds[i].revents & POLLOUT) != 0;
+    out[i].broken = (pfds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+  }
+  return true;
+#else
+  (void)want_write;
+  (void)timeout_ms;
+  return fail(error, "sockets unsupported on this platform");
+#endif
+}
+
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace secbus::net

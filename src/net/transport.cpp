@@ -1,0 +1,264 @@
+#include "net/transport.hpp"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace secbus::net {
+
+namespace {
+
+// One framed connection: socket + incremental decoder + pending outbound
+// bytes (non-blocking writes stop at EAGAIN; the remainder drains when
+// poll() reports writability).
+struct Conn {
+  Socket socket;
+  FrameDecoder decoder;
+  std::string outbox;
+  bool dead = false;
+  std::string dead_reason;
+};
+
+// Tries to push `conn.outbox` to the kernel. Marks the connection dead on
+// hard error.
+void flush_outbox(Conn& conn) {
+  while (!conn.outbox.empty() && !conn.dead) {
+    std::size_t n = 0;
+    const IoStatus st =
+        conn.socket.write_some(conn.outbox.data(), conn.outbox.size(), n);
+    if (st == IoStatus::kOk) {
+      conn.outbox.erase(0, n);
+      continue;
+    }
+    if (st == IoStatus::kWouldBlock) return;
+    conn.dead = true;
+    conn.dead_reason = "write failed";
+  }
+}
+
+// Reads everything currently available, feeding the decoder; emits one
+// kMessage event per complete frame. Marks dead on close/error/corruption.
+void drain_readable(Conn& conn, ConnId id, std::vector<TransportEvent>& out) {
+  char buf[64 * 1024];
+  for (;;) {
+    std::size_t n = 0;
+    const IoStatus st = conn.socket.read_some(buf, sizeof buf, n);
+    if (st == IoStatus::kOk) {
+      conn.decoder.feed(buf, n);
+      continue;
+    }
+    if (st == IoStatus::kWouldBlock) break;
+    conn.dead = true;
+    conn.dead_reason =
+        st == IoStatus::kClosed ? "peer closed" : "read failed";
+    break;
+  }
+  util::Json message;
+  while (conn.decoder.next(message)) {
+    TransportEvent ev;
+    ev.kind = TransportEvent::Kind::kMessage;
+    ev.conn = id;
+    ev.message = std::move(message);
+    out.push_back(std::move(ev));
+    message = util::Json();
+  }
+  if (conn.decoder.corrupt() && !conn.dead) {
+    conn.dead = true;
+    conn.dead_reason = conn.decoder.corrupt_reason();
+  }
+}
+
+}  // namespace
+
+// --- TcpServerTransport ------------------------------------------------------
+
+struct TcpServerTransport::Impl {
+  TcpListener listener;
+  std::map<ConnId, Conn> conns;
+  ConnId next_id = 1;
+};
+
+TcpServerTransport::TcpServerTransport() : impl_(new Impl) {}
+TcpServerTransport::~TcpServerTransport() { delete impl_; }
+
+bool TcpServerTransport::listen(std::uint16_t port, bool loopback_only,
+                                std::string* error) {
+  return impl_->listener.listen(port, loopback_only, error);
+}
+
+std::uint16_t TcpServerTransport::bound_port() const noexcept {
+  return impl_->listener.bound_port();
+}
+
+bool TcpServerTransport::send(ConnId conn, const util::Json& message) {
+  const auto it = impl_->conns.find(conn);
+  if (it == impl_->conns.end() || it->second.dead) return false;
+  it->second.outbox += encode_frame(message);
+  flush_outbox(it->second);
+  return !it->second.dead;
+}
+
+void TcpServerTransport::close_conn(ConnId conn) {
+  const auto it = impl_->conns.find(conn);
+  if (it == impl_->conns.end()) return;
+  flush_outbox(it->second);
+  impl_->conns.erase(it);
+}
+
+bool TcpServerTransport::poll(std::uint64_t timeout_ms,
+                              std::vector<TransportEvent>& out,
+                              std::string* error) {
+  if (!impl_->listener.valid()) {
+    if (error != nullptr) *error = "server transport is not listening";
+    return false;
+  }
+  std::vector<int> fds;
+  std::vector<bool> want_write;
+  std::vector<ConnId> ids;
+  fds.push_back(impl_->listener.fd());
+  want_write.push_back(false);
+  ids.push_back(0);
+  for (auto& [id, conn] : impl_->conns) {
+    fds.push_back(conn.socket.fd());
+    want_write.push_back(!conn.outbox.empty());
+    ids.push_back(id);
+  }
+
+  std::vector<PollResult> results;
+  if (!poll_fds(fds, want_write, timeout_ms, results, error)) return false;
+
+  // New connections first, so a hello that races the same poll round is
+  // delivered after its kOpen.
+  if (results[0].readable) {
+    for (;;) {
+      Socket accepted = impl_->listener.accept();
+      if (!accepted.valid()) break;
+      const ConnId id = impl_->next_id++;
+      Conn conn;
+      conn.socket = std::move(accepted);
+      impl_->conns.emplace(id, std::move(conn));
+      TransportEvent ev;
+      ev.kind = TransportEvent::Kind::kOpen;
+      ev.conn = id;
+      out.push_back(std::move(ev));
+    }
+  }
+
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto it = impl_->conns.find(ids[i]);
+    if (it == impl_->conns.end()) continue;
+    Conn& conn = it->second;
+    if (results[i].writable) flush_outbox(conn);
+    if (results[i].readable || results[i].broken) {
+      drain_readable(conn, ids[i], out);
+    }
+    if (conn.dead) {
+      TransportEvent ev;
+      ev.kind = TransportEvent::Kind::kClose;
+      ev.conn = ids[i];
+      ev.detail = conn.dead_reason;
+      out.push_back(std::move(ev));
+      impl_->conns.erase(it);
+    }
+  }
+  return true;
+}
+
+std::uint64_t TcpServerTransport::now_ms() { return steady_now_ms(); }
+
+// --- TcpClientTransport ------------------------------------------------------
+
+struct TcpClientTransport::Impl {
+  std::mutex mutex;  // guards conn (send may come from the heartbeat thread)
+  Conn conn;
+  bool connected = false;
+  bool close_reported = false;
+};
+
+TcpClientTransport::TcpClientTransport() : impl_(new Impl) {}
+TcpClientTransport::~TcpClientTransport() { delete impl_; }
+
+bool TcpClientTransport::connect(const std::string& host, std::uint16_t port,
+                                 std::string* error) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  Socket socket = tcp_connect(host, port, error);
+  if (!socket.valid()) return false;
+  impl_->conn = Conn{};
+  impl_->conn.socket = std::move(socket);
+  impl_->connected = true;
+  impl_->close_reported = false;
+  return true;
+}
+
+bool TcpClientTransport::connected() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->connected && !impl_->conn.dead;
+}
+
+bool TcpClientTransport::send(ConnId, const util::Json& message) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->connected || impl_->conn.dead) return false;
+  impl_->conn.outbox += encode_frame(message);
+  flush_outbox(impl_->conn);
+  return !impl_->conn.dead;
+}
+
+void TcpClientTransport::close_conn(ConnId) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  flush_outbox(impl_->conn);
+  impl_->conn.socket.close();
+  impl_->connected = false;
+}
+
+bool TcpClientTransport::poll(std::uint64_t timeout_ms,
+                              std::vector<TransportEvent>& out,
+                              std::string* error) {
+  int fd = -1;
+  bool want_write = false;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (!impl_->connected) {
+      if (impl_->conn.dead && !impl_->close_reported) {
+        impl_->close_reported = true;
+        TransportEvent ev;
+        ev.kind = TransportEvent::Kind::kClose;
+        ev.conn = kServerConn;
+        ev.detail = impl_->conn.dead_reason;
+        out.push_back(std::move(ev));
+      }
+      if (error != nullptr) *error = "not connected";
+      return false;
+    }
+    fd = impl_->conn.socket.fd();
+    want_write = !impl_->conn.outbox.empty();
+  }
+
+  // poll() without the lock: the heartbeat thread must be able to send
+  // while the main loop sleeps here.
+  std::vector<PollResult> results;
+  if (!poll_fds({fd}, {want_write}, timeout_ms, results, error)) return false;
+
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  Conn& conn = impl_->conn;
+  if (results[0].writable) flush_outbox(conn);
+  if (results[0].readable || results[0].broken) {
+    drain_readable(conn, kServerConn, out);
+  }
+  if (conn.dead && !impl_->close_reported) {
+    impl_->close_reported = true;
+    impl_->connected = false;
+    TransportEvent ev;
+    ev.kind = TransportEvent::Kind::kClose;
+    ev.conn = kServerConn;
+    ev.detail = conn.dead_reason;
+    out.push_back(std::move(ev));
+  }
+  return true;
+}
+
+std::uint64_t TcpClientTransport::now_ms() { return steady_now_ms(); }
+
+}  // namespace secbus::net

@@ -1,0 +1,110 @@
+// Message transport abstraction for the fleet control plane.
+//
+// The lease/heartbeat/reassignment state machine in campaign/fleet.hpp is
+// deliberately I/O-free: it consumes TransportEvents and emits messages
+// through this interface, with time injected via now_ms(). Two
+// implementations exist:
+//   * TcpServerTransport / TcpClientTransport — non-blocking sockets, a
+//     poll loop, and length-prefixed JSON framing (net/socket.hpp,
+//     net/frame.hpp);
+//   * FakeTransport (net/fake_transport.hpp) — in-process queues and a
+//     manual clock, so every failure-handling path is unit-testable with
+//     deterministic timing and no real sockets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace secbus::net {
+
+// Identifies one peer connection within a transport. Server transports
+// mint a fresh id per accepted connection; client transports use
+// kServerConn for their single peer.
+using ConnId = std::uint64_t;
+inline constexpr ConnId kServerConn = 0;
+
+struct TransportEvent {
+  enum class Kind : std::uint8_t {
+    kOpen,     // new connection (server side)
+    kMessage,  // one complete JSON message from `conn`
+    kClose,    // `conn` is gone (orderly close, error, or corrupt framing)
+  };
+  Kind kind = Kind::kMessage;
+  ConnId conn = 0;
+  util::Json message;  // kMessage only
+  std::string detail;  // kClose: reason, for logs
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Queues `message` to `conn`. False when the connection is unknown or
+  // already failed; the failure also surfaces as a kClose event.
+  virtual bool send(ConnId conn, const util::Json& message) = 0;
+
+  // Drops the connection. Pending outbound bytes are flushed best-effort.
+  virtual void close_conn(ConnId conn) = 0;
+
+  // Waits up to `timeout_ms` for activity and appends events in arrival
+  // order. False only on unrecoverable transport failure.
+  virtual bool poll(std::uint64_t timeout_ms,
+                    std::vector<TransportEvent>& out, std::string* error) = 0;
+
+  // Transport's monotonic clock, milliseconds. Real transports report
+  // steady_now_ms(); FakeTransport reports its manual clock, which is what
+  // makes lease-expiry tests deterministic.
+  virtual std::uint64_t now_ms() = 0;
+};
+
+// --- TCP server --------------------------------------------------------------
+
+class TcpServerTransport : public Transport {
+ public:
+  TcpServerTransport();
+  ~TcpServerTransport() override;
+
+  // Binds and listens; port 0 = ephemeral (see bound_port()).
+  bool listen(std::uint16_t port, bool loopback_only, std::string* error);
+  [[nodiscard]] std::uint16_t bound_port() const noexcept;
+
+  bool send(ConnId conn, const util::Json& message) override;
+  void close_conn(ConnId conn) override;
+  bool poll(std::uint64_t timeout_ms, std::vector<TransportEvent>& out,
+            std::string* error) override;
+  std::uint64_t now_ms() override;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// --- TCP client --------------------------------------------------------------
+
+// One connection to a fleet server. send() is thread-safe (the worker's
+// heartbeat thread shares the transport with the main loop); poll() is
+// owner-thread only.
+class TcpClientTransport : public Transport {
+ public:
+  TcpClientTransport();
+  ~TcpClientTransport() override;
+
+  bool connect(const std::string& host, std::uint16_t port,
+               std::string* error);
+  [[nodiscard]] bool connected() const;
+
+  bool send(ConnId conn, const util::Json& message) override;
+  void close_conn(ConnId conn) override;
+  bool poll(std::uint64_t timeout_ms, std::vector<TransportEvent>& out,
+            std::string* error) override;
+  std::uint64_t now_ms() override;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace secbus::net

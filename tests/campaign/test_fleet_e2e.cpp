@@ -1,0 +1,168 @@
+// Fleet end-to-end over real sockets: a TCP server plus three forked
+// worker processes on loopback, one of which chaos-kills itself mid-shard.
+// The acceptance bar from the fleet design: the served campaign's merged
+// artifacts must be byte-identical to a direct single-process run, killed
+// and reassigned workers included.
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/chaos.hpp"
+#include "campaign/fleet.hpp"
+#include "campaign/report.hpp"
+#include "net/transport.hpp"
+#include "scenario/runner.hpp"
+#include "util/csv.hpp"
+
+namespace secbus::campaign {
+namespace {
+
+std::string example_path(const std::string& name) {
+  return std::string(SECBUS_REPO_DIR) + "/examples/campaigns/" + name;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("secbus_fleet_e2e_" + std::to_string(::getpid()) + "_" + tag);
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string path() const { return path_.string(); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+std::string cells_csv_text(const CampaignReport& report,
+                           const std::string& scratch) {
+  {
+    util::CsvWriter csv(scratch);
+    write_cells_csv(csv, report);
+    csv.flush();
+  }
+  std::FILE* f = std::fopen(scratch.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+TEST(FleetE2E, ChaosKilledWorkerIsReassignedAndOutputIsByteIdentical) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(
+      load_campaign_file(example_path("ci_smoke.json"), spec, &error))
+      << error;
+
+  TempDir dir("chaos");
+  FleetServerOptions serve_opt;
+  serve_opt.shards = 5;
+  serve_opt.lease_timeout_ms = 4000;
+  serve_opt.heartbeat_ms = 200;
+  serve_opt.out_dir = dir.path();
+  serve_opt.quiet = true;
+
+  net::TcpServerTransport transport;
+  ASSERT_TRUE(transport.listen(0, /*loopback_only=*/true, &error)) << error;
+  const std::uint16_t port = transport.bound_port();
+  ASSERT_NE(port, 0);
+  FleetServer server(transport, spec, serve_opt);
+
+  // Three workers; the second one dies after checkpointing two jobs of its
+  // first shard. All share the server's out_dir, so the reassigned shard
+  // resumes from the dead worker's checkpoint.
+  std::vector<pid_t> workers;
+  for (int w = 0; w < 3; ++w) {
+    const pid_t pid = ::fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+      FleetWorkerOptions worker_opt;
+      worker_opt.host = "127.0.0.1";
+      worker_opt.port = port;
+      worker_opt.out_dir = dir.path();
+      worker_opt.threads = 2;
+      worker_opt.worker_id = "e2e-w" + std::to_string(w);
+      worker_opt.backoff_ms = 100;
+      worker_opt.quiet = true;
+      if (w == 1) {
+        worker_opt.chaos.kind = ChaosOptions::Kind::kKillAfter;
+        worker_opt.chaos.kill_after = 2;
+      }
+      std::string worker_error;
+      const bool ok = run_fleet_worker(worker_opt, nullptr, &worker_error);
+      if (!ok) {
+        std::fprintf(stderr, "worker %d: %s\n", w, worker_error.c_str());
+      }
+      ::_exit(ok ? 0 : 1);
+    }
+    workers.push_back(pid);
+  }
+
+  // Drive the server to completion (bounded: a wedged fleet must fail the
+  // test, not hang it).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(3);
+  while (!server.finished() &&
+         std::chrono::steady_clock::now() < deadline) {
+    ASSERT_TRUE(server.step(200, &error)) << error;
+  }
+  ASSERT_TRUE(server.finished()) << "fleet did not finish in time";
+  // Let the final `done` frames flush so live workers exit cleanly.
+  for (int i = 0; i < 20; ++i) {
+    std::vector<net::TransportEvent> events;
+    std::string drain_error;
+    if (!transport.poll(50, events, &drain_error)) break;
+  }
+
+  int chaos_status = 0;
+  ASSERT_EQ(::waitpid(workers[1], &chaos_status, 0), workers[1]);
+  ASSERT_TRUE(WIFEXITED(chaos_status));
+  EXPECT_EQ(WEXITSTATUS(chaos_status), kChaosExitCode)
+      << "the chaos worker should have died by _Exit(kChaosExitCode)";
+  for (const int w : {0, 2}) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(workers[static_cast<std::size_t>(w)], &status, 0),
+              workers[static_cast<std::size_t>(w)]);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "worker " << w;
+  }
+
+  // The kill cost the fleet a lease; reassignment recovered it.
+  EXPECT_GE(server.reassignments(), 1u);
+  EXPECT_EQ(server.results().size(), server.specs().size());
+
+  // Byte-identity against a direct in-process run of the same grid.
+  scenario::BatchOptions direct_opts;
+  direct_opts.threads = 4;
+  const std::vector<scenario::JobResult> direct =
+      scenario::run_batch(server.specs(), direct_opts);
+  const CampaignReport direct_report = CampaignReport::from(spec.name, direct);
+  const CampaignReport fleet_report =
+      CampaignReport::from(spec.name, server.results());
+  EXPECT_EQ(campaign_json(fleet_report), campaign_json(direct_report));
+  EXPECT_EQ(cells_csv_text(fleet_report, dir.file("fleet.cells.csv")),
+            cells_csv_text(direct_report, dir.file("direct.cells.csv")));
+}
+
+}  // namespace
+}  // namespace secbus::campaign
+
+#endif  // __unix__ || __APPLE__

@@ -132,6 +132,88 @@ TEST_F(TelemetryTest, ScanFindsAndSortsShards) {
             std::string::npos);
 }
 
+TEST_F(TelemetryTest, ParseProgressFileNameInvertsTheFormatter) {
+  std::string campaign;
+  std::size_t shard = 0;
+  std::size_t shards = 0;
+  ASSERT_TRUE(parse_progress_file_name(progress_file_name("my.grid-2", 3, 16),
+                                       campaign, shard, shards));
+  EXPECT_EQ(campaign, "my.grid-2");
+  EXPECT_EQ(shard, 3u);
+  EXPECT_EQ(shards, 16u);
+
+  // Not the sidecar shape: rejected rather than misparsed.
+  EXPECT_FALSE(parse_progress_file_name("grid.progress.jsonl", campaign,
+                                        shard, shards));
+  EXPECT_FALSE(parse_progress_file_name("grid.shard-x-of-2.progress.jsonl",
+                                        campaign, shard, shards));
+  EXPECT_FALSE(parse_progress_file_name("grid.shard-2-of-0.progress.jsonl",
+                                        campaign, shard, shards));
+  EXPECT_FALSE(parse_progress_file_name("grid.shard-5-of-2.progress.jsonl",
+                                        campaign, shard, shards));
+}
+
+// `campaign status` must degrade, never error, when sidecars are empty or
+// corrupt: those shards render as "unknown" rows with identity recovered
+// from the file name.
+TEST_F(TelemetryTest, ScanKeepsEmptyAndCorruptSidecarsAsUnknownRows) {
+  // Shard 0: healthy and finished.
+  {
+    ProgressWriter w;
+    ASSERT_TRUE(
+        w.open(path_of(progress_file_name("grid", 0, 3)), "grid", 0, 3, 0));
+    w.update(5, 5);
+    w.finish(5, 5);
+    w.close();
+  }
+  // Shard 1: empty file (worker died before its first record).
+  { std::ofstream empty(path_of(progress_file_name("grid", 1, 3))); }
+  // Shard 2: nothing but a torn fragment.
+  {
+    std::ofstream corrupt(path_of(progress_file_name("grid", 2, 3)));
+    corrupt << "{\"campaign\": \"grid\", \"sh";
+  }
+
+  std::vector<ShardProgress> shards;
+  ASSERT_TRUE(scan_progress_dir(dir_.string(), shards));
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_TRUE(shards[0].parsed);
+  EXPECT_TRUE(shards[0].last.finished);
+  for (const std::size_t i : {1u, 2u}) {
+    EXPECT_FALSE(shards[i].parsed) << "shard " << i;
+    EXPECT_EQ(shards[i].last.campaign, "grid") << "shard " << i;
+    EXPECT_EQ(shards[i].last.shard, i) << "shard " << i;
+    EXPECT_EQ(shards[i].last.shards, 3u) << "shard " << i;
+  }
+
+  const std::string table = render_campaign_status(shards);
+  EXPECT_NE(table.find("finished"), std::string::npos);
+  EXPECT_NE(table.find("unknown"), std::string::npos);
+  EXPECT_NE(table.find(", 2 unknown"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, StaleShardsRenderAsStale) {
+  {
+    ProgressWriter w;
+    ASSERT_TRUE(
+        w.open(path_of(progress_file_name("grid", 0, 1)), "grid", 0, 1, 0));
+    w.update(1, 9);
+    w.close();
+  }
+  std::vector<ShardProgress> shards;
+  ASSERT_TRUE(scan_progress_dir(dir_.string(), shards));
+  ASSERT_EQ(shards.size(), 1u);
+  // The sidecar was written milliseconds ago: running at the default
+  // threshold, stale when the threshold is tiny.
+  EXPECT_NE(render_campaign_status(shards).find("running"),
+            std::string::npos);
+  shards[0].age_ms = 60'000;
+  const std::string table =
+      render_campaign_status(shards, /*stale_after_ms=*/30'000);
+  EXPECT_NE(table.find("stale"), std::string::npos);
+  EXPECT_EQ(table.find("running"), std::string::npos);
+}
+
 TEST_F(TelemetryTest, ScanFailsOnMissingDirectory) {
   std::vector<ShardProgress> shards;
   std::string error;

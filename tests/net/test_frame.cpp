@@ -1,0 +1,127 @@
+// Frame codec: the fleet protocol's byte-level contract.
+//
+// The decoder must reassemble messages from any chunking of the stream
+// (TCP guarantees order, not boundaries), must hand back multiple messages
+// from one read, and must poison itself permanently on an oversized length
+// prefix or an undecodable payload — resynchronizing inside a corrupted
+// stream is impossible, so the only safe reaction is to drop the peer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "util/json.hpp"
+
+namespace secbus::net {
+namespace {
+
+using util::Json;
+
+Json sample_message(std::uint64_t n) {
+  Json j = Json::object();
+  j.set("type", Json::string("heartbeat"));
+  j.set("shard", Json::number(n));
+  j.set("note", Json::string("payload-" + std::to_string(n)));
+  return j;
+}
+
+TEST(Frame, RoundTripSingleMessage) {
+  const std::string wire = encode_frame(sample_message(7));
+  ASSERT_GE(wire.size(), 4u);
+
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  Json out;
+  ASSERT_TRUE(decoder.next(out));
+  std::uint64_t shard = 0;
+  ASSERT_TRUE(out.find("shard")->to_u64(shard));
+  EXPECT_EQ(shard, 7u);
+  EXPECT_EQ(out.find("type")->as_string(), "heartbeat");
+  EXPECT_FALSE(decoder.next(out));
+  EXPECT_FALSE(decoder.corrupt());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Frame, ReassemblesFromByteSizedChunks) {
+  std::string wire;
+  for (std::uint64_t n = 0; n < 5; ++n) wire += encode_frame(sample_message(n));
+
+  FrameDecoder decoder;
+  std::vector<Json> got;
+  for (const char byte : wire) {
+    decoder.feed(&byte, 1);
+    Json out;
+    while (decoder.next(out)) got.push_back(std::move(out));
+  }
+  ASSERT_EQ(got.size(), 5u);
+  for (std::uint64_t n = 0; n < 5; ++n) {
+    std::uint64_t shard = 0;
+    ASSERT_TRUE(got[n].find("shard")->to_u64(shard));
+    EXPECT_EQ(shard, n);
+  }
+  EXPECT_FALSE(decoder.corrupt());
+}
+
+TEST(Frame, MultipleMessagesInOneFeed) {
+  std::string wire;
+  for (std::uint64_t n = 0; n < 3; ++n) wire += encode_frame(sample_message(n));
+
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  Json out;
+  EXPECT_TRUE(decoder.next(out));
+  EXPECT_TRUE(decoder.next(out));
+  EXPECT_TRUE(decoder.next(out));
+  EXPECT_FALSE(decoder.next(out));
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Frame, OversizedLengthPoisonsDecoder) {
+  // Length prefix far beyond kMaxFrameBytes — e.g. the first 4 bytes of an
+  // accidental HTTP request ("GET " = 0x47455420).
+  const char bad[4] = {0x47, 0x45, 0x54, 0x20};
+  FrameDecoder decoder;
+  decoder.feed(bad, sizeof bad);
+  Json out;
+  EXPECT_FALSE(decoder.next(out));
+  EXPECT_TRUE(decoder.corrupt());
+  EXPECT_FALSE(decoder.corrupt_reason().empty());
+
+  // Poisoned for good: further feeds are ignored.
+  const std::string wire = encode_frame(sample_message(1));
+  decoder.feed(wire.data(), wire.size());
+  EXPECT_FALSE(decoder.next(out));
+  EXPECT_TRUE(decoder.corrupt());
+}
+
+TEST(Frame, UndecodablePayloadPoisonsDecoder) {
+  const std::string payload = "this is not json";
+  std::string wire;
+  wire.push_back(0);
+  wire.push_back(0);
+  wire.push_back(0);
+  wire.push_back(static_cast<char>(payload.size()));
+  wire += payload;
+
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  Json out;
+  EXPECT_FALSE(decoder.next(out));
+  EXPECT_TRUE(decoder.corrupt());
+}
+
+TEST(Frame, IncompleteFrameIsNotAMessage) {
+  const std::string wire = encode_frame(sample_message(3));
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size() - 1);
+  Json out;
+  EXPECT_FALSE(decoder.next(out));
+  EXPECT_FALSE(decoder.corrupt());
+  // The final byte completes it.
+  decoder.feed(wire.data() + wire.size() - 1, 1);
+  EXPECT_TRUE(decoder.next(out));
+}
+
+}  // namespace
+}  // namespace secbus::net

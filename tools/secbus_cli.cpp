@@ -89,6 +89,41 @@
 //       Writes every builtin scenario as an equivalent campaign file
 //       (default bench/out/builtin-campaigns/): the registry as data.
 //
+//   secbus_cli campaign serve <file.json> [options]
+//       Fleet control plane: listens on TCP, hands out shard leases to
+//       `campaign worker` processes, tracks them via heartbeats, reassigns
+//       a shard whose worker stops heartbeating (the replacement resumes
+//       from the shard checkpoint), and — once every shard's result has
+//       landed — merges and emits the exact artifacts a single-process
+//       `campaign run` would (byte-identical, killed workers included).
+//     --port N            TCP port (default 0 = ephemeral; the bound port
+//                         is printed on the "fleet: serving" line)
+//     --shards N          lease granularity (default 4)
+//     --out DIR           shard files, progress sidecars, reports
+//     --lease-timeout MS  reassign after this long without a heartbeat
+//                         (default 10000)
+//     --heartbeat MS      heartbeat cadence announced to workers
+//                         (default 2000)
+//     --listen-any        bind 0.0.0.0 instead of loopback
+//       plus --jobs/--repeats/--max-cycles/--metrics/--quiet etc. —
+//       repeats/max-cycles/metrics shape the grid and are announced to
+//       workers, which verify the resulting grid fingerprint.
+//
+//   secbus_cli campaign worker <host:port> [options]
+//       Fleet worker: connects (bounded exponential backoff), verifies the
+//       announced grid fingerprint against its own expansion, then runs
+//       granted shards — checkpointing under --out and heartbeating
+//       progress — until the server says done. SECBUS_CHAOS=kill_after:<n>
+//       makes the worker _Exit() after n checkpointed jobs (fault
+//       injection for the reassignment path).
+//     --jobs N        batch threads inside this worker (default 1)
+//     --out DIR       checkpoint directory; share it across local workers
+//                     (and the server) so reassignment resumes instead of
+//                     recomputing
+//     --id NAME       worker identity in leases/logs (default worker-<pid>)
+//     --reconnect N   reconnect budget (default 5)
+//     --backoff MS    initial backoff, doubles to 5000 (default 500)
+//
 // Legacy single-run mode (kept for scripts): secbus_cli [--cpus N]
 //   [--security M] [--protection L] [--external F] [--transactions N]
 //   [--compute N] [--extra-rules N] [--line-bytes N] [--seed N]
@@ -104,6 +139,7 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "campaign/fleet.hpp"
 #include "campaign/report.hpp"
 #include "campaign/shard.hpp"
 #include "campaign/telemetry.hpp"
@@ -141,13 +177,20 @@ namespace {
       "       %s campaign validate <file.json>...\n"
       "       %s campaign status [DIR]\n"
       "       %s campaign export-builtin [--dir DIR]\n"
+      "       %s campaign serve <file.json> [--port N] [--shards N]\n"
+      "              [--out DIR] [--lease-timeout MS] [--heartbeat MS]\n"
+      "              [--listen-any] [--cells-csv PATH] [run options]\n"
+      "       %s campaign worker <host:port> [--jobs N] [--out DIR]\n"
+      "              [--id NAME] [--reconnect N] [--backoff MS]\n"
+      "              [--no-checkpoint] [--no-setup-cache] [--quiet]\n"
       "       %s [--cpus N] [--topology flat|starN|meshRxC]\n"
       "          [--security none|distributed|centralized]\n"
       "          [--protection plaintext|cipher|full] [--external F]\n"
       "          [--transactions N] [--compute N] [--extra-rules N]\n"
       "          [--line-bytes N] [--seed N] [--max-cycles N]\n"
       "          [--reconfig] [--report] [--quiet]\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+      argv0);
   std::exit(1);
 }
 
@@ -892,6 +935,161 @@ int cmd_campaign_export(int argc, char** argv) {
   return 0;
 }
 
+// "host:port" with a non-empty host and a valid TCP port.
+bool parse_host_port(const std::string& text, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  std::uint64_t p = 0;
+  if (!parse_u64(text.c_str() + colon + 1, p) || p == 0 || p > 65535) {
+    return false;
+  }
+  host = text.substr(0, colon);
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+int cmd_campaign_serve(int argc, char** argv) {
+  if (argc < 4) usage(argv[0]);
+  const std::string file = argv[3];
+  BatchCliOptions opt;
+  campaign::FleetServerOptions serve_opt;
+  std::string cells_csv_path;
+  std::uint16_t port = 0;  // 0 = ephemeral (the bound port is printed)
+  bool listen_any = false;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (parse_batch_option(argc, argv, i, opt)) continue;
+    std::uint64_t u = 0;
+    if (arg == "--port" && parse_u64(next(), u) && u <= 65535) {
+      port = static_cast<std::uint16_t>(u);
+    } else if (arg == "--shards" && parse_u64(next(), u) && u >= 1 &&
+               u <= 1024) {
+      serve_opt.shards = static_cast<std::size_t>(u);
+    } else if (arg == "--out") {
+      serve_opt.out_dir = next();
+    } else if (arg == "--cells-csv") {
+      cells_csv_path = next();
+    } else if (arg == "--lease-timeout" && parse_u64(next(), u) && u >= 1) {
+      serve_opt.lease_timeout_ms = u;
+    } else if (arg == "--heartbeat" && parse_u64(next(), u) && u >= 1) {
+      serve_opt.heartbeat_ms = u;
+    } else if (arg == "--listen-any") {
+      listen_any = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (!opt.trace_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --trace applies to `run`/`sweep`, not campaigns\n");
+    return 1;
+  }
+
+  campaign::CampaignSpec spec;
+  std::string error;
+  if (!campaign::load_campaign_file(file, spec, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (spec.job_count() * opt.repeats > campaign::kMaxCampaignJobs) {
+    std::fprintf(stderr,
+                 "error: %s: %zu job(s) x %llu repeat(s) exceeds the %zu-job "
+                 "cap\n",
+                 file.c_str(), spec.job_count(),
+                 static_cast<unsigned long long>(opt.repeats),
+                 campaign::kMaxCampaignJobs);
+    return 1;
+  }
+
+  serve_opt.quiet = opt.quiet;
+  serve_opt.grid.repeats = opt.repeats;
+  serve_opt.grid.max_cycles = opt.max_cycles;
+  serve_opt.grid.collect_metrics = opt.metrics;
+
+  net::TcpServerTransport transport;
+  if (!transport.listen(port, /*loopback_only=*/!listen_any, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  campaign::FleetServer server(transport, spec, serve_opt);
+  // Always printed (and flushed) so scripts can scrape the bound port —
+  // essential with --port 0.
+  std::printf("fleet: serving campaign %s on %s:%u — %zu job(s) across %zu "
+              "shard(s), lease timeout %llu ms\n",
+              spec.name.c_str(), listen_any ? "0.0.0.0" : "127.0.0.1",
+              static_cast<unsigned>(transport.bound_port()),
+              server.specs().size(), serve_opt.shards,
+              static_cast<unsigned long long>(serve_opt.lease_timeout_ms));
+  std::fflush(stdout);
+  if (!server.run(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (server.reassignments() != 0) {
+    std::fprintf(stderr, "fleet: %zu lease reassignment(s) during this run\n",
+                 server.reassignments());
+  }
+  return emit_campaign_outputs(spec.name, server.results(), opt,
+                               serve_opt.out_dir, cells_csv_path);
+}
+
+int cmd_campaign_worker(int argc, char** argv) {
+  if (argc < 4) usage(argv[0]);
+  campaign::FleetWorkerOptions worker_opt;
+  if (!parse_host_port(argv[3], worker_opt.host, worker_opt.port)) {
+    std::fprintf(stderr, "error: campaign worker wants <host:port>, got "
+                         "\"%s\"\n",
+                 argv[3]);
+    return 1;
+  }
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    std::uint64_t u = 0;
+    if (arg == "--jobs" && parse_u64(next(), u) && u <= 256) {
+      worker_opt.threads = static_cast<unsigned>(u);
+    } else if (arg == "--out") {
+      worker_opt.out_dir = next();
+    } else if (arg == "--id") {
+      worker_opt.worker_id = next();
+    } else if (arg == "--reconnect" && parse_u64(next(), u) && u <= 1000) {
+      worker_opt.max_reconnects = static_cast<std::size_t>(u);
+    } else if (arg == "--backoff" && parse_u64(next(), u) && u >= 1) {
+      worker_opt.backoff_ms = u;
+    } else if (arg == "--no-checkpoint") {
+      worker_opt.checkpoint = false;
+    } else if (arg == "--quiet") {
+      worker_opt.quiet = true;
+    } else if (arg == "--no-setup-cache") {
+      core::FormatCache::instance().set_enabled(false);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  std::string error;
+  if (!campaign::ChaosOptions::from_env(worker_opt.chaos, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  campaign::FleetWorkerStats stats;
+  if (!campaign::run_fleet_worker(worker_opt, &stats, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("fleet worker: %zu shard(s) submitted, %zu refused, %zu "
+              "reconnect(s)\n",
+              stats.shards_completed, stats.shards_refused, stats.reconnects);
+  return 0;
+}
+
 int cmd_campaign(int argc, char** argv) {
   if (argc < 3) usage(argv[0]);
   const std::string verb = argv[2];
@@ -900,6 +1098,8 @@ int cmd_campaign(int argc, char** argv) {
   if (verb == "validate") return cmd_campaign_validate(argc, argv);
   if (verb == "status") return cmd_campaign_status(argc, argv);
   if (verb == "export-builtin") return cmd_campaign_export(argc, argv);
+  if (verb == "serve") return cmd_campaign_serve(argc, argv);
+  if (verb == "worker") return cmd_campaign_worker(argc, argv);
   usage(argv[0]);
 }
 
