@@ -29,7 +29,8 @@ sim::Cycle ConfidentialityCore::xcrypt(sim::Addr addr, std::uint32_t version,
   // the CTR counter field never has to carry across blocks and keystream
   // never repeats across (address, version) pairs. The whole line's
   // keystream is generated in one batched pass.
-  crypto::memory_xcrypt_line(aes_, cfg_.nonce, addr, version, in, out);
+  crypto::memory_xcrypt_line(aes_, cfg_.nonce, addr, version, in, out,
+                             scratch_);
   ++stats_.operations;
   stats_.bytes += in.size();
   const sim::Cycle cycles = cost_for_bits(static_cast<std::uint64_t>(in.size()) * 8);

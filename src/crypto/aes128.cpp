@@ -130,27 +130,74 @@ void Aes128::rekey(const Aes128Key& key) noexcept {
       dec_words_[static_cast<std::size_t>(4 * round + c)] = w;
     }
   }
+  for (std::size_t w = 0; w < dec_words_.size(); ++w) {
+    util::store_be32(dec_bytes_.data() + 4 * w, dec_words_[w]);
+  }
   block_ops_ = 0;
 }
 
 void Aes128::encrypt_block(const std::uint8_t in[kAesBlockBytes],
                            std::uint8_t out[kAesBlockBytes]) const noexcept {
-  if (impl_ == AesImpl::kTTable) {
-    encrypt_block_ttable(in, out);
-  } else {
-    encrypt_block_scalar(in, out);
+  switch (impl_) {
+    case AesImpl::kAesni:
+      accel::aes_encrypt_blocks(round_keys_.data(), in, out, 1);
+      break;
+    case AesImpl::kTTable:
+      encrypt_block_ttable(in, out);
+      break;
+    case AesImpl::kScalar:
+      encrypt_block_scalar(in, out);
+      break;
   }
   ++block_ops_;
 }
 
 void Aes128::decrypt_block(const std::uint8_t in[kAesBlockBytes],
                            std::uint8_t out[kAesBlockBytes]) const noexcept {
-  if (impl_ == AesImpl::kTTable) {
-    decrypt_block_ttable(in, out);
-  } else {
-    decrypt_block_scalar(in, out);
+  switch (impl_) {
+    case AesImpl::kAesni:
+      accel::aes_decrypt_blocks(dec_bytes_.data(), in, out, 1);
+      break;
+    case AesImpl::kTTable:
+      decrypt_block_ttable(in, out);
+      break;
+    case AesImpl::kScalar:
+      decrypt_block_scalar(in, out);
+      break;
   }
   ++block_ops_;
+}
+
+void Aes128::encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                            std::size_t nblocks) const noexcept {
+  if (impl_ == AesImpl::kAesni) {
+    accel::aes_encrypt_blocks(round_keys_.data(), in, out, nblocks);
+  } else if (impl_ == AesImpl::kTTable) {
+    for (std::size_t i = 0; i < nblocks; ++i) {
+      encrypt_block_ttable(in + 16 * i, out + 16 * i);
+    }
+  } else {
+    for (std::size_t i = 0; i < nblocks; ++i) {
+      encrypt_block_scalar(in + 16 * i, out + 16 * i);
+    }
+  }
+  block_ops_ += nblocks;
+}
+
+void Aes128::decrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                            std::size_t nblocks) const noexcept {
+  if (impl_ == AesImpl::kAesni) {
+    accel::aes_decrypt_blocks(dec_bytes_.data(), in, out, nblocks);
+  } else if (impl_ == AesImpl::kTTable) {
+    for (std::size_t i = 0; i < nblocks; ++i) {
+      decrypt_block_ttable(in + 16 * i, out + 16 * i);
+    }
+  } else {
+    for (std::size_t i = 0; i < nblocks; ++i) {
+      decrypt_block_scalar(in + 16 * i, out + 16 * i);
+    }
+  }
+  block_ops_ += nblocks;
 }
 
 void Aes128::encrypt_block_ttable(const std::uint8_t in[kAesBlockBytes],

@@ -7,24 +7,32 @@
 // from its algebraic definition (GF(2^8) inverse + affine map), which both
 // documents the construction and removes the risk of a mistyped table.
 //
-// Two interchangeable datapaths produce identical blocks:
-//   * kTTable (default) — 32-bit T-table rounds (SubBytes/ShiftRows/
-//     MixColumns fused into four 1KB lookups per direction, round keys held
-//     as words). This is the simulator's fast path; the tables are computed
-//     constexpr from the same algebraic S-box.
+// Three interchangeable datapaths produce identical blocks:
+//   * kAesni — hardware AES-NI rounds (crypto/accel_x86.cpp), selected by
+//     the runtime backend dispatch (crypto/backend.hpp) when the CPU has the
+//     extension; batched entry points pipeline 4 blocks per iteration.
+//   * kTTable — 32-bit T-table rounds (SubBytes/ShiftRows/MixColumns fused
+//     into four 1KB lookups per direction, round keys held as words). This
+//     is the portable fast path; the tables are computed constexpr from the
+//     same algebraic S-box.
 //   * kScalar — the byte-wise FIPS-197 textbook rounds, kept as the readable
 //     reference and for differential validation.
-// The default can be forced to scalar at compile time with
-// -DSECBUS_AES_FORCE_SCALAR (CMake option SECBUS_AES_SCALAR) or per context
-// at runtime with set_impl(); FIPS-197 vectors run against both.
+// The default follows the process-wide backend (SECBUS_CRYPTO_BACKEND env,
+// the SECBUS_AES_SCALAR CMake option, else CPUID); set_impl() overrides per
+// context. FIPS-197 vectors run against every datapath.
 //
-// This implementation favors clarity over side-channel hardening; the paper's
-// threat model explicitly excludes side-channel attacks (Section III.B).
+// Side-channel caveat: none of the datapaths — including AES-NI, whose key
+// schedule here is still computed with table lookups — is hardened against
+// timing/cache side channels. That caveat applies to ALL backends; the
+// paper's threat model explicitly excludes side-channel attacks
+// (Section III.B).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <span>
+
+#include "crypto/backend.hpp"
 
 namespace secbus::crypto {
 
@@ -154,16 +162,10 @@ inline constexpr TTable kTd3 = make_dec_ttable(3);
 
 }  // namespace detail
 
-// Which block datapath a context uses. Both produce identical output; the
-// scalar path exists as the validated reference implementation.
-enum class AesImpl : std::uint8_t { kTTable, kScalar };
-
-[[nodiscard]] constexpr AesImpl default_aes_impl() noexcept {
-#ifdef SECBUS_AES_FORCE_SCALAR
-  return AesImpl::kScalar;
-#else
-  return AesImpl::kTTable;
-#endif
+// The datapath a newly constructed context uses: whatever the process-wide
+// backend selected (env override > SECBUS_AES_SCALAR build option > CPUID).
+[[nodiscard]] inline AesImpl default_aes_impl() noexcept {
+  return active_backend().aes_impl;
 }
 
 // AES-128 context: expands the key once; encrypt/decrypt are const and
@@ -175,9 +177,11 @@ class Aes128 {
   // Re-expands with a new key (used by policy reconfiguration).
   void rekey(const Aes128Key& key) noexcept;
 
-  // Selects the block datapath (default: T-table, or scalar when built with
-  // SECBUS_AES_FORCE_SCALAR). Both produce identical blocks; the switch
-  // exists so tests can validate the fast path against the reference.
+  // Selects the block datapath (default: the active backend's choice). All
+  // datapaths produce identical blocks; the switch exists so tests can
+  // validate the fast paths against the reference. Selecting kAesni on a
+  // machine without the extension is the caller's bug (check
+  // aes_impl_supported first); the batched entry points would fault.
   void set_impl(AesImpl impl) noexcept { impl_ = impl; }
   [[nodiscard]] AesImpl impl() const noexcept { return impl_; }
 
@@ -186,6 +190,16 @@ class Aes128 {
                      std::uint8_t out[kAesBlockBytes]) const noexcept;
   void decrypt_block(const std::uint8_t in[kAesBlockBytes],
                      std::uint8_t out[kAesBlockBytes]) const noexcept;
+
+  // Batched ECB over `nblocks` consecutive 16-byte blocks. On the AES-NI
+  // datapath the blocks go through the hardware pipeline 4 at a time (this
+  // is what feeds the multi-block CTR keystream); the portable datapaths
+  // loop per block. in/out may be the same pointer but must not otherwise
+  // overlap.
+  void encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                      std::size_t nblocks) const noexcept;
+  void decrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                      std::size_t nblocks) const noexcept;
 
   [[nodiscard]] AesBlock encrypt(const AesBlock& in) const noexcept;
   [[nodiscard]] AesBlock decrypt(const AesBlock& in) const noexcept;
@@ -217,6 +231,10 @@ class Aes128 {
   // reversed, inner ones passed through InvMixColumns).
   std::array<std::uint32_t, 4 * (kAes128Rounds + 1)> enc_words_{};
   std::array<std::uint32_t, 4 * (kAes128Rounds + 1)> dec_words_{};
+  // Byte form of dec_words_: the equivalent-inverse schedule is exactly the
+  // aesdec/aesdeclast key convention, so AES-NI decryption needs no runtime
+  // aesimc — just this serialization, done once at rekey.
+  std::array<std::uint8_t, kAesBlockBytes*(kAes128Rounds + 1)> dec_bytes_{};
   AesImpl impl_ = default_aes_impl();
   mutable std::uint64_t block_ops_ = 0;
 };

@@ -8,30 +8,69 @@
 namespace secbus::crypto {
 
 namespace {
-void increment_counter(AesBlock& ctr) noexcept {
-  // Big-endian increment of the low 32 bits (SP 800-38A convention).
-  for (int i = 15; i >= 12; --i) {
-    if (++ctr[static_cast<std::size_t>(i)] != 0) break;
+
+// Batch width for the scratch-free paths: enough counter blocks to keep the
+// AES-NI pipeline full (4 in flight) while staying a small stack buffer.
+inline constexpr std::size_t kCtrBatchBlocks = 8;
+
+// Writes `n` consecutive CTR counter blocks: the 12-byte prefix of `base`
+// with the low word stepping from `lo` (big-endian, wrapping mod 2^32 —
+// the SP 800-38A low-32 increment hoisted to word level).
+void fill_ctr_counters(const AesBlock& base, std::uint32_t lo,
+                       std::uint8_t* counters, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(counters + kAesBlockBytes * i, base.data(), 12);
+    util::store_be32(counters + kAesBlockBytes * i + 12,
+                     lo + static_cast<std::uint32_t>(i));
   }
 }
+
+// Writes `n` consecutive line-tweak blocks: nonce, stepping block address,
+// fixed version (make_memory_tweak layout).
+void fill_line_tweaks(std::uint32_t nonce, std::uint64_t addr,
+                      std::uint32_t version, std::uint8_t* counters,
+                      std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t* t = counters + kAesBlockBytes * i;
+    util::store_be32(t, nonce);
+    util::store_be64(t + 4, addr + kAesBlockBytes * i);
+    util::store_be32(t + 12, version);
+  }
+}
+
+// out = in ^ ks over n bytes, 64-bit lanes with a byte tail. in/out may be
+// the same pointer (each lane loads before it stores).
+void xor_keystream(const std::uint8_t* in, const std::uint8_t* ks,
+                   std::uint8_t* out, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, k;
+    std::memcpy(&a, in + i, 8);
+    std::memcpy(&k, ks + i, 8);
+    a ^= k;
+    std::memcpy(out + i, &a, 8);
+  }
+  for (; i < n; ++i) out[i] = in[i] ^ ks[i];
+}
+
+void grow(std::vector<std::uint8_t>& buf, std::size_t bytes) {
+  if (buf.size() < bytes) buf.resize(bytes);
+}
+
 }  // namespace
 
 void ecb_encrypt(const Aes128& aes, std::span<const std::uint8_t> in,
                  std::span<std::uint8_t> out) noexcept {
   SECBUS_ASSERT(in.size() == out.size() && in.size() % kAesBlockBytes == 0,
                 "ECB requires whole blocks");
-  for (std::size_t off = 0; off < in.size(); off += kAesBlockBytes) {
-    aes.encrypt_block(in.data() + off, out.data() + off);
-  }
+  aes.encrypt_blocks(in.data(), out.data(), in.size() / kAesBlockBytes);
 }
 
 void ecb_decrypt(const Aes128& aes, std::span<const std::uint8_t> in,
                  std::span<std::uint8_t> out) noexcept {
   SECBUS_ASSERT(in.size() == out.size() && in.size() % kAesBlockBytes == 0,
                 "ECB requires whole blocks");
-  for (std::size_t off = 0; off < in.size(); off += kAesBlockBytes) {
-    aes.decrypt_block(in.data() + off, out.data() + off);
-  }
+  aes.decrypt_blocks(in.data(), out.data(), in.size() / kAesBlockBytes);
 }
 
 void cbc_encrypt(const Aes128& aes, const AesBlock& iv,
@@ -53,14 +92,26 @@ void cbc_decrypt(const Aes128& aes, const AesBlock& iv,
                  std::span<std::uint8_t> out) noexcept {
   SECBUS_ASSERT(in.size() == out.size() && in.size() % kAesBlockBytes == 0,
                 "CBC requires whole blocks");
+  // Unlike encryption, decryption has no inter-block data dependency in the
+  // cipher itself (the chain is XORed after), so blocks batch through the
+  // pipeline; the stack copy also covers in/out aliasing.
   AesBlock chain = iv;
-  for (std::size_t off = 0; off < in.size(); off += kAesBlockBytes) {
-    AesBlock ct;
-    std::memcpy(ct.data(), in.data() + off, kAesBlockBytes);  // in/out may alias
-    AesBlock pt;
-    aes.decrypt_block(ct.data(), pt.data());
-    for (std::size_t i = 0; i < kAesBlockBytes; ++i) out[off + i] = pt[i] ^ chain[i];
-    chain = ct;
+  std::uint8_t ct[kAesBlockBytes * kCtrBatchBlocks];
+  std::uint8_t pt[kAesBlockBytes * kCtrBatchBlocks];
+  for (std::size_t off = 0; off < in.size();) {
+    const std::size_t nblocks =
+        std::min((in.size() - off) / kAesBlockBytes, kCtrBatchBlocks);
+    const std::size_t nbytes = nblocks * kAesBlockBytes;
+    std::memcpy(ct, in.data() + off, nbytes);
+    aes.decrypt_blocks(ct, pt, nblocks);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      for (std::size_t i = 0; i < kAesBlockBytes; ++i) {
+        out[off + kAesBlockBytes * b + i] =
+            pt[kAesBlockBytes * b + i] ^ chain[i];
+      }
+      std::memcpy(chain.data(), ct + kAesBlockBytes * b, kAesBlockBytes);
+    }
+    off += nbytes;
   }
 }
 
@@ -68,16 +119,40 @@ void ctr_xcrypt(const Aes128& aes, const AesBlock& initial_counter,
                 std::span<const std::uint8_t> in,
                 std::span<std::uint8_t> out) noexcept {
   SECBUS_ASSERT(in.size() == out.size(), "CTR requires equal-size spans");
-  AesBlock ctr = initial_counter;
-  AesBlock keystream;
+  const std::uint32_t lo = util::load_be32(initial_counter.data() + 12);
+  std::uint8_t counters[kAesBlockBytes * kCtrBatchBlocks];
+  std::uint8_t keystream[kAesBlockBytes * kCtrBatchBlocks];
   std::size_t off = 0;
+  std::uint32_t blk = 0;
   while (off < in.size()) {
-    aes.encrypt_block(ctr.data(), keystream.data());
-    const std::size_t n = std::min(kAesBlockBytes, in.size() - off);
-    for (std::size_t i = 0; i < n; ++i) out[off + i] = in[off + i] ^ keystream[i];
-    increment_counter(ctr);
-    off += n;
+    const std::size_t nblocks = std::min(
+        (in.size() - off + kAesBlockBytes - 1) / kAesBlockBytes,
+        kCtrBatchBlocks);
+    fill_ctr_counters(initial_counter, lo + blk, counters, nblocks);
+    aes.encrypt_blocks(counters, keystream, nblocks);
+    const std::size_t nbytes =
+        std::min(nblocks * kAesBlockBytes, in.size() - off);
+    xor_keystream(in.data() + off, keystream, out.data() + off, nbytes);
+    off += nbytes;
+    blk += static_cast<std::uint32_t>(nblocks);
   }
+}
+
+void ctr_xcrypt(const Aes128& aes, const AesBlock& initial_counter,
+                std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                CtrScratch& scratch) noexcept {
+  SECBUS_ASSERT(in.size() == out.size(), "CTR requires equal-size spans");
+  if (in.empty()) return;
+  const std::size_t nblocks =
+      (in.size() + kAesBlockBytes - 1) / kAesBlockBytes;
+  grow(scratch.counters, nblocks * kAesBlockBytes);
+  grow(scratch.keystream, nblocks * kAesBlockBytes);
+  fill_ctr_counters(initial_counter,
+                    util::load_be32(initial_counter.data() + 12),
+                    scratch.counters.data(), nblocks);
+  aes.encrypt_blocks(scratch.counters.data(), scratch.keystream.data(),
+                     nblocks);
+  xor_keystream(in.data(), scratch.keystream.data(), out.data(), in.size());
 }
 
 AesBlock make_memory_tweak(std::uint32_t nonce, std::uint64_t block_addr,
@@ -109,24 +184,35 @@ void memory_xcrypt_line(const Aes128& aes, std::uint32_t nonce,
                         std::span<std::uint8_t> out) noexcept {
   SECBUS_ASSERT(in.size() == out.size() && in.size() % kAesBlockBytes == 0,
                 "line transform requires equal-size whole-block spans");
-  AesBlock tweak = make_memory_tweak(nonce, line_addr, version);
-  AesBlock keystream;
-  for (std::size_t off = 0; off < in.size(); off += kAesBlockBytes) {
-    util::store_be64(tweak.data() + 4, line_addr + off);
-    aes.encrypt_block(tweak.data(), keystream.data());
-    // XOR one block as two 64-bit lanes (in/out may alias; the loads happen
-    // before the stores).
-    std::uint64_t lo, hi;
-    std::memcpy(&lo, in.data() + off, 8);
-    std::memcpy(&hi, in.data() + off + 8, 8);
-    std::uint64_t klo, khi;
-    std::memcpy(&klo, keystream.data(), 8);
-    std::memcpy(&khi, keystream.data() + 8, 8);
-    lo ^= klo;
-    hi ^= khi;
-    std::memcpy(out.data() + off, &lo, 8);
-    std::memcpy(out.data() + off + 8, &hi, 8);
+  std::uint8_t tweaks[kAesBlockBytes * kCtrBatchBlocks];
+  std::uint8_t keystream[kAesBlockBytes * kCtrBatchBlocks];
+  for (std::size_t off = 0; off < in.size();) {
+    const std::size_t nblocks =
+        std::min((in.size() - off) / kAesBlockBytes, kCtrBatchBlocks);
+    const std::size_t nbytes = nblocks * kAesBlockBytes;
+    fill_line_tweaks(nonce, line_addr + off, version, tweaks, nblocks);
+    aes.encrypt_blocks(tweaks, keystream, nblocks);
+    xor_keystream(in.data() + off, keystream, out.data() + off, nbytes);
+    off += nbytes;
   }
+}
+
+void memory_xcrypt_line(const Aes128& aes, std::uint32_t nonce,
+                        std::uint64_t line_addr, std::uint32_t version,
+                        std::span<const std::uint8_t> in,
+                        std::span<std::uint8_t> out,
+                        CtrScratch& scratch) noexcept {
+  SECBUS_ASSERT(in.size() == out.size() && in.size() % kAesBlockBytes == 0,
+                "line transform requires equal-size whole-block spans");
+  if (in.empty()) return;
+  const std::size_t nblocks = in.size() / kAesBlockBytes;
+  grow(scratch.counters, in.size());
+  grow(scratch.keystream, in.size());
+  fill_line_tweaks(nonce, line_addr, version, scratch.counters.data(),
+                   nblocks);
+  aes.encrypt_blocks(scratch.counters.data(), scratch.keystream.data(),
+                     nblocks);
+  xor_keystream(in.data(), scratch.keystream.data(), out.data(), in.size());
 }
 
 }  // namespace secbus::crypto

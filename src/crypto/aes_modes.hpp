@@ -10,10 +10,23 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "crypto/aes128.hpp"
 
 namespace secbus::crypto {
+
+// Grow-only counter/keystream buffers for the batched CTR paths. The
+// scratch overloads below generate the keystream for a whole span in one
+// batched encrypt_blocks call (maximum hardware pipelining) without
+// allocating once the buffers have grown to the working line size — the
+// Confidentiality Core keeps one per core so its per-access path is
+// allocation-free. The scratch-free overloads chunk through a fixed stack
+// buffer instead and never allocate at all.
+struct CtrScratch {
+  std::vector<std::uint8_t> counters;
+  std::vector<std::uint8_t> keystream;
+};
 
 // ECB: independent block encryption; exposed mainly for NIST test vectors
 // and as the building block of the tweaked CTR below. Spans must be a
@@ -32,11 +45,17 @@ void cbc_decrypt(const Aes128& aes, const AesBlock& iv,
                  std::span<std::uint8_t> out) noexcept;
 
 // Standard CTR with a 16-byte initial counter block, big-endian increment of
-// the low 32 bits (NIST SP 800-38A style). Works on arbitrary lengths;
-// encryption and decryption are the same operation.
+// the low 32 bits wrapping mod 2^32 (NIST SP 800-38A style). Works on
+// arbitrary lengths; encryption and decryption are the same operation. The
+// keystream is generated in multi-block batches (word-level counter
+// increment, 4-8 counter blocks per cipher call); the scratch overload
+// batches the whole span at once and reuses the buffers across calls.
 void ctr_xcrypt(const Aes128& aes, const AesBlock& initial_counter,
                 std::span<const std::uint8_t> in,
                 std::span<std::uint8_t> out) noexcept;
+void ctr_xcrypt(const Aes128& aes, const AesBlock& initial_counter,
+                std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                CtrScratch& scratch) noexcept;
 
 // Builds the tweaked counter block used by the LCF:
 //   bytes 0..3   nonce (per-policy salt)
@@ -61,5 +80,10 @@ void memory_xcrypt_line(const Aes128& aes, std::uint32_t nonce,
                         std::uint64_t line_addr, std::uint32_t version,
                         std::span<const std::uint8_t> in,
                         std::span<std::uint8_t> out) noexcept;
+void memory_xcrypt_line(const Aes128& aes, std::uint32_t nonce,
+                        std::uint64_t line_addr, std::uint32_t version,
+                        std::span<const std::uint8_t> in,
+                        std::span<std::uint8_t> out,
+                        CtrScratch& scratch) noexcept;
 
 }  // namespace secbus::crypto

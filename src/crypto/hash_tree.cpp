@@ -22,18 +22,17 @@ Sha256Digest HashTree::leaf_hash(std::size_t leaf,
   std::uint8_t binder[12];
   util::store_be64(binder, leaf_addr(leaf));
   util::store_be32(binder + 8, version);
-  Sha256 ctx;
-  ctx.update(data);
-  ctx.update(std::span<const std::uint8_t>(binder, sizeof(binder)));
-  return ctx.finalize();
+  // Fused one-shot: leaf/parent hashes are the Integrity Core's hot loop and
+  // digest_parts compresses message+padding in a single batched call.
+  return Sha256::digest_parts(
+      {data, std::span<const std::uint8_t>(binder, sizeof(binder))});
 }
 
 Sha256Digest HashTree::parent_hash(const Sha256Digest& left,
                                    const Sha256Digest& right) noexcept {
-  Sha256 ctx;
-  ctx.update(std::span<const std::uint8_t>(left.data(), left.size()));
-  ctx.update(std::span<const std::uint8_t>(right.data(), right.size()));
-  return ctx.finalize();
+  return Sha256::digest_parts(
+      {std::span<const std::uint8_t>(left.data(), left.size()),
+       std::span<const std::uint8_t>(right.data(), right.size())});
 }
 
 std::size_t HashTree::heap_index(std::size_t level, std::size_t idx) const {

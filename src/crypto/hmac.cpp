@@ -19,15 +19,15 @@ void HmacSha256::rekey(std::span<const std::uint8_t> key) noexcept {
 }
 
 Sha256Digest HmacSha256::mac(std::span<const std::uint8_t> data) const noexcept {
-  Sha256 inner;
-  inner.update(std::span<const std::uint8_t>(ipad_key_.data(), ipad_key_.size()));
-  inner.update(data);
-  const Sha256Digest inner_digest = inner.finalize();
-
-  Sha256 outer;
-  outer.update(std::span<const std::uint8_t>(opad_key_.data(), opad_key_.size()));
-  outer.update(std::span<const std::uint8_t>(inner_digest.data(), inner_digest.size()));
-  return outer.finalize();
+  // Both hashes go through the fused one-shot path (the outer message is
+  // always 96 bytes; short inner messages fuse too, longer ones stream).
+  const Sha256Digest inner_digest = Sha256::digest_parts(
+      {std::span<const std::uint8_t>(ipad_key_.data(), ipad_key_.size()), data},
+      impl_);
+  return Sha256::digest_parts(
+      {std::span<const std::uint8_t>(opad_key_.data(), opad_key_.size()),
+       std::span<const std::uint8_t>(inner_digest.data(), inner_digest.size())},
+      impl_);
 }
 
 void HmacSha256::start() noexcept {
@@ -41,10 +41,10 @@ void HmacSha256::update(std::span<const std::uint8_t> data) noexcept {
 
 Sha256Digest HmacSha256::finish() noexcept {
   const Sha256Digest inner_digest = inner_.finalize();
-  Sha256 outer;
-  outer.update(std::span<const std::uint8_t>(opad_key_.data(), opad_key_.size()));
-  outer.update(std::span<const std::uint8_t>(inner_digest.data(), inner_digest.size()));
-  return outer.finalize();
+  return Sha256::digest_parts(
+      {std::span<const std::uint8_t>(opad_key_.data(), opad_key_.size()),
+       std::span<const std::uint8_t>(inner_digest.data(), inner_digest.size())},
+      impl_);
 }
 
 void derive_key(std::span<const std::uint8_t> master, std::span<const std::uint8_t> info,

@@ -37,8 +37,21 @@ void Sha256::reset() noexcept {
   total_bytes_ = 0;
 }
 
+void Sha256::compress_blocks(const std::uint8_t* blocks,
+                             std::size_t nblocks) noexcept {
+  if (nblocks == 0) return;
+  g_compression_count += nblocks;
+  if (impl_ == ShaImpl::kShaNi) {
+    accel::sha256_compress(state_.data(), blocks, nblocks);
+    return;
+  }
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    process_block(blocks + kSha256BlockBytes * b);
+  }
+}
+
+// Scalar FIPS 180-4 rounds; counting happens in compress_blocks.
 void Sha256::process_block(const std::uint8_t block[kSha256BlockBytes]) noexcept {
-  ++g_compression_count;
   std::uint32_t w[64];
   for (int t = 0; t < 16; ++t) w[t] = load_be32(block + 4 * t);
   for (int t = 16; t < 64; ++t) {
@@ -89,13 +102,16 @@ void Sha256::update(std::span<const std::uint8_t> data) noexcept {
     buffered_ += take;
     off += take;
     if (buffered_ == kSha256BlockBytes) {
-      process_block(buffer_.data());
+      compress_blocks(buffer_.data(), 1);
       buffered_ = 0;
     }
   }
-  while (off + kSha256BlockBytes <= data.size()) {
-    process_block(data.data() + off);
-    off += kSha256BlockBytes;
+  // Feed every whole block in one batched call so the hardware datapath
+  // repacks its state once per run instead of once per block.
+  const std::size_t whole = (data.size() - off) / kSha256BlockBytes;
+  if (whole > 0) {
+    compress_blocks(data.data() + off, whole);
+    off += whole * kSha256BlockBytes;
   }
   if (off < data.size()) {
     std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
@@ -136,6 +152,47 @@ Sha256Digest Sha256::digest(std::span<const std::uint8_t> data) noexcept {
 Sha256Digest Sha256::digest(std::string_view text) noexcept {
   Sha256 ctx;
   ctx.update(text);
+  return ctx.finalize();
+}
+
+Sha256Digest Sha256::digest_parts(
+    std::initializer_list<std::span<const std::uint8_t>> parts) noexcept {
+  return digest_parts(parts, default_sha_impl());
+}
+
+Sha256Digest Sha256::digest_parts(
+    std::initializer_list<std::span<const std::uint8_t>> parts,
+    ShaImpl impl) noexcept {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+
+  // 4 blocks cover message + 0x80 + length for totals up to 247 bytes.
+  constexpr std::size_t kMaxBlocks = 4;
+  if (total + 9 <= kMaxBlocks * kSha256BlockBytes) {
+    std::uint8_t buf[kMaxBlocks * kSha256BlockBytes];
+    std::size_t off = 0;
+    for (const auto& p : parts) {
+      if (p.empty()) continue;
+      std::memcpy(buf + off, p.data(), p.size());
+      off += p.size();
+    }
+    const std::size_t nblocks = (off + 9 + kSha256BlockBytes - 1) / kSha256BlockBytes;
+    buf[off] = 0x80;
+    std::memset(buf + off + 1, 0, nblocks * kSha256BlockBytes - off - 9);
+    store_be64(buf + nblocks * kSha256BlockBytes - 8, total * 8);
+    Sha256 ctx;
+    ctx.set_impl(impl);
+    ctx.compress_blocks(buf, nblocks);
+    Sha256Digest out;
+    for (int i = 0; i < 8; ++i) {
+      store_be32(out.data() + 4 * i, ctx.state_[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  }
+
+  Sha256 ctx;
+  ctx.set_impl(impl);
+  for (const auto& p : parts) ctx.update(p);
   return ctx.finalize();
 }
 

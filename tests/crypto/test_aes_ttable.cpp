@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "util/hexdump.hpp"
 #include "util/rng.hpp"
 
@@ -66,11 +68,23 @@ TEST_P(AesImplVectors, RekeyRevalidates) {
   EXPECT_EQ(aes.encrypt(block_from_hex(kFipsPlain)), block_from_hex(kFipsCipher));
 }
 
-INSTANTIATE_TEST_SUITE_P(BothImpls, AesImplVectors,
-                         ::testing::Values(AesImpl::kTTable, AesImpl::kScalar),
+// Every datapath this host can run, AES-NI included: the FIPS vectors above
+// are the hardware path's ground truth, not just the portable ones'.
+std::vector<AesImpl> supported_impls() {
+  std::vector<AesImpl> impls{AesImpl::kTTable, AesImpl::kScalar};
+  if (aes_impl_supported(AesImpl::kAesni)) impls.push_back(AesImpl::kAesni);
+  return impls;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImpls, AesImplVectors,
+                         ::testing::ValuesIn(supported_impls()),
                          [](const auto& info) {
-                           return info.param == AesImpl::kTTable ? "ttable"
-                                                                 : "scalar";
+                           switch (info.param) {
+                             case AesImpl::kTTable: return "ttable";
+                             case AesImpl::kScalar: return "scalar";
+                             case AesImpl::kAesni: return "aesni";
+                           }
+                           return "unknown";
                          });
 
 TEST(AesTTableDifferential, RandomizedBlocksMatchScalar) {

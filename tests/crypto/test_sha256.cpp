@@ -93,5 +93,73 @@ TEST(Sha256, CompressionCounterAdvances) {
   EXPECT_EQ(Sha256::compression_count(), 3u);
 }
 
+// FIPS 180-4 vectors on every compression datapath this host can run —
+// the SHA-NI path's ground truth is the standard vectors, not the portable
+// implementation.
+class Sha256ImplVectors : public ::testing::TestWithParam<ShaImpl> {
+ protected:
+  std::string hex(std::string_view text) const {
+    Sha256 ctx;
+    ctx.set_impl(GetParam());
+    ctx.update(text);
+    const Sha256Digest d = ctx.finalize();
+    return util::to_hex({d.data(), d.size()});
+  }
+};
+
+TEST_P(Sha256ImplVectors, StandardVectors) {
+  EXPECT_EQ(hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb924"
+            "27ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223"
+            "b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039"
+      "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST_P(Sha256ImplVectors, MillionAs) {
+  Sha256 ctx;
+  ctx.set_impl(GetParam());
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  const Sha256Digest d = ctx.finalize();
+  EXPECT_EQ(util::to_hex({d.data(), d.size()}),
+            "cdc76e5c9914fb9281a1c7e284d73e67"
+            "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST_P(Sha256ImplVectors, DigestPartsMatchesStreaming) {
+  const std::string a = "leaf data payload spanning some bytes";
+  const std::string b = "binder";
+  Sha256 ctx;
+  ctx.set_impl(GetParam());
+  ctx.update(a);
+  ctx.update(b);
+  const Sha256Digest streamed = ctx.finalize();
+  const Sha256Digest fused = Sha256::digest_parts(
+      {std::span<const std::uint8_t>(
+           reinterpret_cast<const std::uint8_t*>(a.data()), a.size()),
+       std::span<const std::uint8_t>(
+           reinterpret_cast<const std::uint8_t*>(b.data()), b.size())},
+      GetParam());
+  EXPECT_EQ(fused, streamed);
+}
+
+std::vector<ShaImpl> supported_sha_impls() {
+  std::vector<ShaImpl> impls{ShaImpl::kPortable};
+  if (sha_impl_supported(ShaImpl::kShaNi)) impls.push_back(ShaImpl::kShaNi);
+  return impls;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImpls, Sha256ImplVectors,
+                         ::testing::ValuesIn(supported_sha_impls()),
+                         [](const auto& info) {
+                           return info.param == ShaImpl::kPortable ? "portable"
+                                                                   : "shani";
+                         });
+
 }  // namespace
 }  // namespace secbus::crypto

@@ -5,6 +5,11 @@
 //   secbus_cli list-scenarios
 //       Prints the built-in scenario catalog (name, jobs, description).
 //
+//   secbus_cli crypto-info
+//       Prints detected CPU crypto features, the selected crypto backend
+//       (portable | scalar | accel) and the SECBUS_CRYPTO_BACKEND override
+//       in effect, so a run's datapath is always on record.
+//
 //   secbus_cli run <scenario> [options]
 //       Expands the named scenario over its default sweep axes and executes
 //       the jobs on a worker pool. Emits a per-job table plus aggregate
@@ -141,6 +146,7 @@
 #include "campaign/campaign.hpp"
 #include "campaign/fleet.hpp"
 #include "campaign/report.hpp"
+#include "crypto/backend.hpp"
 #include "campaign/shard.hpp"
 #include "campaign/telemetry.hpp"
 #include "core/format_cache.hpp"
@@ -163,6 +169,7 @@ namespace {
   std::fprintf(
       stderr,
       "usage: %s list-scenarios\n"
+      "       %s crypto-info\n"
       "       %s run <scenario> [--jobs N] [--repeats N] [--csv PATH]\n"
       "              [--json PATH] [--no-files] [--max-cycles N] [--quiet]\n"
       "              [--metrics] [--trace PATH]\n"
@@ -190,7 +197,7 @@ namespace {
       "          [--line-bytes N] [--seed N] [--max-cycles N]\n"
       "          [--reconfig] [--report] [--quiet]\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-      argv0);
+      argv0, argv0);
   std::exit(1);
 }
 
@@ -1190,6 +1197,12 @@ int legacy_single_run(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "list-scenarios") == 0) {
     return cmd_list_scenarios();
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "crypto-info") == 0) {
+    // Detected CPU features, selected backend and any env override — CI logs
+    // this so every run records which crypto datapath it exercised.
+    std::fputs(crypto::backend_report().c_str(), stdout);
+    return 0;
   }
   if (argc >= 2 && std::strcmp(argv[1], "run") == 0) {
     return cmd_run(argc, argv);
