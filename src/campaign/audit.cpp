@@ -1,0 +1,97 @@
+#include "campaign/audit.hpp"
+
+namespace secbus::campaign {
+
+const char* to_string(AuditEvent event) noexcept {
+  switch (event) {
+    case AuditEvent::kGrant: return "grant";
+    case AuditEvent::kReassigned: return "reassigned";
+    case AuditEvent::kExtend: return "extend";
+    case AuditEvent::kExpire: return "expire";
+    case AuditEvent::kRelease: return "release";
+    case AuditEvent::kRefuse: return "refuse";
+    case AuditEvent::kCommit: return "commit";
+  }
+  return "unknown";
+}
+
+bool parse_audit_event(std::string_view text, AuditEvent& out) noexcept {
+  for (AuditEvent e : {AuditEvent::kGrant, AuditEvent::kReassigned,
+                       AuditEvent::kExtend, AuditEvent::kExpire,
+                       AuditEvent::kRelease, AuditEvent::kRefuse,
+                       AuditEvent::kCommit}) {
+    if (text == to_string(e)) {
+      out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+util::Json audit_record_to_json(const AuditRecord& record) {
+  util::Json j = util::Json::object();
+  j.set("t_ms", util::Json::number(record.t_ms));
+  j.set("event", util::Json::string(to_string(record.event)));
+  j.set("shard", util::Json::number(static_cast<std::uint64_t>(record.shard)));
+  j.set("generation", util::Json::number(record.generation));
+  j.set("worker", util::Json::string(record.worker));
+  if (!record.detail.empty())
+    j.set("detail", util::Json::string(record.detail));
+  return j;
+}
+
+bool audit_record_from_json(const util::Json& j, AuditRecord& out,
+                            std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = "audit record: " + why;
+    return false;
+  };
+  if (!j.is_object()) return fail("not an object");
+  const util::Json* event = j.find("event");
+  if (event == nullptr || !event->is_string())
+    return fail("missing \"event\"");
+  AuditRecord record;
+  if (!parse_audit_event(event->as_string(), record.event))
+    return fail("unknown event \"" + event->as_string() + "\"");
+  const util::Json* t_ms = j.find("t_ms");
+  const util::Json* shard = j.find("shard");
+  const util::Json* generation = j.find("generation");
+  const util::Json* worker = j.find("worker");
+  std::uint64_t shard_u = 0;
+  if (t_ms == nullptr || shard == nullptr || generation == nullptr ||
+      worker == nullptr || !worker->is_string() ||
+      !t_ms->to_u64(record.t_ms) || !shard->to_u64(shard_u) ||
+      !generation->to_u64(record.generation))
+    return fail("missing field");
+  record.shard = static_cast<std::size_t>(shard_u);
+  record.worker = worker->as_string();
+  if (const util::Json* detail = j.find("detail");
+      detail != nullptr && detail->is_string())
+    record.detail = detail->as_string();
+  out = std::move(record);
+  return true;
+}
+
+bool AuditLog::append(const AuditRecord& record) {
+  if (!writer_.is_open()) return true;
+  return writer_.append(audit_record_to_json(record));
+}
+
+std::string audit_file_name(const std::string& campaign) {
+  return campaign + ".fleet-audit.jsonl";
+}
+
+bool read_audit_log(const std::string& path, std::vector<AuditRecord>& out,
+                    std::string* error) {
+  std::vector<util::Json> lines;
+  if (!util::read_jsonl(path, lines, error)) return false;
+  out.clear();
+  out.reserve(lines.size());
+  for (const util::Json& line : lines) {
+    AuditRecord record;
+    if (audit_record_from_json(line, record)) out.push_back(std::move(record));
+  }
+  return true;
+}
+
+}  // namespace secbus::campaign

@@ -1,0 +1,84 @@
+// Lease audit log: every fleet lease state transition, durably recorded.
+//
+// The fleet server appends one compact JSON line per lease transition to
+// `<campaign>.fleet-audit.jsonl` (flushed per record, same crash posture
+// as shard checkpoints): grants and reassignments, heartbeat extensions,
+// expiries, disconnect releases, zombie refusals and result commits.
+// Timestamps are *server-relative* milliseconds (transport clock minus the
+// server's start instant), so a log replays identically under
+// FakeTransport's manual clock and wall time, and two logs from different
+// hosts line up at zero.
+//
+// The log is the fleet's flight recorder: `campaign timeline` converts it
+// into a Chrome-trace view (obs/fleet_timeline.hpp) and the chaos CI job
+// asserts the killed worker's lease shows exactly one `reassigned` record.
+// It is pure observability — no deterministic artifact (cells CSV,
+// campaign JSON, shard files) depends on it.
+//
+// Record schema (one JSON object per line):
+//   {"t_ms":1234,"event":"grant","shard":2,"generation":1,
+//    "worker":"w1","detail":"..."}            // detail only when non-empty
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/jsonl.hpp"
+
+namespace secbus::campaign {
+
+// Lease transitions, in the lease state machine's vocabulary.
+enum class AuditEvent : std::uint8_t {
+  kGrant,       // pending shard leased to a worker (first time)
+  kReassigned,  // pending shard re-leased after a previous lease was lost
+  kExtend,      // heartbeat accepted, deadline pushed out
+  kExpire,      // heartbeats stopped, lease returned to pending
+  kRelease,     // holder disconnected, lease returned to pending
+  kRefuse,      // stale generation presented (zombie fenced off)
+  kCommit,      // shard result accepted, shard done
+};
+
+[[nodiscard]] const char* to_string(AuditEvent event) noexcept;
+bool parse_audit_event(std::string_view text, AuditEvent& out) noexcept;
+
+struct AuditRecord {
+  std::uint64_t t_ms = 0;  // server-relative milliseconds
+  AuditEvent event = AuditEvent::kGrant;
+  std::size_t shard = 0;
+  std::uint64_t generation = 0;
+  std::string worker;
+  std::string detail;  // human-readable context; empty for most records
+};
+
+[[nodiscard]] util::Json audit_record_to_json(const AuditRecord& record);
+bool audit_record_from_json(const util::Json& j, AuditRecord& out,
+                            std::string* error = nullptr);
+
+// Append-only flushed JSONL writer for audit records. Thin veneer over
+// util::JsonlWriter so the fleet server's call sites stay one-liners.
+class AuditLog {
+ public:
+  bool open(const std::string& path) { return writer_.open(path); }
+  [[nodiscard]] bool is_open() const noexcept { return writer_.is_open(); }
+  [[nodiscard]] bool ok() const noexcept { return writer_.ok(); }
+
+  // No-op (returning true) while the log is closed, so callers don't
+  // branch on whether auditing is enabled.
+  bool append(const AuditRecord& record);
+
+ private:
+  util::JsonlWriter writer_;
+};
+
+// Conventional audit-log file name: "<campaign>.fleet-audit.jsonl".
+[[nodiscard]] std::string audit_file_name(const std::string& campaign);
+
+// Replays an audit log. Torn or malformed lines are skipped (the log may
+// end mid-record if the server was killed); returns false only when the
+// file cannot be read at all.
+bool read_audit_log(const std::string& path, std::vector<AuditRecord>& out,
+                    std::string* error = nullptr);
+
+}  // namespace secbus::campaign

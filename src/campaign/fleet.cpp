@@ -9,6 +9,8 @@
 #include <mutex>
 #include <thread>
 
+#include "crypto/backend.hpp"
+#include "net/netstats.hpp"
 #include "scenario/sweep.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -97,6 +99,8 @@ Json hello(const std::string& worker) {
   j.set("type", Json::string("hello"));
   j.set("worker", Json::string(worker));
   j.set("protocol", Json::number(kFleetProtocolVersion));
+  j.set("backend",
+        Json::string(crypto::to_string(crypto::active_backend().kind)));
   return j;
 }
 
@@ -107,12 +111,15 @@ Json request() {
 }
 
 Json heartbeat(std::size_t shard, std::uint64_t generation,
-               const ProgressRecord& progress) {
+               const ProgressRecord& progress, const obs::Registry* snapshot) {
   Json j = Json::object();
   j.set("type", Json::string("heartbeat"));
   j.set("shard", Json::number(static_cast<std::uint64_t>(shard)));
   j.set("generation", Json::number(generation));
   j.set("progress", progress_record_to_json(progress));
+  if (snapshot != nullptr && !snapshot->empty()) {
+    j.set("snapshot", snapshot->to_json());
+  }
   return j;
 }
 
@@ -259,6 +266,10 @@ std::uint64_t LeaseManager::generation(std::size_t shard) const {
   return shards_.at(shard).generation;
 }
 
+std::uint64_t LeaseManager::deadline_ms(std::size_t shard) const {
+  return shards_.at(shard).deadline_ms;
+}
+
 std::optional<std::uint64_t> LeaseManager::next_deadline_ms() const {
   std::optional<std::uint64_t> next;
   for (const Shard& s : shards_) {
@@ -283,6 +294,19 @@ FleetServer::FleetServer(net::Transport& transport,
   shard_paths_.assign(options_.shards, std::string());
   std::error_code ec;
   std::filesystem::create_directories(options_.out_dir, ec);
+  start_ms_ = transport_.now_ms();
+  if (options_.audit) {
+    audit_path_ = (std::filesystem::path(options_.out_dir) /
+                   audit_file_name(campaign_name_))
+                      .string();
+    if (!audit_.open(audit_path_)) {
+      std::fprintf(stderr,
+                   "fleet: cannot open lease audit log %s; auditing "
+                   "disabled for this run\n",
+                   audit_path_.c_str());
+      audit_path_.clear();
+    }
+  }
 
   Json msg = Json::object();
   msg.set("type", Json::string("campaign"));
@@ -297,6 +321,29 @@ FleetServer::FleetServer(net::Transport& transport,
 }
 
 FleetServer::~FleetServer() = default;
+
+void FleetServer::audit(AuditEvent event, std::size_t shard,
+                        std::uint64_t generation, const std::string& worker,
+                        std::string detail) {
+  if (!audit_.is_open()) return;
+  AuditRecord record;
+  const std::uint64_t now = transport_.now_ms();
+  record.t_ms = now > start_ms_ ? now - start_ms_ : 0;
+  record.event = event;
+  record.shard = shard;
+  record.generation = generation;
+  record.worker = worker;
+  record.detail = std::move(detail);
+  audit_.append(record);
+}
+
+FleetServer::WorkerInfo& FleetServer::worker_info(const std::string& worker) {
+  const auto it = workers_.find(worker);
+  if (it != workers_.end()) return it->second;
+  WorkerInfo info;
+  info.ordinal = workers_.size();
+  return workers_.emplace(worker, std::move(info)).first->second;
+}
 
 void FleetServer::log_event(const char* fmt, ...) {
   if (options_.quiet) return;
@@ -323,21 +370,41 @@ bool FleetServer::step(std::uint64_t max_wait_ms, std::string* error) {
     handle_event(event, &step_error);
     if (!step_error.empty()) return fail(error, step_error);
   }
-  for (const std::size_t shard : leases_.expire(transport_.now_ms())) {
+  // Snapshot holders before expire() wipes them — the audit record names
+  // the worker whose lease lapsed.
+  const std::uint64_t expire_now = transport_.now_ms();
+  std::vector<std::pair<std::size_t, std::string>> lapsing;
+  for (std::size_t i = 0; i < leases_.shard_count(); ++i) {
+    if (leases_.state(i) == LeaseManager::ShardState::kLeased &&
+        expire_now >= leases_.deadline_ms(i)) {
+      lapsing.emplace_back(i, leases_.holder(i));
+    }
+  }
+  for (const std::size_t shard : leases_.expire(expire_now)) {
     std::fprintf(stderr,
                  "fleet: lease on shard %zu expired (no heartbeat for "
                  "%llu ms); returning it to the pending pool\n",
                  shard,
                  static_cast<unsigned long long>(options_.lease_timeout_ms));
   }
+  for (const auto& [shard, holder] : lapsing) {
+    audit(AuditEvent::kExpire, shard, leases_.generation(shard), holder,
+          "no heartbeat for " + std::to_string(options_.lease_timeout_ms) +
+              " ms");
+  }
   grant_to_waiting();
   if (!finished_ && leases_.all_done()) return finalize(error);
   return true;
 }
 
-bool FleetServer::run(std::string* error) {
+bool FleetServer::run(std::string* error,
+                      const std::function<void()>& between_steps) {
+  // With an observability callback attached, poll in shorter slices so the
+  // HTTP endpoints answer promptly even when the fleet is quiet.
+  const std::uint64_t slice = between_steps ? 50 : 250;
   while (!finished_) {
-    if (!step(250, error)) return false;
+    if (!step(slice, error)) return false;
+    if (between_steps) between_steps();
   }
   // Linger briefly so queued `done` frames reach workers that have not yet
   // hung up; workers exit on `done`, which shows up here as kClose.
@@ -350,6 +417,7 @@ bool FleetServer::run(std::string* error) {
         peers_.erase(event.conn);
       }
     }
+    if (between_steps) between_steps();
   }
   return true;
 }
@@ -438,6 +506,14 @@ void FleetServer::handle_hello(net::ConnId conn, const Json& message) {
   }
   worker_conns_[worker] = conn;
   peers_[conn].worker = worker;
+  WorkerInfo& info = worker_info(worker);
+  info.connected = true;
+  const std::uint64_t now = transport_.now_ms();
+  info.last_seen_ms = now > start_ms_ ? now - start_ms_ : 0;
+  if (const std::string backend = string_field(message, "backend");
+      !backend.empty()) {
+    info.backend = backend;
+  }
   log_event("fleet: worker %s connected", worker.c_str());
   transport_.send(conn, campaign_msg_);
 }
@@ -472,6 +548,8 @@ void FleetServer::handle_request(net::ConnId conn) {
               grant->shard, peer.worker.c_str(),
               static_cast<unsigned long long>(grant->generation));
   }
+  audit(grant->reassigned ? AuditEvent::kReassigned : AuditEvent::kGrant,
+        grant->shard, grant->generation, peer.worker);
   Json reply = Json::object();
   reply.set("type", Json::string("grant"));
   reply.set("shard", Json::number(static_cast<std::uint64_t>(grant->shard)));
@@ -497,17 +575,36 @@ void FleetServer::handle_heartbeat(net::ConnId conn, const Json& message) {
       !u64_field(message, "generation", generation)) {
     return;  // malformed heartbeat: ignore, the lease deadline will judge
   }
+  // The piggybacked snapshot describes the worker *process* and is merged
+  // even when the lease turns out stale: a zombie's wire counters are
+  // still that worker's wire counters.
+  WorkerInfo& info = worker_info(peer.worker);
+  const std::uint64_t now = transport_.now_ms();
+  info.last_seen_ms = now > start_ms_ ? now - start_ms_ : 0;
+  const Json* progress = message.find("progress");
+  ProgressRecord record;
+  const bool have_progress =
+      progress != nullptr && progress_record_from_json(*progress, record);
+  if (have_progress) info.last_progress = record;
+  if (const Json* snapshot = message.find("snapshot"); snapshot != nullptr) {
+    obs::Registry snap;
+    if (obs::Registry::from_json(*snapshot, snap)) {
+      info.snapshot = std::move(snap);
+    }
+  }
   if (!leases_.heartbeat(peer.worker, static_cast<std::size_t>(shard),
-                         generation, transport_.now_ms())) {
+                         generation, now)) {
+    audit(AuditEvent::kRefuse, static_cast<std::size_t>(shard), generation,
+          peer.worker, "stale heartbeat");
     refuse(conn, static_cast<std::size_t>(shard),
            "lease expired or reassigned; drop this shard and request new "
            "work");
     return;
   }
+  audit(AuditEvent::kExtend, static_cast<std::size_t>(shard), generation,
+        peer.worker);
   if (!options_.write_progress) return;
-  const Json* progress = message.find("progress");
-  ProgressRecord record;
-  if (progress != nullptr && progress_record_from_json(*progress, record)) {
+  if (have_progress) {
     if (ProgressWriter* writer =
             progress_writer(static_cast<std::size_t>(shard))) {
       writer->append_record(record);
@@ -533,10 +630,12 @@ void FleetServer::handle_shard_done(net::ConnId conn, const Json& message,
   const LeaseManager::Completion verdict =
       leases_.probe(peer.worker, static_cast<std::size_t>(shard), generation);
   if (verdict != LeaseManager::Completion::kAccepted) {
+    const bool duplicate = verdict == LeaseManager::Completion::kDuplicate;
+    audit(AuditEvent::kRefuse, static_cast<std::size_t>(shard), generation,
+          peer.worker, duplicate ? "duplicate result" : "stale result");
     refuse(conn, static_cast<std::size_t>(shard),
-           verdict == LeaseManager::Completion::kDuplicate
-               ? "shard already completed; drop this result"
-               : "lease expired or reassigned; drop this result");
+           duplicate ? "shard already completed; drop this result"
+                     : "lease expired or reassigned; drop this result");
     return;
   }
   // Vet the payload before committing the lease: a worker whose grid
@@ -572,11 +671,20 @@ void FleetServer::handle_shard_done(net::ConnId conn, const Json& message,
     return;
   }
   leases_.complete(peer.worker, static_cast<std::size_t>(shard), generation);
+  audit(AuditEvent::kCommit, static_cast<std::size_t>(shard), generation,
+        peer.worker,
+        std::to_string(file.results.size()) + " result(s)");
   ProgressRecord final_progress;
   const Json* progress = message.find("progress");
   const bool have_progress =
       progress != nullptr && progress_record_from_json(*progress,
                                                        final_progress);
+  if (have_progress) {
+    WorkerInfo& info = worker_info(peer.worker);
+    info.last_progress = final_progress;
+    const std::uint64_t now = transport_.now_ms();
+    info.last_seen_ms = now > start_ms_ ? now - start_ms_ : 0;
+  }
   if (!accept_result(peer.worker, std::move(file),
                      have_progress ? final_progress : ProgressRecord{},
                      error)) {
@@ -620,12 +728,17 @@ void FleetServer::drop_peer(net::ConnId conn, const std::string& reason) {
   const auto mapped = worker_conns_.find(worker);
   if (mapped == worker_conns_.end() || mapped->second != conn) return;
   worker_conns_.erase(mapped);
+  if (const auto info = workers_.find(worker); info != workers_.end()) {
+    info->second.connected = false;
+  }
   for (const std::size_t shard : leases_.release_worker(worker)) {
     std::fprintf(stderr,
                  "fleet: worker %s disconnected (%s); shard %zu returned to "
                  "the pending pool\n",
                  worker.c_str(), reason.empty() ? "closed" : reason.c_str(),
                  shard);
+    audit(AuditEvent::kRelease, shard, leases_.generation(shard), worker,
+          reason.empty() ? "disconnected" : reason);
   }
   grant_to_waiting();
 }
@@ -670,6 +783,131 @@ bool FleetServer::finalize(std::string* error) {
             campaign_name_.c_str(), results_.size(), options_.shards,
             leases_.regrants());
   return true;
+}
+
+// --- observability plane ----------------------------------------------------
+
+obs::Registry FleetServer::fleet_registry() const {
+  obs::Registry reg;
+  reg.counter("fleet.jobs", static_cast<std::uint64_t>(specs_.size()));
+  reg.counter("fleet.shards", static_cast<std::uint64_t>(options_.shards));
+  reg.counter("fleet.shards.done",
+              static_cast<std::uint64_t>(leases_.done_count()));
+  reg.gauge("fleet.shards.leased",
+            static_cast<double>(leases_.leased_count()));
+  reg.gauge("fleet.shards.pending",
+            static_cast<double>(leases_.pending_count()));
+  reg.counter("fleet.reassignments",
+              static_cast<std::uint64_t>(leases_.regrants()));
+  reg.gauge("fleet.workers", static_cast<double>(workers_.size()));
+  reg.gauge("fleet.workers.connected",
+            static_cast<double>(std::count_if(
+                workers_.begin(), workers_.end(),
+                [](const auto& kv) { return kv.second.connected; })));
+
+  // The server's own wire counters, prefix-qualified.
+  obs::Registry server_net;
+  net::netstats_contribute(server_net);
+  for (const obs::Metric& m : server_net.metrics()) {
+    reg.counter("fleet.server." + m.name, m.count);
+  }
+
+  // Every worker's latest snapshot under fleet.worker<ordinal>.*, and the
+  // per-name sum under fleet.total.* (counters stay counters; anything
+  // summed across a gauge — rates, hit ratios — becomes a gauge).
+  struct Total {
+    bool is_counter = true;
+    std::uint64_t count = 0;
+    double value = 0.0;
+  };
+  std::map<std::string, Total> totals;
+  for (const auto& [worker, info] : workers_) {
+    const std::string prefix =
+        "fleet.worker" + std::to_string(info.ordinal) + ".";
+    for (const obs::Metric& m : info.snapshot.metrics()) {
+      if (m.is_counter) {
+        reg.counter(prefix + m.name, m.count);
+      } else {
+        reg.gauge(prefix + m.name, m.value);
+      }
+      Total& total = totals[m.name];
+      if (m.is_counter) {
+        total.count += m.count;
+      } else {
+        total.is_counter = false;
+      }
+      total.value += m.is_counter ? static_cast<double>(m.count) : m.value;
+    }
+  }
+  for (const auto& [name, total] : totals) {
+    if (total.is_counter) {
+      reg.counter("fleet.total." + name, total.count);
+    } else {
+      reg.gauge("fleet.total." + name, total.value);
+    }
+  }
+  return reg;
+}
+
+util::Json FleetServer::status_json() const {
+  Json status = Json::object();
+  status.set("campaign", Json::string(campaign_name_));
+  status.set("shards",
+             Json::number(static_cast<std::uint64_t>(options_.shards)));
+  status.set("jobs", Json::number(static_cast<std::uint64_t>(specs_.size())));
+  status.set("finished", Json::boolean(finished_));
+  status.set("reassignments",
+             Json::number(static_cast<std::uint64_t>(leases_.regrants())));
+  status.set("pending",
+             Json::number(static_cast<std::uint64_t>(leases_.pending_count())));
+  status.set("leased",
+             Json::number(static_cast<std::uint64_t>(leases_.leased_count())));
+  status.set("done",
+             Json::number(static_cast<std::uint64_t>(leases_.done_count())));
+  const std::uint64_t now = transport_.now_ms();
+  status.set("t_ms", Json::number(now > start_ms_ ? now - start_ms_ : 0));
+
+  Json leases = Json::array();
+  for (std::size_t i = 0; i < leases_.shard_count(); ++i) {
+    Json lease = Json::object();
+    lease.set("shard", Json::number(static_cast<std::uint64_t>(i)));
+    const LeaseManager::ShardState state = leases_.state(i);
+    lease.set("state",
+              Json::string(state == LeaseManager::ShardState::kPending
+                               ? "pending"
+                               : state == LeaseManager::ShardState::kLeased
+                                     ? "leased"
+                                     : "done"));
+    lease.set("worker", Json::string(leases_.holder(i)));
+    lease.set("generation", Json::number(leases_.generation(i)));
+    if (state == LeaseManager::ShardState::kLeased) {
+      const std::uint64_t deadline = leases_.deadline_ms(i);
+      lease.set("deadline_ms",
+                Json::number(deadline > start_ms_ ? deadline - start_ms_ : 0));
+    }
+    leases.push(std::move(lease));
+  }
+  status.set("leases", std::move(leases));
+
+  Json workers = Json::array();
+  for (const auto& [worker, info] : workers_) {
+    Json w = Json::object();
+    w.set("worker", Json::string(worker));
+    w.set("ordinal", Json::number(static_cast<std::uint64_t>(info.ordinal)));
+    w.set("backend", Json::string(info.backend));
+    w.set("connected", Json::boolean(info.connected));
+    w.set("last_seen_ms", Json::number(info.last_seen_ms));
+    w.set("shard",
+          Json::number(static_cast<std::uint64_t>(info.last_progress.shard)));
+    w.set("done",
+          Json::number(static_cast<std::uint64_t>(info.last_progress.done)));
+    w.set("total",
+          Json::number(static_cast<std::uint64_t>(info.last_progress.total)));
+    w.set("jobs_per_sec", Json::number(info.last_progress.jobs_per_sec));
+    workers.push(std::move(w));
+  }
+  status.set("workers", std::move(workers));
+  return status;
 }
 
 // --- worker -----------------------------------------------------------------
@@ -887,11 +1125,14 @@ bool run_fleet_worker(const FleetWorkerOptions& options,
           record = shared->sampler.sample(shared->done, shared->total,
                                           /*finished=*/false);
         }
+        // Piggyback the process metrics snapshot (throughput, FormatCache,
+        // crypto backend, wire counters) on the liveness beat.
+        const obs::Registry snapshot = worker_metrics_snapshot(record);
         // Best-effort: a dead connection is discovered (and repaired) by
         // the main thread once the shard finishes.
         wire->send(net::kServerConn,
                    fleet_msg::heartbeat(grant.shard, grant.generation,
-                                        record));
+                                        record, &snapshot));
       }
     });
     const ShardRunOutcome outcome = run_shard(specs, run);

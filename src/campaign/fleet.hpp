@@ -27,27 +27,46 @@
 //     protocol tests.
 //
 // Wire protocol (length-prefixed JSON frames, net/frame.hpp), version 1:
-//   worker -> server: hello{worker,protocol} request{}
-//                     heartbeat{shard,generation,progress}
+//   worker -> server: hello{worker,protocol[,backend]} request{}
+//                     heartbeat{shard,generation,progress[,snapshot]}
 //                     shard_done{shard,generation,progress,file}
 //   server -> worker: campaign{name,campaign,grid,shards,grid_fingerprint,
 //                              heartbeat_ms,lease_timeout_ms}
 //                     grant{shard,generation} wait{poll_ms}
 //                     refuse{shard,reason,drop} done{} error{message}
+// `backend` and `snapshot` are optional (both sides use find()), so v1
+// stays wire-compatible: `backend` names the worker's crypto backend for
+// /status, `snapshot` piggybacks the worker's obs::Registry metrics
+// (telemetry.hpp worker_metrics_snapshot) that the server merges into the
+// fleet-level registry behind /metrics.
+//
+// Observability plane (all pure additions — the deterministic artifacts
+// are byte-identical with it on or off):
+//   * every lease transition is appended to a flushed JSONL audit log
+//     ("<campaign>.fleet-audit.jsonl", campaign/audit.hpp) with
+//     server-relative timestamps;
+//   * fleet_registry() merges the latest worker snapshots under
+//     fleet.worker<ordinal>.* / fleet.total.* for the Prometheus text
+//     exposition (obs/exposition.hpp);
+//   * status_json() is the /status document: the live lease table plus
+//     per-worker liveness, rendered by `campaign top`.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "campaign/audit.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/chaos.hpp"
 #include "campaign/shard.hpp"
 #include "campaign/telemetry.hpp"
 #include "net/transport.hpp"
+#include "obs/registry.hpp"
 
 namespace secbus::campaign {
 
@@ -80,10 +99,15 @@ bool fleet_grid_from_json(const util::Json& j, FleetGridOptions& out,
 
 namespace fleet_msg {
 
+// Announces identity, protocol version and (for /status) the active
+// crypto backend name.
 [[nodiscard]] util::Json hello(const std::string& worker);
 [[nodiscard]] util::Json request();
+// `snapshot`, when non-null and non-empty, rides along as the worker's
+// current metrics registry (flat JSON, Registry::to_json).
 [[nodiscard]] util::Json heartbeat(std::size_t shard, std::uint64_t generation,
-                                   const ProgressRecord& progress);
+                                   const ProgressRecord& progress,
+                                   const obs::Registry* snapshot = nullptr);
 [[nodiscard]] util::Json shard_done(std::size_t shard,
                                     std::uint64_t generation,
                                     const ProgressRecord& progress,
@@ -157,6 +181,8 @@ class LeaseManager {
   [[nodiscard]] ShardState state(std::size_t shard) const;
   [[nodiscard]] const std::string& holder(std::size_t shard) const;
   [[nodiscard]] std::uint64_t generation(std::size_t shard) const;
+  // Absolute lease deadline (transport-clock ms); meaningful while leased.
+  [[nodiscard]] std::uint64_t deadline_ms(std::size_t shard) const;
   // Grants beyond the first per shard — the fleet's reassignment count.
   [[nodiscard]] std::size_t regrants() const noexcept { return regrants_; }
   // Earliest live lease deadline; nullopt when nothing is leased. Drives
@@ -187,6 +213,10 @@ struct FleetServerOptions {
   // status` (disable with write_progress = false).
   std::string out_dir = "bench/out";
   bool write_progress = true;
+  // Appends every lease transition to "<campaign>.fleet-audit.jsonl" in
+  // out_dir (campaign/audit.hpp). Pure observability; disable for fleets
+  // that must not touch shared disk beyond the result files.
+  bool audit = true;
   bool quiet = true;  // suppress per-event stdout lines (stderr warnings stay)
   FleetGridOptions grid;
 };
@@ -211,8 +241,12 @@ class FleetServer {
   bool step(std::uint64_t max_wait_ms, std::string* error);
 
   // step() until the campaign completes, then drain briefly so the final
-  // `done` messages flush to workers.
-  bool run(std::string* error);
+  // `done` messages flush to workers. `between_steps`, when set, runs
+  // after every step (including the drain) — the CLI services the HTTP
+  // observability endpoints from it, keeping the whole server
+  // single-threaded.
+  bool run(std::string* error,
+           const std::function<void()>& between_steps = nullptr);
 
   [[nodiscard]] bool finished() const noexcept { return finished_; }
 
@@ -237,10 +271,41 @@ class FleetServer {
     return peers_.size();
   }
 
+  // --- observability plane --------------------------------------------------
+
+  // Fleet-level metrics registry for the /metrics exposition: fleet.*
+  // summary counters, this process's wire counters (fleet.server.net.*),
+  // every worker's latest heartbeat snapshot re-published under
+  // fleet.worker<ordinal>.*, and the per-name sum of those snapshots
+  // under fleet.total.*.
+  [[nodiscard]] obs::Registry fleet_registry() const;
+
+  // The /status document: campaign identity, shard-state counts, the
+  // lease table (shard, state, worker, generation, deadline) and one
+  // entry per known worker. Timestamps are server-relative ms.
+  [[nodiscard]] util::Json status_json() const;
+
+  // Audit log path ("" when options.audit is off).
+  [[nodiscard]] const std::string& audit_path() const noexcept {
+    return audit_path_;
+  }
+
  private:
   struct Peer {
     std::string worker;  // empty until hello
     bool waiting = false;
+  };
+
+  // Everything the server remembers about a worker identity (survives
+  // reconnects and disconnects — the fleet view keeps dead workers
+  // visible instead of vanishing them).
+  struct WorkerInfo {
+    std::size_t ordinal = 0;  // first-hello order; names fleet.worker<i>.*
+    std::string backend;      // crypto backend announced in hello
+    bool connected = false;
+    std::uint64_t last_seen_ms = 0;  // server-relative, last frame seen
+    ProgressRecord last_progress;
+    obs::Registry snapshot;  // latest heartbeat piggyback
   };
 
   void handle_event(const net::TransportEvent& event, std::string* error);
@@ -259,6 +324,11 @@ class FleetServer {
   bool finalize(std::string* error);
   ProgressWriter* progress_writer(std::size_t shard);
   void log_event(const char* fmt, ...);
+  // Appends one audit record stamped with the server-relative now.
+  void audit(AuditEvent event, std::size_t shard, std::uint64_t generation,
+             const std::string& worker, std::string detail = std::string());
+  // The worker's WorkerInfo, created (with the next ordinal) on first use.
+  WorkerInfo& worker_info(const std::string& worker);
 
   net::Transport& transport_;
   FleetServerOptions options_;
@@ -273,6 +343,11 @@ class FleetServer {
   std::vector<std::string> shard_paths_;  // filled per accepted shard
   std::vector<scenario::JobResult> results_;
   bool finished_ = false;
+  // Observability plane.
+  std::uint64_t start_ms_ = 0;  // transport clock at construction
+  std::map<std::string, WorkerInfo> workers_;
+  AuditLog audit_;
+  std::string audit_path_;
 };
 
 // --- worker -----------------------------------------------------------------

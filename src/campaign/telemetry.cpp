@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "core/format_cache.hpp"
+#include "crypto/backend.hpp"
+#include "net/netstats.hpp"
 
 namespace secbus::campaign {
 
@@ -350,6 +352,130 @@ std::string render_campaign_status(const std::vector<ShardProgress>& shards,
     out += line;
   }
   out += '\n';
+  return out;
+}
+
+// --- fleet observability ----------------------------------------------------
+
+obs::Registry worker_metrics_snapshot(const ProgressRecord& progress) {
+  obs::Registry reg;
+  reg.counter("worker.jobs_done", progress.done);
+  reg.counter("worker.jobs_total", progress.total);
+  reg.counter("worker.elapsed_ms", progress.elapsed_ms);
+  reg.gauge("worker.jobs_per_sec", progress.jobs_per_sec);
+  reg.counter("core.format_cache.hits", progress.format_cache_hits);
+  reg.counter("core.format_cache.misses", progress.format_cache_misses);
+  const std::uint64_t lookups =
+      progress.format_cache_hits + progress.format_cache_misses;
+  reg.gauge("core.format_cache.hit_rate",
+            lookups > 0 ? static_cast<double>(progress.format_cache_hits) /
+                              static_cast<double>(lookups)
+                        : 0.0);
+  reg.counter("crypto.backend_id",
+              static_cast<std::uint64_t>(crypto::active_backend().kind));
+  net::netstats_contribute(reg);
+  return reg;
+}
+
+namespace {
+
+// "+12.3s" from server-relative milliseconds.
+std::string rel_seconds(std::uint64_t ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "+%.1fs",
+                static_cast<double>(ms) / 1000.0);
+  return buf;
+}
+
+std::uint64_t u64_or(const Json& j, const char* name, std::uint64_t fallback) {
+  const Json* v = j.find(name);
+  std::uint64_t out = fallback;
+  if (v == nullptr || !v->to_u64(out)) return fallback;
+  return out;
+}
+
+std::string string_or(const Json& j, const char* name,
+                      const std::string& fallback) {
+  const Json* v = j.find(name);
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+}  // namespace
+
+std::string render_fleet_top(const Json& status) {
+  if (!status.is_object()) return "malformed status document\n";
+  std::string out;
+  char line[256];
+
+  const std::uint64_t t_ms = u64_or(status, "t_ms", 0);
+  std::snprintf(line, sizeof line,
+                "fleet %s: %llu/%llu shard(s) done (%llu leased, %llu "
+                "pending), %llu job(s), %llu reassignment(s), t=%s%s\n",
+                string_or(status, "campaign", "?").c_str(),
+                static_cast<unsigned long long>(u64_or(status, "done", 0)),
+                static_cast<unsigned long long>(u64_or(status, "shards", 0)),
+                static_cast<unsigned long long>(u64_or(status, "leased", 0)),
+                static_cast<unsigned long long>(u64_or(status, "pending", 0)),
+                static_cast<unsigned long long>(u64_or(status, "jobs", 0)),
+                static_cast<unsigned long long>(
+                    u64_or(status, "reassignments", 0)),
+                rel_seconds(t_ms).c_str(),
+                status.find("finished") != nullptr &&
+                        status.find("finished")->is_bool() &&
+                        status.find("finished")->as_bool()
+                    ? " [finished]"
+                    : "");
+  out += line;
+
+  std::snprintf(line, sizeof line, "%5s %-9s %-18s %5s %10s\n", "shard",
+                "state", "worker", "gen", "deadline");
+  out += line;
+  if (const Json* leases = status.find("leases");
+      leases != nullptr && leases->is_array()) {
+    for (const Json& lease : leases->items()) {
+      const std::string state = string_or(lease, "state", "?");
+      const std::string worker = string_or(lease, "worker", "");
+      std::string deadline = "-";
+      if (state == "leased") {
+        const std::uint64_t dl = u64_or(lease, "deadline_ms", 0);
+        deadline = dl > t_ms ? rel_seconds(dl - t_ms) : "+0.0s";
+      }
+      std::snprintf(line, sizeof line, "%5llu %-9s %-18s %5llu %10s\n",
+                    static_cast<unsigned long long>(u64_or(lease, "shard", 0)),
+                    state.c_str(), worker.empty() ? "-" : worker.c_str(),
+                    static_cast<unsigned long long>(
+                        u64_or(lease, "generation", 0)),
+                    deadline.c_str());
+      out += line;
+    }
+  }
+
+  if (const Json* workers = status.find("workers");
+      workers != nullptr && workers->is_array() && workers->size() > 0) {
+    std::snprintf(line, sizeof line, "%-18s %-12s %5s %12s %10s %-9s\n",
+                  "worker", "state", "shard", "done/total", "jobs/s",
+                  "backend");
+    out += line;
+    for (const Json& w : workers->items()) {
+      const Json* connected = w.find("connected");
+      const bool live = connected != nullptr && connected->is_bool() &&
+                        connected->as_bool();
+      char ratio[48];
+      std::snprintf(ratio, sizeof ratio, "%llu/%llu",
+                    static_cast<unsigned long long>(u64_or(w, "done", 0)),
+                    static_cast<unsigned long long>(u64_or(w, "total", 0)));
+      const Json* jps = w.find("jobs_per_sec");
+      std::snprintf(line, sizeof line, "%-18s %-12s %5llu %12s %10.2f %-9s\n",
+                    string_or(w, "worker", "?").c_str(),
+                    live ? "connected" : "disconnected",
+                    static_cast<unsigned long long>(u64_or(w, "shard", 0)),
+                    ratio,
+                    jps != nullptr && jps->is_number() ? jps->as_double()
+                                                       : 0.0,
+                    string_or(w, "backend", "?").c_str());
+      out += line;
+    }
+  }
   return out;
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "util/jsonl.hpp"
 
 namespace secbus::campaign {
@@ -172,5 +173,24 @@ bool scan_progress_dir(const std::string& dir, std::vector<ShardProgress>& out,
 [[nodiscard]] std::string render_campaign_status(
     const std::vector<ShardProgress>& shards,
     std::uint64_t stale_after_ms = kDefaultStaleAfterMs);
+
+// --- fleet observability ----------------------------------------------------
+
+// The compact per-process registry snapshot a fleet worker piggybacks on
+// each heartbeat frame (fleet_msg::heartbeat): shard throughput from the
+// progress record, the process-wide FormatCache effectiveness, the active
+// crypto backend (as its numeric BackendKind id), and the wire counters
+// (net.*). The fleet server re-publishes every worker's latest snapshot
+// under "fleet.worker<ordinal>.*" and sums them into "fleet.total.*" for
+// the /metrics exposition. Wall-clock data only — never merged into the
+// deterministic job metrics.
+[[nodiscard]] obs::Registry worker_metrics_snapshot(
+    const ProgressRecord& progress);
+
+// Renders a fleet server /status document (FleetServer::status_json) as
+// the single-screen view `campaign top` repaints: a summary line, the
+// lease table (shard, state, owner, generation, deadline) and one row per
+// known worker.
+[[nodiscard]] std::string render_fleet_top(const util::Json& status);
 
 }  // namespace secbus::campaign

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "net/netstats.hpp"
+
 namespace secbus::net {
 
 std::string encode_frame(const util::Json& message) {
@@ -14,6 +16,7 @@ std::string encode_frame(const util::Json& message) {
   frame.push_back(static_cast<char>((size >> 8) & 0xff));
   frame.push_back(static_cast<char>(size & 0xff));
   frame += payload;
+  detail::count_frame_out(frame.size());
   return frame;
 }
 
@@ -34,6 +37,7 @@ bool FrameDecoder::next(util::Json& out) {
     reason_ = "frame length " + std::to_string(size) + " exceeds the " +
               std::to_string(kMaxFrameBytes) + "-byte cap";
     buffer_.clear();
+    detail::count_poisoned(/*oversized=*/true);
     return false;
   }
   if (buffer_.size() < 4 + static_cast<std::size_t>(size)) return false;
@@ -43,9 +47,11 @@ bool FrameDecoder::next(util::Json& out) {
     corrupt_ = true;
     reason_ = "frame payload is not valid JSON: " + parse_error;
     buffer_.clear();
+    detail::count_poisoned(/*oversized=*/false);
     return false;
   }
   buffer_.erase(0, 4 + static_cast<std::size_t>(size));
+  detail::count_frame_in(4 + static_cast<std::uint64_t>(size));
   return true;
 }
 

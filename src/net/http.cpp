@@ -1,0 +1,262 @@
+#include "net/http.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace secbus::net {
+namespace {
+
+constexpr std::size_t kReadChunk = 4096;
+
+// Position one-past the blank line terminating the request head, or
+// std::string::npos while incomplete. Accepts both CRLF and bare LF.
+std::size_t head_end(const std::string& in) {
+  if (const std::size_t p = in.find("\r\n\r\n"); p != std::string::npos)
+    return p + 4;
+  if (const std::size_t p = in.find("\n\n"); p != std::string::npos)
+    return p + 2;
+  return std::string::npos;
+}
+
+// "GET /metrics HTTP/1.0" -> {method, target}; false when malformed.
+bool parse_request_line(const std::string& head, HttpRequest& out) {
+  const std::size_t eol = head.find_first_of("\r\n");
+  const std::string line =
+      eol == std::string::npos ? head : head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  const std::string version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/", 0) != 0) return false;
+  out.method = line.substr(0, sp1);
+  out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  return !out.target.empty() && out.target[0] == '/';
+}
+
+}  // namespace
+
+const char* http_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    default: return "Status";
+  }
+}
+
+bool HttpServer::listen(std::uint16_t port, bool loopback_only,
+                        std::string* error) {
+  return listener_.listen(port, loopback_only, error);
+}
+
+void HttpServer::close() {
+  conns_.clear();
+  listener_.close();
+}
+
+void HttpServer::respond(Conn& conn, const HttpResponse& response) {
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                response.status, http_reason(response.status),
+                response.content_type.c_str(), response.body.size());
+  conn.out = head;
+  conn.out += response.body;
+  conn.responding = true;
+  conn.in.clear();
+}
+
+bool HttpServer::consume_input(Conn& conn, const Handler& handler) {
+  if (conn.responding) return true;
+  const std::size_t end = head_end(conn.in);
+  if (end == std::string::npos) {
+    if (conn.in.size() > kMaxHttpRequestBytes) {
+      respond(conn, HttpResponse{431, "text/plain; charset=utf-8",
+                                 "request head too large\n"});
+      return true;
+    }
+    return false;
+  }
+  HttpRequest request;
+  if (!parse_request_line(conn.in.substr(0, end), request)) {
+    respond(conn, HttpResponse{400, "text/plain; charset=utf-8",
+                               "malformed request line\n"});
+    return true;
+  }
+  if (request.method != "GET") {
+    respond(conn, HttpResponse{405, "text/plain; charset=utf-8",
+                               "only GET is supported\n"});
+    return true;
+  }
+  respond(conn, handler ? handler(request)
+                        : HttpResponse{500, "text/plain; charset=utf-8",
+                                       "no handler\n"});
+  return true;
+}
+
+bool HttpServer::poll(std::uint64_t timeout_ms, const Handler& handler,
+                      std::string* error) {
+  if (!listener_.valid()) return true;
+
+  std::vector<int> fds;
+  std::vector<bool> want_write;
+  std::vector<std::uint64_t> ids;
+  fds.push_back(listener_.fd());
+  want_write.push_back(false);
+  ids.push_back(0);
+  for (const auto& [id, conn] : conns_) {
+    fds.push_back(conn.socket.fd());
+    want_write.push_back(!conn.out.empty());
+    ids.push_back(id);
+  }
+
+  std::vector<PollResult> results;
+  if (!poll_fds(fds, want_write, timeout_ms, results, error)) return false;
+
+  if (results[0].readable) {
+    for (;;) {
+      Socket accepted = listener_.accept();
+      if (!accepted.valid()) break;
+      Conn conn;
+      conn.socket = std::move(accepted);
+      conns_.emplace(next_id_++, std::move(conn));
+    }
+  }
+
+  std::vector<std::uint64_t> drop;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto it = conns_.find(ids[i]);
+    if (it == conns_.end()) continue;
+    Conn& conn = it->second;
+    if (results[i].broken) {
+      drop.push_back(ids[i]);
+      continue;
+    }
+    bool dead = false;
+    if (results[i].readable && !conn.responding) {
+      char buf[kReadChunk];
+      for (;;) {
+        std::size_t n = 0;
+        const IoStatus status = conn.socket.read_some(buf, sizeof buf, n);
+        if (status == IoStatus::kOk) {
+          conn.in.append(buf, n);
+          // Stop slurping once the cap is blown; the 431 goes out below.
+          if (conn.in.size() > kMaxHttpRequestBytes + kReadChunk) break;
+          continue;
+        }
+        if (status == IoStatus::kWouldBlock) break;
+        // kClosed mid-request (no complete head) or kError: the peer is
+        // gone, there is nobody to answer.
+        dead = true;
+        break;
+      }
+      if (!dead || !conn.in.empty()) consume_input(conn, handler);
+      if (dead && !conn.responding) {
+        drop.push_back(ids[i]);
+        continue;
+      }
+    }
+    // Opportunistic flush: small responses complete in the same round.
+    while (!conn.out.empty()) {
+      std::size_t n = 0;
+      const IoStatus status =
+          conn.socket.write_some(conn.out.data(), conn.out.size(), n);
+      if (status == IoStatus::kOk) {
+        conn.out.erase(0, n);
+        continue;
+      }
+      if (status == IoStatus::kWouldBlock) break;
+      drop.push_back(ids[i]);
+      break;
+    }
+    if (conn.responding && conn.out.empty()) drop.push_back(ids[i]);
+  }
+  for (std::uint64_t id : drop) conns_.erase(id);
+  return true;
+}
+
+bool http_get(const std::string& host, std::uint16_t port,
+              const std::string& target, int* status, std::string* body,
+              std::string* error, std::uint64_t timeout_ms) {
+  Socket socket = tcp_connect(host, port, error);
+  if (!socket.valid()) return false;
+
+  std::string request = "GET " + target + " HTTP/1.0\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n";
+  const std::uint64_t deadline = steady_now_ms() + timeout_ms;
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    std::size_t n = 0;
+    const IoStatus st =
+        socket.write_some(request.data() + sent, request.size() - sent, n);
+    if (st == IoStatus::kOk) {
+      sent += n;
+      continue;
+    }
+    if (st != IoStatus::kWouldBlock) {
+      if (error != nullptr) *error = "http: send failed";
+      return false;
+    }
+    if (steady_now_ms() >= deadline) {
+      if (error != nullptr) *error = "http: send timed out";
+      return false;
+    }
+    std::vector<PollResult> results;
+    if (!poll_fds({socket.fd()}, {true}, 50, results, error)) return false;
+  }
+
+  std::string response;
+  for (;;) {
+    char buf[kReadChunk];
+    std::size_t n = 0;
+    const IoStatus st = socket.read_some(buf, sizeof buf, n);
+    if (st == IoStatus::kOk) {
+      response.append(buf, n);
+      continue;
+    }
+    if (st == IoStatus::kClosed) break;
+    if (st != IoStatus::kWouldBlock) {
+      if (error != nullptr) *error = "http: recv failed";
+      return false;
+    }
+    if (steady_now_ms() >= deadline) {
+      if (error != nullptr) *error = "http: response timed out";
+      return false;
+    }
+    std::vector<PollResult> results;
+    if (!poll_fds({socket.fd()}, {false}, 50, results, error)) return false;
+  }
+
+  // "HTTP/1.0 200 OK\r\n...\r\n\r\n<body>"
+  if (response.rfind("HTTP/", 0) != 0) {
+    if (error != nullptr) *error = "http: malformed response";
+    return false;
+  }
+  const std::size_t sp = response.find(' ');
+  if (sp == std::string::npos || sp + 4 > response.size()) {
+    if (error != nullptr) *error = "http: malformed status line";
+    return false;
+  }
+  const int code = std::atoi(response.c_str() + sp + 1);
+  if (code < 100 || code > 599) {
+    if (error != nullptr) *error = "http: malformed status code";
+    return false;
+  }
+  const std::size_t end = head_end(response);
+  if (end == std::string::npos) {
+    if (error != nullptr) *error = "http: truncated response head";
+    return false;
+  }
+  if (status != nullptr) *status = code;
+  if (body != nullptr) *body = response.substr(end);
+  return true;
+}
+
+}  // namespace secbus::net

@@ -1,0 +1,97 @@
+// Minimal dependency-free HTTP/1.0 responder (and one-shot client).
+//
+// The fleet server's observability endpoints (/metrics, /status) need
+// exactly enough HTTP for `curl`, Prometheus scrapers and `campaign top`:
+// GET over HTTP/1.0, one request per connection, `Connection: close`.
+// HttpServer is built from the same non-blocking pieces as the fleet
+// transport (net::Socket, TcpListener, poll_fds) and is serviced from the
+// same single-threaded loop — poll(0, handler) after every fleet step; no
+// threads, no library dependency, no effect on the protocol socket.
+//
+// Defensive posture, pinned by net_test_http: request heads are capped at
+// kMaxHttpRequestBytes (431 and close when exceeded), a malformed request
+// line is a 400, any method but GET a 405, and a peer that disappears
+// mid-request is silently dropped. The responder never reads a body —
+// GETs don't have one — and always closes after the response flushes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/socket.hpp"
+
+namespace secbus::net {
+
+// Cap on the request head (request line + headers). Far above any real
+// GET, far below anything that could be used to balloon server memory.
+inline constexpr std::size_t kMaxHttpRequestBytes = 8192;
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string target;  // "/metrics", "/status?x=y" (not decoded)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+[[nodiscard]] const char* http_reason(int status) noexcept;
+
+// GET-only HTTP/1.0 server over non-blocking sockets.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer() = default;
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  bool listen(std::uint16_t port, bool loopback_only, std::string* error);
+  [[nodiscard]] bool listening() const noexcept { return listener_.valid(); }
+  [[nodiscard]] std::uint16_t bound_port() const noexcept {
+    return listener_.bound_port();
+  }
+
+  // One service round: accepts pending connections, reads, answers every
+  // complete request via `handler`, flushes, closes answered connections.
+  // Waits up to `timeout_ms` for activity (0 = non-blocking sweep). False
+  // only on hard poll failure.
+  bool poll(std::uint64_t timeout_ms, const Handler& handler,
+            std::string* error);
+
+  [[nodiscard]] std::size_t open_connections() const noexcept {
+    return conns_.size();
+  }
+  void close();
+
+ private:
+  struct Conn {
+    Socket socket;
+    std::string in;      // bytes until the blank line ending the head
+    std::string out;     // serialized response being flushed
+    bool responding = false;
+  };
+
+  void respond(Conn& conn, const HttpResponse& response);
+  // True once the head is complete or the request is rejected (the
+  // response is queued either way).
+  bool consume_input(Conn& conn, const Handler& handler);
+
+  TcpListener listener_;
+  std::map<std::uint64_t, Conn> conns_;
+  std::uint64_t next_id_ = 1;
+};
+
+// Blocking one-shot GET (campaign top, tests, CI probes): connects, sends
+// the request, reads until the server closes, fills `status`/`body`.
+// False with `error` on connect failure, timeout or a malformed response.
+bool http_get(const std::string& host, std::uint16_t port,
+              const std::string& target, int* status, std::string* body,
+              std::string* error, std::uint64_t timeout_ms = 5000);
+
+}  // namespace secbus::net

@@ -1,0 +1,80 @@
+#include "net/netstats.hpp"
+
+#include <atomic>
+
+#include "obs/registry.hpp"
+
+namespace secbus::net {
+namespace {
+
+struct Counters {
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> poisoned_oversized{0};
+  std::atomic<std::uint64_t> poisoned_undecodable{0};
+};
+
+Counters& counters() noexcept {
+  static Counters c;
+  return c;
+}
+
+}  // namespace
+
+NetStats netstats_snapshot() noexcept {
+  Counters& c = counters();
+  NetStats s;
+  s.frames_in = c.frames_in.load(std::memory_order_relaxed);
+  s.frames_out = c.frames_out.load(std::memory_order_relaxed);
+  s.bytes_in = c.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = c.bytes_out.load(std::memory_order_relaxed);
+  s.poisoned_oversized = c.poisoned_oversized.load(std::memory_order_relaxed);
+  s.poisoned_undecodable =
+      c.poisoned_undecodable.load(std::memory_order_relaxed);
+  return s;
+}
+
+void netstats_contribute(obs::Registry& reg) {
+  const NetStats s = netstats_snapshot();
+  reg.counter("net.frames_in", s.frames_in);
+  reg.counter("net.frames_out", s.frames_out);
+  reg.counter("net.bytes_in", s.bytes_in);
+  reg.counter("net.bytes_out", s.bytes_out);
+  reg.counter("net.poisoned_oversized", s.poisoned_oversized);
+  reg.counter("net.poisoned_undecodable", s.poisoned_undecodable);
+}
+
+void netstats_reset_for_test() noexcept {
+  Counters& c = counters();
+  c.frames_in.store(0, std::memory_order_relaxed);
+  c.frames_out.store(0, std::memory_order_relaxed);
+  c.bytes_in.store(0, std::memory_order_relaxed);
+  c.bytes_out.store(0, std::memory_order_relaxed);
+  c.poisoned_oversized.store(0, std::memory_order_relaxed);
+  c.poisoned_undecodable.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void count_frame_out(std::uint64_t wire_bytes) noexcept {
+  Counters& c = counters();
+  c.frames_out.fetch_add(1, std::memory_order_relaxed);
+  c.bytes_out.fetch_add(wire_bytes, std::memory_order_relaxed);
+}
+
+void count_frame_in(std::uint64_t wire_bytes) noexcept {
+  Counters& c = counters();
+  c.frames_in.fetch_add(1, std::memory_order_relaxed);
+  c.bytes_in.fetch_add(wire_bytes, std::memory_order_relaxed);
+}
+
+void count_poisoned(bool oversized) noexcept {
+  Counters& c = counters();
+  (oversized ? c.poisoned_oversized : c.poisoned_undecodable)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+}  // namespace secbus::net

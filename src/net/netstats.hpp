@@ -1,0 +1,55 @@
+// Process-wide wire-health counters for the fleet protocol.
+//
+// Every frame that crosses a transport — TCP or FakeTransport, either
+// direction — passes through encode_frame()/FrameDecoder, so that choke
+// point is where wire health is counted: frames and bytes in each
+// direction, plus the two ways a stream can poison its decoder (oversized
+// length prefix, undecodable payload). The counters are plain relaxed
+// atomics bumped on the framing path; reading them is a snapshot, not a
+// synchronization point.
+//
+// They are deliberately process-global rather than per-connection: the
+// surface they feed is "what has this *process* put on / taken off the
+// wire", which is what a fleet worker piggybacks on its heartbeats and
+// what the server exposes under fleet.server.net.*. They never ride on
+// JobResult metrics — wire traffic differs between a fleet worker and a
+// single-process run, and the deterministic artifacts must not.
+#pragma once
+
+#include <cstdint>
+
+namespace secbus::obs {
+class Registry;
+}  // namespace secbus::obs
+
+namespace secbus::net {
+
+// One coherent-enough snapshot of the process's framing counters.
+struct NetStats {
+  std::uint64_t frames_in = 0;   // complete frames decoded
+  std::uint64_t frames_out = 0;  // frames encoded for send
+  std::uint64_t bytes_in = 0;    // wire bytes of decoded frames (incl. prefix)
+  std::uint64_t bytes_out = 0;   // wire bytes of encoded frames (incl. prefix)
+  std::uint64_t poisoned_oversized = 0;     // length prefix > kMaxFrameBytes
+  std::uint64_t poisoned_undecodable = 0;   // payload not valid JSON
+};
+
+[[nodiscard]] NetStats netstats_snapshot() noexcept;
+
+// Contributes the snapshot to `reg` under "net.frames_in", "net.bytes_out",
+// "net.poisoned_oversized", ... — the names the fleet exposition publishes
+// per worker.
+void netstats_contribute(obs::Registry& reg);
+
+// Zeroes every counter. Test isolation only: production code never resets,
+// the counters are monotonic for the life of the process.
+void netstats_reset_for_test() noexcept;
+
+// Internal bump hooks for frame.cpp.
+namespace detail {
+void count_frame_out(std::uint64_t wire_bytes) noexcept;
+void count_frame_in(std::uint64_t wire_bytes) noexcept;
+void count_poisoned(bool oversized) noexcept;
+}  // namespace detail
+
+}  // namespace secbus::net

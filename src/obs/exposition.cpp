@@ -1,0 +1,50 @@
+#include "obs/exposition.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace secbus::obs {
+
+std::string prometheus_name(std::string_view registry_name) {
+  std::string out = "secbus_";
+  out.reserve(out.size() + registry_name.size());
+  for (char ch : registry_name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+std::string prometheus_text(const Registry& reg) {
+  std::vector<const Metric*> sorted;
+  sorted.reserve(reg.metrics().size());
+  for (const Metric& m : reg.metrics()) sorted.push_back(&m);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Metric* a, const Metric* b) { return a->name < b->name; });
+
+  std::string out;
+  for (const Metric* m : sorted) {
+    const std::string name = prometheus_name(m->name);
+    out += "# TYPE ";
+    out += name;
+    out += m->is_counter ? " counter\n" : " gauge\n";
+    out += name;
+    out += ' ';
+    if (m->is_counter) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(m->count));
+      out += buf;
+    } else {
+      // util::Json's number formatting: shortest of %.15g / %.17g that
+      // round-trips, so the exposition and the JSON sidecars agree on the
+      // exact digits of every gauge.
+      out += util::Json::number(m->value).dump(0);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace secbus::obs

@@ -1,0 +1,29 @@
+// Prometheus text exposition of a metrics registry.
+//
+// The fleet server's /metrics endpoint speaks the Prometheus text format
+// (version 0.0.4): one `# TYPE` line and one sample line per metric,
+// terminated by a newline. The translation from registry names is purely
+// mechanical — "fleet.worker0.net.frames_in" becomes
+// "secbus_fleet_worker0_net_frames_in" — so the exposition is exactly as
+// deterministic as Registry::to_json(): metrics sorted by their registry
+// name, counters printed as exact integers, gauges with the same
+// shortest-round-trip formatting util::Json uses. A golden file
+// (tests/data/metrics_exposition_golden.txt) locks the bytes.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace secbus::obs {
+
+// "fleet.worker0.net.frames_in" -> "secbus_fleet_worker0_net_frames_in":
+// prefixes "secbus_", maps every character outside [A-Za-z0-9_] to '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view registry_name);
+
+// Renders `reg` as Prometheus text exposition. Counters get
+// `# TYPE ... counter`, gauges `# TYPE ... gauge`; samples are ordered by
+// registry name (lexicographic), matching to_json()'s key order.
+[[nodiscard]] std::string prometheus_text(const Registry& reg);
+
+}  // namespace secbus::obs

@@ -1,0 +1,195 @@
+#include "obs/fleet_timeline.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace secbus::obs {
+namespace {
+
+using campaign::AuditEvent;
+using campaign::AuditRecord;
+
+// Same one-event-per-line array builder as trace_export.cpp.
+class EventArray {
+ public:
+  explicit EventArray(std::string& out) : out_(out) {}
+
+  std::string& line() {
+    out_ += first_ ? "\n  " : ",\n  ";
+    first_ = false;
+    return out_;
+  }
+
+ private:
+  std::string& out_;
+  bool first_ = true;
+};
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+struct OpenLease {
+  std::uint64_t ts = 0;
+  int tid = 0;
+  std::uint64_t beats = 0;  // heartbeat extensions while held
+  bool reassigned = false;
+};
+
+}  // namespace
+
+std::string fleet_timeline_json(const std::vector<AuditRecord>& records,
+                                FleetTimelineStats* stats) {
+  FleetTimelineStats st;
+
+  // Track numbering: workers in order of first appearance.
+  std::map<std::string, int> tids;
+  std::vector<std::string> track_names;
+  const auto tid_of = [&](const std::string& worker) {
+    const auto [it, inserted] =
+        tids.emplace(worker, static_cast<int>(track_names.size()) + 1);
+    if (inserted) track_names.push_back(worker);
+    return it->second;
+  };
+  for (const AuditRecord& r : records) (void)tid_of(r.worker);
+  st.tracks = track_names.size();
+
+  std::string out;
+  out.reserve(records.size() * 96 + 1024);
+  out += "{\"traceEvents\":[";
+  EventArray arr(out);
+
+  arr.line() +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"secbus fleet\"}}";
+  for (std::size_t i = 0; i < track_names.size(); ++i) {
+    std::string& l = arr.line();
+    l += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    append_u64(l, i + 1);
+    l += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    l += util::Json::quote(track_names[i]);
+    l += "}}";
+  }
+
+  const auto emit_instant = [&](const AuditRecord& r, int tid,
+                                const char* name) {
+    std::string& l = arr.line();
+    l += "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":";
+    append_u64(l, static_cast<std::uint64_t>(tid));
+    l += ",\"ts\":";
+    append_u64(l, r.t_ms);
+    l += ",\"name\":\"";
+    l += name;
+    l += "\",\"args\":{\"shard\":";
+    append_u64(l, r.shard);
+    l += ",\"generation\":";
+    append_u64(l, r.generation);
+    if (!r.detail.empty()) {
+      l += ",\"detail\":";
+      l += util::Json::quote(r.detail);
+    }
+    l += "}}";
+    ++st.instants;
+  };
+
+  const auto emit_span = [&](const AuditRecord& r, const OpenLease& open,
+                             const char* status) {
+    std::string& l = arr.line();
+    l += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    append_u64(l, static_cast<std::uint64_t>(open.tid));
+    l += ",\"ts\":";
+    append_u64(l, open.ts);
+    l += ",\"dur\":";
+    append_u64(l, r.t_ms - open.ts);
+    l += ",\"name\":\"shard ";
+    append_u64(l, r.shard);
+    l += "\",\"cat\":\"lease\",\"args\":{\"generation\":";
+    append_u64(l, r.generation);
+    l += ",\"beats\":";
+    append_u64(l, open.beats);
+    l += ",\"status\":\"";
+    l += status;
+    if (open.reassigned) l += "\",\"reassigned\":true";
+    else l += "\"";
+    l += "}}";
+    ++st.lease_spans;
+  };
+
+  std::map<std::pair<std::size_t, std::uint64_t>, OpenLease> open;
+
+  for (const AuditRecord& r : records) {
+    const int tid = tid_of(r.worker);
+    const std::pair<std::size_t, std::uint64_t> key{r.shard, r.generation};
+    switch (r.event) {
+      case AuditEvent::kGrant:
+      case AuditEvent::kReassigned:
+        open[key] = OpenLease{r.t_ms, tid, 0,
+                              r.event == AuditEvent::kReassigned};
+        break;
+      case AuditEvent::kExtend: {
+        const auto it = open.find(key);
+        if (it == open.end()) ++st.unmatched;
+        else ++it->second.beats;
+        ++st.extends;
+        break;
+      }
+      case AuditEvent::kCommit:
+      case AuditEvent::kExpire:
+      case AuditEvent::kRelease: {
+        const auto it = open.find(key);
+        if (it == open.end()) {
+          ++st.unmatched;
+        } else {
+          const char* status = r.event == AuditEvent::kCommit ? "committed"
+                               : r.event == AuditEvent::kExpire ? "expired"
+                                                                : "released";
+          emit_span(r, it->second, status);
+          if (r.event == AuditEvent::kCommit) ++st.committed;
+          else if (r.event == AuditEvent::kExpire) ++st.expired;
+          else ++st.released;
+          open.erase(it);
+        }
+        if (r.event == AuditEvent::kExpire) emit_instant(r, tid, "expiry");
+        break;
+      }
+      case AuditEvent::kRefuse:
+        emit_instant(r, tid, "refusal");
+        break;
+    }
+  }
+  st.unmatched += open.size();
+
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+         "\"generator\":\"secbus\",\"timeUnit\":\"1 trace us = 1 fleet ms\"}}";
+  out += '\n';
+
+  if (stats != nullptr) *stats = st;
+  return out;
+}
+
+bool write_fleet_timeline(const std::string& path,
+                          const std::vector<AuditRecord>& records,
+                          std::string* error, FleetTimelineStats* stats) {
+  const std::string text = fleet_timeline_json(records, stats);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace secbus::obs

@@ -1,0 +1,50 @@
+// Chrome-trace fleet timeline from a lease audit log.
+//
+// Converts the fleet server's audit records (campaign/audit.hpp) into the
+// same Chrome trace-event JSON the simulator's event ring exports, so a
+// chaos run renders visually in Perfetto / chrome://tracing: one track per
+// worker (numbered by first appearance in the log), one "X" complete span
+// per lease from its grant to whatever ended it (commit, expiry or
+// disconnect release), and instant events for expiries and zombie
+// refusals. Timestamps reuse the audit log's server-relative milliseconds
+// as trace microseconds ("1 trace us = 1 fleet ms"), matching
+// trace_export's unit-reinterpretation trick.
+//
+// Reconciliation mirrors the PR 6 pattern: spans are paired by
+// (shard, generation); a terminator without an open span, or a span still
+// open at end of log, counts as `unmatched` — zero on any log that ran to
+// completion, which the audit tests pin.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/audit.hpp"
+
+namespace secbus::obs {
+
+struct FleetTimelineStats {
+  std::size_t tracks = 0;       // workers seen
+  std::size_t lease_spans = 0;  // "X" spans emitted
+  std::size_t committed = 0;    // spans ended by a result commit
+  std::size_t expired = 0;      // spans ended by lease expiry
+  std::size_t released = 0;     // spans ended by a disconnect release
+  std::size_t extends = 0;      // heartbeat extensions folded into spans
+  std::size_t instants = 0;     // expiry + refusal instants
+  std::size_t unmatched = 0;    // unpaired grants / terminators
+};
+
+// Renders the audit records as Chrome trace-event JSON. Deterministic for
+// a given record sequence.
+[[nodiscard]] std::string fleet_timeline_json(
+    const std::vector<campaign::AuditRecord>& records,
+    FleetTimelineStats* stats = nullptr);
+
+// fleet_timeline_json + write to `path`.
+bool write_fleet_timeline(const std::string& path,
+                          const std::vector<campaign::AuditRecord>& records,
+                          std::string* error,
+                          FleetTimelineStats* stats = nullptr);
+
+}  // namespace secbus::obs

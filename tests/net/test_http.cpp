@@ -1,0 +1,171 @@
+// HTTP responder: the defensive posture of the fleet observability
+// endpoints. A valid GET round-trips through http_get; a malformed
+// request line is a 400, any method but GET a 405, an oversized head a
+// 431; a peer that disappears mid-request is dropped without disturbing
+// later requests. All over real loopback sockets with the server serviced
+// from a background thread, exactly like `campaign serve` services it
+// between fleet steps.
+#include <gtest/gtest.h>
+
+#include "net/http.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace secbus::net {
+namespace {
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string error;
+    ASSERT_TRUE(server_.listen(0, /*loopback_only=*/true, &error)) << error;
+    ASSERT_NE(server_.bound_port(), 0);
+    service_ = std::thread([this] {
+      const HttpServer::Handler handler =
+          [](const HttpRequest& request) {
+            HttpResponse response;
+            if (request.target == "/metrics") {
+              response.body = "secbus_up 1\n";
+            } else {
+              response.status = 404;
+              response.body = "not found\n";
+            }
+            return response;
+          };
+      while (!stop_.load()) {
+        std::string error;
+        if (!server_.poll(10, handler, &error)) break;
+      }
+    });
+  }
+
+  void TearDown() override {
+    stop_.store(true);
+    service_.join();
+    server_.close();
+  }
+
+  // Writes `request` verbatim on a fresh connection and returns everything
+  // the server sends back before closing. `close_early` abandons the
+  // connection right after the write instead of reading.
+  std::string raw_round_trip(const std::string& request,
+                             bool close_early = false) {
+    std::string error;
+    Socket socket = tcp_connect("127.0.0.1", server_.bound_port(), &error);
+    EXPECT_TRUE(socket.valid()) << error;
+    if (!socket.valid()) return {};
+
+    std::size_t sent = 0;
+    const std::uint64_t deadline = steady_now_ms() + 5000;
+    while (sent < request.size() && steady_now_ms() < deadline) {
+      std::size_t n = 0;
+      const IoStatus st =
+          socket.write_some(request.data() + sent, request.size() - sent, n);
+      if (st == IoStatus::kOk) {
+        sent += n;
+      } else if (st == IoStatus::kWouldBlock) {
+        std::vector<PollResult> results;
+        poll_fds({socket.fd()}, {true}, 50, results, &error);
+      } else {
+        break;  // server already slammed the door (oversized head)
+      }
+    }
+    if (close_early) return {};
+
+    std::string response;
+    while (steady_now_ms() < deadline) {
+      char buf[1024];
+      std::size_t n = 0;
+      const IoStatus st = socket.read_some(buf, sizeof buf, n);
+      if (st == IoStatus::kOk) {
+        response.append(buf, n);
+      } else if (st == IoStatus::kWouldBlock) {
+        std::vector<PollResult> results;
+        poll_fds({socket.fd()}, {false}, 50, results, &error);
+      } else {
+        break;  // kClosed: response complete
+      }
+    }
+    return response;
+  }
+
+  HttpServer server_;
+  std::thread service_;
+  std::atomic<bool> stop_{false};
+};
+
+TEST_F(HttpServerTest, ValidGetRoundTripsThroughHttpGet) {
+  int status = 0;
+  std::string body;
+  std::string error;
+  ASSERT_TRUE(http_get("127.0.0.1", server_.bound_port(), "/metrics",
+                       &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "secbus_up 1\n");
+
+  ASSERT_TRUE(http_get("127.0.0.1", server_.bound_port(), "/nope", &status,
+                       &body, &error))
+      << error;
+  EXPECT_EQ(status, 404);
+}
+
+TEST_F(HttpServerTest, NonGetMethodIs405) {
+  const std::string response =
+      raw_round_trip("POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.0 405", 0), 0u) << response;
+}
+
+TEST_F(HttpServerTest, MalformedRequestLineIs400) {
+  const std::string response = raw_round_trip("complete garbage\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.0 400", 0), 0u) << response;
+}
+
+TEST_F(HttpServerTest, OversizedHeadIs431) {
+  // A head that never ends and blows straight through the cap.
+  std::string request = "GET /metrics HTTP/1.0\r\nX-Filler: ";
+  request.append(kMaxHttpRequestBytes, 'a');
+  const std::string response = raw_round_trip(request);
+  EXPECT_EQ(response.rfind("HTTP/1.0 431", 0), 0u) << response;
+}
+
+TEST_F(HttpServerTest, PeerVanishingMidRequestIsDroppedSilently) {
+  // Half a request line, then gone.
+  (void)raw_round_trip("GET /met", /*close_early=*/true);
+  // The server survives and keeps answering.
+  int status = 0;
+  std::string body;
+  std::string error;
+  ASSERT_TRUE(http_get("127.0.0.1", server_.bound_port(), "/metrics",
+                       &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  // The abandoned connection drains away rather than leaking.
+  const std::uint64_t deadline = steady_now_ms() + 5000;
+  while (server_.open_connections() != 0 && steady_now_ms() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server_.open_connections(), 0u);
+}
+
+TEST(HttpGet, ConnectFailureReportsError) {
+  int status = 0;
+  std::string body;
+  std::string error;
+  // Port 1 on loopback: nothing listens there.
+  EXPECT_FALSE(http_get("127.0.0.1", 1, "/", &status, &body, &error, 500));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace secbus::net
+
+#endif  // __unix__ || __APPLE__

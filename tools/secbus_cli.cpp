@@ -110,6 +110,13 @@
 //     --heartbeat MS      heartbeat cadence announced to workers
 //                         (default 2000)
 //     --listen-any        bind 0.0.0.0 instead of loopback
+//     --http-port N       also serve GET /metrics (Prometheus text) and
+//                         GET /status (JSON lease table) on this port,
+//                         polled from the same loop as the fleet socket
+//                         (0 = ephemeral; printed on an "http:" line)
+//     --no-audit          skip the <out>/<name>.fleet-audit.jsonl lease
+//                         audit log (pure observability; artifacts are
+//                         identical either way)
 //       plus --jobs/--repeats/--max-cycles/--metrics/--quiet etc. —
 //       repeats/max-cycles/metrics shape the grid and are announced to
 //       workers, which verify the resulting grid fingerprint.
@@ -129,6 +136,17 @@
 //     --reconnect N   reconnect budget (default 5)
 //     --backoff MS    initial backoff, doubles to 5000 (default 500)
 //
+//   secbus_cli campaign top <host:port> [--interval MS] [--once]
+//       Live fleet view: polls the serve --http-port /status endpoint and
+//       repaints a single-screen summary — lease table (shard, state,
+//       owner, generation, deadline) plus one row per worker. Exits 0 when
+//       the campaign finishes, 1 when the server becomes unreachable.
+//
+//   secbus_cli campaign timeline <audit.jsonl> [--out PATH]
+//       Converts a fleet lease audit log into a Chrome trace-event JSON
+//       fleet timeline (one track per worker, one span per lease, instants
+//       for expiries and refusals) for Perfetto / chrome://tracing.
+//
 // Legacy single-run mode (kept for scripts): secbus_cli [--cpus N]
 //   [--security M] [--protection L] [--external F] [--transactions N]
 //   [--compute N] [--extra-rules N] [--line-bytes N] [--seed N]
@@ -136,13 +154,16 @@
 //
 // Exit status: 0 when every executed job completed, 1 on timeout or usage
 // error.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "campaign/audit.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/fleet.hpp"
 #include "campaign/report.hpp"
@@ -150,6 +171,9 @@
 #include "campaign/shard.hpp"
 #include "campaign/telemetry.hpp"
 #include "core/format_cache.hpp"
+#include "net/http.hpp"
+#include "obs/exposition.hpp"
+#include "obs/fleet_timeline.hpp"
 #include "obs/trace_export.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
@@ -186,10 +210,13 @@ namespace {
       "       %s campaign export-builtin [--dir DIR]\n"
       "       %s campaign serve <file.json> [--port N] [--shards N]\n"
       "              [--out DIR] [--lease-timeout MS] [--heartbeat MS]\n"
-      "              [--listen-any] [--cells-csv PATH] [run options]\n"
+      "              [--listen-any] [--cells-csv PATH] [--http-port N]\n"
+      "              [--no-audit] [run options]\n"
       "       %s campaign worker <host:port> [--jobs N] [--out DIR]\n"
       "              [--id NAME] [--reconnect N] [--backoff MS]\n"
       "              [--no-checkpoint] [--no-setup-cache] [--quiet]\n"
+      "       %s campaign top <host:port> [--interval MS] [--once]\n"
+      "       %s campaign timeline <audit.jsonl> [--out PATH]\n"
       "       %s [--cpus N] [--topology flat|starN|meshRxC]\n"
       "          [--security none|distributed|centralized]\n"
       "          [--protection plaintext|cipher|full] [--external F]\n"
@@ -197,7 +224,7 @@ namespace {
       "          [--line-bytes N] [--seed N] [--max-cycles N]\n"
       "          [--reconfig] [--report] [--quiet]\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-      argv0, argv0);
+      argv0, argv0, argv0, argv0);
   std::exit(1);
 }
 
@@ -964,6 +991,8 @@ int cmd_campaign_serve(int argc, char** argv) {
   std::string cells_csv_path;
   std::uint16_t port = 0;  // 0 = ephemeral (the bound port is printed)
   bool listen_any = false;
+  bool http = false;
+  std::uint16_t http_port = 0;  // 0 = ephemeral (the bound port is printed)
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -987,6 +1016,11 @@ int cmd_campaign_serve(int argc, char** argv) {
       serve_opt.heartbeat_ms = u;
     } else if (arg == "--listen-any") {
       listen_any = true;
+    } else if (arg == "--http-port" && parse_u64(next(), u) && u <= 65535) {
+      http = true;
+      http_port = static_cast<std::uint16_t>(u);
+    } else if (arg == "--no-audit") {
+      serve_opt.audit = false;
     } else {
       usage(argv[0]);
     }
@@ -1033,9 +1067,51 @@ int cmd_campaign_serve(int argc, char** argv) {
               server.specs().size(), serve_opt.shards,
               static_cast<unsigned long long>(serve_opt.lease_timeout_ms));
   std::fflush(stdout);
-  if (!server.run(&error)) {
+
+  // Observability endpoints share the fleet loop: the server's run() calls
+  // back between protocol steps and we sweep the HTTP socket non-blocking.
+  // Scrapes read the same in-memory state the protocol mutates — no locks,
+  // no second thread, no effect on the deterministic artifacts.
+  net::HttpServer http_server;
+  std::function<void()> between_steps;
+  if (http) {
+    if (!http_server.listen(http_port, /*loopback_only=*/!listen_any,
+                            &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("http: /metrics and /status on %s:%u\n",
+                listen_any ? "0.0.0.0" : "127.0.0.1",
+                static_cast<unsigned>(http_server.bound_port()));
+    std::fflush(stdout);
+    between_steps = [&server, &http_server]() {
+      const net::HttpServer::Handler handler =
+          [&server](const net::HttpRequest& request) {
+            net::HttpResponse response;
+            if (request.target == "/metrics") {
+              response.content_type = "text/plain; version=0.0.4";
+              response.body = obs::prometheus_text(server.fleet_registry());
+            } else if (request.target == "/status") {
+              response.content_type = "application/json";
+              response.body = server.status_json().dump(0);
+              response.body += '\n';
+            } else {
+              response.status = 404;
+              response.body = "not found\n";
+            }
+            return response;
+          };
+      std::string http_error;
+      http_server.poll(0, handler, &http_error);
+    };
+  }
+  if (!server.run(&error, between_steps)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
+  }
+  http_server.close();
+  if (serve_opt.audit && !server.audit_path().empty()) {
+    std::printf("fleet: lease audit log at %s\n", server.audit_path().c_str());
   }
   if (server.reassignments() != 0) {
     std::fprintf(stderr, "fleet: %zu lease reassignment(s) during this run\n",
@@ -1097,6 +1173,109 @@ int cmd_campaign_worker(int argc, char** argv) {
   return 0;
 }
 
+int cmd_campaign_top(int argc, char** argv) {
+  if (argc < 4) usage(argv[0]);
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_host_port(argv[3], host, port)) {
+    std::fprintf(stderr,
+                 "error: campaign top wants <host:port>, got \"%s\"\n",
+                 argv[3]);
+    return 1;
+  }
+  std::uint64_t interval_ms = 1000;
+  bool once = false;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    std::uint64_t u = 0;
+    if (arg == "--interval" && parse_u64(next(), u) && u >= 1) {
+      interval_ms = u;
+    } else if (arg == "--once") {
+      once = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  bool first = true;
+  for (;;) {
+    int status = 0;
+    std::string body;
+    std::string error;
+    if (!net::http_get(host, port, "/status", &status, &body, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return first ? 1 : 0;  // a vanished server after a good poll = done
+    }
+    if (status != 200) {
+      std::fprintf(stderr, "error: /status returned HTTP %d\n", status);
+      return 1;
+    }
+    util::Json doc;
+    if (!util::Json::parse(body, doc, &error)) {
+      std::fprintf(stderr, "error: /status body: %s\n", error.c_str());
+      return 1;
+    }
+    if (!once) std::fputs("\x1b[H\x1b[2J", stdout);  // home + clear
+    std::fputs(campaign::render_fleet_top(doc).c_str(), stdout);
+    std::fflush(stdout);
+    first = false;
+    const util::Json* finished = doc.find("finished");
+    if (once || (finished != nullptr && finished->is_bool() &&
+                 finished->as_bool())) {
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+int cmd_campaign_timeline(int argc, char** argv) {
+  if (argc < 4) usage(argv[0]);
+  const std::string audit_path = argv[3];
+  std::string out_path;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (out_path.empty()) {
+    // <campaign>.fleet-audit.jsonl -> <campaign>.fleet-timeline.json
+    const std::string suffix = ".fleet-audit.jsonl";
+    if (audit_path.size() > suffix.size() &&
+        audit_path.compare(audit_path.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+      out_path = audit_path.substr(0, audit_path.size() - suffix.size()) +
+                 ".fleet-timeline.json";
+    } else {
+      out_path = audit_path + ".timeline.json";
+    }
+  }
+  std::vector<campaign::AuditRecord> records;
+  std::string error;
+  if (!campaign::read_audit_log(audit_path, records, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  obs::FleetTimelineStats stats;
+  if (!obs::write_fleet_timeline(out_path, records, &error, &stats)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("fleet timeline: %zu audit record(s) -> %s\n", records.size(),
+              out_path.c_str());
+  std::printf("  %zu worker track(s), %zu lease span(s) (%zu committed, %zu "
+              "expired, %zu released), %zu extend(s), %zu instant(s), %zu "
+              "unmatched\n",
+              stats.tracks, stats.lease_spans, stats.committed, stats.expired,
+              stats.released, stats.extends, stats.instants, stats.unmatched);
+  return stats.unmatched == 0 ? 0 : 1;
+}
+
 int cmd_campaign(int argc, char** argv) {
   if (argc < 3) usage(argv[0]);
   const std::string verb = argv[2];
@@ -1107,6 +1286,8 @@ int cmd_campaign(int argc, char** argv) {
   if (verb == "export-builtin") return cmd_campaign_export(argc, argv);
   if (verb == "serve") return cmd_campaign_serve(argc, argv);
   if (verb == "worker") return cmd_campaign_worker(argc, argv);
+  if (verb == "top") return cmd_campaign_top(argc, argv);
+  if (verb == "timeline") return cmd_campaign_timeline(argc, argv);
   usage(argv[0]);
 }
 
