@@ -11,6 +11,7 @@ const char* to_string(AuditEvent event) noexcept {
     case AuditEvent::kRelease: return "release";
     case AuditEvent::kRefuse: return "refuse";
     case AuditEvent::kCommit: return "commit";
+    case AuditEvent::kServerStart: return "server_start";
   }
   return "unknown";
 }
@@ -19,7 +20,7 @@ bool parse_audit_event(std::string_view text, AuditEvent& out) noexcept {
   for (AuditEvent e : {AuditEvent::kGrant, AuditEvent::kReassigned,
                        AuditEvent::kExtend, AuditEvent::kExpire,
                        AuditEvent::kRelease, AuditEvent::kRefuse,
-                       AuditEvent::kCommit}) {
+                       AuditEvent::kCommit, AuditEvent::kServerStart}) {
     if (text == to_string(e)) {
       out = e;
       return true;
@@ -34,6 +35,7 @@ util::Json audit_record_to_json(const AuditRecord& record) {
   j.set("event", util::Json::string(to_string(record.event)));
   j.set("shard", util::Json::number(static_cast<std::uint64_t>(record.shard)));
   j.set("generation", util::Json::number(record.generation));
+  j.set("epoch", util::Json::number(record.epoch));
   j.set("worker", util::Json::string(record.worker));
   if (!record.detail.empty())
     j.set("detail", util::Json::string(record.detail));
@@ -65,6 +67,9 @@ bool audit_record_from_json(const util::Json& j, AuditRecord& out,
     return fail("missing field");
   record.shard = static_cast<std::size_t>(shard_u);
   record.worker = worker->as_string();
+  // Optional for back-compat: logs from before the epoch field are epoch 0.
+  if (const util::Json* epoch = j.find("epoch"); epoch != nullptr)
+    (void)epoch->to_u64(record.epoch);
   if (const util::Json* detail = j.find("detail");
       detail != nullptr && detail->is_string())
     record.detail = detail->as_string();

@@ -15,8 +15,13 @@
 // It is pure observability — no deterministic artifact (cells CSV,
 // campaign JSON, shard files) depends on it.
 //
+// The log survives server restarts: a restarted `campaign serve --resume`
+// appends to the same file, opening with a `server_start` record that
+// marks the epoch boundary (every record carries the writing server's
+// epoch). Timestamps restart at zero with each incarnation's clock.
+//
 // Record schema (one JSON object per line):
-//   {"t_ms":1234,"event":"grant","shard":2,"generation":1,
+//   {"t_ms":1234,"event":"grant","shard":2,"generation":1,"epoch":0,
 //    "worker":"w1","detail":"..."}            // detail only when non-empty
 #pragma once
 
@@ -31,23 +36,30 @@ namespace secbus::campaign {
 
 // Lease transitions, in the lease state machine's vocabulary.
 enum class AuditEvent : std::uint8_t {
-  kGrant,       // pending shard leased to a worker (first time)
-  kReassigned,  // pending shard re-leased after a previous lease was lost
-  kExtend,      // heartbeat accepted, deadline pushed out
-  kExpire,      // heartbeats stopped, lease returned to pending
-  kRelease,     // holder disconnected, lease returned to pending
-  kRefuse,      // stale generation presented (zombie fenced off)
-  kCommit,      // shard result accepted, shard done
+  kGrant,        // pending shard leased to a worker (first time)
+  kReassigned,   // pending shard re-leased after a previous lease was lost
+  kExtend,       // heartbeat accepted, deadline pushed out
+  kExpire,       // heartbeats stopped, lease returned to pending
+  kRelease,      // holder disconnected, lease returned to pending
+  kRefuse,       // stale generation or epoch presented (zombie fenced off)
+  kCommit,       // shard result accepted, shard done
+  kServerStart,  // a server incarnation opened the log (epoch boundary);
+                 // leases open at this point died with the previous server
 };
 
 [[nodiscard]] const char* to_string(AuditEvent event) noexcept;
 bool parse_audit_event(std::string_view text, AuditEvent& out) noexcept;
 
 struct AuditRecord {
-  std::uint64_t t_ms = 0;  // server-relative milliseconds
+  std::uint64_t t_ms = 0;  // server-relative milliseconds (reset per epoch)
   AuditEvent event = AuditEvent::kGrant;
   std::size_t shard = 0;
   std::uint64_t generation = 0;
+  // Server incarnation that wrote this record. The log appends across
+  // restarts, so `epoch` is what lets the timeline attribute records to
+  // the incarnation whose clock stamped them. Logs from before the epoch
+  // field read back as epoch 0.
+  std::uint64_t epoch = 0;
   std::string worker;
   std::string detail;  // human-readable context; empty for most records
 };

@@ -111,11 +111,13 @@ Json request() {
 }
 
 Json heartbeat(std::size_t shard, std::uint64_t generation,
-               const ProgressRecord& progress, const obs::Registry* snapshot) {
+               const ProgressRecord& progress, const obs::Registry* snapshot,
+               std::uint64_t epoch) {
   Json j = Json::object();
   j.set("type", Json::string("heartbeat"));
   j.set("shard", Json::number(static_cast<std::uint64_t>(shard)));
   j.set("generation", Json::number(generation));
+  j.set("epoch", Json::number(epoch));
   j.set("progress", progress_record_to_json(progress));
   if (snapshot != nullptr && !snapshot->empty()) {
     j.set("snapshot", snapshot->to_json());
@@ -124,11 +126,13 @@ Json heartbeat(std::size_t shard, std::uint64_t generation,
 }
 
 Json shard_done(std::size_t shard, std::uint64_t generation,
-                const ProgressRecord& progress, const ShardResultFile& file) {
+                const ProgressRecord& progress, const ShardResultFile& file,
+                std::uint64_t epoch) {
   Json j = Json::object();
   j.set("type", Json::string("shard_done"));
   j.set("shard", Json::number(static_cast<std::uint64_t>(shard)));
   j.set("generation", Json::number(generation));
+  j.set("epoch", Json::number(epoch));
   j.set("progress", progress_record_to_json(progress));
   j.set("file", shard_file_to_json(file));
   return j;
@@ -202,6 +206,15 @@ LeaseManager::Completion LeaseManager::complete(const std::string& worker,
     s.worker.clear();
   }
   return verdict;
+}
+
+void LeaseManager::mark_done(std::size_t shard, std::uint64_t generation) {
+  if (shard >= shards_.size()) return;
+  Shard& s = shards_[shard];
+  s.state = ShardState::kDone;
+  s.worker.clear();
+  s.generation = generation;
+  s.granted_before = true;
 }
 
 std::vector<std::size_t> LeaseManager::expire(std::uint64_t now_ms) {
@@ -295,6 +308,81 @@ FleetServer::FleetServer(net::Transport& transport,
   std::error_code ec;
   std::filesystem::create_directories(options_.out_dir, ec);
   start_ms_ = transport_.now_ms();
+
+  // Lease journal first: a refused start must not touch the audit log or
+  // progress sidecars. A constructor cannot return false, so failures park
+  // in init_error_ and the first step() reports them.
+  if (options_.journal) {
+    journal_path_ = (std::filesystem::path(options_.out_dir) /
+                     journal_file_name(campaign_name_))
+                        .string();
+    const bool have_file = std::filesystem::exists(journal_path_);
+    FleetJournalState prior;
+    std::string journal_error;
+    if (options_.resume) {
+      if (!have_file) {
+        init_error_ = journal_path_ + ": no lease journal to resume from";
+      } else if (!read_fleet_journal(journal_path_, prior, &journal_error)) {
+        init_error_ = journal_error;
+      } else if (!prior.any_epoch) {
+        init_error_ =
+            journal_path_ + ": journal holds no epoch record; nothing to "
+                            "resume (delete it to start fresh)";
+      } else if (prior.campaign != campaign_name_ ||
+                 prior.shards != options_.shards ||
+                 prior.jobs != specs_.size() || prior.grid_fp != grid_fp_) {
+        init_error_ =
+            journal_path_ + ": journal describes a different campaign "
+                            "(name, shard count, job count, or grid "
+                            "fingerprint mismatch); refusing to resume";
+      } else {
+        epoch_ = prior.last_epoch + 1;
+        for (const auto& [shard, commit] : prior.committed) {
+          // Trust the journal only as far as the shard file it points at
+          // still reads back as this campaign's shard; anything less and
+          // the shard simply re-runs.
+          ShardResultFile file;
+          std::string read_error;
+          if (read_shard_file(commit.file, file, &read_error) &&
+              file.campaign == campaign_name_ && file.shard == shard &&
+              file.shards == options_.shards && file.grid_fp == grid_fp_) {
+            leases_.mark_done(shard, commit.generation);
+            shard_paths_[shard] = commit.file;
+            ++resumed_shards_;
+          } else {
+            std::fprintf(stderr,
+                         "fleet: journaled shard %zu result %s no longer "
+                         "reads back (%s); returning the shard to the "
+                         "pending pool\n",
+                         shard, commit.file.c_str(),
+                         read_error.empty() ? "identity mismatch"
+                                            : read_error.c_str());
+          }
+        }
+      }
+    } else if (have_file) {
+      if (read_fleet_journal(journal_path_, prior, &journal_error) &&
+          prior.any_epoch && prior.complete()) {
+        // A finished run's journal: this serve is a genuinely new campaign
+        // run, so the old journal (and its done-ness) must not leak in.
+        std::filesystem::remove(journal_path_, ec);
+      } else {
+        init_error_ =
+            journal_path_ + ": a previous serve left an incomplete lease "
+                            "journal; restart with --resume to recover its "
+                            "commits, or delete the journal to start over";
+      }
+    }
+    if (init_error_.empty()) {
+      if (!journal_.open(journal_path_) ||
+          !journal_.append_epoch(epoch_, campaign_name_, options_.shards,
+                                 specs_.size(), grid_fp_)) {
+        init_error_ = journal_path_ + ": cannot write the lease journal";
+      }
+    }
+    if (!init_error_.empty()) return;
+  }
+
   if (options_.audit) {
     audit_path_ = (std::filesystem::path(options_.out_dir) /
                    audit_file_name(campaign_name_))
@@ -307,6 +395,12 @@ FleetServer::FleetServer(net::Transport& transport,
       audit_path_.clear();
     }
   }
+  // Epoch boundary marker: the timeline closes any span the previous
+  // incarnation left open as "lost" when it sees this record.
+  audit(AuditEvent::kServerStart, 0, 0, std::string(),
+        resumed_shards_ == 0
+            ? std::string()
+            : std::to_string(resumed_shards_) + " shard(s) resumed done");
 
   Json msg = Json::object();
   msg.set("type", Json::string("campaign"));
@@ -317,6 +411,7 @@ FleetServer::FleetServer(net::Transport& transport,
   msg.set("grid_fingerprint", Json::number(grid_fp_));
   msg.set("heartbeat_ms", Json::number(options_.heartbeat_ms));
   msg.set("lease_timeout_ms", Json::number(options_.lease_timeout_ms));
+  msg.set("epoch", Json::number(epoch_));
   campaign_msg_ = std::move(msg);
 }
 
@@ -332,6 +427,7 @@ void FleetServer::audit(AuditEvent event, std::size_t shard,
   record.event = event;
   record.shard = shard;
   record.generation = generation;
+  record.epoch = epoch_;
   record.worker = worker;
   record.detail = std::move(detail);
   audit_.append(record);
@@ -356,6 +452,7 @@ void FleetServer::log_event(const char* fmt, ...) {
 }
 
 bool FleetServer::step(std::uint64_t max_wait_ms, std::string* error) {
+  if (!init_error_.empty()) return fail(error, init_error_);
   if (finished_) return true;
   std::uint64_t wait = max_wait_ms;
   const std::uint64_t now = transport_.now_ms();
@@ -554,6 +651,7 @@ void FleetServer::handle_request(net::ConnId conn) {
   reply.set("type", Json::string("grant"));
   reply.set("shard", Json::number(static_cast<std::uint64_t>(grant->shard)));
   reply.set("generation", Json::number(grant->generation));
+  reply.set("epoch", Json::number(epoch_));
   transport_.send(conn, reply);
 }
 
@@ -592,6 +690,18 @@ void FleetServer::handle_heartbeat(net::ConnId conn, const Json& message) {
       info.snapshot = std::move(snap);
     }
   }
+  // Epoch fence: a lease minted by a dead incarnation died with it, no
+  // matter what the (per-incarnation) generation counter says.
+  std::uint64_t epoch = 0;
+  (void)u64_field(message, "epoch", epoch);
+  if (epoch != epoch_) {
+    audit(AuditEvent::kRefuse, static_cast<std::size_t>(shard), generation,
+          peer.worker, "stale epoch " + std::to_string(epoch));
+    refuse(conn, static_cast<std::size_t>(shard),
+           "lease is from a previous server incarnation; drop this shard "
+           "and request new work");
+    return;
+  }
   if (!leases_.heartbeat(peer.worker, static_cast<std::size_t>(shard),
                          generation, now)) {
     audit(AuditEvent::kRefuse, static_cast<std::size_t>(shard), generation,
@@ -625,6 +735,16 @@ void FleetServer::handle_shard_done(net::ConnId conn, const Json& message,
     reply.set("message", Json::string("malformed shard_done"));
     transport_.send(conn, reply);
     transport_.close_conn(conn);
+    return;
+  }
+  std::uint64_t epoch = 0;
+  (void)u64_field(message, "epoch", epoch);
+  if (epoch != epoch_) {
+    audit(AuditEvent::kRefuse, static_cast<std::size_t>(shard), generation,
+          peer.worker, "stale epoch " + std::to_string(epoch) + " result");
+    refuse(conn, static_cast<std::size_t>(shard),
+           "result is from a lease of a previous server incarnation; drop "
+           "it and request new work");
     return;
   }
   const LeaseManager::Completion verdict =
@@ -689,6 +809,21 @@ void FleetServer::handle_shard_done(net::ConnId conn, const Json& message,
                      have_progress ? final_progress : ProgressRecord{},
                      error)) {
     return;  // fatal: error set (disk full etc.)
+  }
+  // Journal the commit only after the shard file is durably on disk — the
+  // record is a pointer, and a restart trusts it only as far as the file
+  // reads back. The flushed record is the crash-safety line: everything
+  // after it survives a SIGKILL, which is exactly where the chaos hook
+  // murders the server in the restart CI leg.
+  if (journal_.is_open()) {
+    if (!journal_.append_commit(epoch_, static_cast<std::size_t>(shard),
+                                generation, peer.worker,
+                                shard_paths_[static_cast<std::size_t>(shard)])) {
+      fail(error, journal_path_ + ": lease journal write failed");
+      return;
+    }
+    ++commits_journaled_;
+    chaos_maybe_kill_server(options_.chaos, commits_journaled_);
   }
 }
 
@@ -799,6 +934,9 @@ obs::Registry FleetServer::fleet_registry() const {
             static_cast<double>(leases_.pending_count()));
   reg.counter("fleet.reassignments",
               static_cast<std::uint64_t>(leases_.regrants()));
+  reg.counter("fleet.epoch", epoch_);
+  reg.counter("fleet.shards.resumed",
+              static_cast<std::uint64_t>(resumed_shards_));
   reg.gauge("fleet.workers", static_cast<double>(workers_.size()));
   reg.gauge("fleet.workers.connected",
             static_cast<double>(std::count_if(
@@ -856,6 +994,9 @@ util::Json FleetServer::status_json() const {
              Json::number(static_cast<std::uint64_t>(options_.shards)));
   status.set("jobs", Json::number(static_cast<std::uint64_t>(specs_.size())));
   status.set("finished", Json::boolean(finished_));
+  status.set("epoch", Json::number(epoch_));
+  status.set("resumed", Json::number(static_cast<std::uint64_t>(
+                            resumed_shards_)));
   status.set("reassignments",
              Json::number(static_cast<std::uint64_t>(leases_.regrants())));
   status.set("pending",
@@ -947,6 +1088,12 @@ bool run_fleet_worker(const FleetWorkerOptions& options,
 
   std::unique_ptr<net::TcpClientTransport> conn;
   std::size_t reconnects_left = options.max_reconnects;
+  // Seeded network fault injection: every frame in either direction runs
+  // through the decorator when SECBUS_CHAOS carries a net: directive.
+  // `wire` is the worker's single handle on the connection — the raw TCP
+  // client, or the chaos wrapper re-targeted at each reconnect.
+  net::ChaosTransport chaos_wire(options.chaos.net);
+  net::Transport* wire = nullptr;
 
   // Campaign state, learned from the first campaign message and pinned for
   // the life of the worker (reconnects verify it did not change).
@@ -958,6 +1105,9 @@ bool run_fleet_worker(const FleetWorkerOptions& options,
   std::uint64_t grid_fp = 0;
   std::size_t shards = 0;
   std::uint64_t heartbeat_ms = 2'000;
+  // Unlike the grid identity, the epoch is *allowed* to change across a
+  // reconnect — that is what surviving a server restart looks like.
+  std::uint64_t epoch = 0;
 
   const auto load_campaign_msg = [&](const Json& msg,
                                      std::string* err) -> bool {
@@ -972,6 +1122,8 @@ bool run_fleet_worker(const FleetWorkerOptions& options,
         !u64_field(msg, "heartbeat_ms", hb) || shards_u == 0) {
       return fail(err, "malformed campaign message from server");
     }
+    std::uint64_t announced_epoch = 0;
+    (void)u64_field(msg, "epoch", announced_epoch);
     if (have_campaign) {
       if (announced_fp != grid_fp ||
           static_cast<std::size_t>(shards_u) != shards) {
@@ -979,6 +1131,7 @@ bool run_fleet_worker(const FleetWorkerOptions& options,
         return fail(err, "server campaign changed across a reconnect "
                          "(grid fingerprint or shard count drifted)");
       }
+      epoch = announced_epoch;
       return true;
     }
     FleetGridOptions g;
@@ -1004,6 +1157,7 @@ bool run_fleet_worker(const FleetWorkerOptions& options,
     grid_fp = local_fp;
     shards = static_cast<std::size_t>(shards_u);
     heartbeat_ms = std::max<std::uint64_t>(hb, 100);
+    epoch = announced_epoch;
     have_campaign = true;
     if (!options.quiet) {
       std::fprintf(stderr,
@@ -1019,13 +1173,19 @@ bool run_fleet_worker(const FleetWorkerOptions& options,
   const auto try_attach = [&](std::string* err) -> bool {
     conn = std::make_unique<net::TcpClientTransport>();
     if (!conn->connect(options.host, options.port, err)) return false;
-    if (!conn->send(net::kServerConn, fleet_msg::hello(worker_id))) {
+    if (options.chaos.net.enabled) {
+      chaos_wire.set_inner(conn.get());
+      wire = &chaos_wire;
+    } else {
+      wire = conn.get();
+    }
+    if (!wire->send(net::kServerConn, fleet_msg::hello(worker_id))) {
       return fail(err, "hello send failed");
     }
-    const std::uint64_t deadline = conn->now_ms() + 15'000;
-    while (conn->now_ms() < deadline) {
+    const std::uint64_t deadline = wire->now_ms() + 15'000;
+    while (wire->now_ms() < deadline) {
       std::vector<net::TransportEvent> events;
-      if (!conn->poll(200, events, err)) return false;
+      if (!wire->poll(200, events, err)) return false;
       for (const net::TransportEvent& event : events) {
         if (event.kind == net::TransportEvent::Kind::kClose) {
           return fail(err, event.detail.empty()
@@ -1109,9 +1269,9 @@ bool run_fleet_worker(const FleetWorkerOptions& options,
     };
 
     std::atomic<bool> stop{false};
-    net::TcpClientTransport* wire = conn.get();
+    net::Transport* beat_wire = wire;
     const std::uint64_t beat_every = heartbeat_ms;
-    std::thread beat([&stop, shared, wire, grant, beat_every] {
+    std::thread beat([&stop, shared, beat_wire, grant, beat_every] {
       std::uint64_t slept = 0;
       for (;;) {
         sleep_ms(50);
@@ -1130,9 +1290,9 @@ bool run_fleet_worker(const FleetWorkerOptions& options,
         const obs::Registry snapshot = worker_metrics_snapshot(record);
         // Best-effort: a dead connection is discovered (and repaired) by
         // the main thread once the shard finishes.
-        wire->send(net::kServerConn,
-                   fleet_msg::heartbeat(grant.shard, grant.generation,
-                                        record, &snapshot));
+        beat_wire->send(net::kServerConn,
+                        fleet_msg::heartbeat(grant.shard, grant.generation,
+                                             record, &snapshot, grant.epoch));
       }
     });
     const ShardRunOutcome outcome = run_shard(specs, run);
@@ -1155,15 +1315,19 @@ bool run_fleet_worker(const FleetWorkerOptions& options,
                                             outcome.indices.size(),
                                             /*finished=*/true);
     }
-    const Json done_msg = fleet_msg::shard_done(grant.shard, grant.generation,
-                                                final_record, file);
-    if (!conn->send(net::kServerConn, done_msg)) {
+    const Json done_msg =
+        fleet_msg::shard_done(grant.shard, grant.generation, final_record,
+                              file, grant.epoch);
+    if (!wire->send(net::kServerConn, done_msg)) {
       // The connection died while we computed. Re-attach and resubmit: a
       // quick reconnect beats the lease deadline and the result is
       // accepted; a slow one gets a refuse and the shard re-runs
-      // elsewhere (from our checkpoint).
+      // elsewhere (from our checkpoint). A reconnect that crossed a
+      // server restart resubmits under the dead incarnation's epoch and
+      // is refused the same way — the replacement server grants the
+      // shard afresh and our checkpoint still makes it a resume.
       if (!attach(err)) return false;
-      if (!conn->send(net::kServerConn, done_msg)) {
+      if (!wire->send(net::kServerConn, done_msg)) {
         return fail(err, "fleet worker " + worker_id +
                              ": resubmitting shard " +
                              std::to_string(grant.shard) +
@@ -1187,16 +1351,16 @@ bool run_fleet_worker(const FleetWorkerOptions& options,
   std::uint64_t last_request_ms = 0;
   for (;;) {
     if (need_request) {
-      if (!conn->send(net::kServerConn, fleet_msg::request())) {
+      if (!wire->send(net::kServerConn, fleet_msg::request())) {
         if (!attach(error)) return false;
         continue;  // retry the request on the fresh connection
       }
       need_request = false;
-      last_request_ms = conn->now_ms();
+      last_request_ms = wire->now_ms();
     }
     std::vector<net::TransportEvent> events;
     std::string poll_error;
-    if (!conn->poll(200, events, &poll_error)) {
+    if (!wire->poll(200, events, &poll_error)) {
       if (!attach(error)) return false;
       need_request = true;
       continue;
@@ -1221,6 +1385,8 @@ bool run_fleet_worker(const FleetWorkerOptions& options,
         LeaseGrant grant;
         grant.shard = static_cast<std::size_t>(shard_u);
         grant.generation = generation;
+        grant.epoch = epoch;  // campaign-announced, unless the grant says
+        (void)u64_field(event.message, "epoch", grant.epoch);
         if (!run_granted(grant, error)) return false;
         need_request = true;
       } else if (type == "refuse") {
@@ -1258,7 +1424,7 @@ bool run_fleet_worker(const FleetWorkerOptions& options,
     // Belt and braces for a lost wait/grant: quietly re-request after a
     // few silent heartbeat intervals.
     if (!need_request &&
-        conn->now_ms() - last_request_ms > 4 * heartbeat_ms) {
+        wire->now_ms() - last_request_ms > 4 * heartbeat_ms) {
       need_request = true;
     }
   }

@@ -28,17 +28,29 @@
 //
 // Wire protocol (length-prefixed JSON frames, net/frame.hpp), version 1:
 //   worker -> server: hello{worker,protocol[,backend]} request{}
-//                     heartbeat{shard,generation,progress[,snapshot]}
-//                     shard_done{shard,generation,progress,file}
+//                     heartbeat{shard,generation,progress[,snapshot,epoch]}
+//                     shard_done{shard,generation,progress,file[,epoch]}
 //   server -> worker: campaign{name,campaign,grid,shards,grid_fingerprint,
-//                              heartbeat_ms,lease_timeout_ms}
-//                     grant{shard,generation} wait{poll_ms}
+//                              heartbeat_ms,lease_timeout_ms[,epoch]}
+//                     grant{shard,generation[,epoch]} wait{poll_ms}
 //                     refuse{shard,reason,drop} done{} error{message}
 // `backend` and `snapshot` are optional (both sides use find()), so v1
 // stays wire-compatible: `backend` names the worker's crypto backend for
 // /status, `snapshot` piggybacks the worker's obs::Registry metrics
 // (telemetry.hpp worker_metrics_snapshot) that the server merges into the
 // fleet-level registry behind /metrics.
+//
+// Restart survival (the second fencing dimension): the server persists a
+// crash-safe lease journal ("<campaign>.fleet-journal.jsonl",
+// campaign/journal.hpp) recording its identity and every committed shard.
+// A killed server restarted with `--resume` replays the journal — committed
+// shards stay done, everything else returns to pending — and bumps its
+// *epoch* (fresh server: 0; resume: last journaled + 1). Every grant
+// carries the epoch; heartbeats and shard_done echo it; a result minted
+// under a previous incarnation presents a stale epoch and is refused with
+// drop=true exactly like a stale generation. `epoch` is optional on the
+// wire (absent reads as 0), so v1 endpoints interoperate: a fresh server
+// is epoch 0 and old workers never cross a restart without reconnecting.
 //
 // Observability plane (all pure additions — the deterministic artifacts
 // are byte-identical with it on or off):
@@ -63,6 +75,7 @@
 #include "campaign/audit.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/chaos.hpp"
+#include "campaign/journal.hpp"
 #include "campaign/shard.hpp"
 #include "campaign/telemetry.hpp"
 #include "net/transport.hpp"
@@ -104,14 +117,18 @@ namespace fleet_msg {
 [[nodiscard]] util::Json hello(const std::string& worker);
 [[nodiscard]] util::Json request();
 // `snapshot`, when non-null and non-empty, rides along as the worker's
-// current metrics registry (flat JSON, Registry::to_json).
+// current metrics registry (flat JSON, Registry::to_json). `epoch` echoes
+// the server incarnation that granted the lease (0 against a fresh
+// server, which is why it can default).
 [[nodiscard]] util::Json heartbeat(std::size_t shard, std::uint64_t generation,
                                    const ProgressRecord& progress,
-                                   const obs::Registry* snapshot = nullptr);
+                                   const obs::Registry* snapshot = nullptr,
+                                   std::uint64_t epoch = 0);
 [[nodiscard]] util::Json shard_done(std::size_t shard,
                                     std::uint64_t generation,
                                     const ProgressRecord& progress,
-                                    const ShardResultFile& file);
+                                    const ShardResultFile& file,
+                                    std::uint64_t epoch = 0);
 
 // Message "type" field, or "" for a non-object / untyped message.
 [[nodiscard]] std::string type_of(const util::Json& message);
@@ -126,6 +143,10 @@ struct LeaseGrant {
   // True when this shard had been granted before (its previous lease
   // expired or was released) — i.e. this grant is a reassignment.
   bool reassigned = false;
+  // Server incarnation that minted the grant. LeaseManager itself is
+  // epoch-agnostic (it dies with the server); the field rides here so the
+  // worker can echo it on heartbeats and shard_done.
+  std::uint64_t epoch = 0;
 };
 
 // Pure shard-lease bookkeeping: who holds which shard, under which
@@ -162,6 +183,12 @@ class LeaseManager {
                                  std::uint64_t generation) const;
   Completion complete(const std::string& worker, std::size_t shard,
                       std::uint64_t generation);
+
+  // Journal replay: marks `shard` done under `generation` without ever
+  // having been leased this incarnation. The generation is preserved so a
+  // late duplicate from the committing worker reads as kDuplicate, not a
+  // fresh grant.
+  void mark_done(std::size_t shard, std::uint64_t generation);
 
   // Returns the shards whose lease deadline has passed, each moved back
   // to pending (eligible for reassignment).
@@ -217,6 +244,19 @@ struct FleetServerOptions {
   // out_dir (campaign/audit.hpp). Pure observability; disable for fleets
   // that must not touch shared disk beyond the result files.
   bool audit = true;
+  // Crash-safe lease journal ("<campaign>.fleet-journal.jsonl" in out_dir,
+  // campaign/journal.hpp). Unlike the audit log this is *load-bearing*:
+  // it is what `--resume` replays. On by default; a fresh serve refuses to
+  // start over an incomplete journal (a crashed predecessor) unless
+  // `resume` is set, and silently removes a complete one.
+  bool journal = true;
+  // Resume from the journal: committed shards stay done, the epoch bumps
+  // past every journaled one, and pre-restart zombies are fenced off.
+  bool resume = false;
+  // Server-side fault injection (campaign/chaos.hpp):
+  // `kill_server_after:<n>` _Exit()s the process after the n-th journaled
+  // commit — the restart-recovery CI leg's murder weapon.
+  ChaosOptions chaos;
   bool quiet = true;  // suppress per-event stdout lines (stderr warnings stay)
   FleetGridOptions grid;
 };
@@ -225,12 +265,22 @@ struct FleetServerOptions {
 // over TcpServerTransport, the state-machine tests over FakeTransport.
 class FleetServer {
  public:
+  // Construction never throws; journal/resume validation failures land in
+  // init_error() (a constructor cannot return false) and the first step()
+  // fails with that message.
   FleetServer(net::Transport& transport, const CampaignSpec& campaign,
               FleetServerOptions options);
   ~FleetServer();
 
   FleetServer(const FleetServer&) = delete;
   FleetServer& operator=(const FleetServer&) = delete;
+
+  // Non-empty when the journal refused construction (resume without a
+  // journal, identity mismatch, incomplete journal without --resume,
+  // unwritable journal). Check before run().
+  [[nodiscard]] const std::string& init_error() const noexcept {
+    return init_error_;
+  }
 
   // One poll-and-dispatch round: waits up to `max_wait_ms` for transport
   // activity (shortened to the next lease deadline), handles every event,
@@ -270,6 +320,12 @@ class FleetServer {
   [[nodiscard]] std::size_t connected_workers() const noexcept {
     return peers_.size();
   }
+  // Server incarnation: 0 for a fresh serve, last journaled + 1 on resume.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  // Shards restored done from the journal by this incarnation's resume.
+  [[nodiscard]] std::size_t resumed_shards() const noexcept {
+    return resumed_shards_;
+  }
 
   // --- observability plane --------------------------------------------------
 
@@ -288,6 +344,11 @@ class FleetServer {
   // Audit log path ("" when options.audit is off).
   [[nodiscard]] const std::string& audit_path() const noexcept {
     return audit_path_;
+  }
+
+  // Lease journal path ("" when options.journal is off).
+  [[nodiscard]] const std::string& journal_path() const noexcept {
+    return journal_path_;
   }
 
  private:
@@ -343,6 +404,13 @@ class FleetServer {
   std::vector<std::string> shard_paths_;  // filled per accepted shard
   std::vector<scenario::JobResult> results_;
   bool finished_ = false;
+  // Crash-safety plane.
+  std::uint64_t epoch_ = 0;
+  FleetJournal journal_;
+  std::string journal_path_;
+  std::string init_error_;
+  std::size_t resumed_shards_ = 0;
+  std::uint64_t commits_journaled_ = 0;  // feeds kill_server_after chaos
   // Observability plane.
   std::uint64_t start_ms_ = 0;  // transport clock at construction
   std::map<std::string, WorkerInfo> workers_;
@@ -370,8 +438,10 @@ struct FleetWorkerOptions {
   std::uint64_t backoff_ms = 500;
   std::uint64_t backoff_max_ms = 5'000;
   bool quiet = true;
-  // Fault injection (campaign/chaos.hpp): the worker _Exit()s mid-shard
-  // after kill_after checkpointed jobs. CLI wires SECBUS_CHAOS here.
+  // Fault injection (campaign/chaos.hpp): `kill_after:<n>` _Exit()s the
+  // worker mid-shard after n checkpointed jobs; `net:...` wraps the
+  // worker's TCP connection in a seeded net::ChaosTransport (drops,
+  // delays, duplicates, truncations, resets). CLI wires SECBUS_CHAOS here.
   ChaosOptions chaos;
 };
 

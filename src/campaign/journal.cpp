@@ -1,0 +1,130 @@
+#include "campaign/journal.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace secbus::campaign {
+
+using util::Json;
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr && error->empty()) *error = message;
+  return false;
+}
+
+bool u64_field(const Json& j, const char* name, std::uint64_t& out) {
+  const Json* v = j.find(name);
+  return v != nullptr && v->to_u64(out);
+}
+
+std::string string_field(const Json& j, const char* name) {
+  const Json* v = j.find(name);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
+
+}  // namespace
+
+bool FleetJournal::append_epoch(std::uint64_t epoch,
+                                const std::string& campaign,
+                                std::size_t shards, std::size_t jobs,
+                                std::uint64_t grid_fp) {
+  Json j = Json::object();
+  j.set("type", Json::string("epoch"));
+  j.set("epoch", Json::number(epoch));
+  j.set("campaign", Json::string(campaign));
+  j.set("shards", Json::number(static_cast<std::uint64_t>(shards)));
+  j.set("jobs", Json::number(static_cast<std::uint64_t>(jobs)));
+  j.set("grid_fp", Json::number(grid_fp));
+  return writer_.append(j);
+}
+
+bool FleetJournal::append_commit(std::uint64_t epoch, std::size_t shard,
+                                 std::uint64_t generation,
+                                 const std::string& worker,
+                                 const std::string& file) {
+  Json j = Json::object();
+  j.set("type", Json::string("commit"));
+  j.set("epoch", Json::number(epoch));
+  j.set("shard", Json::number(static_cast<std::uint64_t>(shard)));
+  j.set("generation", Json::number(generation));
+  j.set("worker", Json::string(worker));
+  j.set("file", Json::string(file));
+  return writer_.append(j);
+}
+
+std::string journal_file_name(const std::string& campaign) {
+  return campaign + ".fleet-journal.jsonl";
+}
+
+bool read_fleet_journal(const std::string& path, FleetJournalState& out,
+                        std::string* error) {
+  std::vector<Json> lines;
+  if (!util::read_jsonl(path, lines, error)) return false;
+  FleetJournalState state;
+  for (const Json& line : lines) {
+    const std::string type = string_field(line, "type");
+    if (type == "epoch") {
+      std::uint64_t epoch = 0;
+      std::uint64_t shards = 0;
+      std::uint64_t jobs = 0;
+      std::uint64_t grid_fp = 0;
+      const std::string campaign = string_field(line, "campaign");
+      if (!u64_field(line, "epoch", epoch) ||
+          !u64_field(line, "shards", shards) ||
+          !u64_field(line, "jobs", jobs) ||
+          !u64_field(line, "grid_fp", grid_fp) || campaign.empty() ||
+          shards == 0) {
+        continue;  // torn fragment that still parsed as JSON: skip it
+      }
+      if (!state.any_epoch) {
+        state.any_epoch = true;
+        state.campaign = campaign;
+        state.shards = static_cast<std::size_t>(shards);
+        state.jobs = static_cast<std::size_t>(jobs);
+        state.grid_fp = grid_fp;
+        state.last_epoch = epoch;
+        continue;
+      }
+      if (campaign != state.campaign ||
+          static_cast<std::size_t>(shards) != state.shards ||
+          static_cast<std::size_t>(jobs) != state.jobs ||
+          grid_fp != state.grid_fp) {
+        return fail(error, path + ": journal mixes different campaigns or "
+                           "grids; refusing to resume from it");
+      }
+      if (epoch < state.last_epoch) {
+        return fail(error, path + ": journal epoch went backwards (" +
+                               std::to_string(epoch) + " after " +
+                               std::to_string(state.last_epoch) + ")");
+      }
+      state.last_epoch = epoch;
+    } else if (type == "commit") {
+      JournalCommit commit;
+      std::uint64_t shard = 0;
+      if (!u64_field(line, "epoch", commit.epoch) ||
+          !u64_field(line, "shard", shard) ||
+          !u64_field(line, "generation", commit.generation)) {
+        continue;
+      }
+      commit.worker = string_field(line, "worker");
+      commit.file = string_field(line, "file");
+      if (commit.file.empty()) continue;
+      if (state.any_epoch && shard >= state.shards) {
+        return fail(error, path + ": journal commit for shard " +
+                               std::to_string(shard) + " of a " +
+                               std::to_string(state.shards) +
+                               "-shard campaign");
+      }
+      state.committed[static_cast<std::size_t>(shard)] = std::move(commit);
+    }
+    // Unknown types: skipped for forward compatibility.
+  }
+  out = std::move(state);
+  return true;
+}
+
+}  // namespace secbus::campaign

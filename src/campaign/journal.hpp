@@ -1,0 +1,96 @@
+// Crash-safe fleet server state: the lease journal.
+//
+// The fleet server is deliberately almost stateless — shard results and
+// checkpoints live on disk, leases are soft state that heartbeats rebuild
+// — but two facts must survive a server crash: *which shards committed*
+// (so a restart does not re-run or, worse, double-merge them) and *which
+// incarnation of the server is speaking* (so results computed against a
+// dead incarnation's leases can be fenced off). The journal records both
+// as flushed JSONL (`<campaign>.fleet-journal.jsonl`, util/jsonl.hpp) with
+// the same torn-tail tolerance as shard checkpoints: a server killed
+// mid-append loses at most the record being written, and the replayer
+// skips the fragment.
+//
+// Record schema (one JSON object per line):
+//   {"type":"epoch","epoch":N,"campaign":"name","shards":S,"jobs":J,
+//    "grid_fp":F}                          — appended at every server start
+//   {"type":"commit","epoch":N,"shard":i,"generation":g,"worker":"w",
+//    "file":"path"}                        — appended after the shard file
+//                                            durably wrote
+//
+// `campaign serve --resume` replays the journal, verifies the identity
+// fields against the campaign it was pointed at (a resume against the
+// wrong campaign or a drifted grid is refused), marks the committed
+// shards done, returns everything else to the pending pool, and starts a
+// fresh epoch = max(replayed) + 1. Every protocol message then carries
+// the epoch, so a zombie worker still holding a pre-crash lease presents
+// a stale epoch and is refused — the (epoch, generation) pair is the
+// fleet's fencing token.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/jsonl.hpp"
+
+namespace secbus::campaign {
+
+// One committed shard as replayed from the journal.
+struct JournalCommit {
+  std::uint64_t epoch = 0;
+  std::uint64_t generation = 0;
+  std::string worker;
+  std::string file;  // shard result file path as the committing server wrote it
+};
+
+// Everything a restarting server learns from a journal replay.
+struct FleetJournalState {
+  bool any_epoch = false;       // at least one epoch record replayed
+  std::uint64_t last_epoch = 0; // highest epoch seen
+  // Identity of the journaled campaign (from the first epoch record; later
+  // epoch records must agree or replay fails).
+  std::string campaign;
+  std::size_t shards = 0;
+  std::size_t jobs = 0;
+  std::uint64_t grid_fp = 0;
+  std::map<std::size_t, JournalCommit> committed;  // shard -> commit
+
+  [[nodiscard]] bool complete() const noexcept {
+    return any_epoch && committed.size() == shards;
+  }
+};
+
+// Append-only flushed journal writer. Records are appended (never
+// rewritten), so a journal spanning several server incarnations reads as
+// the full history: epoch, commits, epoch, commits, ...
+class FleetJournal {
+ public:
+  bool open(const std::string& path) { return writer_.open(path); }
+  [[nodiscard]] bool is_open() const noexcept { return writer_.is_open(); }
+  [[nodiscard]] bool ok() const noexcept { return writer_.ok(); }
+
+  bool append_epoch(std::uint64_t epoch, const std::string& campaign,
+                    std::size_t shards, std::size_t jobs,
+                    std::uint64_t grid_fp);
+  bool append_commit(std::uint64_t epoch, std::size_t shard,
+                     std::uint64_t generation, const std::string& worker,
+                     const std::string& file);
+
+ private:
+  util::JsonlWriter writer_;
+};
+
+// Conventional journal file name: "<campaign>.fleet-journal.jsonl".
+[[nodiscard]] std::string journal_file_name(const std::string& campaign);
+
+// Replays a journal. Torn/malformed lines and unknown record types are
+// skipped (the journal may end mid-record if the server was killed; new
+// record types must not break old readers). Returns false only when the
+// file cannot be read at all, or when the replayed records contradict
+// each other (epoch records with different identities, an epoch going
+// backwards, a commit for an out-of-range shard).
+bool read_fleet_journal(const std::string& path, FleetJournalState& out,
+                        std::string* error = nullptr);
+
+}  // namespace secbus::campaign

@@ -1,0 +1,153 @@
+#include "net/chaos_transport.hpp"
+
+#include <algorithm>
+
+#include "net/frame.hpp"
+
+namespace secbus::net {
+
+ChaosTransport::ChaosTransport(ChaosNetOptions options, Transport* inner)
+    : options_(options), inner_(inner), rng_(options.seed) {}
+
+void ChaosTransport::set_inner(Transport* inner) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  inner_ = inner;
+  queue_.clear();
+  last_due_.clear();
+}
+
+ChaosNetStats ChaosTransport::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool ChaosTransport::send(ConnId conn, const util::Json& message) {
+  return send_frame(conn, encode_frame(message));
+}
+
+bool ChaosTransport::send_frame(ConnId conn, const std::string& bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (inner_ == nullptr) return false;
+  // Opportunistic release: the worker's main thread blocks in run_shard
+  // while the heartbeat thread sends, so sends must also pump the delay
+  // queue or delayed frames would stall until the next poll.
+  flush_due_locked(inner_->now_ms());
+  return inject_locked(conn, bytes);
+}
+
+bool ChaosTransport::inject_locked(ConnId conn, const std::string& bytes) {
+  ++stats_.frames;
+  if (rng_.chance(options_.reset)) {
+    ++stats_.resets;
+    inner_->close_conn(conn);
+    last_due_.erase(conn);
+    return false;
+  }
+  if (rng_.chance(options_.drop)) {
+    ++stats_.dropped;
+    return true;  // the sender cannot tell a dropped frame from a sent one
+  }
+  std::string payload = bytes;
+  if (payload.size() > 1 && rng_.chance(options_.trunc)) {
+    ++stats_.truncated;
+    payload.resize(static_cast<std::size_t>(
+        rng_.range(1, static_cast<std::uint64_t>(payload.size()) - 1)));
+  }
+  const int copies = rng_.chance(options_.dup) ? 2 : 1;
+  if (copies == 2) ++stats_.duplicated;
+  const std::uint64_t now = inner_->now_ms();
+  bool ok = true;
+  for (int c = 0; c < copies; ++c) {
+    std::uint64_t delay = 0;
+    if (options_.delay_max_ms > options_.delay_min_ms) {
+      delay = rng_.range(options_.delay_min_ms, options_.delay_max_ms);
+    } else {
+      delay = options_.delay_min_ms;
+    }
+    if (delay == 0 && queue_.empty()) {
+      ok = inner_->send_frame(conn, payload) && ok;
+      continue;
+    }
+    ++stats_.delayed;
+    DelayedFrame frame;
+    frame.conn = conn;
+    frame.bytes = payload;
+    frame.due_ms = now + delay;
+    // FIFO per connection: never due before the frame queued ahead of it.
+    const auto prev = last_due_.find(conn);
+    if (prev != last_due_.end()) frame.due_ms = std::max(frame.due_ms,
+                                                         prev->second);
+    last_due_[conn] = frame.due_ms;
+    queue_.push_back(std::move(frame));
+  }
+  return ok;
+}
+
+void ChaosTransport::flush_due_locked(std::uint64_t now) {
+  // The queue is globally FIFO and each frame's due time is already
+  // clamped per connection, so releasing from the front in due order
+  // preserves per-connection ordering.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->due_ms > now) {
+      ++it;
+      continue;
+    }
+    inner_->send_frame(it->conn, it->bytes);
+    it = queue_.erase(it);
+  }
+  if (queue_.empty()) last_due_.clear();
+}
+
+std::uint64_t ChaosTransport::next_due_locked() const {
+  std::uint64_t next = ~std::uint64_t{0};
+  for (const DelayedFrame& frame : queue_) next = std::min(next, frame.due_ms);
+  return next;
+}
+
+void ChaosTransport::close_conn(ConnId conn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (inner_ == nullptr) return;
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [conn](const DelayedFrame& f) {
+                                return f.conn == conn;
+                              }),
+               queue_.end());
+  last_due_.erase(conn);
+  inner_->close_conn(conn);
+}
+
+bool ChaosTransport::poll(std::uint64_t timeout_ms,
+                          std::vector<TransportEvent>& out,
+                          std::string* error) {
+  Transport* inner = nullptr;
+  std::uint64_t wait = timeout_ms;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (inner_ == nullptr) {
+      if (error != nullptr) *error = "chaos transport has no inner transport";
+      return false;
+    }
+    inner = inner_;
+    const std::uint64_t now = inner_->now_ms();
+    flush_due_locked(now);
+    // Cap the wait so delayed frames are released on time instead of
+    // sitting out a full poll timeout.
+    if (!queue_.empty()) {
+      const std::uint64_t due = next_due_locked();
+      wait = std::min(wait, due > now ? due - now : 0);
+    }
+  }
+  const bool ok = inner->poll(wait, out, error);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (inner_ == inner) flush_due_locked(inner->now_ms());
+  }
+  return ok;
+}
+
+std::uint64_t ChaosTransport::now_ms() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return inner_ == nullptr ? 0 : inner_->now_ms();
+}
+
+}  // namespace secbus::net

@@ -1,0 +1,108 @@
+// Seeded network fault injection for the fleet control plane.
+//
+// ChaosTransport decorates any net::Transport (the real TCP transports or
+// FakeTransport) and perturbs its *outbound* frames: dropping, delaying,
+// duplicating, truncating mid-frame, and resetting whole connections.
+// Wrapping both endpoints of a link faults both directions. Faults are
+// drawn from a seeded util::Xoshiro256, so a lossy fleet run is exactly
+// reproducible from its SECBUS_CHAOS string.
+//
+// The faults map onto the failure modes the protocol already claims to
+// tolerate, turning those claims into tested invariants:
+//   * drop      — lost heartbeat/grant/done; recovered by lease expiry and
+//                 the worker's re-request timer;
+//   * delay     — latency; queued per connection and released in order, so
+//                 FIFO is preserved exactly as TCP preserves it;
+//   * duplicate — at-least-once delivery; absorbed by generation fencing
+//                 and the duplicate-result refusal;
+//   * truncate  — a frame cut mid-byte-stream; the peer's FrameDecoder
+//                 poisons, the connection drops, the worker reconnects;
+//   * reset     — connection torn down mid-conversation; reconnect/backoff.
+//
+// send() applies faults and returns true even for dropped frames — a lossy
+// network looks like success to the sender. poll() (and, cheaply, send())
+// releases delayed frames whose due time has passed on the inner
+// transport's clock; under FakeTransport's manual clock that makes delay
+// deterministic to the millisecond.
+//
+// Thread-safe like TcpClientTransport: send() may race poll() (the
+// worker's heartbeat thread), guarded by one internal mutex.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+
+namespace secbus::net {
+
+// Fault probabilities and bounds, typically parsed from the SECBUS_CHAOS
+// `net:` directive (campaign/chaos.hpp). All probabilities are per frame.
+struct ChaosNetOptions {
+  bool enabled = false;
+  double drop = 0.0;      // P(frame silently discarded)
+  double dup = 0.0;       // P(frame delivered twice)
+  double trunc = 0.0;     // P(frame truncated mid-stream; poisons the peer)
+  double reset = 0.0;     // P(connection reset instead of carrying the frame)
+  std::uint64_t delay_min_ms = 0;  // per-frame delay drawn uniformly from
+  std::uint64_t delay_max_ms = 0;  // [delay_min_ms, delay_max_ms]
+  std::uint64_t seed = 0x5ecb05;
+};
+
+struct ChaosNetStats {
+  std::uint64_t frames = 0;     // frames offered to the decorator
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t resets = 0;
+};
+
+class ChaosTransport : public Transport {
+ public:
+  explicit ChaosTransport(ChaosNetOptions options, Transport* inner = nullptr);
+
+  // Re-targets the decorator (the fleet worker builds a fresh
+  // TcpClientTransport per reconnect attempt). Pending delayed frames for
+  // the old inner transport are discarded — they died with its socket.
+  void set_inner(Transport* inner);
+
+  [[nodiscard]] ChaosNetStats stats() const;
+
+  bool send(ConnId conn, const util::Json& message) override;
+  bool send_frame(ConnId conn, const std::string& bytes) override;
+  void close_conn(ConnId conn) override;
+  bool poll(std::uint64_t timeout_ms, std::vector<TransportEvent>& out,
+            std::string* error) override;
+  std::uint64_t now_ms() override;
+
+ private:
+  struct DelayedFrame {
+    ConnId conn = 0;
+    std::uint64_t due_ms = 0;
+    std::string bytes;
+  };
+
+  // Applies faults to one already-encoded frame. Caller holds mutex_.
+  bool inject_locked(ConnId conn, const std::string& bytes);
+  // Releases every queued frame whose due time has passed. Caller holds
+  // mutex_. Frames stay FIFO per connection: each frame's due time is
+  // clamped to be >= its predecessor's, like latency on a TCP stream.
+  void flush_due_locked(std::uint64_t now);
+  [[nodiscard]] std::uint64_t next_due_locked() const;
+
+  mutable std::mutex mutex_;
+  ChaosNetOptions options_;
+  Transport* inner_;
+  util::Xoshiro256 rng_;
+  std::deque<DelayedFrame> queue_;  // globally FIFO; per-conn order follows
+  std::map<ConnId, std::uint64_t> last_due_;  // per-conn FIFO clamp
+  ChaosNetStats stats_;
+};
+
+}  // namespace secbus::net

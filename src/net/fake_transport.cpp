@@ -68,6 +68,29 @@ bool FakeTransport::send(ConnId conn, const util::Json& message) {
   return true;
 }
 
+bool FakeTransport::send_frame(ConnId conn, const std::string& bytes) {
+  const auto it = conns_.find(conn);
+  if (it == conns_.end() || !it->second.open_server || !it->second.open_client) {
+    return false;
+  }
+  // Raw bytes, exactly as a TCP socket would carry them: a partial frame
+  // fuses with whatever follows and poisons the decoder, which is the
+  // point of the truncation fault.
+  FakeConn& fake = it->second;
+  fake.to_client.feed(bytes.data(), bytes.size());
+  util::Json decoded;
+  while (fake.to_client.next(decoded)) {
+    fake.client_inbox.push_back(std::move(decoded));
+    decoded = util::Json();
+  }
+  return true;
+}
+
+bool FakeTransport::client_stream_corrupt(ConnId conn) const {
+  const auto it = conns_.find(conn);
+  return it != conns_.end() && it->second.to_client.corrupt();
+}
+
 void FakeTransport::close_conn(ConnId conn) {
   const auto it = conns_.find(conn);
   if (it == conns_.end()) return;

@@ -45,8 +45,14 @@ class FakeTransport : public Transport {
   // Advances the manual clock.
   void advance_ms(std::uint64_t delta) { now_ms_ += delta; }
 
+  // True while the server->client byte stream of `conn` is still decodable
+  // (a truncated frame poisons it permanently, exactly like the TCP
+  // decoder). Chaos-transport tests assert on this.
+  [[nodiscard]] bool client_stream_corrupt(ConnId conn) const;
+
   // --- Transport (the server's view) -----------------------------------
   bool send(ConnId conn, const util::Json& message) override;
+  bool send_frame(ConnId conn, const std::string& bytes) override;
   void close_conn(ConnId conn) override;
   bool poll(std::uint64_t timeout_ms, std::vector<TransportEvent>& out,
             std::string* error) override;

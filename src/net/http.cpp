@@ -57,6 +57,7 @@ bool HttpServer::listen(std::uint16_t port, bool loopback_only,
 
 void HttpServer::close() {
   conns_.clear();
+  conn_count_.store(0, std::memory_order_relaxed);
   listener_.close();
 }
 
@@ -120,12 +121,14 @@ bool HttpServer::poll(std::uint64_t timeout_ms, const Handler& handler,
   std::vector<PollResult> results;
   if (!poll_fds(fds, want_write, timeout_ms, results, error)) return false;
 
+  const std::uint64_t now = steady_now_ms();
   if (results[0].readable) {
     for (;;) {
       Socket accepted = listener_.accept();
       if (!accepted.valid()) break;
       Conn conn;
       conn.socket = std::move(accepted);
+      conn.last_progress_ms = now;
       conns_.emplace(next_id_++, std::move(conn));
     }
   }
@@ -147,6 +150,7 @@ bool HttpServer::poll(std::uint64_t timeout_ms, const Handler& handler,
         const IoStatus status = conn.socket.read_some(buf, sizeof buf, n);
         if (status == IoStatus::kOk) {
           conn.in.append(buf, n);
+          conn.last_progress_ms = now;
           // Stop slurping once the cap is blown; the 431 goes out below.
           if (conn.in.size() > kMaxHttpRequestBytes + kReadChunk) break;
           continue;
@@ -170,6 +174,7 @@ bool HttpServer::poll(std::uint64_t timeout_ms, const Handler& handler,
           conn.socket.write_some(conn.out.data(), conn.out.size(), n);
       if (status == IoStatus::kOk) {
         conn.out.erase(0, n);
+        conn.last_progress_ms = now;
         continue;
       }
       if (status == IoStatus::kWouldBlock) break;
@@ -178,7 +183,15 @@ bool HttpServer::poll(std::uint64_t timeout_ms, const Handler& handler,
     }
     if (conn.responding && conn.out.empty()) drop.push_back(ids[i]);
   }
+  // Slow-loris sweep: every connection idles out, whether it is trickling
+  // a request head byte-by-never or refusing to drain its response.
+  if (idle_timeout_ms_ != 0) {
+    for (const auto& [id, conn] : conns_) {
+      if (now - conn.last_progress_ms >= idle_timeout_ms_) drop.push_back(id);
+    }
+  }
   for (std::uint64_t id : drop) conns_.erase(id);
+  conn_count_.store(conns_.size(), std::memory_order_relaxed);
   return true;
 }
 

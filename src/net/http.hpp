@@ -13,8 +13,13 @@
 // line is a 400, any method but GET a 405, and a peer that disappears
 // mid-request is silently dropped. The responder never reads a body —
 // GETs don't have one — and always closes after the response flushes.
+// Slow-loris defense: a connection that has not completed its request
+// (or drained its response) within kHttpIdleTimeoutMs of its last byte of
+// progress is dropped, so a handful of deliberately-trickling clients
+// cannot pin connection slots on the single-threaded server forever.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -27,6 +32,11 @@ namespace secbus::net {
 // Cap on the request head (request line + headers). Far above any real
 // GET, far below anything that could be used to balloon server memory.
 inline constexpr std::size_t kMaxHttpRequestBytes = 8192;
+
+// Per-connection idle deadline: ms without forward progress (a byte read
+// or written) before the connection is dropped. Generous for any real
+// scraper on a LAN; fatal for a slow-loris.
+inline constexpr std::uint64_t kHttpIdleTimeoutMs = 10'000;
 
 struct HttpRequest {
   std::string method;  // "GET"
@@ -64,8 +74,14 @@ class HttpServer {
   bool poll(std::uint64_t timeout_ms, const Handler& handler,
             std::string* error);
 
+  // Thread-safe probe (tests watch it from outside the service thread
+  // while poll() mutates the table); updated at the end of every poll().
   [[nodiscard]] std::size_t open_connections() const noexcept {
-    return conns_.size();
+    return conn_count_.load(std::memory_order_relaxed);
+  }
+  // Overrides kHttpIdleTimeoutMs (0 disables the sweep — tests only).
+  void set_idle_timeout_ms(std::uint64_t ms) noexcept {
+    idle_timeout_ms_ = ms;
   }
   void close();
 
@@ -75,6 +91,7 @@ class HttpServer {
     std::string in;      // bytes until the blank line ending the head
     std::string out;     // serialized response being flushed
     bool responding = false;
+    std::uint64_t last_progress_ms = 0;  // steady clock, last byte moved
   };
 
   void respond(Conn& conn, const HttpResponse& response);
@@ -84,7 +101,9 @@ class HttpServer {
 
   TcpListener listener_;
   std::map<std::uint64_t, Conn> conns_;
+  std::atomic<std::size_t> conn_count_{0};
   std::uint64_t next_id_ = 1;
+  std::uint64_t idle_timeout_ms_ = kHttpIdleTimeoutMs;
 };
 
 // Blocking one-shot GET (campaign top, tests, CI probes): connects, sends

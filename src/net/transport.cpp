@@ -94,9 +94,13 @@ std::uint16_t TcpServerTransport::bound_port() const noexcept {
 }
 
 bool TcpServerTransport::send(ConnId conn, const util::Json& message) {
+  return send_frame(conn, encode_frame(message));
+}
+
+bool TcpServerTransport::send_frame(ConnId conn, const std::string& bytes) {
   const auto it = impl_->conns.find(conn);
   if (it == impl_->conns.end() || it->second.dead) return false;
-  it->second.outbox += encode_frame(message);
+  it->second.outbox += bytes;
   flush_outbox(it->second);
   return !it->second.dead;
 }
@@ -198,10 +202,14 @@ bool TcpClientTransport::connected() const {
   return impl_->connected && !impl_->conn.dead;
 }
 
-bool TcpClientTransport::send(ConnId, const util::Json& message) {
+bool TcpClientTransport::send(ConnId conn, const util::Json& message) {
+  return send_frame(conn, encode_frame(message));
+}
+
+bool TcpClientTransport::send_frame(ConnId, const std::string& bytes) {
   const std::lock_guard<std::mutex> lock(impl_->mutex);
   if (!impl_->connected || impl_->conn.dead) return false;
-  impl_->conn.outbox += encode_frame(message);
+  impl_->conn.outbox += bytes;
   flush_outbox(impl_->conn);
   return !impl_->conn.dead;
 }

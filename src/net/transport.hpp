@@ -46,6 +46,12 @@ class Transport {
   // already failed; the failure also surfaces as a kClose event.
   virtual bool send(ConnId conn, const util::Json& message) = 0;
 
+  // Queues already-encoded frame bytes to `conn`, verbatim — no framing is
+  // added and no validation is done, so callers can inject partial or
+  // corrupt frames. This is the seam net::ChaosTransport uses to truncate
+  // frames mid-flight; ordinary callers should prefer send().
+  virtual bool send_frame(ConnId conn, const std::string& bytes) = 0;
+
   // Drops the connection. Pending outbound bytes are flushed best-effort.
   virtual void close_conn(ConnId conn) = 0;
 
@@ -72,6 +78,7 @@ class TcpServerTransport : public Transport {
   [[nodiscard]] std::uint16_t bound_port() const noexcept;
 
   bool send(ConnId conn, const util::Json& message) override;
+  bool send_frame(ConnId conn, const std::string& bytes) override;
   void close_conn(ConnId conn) override;
   bool poll(std::uint64_t timeout_ms, std::vector<TransportEvent>& out,
             std::string* error) override;
@@ -97,6 +104,7 @@ class TcpClientTransport : public Transport {
   [[nodiscard]] bool connected() const;
 
   bool send(ConnId conn, const util::Json& message) override;
+  bool send_frame(ConnId conn, const std::string& bytes) override;
   void close_conn(ConnId conn) override;
   bool poll(std::uint64_t timeout_ms, std::vector<TransportEvent>& out,
             std::string* error) override;

@@ -58,7 +58,9 @@ std::string fleet_timeline_json(const std::vector<AuditRecord>& records,
     if (inserted) track_names.push_back(worker);
     return it->second;
   };
-  for (const AuditRecord& r : records) (void)tid_of(r.worker);
+  for (const AuditRecord& r : records) {
+    if (!r.worker.empty()) (void)tid_of(r.worker);
+  }
   st.tracks = track_names.size();
 
   std::string out;
@@ -122,11 +124,31 @@ std::string fleet_timeline_json(const std::vector<AuditRecord>& records,
     ++st.lease_spans;
   };
 
-  std::map<std::pair<std::size_t, std::uint64_t>, OpenLease> open;
+  // Keyed by (epoch, shard, generation): generations restart with each
+  // server incarnation, so the epoch disambiguates a regranted shard from
+  // the lease the dead server left open.
+  using LeaseKey = std::tuple<std::uint64_t, std::size_t, std::uint64_t>;
+  std::map<LeaseKey, OpenLease> open;
 
   for (const AuditRecord& r : records) {
+    if (r.event == AuditEvent::kServerStart) {
+      // Epoch boundary: every lease still open died with the previous
+      // server. Close each as a zero-duration "lost" span so the log
+      // reconciles across the restart.
+      ++st.epochs;
+      for (const auto& [key, lease] : open) {
+        AuditRecord closer;
+        closer.t_ms = lease.ts;
+        closer.shard = std::get<1>(key);
+        closer.generation = std::get<2>(key);
+        emit_span(closer, lease, "lost");
+        ++st.lost;
+      }
+      open.clear();
+      continue;
+    }
     const int tid = tid_of(r.worker);
-    const std::pair<std::size_t, std::uint64_t> key{r.shard, r.generation};
+    const LeaseKey key{r.epoch, r.shard, r.generation};
     switch (r.event) {
       case AuditEvent::kGrant:
       case AuditEvent::kReassigned:
@@ -162,6 +184,8 @@ std::string fleet_timeline_json(const std::vector<AuditRecord>& records,
       case AuditEvent::kRefuse:
         emit_instant(r, tid, "refusal");
         break;
+      case AuditEvent::kServerStart:
+        break;  // handled above the switch
     }
   }
   st.unmatched += open.size();

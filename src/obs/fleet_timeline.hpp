@@ -11,9 +11,13 @@
 // trace_export's unit-reinterpretation trick.
 //
 // Reconciliation mirrors the PR 6 pattern: spans are paired by
-// (shard, generation); a terminator without an open span, or a span still
-// open at end of log, counts as `unmatched` — zero on any log that ran to
-// completion, which the audit tests pin.
+// (epoch, shard, generation); a terminator without an open span, or a span
+// still open at end of log, counts as `unmatched` — zero on any log that
+// ran to completion, which the audit tests pin. A `server_start` record is
+// an epoch boundary: every span still open at that point belonged to a
+// server incarnation that died, so it is closed as `lost` (zero duration,
+// counted in `lost`, not `unmatched`) — a chaos run with a server kill and
+// restart therefore still reconciles to unmatched == 0.
 #pragma once
 
 #include <cstddef>
@@ -33,6 +37,8 @@ struct FleetTimelineStats {
   std::size_t extends = 0;      // heartbeat extensions folded into spans
   std::size_t instants = 0;     // expiry + refusal instants
   std::size_t unmatched = 0;    // unpaired grants / terminators
+  std::size_t lost = 0;         // spans orphaned by a server death/restart
+  std::size_t epochs = 0;       // server incarnations (server_start records)
 };
 
 // Renders the audit records as Chrome trace-event JSON. Deterministic for

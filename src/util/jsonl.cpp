@@ -1,11 +1,27 @@
 #include "util/jsonl.hpp"
 
+#include <cerrno>
+#include <cstring>
+
 #include "util/fileio.hpp"
 
 namespace secbus::util {
 
+namespace {
+
+// One loud line per failure. errno is only trustworthy immediately after
+// the failed stdio call, so callers capture it before anything else runs.
+void report_write_failure(const std::string& path, const char* what,
+                          int err) {
+  std::fprintf(stderr, "jsonl: %s failed for %s: %s\n", what, path.c_str(),
+               err != 0 ? std::strerror(err) : "short write");
+}
+
+}  // namespace
+
 bool JsonlWriter::open(const std::string& path) {
   close();
+  path_ = path;
   // A previous writer may have died mid-record, leaving the file without a
   // trailing newline; terminate the fragment so the next append starts on
   // its own line (the replayer skips the now-isolated bad line).
@@ -16,10 +32,17 @@ bool JsonlWriter::open(const std::string& path) {
     }
     std::fclose(probe);
   }
+  errno = 0;
   file_ = std::fopen(path.c_str(), "ab");
   ok_ = file_ != nullptr;
-  if (ok_ && needs_newline) {
+  if (!ok_) {
+    report_write_failure(path_, "open", errno);
+    return false;
+  }
+  if (needs_newline) {
+    errno = 0;
     ok_ = std::fputc('\n', file_) == '\n' && std::fflush(file_) == 0;
+    if (!ok_) report_write_failure(path_, "torn-tail weld", errno);
   }
   return ok_;
 }
@@ -28,14 +51,27 @@ bool JsonlWriter::append(const Json& value) {
   if (file_ == nullptr || !ok_) return false;
   std::string line = value.dump(0);
   line += '\n';
-  ok_ = std::fwrite(line.data(), 1, line.size(), file_) == line.size() &&
-        std::fflush(file_) == 0;
+  errno = 0;
+  const std::size_t written =
+      std::fwrite(line.data(), 1, line.size(), file_);
+  ok_ = written == line.size() && std::fflush(file_) == 0;
+  if (!ok_) {
+    // A short fwrite with errno unset still means the record is torn on
+    // disk; the reader will skip the fragment, but the *writer* must not
+    // pretend the record landed.
+    report_write_failure(path_, written == line.size() ? "flush" : "write",
+                         errno);
+  }
   return ok_;
 }
 
 void JsonlWriter::close() {
   if (file_ != nullptr) {
-    std::fclose(file_);
+    if (std::fclose(file_) != 0 && ok_) {
+      // fclose can surface the final buffered-write failure (NFS, ENOSPC
+      // discovered late); too late to fail the append, not too late to say.
+      report_write_failure(path_, "close", errno);
+    }
     file_ = nullptr;
   }
 }

@@ -34,15 +34,21 @@ class JsonlWriter {
   bool open(const std::string& path);
 
   // Writes `value` as a single compact line and flushes. False once any
-  // write has failed (the writer stays failed until reopened).
+  // write has failed (the writer stays failed until reopened). The first
+  // failure — a short fwrite or a failed fflush, i.e. the kernel refusing
+  // bytes (ENOSPC, EDQUOT, a yanked mount) — is reported loudly on stderr
+  // with the path and errno; silently shrugging it off would let a
+  // "crash-safe" log lose records with no trace.
   bool append(const Json& value);
 
   [[nodiscard]] bool is_open() const noexcept { return file_ != nullptr; }
   [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
   void close();
 
  private:
   std::FILE* file_ = nullptr;
+  std::string path_;
   bool ok_ = true;
 };
 

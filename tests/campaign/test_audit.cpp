@@ -54,6 +54,7 @@ TEST(AuditRecordIo, RoundTripsAllFields) {
   record.event = AuditEvent::kReassigned;
   record.shard = 7;
   record.generation = 3;
+  record.epoch = 2;
   record.worker = "w-9";
   record.detail = "previous lease expired";
   AuditRecord back;
@@ -62,8 +63,22 @@ TEST(AuditRecordIo, RoundTripsAllFields) {
   EXPECT_EQ(back.event, record.event);
   EXPECT_EQ(back.shard, record.shard);
   EXPECT_EQ(back.generation, record.generation);
+  EXPECT_EQ(back.epoch, record.epoch);
   EXPECT_EQ(back.worker, record.worker);
   EXPECT_EQ(back.detail, record.detail);
+}
+
+TEST(AuditRecordIo, EpochDefaultsToZeroOnOldLogs) {
+  // Logs written before the epoch field must read back as epoch 0.
+  Json j;
+  std::string error;
+  ASSERT_TRUE(Json::parse(R"({"t_ms":5,"event":"grant","shard":1,)"
+                          R"("generation":2,"worker":"w"})",
+                          j, &error))
+      << error;
+  AuditRecord back;
+  ASSERT_TRUE(audit_record_from_json(j, back));
+  EXPECT_EQ(back.epoch, 0u);
 }
 
 TEST(AuditRecordIo, DetailOmittedWhenEmpty) {
@@ -76,7 +91,7 @@ TEST(AuditRecordIo, EveryEventNameRoundTrips) {
   for (AuditEvent e :
        {AuditEvent::kGrant, AuditEvent::kReassigned, AuditEvent::kExtend,
         AuditEvent::kExpire, AuditEvent::kRelease, AuditEvent::kRefuse,
-        AuditEvent::kCommit}) {
+        AuditEvent::kCommit, AuditEvent::kServerStart}) {
     AuditEvent back = AuditEvent::kCommit;
     ASSERT_TRUE(parse_audit_event(to_string(e), back)) << to_string(e);
     EXPECT_EQ(back, e);
@@ -207,23 +222,25 @@ TEST_F(FleetAuditTest, LeaseLifecycleLeavesExactAuditSequence) {
   events.reserve(log.size());
   for (const AuditRecord& r : log) events.push_back(to_string(r.event));
   EXPECT_EQ(events,
-            (std::vector<std::string>{"grant", "extend", "expire",
-                                      "reassigned", "refuse", "refuse",
-                                      "commit"}));
+            (std::vector<std::string>{"server_start", "grant", "extend",
+                                      "expire", "reassigned", "refuse",
+                                      "refuse", "commit"}));
 
   // Timestamps are server-relative and nondecreasing under the manual
-  // clock; generations fence exactly as the lease manager did.
+  // clock; generations fence exactly as the lease manager did. A fresh
+  // server is epoch 0 on every record.
   for (std::size_t i = 1; i < log.size(); ++i) {
     EXPECT_GE(log[i].t_ms, log[i - 1].t_ms) << "record " << i;
   }
-  EXPECT_EQ(log[0].worker, "w1");
-  EXPECT_EQ(log[0].generation, 1u);
-  EXPECT_EQ(log[2].worker, "w1");  // the expiry names the lapsed holder
-  EXPECT_EQ(log[3].worker, "w2");
-  EXPECT_EQ(log[3].generation, 2u);
-  EXPECT_EQ(log[4].detail, "stale heartbeat");
-  EXPECT_EQ(log[5].detail, "stale result");
-  EXPECT_EQ(log[6].worker, "w2");
+  for (const AuditRecord& r : log) EXPECT_EQ(r.epoch, 0u);
+  EXPECT_EQ(log[1].worker, "w1");
+  EXPECT_EQ(log[1].generation, 1u);
+  EXPECT_EQ(log[3].worker, "w1");  // the expiry names the lapsed holder
+  EXPECT_EQ(log[4].worker, "w2");
+  EXPECT_EQ(log[4].generation, 2u);
+  EXPECT_EQ(log[5].detail, "stale heartbeat");
+  EXPECT_EQ(log[6].detail, "stale result");
+  EXPECT_EQ(log[7].worker, "w2");
 
   // The timeline built from this log reconciles exactly: two spans (one
   // expired, one committed), the extend folded in, three instants (one
@@ -238,6 +255,8 @@ TEST_F(FleetAuditTest, LeaseLifecycleLeavesExactAuditSequence) {
   EXPECT_EQ(stats.extends, 1u);
   EXPECT_EQ(stats.instants, 3u);
   EXPECT_EQ(stats.unmatched, 0u);
+  EXPECT_EQ(stats.epochs, 1u);  // one server_start, one incarnation
+  EXPECT_EQ(stats.lost, 0u);    // nothing was open when it started
   // It is a loadable Chrome trace document.
   Json doc;
   std::string error;
@@ -255,9 +274,10 @@ TEST_F(FleetAuditTest, DisconnectIsAuditedAsRelease) {
   step(server);
 
   const std::vector<AuditRecord> log = read_log(server);
-  ASSERT_EQ(log.size(), 2u);
-  EXPECT_EQ(log[1].event, AuditEvent::kRelease);
-  EXPECT_EQ(log[1].worker, "w1");
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].event, AuditEvent::kServerStart);
+  EXPECT_EQ(log[2].event, AuditEvent::kRelease);
+  EXPECT_EQ(log[2].worker, "w1");
 
   obs::FleetTimelineStats stats;
   (void)obs::fleet_timeline_json(log, &stats);

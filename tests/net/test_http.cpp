@@ -156,6 +156,79 @@ TEST_F(HttpServerTest, PeerVanishingMidRequestIsDroppedSilently) {
   EXPECT_EQ(server_.open_connections(), 0u);
 }
 
+TEST(HttpSlowLoris, IdleConnectionIsDroppedAtTheDeadline) {
+  // A client that opens a connection, trickles half a request line and
+  // then stalls must be evicted once the idle deadline passes — it cannot
+  // pin a connection slot on the single-threaded server. Standalone (not
+  // the fixture) so the shortened timeout is set before the service
+  // thread starts.
+  HttpServer server;
+  std::string error;
+  ASSERT_TRUE(server.listen(0, /*loopback_only=*/true, &error)) << error;
+  server.set_idle_timeout_ms(200);
+  std::atomic<bool> stop{false};
+  std::thread service([&] {
+    const HttpServer::Handler handler = [](const HttpRequest&) {
+      return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+    };
+    while (!stop.load()) {
+      std::string poll_error;
+      if (!server.poll(10, handler, &poll_error)) break;
+    }
+  });
+
+  Socket loris = tcp_connect("127.0.0.1", server.bound_port(), &error);
+  ASSERT_TRUE(loris.valid()) << error;
+  const std::string partial = "GET /metr";  // head never completes
+  std::size_t sent = 0;
+  while (sent < partial.size()) {
+    std::size_t n = 0;
+    const IoStatus st =
+        loris.write_some(partial.data() + sent, partial.size() - sent, n);
+    if (st == IoStatus::kOk) {
+      sent += n;
+      continue;
+    }
+    ASSERT_EQ(st, IoStatus::kWouldBlock);
+    std::vector<PollResult> results;
+    poll_fds({loris.fd()}, {true}, 50, results, &error);
+  }
+
+  // The server noticed us, then gives up on us at the deadline — while the
+  // socket stays open on our side the whole time.
+  const std::uint64_t deadline = steady_now_ms() + 5000;
+  while (server.open_connections() != 0 && steady_now_ms() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.open_connections(), 0u);
+
+  // The eviction reaches the loris as a close, and the server still
+  // answers well-behaved clients.
+  bool closed = false;
+  while (steady_now_ms() < deadline) {
+    char buf[64];
+    std::size_t n = 0;
+    const IoStatus st = loris.read_some(buf, sizeof buf, n);
+    if (st == IoStatus::kClosed || st == IoStatus::kError) {
+      closed = true;
+      break;
+    }
+    std::vector<PollResult> results;
+    poll_fds({loris.fd()}, {false}, 50, results, &error);
+  }
+  EXPECT_TRUE(closed);
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(http_get("127.0.0.1", server.bound_port(), "/", &status, &body,
+                       &error))
+      << error;
+  EXPECT_EQ(status, 200);
+
+  stop.store(true);
+  service.join();
+  server.close();
+}
+
 TEST(HttpGet, ConnectFailureReportsError) {
   int status = 0;
   std::string body;

@@ -117,9 +117,20 @@
 //     --no-audit          skip the <out>/<name>.fleet-audit.jsonl lease
 //                         audit log (pure observability; artifacts are
 //                         identical either way)
+//     --no-journal        skip the <out>/<name>.fleet-journal.jsonl lease
+//                         journal (disables --resume for this run)
+//     --resume            recover a killed server from its lease journal:
+//                         journaled shard commits stay done, everything
+//                         else returns to pending, and the server epoch
+//                         bumps so results minted under the dead
+//                         incarnation are refused (zombie fencing)
 //       plus --jobs/--repeats/--max-cycles/--metrics/--quiet etc. —
 //       repeats/max-cycles/metrics shape the grid and are announced to
 //       workers, which verify the resulting grid fingerprint.
+//       SECBUS_CHAOS=kill_server_after:<n> _Exit()s the server right after
+//       the n-th journaled commit (fault injection for --resume);
+//       net:drop=..,delay_ms=a..b,... makes the server's side of every
+//       connection lossy too.
 //
 //   secbus_cli campaign worker <host:port> [options]
 //       Fleet worker: connects (bounded exponential backoff), verifies the
@@ -127,7 +138,11 @@
 //       granted shards — checkpointing under --out and heartbeating
 //       progress — until the server says done. SECBUS_CHAOS=kill_after:<n>
 //       makes the worker _Exit() after n checkpointed jobs (fault
-//       injection for the reassignment path).
+//       injection for the reassignment path);
+//       SECBUS_CHAOS="net:drop=0.05,delay_ms=0..20,reset=0.02,seed=7"
+//       wraps the connection in a seeded lossy decorator (drops, delays,
+//       duplicates, truncations, resets) — see campaign/chaos.hpp for the
+//       full grammar; directives combine with ';'.
 //     --jobs N        batch threads inside this worker (default 1)
 //     --out DIR       checkpoint directory; share it across local workers
 //                     (and the server) so reassignment resumes instead of
@@ -211,7 +226,7 @@ namespace {
       "       %s campaign serve <file.json> [--port N] [--shards N]\n"
       "              [--out DIR] [--lease-timeout MS] [--heartbeat MS]\n"
       "              [--listen-any] [--cells-csv PATH] [--http-port N]\n"
-      "              [--no-audit] [run options]\n"
+      "              [--no-audit] [--no-journal] [--resume] [run options]\n"
       "       %s campaign worker <host:port> [--jobs N] [--out DIR]\n"
       "              [--id NAME] [--reconnect N] [--backoff MS]\n"
       "              [--no-checkpoint] [--no-setup-cache] [--quiet]\n"
@@ -1021,9 +1036,18 @@ int cmd_campaign_serve(int argc, char** argv) {
       http_port = static_cast<std::uint16_t>(u);
     } else if (arg == "--no-audit") {
       serve_opt.audit = false;
+    } else if (arg == "--no-journal") {
+      serve_opt.journal = false;
+    } else if (arg == "--resume") {
+      serve_opt.resume = true;
     } else {
       usage(argv[0]);
     }
+  }
+  if (serve_opt.resume && !serve_opt.journal) {
+    std::fprintf(stderr, "error: --resume needs the lease journal "
+                         "(drop --no-journal)\n");
+    return 1;
   }
   if (!opt.trace_path.empty()) {
     std::fprintf(stderr,
@@ -1051,21 +1075,44 @@ int cmd_campaign_serve(int argc, char** argv) {
   serve_opt.grid.repeats = opt.repeats;
   serve_opt.grid.max_cycles = opt.max_cycles;
   serve_opt.grid.collect_metrics = opt.metrics;
-
-  net::TcpServerTransport transport;
-  if (!transport.listen(port, /*loopback_only=*/!listen_any, &error)) {
+  // Server-side chaos (kill_server_after, for the restart-recovery CI
+  // leg) rides the same SECBUS_CHAOS variable the workers use.
+  if (!campaign::ChaosOptions::from_env(serve_opt.chaos, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
+
+  net::TcpServerTransport tcp_transport;
+  if (!tcp_transport.listen(port, /*loopback_only=*/!listen_any, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  // With a net: chaos directive the server's side of every connection is
+  // lossy too — the decorator wraps the listening transport wholesale.
+  net::ChaosTransport chaos_transport(serve_opt.chaos.net, &tcp_transport);
+  net::Transport& transport = serve_opt.chaos.net.enabled
+                                  ? static_cast<net::Transport&>(chaos_transport)
+                                  : tcp_transport;
   campaign::FleetServer server(transport, spec, serve_opt);
+  if (!server.init_error().empty()) {
+    std::fprintf(stderr, "error: %s\n", server.init_error().c_str());
+    return 1;
+  }
   // Always printed (and flushed) so scripts can scrape the bound port —
   // essential with --port 0.
   std::printf("fleet: serving campaign %s on %s:%u — %zu job(s) across %zu "
-              "shard(s), lease timeout %llu ms\n",
+              "shard(s), lease timeout %llu ms%s\n",
               spec.name.c_str(), listen_any ? "0.0.0.0" : "127.0.0.1",
-              static_cast<unsigned>(transport.bound_port()),
+              static_cast<unsigned>(tcp_transport.bound_port()),
               server.specs().size(), serve_opt.shards,
-              static_cast<unsigned long long>(serve_opt.lease_timeout_ms));
+              static_cast<unsigned long long>(serve_opt.lease_timeout_ms),
+              serve_opt.resume ? " (resumed)" : "");
+  if (serve_opt.resume) {
+    std::printf("fleet: epoch %llu, %zu shard(s) already committed in the "
+                "journal\n",
+                static_cast<unsigned long long>(server.epoch()),
+                server.resumed_shards());
+  }
   std::fflush(stdout);
 
   // Observability endpoints share the fleet loop: the server's run() calls
@@ -1112,6 +1159,10 @@ int cmd_campaign_serve(int argc, char** argv) {
   http_server.close();
   if (serve_opt.audit && !server.audit_path().empty()) {
     std::printf("fleet: lease audit log at %s\n", server.audit_path().c_str());
+  }
+  if (serve_opt.journal && !server.journal_path().empty()) {
+    std::printf("fleet: lease journal at %s\n",
+                server.journal_path().c_str());
   }
   if (server.reassignments() != 0) {
     std::fprintf(stderr, "fleet: %zu lease reassignment(s) during this run\n",
@@ -1269,10 +1320,11 @@ int cmd_campaign_timeline(int argc, char** argv) {
   std::printf("fleet timeline: %zu audit record(s) -> %s\n", records.size(),
               out_path.c_str());
   std::printf("  %zu worker track(s), %zu lease span(s) (%zu committed, %zu "
-              "expired, %zu released), %zu extend(s), %zu instant(s), %zu "
-              "unmatched\n",
+              "expired, %zu released, %zu lost), %zu extend(s), %zu "
+              "instant(s), %zu unmatched across %zu server epoch(s)\n",
               stats.tracks, stats.lease_spans, stats.committed, stats.expired,
-              stats.released, stats.extends, stats.instants, stats.unmatched);
+              stats.released, stats.lost, stats.extends, stats.instants,
+              stats.unmatched, stats.epochs);
   return stats.unmatched == 0 ? 0 : 1;
 }
 
